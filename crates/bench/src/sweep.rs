@@ -1,0 +1,88 @@
+//! Host-parallel parameter sweeps.
+//!
+//! Each simulated machine is single-threaded and deterministic (`Rc`-based,
+//! deliberately `!Send`), but sweeps over *independent* configurations are
+//! embarrassingly parallel at the host level: every worker thread builds
+//! and runs its own machines. Following the workspace's concurrency
+//! guidelines, this uses crossbeam scoped threads with a `parking_lot`
+//! mutex around the result vector — no `unsafe`, no shared simulator state.
+
+use parking_lot::Mutex;
+
+/// Run `f` over every point of `params` using up to `threads` host threads;
+/// results come back in input order. `f` must build its own simulator state
+/// (machines cannot cross threads).
+pub fn parallel_sweep<P, R, F>(params: Vec<P>, threads: usize, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let n = params.len();
+    let threads = threads.max(1).min(n.max(1));
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let work: Mutex<std::vec::IntoIter<(usize, P)>> =
+        Mutex::new(params.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let next = work.lock().next();
+                match next {
+                    Some((i, p)) => {
+                        let r = f(&p);
+                        results.lock()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("sweep point not computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t_series_core::{Machine, MachineCfg};
+
+    #[test]
+    fn sweep_preserves_order() {
+        let out = parallel_sweep((0u64..32).collect(), 8, |&x| x * x);
+        assert_eq!(out, (0u64..32).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_runs_machines_in_parallel() {
+        // Each worker builds and runs its own deterministic machine; the
+        // results must be identical across parallel and serial execution.
+        let dims = vec![0u32, 1, 2, 3, 2, 1, 0, 3];
+        let run = |&dim: &u32| {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            m.launch(|ctx| async move {
+                ctx.cp_compute(1000).await;
+            });
+            assert!(m.run().quiescent);
+            m.now().as_ps()
+        };
+        let parallel = parallel_sweep(dims.clone(), 4, run);
+        let serial: Vec<u64> = dims.iter().map(run).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn single_thread_degenerate() {
+        let out = parallel_sweep(vec![5u32], 1, |&x| x + 1);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let out: Vec<u32> = parallel_sweep(Vec::<u32>::new(), 4, |_| 0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Checkpoint-interval policy (§III, experiment E8).
+//!
+//! "The user is able to specify the interval between snapshots. About 10
+//! minutes provides a good compromise between time spent to record memory
+//! and interval between restart points. It takes about 15 seconds to take
+//! a snapshot, regardless of configuration."
+//!
+//! Two tools reproduce that engineering judgement:
+//!
+//! * [`young_interval`] — Young's classical first-order optimum
+//!   `T* = sqrt(2 δ M)` for snapshot cost δ and mean time between failures
+//!   M. The paper's 10 minutes is optimal for δ ≈ 16 s at M ≈ 3.1 h —
+//!   a plausible MTBF for a 1986 multi-cabinet machine.
+//! * [`simulate_run`] — a Monte-Carlo replay: exponential failures, work
+//!   segments of `interval`, a snapshot after each, rollback to the last
+//!   snapshot on failure. Sweeping the interval reproduces the U-shaped
+//!   overhead curve whose flat bottom sits near the 10-minute choice.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ts_sim::Dur;
+
+/// Young's approximation of the optimal checkpoint interval:
+/// `T* = sqrt(2 · snapshot_cost · mtbf)`.
+pub fn young_interval(snapshot_cost: Dur, mtbf: Dur) -> Dur {
+    Dur::from_secs_f64((2.0 * snapshot_cost.as_secs_f64() * mtbf.as_secs_f64()).sqrt())
+}
+
+/// Expected total running time (first-order model) to complete `work` with
+/// checkpoints every `interval`, snapshot cost `snapshot`, and exponential
+/// failures of mean `mtbf`. Useful as the smooth reference curve.
+pub fn expected_runtime(work: Dur, interval: Dur, snapshot: Dur, mtbf: Dur) -> Dur {
+    let t = interval.as_secs_f64();
+    let d = snapshot.as_secs_f64();
+    let m = mtbf.as_secs_f64();
+    // Per-segment: work t + snapshot d; failures hit at rate 1/m and cost
+    // on average half a segment of rework plus recovery ≈ restore ≈ d.
+    let segment = t + d;
+    let failure_overhead = segment / m * (t / 2.0 + d);
+    let seconds = work.as_secs_f64() * (segment + failure_overhead) / t;
+    Dur::from_secs_f64(seconds)
+}
+
+/// Outcome of one Monte-Carlo run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Wall-clock to finish all work (including snapshots and rework).
+    pub total: Dur,
+    /// Failures encountered.
+    pub failures: u64,
+    /// Time spent writing snapshots.
+    pub snapshot_time: Dur,
+    /// Work redone after rollbacks.
+    pub rework: Dur,
+}
+
+/// Simulate completing `work` with checkpoints every `interval`.
+///
+/// Failures are exponential with mean `mtbf`; on failure the machine
+/// restores the last snapshot (cost `snapshot`, the restore path being
+/// symmetric with the save path) and replays lost work.
+pub fn simulate_run(
+    work: Dur,
+    interval: Dur,
+    snapshot: Dur,
+    mtbf: Dur,
+    seed: u64,
+) -> RunStats {
+    assert!(!interval.is_zero(), "interval must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_failure = exp_sample(&mut rng, mtbf);
+    let mut clock = 0.0f64; // seconds
+    let mut done = 0.0f64; // committed work seconds
+    let work_s = work.as_secs_f64();
+    let int_s = interval.as_secs_f64();
+    let snap_s = snapshot.as_secs_f64();
+    let mut failures = 0u64;
+    let mut snap_total = 0.0f64;
+    let mut rework = 0.0f64;
+
+    while done < work_s {
+        let segment = int_s.min(work_s - done);
+        // Try to execute [segment of work] + [snapshot committing it].
+        let attempt = segment + snap_s;
+        if clock + attempt <= next_failure {
+            clock += attempt;
+            done += segment;
+            snap_total += snap_s;
+        } else {
+            // Failure mid-attempt: lose everything since the last commit.
+            let lost = next_failure - clock;
+            rework += lost.min(segment);
+            clock = next_failure;
+            failures += 1;
+            // Restore from the last snapshot before resuming.
+            clock += snap_s;
+            next_failure = clock + exp_sample(&mut rng, mtbf);
+        }
+    }
+    RunStats {
+        total: Dur::from_secs_f64(clock),
+        failures,
+        snapshot_time: Dur::from_secs_f64(snap_total),
+        rework: Dur::from_secs_f64(rework),
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, mean: Dur) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean.as_secs_f64() * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_interval_is_youngs_optimum() {
+        // δ = 16 s (one module's 8 MB over the 0.5 MB/s system thread),
+        // M = 3.1 h → T* ≈ 10 minutes, the paper's recommendation.
+        let t = young_interval(Dur::secs(16), Dur::from_secs_f64(3.1 * 3600.0));
+        let minutes = t.as_secs_f64() / 60.0;
+        assert!((minutes - 10.0).abs() < 0.3, "T* = {minutes} min");
+    }
+
+    #[test]
+    fn no_failures_means_pure_overhead() {
+        // Effectively infinite MTBF: total = work + snapshots.
+        let stats = simulate_run(
+            Dur::secs(3600),
+            Dur::secs(600),
+            Dur::secs(15),
+            Dur::secs(10_000_000), // ~115 days; no failure hits this seeded run
+            1,
+        );
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.total, Dur::secs(3600 + 6 * 15));
+        assert_eq!(stats.rework, Dur::ZERO);
+    }
+
+    #[test]
+    fn frequent_failures_punish_long_intervals() {
+        let work = Dur::secs(4 * 3600);
+        let mtbf = Dur::secs(1800);
+        let snap = Dur::secs(15);
+        let avg = |interval: Dur| {
+            let mut total = 0.0;
+            for seed in 0..40 {
+                total += simulate_run(work, interval, snap, mtbf, seed).total.as_secs_f64();
+            }
+            total / 40.0
+        };
+        let short = avg(Dur::secs(30)); // snapshot-dominated
+        let tuned = avg(young_interval(snap, mtbf)); // ≈ 4.9 min
+        let long = avg(Dur::secs(3600)); // rework-dominated
+        assert!(tuned < short, "tuned {tuned} vs short {short}");
+        assert!(tuned < long, "tuned {tuned} vs long {long}");
+    }
+
+    #[test]
+    fn expected_runtime_is_u_shaped() {
+        let work = Dur::secs(36_000);
+        let snap = Dur::secs(16);
+        let mtbf = Dur::from_secs_f64(3.1 * 3600.0);
+        let y = young_interval(snap, mtbf);
+        let at = |t: Dur| expected_runtime(work, t, snap, mtbf).as_secs_f64();
+        assert!(at(y) < at(Dur::secs(60)));
+        assert!(at(y) < at(Dur::secs(7200)));
+        // The optimum of the smooth model sits near Young's formula.
+        let dense: Vec<(f64, f64)> = (1..200)
+            .map(|k| {
+                let t = Dur::secs(k * 30);
+                (t.as_secs_f64(), at(t))
+            })
+            .collect();
+        let best = dense.iter().cloned().fold((0.0, f64::INFINITY), |acc, x| {
+            if x.1 < acc.1 {
+                x
+            } else {
+                acc
+            }
+        });
+        let ratio = best.0 / y.as_secs_f64();
+        assert!((0.5..2.0).contains(&ratio), "optimum {} vs Young {}", best.0, y);
+    }
+
+    #[test]
+    fn monte_carlo_tracks_expected_model() {
+        let work = Dur::secs(7200);
+        let interval = Dur::secs(600);
+        let snap = Dur::secs(16);
+        let mtbf = Dur::secs(3600 * 3);
+        let mut total = 0.0;
+        const RUNS: u64 = 60;
+        for seed in 0..RUNS {
+            total += simulate_run(work, interval, snap, mtbf, seed).total.as_secs_f64();
+        }
+        let sim = total / RUNS as f64;
+        let model = expected_runtime(work, interval, snap, mtbf).as_secs_f64();
+        let err = (sim - model).abs() / model;
+        assert!(err < 0.05, "sim {sim} vs model {model}");
+    }
+}

@@ -1,0 +1,589 @@
+//! # t-series-core — the whole machine
+//!
+//! Assembles nodes into the homogeneous system of §III:
+//!
+//! * [`Machine`] — 2ⁿ nodes wired as a binary n-cube. Dimension *d* of the
+//!   cube rides physical link *d mod 4* on each node, so a large cube's
+//!   dimensions genuinely share the four link engines the way the sublink
+//!   multiplexing does in hardware.
+//! * **Modules** — every 8 nodes (a 3-subcube) get a [`system::SystemBoard`]
+//!   with a disk; boards chain into the **system ring**, independent of the
+//!   hypercube network. Snapshots for checkpoint/restart flow over the
+//!   system thread exactly as §III describes — which is why they take the
+//!   same ~16 s no matter how big the machine is.
+//! * [`collectives`] — broadcast / reduce / all-reduce / all-gather /
+//!   barrier on binomial trees and dimension exchange: the communication
+//!   library every kernel builds on.
+//! * [`checkpoint`] — snapshot-interval policy: Young's approximation and a
+//!   Monte-Carlo failure/replay simulation (experiment E8).
+//! * [`baseline`] — the §I comparison points: a bus-based shared-memory
+//!   machine model and interconnect cost counts (experiment E13).
+//!
+//! ```no_run
+//! use t_series_core::{Machine, MachineCfg};
+//!
+//! let mut m = Machine::build(MachineCfg::cube(2));
+//! let handles = m.launch(|ctx| async move { ctx.id() * 10 });
+//! m.run();
+//! assert_eq!(handles[3].try_take(), Some(30));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod checkpoint;
+pub mod collectives;
+pub mod model;
+pub mod router;
+pub mod system;
+
+use ts_cube::{Hypercube, NodeId, SublinkBudget};
+use ts_link::{LinkChannel, Wire};
+use ts_node::{Node, NodeCfg, NodeCtx};
+use ts_sim::{Dur, JoinHandle, Metrics, RunReport, Sim, SimHandle, Time};
+
+use crate::system::{Disk, SystemBoard};
+
+/// Peak floating-point rate of one node, MFLOPS (§II).
+pub const NODE_PEAK_MFLOPS: f64 = 16.0;
+
+/// Machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineCfg {
+    /// Cube dimension (nodes = 2^dim).
+    pub dim: u32,
+    /// Per-node configuration.
+    pub node: NodeCfg,
+    /// Sublink allocation policy (validates the dimension).
+    pub budget: SublinkBudget,
+    /// Disk write rate per system board, bytes/second.
+    pub disk_rate: f64,
+}
+
+impl MachineCfg {
+    /// A cube of `dim` dimensions with the paper's node configuration.
+    pub fn cube(dim: u32) -> MachineCfg {
+        MachineCfg {
+            dim,
+            node: NodeCfg::default(),
+            budget: SublinkBudget::default(),
+            disk_rate: 1.0e6, // 1 MB/s Winchester-class disk
+        }
+    }
+
+    /// Same cube but with reduced per-node memory (large machines on small
+    /// hosts). `rows` must be a multiple of 4.
+    pub fn cube_small_mem(dim: u32, rows: usize) -> MachineCfg {
+        let mut cfg = MachineCfg::cube(dim);
+        cfg.node.mem = ts_mem::MemCfg::small(rows);
+        cfg
+    }
+
+    /// Derived headline specifications (§III's scaling table).
+    pub fn specs(&self) -> Specs {
+        let cube = Hypercube::new(self.dim);
+        let nodes = cube.nodes() as u64;
+        Specs {
+            dim: self.dim,
+            nodes,
+            modules: cube.modules() as u64,
+            cabinets: cube.cabinets() as u64,
+            peak_mflops: nodes as f64 * NODE_PEAK_MFLOPS,
+            memory_bytes: nodes * self.node.mem.bytes() as u64,
+            disks: cube.modules() as u64,
+            // 8 nodes × 3 intramodule dimensions × 0.5 MB/s each way.
+            intramodule_mb_per_s: 8.0 * 3.0 * self.node.link.effective_mb_per_s(),
+            max_hops: self.dim,
+        }
+    }
+}
+
+/// Headline numbers for a configuration (experiment E7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Specs {
+    /// Cube dimension.
+    pub dim: u32,
+    /// Node count.
+    pub nodes: u64,
+    /// 8-node modules.
+    pub modules: u64,
+    /// 16-node cabinets.
+    pub cabinets: u64,
+    /// Aggregate peak MFLOPS.
+    pub peak_mflops: f64,
+    /// Total user memory.
+    pub memory_bytes: u64,
+    /// System disks (one per module).
+    pub disks: u64,
+    /// Local inter-node bandwidth within a module, MB/s (paper: "over 12").
+    pub intramodule_mb_per_s: f64,
+    /// Network diameter (max hops) — O(log₂ p).
+    pub max_hops: u32,
+}
+
+/// A complete, wired T Series machine plus its simulation.
+pub struct Machine {
+    /// The interconnect shape.
+    pub cube: Hypercube,
+    /// All nodes, indexed by hypercube address.
+    pub nodes: Vec<Node>,
+    /// One system board per module, in module order.
+    pub boards: Vec<SystemBoard>,
+    cfg: MachineCfg,
+    sim: Sim,
+}
+
+impl Machine {
+    /// Build and wire the machine.
+    ///
+    /// Panics if the sublink budget cannot support `cfg.dim` (a 13-cube
+    /// needs the I/O sublinks the default allocation reserves — §III).
+    pub fn build(cfg: MachineCfg) -> Machine {
+        assert!(
+            cfg.budget.supports(cfg.dim),
+            "sublink budget supports at most a {}-cube",
+            cfg.budget.max_dim()
+        );
+        let sim = Sim::new();
+        let h = sim.handle();
+        let cube = Hypercube::new(cfg.dim);
+        let nodes: Vec<Node> =
+            cube.iter().map(|id| Node::new(id, cfg.node, h.clone())).collect();
+
+        // Four link engines per node, each direction its own FIFO server.
+        let wires_out: Vec<Vec<Wire>> = cube
+            .iter()
+            .map(|_| (0..4).map(|_| Wire::new("link.out", cfg.node.link)).collect())
+            .collect();
+        let wires_in: Vec<Vec<Wire>> = cube
+            .iter()
+            .map(|_| (0..4).map(|_| Wire::new("link.in", cfg.node.link)).collect())
+            .collect();
+
+        // Hypercube edges: dimension d rides physical link d mod 4.
+        for d in 0..cfg.dim {
+            for a in cube.iter() {
+                let b = cube.neighbor(a, d);
+                if a > b {
+                    continue;
+                }
+                let l = (d % 4) as usize;
+                let (ai, bi) = (a as usize, b as usize);
+                let mut ab =
+                    LinkChannel::new_pair(wires_out[ai][l].clone(), wires_in[bi][l].clone());
+                ab.set_metrics(nodes[ai].metrics().clone());
+                let mut ba =
+                    LinkChannel::new_pair(wires_out[bi][l].clone(), wires_in[ai][l].clone());
+                ba.set_metrics(nodes[bi].metrics().clone());
+                nodes[ai].wire_dim(d as usize, ab.clone(), ba.clone());
+                nodes[bi].wire_dim(d as usize, ba, ab);
+            }
+        }
+
+        // System boards: one per 8-node module; the system thread uses the
+        // nodes' link 3 and the board's own engine. Boards chain in a ring.
+        let module_count = cube.modules() as usize;
+        let mut boards = Vec::with_capacity(module_count);
+        for m in 0..module_count {
+            let board_out = Wire::new("board.out", cfg.node.link);
+            let board_in = Wire::new("board.in", cfg.node.link);
+            let lo = m * 8;
+            let hi = ((m + 1) * 8).min(cube.nodes() as usize);
+            let mut to_node = Vec::new();
+            let mut from_node = Vec::new();
+            for id in lo..hi {
+                let down = LinkChannel::new_pair(board_out.clone(), wires_in[id][3].clone());
+                let up = LinkChannel::new_pair(wires_out[id][3].clone(), board_in.clone());
+                nodes[id].wire_system(up.clone(), down.clone());
+                to_node.push(down);
+                from_node.push(up);
+            }
+            boards.push(SystemBoard::new(
+                m as u32,
+                h.clone(),
+                to_node,
+                from_node,
+                board_out,
+                board_in,
+                Disk::new(cfg.disk_rate),
+            ));
+        }
+        // Ring links between consecutive boards (independent of the cube).
+        if module_count > 1 {
+            for m in 0..module_count {
+                let next = (m + 1) % module_count;
+                let ch = LinkChannel::new_pair(
+                    boards[m].wire_out().clone(),
+                    boards[next].wire_in().clone(),
+                );
+                boards[m].set_ring_next(ch.clone());
+                boards[next].set_ring_prev(ch);
+            }
+        }
+
+        Machine { cube, nodes, boards, cfg, sim }
+    }
+
+    /// The configuration this machine was built from.
+    pub fn cfg(&self) -> &MachineCfg {
+        &self.cfg
+    }
+
+    /// Simulation handle (for host-side tasks).
+    pub fn handle(&self) -> SimHandle {
+        self.sim.handle()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// A node's program context.
+    pub fn ctx(&self, id: NodeId) -> NodeCtx {
+        self.nodes[id as usize].ctx()
+    }
+
+    /// Launch one program per node (SPMD). Returns the join handles in
+    /// node order; call [`Machine::run`] to execute.
+    pub fn launch<F, Fut>(&mut self, mut program: F) -> Vec<JoinHandle<Fut::Output>>
+    where
+        F: FnMut(NodeCtx) -> Fut,
+        Fut: std::future::Future + 'static,
+        Fut::Output: 'static,
+    {
+        let mut handles = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let fut = program(node.ctx());
+            handles.push(self.sim.spawn(fut));
+        }
+        handles
+    }
+
+    /// Launch a program on a single node. The future should capture that
+    /// node's [`NodeCtx`] (obtained via [`Machine::ctx`]); the `id` names
+    /// the intended node for readers and debug assertions.
+    pub fn launch_on<Fut>(&mut self, id: NodeId, fut: Fut) -> JoinHandle<Fut::Output>
+    where
+        Fut: std::future::Future + 'static,
+        Fut::Output: 'static,
+    {
+        debug_assert!((id as usize) < self.nodes.len(), "no node {id}");
+        self.sim.spawn(fut)
+    }
+
+    /// Run the simulation to quiescence.
+    pub fn run(&mut self) -> RunReport {
+        self.sim.run()
+    }
+
+    /// Run at most `d` further virtual time.
+    pub fn run_for(&mut self, d: Dur) -> RunReport {
+        self.sim.run_for(d)
+    }
+
+    /// Aggregate all node metrics into one bundle.
+    pub fn metrics(&self) -> Metrics {
+        let total = Metrics::new();
+        for n in &self.nodes {
+            total.merge(n.metrics());
+        }
+        total
+    }
+
+    /// Achieved MFLOPS across the machine for the elapsed simulated time.
+    pub fn achieved_mflops(&self) -> f64 {
+        let flops = self.metrics().get("vec.flops");
+        let t = self.now().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            flops as f64 / t / 1e6
+        }
+    }
+
+    /// Attach an execution tracer to every node's hardware units (spans on
+    /// `n<id>.cp`, `n<id>.vec`, `n<id>.port`).
+    pub fn enable_tracing(&self) -> ts_sim::Tracer {
+        let tracer = ts_sim::Tracer::new();
+        for node in &self.nodes {
+            node.attach_tracer(&tracer);
+        }
+        tracer
+    }
+
+    /// A per-node utilization report for the elapsed run: vector-unit and
+    /// control-processor busy fractions, flops, and link traffic. The kind
+    /// of post-mortem the machine's system software would print.
+    pub fn utilization_report(&self) -> String {
+        use std::fmt::Write;
+        let total = self.now().as_secs_f64();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>8} {:>12} {:>12} {:>12}",
+            "node", "vec%", "cp%", "flops", "sent B", "recv B"
+        );
+        for node in &self.nodes {
+            let m = node.metrics();
+            let vecb = m.get_time("vec.busy").as_secs_f64();
+            let cpb = m.get_time("cp.busy").as_secs_f64();
+            let pct = |b: f64| if total > 0.0 { b / total * 100.0 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{:>5} {:>7.1}% {:>7.1}% {:>12} {:>12} {:>12}",
+                node.id,
+                pct(vecb),
+                pct(cpb),
+                m.get("vec.flops"),
+                m.get("link.bytes_sent"),
+                m.get("link.bytes_recv"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {:.3} ms simulated, {:.2} MFLOPS achieved of {:.0} peak",
+            total * 1e3,
+            self.achieved_mflops(),
+            self.cfg.specs().peak_mflops
+        );
+        out
+    }
+
+    /// Take a coordinated snapshot of every node's memory through the
+    /// system boards and disks (§III), as a simulated procedure. Returns
+    /// the images (node order) and the wall-clock the snapshot took.
+    pub fn snapshot(&mut self) -> (Vec<Vec<u32>>, Dur) {
+        let t0 = self.sim.now();
+        let mut image_handles = Vec::new();
+        for (m, board) in self.boards.iter().enumerate() {
+            let lo = m * 8;
+            let hi = ((m + 1) * 8).min(self.nodes.len());
+            // Node side: each node streams its memory up the system thread.
+            for id in lo..hi {
+                let ctx = self.nodes[id].ctx();
+                let image = self.nodes[id].mem().snapshot();
+                self.sim.spawn(async move {
+                    system::send_image(&ctx, &image).await;
+                });
+            }
+            // Board side: receive per node, write to disk.
+            let board = board.clone();
+            let count = hi - lo;
+            image_handles.push(self.sim.spawn(async move {
+                board.collect_snapshot(count).await
+            }));
+        }
+        let report = self.sim.run();
+        assert!(report.quiescent, "snapshot deadlocked");
+        let mut images = Vec::new();
+        for h in image_handles {
+            images.extend(h.try_take().expect("snapshot incomplete"));
+        }
+        (images, self.sim.now().since(t0))
+    }
+
+    /// Restore every node's memory from snapshot images (the recovery
+    /// path: boards stream images back down the system thread).
+    pub fn restore(&mut self, images: &[Vec<u32>]) -> Dur {
+        assert_eq!(images.len(), self.nodes.len());
+        let t0 = self.sim.now();
+        for (m, board) in self.boards.iter().enumerate() {
+            let lo = m * 8;
+            let hi = ((m + 1) * 8).min(self.nodes.len());
+            let board = board.clone();
+            let module_images: Vec<Vec<u32>> = images[lo..hi].to_vec();
+            self.sim.spawn(async move {
+                board.send_restore(module_images).await;
+            });
+            for id in lo..hi {
+                let ctx = self.nodes[id].ctx();
+                let node = self.nodes[id].clone();
+                self.sim.spawn(async move {
+                    let image = system::recv_image(&ctx).await;
+                    node.mem_mut().restore(&image);
+                });
+            }
+        }
+        let report = self.sim.run();
+        assert!(report.quiescent, "restore deadlocked");
+        self.sim.now().since(t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_paper_table() {
+        // Module: 8 nodes, 128 MFLOPS, 8 MB, >12 MB/s intramodule.
+        let module = MachineCfg::cube(3).specs();
+        assert_eq!(module.nodes, 8);
+        assert_eq!(module.peak_mflops, 128.0);
+        assert_eq!(module.memory_bytes, 8 << 20);
+        assert_eq!(module.modules, 1);
+        assert!(module.intramodule_mb_per_s >= 12.0);
+        // Cabinet: 16 nodes, two modules.
+        let cab = MachineCfg::cube(4).specs();
+        assert_eq!(cab.nodes, 16);
+        assert_eq!(cab.modules, 2);
+        assert_eq!(cab.cabinets, 1);
+        // Four cabinets: 64 nodes, 1 GFLOPS, 64 MB, 8 disks.
+        let gflops = MachineCfg::cube(6).specs();
+        assert_eq!(gflops.nodes, 64);
+        assert_eq!(gflops.peak_mflops, 1024.0);
+        assert_eq!(gflops.memory_bytes, 64 << 20);
+        assert_eq!(gflops.disks, 8);
+        assert_eq!(gflops.cabinets, 4);
+        // Maximum: 12-cube, 4096 nodes, >65 GFLOPS, 4 GB, 256 cabinets.
+        let max = MachineCfg::cube(12).specs();
+        assert_eq!(max.nodes, 4096);
+        assert!(max.peak_mflops > 65_000.0);
+        assert_eq!(max.memory_bytes, 4 << 30);
+        assert_eq!(max.cabinets, 256);
+        assert_eq!(max.max_hops, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sublink budget")]
+    fn thirteen_cube_needs_io_sublinks() {
+        let _ = Machine::build(MachineCfg::cube_small_mem(13, 4));
+    }
+
+    #[test]
+    fn spmd_launch_runs_all_nodes() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        let handles = m.launch(|ctx| async move {
+            ctx.cp_compute(100).await;
+            ctx.id()
+        });
+        let r = m.run();
+        assert!(r.quiescent);
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.try_take(), Some(i as u32));
+        }
+        assert_eq!(m.metrics().get("cp.instrs"), 800);
+    }
+
+    #[test]
+    fn neighbors_exchange_over_every_dimension() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(4, 8));
+        let dim = 4;
+        let handles = m.launch(move |ctx| async move {
+            let mut sum = 0u64;
+            for d in 0..dim {
+                let me = ctx.id();
+                let h = ctx.handle().clone();
+                let c2 = ctx.clone();
+                let send =
+                    async move { c2.send_dim(d, vec![me]).await };
+                let c3 = ctx.clone();
+                let recv = async move { c3.recv_dim(d).await };
+                let (_, got) = ts_node::occam::par2(&h, send, recv).await;
+                assert_eq!(got[0], me ^ (1 << d));
+                sum += got[0] as u64;
+            }
+            sum
+        });
+        let r = m.run();
+        assert!(r.quiescent, "exchange deadlocked");
+        for (i, h) in handles.into_iter().enumerate() {
+            let want: u64 = (0..4u32).map(|d| (i as u32 ^ (1 << d)) as u64).sum();
+            assert_eq!(h.try_take(), Some(want));
+        }
+    }
+
+    #[test]
+    fn dimensions_share_physical_links() {
+        // In a 5-cube, dimensions 0 and 4 ride the same physical link
+        // (d mod 4): sending on both at once must serialize on the wire.
+        let mut m = Machine::build(MachineCfg::cube_small_mem(5, 8));
+        let ctx0 = m.ctx(0);
+        let h = m.handle();
+        m.launch_on(0, async move {
+            let c1 = ctx0.clone();
+            let c2 = ctx0.clone();
+            ts_node::occam::par2(
+                &h,
+                async move { c1.send_dim(0, vec![0u32; 256]).await },
+                async move { c2.send_dim(4, vec![0u32; 256]).await },
+            )
+            .await;
+        });
+        let ctx1 = m.ctx(1);
+        m.launch_on(1, async move {
+            ctx1.recv_dim(0).await;
+        });
+        let ctx16 = m.ctx(16);
+        m.launch_on(16, async move {
+            ctx16.recv_dim(4).await;
+        });
+        assert!(m.run().quiescent);
+        // Two 1 KB messages (2048 µs each on the wire) sharing node 0's
+        // link-0 engine: total ≥ 2 × 2048 µs.
+        assert!(m.now().as_us_f64() >= 4096.0, "{}", m.now());
+
+        // Same transfers on different physical links run in parallel.
+        let mut m2 = Machine::build(MachineCfg::cube_small_mem(5, 8));
+        let ctx0 = m2.ctx(0);
+        let h = m2.handle();
+        m2.launch_on(0, async move {
+            let c1 = ctx0.clone();
+            let c2 = ctx0.clone();
+            ts_node::occam::par2(
+                &h,
+                async move { c1.send_dim(0, vec![0u32; 256]).await },
+                async move { c2.send_dim(1, vec![0u32; 256]).await },
+            )
+            .await;
+        });
+        let ctx1 = m2.ctx(1);
+        m2.launch_on(1, async move {
+            ctx1.recv_dim(0).await;
+        });
+        let ctx2 = m2.ctx(2);
+        m2.launch_on(2, async move {
+            ctx2.recv_dim(1).await;
+        });
+        assert!(m2.run().quiescent);
+        assert!(m2.now().as_us_f64() < 4096.0);
+        assert!(m2.now() < m.now());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_memory() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        for (i, node) in m.nodes.iter().enumerate() {
+            node.mem_mut().write_word(10, 1000 + i as u32).unwrap();
+        }
+        let (images, snap_time) = m.snapshot();
+        assert_eq!(images.len(), 8);
+        assert!(snap_time > Dur::ZERO);
+        // Corrupt, then restore.
+        for node in &m.nodes {
+            node.mem_mut().write_word(10, 0).unwrap();
+        }
+        let restore_time = m.restore(&images);
+        assert!(restore_time > Dur::ZERO);
+        for (i, node) in m.nodes.iter().enumerate() {
+            assert_eq!(node.mem().read_word(10).unwrap(), 1000 + i as u32);
+        }
+    }
+
+    #[test]
+    fn snapshot_time_independent_of_machine_size() {
+        // §III: "It takes about 15 seconds to take a snapshot, regardless
+        // of configuration" — modules snapshot in parallel.
+        let t3 = {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(3, 16));
+            m.snapshot().1
+        };
+        let t5 = {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(5, 16));
+            m.snapshot().1
+        };
+        let ratio = t5.as_secs_f64() / t3.as_secs_f64();
+        assert!(ratio < 1.05, "snapshot should not grow with machine size: {ratio}");
+    }
+}

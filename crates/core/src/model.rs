@@ -1,0 +1,172 @@
+//! Closed-form performance models, cross-validated against the simulator.
+//!
+//! The architecture is simple enough (fixed link rate, fixed DMA startup,
+//! deterministic schedules) that collective costs have LogP-style closed
+//! forms. This module states them and the tests check the *simulator*
+//! against them — a second, independent derivation of every timing the
+//! benches report. Where the two disagree by more than the stated slack,
+//! one of them is wrong.
+//!
+//! Symbols: `o` = DMA startup (5 µs), `w` = wire time per 32-bit word
+//! (8 µs at 0.5 MB/s), `n` = cube dimension, `m` = message words.
+
+use ts_link::LinkParams;
+use ts_sim::Dur;
+
+/// The model's machine constants (derived from [`LinkParams`]).
+#[derive(Clone, Copy, Debug)]
+pub struct NetModel {
+    /// DMA startup per message.
+    pub o: Dur,
+    /// Wire occupancy per 32-bit word.
+    pub w: Dur,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::from_params(LinkParams::default())
+    }
+}
+
+impl NetModel {
+    /// Derive the model from link parameters.
+    pub fn from_params(p: LinkParams) -> NetModel {
+        NetModel { o: p.dma_startup, w: p.wire_time(4) }
+    }
+
+    /// One point-to-point message of `m` words between neighbours:
+    /// `o + m·w`.
+    pub fn p2p(&self, m: usize) -> Dur {
+        self.o + self.w * m as u64
+    }
+
+    /// Unpipelined binomial broadcast of `m` words on an `n`-cube:
+    /// the critical path is `n` successive neighbour messages —
+    /// `n · (o + m·w)`.
+    pub fn broadcast(&self, n: u32, m: usize) -> Dur {
+        self.p2p(m) * n as u64
+    }
+
+    /// Dimension-exchange all-reduce of `m` f64 values (2m words) on an
+    /// `n`-cube, ignoring the (overlapped-ish) combine cost:
+    /// `n · (o + 2m·w)`.
+    pub fn allreduce(&self, n: u32, m_f64: usize) -> Dur {
+        self.p2p(2 * m_f64) * n as u64
+    }
+
+    /// E-cube routed message over `h` hops, store-and-forward:
+    /// `h · (o + m·w)` plus per-hop routing decisions charged elsewhere.
+    pub fn routed(&self, h: u32, m: usize) -> Dur {
+        self.p2p(m) * h as u64
+    }
+
+    /// All-to-all personalized exchange (hypercube transpose schedule):
+    /// `n` steps each moving half the local data `D` (words):
+    /// `n · (o + (D/2)·w)`.
+    pub fn all_to_all(&self, n: u32, local_words: usize) -> Dur {
+        self.p2p(local_words / 2) * n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collectives, Machine, MachineCfg};
+    use ts_fpu::Sf64;
+    use ts_node::CombineOp;
+
+    fn within(measured: Dur, predicted: Dur, slack: f64) -> bool {
+        let m = measured.as_secs_f64();
+        let p = predicted.as_secs_f64();
+        (m - p).abs() <= p * slack
+    }
+
+    #[test]
+    fn constants_from_link_params() {
+        let net = NetModel::default();
+        assert_eq!(net.o, Dur::us(5));
+        assert_eq!(net.w, Dur::us(8));
+        assert_eq!(net.p2p(64), Dur::us(5 + 512));
+    }
+
+    #[test]
+    fn broadcast_matches_model() {
+        let net = NetModel::default();
+        for (dim, words) in [(2u32, 64usize), (3, 64), (4, 256), (5, 16)] {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let cube = m.cube;
+            m.launch(move |ctx| async move {
+                let data = (ctx.id() == 0).then(|| vec![0u32; words]);
+                collectives::broadcast(&ctx, cube, 0, data).await;
+            });
+            assert!(m.run().quiescent);
+            let measured = m.now().since(ts_sim::Time::ZERO);
+            let predicted = net.broadcast(dim, words);
+            assert!(
+                within(measured, predicted, 0.05),
+                "broadcast dim {dim}, {words}w: measured {measured}, model {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn allreduce_close_to_model() {
+        // The combine (vector-unit) time is not in the model; allow slack
+        // that shrinks as messages grow.
+        let net = NetModel::default();
+        for (dim, m_f64) in [(3u32, 128usize), (4, 256)] {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let cube = m.cube;
+            m.launch(move |ctx| async move {
+                let mine = vec![Sf64::from(1.0); m_f64];
+                collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await;
+            });
+            assert!(m.run().quiescent);
+            let measured = m.now().since(ts_sim::Time::ZERO);
+            let predicted = net.allreduce(dim, m_f64);
+            assert!(
+                measured >= predicted,
+                "simulation can't beat the lower bound: {measured} vs {predicted}"
+            );
+            assert!(
+                within(measured, predicted, 0.25),
+                "allreduce dim {dim}, {m_f64} f64: measured {measured}, model {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_message_matches_model() {
+        use crate::router::Router;
+        let net = NetModel::default();
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        let router = Router::start(&m);
+        let h0 = router.handle(0);
+        let h7 = router.handle(7);
+        let jh = m.handle().spawn(async move {
+            let t0 = h7.ctx().now();
+            h0.send_to(7, vec![0u32; 61]).await; // 61 + 3 header = 64 words
+            h7.recv().await;
+            let dt = h7.ctx().now().since(t0);
+            router.shutdown().await;
+            dt
+        });
+        assert!(m.run().quiescent);
+        let measured = jh.try_take().unwrap();
+        let predicted = net.routed(3, 64);
+        // Router adds CP routing charges and the loopback hop; allow 10%.
+        assert!(
+            within(measured, predicted, 0.10),
+            "routed 3 hops: measured {measured}, model {predicted}"
+        );
+    }
+
+    #[test]
+    fn all_to_all_closed_form() {
+        // The kernels crate's transpose test pins the measured traffic;
+        // here we pin the closed form itself.
+        let net = NetModel::default();
+        let t = net.all_to_all(3, 320);
+        assert_eq!(t, (Dur::us(5) + Dur::us(8) * 160) * 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! Store-and-forward message routing between **arbitrary** node pairs.
+//!
+//! The collectives and kernels communicate only between cube neighbours;
+//! general message passing (the Cosmic Cube style the paper cites as its
+//! lineage, refs. 7–8) needs intermediate nodes to forward. This module runs a
+//! **router daemon** as an Occam process on every node:
+//!
+//! * programs inject messages through a zero-latency loopback sublink (on
+//!   the hardware this is a memory handoff to the kernel process);
+//! * the daemon `ALT`s over the loopback and every cube dimension;
+//! * non-local messages are forwarded along the **e-cube** dimension (the
+//!   lowest set bit of `here XOR dst`), which is deadlock-free because the
+//!   dimension sequence increases monotonically along every route;
+//! * each hop pays the real link time plus a small control-processor
+//!   routing charge.
+//!
+//! Shutdown is itself routed: poison messages visit nodes in decreasing
+//! address order, so every intermediate a poison needs is still alive
+//! (e-cube intermediates are strict submasks of the destination).
+
+use ts_cube::Hypercube;
+use ts_link::{LinkChannel, LinkParams, Wire};
+use ts_node::NodeCtx;
+use ts_sim::{Dur, JoinHandle, Mailbox};
+
+use crate::Machine;
+
+/// Control-processor instructions charged per routing decision.
+const ROUTE_CP_INSTRS: u64 = 12;
+
+const KIND_DATA: u32 = 0;
+const KIND_POISON: u32 = 1;
+
+/// Per-node endpoint for routed messaging.
+#[derive(Clone)]
+pub struct RouterHandle {
+    me: u32,
+    ctx: NodeCtx,
+    inject: LinkChannel,
+    deliver: Mailbox<(u32, Vec<u32>)>,
+    daemon: std::rc::Rc<JoinHandle<u64>>,
+}
+
+impl RouterHandle {
+    /// Send `payload` to node `dst` (any node, any distance). Completes
+    /// when the message has left this node.
+    pub async fn send_to(&self, dst: u32, payload: Vec<u32>) {
+        let mut frame = Vec::with_capacity(payload.len() + 3);
+        frame.push(dst);
+        frame.push(self.me);
+        frame.push(KIND_DATA);
+        frame.extend_from_slice(&payload);
+        self.inject.send(self.ctx.handle(), frame).await;
+    }
+
+    /// Receive the next message delivered to this node: `(source, payload)`.
+    pub async fn recv(&self) -> (u32, Vec<u32>) {
+        self.deliver.recv().await
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(u32, Vec<u32>)> {
+        self.deliver.try_recv()
+    }
+
+    /// The node context behind this endpoint (clock access etc.).
+    pub fn ctx(&self) -> &NodeCtx {
+        &self.ctx
+    }
+}
+
+/// The running router fabric: one daemon per node.
+pub struct Router {
+    handles: Vec<RouterHandle>,
+    cube: Hypercube,
+}
+
+impl Router {
+    /// Spawn router daemons on every node of the machine.
+    pub fn start(machine: &Machine) -> Router {
+        let cube = machine.cube;
+        // Loopback params: injection is a memory handoff, not a wire — give
+        // it a line rate fast enough to be negligible (1 Gbit/s, no DMA
+        // startup beyond 1 ns).
+        let loop_params = LinkParams {
+            bit_rate: 1_000_000_000,
+            frame_bits: 8,
+            ack_bits: 0,
+            turnaround_bits: 0,
+            dma_startup: Dur::ns(1),
+        };
+        let mut handles = Vec::with_capacity(machine.nodes.len());
+        for node in &machine.nodes {
+            let ctx = node.ctx();
+            let inject = LinkChannel::new(Wire::new("router.loopback", loop_params));
+            let deliver = Mailbox::new();
+            let daemon_ctx = ctx.clone();
+            let daemon_inject = inject.clone();
+            let daemon_deliver = deliver.clone();
+            let daemon = ctx.handle().spawn(daemon(
+                daemon_ctx,
+                cube,
+                daemon_inject,
+                daemon_deliver,
+            ));
+            handles.push(RouterHandle {
+                me: node.id,
+                ctx,
+                inject,
+                deliver,
+                daemon: std::rc::Rc::new(daemon),
+            });
+        }
+        Router { handles, cube }
+    }
+
+    /// This node's endpoint.
+    pub fn handle(&self, node: u32) -> RouterHandle {
+        self.handles[node as usize].clone()
+    }
+
+    /// Stop every daemon by routing poison to each node, highest address
+    /// first (host task; await it before expecting quiescence).
+    pub async fn shutdown(self) -> u64 {
+        let cube = self.cube;
+        // Poison from node 0's injection port, farthest first. A poison to
+        // node k only transits strict submasks of k, which are poisoned
+        // later, so every forwarder is still alive.
+        let h0 = self.handles[0].clone();
+        for dst in (0..cube.nodes()).rev() {
+            let frame = vec![dst, 0, KIND_POISON];
+            h0.inject.send(h0.ctx.handle(), frame).await;
+        }
+        // Collect forwarding counts.
+        let mut total = 0;
+        for h in &self.handles {
+            // The daemon finishes once its poison arrives.
+            while !h.daemon.is_finished() {
+                h.ctx.handle().sleep(Dur::us(100)).await;
+            }
+            total += h.daemon.try_take().unwrap_or(0);
+        }
+        total
+    }
+}
+
+/// The per-node router daemon. Returns the number of messages forwarded.
+async fn daemon(
+    ctx: NodeCtx,
+    cube: Hypercube,
+    inject: LinkChannel,
+    deliver: Mailbox<(u32, Vec<u32>)>,
+) -> u64 {
+    let me = ctx.id();
+    let mut forwarded = 0u64;
+    loop {
+        // ALT over the loopback injection port and every cube dimension.
+        let dims: Vec<usize> = (0..cube.dim() as usize).collect();
+        let frame = alt_inject_or_dims(&ctx, &inject, &dims).await;
+        let dst = frame[0];
+        let src = frame[1];
+        let kind = frame[2];
+        ctx.cp_compute(ROUTE_CP_INSTRS).await;
+        if dst == me {
+            match kind {
+                KIND_POISON => return forwarded,
+                _ => deliver.send((src, frame[3..].to_vec())),
+            }
+        } else {
+            // Forward asynchronously: a daemon blocked in a rendezvous
+            // send could not keep receiving, and two daemons sending to
+            // each other would deadlock (e-cube only guarantees freedom
+            // from *cyclic* waits given output buffering, which this
+            // models — the hardware's DMA engines are exactly that).
+            let d = (me ^ dst).trailing_zeros() as usize;
+            let fwd = ctx.clone();
+            ctx.handle().spawn(async move {
+                fwd.send_dim(d, frame).await;
+            });
+            forwarded += 1;
+        }
+    }
+}
+
+/// ALT over the loopback channel plus the incoming cube dimensions.
+async fn alt_inject_or_dims(
+    ctx: &NodeCtx,
+    inject: &LinkChannel,
+    dims: &[usize],
+) -> Vec<u32> {
+    // Build the channel list: loopback first (priority), then each dim.
+    let mut chans: Vec<LinkChannel> = Vec::with_capacity(dims.len() + 1);
+    chans.push(inject.clone());
+    for &d in dims {
+        chans.push(ctx.in_channel(d));
+    }
+    let refs: Vec<&LinkChannel> = chans.iter().collect();
+    let (_idx, words) = ts_link::alt_recv(ctx.handle(), &refs).await;
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineCfg;
+
+    #[test]
+    fn point_to_point_across_the_cube() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        let router = Router::start(&m);
+        let h0 = router.handle(0);
+        let h7 = router.handle(7);
+        let done = m.handle().spawn(async move {
+            h0.send_to(7, vec![1, 2, 3]).await;
+            let (src, data) = h7.recv().await;
+            router.shutdown().await;
+            (src, data)
+        });
+        let r = m.run();
+        assert!(r.quiescent, "router did not shut down cleanly");
+        assert_eq!(done.try_take(), Some((0, vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        // 1-hop vs 3-hop delivery of the same payload.
+        let time_for = |dst: u32| {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+            let router = Router::start(&m);
+            let h0 = router.handle(0);
+            let hd = router.handle(dst);
+            let jh = m.handle().spawn(async move {
+                let t0 = hd.ctx.now();
+                h0.send_to(dst, vec![0u32; 64]).await;
+                hd.recv().await;
+                let dt = hd.ctx.now().since(t0);
+                router.shutdown().await;
+                dt
+            });
+            assert!(m.run().quiescent);
+            jh.try_take().unwrap()
+        };
+        let one_hop = time_for(1);
+        let three_hops = time_for(7);
+        let ratio = three_hops.as_secs_f64() / one_hop.as_secs_f64();
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "3 hops should cost ~3x one hop: {ratio} ({one_hop} vs {three_hops})"
+        );
+    }
+
+    #[test]
+    fn random_all_to_all_delivers_everything() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        let router = Router::start(&m);
+        let n = 8u32;
+        // Every node sends one tagged message to every other node.
+        let mut workers = Vec::new();
+        for i in 0..n {
+            let h = router.handle(i);
+            let sender = m.handle().spawn({
+                let h = h.clone();
+                async move {
+                    for j in 0..n {
+                        if j != i {
+                            h.send_to(j, vec![i * 1000 + j]).await;
+                        }
+                    }
+                }
+            });
+            let recvr = m.handle().spawn(async move {
+                let mut got = Vec::new();
+                for _ in 0..n - 1 {
+                    let (src, data) = h.recv().await;
+                    got.push((src, data[0]));
+                }
+                got.sort_unstable();
+                got
+            });
+            workers.push((i, sender, recvr));
+        }
+        let closer = m.handle().spawn(async move {
+            let mut results = Vec::new();
+            for (i, s, r) in workers {
+                s.await;
+                results.push((i, r.await));
+            }
+            router.shutdown().await;
+            results
+        });
+        let rep = m.run();
+        assert!(rep.quiescent, "all-to-all did not terminate");
+        let results = closer.try_take().unwrap();
+        for (i, got) in results {
+            let want: Vec<(u32, u32)> =
+                (0..n).filter(|&j| j != i).map(|j| (j, j * 1000 + i)).collect();
+            assert_eq!(got, want, "node {i}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Instruction encoding: the stack machine's direct functions and operations.
+//!
+//! Every instruction is one byte: a 4-bit **function** and a 4-bit
+//! **data** nibble. The data nibble loads into the operand register
+//! (`Oreg`); `pfix`/`nfix` shift it up so operands of any size build up a
+//! nibble at a time — the paper's "variable operand sizes". `opr` executes
+//! the operation selected by `Oreg`, so the secondary instruction set is
+//! open-ended.
+
+use ts_sim::Dur;
+
+/// One processor cycle. The paper's 7.5 MIPS with a predominantly
+/// 2-cycle instruction mix implies a 15 MHz clock: 66.667 ns ≈ 66 667 ps.
+pub const CP_CYCLE: Dur = Dur::ps(66_667);
+
+/// The sixteen direct functions (the 4-bit primary opcodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Direct {
+    /// Unconditional relative jump.
+    J = 0x0,
+    /// Load local pointer: A = Wptr + Oreg (word address).
+    Ldlp = 0x1,
+    /// Prefix: Oreg = (Oreg | data) << 4.
+    Pfix = 0x2,
+    /// Load non-local: `A = mem[A + Oreg]`.
+    Ldnl = 0x3,
+    /// Load constant: push Oreg.
+    Ldc = 0x4,
+    /// Load non-local pointer: A = A + Oreg.
+    Ldnlp = 0x5,
+    /// Negative prefix: Oreg = (~(Oreg | data)) << 4.
+    Nfix = 0x6,
+    /// Load local: push `mem[Wptr + Oreg]`.
+    Ldl = 0x7,
+    /// Add constant: A += Oreg.
+    Adc = 0x8,
+    /// Call: push Iptr into workspace, jump relative.
+    Call = 0x9,
+    /// Conditional jump: if A == 0 jump (and pop); else pop.
+    Cj = 0xa,
+    /// Adjust workspace: Wptr += Oreg.
+    Ajw = 0xb,
+    /// Equals constant: A = (A == Oreg).
+    Eqc = 0xc,
+    /// Store local: `mem[Wptr + Oreg] = pop`.
+    Stl = 0xd,
+    /// Store non-local: `mem[pop] = pop`.
+    Stnl = 0xe,
+    /// Operate: execute the operation selected by Oreg.
+    Opr = 0xf,
+}
+
+impl Direct {
+    /// Decode the function nibble.
+    pub fn from_nibble(n: u8) -> Direct {
+        match n & 0xf {
+            0x0 => Direct::J,
+            0x1 => Direct::Ldlp,
+            0x2 => Direct::Pfix,
+            0x3 => Direct::Ldnl,
+            0x4 => Direct::Ldc,
+            0x5 => Direct::Ldnlp,
+            0x6 => Direct::Nfix,
+            0x7 => Direct::Ldl,
+            0x8 => Direct::Adc,
+            0x9 => Direct::Call,
+            0xa => Direct::Cj,
+            0xb => Direct::Ajw,
+            0xc => Direct::Eqc,
+            0xd => Direct::Stl,
+            0xe => Direct::Stnl,
+            _ => Direct::Opr,
+        }
+    }
+}
+
+/// Secondary operations (selected by `Oreg` when executing [`Direct::Opr`]).
+///
+/// Numbering is ours (the paper does not publish one); names and semantics
+/// follow the classic stack-machine set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Swap A and B.
+    Rev = 0x00,
+    /// A = B + A.
+    Add = 0x01,
+    /// A = B − A.
+    Sub = 0x02,
+    /// A = B · A (32-bit wrapping).
+    Mul = 0x03,
+    /// A = B / A (signed; yields error on 0).
+    Div = 0x04,
+    /// A = B mod A.
+    Rem = 0x05,
+    /// Bitwise and.
+    And = 0x06,
+    /// Bitwise or.
+    Or = 0x07,
+    /// Bitwise xor.
+    Xor = 0x08,
+    /// Bitwise complement of A.
+    Not = 0x09,
+    /// A = B << A.
+    Shl = 0x0a,
+    /// A = B >> A (logical).
+    Shr = 0x0b,
+    /// A = (B > A), signed.
+    Gt = 0x0c,
+    /// A = B − A with no stack pop of C (pointer difference).
+    Diff = 0x0d,
+    /// A = B + A unsigned with carry discarded (pointer sum).
+    Sum = 0x0e,
+    /// Duplicate A.
+    Dup = 0x0f,
+    /// Pop A.
+    Pop = 0x10,
+    /// Word subscript: A = B + 4·A (byte address arithmetic).
+    Wsub = 0x11,
+    /// Minimum integer: push i32::MIN.
+    Mint = 0x12,
+    /// Return from call.
+    Ret = 0x13,
+    /// Loop end: decrement the counter at `mem[B]`; jump back by A while > 0.
+    Lend = 0x14,
+    /// Channel input: receive `A` words into pointer `B` from channel `C`.
+    In = 0x15,
+    /// Channel output: send `A` words from pointer `B` to channel `C`.
+    Out = 0x16,
+    /// Issue a vector form to the arithmetic controller; A points at a
+    /// 4-word descriptor (form, x_row, y_row, z_row) and B holds n.
+    VecOp = 0x17,
+    /// Stop the processor (end of program).
+    Halt = 0x18,
+}
+
+impl Op {
+    /// Decode an operation number.
+    pub fn from_u32(v: u32) -> Option<Op> {
+        use Op::*;
+        Some(match v {
+            0x00 => Rev,
+            0x01 => Add,
+            0x02 => Sub,
+            0x03 => Mul,
+            0x04 => Div,
+            0x05 => Rem,
+            0x06 => And,
+            0x07 => Or,
+            0x08 => Xor,
+            0x09 => Not,
+            0x0a => Shl,
+            0x0b => Shr,
+            0x0c => Gt,
+            0x0d => Diff,
+            0x0e => Sum,
+            0x0f => Dup,
+            0x10 => Pop,
+            0x11 => Wsub,
+            0x12 => Mint,
+            0x13 => Ret,
+            0x14 => Lend,
+            0x15 => In,
+            0x16 => Out,
+            0x17 => VecOp,
+            0x18 => Halt,
+            _ => return None,
+        })
+    }
+
+    /// Processor cycles consumed by the operation (beyond the 1-cycle
+    /// fetch/decode). Calibrated to the published machine character:
+    /// multiply and divide are many-cycle, memory-free ALU ops are 1.
+    pub fn cycles(self) -> u64 {
+        use Op::*;
+        match self {
+            Mul => 26,
+            Div | Rem => 39,
+            Lend => 5,
+            In | Out => 10,  // channel setup before the DMA engine takes over
+            VecOp => 8,      // write descriptor to the arithmetic controller
+            Ret => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// Cycles for a direct function (beyond fetch/decode), given whether the
+/// touched memory is the on-chip 2 KB (single cycle) or off-chip DRAM
+/// (the paper's 3-cycle minimum; 6 cycles ≈ 400 ns for a random DRAM word).
+pub fn direct_cycles(d: Direct, on_chip: bool) -> u64 {
+    let mem = if on_chip { 1 } else { 6 };
+    match d {
+        Direct::Ldl | Direct::Stl | Direct::Ldnl | Direct::Stnl => mem,
+        Direct::Call => 4,
+        Direct::J | Direct::Cj => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_roundtrip() {
+        for n in 0..16u8 {
+            assert_eq!(Direct::from_nibble(n) as u8, n);
+        }
+    }
+
+    #[test]
+    fn op_roundtrip() {
+        for v in 0..=0x18u32 {
+            let op = Op::from_u32(v).unwrap();
+            assert_eq!(op as u32, v);
+        }
+        assert_eq!(Op::from_u32(0x99), None);
+    }
+
+    #[test]
+    fn cycle_calibration() {
+        // 15 MHz clock: 2 cycles ≈ 133 ns → 7.5 MIPS.
+        let two = CP_CYCLE * 2;
+        let mips = 1.0 / (two.as_secs_f64() * 1e6);
+        assert!((mips - 7.5).abs() < 0.01, "{mips}");
+        // Off-chip access ≈ 400 ns: 6 cycles.
+        let access = CP_CYCLE * 6;
+        assert!((access.as_secs_f64() * 1e9 - 400.0).abs() < 1.0);
+        // Multiply and divide are long operations.
+        assert!(Op::Mul.cycles() > 20);
+        assert!(Op::Div.cycles() > Op::Mul.cycles());
+    }
+}

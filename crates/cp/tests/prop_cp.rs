@@ -1,0 +1,171 @@
+//! Property tests for the control processor: encoding round-trips and
+//! random straight-line programs against host arithmetic.
+
+use proptest::prelude::*;
+use ts_cp::{assemble, emu::load_code, Cp, StepOutcome};
+
+/// Run a program and return workspace slot 0.
+fn run_program(src: &str) -> Result<u32, ts_cp::CpError> {
+    let code = assemble(src).expect("assembly failed");
+    let mut mem = vec![0u32; 8192];
+    load_code(&mut mem, 4096, &code)?;
+    let mut cp = Cp::new(4096, 256);
+    match cp.run(&mut mem, 1_000_000)? {
+        StepOutcome::Halted => Ok(mem[256]),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+proptest! {
+    /// ldc of any i32 round-trips through the prefix encoding.
+    #[test]
+    fn ldc_any_constant(v in any::<i32>()) {
+        let got = run_program(&format!("ldc {v}\nstl 0\nhalt\n")).unwrap();
+        prop_assert_eq!(got as i32, v);
+    }
+
+    /// Binary ALU operations match host semantics.
+    #[test]
+    fn alu_matches_host(a in any::<i32>(), b in any::<i32>(), op in 0usize..9) {
+        let (name, host): (&str, fn(i32, i32) -> Option<i32>) = match op {
+            0 => ("add", |x, y| Some(x.wrapping_add(y))),
+            1 => ("sub", |x, y| Some(x.wrapping_sub(y))),
+            2 => ("mul", |x, y| Some(x.wrapping_mul(y))),
+            3 => ("div", |x, y| (y != 0).then(|| x.wrapping_div(y))),
+            4 => ("rem", |x, y| (y != 0).then(|| x.wrapping_rem(y))),
+            5 => ("and", |x, y| Some(x & y)),
+            6 => ("or", |x, y| Some(x | y)),
+            7 => ("xor", |x, y| Some(x ^ y)),
+            _ => ("gt", |x, y| Some((x > y) as i32)),
+        };
+        // Stack order: push a, push b, then OP computes `a OP b`
+        // (B OP A with A = b on top).
+        let src = format!("ldc {a}\nldc {b}\n{name}\nstl 0\nhalt\n");
+        match host(a, b) {
+            Some(want) => {
+                let got = run_program(&src).unwrap();
+                prop_assert_eq!(got as i32, want, "{} {} {}", a, name, b);
+            }
+            None => {
+                prop_assert!(matches!(run_program(&src), Err(ts_cp::CpError::DivByZero)));
+            }
+        }
+    }
+
+    /// adc (add constant) on random values.
+    #[test]
+    fn adc_matches_host(a in any::<i32>(), k in any::<i32>()) {
+        let got = run_program(&format!("ldc {a}\nadc {k}\nstl 0\nhalt\n")).unwrap();
+        prop_assert_eq!(got as i32, a.wrapping_add(k));
+    }
+
+    /// Shifts with in-range counts.
+    #[test]
+    fn shifts_match_host(a in any::<u32>(), s in 0u32..32) {
+        let shl = run_program(&format!("ldc {}\nldc {s}\nshl\nstl 0\nhalt\n", a as i32)).unwrap();
+        prop_assert_eq!(shl, a.wrapping_shl(s));
+        let shr = run_program(&format!("ldc {}\nldc {s}\nshr\nstl 0\nhalt\n", a as i32)).unwrap();
+        prop_assert_eq!(shr, a.wrapping_shr(s));
+    }
+
+    /// A counted loop executes exactly n iterations for any small n.
+    #[test]
+    fn counted_loop(n in 1u32..500) {
+        let src = format!(
+            "ldc 0\nstl 0\nldc {n}\nstl 1\n\
+             loop:\nldl 0\nadc 1\nstl 0\nldl 1\nadc -1\nstl 1\nldl 1\neqc 0\ncj loop\nhalt\n"
+        );
+        prop_assert_eq!(run_program(&src).unwrap(), n);
+    }
+
+    /// Random local-variable traffic: a store/load shuffle preserves values.
+    #[test]
+    fn workspace_traffic(vals in prop::collection::vec(any::<i32>(), 1..12)) {
+        let mut src = String::new();
+        for (i, v) in vals.iter().enumerate() {
+            src.push_str(&format!("ldc {v}\nstl {i}\n"));
+        }
+        // Sum them all back into slot 0.
+        src.push_str("ldc 0\n");
+        for i in 0..vals.len() {
+            src.push_str(&format!("ldl {i}\nadd\n"));
+        }
+        src.push_str("stl 0\nhalt\n");
+        let want = vals.iter().fold(0i32, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(run_program(&src).unwrap() as i32, want);
+    }
+
+    /// Disassembling any assembled program and reassembling the listing
+    /// reproduces the bytes exactly.
+    #[test]
+    fn disasm_roundtrip(consts in prop::collection::vec(any::<i32>(), 1..20)) {
+        let mut src = String::new();
+        for (i, v) in consts.iter().enumerate() {
+            src.push_str(&format!("ldc {v}\nstl {}\n", i % 16));
+        }
+        src.push_str("halt\n");
+        let code = assemble(&src).unwrap();
+        let text: String = ts_cp::disasm::disassemble(&code)
+            .iter()
+            .map(|d| format!("{}\n", d.insn))
+            .collect();
+        let code2 = assemble(&text).unwrap();
+        prop_assert_eq!(code, code2);
+    }
+
+    /// Random `occ` expression trees evaluate exactly like host i32
+    /// arithmetic (wrapping, C-style truncating division).
+    #[test]
+    fn occ_expressions_match_host(ops in prop::collection::vec((0usize..6, -50i32..50), 1..12), seed in any::<i32>()) {
+        // Build a left-leaning expression with random operators and
+        // operands, avoiding division by zero syntactically.
+        let mut src = format!("x := {seed};\n");
+        let mut expected = seed;
+        for (op, raw) in ops {
+            let (sym, val): (&str, i32) = match op {
+                0 => ("+", raw),
+                1 => ("-", raw),
+                2 => ("*", raw % 7),
+                3 => ("/", if raw.abs() % 9 == 0 { 3 } else { raw.abs() % 9 }),
+                4 => ("&", raw),
+                _ => ("^", raw),
+            };
+            src.push_str(&format!("x := x {sym} {val};\n"));
+            expected = match sym {
+                "+" => expected.wrapping_add(val),
+                "-" => expected.wrapping_sub(val),
+                "*" => expected.wrapping_mul(val),
+                "/" => expected.wrapping_div(val),
+                "&" => expected & val,
+                _ => expected ^ val,
+            };
+        }
+        let c = ts_cp::occ::compile(&src).unwrap();
+        let mut mem = vec![0u32; 16384];
+        load_code(&mut mem, 8192, &c.code).unwrap();
+        let mut cp = Cp::new(8192, 256);
+        cp.run(&mut mem, 10_000_000).unwrap();
+        prop_assert_eq!(mem[256 + c.vars["x"]] as i32, expected);
+    }
+
+    /// The timing model stays in a plausible MIPS band for arbitrary
+    /// ALU-heavy programs (no memory-free program can be slower than the
+    /// divide-bound floor or faster than 1 cycle/instruction).
+    #[test]
+    fn mips_band(ops in prop::collection::vec(0usize..5, 10..100)) {
+        let mut src = String::from("ldc 1\n");
+        for &o in &ops {
+            let name = ["dup", "not", "mint", "dup\nadd", "dup\nxor"][o];
+            src.push_str(name);
+            src.push('\n');
+        }
+        src.push_str("stl 0\nhalt\n");
+        let code = assemble(&src).unwrap();
+        let mut mem = vec![0u32; 8192];
+        load_code(&mut mem, 4096, &code).unwrap();
+        let mut cp = Cp::new(4096, 256);
+        cp.run(&mut mem, 1_000_000).unwrap();
+        let mips = cp.mips();
+        prop_assert!(mips > 1.0 && mips <= 15.0, "mips = {}", mips);
+    }
+}

@@ -1,0 +1,336 @@
+//! Figure 3: mapping application topologies onto the binary n-cube.
+//!
+//! "The binary n-cube can be mapped onto many important applications
+//! topologies, including meshes (up to dimension n), rings, cylinders,
+//! toroids, and even FFT butterfly connections of radix 2" (§III).
+//!
+//! Every constructor here produces a **dilation-1** embedding: each logical
+//! edge of the guest topology lands on a physical cube edge, so neighbour
+//! communication never pays multi-hop routing. The `dilation()` methods
+//! recompute that property from scratch — they are the checked reproduction
+//! of Figure 3.
+//!
+//! Rings and toroids use the *reflected Gray code* (cyclic: the last and
+//! first codewords also differ in one bit). Meshes use one Gray-coded bit
+//! field per axis. Sides must be powers of two — the natural machine sizes;
+//! the paper's machines are always power-of-two shaped.
+
+use crate::{gray, gray_inv, Hypercube, NodeId};
+
+/// Ring of 2ⁿ positions on an n-cube, position `p` ↦ node `gray(p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct RingEmbedding {
+    cube: Hypercube,
+}
+
+impl RingEmbedding {
+    /// Embed a ring spanning the entire cube.
+    pub fn new(cube: Hypercube) -> RingEmbedding {
+        RingEmbedding { cube }
+    }
+
+    /// Ring length (= node count).
+    pub fn len(&self) -> u32 {
+        self.cube.nodes()
+    }
+
+    /// True only for the degenerate 0-cube.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Node hosting ring position `pos`.
+    pub fn node_at(&self, pos: u32) -> NodeId {
+        debug_assert!(pos < self.len());
+        gray(pos)
+    }
+
+    /// Ring position hosted by `node`.
+    pub fn pos_of(&self, node: NodeId) -> u32 {
+        gray_inv(node)
+    }
+
+    /// Successor node around the ring.
+    pub fn next(&self, node: NodeId) -> NodeId {
+        self.node_at((self.pos_of(node) + 1) % self.len())
+    }
+
+    /// Predecessor node around the ring.
+    pub fn prev(&self, node: NodeId) -> NodeId {
+        self.node_at((self.pos_of(node) + self.len() - 1) % self.len())
+    }
+
+    /// Maximum cube distance across any ring edge (1 for a correct
+    /// embedding; the wrap edge is covered because the Gray code is cyclic).
+    pub fn dilation(&self) -> u32 {
+        let n = self.len();
+        (0..n)
+            .map(|p| self.cube.distance(self.node_at(p), self.node_at((p + 1) % n)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A k-dimensional mesh (or torus) with power-of-two sides, one Gray-coded
+/// bit field per axis. Axis 0 occupies the lowest-order bits.
+#[derive(Clone, Debug)]
+pub struct MeshEmbedding {
+    cube: Hypercube,
+    /// log₂ of each side length.
+    bits: Vec<u32>,
+    /// Cumulative bit offsets per axis.
+    offsets: Vec<u32>,
+}
+
+impl MeshEmbedding {
+    /// Embed a mesh with sides `2^bits[0] × 2^bits[1] × …`; the bit widths
+    /// must sum to the cube dimension (the mesh uses the whole machine).
+    /// Panics otherwise.
+    pub fn new(cube: Hypercube, bits: &[u32]) -> MeshEmbedding {
+        let total: u32 = bits.iter().sum();
+        assert_eq!(
+            total,
+            cube.dim(),
+            "mesh axis widths must sum to the cube dimension"
+        );
+        let mut offsets = Vec::with_capacity(bits.len());
+        let mut off = 0;
+        for &b in bits {
+            offsets.push(off);
+            off += b;
+        }
+        MeshEmbedding { cube, bits: bits.to_vec(), offsets }
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Side length along `axis`.
+    pub fn side(&self, axis: usize) -> u32 {
+        1 << self.bits[axis]
+    }
+
+    /// Node hosting the mesh coordinate `coords`.
+    pub fn node_at(&self, coords: &[u32]) -> NodeId {
+        debug_assert_eq!(coords.len(), self.rank());
+        let mut node = 0;
+        for (axis, &c) in coords.iter().enumerate() {
+            debug_assert!(c < self.side(axis));
+            node |= gray(c) << self.offsets[axis];
+        }
+        node
+    }
+
+    /// Mesh coordinate hosted by `node`.
+    pub fn coords_of(&self, node: NodeId) -> Vec<u32> {
+        self.bits
+            .iter()
+            .zip(&self.offsets)
+            .map(|(&b, &off)| gray_inv((node >> off) & ((1 << b) - 1)))
+            .collect()
+    }
+
+    /// Neighbour one step along `axis` (+1 or −1); `None` at a mesh face.
+    pub fn step(&self, coords: &[u32], axis: usize, forward: bool) -> Option<Vec<u32>> {
+        let mut c = coords.to_vec();
+        if forward {
+            if c[axis] + 1 >= self.side(axis) {
+                return None;
+            }
+            c[axis] += 1;
+        } else {
+            c[axis] = c[axis].checked_sub(1)?;
+        }
+        Some(c)
+    }
+
+    /// Neighbour one step along `axis` with wrap-around (torus edge).
+    pub fn step_wrap(&self, coords: &[u32], axis: usize, forward: bool) -> Vec<u32> {
+        let side = self.side(axis);
+        let mut c = coords.to_vec();
+        c[axis] = if forward { (c[axis] + 1) % side } else { (c[axis] + side - 1) % side };
+        c
+    }
+
+    /// Maximum cube distance across any *mesh* edge (no wrap).
+    pub fn dilation(&self) -> u32 {
+        self.edge_dilation(false)
+    }
+
+    /// Maximum cube distance across any *torus* edge (with wrap).
+    /// The cyclic Gray code keeps this at 1 too — the paper's "toroids".
+    pub fn torus_dilation(&self) -> u32 {
+        self.edge_dilation(true)
+    }
+
+    fn edge_dilation(&self, wrap: bool) -> u32 {
+        let mut worst = 0;
+        for node in self.cube.iter() {
+            let coords = self.coords_of(node);
+            for axis in 0..self.rank() {
+                let nb = if wrap {
+                    Some(self.step_wrap(&coords, axis, true))
+                } else {
+                    self.step(&coords, axis, true)
+                };
+                if let Some(nb) = nb {
+                    let d = self.cube.distance(node, self.node_at(&nb));
+                    worst = worst.max(d);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// The radix-2 FFT butterfly network of 2ⁿ points on an n-cube: at stage
+/// `s`, point `i` exchanges with point `i XOR 2^s` — under the identity
+/// placement each exchange is exactly one cube edge.
+#[derive(Clone, Copy, Debug)]
+pub struct FftEmbedding {
+    cube: Hypercube,
+}
+
+impl FftEmbedding {
+    /// Embed the log₂(p)-stage butterfly on the whole cube.
+    pub fn new(cube: Hypercube) -> FftEmbedding {
+        FftEmbedding { cube }
+    }
+
+    /// Number of butterfly stages (= cube dimension).
+    pub fn stages(&self) -> u32 {
+        self.cube.dim()
+    }
+
+    /// The exchange partner of `node` at `stage`.
+    pub fn partner(&self, node: NodeId, stage: u32) -> NodeId {
+        debug_assert!(stage < self.stages());
+        node ^ (1 << stage)
+    }
+
+    /// Maximum cube distance of any butterfly exchange: 1 by construction,
+    /// recomputed here as the checked claim.
+    pub fn dilation(&self) -> u32 {
+        let mut worst = 0;
+        for node in self.cube.iter() {
+            for s in 0..self.stages() {
+                worst = worst.max(self.cube.distance(node, self.partner(node, s)));
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_dilation_one_including_wrap() {
+        for dim in 1..=8 {
+            let r = RingEmbedding::new(Hypercube::new(dim));
+            assert_eq!(r.dilation(), 1, "ring on {dim}-cube");
+        }
+    }
+
+    #[test]
+    fn ring_positions_roundtrip() {
+        let r = RingEmbedding::new(Hypercube::new(6));
+        for p in 0..r.len() {
+            assert_eq!(r.pos_of(r.node_at(p)), p);
+        }
+        // next/prev are inverses and single hops.
+        let c = Hypercube::new(6);
+        for node in c.iter() {
+            assert_eq!(r.prev(r.next(node)), node);
+            assert_eq!(c.distance(node, r.next(node)), 1);
+        }
+    }
+
+    #[test]
+    fn mesh_2d_on_4cube() {
+        // Figure 3 shows a 4×4 mesh on the tesseract.
+        let m = MeshEmbedding::new(Hypercube::new(4), &[2, 2]);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(m.side(0), 4);
+        assert_eq!(m.side(1), 4);
+        assert_eq!(m.dilation(), 1);
+        assert_eq!(m.torus_dilation(), 1);
+    }
+
+    #[test]
+    fn mesh_up_to_dimension_n() {
+        // 1-D through 6-D meshes on a 6-cube, as the paper promises
+        // ("meshes (up to dimension n)").
+        let c = Hypercube::new(6);
+        for bits in [
+            vec![6],
+            vec![3, 3],
+            vec![2, 2, 2],
+            vec![1, 2, 3],
+            vec![1, 1, 2, 2],
+            vec![1, 1, 1, 1, 1, 1],
+        ] {
+            let m = MeshEmbedding::new(c, &bits);
+            assert_eq!(m.dilation(), 1, "{bits:?}");
+            assert_eq!(m.torus_dilation(), 1, "{bits:?} torus");
+        }
+    }
+
+    #[test]
+    fn mesh_coords_roundtrip() {
+        let m = MeshEmbedding::new(Hypercube::new(5), &[2, 3]);
+        for x in 0..4 {
+            for y in 0..8 {
+                let node = m.node_at(&[x, y]);
+                assert_eq!(m.coords_of(node), vec![x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_faces_have_no_neighbor() {
+        let m = MeshEmbedding::new(Hypercube::new(4), &[2, 2]);
+        assert!(m.step(&[3, 1], 0, true).is_none());
+        assert!(m.step(&[0, 1], 0, false).is_none());
+        assert_eq!(m.step(&[1, 1], 0, true), Some(vec![2, 1]));
+        // Torus wraps instead.
+        assert_eq!(m.step_wrap(&[3, 1], 0, true), vec![0, 1]);
+    }
+
+    #[test]
+    fn cylinder_is_mesh_times_ring() {
+        // A "cylinder" (paper's list) = wrap one axis, not the other:
+        // both kinds of edge are dilation-1, so the cylinder is too.
+        let m = MeshEmbedding::new(Hypercube::new(5), &[2, 3]);
+        assert_eq!(m.dilation(), 1);
+        assert_eq!(m.torus_dilation(), 1);
+    }
+
+    #[test]
+    fn fft_butterfly_is_dilation_one() {
+        for dim in 1..=8 {
+            let f = FftEmbedding::new(Hypercube::new(dim));
+            assert_eq!(f.stages(), dim);
+            assert_eq!(f.dilation(), 1, "butterfly on {dim}-cube");
+        }
+    }
+
+    #[test]
+    fn butterfly_partner_is_involution() {
+        let f = FftEmbedding::new(Hypercube::new(6));
+        for node in Hypercube::new(6).iter() {
+            for s in 0..6 {
+                assert_eq!(f.partner(f.partner(node, s), s), node);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the cube dimension")]
+    fn wrong_mesh_shape_rejected() {
+        let _ = MeshEmbedding::new(Hypercube::new(4), &[2, 3]);
+    }
+}

@@ -1,0 +1,384 @@
+//! # ts-cube — the binary n-cube interconnect
+//!
+//! The T Series connects its 2ⁿ nodes as a **binary n-cube** (§III): node
+//! numbers differ from each neighbour's in exactly one bit, so the maximum
+//! distance between any two processors is n = log₂ p hops — the paper's
+//! "long-range communication costs grow only as O(log₂ n)".
+//!
+//! This crate is the pure combinatorics of that interconnect, with no
+//! simulation dependencies:
+//!
+//! * [`Hypercube`] — neighbours, Hamming distance, **e-cube** (dimension
+//!   ordered, deadlock-free) routing, binomial spanning trees for
+//!   collectives, and subcube/module decomposition.
+//! * [`gray`]/[`gray_inv`] — the reflected binary Gray code, the classical
+//!   tool for embedding sequenced topologies into a cube.
+//! * [`embed`] — the Figure 3 menagerie: rings, multi-dimensional meshes
+//!   (up to dimension n), toroids, and the radix-2 **FFT butterfly**, each
+//!   with a dilation check (every logical edge maps onto a physical cube
+//!   edge).
+//! * [`SublinkBudget`] — the paper's link arithmetic: 4 links × 4-way
+//!   multiplexing = 16 sublinks per node; 2 reserved for system
+//!   communication, 2 for mass storage / external I/O, 3 consumed inside
+//!   the 8-node module — which is why a 14-cube is the architectural
+//!   maximum and a 12-cube (4096 nodes) the largest practical machine.
+
+#![deny(missing_docs)]
+
+pub mod embed;
+
+/// A node address in an n-cube: an integer in `0..2^n`.
+pub type NodeId = u32;
+
+/// The binary n-cube: topology queries over `2^dim` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// The largest configuration the T Series supports (§III: "There are
+    /// enough links per node to permit a 14-cube to be constructed").
+    pub const MAX_DIM: u32 = 14;
+
+    /// Create an n-cube. Panics if `dim > 14` (the architecture's limit) —
+    /// use a plain newtype if you need bigger abstract cubes.
+    pub fn new(dim: u32) -> Hypercube {
+        assert!(dim <= Self::MAX_DIM, "T Series cubes end at dimension 14");
+        Hypercube { dim }
+    }
+
+    /// Cube dimension n.
+    pub const fn dim(self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes, 2ⁿ.
+    pub const fn nodes(self) -> u32 {
+        1 << self.dim
+    }
+
+    /// Iterate all node ids.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        0..self.nodes()
+    }
+
+    /// The neighbour across dimension `d`.
+    pub fn neighbor(self, node: NodeId, d: u32) -> NodeId {
+        debug_assert!(d < self.dim && node < self.nodes());
+        node ^ (1 << d)
+    }
+
+    /// All neighbours of `node`, in dimension order.
+    pub fn neighbors(self, node: NodeId) -> impl Iterator<Item = NodeId> {
+        (0..self.dim).map(move |d| node ^ (1 << d))
+    }
+
+    /// Hamming distance — the minimum hop count between two nodes.
+    pub fn distance(self, a: NodeId, b: NodeId) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    /// The network diameter, n.
+    pub const fn diameter(self) -> u32 {
+        self.dim
+    }
+
+    /// E-cube (dimension-ordered) route from `a` to `b`, inclusive of both
+    /// endpoints. Correcting bits lowest-first is deadlock-free under
+    /// wormhole or store-and-forward switching because the dimension
+    /// sequence is strictly increasing along every path.
+    pub fn route(self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::with_capacity(self.distance(a, b) as usize + 1);
+        let mut cur = a;
+        path.push(cur);
+        let diff = a ^ b;
+        for d in 0..self.dim {
+            if diff & (1 << d) != 0 {
+                cur ^= 1 << d;
+                path.push(cur);
+            }
+        }
+        debug_assert_eq!(cur, b);
+        path
+    }
+
+    /// The dimensions (lowest first) an e-cube route out of `a` towards `b`
+    /// crosses.
+    pub fn route_dims(self, a: NodeId, b: NodeId) -> impl Iterator<Item = u32> {
+        let diff = a ^ b;
+        (0..self.dim).filter(move |d| diff & (1 << d) != 0)
+    }
+
+    /// Binomial spanning tree rooted at `root`: returns `parent[node]`
+    /// (with `parent[root] = root`). The tree edge for node v is across the
+    /// *lowest* set bit of `v ^ root`, so a broadcast completes in n steps —
+    /// the schedule every collective in `t-series-core` uses.
+    pub fn binomial_parent(self, root: NodeId, node: NodeId) -> NodeId {
+        if node == root {
+            return root;
+        }
+        let diff = node ^ root;
+        node ^ (1 << diff.trailing_zeros())
+    }
+
+    /// Children of `node` in the binomial tree rooted at `root`: the
+    /// neighbours across each dimension *below* the lowest set bit of
+    /// `node ^ root` (all dimensions for the root itself).
+    pub fn binomial_children(self, root: NodeId, node: NodeId) -> Vec<NodeId> {
+        let limit = if node == root { self.dim } else { (node ^ root).trailing_zeros() };
+        (0..limit).map(|d| node ^ (1 << d)).collect()
+    }
+
+    /// The module a node belongs to: the T Series packages 8 nodes
+    /// (a 3-subcube spanning the three lowest dimensions) per module (§III).
+    pub fn module_of(self, node: NodeId) -> u32 {
+        node >> 3
+    }
+
+    /// Number of 8-node modules (at least 1; sub-module cubes still occupy
+    /// one physical module).
+    pub fn modules(self) -> u32 {
+        if self.dim <= 3 {
+            1
+        } else {
+            1 << (self.dim - 3)
+        }
+    }
+
+    /// Number of 16-node cabinets (two modules each, a "tesseract"; §III).
+    pub fn cabinets(self) -> u32 {
+        self.modules().div_ceil(2)
+    }
+}
+
+/// The reflected binary Gray code: consecutive integers map to words that
+/// differ in exactly one bit.
+#[inline]
+pub const fn gray(i: u32) -> u32 {
+    i ^ (i >> 1)
+}
+
+/// Inverse Gray code: `gray_inv(gray(i)) == i`.
+#[inline]
+pub const fn gray_inv(g: u32) -> u32 {
+    let mut i = g;
+    let mut shift = g;
+    while shift != 0 {
+        shift >>= 1;
+        i ^= shift;
+    }
+    i
+}
+
+/// The paper's per-node sublink budget (§II *Communications*, §III).
+///
+/// Each node has 4 bidirectional serial links, each multiplexed 4 ways:
+/// 16 sublinks. The standard allocation reserves 2 for the system thread,
+/// 2 for mass storage / external I/O, and uses 3 inside the module's
+/// 3-subcube, leaving the rest for the inter-module hypercube.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SublinkBudget {
+    /// Sublinks reserved for system-board communication (paper: 2).
+    pub system: u32,
+    /// Sublinks reserved for mass storage and external I/O (paper: 2).
+    pub io: u32,
+}
+
+impl Default for SublinkBudget {
+    fn default() -> Self {
+        SublinkBudget { system: 2, io: 2 }
+    }
+}
+
+impl SublinkBudget {
+    /// Physical links per node.
+    pub const LINKS: u32 = 4;
+    /// Multiplex factor per link.
+    pub const SUBLINKS_PER_LINK: u32 = 4;
+    /// Total sublinks per node: 16.
+    pub const TOTAL: u32 = Self::LINKS * Self::SUBLINKS_PER_LINK;
+
+    /// Sublinks left for hypercube edges (intra- plus inter-module).
+    pub fn for_hypercube(self) -> u32 {
+        Self::TOTAL - self.system - self.io
+    }
+
+    /// The largest cube dimension this allocation supports.
+    ///
+    /// With the paper's defaults: 16 − 2 − 2 = 12 → a 12-cube of 4096
+    /// nodes. Without the I/O reservation: 16 − 2 = 14 → the architectural
+    /// 14-cube maximum.
+    pub fn max_dim(self) -> u32 {
+        self.for_hypercube().min(Hypercube::MAX_DIM)
+    }
+
+    /// Validate a machine configuration against the budget.
+    pub fn supports(self, dim: u32) -> bool {
+        dim <= self.max_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_sizes() {
+        // N = 0 point, 1 line, 2 square, 3 cube, 4 tesseract.
+        for (dim, nodes) in [(0u32, 1u32), (1, 2), (2, 4), (3, 8), (4, 16)] {
+            assert_eq!(Hypercube::new(dim).nodes(), nodes);
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_bit() {
+        let c = Hypercube::new(4);
+        for node in c.iter() {
+            let ns: Vec<_> = c.neighbors(node).collect();
+            assert_eq!(ns.len(), 4);
+            for n in ns {
+                assert_eq!(c.distance(node, n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_shortest_and_dimension_ordered() {
+        let c = Hypercube::new(5);
+        let (a, b) = (0b10110, 0b01011);
+        let path = c.route(a, b);
+        assert_eq!(path.len() as u32, c.distance(a, b) + 1);
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
+        let mut last_dim = None;
+        for w in path.windows(2) {
+            let d = (w[0] ^ w[1]).trailing_zeros();
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+            assert!(last_dim.is_none_or(|ld| d > ld), "dimension order violated");
+            last_dim = Some(d);
+        }
+    }
+
+    #[test]
+    fn diameter_is_log2_p() {
+        for dim in 0..=10 {
+            let c = Hypercube::new(dim);
+            let far = c.nodes() - 1; // all-ones is farthest from 0
+            assert_eq!(c.distance(0, far), dim);
+            assert_eq!(c.diameter(), dim);
+        }
+    }
+
+    #[test]
+    fn gray_code_adjacency() {
+        for i in 0..(1u32 << 12) - 1 {
+            let d = gray(i) ^ gray(i + 1);
+            assert_eq!(d.count_ones(), 1, "gray({i})..gray({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn gray_code_bijective_and_inverse() {
+        let mut seen = vec![false; 1 << 12];
+        for i in 0..1u32 << 12 {
+            let g = gray(i);
+            assert!(!seen[g as usize]);
+            seen[g as usize] = true;
+            assert_eq!(gray_inv(g), i);
+        }
+    }
+
+    #[test]
+    fn binomial_tree_spans_and_respects_edges() {
+        let c = Hypercube::new(6);
+        let root = 13;
+        for node in c.iter() {
+            let p = c.binomial_parent(root, node);
+            if node == root {
+                assert_eq!(p, root);
+            } else {
+                assert_eq!(c.distance(node, p), 1, "tree edge is a cube edge");
+                // Walking parents must reach the root (no cycles).
+                let mut cur = node;
+                let mut hops = 0;
+                while cur != root {
+                    cur = c.binomial_parent(root, cur);
+                    hops += 1;
+                    assert!(hops <= 6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_children_match_parents() {
+        let c = Hypercube::new(5);
+        for root in [0u32, 7, 31] {
+            for node in c.iter() {
+                for ch in c.binomial_children(root, node) {
+                    assert_eq!(c.binomial_parent(root, ch), node);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_depth_is_dim() {
+        // Longest root-to-leaf path in the binomial tree = n.
+        let c = Hypercube::new(7);
+        let root = 0;
+        let mut max_depth = 0;
+        for node in c.iter() {
+            let mut cur = node;
+            let mut d = 0;
+            while cur != root {
+                cur = c.binomial_parent(root, cur);
+                d += 1;
+            }
+            max_depth = max_depth.max(d);
+        }
+        assert_eq!(max_depth, 7);
+    }
+
+    #[test]
+    fn modules_and_cabinets() {
+        // §III: 8 nodes/module, 2 modules (16 nodes) per cabinet.
+        let c = Hypercube::new(6); // 64 nodes
+        assert_eq!(c.modules(), 8);
+        assert_eq!(c.cabinets(), 4);
+        assert_eq!(c.module_of(0), 0);
+        assert_eq!(c.module_of(7), 0);
+        assert_eq!(c.module_of(8), 1);
+        // Intramodule edges span the three lowest dimensions only.
+        for node in c.iter() {
+            for d in 0..3 {
+                assert_eq!(c.module_of(node), c.module_of(c.neighbor(node, d)));
+            }
+        }
+        // The 12-cube: 4096 nodes, 512 modules, 256 cabinets (paper's max).
+        let max = Hypercube::new(12);
+        assert_eq!(max.nodes(), 4096);
+        assert_eq!(max.modules(), 512);
+        assert_eq!(max.cabinets(), 256);
+    }
+
+    #[test]
+    fn sublink_budget_paper_numbers() {
+        let b = SublinkBudget::default();
+        assert_eq!(SublinkBudget::TOTAL, 16);
+        assert_eq!(b.for_hypercube(), 12);
+        assert_eq!(b.max_dim(), 12, "largest practical machine is a 12-cube");
+        assert!(b.supports(12));
+        assert!(!b.supports(13));
+        // Without the I/O reservation the architecture tops out at 14.
+        let no_io = SublinkBudget { system: 2, io: 0 };
+        assert_eq!(no_io.max_dim(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension 14")]
+    fn fifteen_cube_rejected() {
+        let _ = Hypercube::new(15);
+    }
+}

@@ -1,0 +1,249 @@
+//! Property tests: the software FPU against the host's IEEE-754 hardware.
+//!
+//! For operands and results that stay inside the normal range, flush-to-zero
+//! arithmetic is bit-identical to IEEE round-to-nearest-even, so the software
+//! implementation must match the host **exactly, bit for bit**. Where
+//! subnormals appear we pin the documented FTZ semantics instead.
+
+use proptest::prelude::*;
+use ts_fpu::soft::{self, B32, B64};
+use ts_fpu::{softdiv, Sf32, Sf64};
+
+/// Flush subnormals of the host representation to a same-signed zero
+/// (the reference model for inputs *and* results).
+fn ftz64(v: f64) -> f64 {
+    if v != 0.0 && v.abs() < f64::MIN_POSITIVE {
+        if v.is_sign_negative() {
+            -0.0
+        } else {
+            0.0
+        }
+    } else {
+        v
+    }
+}
+
+fn ftz32(v: f32) -> f32 {
+    if v != 0.0 && v.abs() < f32::MIN_POSITIVE {
+        if v.is_sign_negative() {
+            -0.0
+        } else {
+            0.0
+        }
+    } else {
+        v
+    }
+}
+
+/// Finite f64 whose exponent keeps +, −, × results clear of the subnormal
+/// boundary, so host RNE and software FTZ agree exactly.
+fn safe_f64() -> impl Strategy<Value = f64> {
+    // sign × mantissa-in-[1,2) × 2^e with e in [-400, 400].
+    (any::<bool>(), any::<u64>(), -400i32..=400).prop_map(|(neg, frac, e)| {
+        let m = 1.0 + (frac >> 12) as f64 / (1u64 << 52) as f64;
+        let v = m * 2f64.powi(e);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+fn safe_f32() -> impl Strategy<Value = f32> {
+    (any::<bool>(), any::<u32>(), -40i32..=40).prop_map(|(neg, frac, e)| {
+        let m = 1.0 + (frac >> 9) as f32 / (1u32 << 23) as f32;
+        let v = m * 2f32.powi(e);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn add64_matches_host(a in safe_f64(), b in safe_f64()) {
+        let sw = (Sf64::from(a) + Sf64::from(b)).to_bits();
+        let host = (a + b).to_bits();
+        prop_assert_eq!(sw, host, "{} + {}", a, b);
+    }
+
+    #[test]
+    fn sub64_matches_host(a in safe_f64(), b in safe_f64()) {
+        let sw = (Sf64::from(a) - Sf64::from(b)).to_bits();
+        let host = (a - b).to_bits();
+        prop_assert_eq!(sw, host, "{} - {}", a, b);
+    }
+
+    #[test]
+    fn mul64_matches_host(a in safe_f64(), b in safe_f64()) {
+        let sw = (Sf64::from(a) * Sf64::from(b)).to_bits();
+        let host = (a * b).to_bits();
+        prop_assert_eq!(sw, host, "{} * {}", a, b);
+    }
+
+    #[test]
+    fn add32_matches_host(a in safe_f32(), b in safe_f32()) {
+        let sw = (Sf32::from(a) + Sf32::from(b)).to_bits();
+        let host = (a + b).to_bits();
+        prop_assert_eq!(sw, host, "{} + {}", a, b);
+    }
+
+    #[test]
+    fn mul32_matches_host(a in safe_f32(), b in safe_f32()) {
+        let sw = (Sf32::from(a) * Sf32::from(b)).to_bits();
+        let host = (a * b).to_bits();
+        prop_assert_eq!(sw, host, "{} * {}", a, b);
+    }
+
+    /// Arbitrary bit patterns (including NaNs, infs, subnormals): the
+    /// software result must equal FTZ(host(FTZ(a), FTZ(b))) whenever that
+    /// reference is well-defined (we skip cases where the host result is
+    /// subnormal-rounded at the normal boundary, where FTZ and gradual
+    /// underflow legitimately disagree), and NaNs must map to NaNs.
+    #[test]
+    fn add64_arbitrary_bits(abits in any::<u64>(), bbits in any::<u64>()) {
+        let (a, b) = (f64::from_bits(abits), f64::from_bits(bbits));
+        let sw = f64::from_bits((Sf64::from(a) + Sf64::from(b)).to_bits());
+        let host = ftz64(ftz64(a) + ftz64(b));
+        if host.is_nan() {
+            prop_assert!(sw.is_nan());
+        } else if host == 0.0 || host.abs() >= f64::MIN_POSITIVE * 2.0 {
+            // Away from the FTZ boundary the reference is exact...
+            if ftz64(a) + ftz64(b) == host {
+                // ...but only when the host itself did not round a subnormal.
+                prop_assert_eq!(sw.to_bits(), host.to_bits(), "{} + {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mul64_arbitrary_bits(abits in any::<u64>(), bbits in any::<u64>()) {
+        let (a, b) = (f64::from_bits(abits), f64::from_bits(bbits));
+        let sw = f64::from_bits((Sf64::from(a) * Sf64::from(b)).to_bits());
+        let host = ftz64(ftz64(a) * ftz64(b));
+        if host.is_nan() {
+            prop_assert!(sw.is_nan());
+        } else if host == 0.0 || host.abs() >= f64::MIN_POSITIVE * 2.0 {
+            if ftz64(a) * ftz64(b) == host {
+                prop_assert_eq!(sw.to_bits(), host.to_bits(), "{} * {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mul32_arbitrary_bits(abits in any::<u32>(), bbits in any::<u32>()) {
+        let (a, b) = (f32::from_bits(abits), f32::from_bits(bbits));
+        let sw = f32::from_bits((Sf32::from(a) * Sf32::from(b)).to_bits());
+        let host = ftz32(ftz32(a) * ftz32(b));
+        if host.is_nan() {
+            prop_assert!(sw.is_nan());
+        } else if host == 0.0 || host.abs() >= f32::MIN_POSITIVE * 2.0 {
+            if ftz32(a) * ftz32(b) == host {
+                prop_assert_eq!(sw.to_bits(), host.to_bits(), "{} * {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn compare_matches_host_partial_cmp(abits in any::<u64>(), bbits in any::<u64>()) {
+        let (a, b) = (f64::from_bits(abits), f64::from_bits(bbits));
+        // FTZ first: −min_subnormal and +min_subnormal compare equal here.
+        let (fa, fb) = (ftz64(a), ftz64(b));
+        let sw = Sf64::from(a).compare(Sf64::from(b));
+        prop_assert_eq!(sw, fa.partial_cmp(&fb), "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn addition_commutes(a in safe_f64(), b in safe_f64()) {
+        let ab = Sf64::from(a) + Sf64::from(b);
+        let ba = Sf64::from(b) + Sf64::from(a);
+        prop_assert_eq!(ab.to_bits(), ba.to_bits());
+    }
+
+    #[test]
+    fn multiplication_commutes(a in safe_f64(), b in safe_f64()) {
+        let ab = Sf64::from(a) * Sf64::from(b);
+        let ba = Sf64::from(b) * Sf64::from(a);
+        prop_assert_eq!(ab.to_bits(), ba.to_bits());
+    }
+
+    #[test]
+    fn negation_is_exact(a in safe_f64(), b in safe_f64()) {
+        // a − b == −(b − a) in RNE (sign-symmetric rounding).
+        let x = Sf64::from(a) - Sf64::from(b);
+        let y = -(Sf64::from(b) - Sf64::from(a));
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn narrow_matches_host(a in safe_f64()) {
+        let sw = Sf64::from(a).to_sf32().to_bits();
+        let host = ftz32(a as f32).to_bits();
+        prop_assert_eq!(sw, host, "{}", a);
+    }
+
+    #[test]
+    fn widen_matches_host(a in safe_f32()) {
+        let sw = Sf32::from(a).to_sf64().to_bits();
+        let host = (a as f64).to_bits();
+        prop_assert_eq!(sw, host, "{}", a);
+    }
+
+    #[test]
+    fn int_roundtrip(v in any::<i64>()) {
+        let f = Sf64::from_i64(v);
+        prop_assert_eq!(f.to_host().to_bits(), (v as f64).to_bits());
+        // Values representable exactly round-trip.
+        if v.abs() < (1 << 53) {
+            prop_assert_eq!(f.to_i64(), v);
+        }
+    }
+
+    #[test]
+    fn truncation_matches_host(a in safe_f64()) {
+        let clamped = a.clamp(-1e18, 1e18);
+        prop_assert_eq!(Sf64::from(clamped).to_i64(), clamped.trunc() as i64);
+    }
+
+    #[test]
+    fn recip_within_1ulp(a in safe_f64()) {
+        let r = softdiv::recip(Sf64::from(a)).to_host();
+        let want = 1.0 / a;
+        if want.is_finite() && want.abs() >= f64::MIN_POSITIVE {
+            let ud = (r.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
+            prop_assert!(ud <= 1, "recip({}) = {}, want {} ({} ulp)", a, r, want, ud);
+        }
+    }
+
+    #[test]
+    fn div_within_1ulp(a in safe_f64(), b in safe_f64()) {
+        let q = softdiv::div(Sf64::from(a), Sf64::from(b)).to_host();
+        let want = a / b;
+        if want.is_finite() && want.abs() >= f64::MIN_POSITIVE {
+            let ud = (q.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
+            prop_assert!(ud <= 1, "{}/{} = {}, want {} ({} ulp)", a, b, q, want, ud);
+        }
+    }
+
+    #[test]
+    fn sqrt_within_2ulp(a in safe_f64()) {
+        let x = a.abs();
+        let s = softdiv::sqrt(Sf64::from(x)).to_host();
+        let want = x.sqrt();
+        let ud = (s.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
+        prop_assert!(ud <= 2, "sqrt({}) = {}, want {} ({} ulp)", x, s, want, ud);
+    }
+
+    #[test]
+    fn raw_add_never_panics(abits in any::<u64>(), bbits in any::<u64>()) {
+        let _ = soft::add::<B64>(abits, bbits);
+        let _ = soft::mul::<B64>(abits, bbits);
+        let _ = soft::add::<B32>(abits & 0xffff_ffff, bbits & 0xffff_ffff);
+        let _ = soft::mul::<B32>(abits & 0xffff_ffff, bbits & 0xffff_ffff);
+    }
+}

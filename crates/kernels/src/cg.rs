@@ -1,0 +1,291 @@
+//! Conjugate gradients on the distributed machine — the iterative-solver
+//! counterpart to the LU kernel, and the workload class (sparse/structured
+//! systems from PDEs) behind the paper's mesh embeddings.
+//!
+//! The system is the standard 2-D five-point Laplacian on an
+//! (s·g)×(s·g) grid, distributed like the Jacobi kernel: each node owns a
+//! g×g tile. One CG iteration needs
+//!
+//! * a **halo exchange** + local stencil apply (`q = A·p`),
+//! * two **all-reduce** scalar products (`pᵀq`, `rᵀr`) over the cube,
+//! * three local AXPYs through the vector pipes.
+//!
+//! The vector work charges the node's 16 MFLOPS pipes; the dots pay the
+//! log₂ p dimension-exchange latency — the communication/computation
+//! balance of §II, iterated.
+
+use ts_cube::{embed::MeshEmbedding, Hypercube};
+use ts_fpu::Sf64;
+use ts_node::{CombineOp, NodeCtx};
+
+use crate::KernelStats;
+
+fn pack(vals: &[f64]) -> Vec<u32> {
+    let mut words = Vec::with_capacity(vals.len() * 2);
+    for v in vals {
+        let b = v.to_bits();
+        words.push(b as u32);
+        words.push((b >> 32) as u32);
+    }
+    words
+}
+
+fn unpack(words: &[u32]) -> Vec<f64> {
+    words
+        .chunks_exact(2)
+        .map(|c| f64::from_bits(c[0] as u64 | ((c[1] as u64) << 32)))
+        .collect()
+}
+
+/// Apply the five-point Laplacian `q = A·p` on one tile with fresh halos.
+struct TileGeometry {
+    g: usize,
+    west: Option<usize>,
+    east: Option<usize>,
+    north: Option<usize>,
+    south: Option<usize>,
+}
+
+impl TileGeometry {
+    fn new(ctx: &NodeCtx, cube: Hypercube, g: usize) -> TileGeometry {
+        let half = cube.dim() / 2;
+        let mesh = MeshEmbedding::new(cube, &[half, cube.dim() - half]);
+        let me = ctx.id();
+        let coords = mesh.coords_of(me);
+        let neighbor = |axis: usize, forward: bool| -> Option<usize> {
+            mesh.step(&coords, axis, forward)
+                .map(|nc| (me ^ mesh.node_at(&nc)).trailing_zeros() as usize)
+        };
+        TileGeometry {
+            g,
+            west: neighbor(0, false),
+            east: neighbor(0, true),
+            north: neighbor(1, false),
+            south: neighbor(1, true),
+        }
+    }
+
+    /// Halo-exchange `p`, then `q[i] = 4p[i] − (N+S+E+W)`.
+    async fn apply(&self, ctx: &NodeCtx, p: &[f64]) -> Vec<f64> {
+        let g = self.g;
+        let col = |x: usize| -> Vec<f64> { (0..g).map(|y| p[y * g + x]).collect() };
+        let row = |y: usize| -> Vec<f64> { p[y * g..(y + 1) * g].to_vec() };
+        let h = ctx.handle().clone();
+        let mut sends = Vec::new();
+        for (dim, strip) in [
+            (self.west, col(0)),
+            (self.east, col(g - 1)),
+            (self.north, row(0)),
+            (self.south, row(g - 1)),
+        ] {
+            if let Some(d) = dim {
+                let c = ctx.clone();
+                let words = pack(&strip);
+                sends.push(h.spawn(async move { c.send_dim(d, words).await }));
+            }
+        }
+        let mut halos: [Option<Vec<f64>>; 4] = [None, None, None, None];
+        let mut recvs = Vec::new();
+        for (slot, dim) in [self.west, self.east, self.north, self.south].into_iter().enumerate()
+        {
+            if let Some(d) = dim {
+                let c = ctx.clone();
+                recvs.push((slot, h.spawn(async move { c.recv_dim(d).await })));
+            }
+        }
+        for (slot, jh) in recvs {
+            halos[slot] = Some(unpack(&jh.await));
+        }
+        for s in sends {
+            s.await;
+        }
+        let [w_h, e_h, n_h, s_h] = halos;
+        let at = |x: isize, y: isize| -> f64 {
+            if x < 0 {
+                w_h.as_ref().map_or(0.0, |h| h[y as usize])
+            } else if x >= g as isize {
+                e_h.as_ref().map_or(0.0, |h| h[y as usize])
+            } else if y < 0 {
+                n_h.as_ref().map_or(0.0, |h| h[x as usize])
+            } else if y >= g as isize {
+                s_h.as_ref().map_or(0.0, |h| h[x as usize])
+            } else {
+                p[y as usize * g + x as usize]
+            }
+        };
+        let mut q = vec![0.0; g * g];
+        for y in 0..g as isize {
+            for x in 0..g as isize {
+                q[y as usize * g + x as usize] = 4.0 * p[y as usize * g + x as usize]
+                    - (at(x - 1, y) + at(x + 1, y) + at(x, y - 1) + at(x, y + 1));
+            }
+        }
+        ctx.charge_vec_flops(5 * (g * g) as u64).await;
+        q
+    }
+}
+
+/// Global dot product: local dot via the vector pipe, then a scalar
+/// all-reduce over the cube.
+async fn global_dot(ctx: &NodeCtx, cube: Hypercube, a: &[f64], b: &[f64]) -> f64 {
+    let asf: Vec<Sf64> = a.iter().map(|&v| Sf64::from(v)).collect();
+    let bsf: Vec<Sf64> = b.iter().map(|&v| Sf64::from(v)).collect();
+    let local = ctx.dot_values(&asf, &bsf).await;
+    let total =
+        t_series_core::collectives::allreduce(ctx, cube, CombineOp::Add, vec![local]).await;
+    total[0].to_host()
+}
+
+/// The per-node CG program: solve `A x = b` (five-point Laplacian) to
+/// tolerance, returning this node's tile of x and the iteration count.
+pub async fn cg_node(
+    ctx: NodeCtx,
+    cube: Hypercube,
+    g: usize,
+    b: Vec<f64>,
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, usize) {
+    let geo = TileGeometry::new(&ctx, cube, g);
+    let n_local = g * g;
+    let mut x = vec![0.0; n_local];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut rs = global_dot(&ctx, cube, &r, &r).await;
+    let mut iters = 0;
+    while iters < max_iters && rs.sqrt() > tol {
+        let q = geo.apply(&ctx, &p).await;
+        let pq = global_dot(&ctx, cube, &p, &q).await;
+        let alpha = rs / pq;
+        for i in 0..n_local {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        ctx.charge_vec_flops(4 * n_local as u64).await;
+        let rs_new = global_dot(&ctx, cube, &r, &r).await;
+        let beta = rs_new / rs;
+        for i in 0..n_local {
+            p[i] = r[i] + beta * p[i];
+        }
+        ctx.charge_vec_flops(2 * n_local as u64).await;
+        rs = rs_new;
+        iters += 1;
+    }
+    (x, iters)
+}
+
+/// Host driver: solve the Laplacian system for a random right-hand side;
+/// returns `(b, x, iterations, stats)` with grids in row-major global order.
+pub fn distributed_cg(
+    machine: &mut t_series_core::Machine,
+    g: usize,
+    tol: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>, usize, KernelStats) {
+    let cube = machine.cube;
+    let half = cube.dim() / 2;
+    let mesh = MeshEmbedding::new(cube, &[half, cube.dim() - half]);
+    let (sx, sy) = (mesh.side(0) as usize, mesh.side(1) as usize);
+    let side_x = sx * g;
+    let mut st = seed;
+    let b: Vec<f64> = (0..side_x * sy * g).map(|_| crate::rand_f64(&mut st)).collect();
+
+    let t0 = machine.now();
+    let handles: Vec<_> = machine
+        .nodes
+        .iter()
+        .map(|node| {
+            let coords = mesh.coords_of(node.id);
+            let (cx, cy) = (coords[0] as usize, coords[1] as usize);
+            let mut tile = vec![0.0; g * g];
+            for y in 0..g {
+                for x in 0..g {
+                    tile[y * g + x] = b[(cy * g + y) * side_x + cx * g + x];
+                }
+            }
+            machine.handle().spawn(cg_node(node.ctx(), cube, g, tile, tol, 10_000))
+        })
+        .collect();
+    let report = machine.run();
+    assert!(report.quiescent, "CG deadlocked");
+    let elapsed = machine.now().since(t0);
+
+    let mut x = vec![0.0; b.len()];
+    let mut iters = 0;
+    for (node, jh) in machine.nodes.iter().zip(handles) {
+        let (tile, it) = jh.try_take().expect("cg incomplete");
+        iters = it;
+        let coords = mesh.coords_of(node.id);
+        let (cx, cy) = (coords[0] as usize, coords[1] as usize);
+        for y in 0..g {
+            for xx in 0..g {
+                x[(cy * g + y) * side_x + cx * g + xx] = tile[y * g + xx];
+            }
+        }
+    }
+    let stats = KernelStats::from_metrics(&machine.metrics(), elapsed, cube.nodes() as u64);
+    (b, x, iters, stats)
+}
+
+/// Max-norm residual `|A·x − b|` of the global five-point system (host).
+pub fn cg_residual(width: usize, height: usize, x: &[f64], b: &[f64]) -> f64 {
+    let at = |g: &[f64], xx: isize, yy: isize| -> f64 {
+        if xx < 0 || yy < 0 || xx >= width as isize || yy >= height as isize {
+            0.0
+        } else {
+            g[yy as usize * width + xx as usize]
+        }
+    };
+    let mut worst = 0.0f64;
+    for y in 0..height as isize {
+        for xx in 0..width as isize {
+            let ax = 4.0 * at(x, xx, y)
+                - (at(x, xx - 1, y) + at(x, xx + 1, y) + at(x, xx, y - 1) + at(x, xx, y + 1));
+            worst = worst.max((ax - b[y as usize * width + xx as usize]).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t_series_core::{Machine, MachineCfg};
+
+    fn check(dim: u32, g: usize) -> (usize, KernelStats) {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (b, x, iters, stats) = distributed_cg(&mut m, g, 1e-10, 77);
+        let half = dim / 2;
+        let (sx, sy) = (1usize << half, 1usize << (dim - half));
+        let res = cg_residual(sx * g, sy * g, &x, &b);
+        assert!(res < 1e-8, "CG residual {res} (dim {dim}, g {g})");
+        (iters, stats)
+    }
+
+    #[test]
+    fn cg_single_node() {
+        let (iters, stats) = check(0, 8);
+        assert!(iters > 0 && iters <= 64 * 2);
+        assert!(stats.flops > 0);
+    }
+
+    #[test]
+    fn cg_on_a_square() {
+        let (_, stats) = check(2, 4);
+        assert!(stats.bytes_sent > 0, "halos and all-reduces use the links");
+    }
+
+    #[test]
+    fn cg_on_an_8_node_machine() {
+        check(3, 4);
+    }
+
+    #[test]
+    fn cg_converges_in_at_most_n_iterations() {
+        // Exact arithmetic would finish in ≤ n steps; floating point with
+        // a tight tolerance stays in the same ballpark for this SPD system.
+        let mut m = Machine::build(MachineCfg::cube_small_mem(0, 8));
+        let (_, _, iters, _) = distributed_cg(&mut m, 4, 1e-12, 3);
+        assert!(iters <= 2 * 16, "iters = {iters}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Distributed radix-2 complex FFT on the hypercube butterfly embedding.
+//!
+//! Figure 3 lists "FFT butterfly connections of radix 2" among the cube's
+//! embeddings: at stage s the butterfly pairs points whose indices differ
+//! in bit s — under the identity placement that is exactly one cube edge
+//! (`ts_cube::embed::FftEmbedding` proves dilation 1).
+//!
+//! With N points over p = 2ⁿ nodes (N/p consecutive points per node, N/p a
+//! power of two), a decimation-in-frequency FFT runs its first n stages
+//! **across nodes** — each node exchanges its whole block with the partner
+//! across one cube dimension and keeps its half of every butterfly — and
+//! the remaining log₂(N/p) stages locally. Output lands in bit-reversed
+//! order, as DIF always does; [`bit_reverse_permute`] restores natural
+//! order host-side.
+//!
+//! Arithmetic is complex `Sf64` (the machine's 64-bit mode) and each
+//! butterfly charges the vector units 10 hardware flops.
+
+use ts_cube::Hypercube;
+use ts_fpu::Sf64;
+use ts_node::{occam, NodeCtx};
+
+use crate::KernelStats;
+
+/// A complex value in the machine's 64-bit arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cpx {
+    /// Real part.
+    pub re: Sf64,
+    /// Imaginary part.
+    pub im: Sf64,
+}
+
+impl Cpx {
+    /// Construct from host floats.
+    pub fn new(re: f64, im: f64) -> Cpx {
+        Cpx { re: Sf64::from(re), im: Sf64::from(im) }
+    }
+
+    /// Complex addition (2 flops).
+    pub fn add(self, o: Cpx) -> Cpx {
+        Cpx { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Complex subtraction (2 flops).
+    pub fn sub(self, o: Cpx) -> Cpx {
+        Cpx { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// Complex multiplication (6 flops).
+    pub fn mul(self, o: Cpx) -> Cpx {
+        Cpx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    /// Host-side view.
+    pub fn to_host(self) -> (f64, f64) {
+        (self.re.to_host(), self.im.to_host())
+    }
+}
+
+/// Twiddle factor e^(−iπ·k/span) (the machine would hold these in a
+/// precomputed table; the host computes them, the node stores `Sf64`s).
+fn twiddle(k: usize, span: usize) -> Cpx {
+    let angle = -std::f64::consts::PI * k as f64 / span as f64;
+    Cpx::new(angle.cos(), angle.sin())
+}
+
+/// Hardware flops charged per butterfly (complex add + sub + mul).
+pub const FLOPS_PER_BUTTERFLY: u64 = 10;
+
+fn pack(data: &[Cpx]) -> Vec<u32> {
+    let mut words = Vec::with_capacity(data.len() * 4);
+    for c in data {
+        for bits in [c.re.to_bits(), c.im.to_bits()] {
+            words.push(bits as u32);
+            words.push((bits >> 32) as u32);
+        }
+    }
+    words
+}
+
+fn unpack(words: &[u32]) -> Vec<Cpx> {
+    words
+        .chunks_exact(4)
+        .map(|c| Cpx {
+            re: Sf64::from_bits(c[0] as u64 | ((c[1] as u64) << 32)),
+            im: Sf64::from_bits(c[2] as u64 | ((c[3] as u64) << 32)),
+        })
+        .collect()
+}
+
+/// The per-node DIF FFT program over `local` points (global index =
+/// `id · local.len() + j`). Returns this node's slice of the bit-reversed-
+/// order spectrum.
+pub async fn fft_node(ctx: NodeCtx, cube: Hypercube, total: usize, mut local: Vec<Cpx>) -> Vec<Cpx> {
+    let nl = local.len();
+    assert!(nl.is_power_of_two() && total == nl << cube.dim() as usize);
+    let me = ctx.id() as usize;
+    let mut span = total / 2;
+    // Cross-node stages: span ≥ nl.
+    while span >= nl {
+        let pdim = (span / nl).trailing_zeros() as usize;
+        let low_side = me & (span / nl) == 0;
+        // Full-block exchange with the butterfly partner.
+        let h = ctx.handle().clone();
+        let tx = ctx.clone();
+        let rx = ctx.clone();
+        let outgoing = pack(&local);
+        let (_, theirs) = occam::par2(
+            &h,
+            async move { tx.send_dim(pdim, outgoing).await },
+            async move { rx.recv_dim(pdim).await },
+        )
+        .await;
+        let theirs = unpack(&theirs);
+        for j in 0..nl {
+            let (a, b) = if low_side { (local[j], theirs[j]) } else { (theirs[j], local[j]) };
+            if low_side {
+                local[j] = a.add(b);
+            } else {
+                // Twiddle index: the low global index mod span.
+                let g_low = (me & !(span / nl)) * nl + j;
+                local[j] = a.sub(b).mul(twiddle(g_low % span, span));
+            }
+        }
+        ctx.charge_vec_flops(FLOPS_PER_BUTTERFLY * nl as u64).await;
+        span /= 2;
+    }
+    // Local stages.
+    while span >= 1 {
+        let base = me * nl;
+        let mut start = 0;
+        while start < nl {
+            for off in 0..span {
+                let i = start + off;
+                let j = i + span;
+                let (a, b) = (local[i], local[j]);
+                local[i] = a.add(b);
+                local[j] = a.sub(b).mul(twiddle((base + i) % span.max(1), span));
+            }
+            start += 2 * span;
+        }
+        ctx.charge_vec_flops(FLOPS_PER_BUTTERFLY * (nl as u64 / 2)).await;
+        span /= 2;
+    }
+    local
+}
+
+/// Reverse the lowest `bits` bits of `v`.
+pub fn bit_reverse(v: usize, bits: u32) -> usize {
+    (v.reverse_bits() >> (usize::BITS - bits)) & ((1 << bits) - 1)
+}
+
+/// Reorder a bit-reversed spectrum into natural order (host side).
+pub fn bit_reverse_permute<T: Copy>(data: &[T]) -> Vec<T> {
+    let bits = data.len().trailing_zeros();
+    let mut out = data.to_vec();
+    for (i, &v) in data.iter().enumerate() {
+        out[bit_reverse(i, bits)] = v;
+    }
+    out
+}
+
+/// Host driver: FFT of `input` (length N = 2^k · p) on the machine;
+/// returns the natural-order spectrum and the run's stats.
+pub fn distributed_fft(
+    machine: &mut t_series_core::Machine,
+    input: &[(f64, f64)],
+) -> (Vec<(f64, f64)>, KernelStats) {
+    let cube = machine.cube;
+    let p = cube.nodes() as usize;
+    let total = input.len();
+    assert!(total.is_power_of_two() && total >= 2 * p);
+    let nl = total / p;
+    let t0 = machine.now();
+    let handles: Vec<_> = machine
+        .nodes
+        .iter()
+        .map(|node| {
+            let ctx = node.ctx();
+            let lo = node.id as usize * nl;
+            let local: Vec<Cpx> =
+                input[lo..lo + nl].iter().map(|&(re, im)| Cpx::new(re, im)).collect();
+            machine.handle().spawn(fft_node(ctx, cube, total, local))
+        })
+        .collect();
+    let report = machine.run();
+    assert!(report.quiescent, "FFT deadlocked");
+    let elapsed = machine.now().since(t0);
+    let mut flat = Vec::with_capacity(total);
+    for jh in handles {
+        flat.extend(jh.try_take().expect("fft incomplete").into_iter().map(Cpx::to_host));
+    }
+    let natural = bit_reverse_permute(&flat);
+    let stats = KernelStats::from_metrics(&machine.metrics(), elapsed, p as u64);
+    (natural, stats)
+}
+
+/// Naive host DFT for verification.
+pub fn reference_dft(input: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (j, &(xr, xi)) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                re += xr * c - xi * s;
+                im += xr * s + xi * c;
+            }
+            (re, im)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_f64;
+    use t_series_core::{Machine, MachineCfg};
+
+    fn check(dim: u32, total: usize) -> KernelStats {
+        let mut st = 7u64;
+        let input: Vec<(f64, f64)> =
+            (0..total).map(|_| (rand_f64(&mut st), rand_f64(&mut st))).collect();
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (got, stats) = distributed_fft(&mut m, &input);
+        let want = reference_dft(&input);
+        for (i, (&(gr, gi), &(wr, wi))) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (gr - wr).abs() < 1e-9 * (total as f64) && (gi - wi).abs() < 1e-9 * (total as f64),
+                "X[{i}] = ({gr},{gi}), want ({wr},{wi}) [dim {dim}, N {total}]"
+            );
+        }
+        stats
+    }
+
+    #[test]
+    fn fft_on_a_point() {
+        check(0, 16);
+    }
+
+    #[test]
+    fn fft_on_a_square() {
+        let stats = check(2, 32);
+        assert!(stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn fft_on_a_cube_3d() {
+        let stats = check(3, 64);
+        // n stages cross-node: each node sends its block once per stage.
+        // 8 nodes × 3 stages × 8 points × 16 bytes.
+        assert_eq!(stats.bytes_sent, 8 * 3 * 8 * 16);
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        for bits in 1..10u32 {
+            for v in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(v, bits), bits), v);
+            }
+        }
+        let data: Vec<usize> = (0..16).collect();
+        assert_eq!(bit_reverse_permute(&bit_reverse_permute(&data)), data);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut input = vec![(0.0, 0.0); 64];
+        input[0] = (1.0, 0.0);
+        let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+        let (got, _) = distributed_fft(&mut m, &input);
+        for &(re, im) in &got {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # ts-kernels — the applications the architecture was built for
+//!
+//! §I of the paper motivates the machine with large scientific
+//! applications; §II's balance argument (1 : 13 : 130) and §III's embedding
+//! menagerie (Figure 3) only mean something when real algorithms run on the
+//! simulated machine. This crate provides distributed kernels, each an SPMD
+//! program over [`ts_node::NodeCtx`]:
+//!
+//! * [`matmul`] — Cannon's algorithm on the 2-D torus embedding
+//!   (Gray-coded mesh shifts, local SAXPY-based GEMM);
+//! * [`fft`] — radix-2 complex FFT using the dilation-1 butterfly
+//!   embedding: high stages exchange across cube dimensions, low stages
+//!   are local;
+//! * [`lu`] — LU factorization with partial pivoting on row-cyclic
+//!   distributed matrices, using the **real node memory**: gather for
+//!   column access, the `AbsMax` vector form for pivot search, physical
+//!   row moves for the swap (the paper's §II argument), software division
+//!   (no divider!), and `Saxpy` vector forms for elimination;
+//! * [`sort`] — bitonic sort across the cube (the paper's "sorting
+//!   records" use of fast data movement);
+//! * [`stencil`] — Jacobi relaxation on the embedded 2-D mesh with halo
+//!   exchange;
+//! * [`cg`] — conjugate gradients on the five-point Laplacian: halo
+//!   exchanges, vector-pipe AXPYs and log-p all-reduce dot products per
+//!   iteration;
+//! * [`transpose`] — recursive matrix transpose by pairwise block
+//!   exchange across cube dimensions;
+//! * [`nbody`] — all-pairs N-body on the Gray-code ring (the Fox & Otto
+//!   pipeline the paper cites);
+//! * [`spmv`] — sparse matrix–vector products driven by the control
+//!   processor's gather hardware, with the §II gather/arithmetic overlap
+//!   schedule.
+//!
+//! Every kernel verifies its numerics against a host-side reference and
+//! reports a [`KernelStats`] from the machine's metrics, so the benches can
+//! plot achieved MFLOPS, speedup and communication share.
+
+#![deny(missing_docs)]
+
+pub mod cg;
+pub mod fft;
+pub mod lu;
+pub mod matmul;
+pub mod nbody;
+pub mod sort;
+pub mod spmv;
+pub mod stencil;
+pub mod transpose;
+
+use ts_sim::{Dur, Metrics};
+
+/// What a kernel run achieved, derived from machine metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelStats {
+    /// Simulated wall-clock of the run.
+    pub elapsed: Dur,
+    /// Total floating-point operations performed by the vector units.
+    pub flops: u64,
+    /// Total bytes sent over hypercube links.
+    pub bytes_sent: u64,
+    /// Aggregate achieved MFLOPS.
+    pub mflops: f64,
+    /// Fraction of node-time the vector units were busy (0..=1 per node).
+    pub vec_utilization: f64,
+}
+
+impl KernelStats {
+    /// Derive stats from aggregated machine metrics over `elapsed` time on
+    /// `nodes` nodes.
+    pub fn from_metrics(metrics: &Metrics, elapsed: Dur, nodes: u64) -> KernelStats {
+        let flops = metrics.get("vec.flops");
+        let bytes = metrics.get("link.bytes_sent");
+        let secs = elapsed.as_secs_f64();
+        let vec_busy = metrics.get_time("vec.busy").as_secs_f64();
+        KernelStats {
+            elapsed,
+            flops,
+            bytes_sent: bytes,
+            mflops: if secs > 0.0 { flops as f64 / secs / 1e6 } else { 0.0 },
+            vec_utilization: if secs > 0.0 { vec_busy / (secs * nodes as f64) } else { 0.0 },
+        }
+    }
+}
+
+/// Simple splitmix64 PRNG for reproducible test data without threading a
+/// rand dependency through every kernel.
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A reproducible pseudo-random f64 in (-1, 1).
+pub fn rand_f64(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+}

@@ -1,0 +1,231 @@
+//! Distributed matrix multiplication: Cannon's algorithm on the 2-D torus
+//! embedding (Figure 3's mesh, with the wrap edges the cyclic Gray code
+//! provides).
+//!
+//! The machine's 2ⁿ nodes form an s × s torus (s = 2^(n/2)); each node owns
+//! b × b blocks of A, B and C (b = N/s). After the initial skew (block row
+//! r of A shifted r positions left, block column c of B shifted c up),
+//! every step multiplies the resident blocks — b² chained SAXPY vector
+//! forms of length b — and shifts A left, B up by one torus position. All
+//! shifts are single cube hops because the embedding is dilation-1.
+
+use ts_cube::{embed::MeshEmbedding, Hypercube};
+use ts_fpu::Sf64;
+use ts_node::{occam, NodeCtx};
+
+use crate::{rand_f64, KernelStats};
+
+/// The SPMD torus geometry of one node.
+struct TorusPos {
+    mesh: MeshEmbedding,
+    /// My (col, row) coordinate.
+    coords: Vec<u32>,
+}
+
+impl TorusPos {
+    fn new(cube: Hypercube, me: u32) -> TorusPos {
+        let half = cube.dim() / 2;
+        let mesh = MeshEmbedding::new(cube, &[half, half]);
+        let coords = mesh.coords_of(me);
+        TorusPos { mesh, coords }
+    }
+
+    fn side(&self) -> u32 {
+        self.mesh.side(0)
+    }
+
+    /// The cube dimension crossed when stepping along `axis` (wrapping).
+    fn step_dim(&self, me: u32, axis: usize, forward: bool) -> usize {
+        let nb = self.mesh.node_at(&self.mesh.step_wrap(&self.coords, axis, forward));
+        (me ^ nb).trailing_zeros() as usize
+    }
+}
+
+/// One torus shift: send my block one step along `axis` (backward =
+/// "left"/"up"), receive the neighbour's from the other side.
+async fn shift(ctx: &NodeCtx, pos: &TorusPos, axis: usize, block: Vec<Sf64>) -> Vec<Sf64> {
+    let me = ctx.id();
+    let send_dim = pos.step_dim(me, axis, false);
+    let recv_dim = pos.step_dim(me, axis, true);
+    let h = ctx.handle().clone();
+    let tx = ctx.clone();
+    let rx = ctx.clone();
+    let (_, incoming) = occam::par2(
+        &h,
+        async move { tx.send_f64s(send_dim, &block).await },
+        async move { rx.recv_f64s(recv_dim).await },
+    )
+    .await;
+    incoming
+}
+
+/// Local GEMM: `c += a · b` on b×b row-major blocks, as b² chained SAXPY
+/// vector forms (`C[i,:] += A[i,k] · B[k,:]`).
+async fn local_gemm(ctx: &NodeCtx, bsize: usize, a: &[Sf64], b: &[Sf64], c: &mut [Sf64]) {
+    for i in 0..bsize {
+        for k in 0..bsize {
+            let aik = a[i * bsize + k];
+            let brow = &b[k * bsize..(k + 1) * bsize];
+            let crow = &mut c[i * bsize..(i + 1) * bsize];
+            ctx.saxpy_values(aik, brow, crow).await;
+        }
+    }
+}
+
+/// The per-node Cannon program: returns this node's C block.
+pub async fn cannon_node(
+    ctx: NodeCtx,
+    cube: Hypercube,
+    bsize: usize,
+    mut a: Vec<Sf64>,
+    mut b: Vec<Sf64>,
+) -> Vec<Sf64> {
+    let pos = TorusPos::new(cube, ctx.id());
+    let s = pos.side();
+    let (col, row) = (pos.coords[0], pos.coords[1]);
+    // Initial skew: A moves `row` steps left (axis 0), B `col` steps up
+    // (axis 1). Unit steps keep every hop on a physical cube edge.
+    for _ in 0..row {
+        a = shift(&ctx, &pos, 0, a).await;
+    }
+    for _ in 0..col {
+        b = shift(&ctx, &pos, 1, b).await;
+    }
+    let mut c = vec![Sf64::ZERO; bsize * bsize];
+    for step in 0..s {
+        local_gemm(&ctx, bsize, &a, &b, &mut c).await;
+        if step + 1 < s {
+            a = shift(&ctx, &pos, 0, a).await;
+            b = shift(&ctx, &pos, 1, b).await;
+        }
+    }
+    c
+}
+
+/// Host-side driver: generate N×N matrices, run Cannon on `machine`,
+/// return (A, B, C) as host row-major matrices plus the run's stats.
+pub fn distributed_matmul(
+    machine: &mut t_series_core::Machine,
+    n: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, KernelStats) {
+    let cube = machine.cube;
+    assert!(cube.dim() % 2 == 0, "Cannon needs a square torus (even cube dimension)");
+    let s = 1usize << (cube.dim() / 2);
+    assert!(n % s == 0, "matrix size must divide the torus side");
+    let bsize = n / s;
+
+    let mut st = seed;
+    let a: Vec<f64> = (0..n * n).map(|_| rand_f64(&mut st)).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rand_f64(&mut st)).collect();
+
+    // Cut blocks.
+    let block_of = |m: &[f64], br: usize, bc: usize| -> Vec<Sf64> {
+        let mut out = Vec::with_capacity(bsize * bsize);
+        for i in 0..bsize {
+            for j in 0..bsize {
+                out.push(Sf64::from(m[(br * bsize + i) * n + bc * bsize + j]));
+            }
+        }
+        out
+    };
+    let mesh = MeshEmbedding::new(cube, &[cube.dim() / 2, cube.dim() / 2]);
+
+    let t0 = machine.now();
+    let handles: Vec<_> = machine
+        .nodes
+        .iter()
+        .map(|node| {
+            let ctx = node.ctx();
+            let coords = mesh.coords_of(node.id);
+            let (bc, br) = (coords[0] as usize, coords[1] as usize);
+            let ab = block_of(&a, br, bc);
+            let bb = block_of(&b, br, bc);
+            let h = machine.handle();
+            h.spawn(cannon_node(ctx, cube, bsize, ab, bb))
+        })
+        .collect();
+    let report = machine.run();
+    assert!(report.quiescent, "Cannon deadlocked");
+    let elapsed = machine.now().since(t0);
+
+    // Reassemble C.
+    let mut c = vec![0.0f64; n * n];
+    for (node, jh) in machine.nodes.iter().zip(handles) {
+        let cb = jh.try_take().expect("node program incomplete");
+        let coords = mesh.coords_of(node.id);
+        let (bc, br) = (coords[0] as usize, coords[1] as usize);
+        for i in 0..bsize {
+            for j in 0..bsize {
+                c[(br * bsize + i) * n + bc * bsize + j] = cb[i * bsize + j].to_host();
+            }
+        }
+    }
+    let stats = KernelStats::from_metrics(&machine.metrics(), elapsed, cube.nodes() as u64);
+    (a, b, c, stats)
+}
+
+/// Host reference multiply for verification.
+pub fn reference_matmul(n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t_series_core::{Machine, MachineCfg};
+
+    fn check(dim: u32, n: usize) -> KernelStats {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (a, b, c, stats) = distributed_matmul(&mut m, n, 42);
+        let want = reference_matmul(n, &a, &b);
+        for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+            assert!(
+                (got - w).abs() <= 1e-12 * w.abs().max(1.0),
+                "C[{i}] = {got}, want {w} (dim {dim}, n {n})"
+            );
+        }
+        stats
+    }
+
+    #[test]
+    fn cannon_2x2_torus() {
+        let stats = check(2, 8);
+        assert!(stats.flops > 0);
+        assert!(stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn cannon_4x4_torus() {
+        let stats = check(4, 16);
+        // 2·N³ useful flops plus nothing wasted: Cannon does exactly that.
+        assert_eq!(stats.flops, 2 * 16 * 16 * 16);
+    }
+
+    #[test]
+    fn cannon_single_node_degenerate() {
+        let stats = check(0, 8);
+        assert_eq!(stats.bytes_sent, 0, "no communication on a point machine");
+    }
+
+    #[test]
+    fn bigger_matrices_run_closer_to_peak() {
+        let small = check(2, 8);
+        let large = check(2, 32);
+        assert!(
+            large.mflops > small.mflops,
+            "large {} vs small {}",
+            large.mflops,
+            small.mflops
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! All-pairs N-body on the embedded ring — the concurrent-processor
+//! workload of Fox & Otto, whom the paper cites (refs. 3 and 4) as the
+//! algorithmic foundation for machines of this class.
+//!
+//! Bodies are split evenly over the 2ⁿ nodes arranged as the Gray-code
+//! ring (Figure 3). A travelling buffer of bodies circulates the ring for
+//! p−1 steps; at each step every node accumulates the forces its resident
+//! bodies feel from the visitors, then passes the buffer to its ring
+//! successor (one physical hop, dilation 1). Communication is perfectly
+//! balanced: every link carries the same traffic at the same time.
+//!
+//! Forces use a Plummer-softened inverse square law. Arithmetic cost is
+//! charged per pair: the r⁻³ factor needs the node's *software*
+//! reciprocal-square-root (no divider!), so a pair costs far more than the
+//! naive flop count — an honest accounting of 1986 node arithmetic.
+
+use ts_cube::{embed::RingEmbedding, Hypercube};
+use ts_fpu::softdiv;
+use ts_node::{occam, NodeCtx};
+
+use crate::{rand_f64, KernelStats};
+
+/// A point mass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub x: f64,
+    /// Position.
+    pub y: f64,
+    /// Mass.
+    pub m: f64,
+}
+
+/// Softening length (Plummer) keeping close encounters finite.
+pub const SOFTENING: f64 = 1e-3;
+
+/// Hardware operations charged per interaction pair: subtracts, multiplies
+/// and the Newton–Raphson reciprocal square root (r² → r⁻³ path).
+pub const FLOPS_PER_PAIR: u64 = 10 + softdiv::SQRT_FLOPS + softdiv::RECIP_FLOPS;
+
+fn pack(bodies: &[Body]) -> Vec<u32> {
+    let mut words = Vec::with_capacity(bodies.len() * 6);
+    for b in bodies {
+        for v in [b.x, b.y, b.m] {
+            let bits = v.to_bits();
+            words.push(bits as u32);
+            words.push((bits >> 32) as u32);
+        }
+    }
+    words
+}
+
+fn unpack(words: &[u32]) -> Vec<Body> {
+    words
+        .chunks_exact(6)
+        .map(|c| {
+            let f = |i: usize| {
+                f64::from_bits(c[2 * i] as u64 | ((c[2 * i + 1] as u64) << 32))
+            };
+            Body { x: f(0), y: f(1), m: f(2) }
+        })
+        .collect()
+}
+
+/// Accumulate the forces `residents` feel from `visitors`.
+fn accumulate(residents: &[Body], visitors: &[Body], forces: &mut [(f64, f64)]) {
+    for (i, r) in residents.iter().enumerate() {
+        for v in visitors {
+            let dx = v.x - r.x;
+            let dy = v.y - r.y;
+            let r2 = dx * dx + dy * dy + SOFTENING * SOFTENING;
+            if r2 == 0.0 {
+                continue;
+            }
+            let inv_r = 1.0 / r2.sqrt();
+            let f = r.m * v.m * inv_r * inv_r * inv_r;
+            forces[i].0 += f * dx;
+            forces[i].1 += f * dy;
+        }
+    }
+}
+
+/// The per-node program: returns the total force on each resident body.
+pub async fn nbody_node(
+    ctx: NodeCtx,
+    cube: Hypercube,
+    residents: Vec<Body>,
+) -> Vec<(f64, f64)> {
+    let ring = RingEmbedding::new(cube);
+    let me = ctx.id();
+    let next = ring.next(me);
+    let prev = ring.prev(me);
+    let send_dim = (me ^ next).trailing_zeros() as usize;
+    let recv_dim = (me ^ prev).trailing_zeros() as usize;
+    let nl = residents.len();
+
+    let mut forces = vec![(0.0, 0.0); nl];
+    // Self-interactions (excluding each body with itself).
+    for i in 0..nl {
+        let mut others = residents.clone();
+        others.swap_remove(i);
+        accumulate(&residents[i..=i], &others, &mut forces[i..=i]);
+    }
+    ctx.charge_vec_flops(FLOPS_PER_PAIR * (nl * nl.saturating_sub(1)) as u64).await;
+
+    // Circulate the visitor buffer p−1 steps around the ring.
+    let mut visitors = residents.clone();
+    for _ in 1..cube.nodes() {
+        let h = ctx.handle().clone();
+        let tx = ctx.clone();
+        let rx = ctx.clone();
+        let outgoing = pack(&visitors);
+        let (_, incoming) = occam::par2(
+            &h,
+            async move { tx.send_dim(send_dim, outgoing).await },
+            async move { rx.recv_dim(recv_dim).await },
+        )
+        .await;
+        visitors = unpack(&incoming);
+        accumulate(&residents, &visitors, &mut forces);
+        ctx.charge_vec_flops(FLOPS_PER_PAIR * (nl * visitors.len()) as u64).await;
+    }
+    forces
+}
+
+/// Host driver: total forces for `total` random bodies; returns
+/// `(bodies, forces, stats)` in global order.
+pub fn distributed_nbody(
+    machine: &mut t_series_core::Machine,
+    total: usize,
+    seed: u64,
+) -> (Vec<Body>, Vec<(f64, f64)>, KernelStats) {
+    let cube = machine.cube;
+    let p = cube.nodes() as usize;
+    assert!(total % p == 0);
+    let nl = total / p;
+    let mut st = seed;
+    let bodies: Vec<Body> = (0..total)
+        .map(|_| Body {
+            x: rand_f64(&mut st) * 10.0,
+            y: rand_f64(&mut st) * 10.0,
+            m: rand_f64(&mut st).abs() + 0.1,
+        })
+        .collect();
+
+    let t0 = machine.now();
+    let handles: Vec<_> = machine
+        .nodes
+        .iter()
+        .map(|node| {
+            let lo = node.id as usize * nl;
+            machine
+                .handle()
+                .spawn(nbody_node(node.ctx(), cube, bodies[lo..lo + nl].to_vec()))
+        })
+        .collect();
+    let report = machine.run();
+    assert!(report.quiescent, "n-body deadlocked");
+    let elapsed = machine.now().since(t0);
+    let mut forces = Vec::with_capacity(total);
+    for jh in handles {
+        forces.extend(jh.try_take().expect("n-body incomplete"));
+    }
+    let stats = KernelStats::from_metrics(&machine.metrics(), elapsed, p as u64);
+    (bodies, forces, stats)
+}
+
+/// Host reference: direct all-pairs summation.
+pub fn reference_forces(bodies: &[Body]) -> Vec<(f64, f64)> {
+    let mut out = vec![(0.0, 0.0); bodies.len()];
+    for (i, r) in bodies.iter().enumerate() {
+        for (j, v) in bodies.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dx = v.x - r.x;
+            let dy = v.y - r.y;
+            let r2 = dx * dx + dy * dy + SOFTENING * SOFTENING;
+            let inv_r = 1.0 / r2.sqrt();
+            let f = r.m * v.m * inv_r * inv_r * inv_r;
+            out[i].0 += f * dx;
+            out[i].1 += f * dy;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t_series_core::{Machine, MachineCfg};
+
+    fn check(dim: u32, total: usize) -> KernelStats {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (bodies, forces, stats) = distributed_nbody(&mut m, total, 2718);
+        let want = reference_forces(&bodies);
+        for (i, ((gx, gy), (wx, wy))) in forces.iter().zip(&want).enumerate() {
+            // Summation order differs between the ring schedule and the
+            // reference loop; allow float reassociation noise.
+            assert!(
+                (gx - wx).abs() < 1e-9 && (gy - wy).abs() < 1e-9,
+                "force[{i}] = ({gx},{gy}), want ({wx},{wy})"
+            );
+        }
+        stats
+    }
+
+    #[test]
+    fn nbody_single_node() {
+        check(0, 16);
+    }
+
+    #[test]
+    fn nbody_on_a_square() {
+        let stats = check(2, 32);
+        assert!(stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn nbody_on_a_cube() {
+        // 8 nodes: the buffer makes 7 hops; traffic is balanced.
+        let stats = check(3, 32);
+        // Every node sends its 4-body buffer (24 words + ...) 7 times.
+        assert_eq!(stats.bytes_sent, 8 * 7 * 4 * 6 * 4);
+    }
+
+    #[test]
+    fn ring_steps_are_single_hops() {
+        // The schedule's communication partner is always one physical hop.
+        let cube = ts_cube::Hypercube::new(4);
+        let ring = ts_cube::embed::RingEmbedding::new(cube);
+        for node in cube.iter() {
+            assert_eq!(cube.distance(node, ring.next(node)), 1);
+        }
+    }
+
+    #[test]
+    fn softened_forces_are_finite_for_coincident_bodies() {
+        let bodies = vec![
+            Body { x: 1.0, y: 1.0, m: 1.0 },
+            Body { x: 1.0, y: 1.0, m: 2.0 },
+        ];
+        let f = reference_forces(&bodies);
+        assert!(f[0].0.is_finite() && f[0].1.is_finite());
+    }
+}

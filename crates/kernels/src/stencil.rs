@@ -1,0 +1,244 @@
+//! Jacobi relaxation on the embedded 2-D mesh — the workload behind the
+//! "meshes (up to dimension n)" entry of Figure 3.
+//!
+//! The machine's nodes form an s×s mesh (Gray-coded, dilation 1); each owns
+//! a g×g tile of the global (s·g)×(s·g) grid. Every sweep exchanges halo
+//! rows/columns with the (up to four) mesh neighbours — mesh faces have no
+//! neighbour; the global boundary is held at zero — then relaxes
+//! `u' = ¼(N+S+E+W)`, charging the vector units 4 flops per interior
+//! point. Numerics use host `f64` values carried through `Sf64` storage.
+
+use ts_cube::{embed::MeshEmbedding, Hypercube};
+use ts_node::NodeCtx;
+
+use crate::KernelStats;
+
+fn pack(vals: &[f64]) -> Vec<u32> {
+    let mut words = Vec::with_capacity(vals.len() * 2);
+    for v in vals {
+        let b = v.to_bits();
+        words.push(b as u32);
+        words.push((b >> 32) as u32);
+    }
+    words
+}
+
+fn unpack(words: &[u32]) -> Vec<f64> {
+    words
+        .chunks_exact(2)
+        .map(|c| f64::from_bits(c[0] as u64 | ((c[1] as u64) << 32)))
+        .collect()
+}
+
+/// The per-node Jacobi program: `tile` is g×g row-major; runs `sweeps`
+/// iterations and returns the final tile.
+pub async fn jacobi_node(
+    ctx: NodeCtx,
+    cube: Hypercube,
+    g: usize,
+    mut tile: Vec<f64>,
+    sweeps: usize,
+) -> Vec<f64> {
+    let half = cube.dim() / 2;
+    let mesh = MeshEmbedding::new(cube, &[half, cube.dim() - half]);
+    let me = ctx.id();
+    let coords = mesh.coords_of(me);
+    // Neighbour cube-dimension per (axis, forward).
+    let neighbor = |axis: usize, forward: bool| -> Option<usize> {
+        mesh.step(&coords, axis, forward)
+            .map(|nc| (me ^ mesh.node_at(&nc)).trailing_zeros() as usize)
+    };
+    let west = neighbor(0, false);
+    let east = neighbor(0, true);
+    let north = neighbor(1, false);
+    let south = neighbor(1, true);
+
+    for _ in 0..sweeps {
+        // Extract halo strips.
+        let col = |x: usize| -> Vec<f64> { (0..g).map(|y| tile[y * g + x]).collect() };
+        let row = |y: usize| -> Vec<f64> { tile[y * g..(y + 1) * g].to_vec() };
+        // Exchange all four directions in PAR (deadlock-free: every edge
+        // has a send and a receive posted simultaneously).
+        let h = ctx.handle().clone();
+        let mut sends = Vec::new();
+        for (dim, strip) in [
+            (west, col(0)),
+            (east, col(g - 1)),
+            (north, row(0)),
+            (south, row(g - 1)),
+        ] {
+            if let Some(d) = dim {
+                let c = ctx.clone();
+                let words = pack(&strip);
+                sends.push(h.spawn(async move { c.send_dim(d, words).await }));
+            }
+        }
+        let mut halos: [Option<Vec<f64>>; 4] = [None, None, None, None];
+        let mut recvs = Vec::new();
+        for (slot, dim) in [west, east, north, south].into_iter().enumerate() {
+            if let Some(d) = dim {
+                let c = ctx.clone();
+                recvs.push((slot, h.spawn(async move { c.recv_dim(d).await })));
+            }
+        }
+        for (slot, jh) in recvs {
+            halos[slot] = Some(unpack(&jh.await));
+        }
+        for s in sends {
+            s.await;
+        }
+        let [w_halo, e_halo, n_halo, s_halo] = halos;
+
+        // Relax.
+        let at = |x: isize, y: isize| -> f64 {
+            if x < 0 {
+                w_halo.as_ref().map_or(0.0, |h| h[y as usize])
+            } else if x >= g as isize {
+                e_halo.as_ref().map_or(0.0, |h| h[y as usize])
+            } else if y < 0 {
+                n_halo.as_ref().map_or(0.0, |h| h[x as usize])
+            } else if y >= g as isize {
+                s_halo.as_ref().map_or(0.0, |h| h[x as usize])
+            } else {
+                tile[y as usize * g + x as usize]
+            }
+        };
+        let mut next = vec![0.0f64; g * g];
+        for y in 0..g as isize {
+            for x in 0..g as isize {
+                next[y as usize * g + x as usize] =
+                    0.25 * (at(x - 1, y) + at(x + 1, y) + at(x, y - 1) + at(x, y + 1));
+            }
+        }
+        tile = next;
+        ctx.charge_vec_flops(4 * (g * g) as u64).await;
+    }
+    tile
+}
+
+/// Host driver: run `sweeps` Jacobi iterations over an initial global grid
+/// (side = s·g); returns the final grid and stats.
+pub fn distributed_jacobi(
+    machine: &mut t_series_core::Machine,
+    g: usize,
+    sweeps: usize,
+    init: &[f64],
+) -> (Vec<f64>, KernelStats) {
+    let cube = machine.cube;
+    let half = cube.dim() / 2;
+    let mesh = MeshEmbedding::new(cube, &[half, cube.dim() - half]);
+    let (sx, sy) = (mesh.side(0) as usize, mesh.side(1) as usize);
+    let side_x = sx * g;
+    assert_eq!(init.len(), side_x * sy * g);
+
+    let t0 = machine.now();
+    let handles: Vec<_> = machine
+        .nodes
+        .iter()
+        .map(|node| {
+            let coords = mesh.coords_of(node.id);
+            let (cx, cy) = (coords[0] as usize, coords[1] as usize);
+            let mut tile = vec![0.0; g * g];
+            for y in 0..g {
+                for x in 0..g {
+                    tile[y * g + x] = init[(cy * g + y) * side_x + cx * g + x];
+                }
+            }
+            machine.handle().spawn(jacobi_node(node.ctx(), cube, g, tile, sweeps))
+        })
+        .collect();
+    let report = machine.run();
+    assert!(report.quiescent, "Jacobi deadlocked");
+    let elapsed = machine.now().since(t0);
+
+    let mut out = vec![0.0; init.len()];
+    for (node, jh) in machine.nodes.iter().zip(handles) {
+        let tile = jh.try_take().expect("jacobi incomplete");
+        let coords = mesh.coords_of(node.id);
+        let (cx, cy) = (coords[0] as usize, coords[1] as usize);
+        for y in 0..g {
+            for x in 0..g {
+                out[(cy * g + y) * side_x + cx * g + x] = tile[y * g + x];
+            }
+        }
+    }
+    let stats = KernelStats::from_metrics(&machine.metrics(), elapsed, cube.nodes() as u64);
+    (out, stats)
+}
+
+/// Host reference: the same sweeps on the full grid (zero boundary).
+pub fn reference_jacobi(width: usize, height: usize, sweeps: usize, init: &[f64]) -> Vec<f64> {
+    let mut cur = init.to_vec();
+    let at = |g: &[f64], x: isize, y: isize| -> f64 {
+        if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
+            0.0
+        } else {
+            g[y as usize * width + x as usize]
+        }
+    };
+    for _ in 0..sweeps {
+        let mut next = vec![0.0; cur.len()];
+        for y in 0..height as isize {
+            for x in 0..width as isize {
+                next[y as usize * width + x as usize] = 0.25
+                    * (at(&cur, x - 1, y) + at(&cur, x + 1, y) + at(&cur, x, y - 1)
+                        + at(&cur, x, y + 1));
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_f64;
+    use t_series_core::{Machine, MachineCfg};
+
+    fn check(dim: u32, g: usize, sweeps: usize) -> KernelStats {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let half = dim / 2;
+        let (sx, sy) = (1usize << half, 1usize << (dim - half));
+        let mut st = 5u64;
+        let init: Vec<f64> = (0..sx * g * sy * g).map(|_| rand_f64(&mut st)).collect();
+        let (got, stats) = distributed_jacobi(&mut m, g, sweeps, &init);
+        let want = reference_jacobi(sx * g, sy * g, sweeps, &init);
+        for (i, (&a, &b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-12, "grid[{i}] = {a}, want {b}");
+        }
+        stats
+    }
+
+    #[test]
+    fn jacobi_single_node() {
+        check(0, 8, 3);
+    }
+
+    #[test]
+    fn jacobi_on_a_line() {
+        check(1, 4, 4);
+    }
+
+    #[test]
+    fn jacobi_on_a_square() {
+        let stats = check(2, 4, 5);
+        assert!(stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn jacobi_on_an_8_node_rectangle() {
+        check(3, 4, 3);
+    }
+
+    #[test]
+    fn zero_boundary_decays_constant_field() {
+        // A constant field with zero boundary must decay monotonically.
+        let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+        let g = 4;
+        let init = vec![1.0; 8 * 8];
+        let (out, _) = distributed_jacobi(&mut m, g, 10, &init);
+        let max = out.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max < 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the distributed kernels: verified numerics on random
+//! problem sizes, seeds and machine shapes.
+
+use proptest::prelude::*;
+use t_series_core::{Machine, MachineCfg};
+use ts_kernels::{fft, lu, matmul, sort, stencil};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matmul_random(dim_half in 0u32..=2, blocks in 1usize..=3, seed in any::<u64>()) {
+        let dim = dim_half * 2;
+        let s = 1usize << dim_half;
+        let n = s * blocks * 2;
+        let mut m = Machine::build(MachineCfg::cube(dim));
+        let (a, b, c, stats) = matmul::distributed_matmul(&mut m, n, seed);
+        let want = matmul::reference_matmul(n, &a, &b);
+        for (got, w) in c.iter().zip(&want) {
+            prop_assert!((got - w).abs() <= 1e-12 * w.abs().max(1.0));
+        }
+        prop_assert_eq!(stats.flops, 2 * (n * n * n) as u64);
+    }
+
+    #[test]
+    fn fft_random(dim in 0u32..=3, log_local in 1u32..=4, seed in any::<u64>()) {
+        let total = 1usize << (dim + log_local);
+        let mut st = seed;
+        let input: Vec<(f64, f64)> = (0..total)
+            .map(|_| (ts_kernels::rand_f64(&mut st), ts_kernels::rand_f64(&mut st)))
+            .collect();
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (got, _) = fft::distributed_fft(&mut m, &input);
+        let want = fft::reference_dft(&input);
+        for (&(gr, gi), &(wr, wi)) in got.iter().zip(&want) {
+            prop_assert!((gr - wr).abs() < 1e-9 * total as f64, "{} vs {}", gr, wr);
+            prop_assert!((gi - wi).abs() < 1e-9 * total as f64);
+        }
+    }
+
+    #[test]
+    fn lu_random(dim in 0u32..=2, n_scale in 1usize..=3, seed in any::<u64>()) {
+        let n = 8 * n_scale * (1usize << dim).max(1);
+        prop_assume!(n <= 64);
+        let mut m = Machine::build(MachineCfg::cube(dim));
+        let (a, perm, lumat, _) = lu::distributed_lu(&mut m, n, seed);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        let err = lu::reconstruction_error(n, &a, &perm, &lumat);
+        prop_assert!(err < 1e-9, "reconstruction error {}", err);
+    }
+
+    #[test]
+    fn sort_random(dim in 0u32..=4, per_node in 1usize..=32, seed in any::<u64>()) {
+        let total = per_node << dim;
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (got, _) = sort::distributed_sort(&mut m, total, seed);
+        prop_assert_eq!(got.len(), total);
+        for w in got.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Same multiset as the input (regenerate it).
+        let mut st = seed;
+        let mut want: Vec<f64> =
+            (0..total).map(|_| ts_kernels::rand_f64(&mut st) * 1e6).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn jacobi_random(dim in 0u32..=4, g_pow in 1u32..=3, sweeps in 1usize..=6, seed in any::<u64>()) {
+        let g = 1usize << g_pow;
+        let half = dim / 2;
+        let (sx, sy) = (1usize << half, 1usize << (dim - half));
+        let mut st = seed;
+        let init: Vec<f64> =
+            (0..sx * g * sy * g).map(|_| ts_kernels::rand_f64(&mut st)).collect();
+        let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (got, _) = stencil::distributed_jacobi(&mut m, g, sweeps, &init);
+        let want = stencil::reference_jacobi(sx * g, sy * g, sweeps, &init);
+        for (&a, &b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Determinism across kernels: identical stats on identical runs.
+    #[test]
+    fn kernel_runs_are_deterministic(seed in any::<u64>()) {
+        let run = || {
+            let mut m = Machine::build(MachineCfg::cube(2));
+            let (_, _, c, stats) = matmul::distributed_matmul(&mut m, 8, seed);
+            (c, stats.elapsed, stats.bytes_sent)
+        };
+        let (c1, t1, b1) = run();
+        let (c2, t2, b2) = run();
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(b1, b2);
+    }
+}

@@ -1,0 +1,459 @@
+//! # ts-link — the node's serial communication links
+//!
+//! §II *Communications*: each control processor drives **four serial,
+//! bidirectional links**. Every 8-bit byte travels with two synchronization
+//! bits and one stop bit and is answered by a two-bit acknowledge, giving a
+//! maximum unidirectional bandwidth of **over 0.5 MB/s per link** and over
+//! 4 MB/s for the four links together. Links transfer by **DMA with about
+//! 5 µs of startup**, and each link is **multiplexed four ways** into
+//! sublinks (16 per node) that divide the available bandwidth in software.
+//!
+//! The model works at the level the paper specifies:
+//!
+//! * [`LinkParams`] — line rate and framing. The default calibration is a
+//!   10 Mbit/s line with 11 frame bits + 2 ack bits + 7 bit-times of
+//!   ack turnaround per byte = 20 bit-times = **2.0 µs/byte**, which makes
+//!   the effective rate exactly the paper's 0.5 MB/s and a 64-bit word cost
+//!   exactly the 16 µs used in the paper's 1 : 13 : 130 balance ratio.
+//! * [`Wire`] — one direction of one physical link: a FIFO bandwidth
+//!   server. All sublinks multiplexed onto the link contend here, which is
+//!   how "these sublinks divide the available bandwidth" emerges.
+//! * [`LinkChannel`] — one sublink: a CSP rendezvous (the Occam channel the
+//!   hardware implements) whose transfer occupies the wire for the framed
+//!   duration and charges the DMA startup.
+//!
+//! Payloads are `Vec<u32>` memory words — the unit the DMA engine moves
+//! through the word port on each side.
+
+#![deny(missing_docs)]
+
+use ts_sim::{Dur, Metrics, OneShot, Rendezvous, Resource, SimHandle, Time};
+
+/// Line rate and framing of one serial link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Raw line rate, bits per second.
+    pub bit_rate: u64,
+    /// Bits framing each data byte on the forward wire
+    /// (2 sync + 8 data + 1 stop = 11).
+    pub frame_bits: u64,
+    /// Acknowledge bits returned per byte.
+    pub ack_bits: u64,
+    /// Dead bit-times waiting for the (non-overlapped) acknowledge.
+    pub turnaround_bits: u64,
+    /// DMA engine startup per message.
+    pub dma_startup: Dur,
+}
+
+impl Default for LinkParams {
+    /// The paper calibration: 2.0 µs/byte effective (0.5 MB/s), 5 µs DMA
+    /// startup.
+    fn default() -> Self {
+        LinkParams {
+            bit_rate: 10_000_000,
+            frame_bits: 11,
+            ack_bits: 2,
+            turnaround_bits: 7,
+            dma_startup: Dur::us(5),
+        }
+    }
+}
+
+impl LinkParams {
+    /// Wall-clock time for one framed, acknowledged byte.
+    pub fn byte_time(&self) -> Dur {
+        let bits = self.frame_bits + self.ack_bits + self.turnaround_bits;
+        // bit time in ps = 1e12 / rate; exact for the default 10 MHz.
+        Dur::ps(bits * 1_000_000_000_000 / self.bit_rate)
+    }
+
+    /// Wire-occupancy time for a payload of `bytes` (excludes DMA startup).
+    pub fn wire_time(&self, bytes: usize) -> Dur {
+        self.byte_time() * bytes as u64
+    }
+
+    /// Full message latency when the wire is idle: startup + transfer.
+    pub fn message_time(&self, bytes: usize) -> Dur {
+        self.dma_startup + self.wire_time(bytes)
+    }
+
+    /// Effective unidirectional bandwidth in MB/s (paper: "over 0.5").
+    pub fn effective_mb_per_s(&self) -> f64 {
+        self.byte_time().throughput_bytes(1) / 1e6
+    }
+
+    /// Aggregate bandwidth of all four links (paper: "over 4 MB/s" counting
+    /// both directions of each bidirectional link).
+    pub fn node_aggregate_mb_per_s(&self) -> f64 {
+        self.effective_mb_per_s() * 4.0 * 2.0
+    }
+}
+
+/// One direction of one physical serial link: a FIFO bandwidth server with
+/// utilization accounting. The four sublinks multiplexed onto the link all
+/// reserve capacity here.
+#[derive(Clone)]
+pub struct Wire {
+    resource: Resource,
+    params: LinkParams,
+}
+
+impl Wire {
+    /// Create an idle wire.
+    pub fn new(name: &'static str, params: LinkParams) -> Wire {
+        Wire { resource: Resource::new(name), params }
+    }
+
+    /// Framing parameters.
+    pub fn params(&self) -> LinkParams {
+        self.params
+    }
+
+    /// Occupy the wire for a `bytes`-byte transfer starting no earlier than
+    /// `now`; returns the `(start, end)` of the granted slot.
+    pub fn reserve(&self, now: Time, bytes: usize) -> (Time, Time) {
+        self.resource.reserve(now, self.params.wire_time(bytes))
+    }
+
+    /// Total time the wire has carried data.
+    pub fn busy_total(&self) -> Dur {
+        self.resource.busy_total()
+    }
+
+    /// The underlying FIFO server (for joint reservations).
+    pub fn resource(&self) -> &Resource {
+        &self.resource
+    }
+
+    /// Fraction of `[0, now]` the wire was busy.
+    pub fn utilization(&self, now: Time) -> f64 {
+        self.resource.utilization(now)
+    }
+}
+
+struct Packet {
+    words: Vec<u32>,
+    /// Completion instant, reported back to the sender by the receiver.
+    done: OneShot<Time>,
+}
+
+/// One **sublink**: a unidirectional CSP channel multiplexed onto the
+/// sending node's output [`Wire`] and the receiving node's input wire.
+///
+/// `send`/`recv` rendezvous like an Occam channel; the transfer then holds
+/// **both** link engines for the framed duration, so concurrent sublinks on
+/// either engine divide its bandwidth. Clone freely; both ends hold the
+/// same channel.
+#[derive(Clone)]
+pub struct LinkChannel {
+    rv: Rendezvous<Packet>,
+    tx_wire: Wire,
+    rx_wire: Wire,
+    metrics: Metrics,
+}
+
+impl LinkChannel {
+    /// Create a sublink whose two ends share one `wire` (unit tests and
+    /// simple point-to-point setups).
+    pub fn new(wire: Wire) -> LinkChannel {
+        LinkChannel { rv: Rendezvous::new(), tx_wire: wire.clone(), rx_wire: wire, metrics: Metrics::new() }
+    }
+
+    /// Create a sublink between two distinct link engines: the sender's
+    /// output wire and the receiver's input wire.
+    pub fn new_pair(tx_wire: Wire, rx_wire: Wire) -> LinkChannel {
+        LinkChannel { rv: Rendezvous::new(), tx_wire, rx_wire, metrics: Metrics::new() }
+    }
+
+    /// Create a sublink with shared metrics (the node's counters).
+    pub fn with_metrics(wire: Wire, metrics: Metrics) -> LinkChannel {
+        LinkChannel { rv: Rendezvous::new(), tx_wire: wire.clone(), rx_wire: wire, metrics }
+    }
+
+    /// Attach a metrics bundle after construction.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The receiving-side wire this sublink is multiplexed onto.
+    pub fn wire(&self) -> &Wire {
+        &self.rx_wire
+    }
+
+    /// Send `words` and suspend until the receiver has them (CSP semantics:
+    /// the sender resumes when the transfer completes).
+    pub async fn send(&self, h: &SimHandle, words: Vec<u32>) {
+        let bytes = words.len() * 4;
+        // DMA engine setup on the sending side.
+        h.sleep(self.tx_wire.params.dma_startup).await;
+        let done = OneShot::new();
+        self.metrics.inc("link.msgs_sent");
+        self.metrics.add("link.bytes_sent", bytes as u64);
+        self.rv.send(Packet { words, done: done.clone() }).await;
+        let end = done.recv().await;
+        h.sleep_until(end).await;
+    }
+
+    /// Receive a message, suspending until a sender arrives and the framed
+    /// transfer completes. Returns the payload words.
+    pub async fn recv(&self, h: &SimHandle) -> Vec<u32> {
+        let pkt = self.rv.recv().await;
+        let bytes = pkt.words.len() * 4;
+        let (_start, end) = self.reserve_both(h.now(), bytes);
+        h.sleep_until(end).await;
+        self.metrics.inc("link.msgs_recv");
+        self.metrics.add("link.bytes_recv", bytes as u64);
+        pkt.done.send(end);
+        pkt.words
+    }
+
+    /// Occupy both link engines for a `bytes`-byte transfer.
+    fn reserve_both(&self, now: Time, bytes: usize) -> (Time, Time) {
+        Resource::reserve_pair(
+            self.tx_wire.resource(),
+            self.rx_wire.resource(),
+            now,
+            self.rx_wire.params.wire_time(bytes),
+        )
+    }
+
+    /// True if a sender is currently blocked on this sublink (used by ALT).
+    pub fn sender_waiting(&self) -> bool {
+        self.rv.sender_waiting()
+    }
+
+    /// This channel's metrics handle.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+/// Occam-style `ALT` over several sublinks: resolves to
+/// `(channel_index, payload)` for the first channel whose sender commits,
+/// completing the framed transfer on that channel's wire. Lowest index wins
+/// when several senders are already waiting (`PRI ALT`).
+pub async fn alt_recv(h: &SimHandle, chans: &[&LinkChannel]) -> (usize, Vec<u32>) {
+    let rvs: Vec<&Rendezvous<Packet>> = chans.iter().map(|c| &c.rv).collect();
+    let (idx, pkt) = ts_sim::alt(&rvs).await;
+    let bytes = pkt.words.len() * 4;
+    let ch = chans[idx];
+    let (_start, end) = ch.reserve_both(h.now(), bytes);
+    h.sleep_until(end).await;
+    ch.metrics.inc("link.msgs_recv");
+    ch.metrics.add("link.bytes_recv", bytes as u64);
+    pkt.done.send(end);
+    (idx, pkt.words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_sim::Sim;
+
+    #[test]
+    fn calibration_matches_paper() {
+        let p = LinkParams::default();
+        assert_eq!(p.byte_time(), Dur::us(2));
+        // Effective unidirectional rate = 0.5 MB/s.
+        assert!((p.effective_mb_per_s() - 0.5).abs() < 1e-12);
+        // A 64-bit word costs 16 µs on the wire — the paper's ratio basis.
+        assert_eq!(p.wire_time(8), Dur::us(16));
+        // Four bidirectional links: > 4 MB/s aggregate.
+        assert!(p.node_aggregate_mb_per_s() >= 4.0);
+        // Raw line rate is 10 Mb/s but framing eats 9/20 of it.
+        let raw_mb = p.bit_rate as f64 / 8.0 / 1e6;
+        assert!(p.effective_mb_per_s() < raw_mb / 2.0);
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let wire = Wire::new("w", LinkParams::default());
+        let ch = LinkChannel::new(wire);
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        sim.spawn(async move {
+            tx.send(&h2, vec![0xff; 2]).await; // one 64-bit word
+            // Sender resumes at startup (5 µs) + wire (16 µs) = 21 µs.
+            assert_eq!(h2.now().as_ns(), 21_000);
+        });
+        let jh = sim.spawn(async move { rx.recv(&h).await });
+        assert!(sim.run().quiescent);
+        assert_eq!(jh.try_take(), Some(vec![0xff, 0xff]));
+        assert_eq!(sim.now().as_ns(), 21_000);
+    }
+
+    #[test]
+    fn streaming_reaches_half_mb_per_s() {
+        // Many back-to-back messages: amortized rate approaches 0.5 MB/s
+        // minus the DMA startup share.
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let wire = Wire::new("w", LinkParams::default());
+        let ch = LinkChannel::new(wire.clone());
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        const MSGS: usize = 100;
+        const WORDS: usize = 256; // 1 KB messages
+        sim.spawn(async move {
+            for _ in 0..MSGS {
+                tx.send(&h2, vec![1u32; WORDS]).await;
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..MSGS {
+                rx.recv(&h).await;
+            }
+        });
+        let mut sim = sim;
+        assert!(sim.run().quiescent);
+        let bytes = (MSGS * WORDS * 4) as u64;
+        let rate = sim.now().since(Time::ZERO).throughput_bytes(bytes) / 1e6;
+        assert!(rate > 0.49 && rate <= 0.5, "rate = {rate} MB/s");
+        // The wire itself was busy for exactly bytes × 2 µs.
+        assert_eq!(wire.busy_total(), Dur::us(2) * bytes);
+    }
+
+    #[test]
+    fn two_sublinks_share_one_wire() {
+        // Two sublinks multiplexed on one wire: aggregate stays 0.5 MB/s,
+        // each sublink sees roughly half.
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let wire = Wire::new("w", LinkParams::default());
+        let mut finish = Vec::new();
+        for _ in 0..2 {
+            let ch = LinkChannel::new(wire.clone());
+            let (tx, rx) = (ch.clone(), ch);
+            let hs = h.clone();
+            let hr = h.clone();
+            sim.spawn(async move {
+                for _ in 0..50 {
+                    tx.send(&hs, vec![0u32; 256]).await;
+                }
+            });
+            finish.push(sim.spawn(async move {
+                for _ in 0..50 {
+                    rx.recv(&hr).await;
+                }
+                hr.now()
+            }));
+        }
+        assert!(sim.run().quiescent);
+        let bytes = 2u64 * 50 * 256 * 4;
+        let rate = sim.now().since(Time::ZERO).throughput_bytes(bytes) / 1e6;
+        assert!(rate > 0.49 && rate <= 0.5, "aggregate = {rate} MB/s");
+        // Both sublinks finished near the end (they interleaved, neither
+        // starved).
+        for jh in finish {
+            let t = jh.try_take().unwrap();
+            assert!(t.as_secs_f64() > sim.now().as_secs_f64() * 0.9);
+        }
+    }
+
+    #[test]
+    fn separate_wires_run_in_parallel() {
+        // Two sublinks on *different* wires: aggregate 1.0 MB/s.
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        for name in ["w0", "w1"] {
+            let ch = LinkChannel::new(Wire::new(name, LinkParams::default()));
+            let (tx, rx) = (ch.clone(), ch);
+            let hs = h.clone();
+            let hr = h.clone();
+            sim.spawn(async move {
+                for _ in 0..50 {
+                    tx.send(&hs, vec![0u32; 256]).await;
+                }
+            });
+            sim.spawn(async move {
+                for _ in 0..50 {
+                    rx.recv(&hr).await;
+                }
+            });
+        }
+        assert!(sim.run().quiescent);
+        let bytes = 2u64 * 50 * 256 * 4;
+        let rate = sim.now().since(Time::ZERO).throughput_bytes(bytes) / 1e6;
+        assert!(rate > 0.98 && rate <= 1.0, "aggregate = {rate} MB/s");
+    }
+
+    #[test]
+    fn dma_startup_amortization() {
+        // Message latency = 5 µs + 2 µs/byte: tiny messages are startup
+        // dominated; the crossover where startup is half the cost is 2.5
+        // bytes — the argument for the paper's ~130-ops-per-word rule.
+        let p = LinkParams::default();
+        assert_eq!(p.message_time(1), Dur::us(7));
+        assert_eq!(p.message_time(8), Dur::us(21));
+        assert_eq!(p.message_time(1024), Dur::us(5 + 2048));
+        let eff_1k = p.message_time(1024).throughput_bytes(1024) / 1e6;
+        assert!(eff_1k > 0.49, "{eff_1k}");
+    }
+
+    #[test]
+    fn metrics_count_traffic() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = Metrics::new();
+        let ch = LinkChannel::with_metrics(Wire::new("w", LinkParams::default()), m.clone());
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![0; 4]).await });
+        sim.spawn(async move {
+            rx.recv(&h).await;
+        });
+        assert!(sim.run().quiescent);
+        assert_eq!(m.get("link.msgs_sent"), 1);
+        assert_eq!(m.get("link.bytes_sent"), 16);
+        assert_eq!(m.get("link.bytes_recv"), 16);
+    }
+    #[test]
+    fn alt_recv_takes_first_sender() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let a = LinkChannel::new(Wire::new("a", LinkParams::default()));
+        let b = LinkChannel::new(Wire::new("b", LinkParams::default()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(Dur::us(100)).await;
+            a2.send(&h2, vec![1, 1]).await;
+        });
+        let h3 = h.clone();
+        sim.spawn(async move {
+            b2.send(&h3, vec![2, 2, 2]).await; // arrives first
+        });
+        let jh = sim.spawn(async move {
+            let first = alt_recv(&h, &[&a, &b]).await;
+            let second = alt_recv(&h, &[&a, &b]).await;
+            (first, second)
+        });
+        assert!(sim.run().quiescent);
+        let ((i1, w1), (i2, w2)) = jh.try_take().unwrap();
+        assert_eq!((i1, w1.len()), (1, 3));
+        assert_eq!((i2, w2.len()), (0, 2));
+    }
+
+    #[test]
+    fn alt_recv_charges_wire_time() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let wire = Wire::new("w", LinkParams::default());
+        let ch = LinkChannel::new(wire.clone());
+        let tx = ch.clone();
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![0u32; 8]).await });
+        let jh = sim.spawn(async move {
+            let (_, words) = alt_recv(&h, &[&ch]).await;
+            (words.len(), h.now())
+        });
+        assert!(sim.run().quiescent);
+        let (n, t) = jh.try_take().unwrap();
+        assert_eq!(n, 8);
+        // 5 µs startup + 32 bytes × 2 µs = 69 µs.
+        assert_eq!(t.as_ns(), 69_000);
+        assert_eq!(wire.busy_total(), Dur::us(64));
+    }
+}

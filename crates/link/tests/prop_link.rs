@@ -1,0 +1,115 @@
+//! Property tests for the link model: framing arithmetic, conservation of
+//! bytes, determinism of contention.
+
+use proptest::prelude::*;
+use ts_link::{LinkChannel, LinkParams, Wire};
+use ts_sim::{Dur, Sim, Time};
+
+proptest! {
+    /// Wire time is exactly linear in bytes; message time adds startup.
+    #[test]
+    fn framing_arithmetic(bytes in 0usize..100_000) {
+        let p = LinkParams::default();
+        prop_assert_eq!(p.wire_time(bytes), Dur::us(2) * bytes as u64);
+        prop_assert_eq!(p.message_time(bytes), Dur::us(5) + p.wire_time(bytes));
+    }
+
+    /// Any mix of message sizes over one channel: total elapsed equals
+    /// sum(startup + wire time) when sender and receiver are dedicated.
+    #[test]
+    fn serial_stream_time_is_additive(sizes in prop::collection::vec(1usize..200, 1..15)) {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let (tx, rx) = (ch.clone(), ch);
+        let sizes2 = sizes.clone();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            for s in sizes2 {
+                tx.send(&h2, vec![0u32; s]).await;
+            }
+        });
+        let n = sizes.len();
+        sim.spawn(async move {
+            for _ in 0..n {
+                rx.recv(&h).await;
+            }
+        });
+        prop_assert!(sim.run().quiescent);
+        let p = LinkParams::default();
+        let want: Dur = sizes.iter().map(|&s| p.message_time(s * 4)).sum();
+        prop_assert_eq!(sim.now(), Time::ZERO + want);
+    }
+
+    /// Bytes are conserved and metrics agree with payload sizes.
+    #[test]
+    fn byte_conservation(sizes in prop::collection::vec(1usize..100, 1..10)) {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let m = ts_sim::Metrics::new();
+        let ch = LinkChannel::with_metrics(Wire::new("w", LinkParams::default()), m.clone());
+        let (tx, rx) = (ch.clone(), ch);
+        let sizes2 = sizes.clone();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            for (i, s) in sizes2.into_iter().enumerate() {
+                tx.send(&h2, vec![i as u32; s]).await;
+            }
+        });
+        let n = sizes.len();
+        let jh = sim.spawn(async move {
+            let mut total = 0usize;
+            for _ in 0..n {
+                total += rx.recv(&h).await.len();
+            }
+            total
+        });
+        prop_assert!(sim.run().quiescent);
+        let words: usize = sizes.iter().sum();
+        prop_assert_eq!(jh.try_take().unwrap(), words);
+        prop_assert_eq!(m.get("link.bytes_sent"), 4 * words as u64);
+        prop_assert_eq!(m.get("link.bytes_recv"), 4 * words as u64);
+        prop_assert_eq!(m.get("link.msgs_sent"), sizes.len() as u64);
+    }
+
+    /// Two sublinks sharing a wire: the wire's busy time equals the total
+    /// payload wire time (work conservation under contention), and the
+    /// schedule is deterministic.
+    #[test]
+    fn contention_conserves_work(
+        a_sizes in prop::collection::vec(1usize..60, 1..8),
+        b_sizes in prop::collection::vec(1usize..60, 1..8),
+    ) {
+        let run = || {
+            let mut sim = Sim::new();
+            let h = sim.handle();
+            let wire = Wire::new("shared", LinkParams::default());
+            for sizes in [a_sizes.clone(), b_sizes.clone()] {
+                let ch = LinkChannel::new(wire.clone());
+                let (tx, rx) = (ch.clone(), ch);
+                let hs = h.clone();
+                let n = sizes.len();
+                sim.spawn(async move {
+                    for s in sizes {
+                        tx.send(&hs, vec![0u32; s]).await;
+                    }
+                });
+                let hr = h.clone();
+                sim.spawn(async move {
+                    for _ in 0..n {
+                        rx.recv(&hr).await;
+                    }
+                });
+            }
+            let q = sim.run().quiescent;
+            (q, sim.now(), wire.busy_total())
+        };
+        let (q1, t1, busy1) = run();
+        let (q2, t2, busy2) = run();
+        prop_assert!(q1 && q2);
+        prop_assert_eq!(t1, t2, "deterministic contention");
+        prop_assert_eq!(busy1, busy2);
+        let total_words: usize = a_sizes.iter().chain(&b_sizes).sum();
+        prop_assert_eq!(busy1, Dur::us(2) * (4 * total_words) as u64);
+    }
+}

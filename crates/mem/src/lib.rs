@@ -1,0 +1,464 @@
+//! # ts-mem — the node's dual-ported central memory
+//!
+//! §II *Memory*: each node carries **1 MByte of dual-ported dynamic RAM**
+//! with one parity bit per byte, organized as
+//!
+//! * a conventional **random-access word port** used by the control
+//!   processor and the communication links — 32-bit words, 400 ns per
+//!   access, hence the paper's 10 MB/s effective control-processor
+//!   bandwidth;
+//! * a **row port** used by the vector registers — an entire 1024-byte row
+//!   moves in parallel in the same 400 ns it takes to move one word, hence
+//!   the paper's 2560 MB/s;
+//! * two banks: **Bank A, 64 K words** (256 rows) and **Bank B, 192 K
+//!   words** (768 rows). "The division of memory into two banks permits two
+//!   inputs in parallel to the arithmetic unit on each cycle."
+//!
+//! The model stores real data (the kernels compute on it) and exposes the
+//! *cost* of every access as constants, so the node layer can charge
+//! simulated time and arbitrate the two ports. Gather/scatter cost falls
+//! out of the word-port arithmetic: moving a 64-bit operand is two reads
+//! plus two writes = 4 × 400 ns = **1.6 µs**, exactly the paper's number.
+//!
+//! Parity is real: every byte's parity is stored on write and checked on
+//! read, so fault-injection tests can flip bits in the backing store and
+//! watch reads fail the way the hardware would.
+
+#![deny(missing_docs)]
+
+use ts_sim::Dur;
+
+/// Bytes per memory word (the word port is 32 bits wide).
+pub const WORD_BYTES: usize = 4;
+/// Bytes per memory row (and per vector register).
+pub const ROW_BYTES: usize = 1024;
+/// Words per row.
+pub const ROW_WORDS: usize = ROW_BYTES / WORD_BYTES; // 256
+
+/// One random access through the word port: 400 ns (the paper's "(4 bytes) /
+/// (0.4 µs) ≈ 10 MB/s").
+pub const WORD_TIME: Dur = Dur::ns(400);
+/// One full-row transfer through the row port: 400 ns ("in the same time
+/// that it would have taken to read or write a single 32-bit word").
+pub const ROW_TIME: Dur = Dur::ns(400);
+
+/// Cost of gathering or scattering one 64-bit element through the word
+/// port: two 32-bit reads + two 32-bit writes (§II: 1.6 µs).
+pub const GATHER64_TIME: Dur = Dur::ns(4 * 400);
+/// Cost for a 32-bit element: one read + one write (§II: 0.8 µs).
+pub const GATHER32_TIME: Dur = Dur::ns(2 * 400);
+
+/// Which bank a row lives in. The vector unit streams one operand from each
+/// bank per cycle; two operands in the same bank halve the stream rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bank {
+    /// Bank A: 64 K words = 256 rows (default geometry).
+    A,
+    /// Bank B: 192 K words = 768 rows.
+    B,
+}
+
+/// Memory geometry. The paper's node is `MemCfg::default()`; reduced sizes
+/// keep host memory bounded when simulating thousands of nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemCfg {
+    /// Words in bank A.
+    pub words_a: usize,
+    /// Words in bank B.
+    pub words_b: usize,
+}
+
+impl Default for MemCfg {
+    /// The paper's geometry: 64 K + 192 K 32-bit words = 1 MByte.
+    fn default() -> Self {
+        MemCfg { words_a: 64 * 1024, words_b: 192 * 1024 }
+    }
+}
+
+impl MemCfg {
+    /// A reduced geometry (same 1:3 bank split) for large-machine tests.
+    pub fn small(rows: usize) -> MemCfg {
+        assert!(rows >= 4 && rows % 4 == 0, "need a multiple of 4 rows");
+        MemCfg { words_a: rows / 4 * ROW_WORDS, words_b: rows * 3 / 4 * ROW_WORDS }
+    }
+
+    /// Total words.
+    pub fn words(&self) -> usize {
+        self.words_a + self.words_b
+    }
+
+    /// Total bytes.
+    pub fn bytes(&self) -> usize {
+        self.words() * WORD_BYTES
+    }
+
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.words() / ROW_WORDS
+    }
+
+    /// First row of bank B (bank A occupies rows `0..rows_a`).
+    pub fn rows_a(&self) -> usize {
+        self.words_a / ROW_WORDS
+    }
+
+    /// Validate the geometry (row-aligned banks).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.words_a % ROW_WORDS != 0 || self.words_b % ROW_WORDS != 0 {
+            return Err("banks must be whole rows (1024-byte aligned)".into());
+        }
+        if self.words_a == 0 || self.words_b == 0 {
+            return Err("both banks must be non-empty".into());
+        }
+        Ok(())
+    }
+}
+
+/// Errors the memory system can raise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Word address beyond the configured geometry.
+    OutOfRange {
+        /// The offending word address.
+        addr: usize,
+        /// Configured size in words.
+        words: usize,
+    },
+    /// A read saw a byte whose stored parity disagrees with its data —
+    /// either injected corruption or a simulated DRAM fault.
+    Parity {
+        /// Word address of the bad byte.
+        addr: usize,
+        /// Byte lane (0–3) within the word.
+        lane: usize,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, words } => {
+                write!(f, "word address {addr} out of range (memory is {words} words)")
+            }
+            MemError::Parity { addr, lane } => {
+                write!(f, "parity error at word {addr}, byte lane {lane}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The dual-ported memory of one node.
+///
+/// All accessors are purely functional with respect to simulated time; the
+/// node layer charges [`WORD_TIME`] / [`ROW_TIME`] and arbitrates port
+/// contention.
+pub struct NodeMemory {
+    cfg: MemCfg,
+    data: Vec<u32>,
+    /// One parity nibble per word: bit i = even parity of byte lane i.
+    parity: Vec<u8>,
+}
+
+#[inline]
+fn parity_nibble(word: u32) -> u8 {
+    let mut p = 0u8;
+    for lane in 0..4 {
+        let byte = (word >> (8 * lane)) as u8;
+        p |= ((byte.count_ones() as u8) & 1) << lane;
+    }
+    p
+}
+
+impl NodeMemory {
+    /// Allocate a zeroed memory with the given geometry.
+    pub fn new(cfg: MemCfg) -> NodeMemory {
+        cfg.validate().expect("invalid memory geometry");
+        NodeMemory { cfg, data: vec![0; cfg.words()], parity: vec![0; cfg.words()] }
+    }
+
+    /// The geometry.
+    pub fn cfg(&self) -> MemCfg {
+        self.cfg
+    }
+
+    /// Which bank a row belongs to.
+    pub fn bank_of_row(&self, row: usize) -> Bank {
+        if row < self.cfg.rows_a() {
+            Bank::A
+        } else {
+            Bank::B
+        }
+    }
+
+    /// Which bank a word address belongs to.
+    pub fn bank_of_word(&self, addr: usize) -> Bank {
+        self.bank_of_row(addr / ROW_WORDS)
+    }
+
+    #[inline]
+    fn check(&self, addr: usize) -> Result<(), MemError> {
+        if addr < self.cfg.words() {
+            Ok(())
+        } else {
+            Err(MemError::OutOfRange { addr, words: self.cfg.words() })
+        }
+    }
+
+    /// Word-port read (charge [`WORD_TIME`]).
+    pub fn read_word(&self, addr: usize) -> Result<u32, MemError> {
+        self.check(addr)?;
+        let w = self.data[addr];
+        let want = parity_nibble(w);
+        let got = self.parity[addr];
+        if want != got {
+            let lane = (want ^ got).trailing_zeros() as usize;
+            return Err(MemError::Parity { addr, lane });
+        }
+        Ok(w)
+    }
+
+    /// Word-port write (charge [`WORD_TIME`]).
+    pub fn write_word(&mut self, addr: usize, w: u32) -> Result<(), MemError> {
+        self.check(addr)?;
+        self.data[addr] = w;
+        self.parity[addr] = parity_nibble(w);
+        Ok(())
+    }
+
+    /// Row-port read of one full 1024-byte row into a vector register
+    /// buffer (charge [`ROW_TIME`]).
+    pub fn read_row(&self, row: usize, out: &mut [u32; ROW_WORDS]) -> Result<(), MemError> {
+        let base = row * ROW_WORDS;
+        self.check(base + ROW_WORDS - 1)?;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let addr = base + i;
+            let w = self.data[addr];
+            if parity_nibble(w) != self.parity[addr] {
+                let lane = (parity_nibble(w) ^ self.parity[addr]).trailing_zeros() as usize;
+                return Err(MemError::Parity { addr, lane });
+            }
+            *slot = w;
+        }
+        Ok(())
+    }
+
+    /// Row-port write of one full row (charge [`ROW_TIME`]).
+    pub fn write_row(&mut self, row: usize, data: &[u32; ROW_WORDS]) -> Result<(), MemError> {
+        let base = row * ROW_WORDS;
+        self.check(base + ROW_WORDS - 1)?;
+        for (i, &w) in data.iter().enumerate() {
+            self.data[base + i] = w;
+            self.parity[base + i] = parity_nibble(w);
+        }
+        Ok(())
+    }
+
+    /// Read a 64-bit value as two consecutive words (low word first).
+    pub fn read_u64(&self, addr: usize) -> Result<u64, MemError> {
+        let lo = self.read_word(addr)? as u64;
+        let hi = self.read_word(addr + 1)? as u64;
+        Ok(lo | (hi << 32))
+    }
+
+    /// Write a 64-bit value as two consecutive words (low word first).
+    pub fn write_u64(&mut self, addr: usize, v: u64) -> Result<(), MemError> {
+        self.write_word(addr, v as u32)?;
+        self.write_word(addr + 1, (v >> 32) as u32)
+    }
+
+    /// Read an `Sf64` stored at `addr` (two words).
+    pub fn read_f64(&self, addr: usize) -> Result<ts_fpu::Sf64, MemError> {
+        Ok(ts_fpu::Sf64::from_bits(self.read_u64(addr)?))
+    }
+
+    /// Write an `Sf64` at `addr` (two words).
+    pub fn write_f64(&mut self, addr: usize, v: ts_fpu::Sf64) -> Result<(), MemError> {
+        self.write_u64(addr, v.to_bits())
+    }
+
+    /// Inject a single-bit fault into the backing store *without* updating
+    /// parity — the next read of this word reports a parity error. This is
+    /// the fault model behind the checkpoint/restart experiments.
+    pub fn inject_bit_flip(&mut self, addr: usize, bit: u32) -> Result<(), MemError> {
+        self.check(addr)?;
+        self.data[addr] ^= 1 << (bit % 32);
+        Ok(())
+    }
+
+    /// Copy the entire contents out (the system disk's snapshot image).
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.data.clone()
+    }
+
+    /// Restore contents from a snapshot image (recomputing parity, as the
+    /// restore path rewrites every word).
+    pub fn restore(&mut self, image: &[u32]) {
+        assert_eq!(image.len(), self.cfg.words(), "snapshot geometry mismatch");
+        self.data.copy_from_slice(image);
+        for (i, &w) in image.iter().enumerate() {
+            self.parity[i] = parity_nibble(w);
+        }
+    }
+}
+
+/// Cost of moving `n` 64-bit elements one at a time through the word port
+/// (the control processor's gather or scatter loop).
+pub fn gather64_cost(n: u64) -> Dur {
+    GATHER64_TIME * n
+}
+
+/// Cost of moving `n` 32-bit elements through the word port.
+pub fn gather32_cost(n: u64) -> Dur {
+    GATHER32_TIME * n
+}
+
+/// Cost of moving `rows` whole rows through the row port (physical data
+/// movement at 2560 MB/s — the paper's alternative to pointer chasing).
+pub fn row_move_cost(rows: u64) -> Dur {
+    // A move is one read plus one write of the row port.
+    ROW_TIME * (2 * rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let cfg = MemCfg::default();
+        assert_eq!(cfg.words(), 256 * 1024); // 256 K words
+        assert_eq!(cfg.bytes(), 1024 * 1024); // 1 MByte
+        assert_eq!(cfg.rows(), 1024);
+        assert_eq!(cfg.rows_a(), 256); // 256 vectors in one bank, 768 in the other
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn bandwidth_constants_match_paper() {
+        // Word port: 4 bytes / 400 ns = 10 MB/s.
+        let cp = WORD_TIME.throughput_bytes(4) / 1e6;
+        assert!((cp - 10.0).abs() < 1e-9, "{cp}");
+        // Row port: 1024 bytes / 400 ns = 2560 MB/s.
+        let row = ROW_TIME.throughput_bytes(1024) / 1e6;
+        assert!((row - 2560.0).abs() < 1e-9, "{row}");
+        // Gather: 1.6 µs per 64-bit element, 0.8 µs per 32-bit.
+        assert_eq!(GATHER64_TIME, Dur::us(1) + Dur::ns(600));
+        assert_eq!(GATHER32_TIME, Dur::ns(800));
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        m.write_word(7, 0xdead_beef).unwrap();
+        assert_eq!(m.read_word(7).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_word(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_reported() {
+        let m = NodeMemory::new(MemCfg::small(8));
+        let words = m.cfg().words();
+        assert_eq!(m.read_word(words), Err(MemError::OutOfRange { addr: words, words }));
+    }
+
+    #[test]
+    fn row_roundtrip_and_banks() {
+        let mut m = NodeMemory::new(MemCfg::default());
+        let mut row = [0u32; ROW_WORDS];
+        for (i, w) in row.iter_mut().enumerate() {
+            *w = (i as u32).wrapping_mul(2654435761);
+        }
+        m.write_row(300, &row).unwrap();
+        let mut back = [0u32; ROW_WORDS];
+        m.read_row(300, &mut back).unwrap();
+        assert_eq!(row, back);
+        // Row 300 is in bank B; row 0 in bank A.
+        assert_eq!(m.bank_of_row(0), Bank::A);
+        assert_eq!(m.bank_of_row(255), Bank::A);
+        assert_eq!(m.bank_of_row(256), Bank::B);
+        assert_eq!(m.bank_of_row(300), Bank::B);
+        // Word addressing agrees.
+        assert_eq!(m.bank_of_word(255 * ROW_WORDS), Bank::A);
+        assert_eq!(m.bank_of_word(256 * ROW_WORDS), Bank::B);
+    }
+
+    #[test]
+    fn row_and_word_ports_see_same_storage() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        m.write_word(ROW_WORDS + 5, 12345).unwrap();
+        let mut row = [0u32; ROW_WORDS];
+        m.read_row(1, &mut row).unwrap();
+        assert_eq!(row[5], 12345);
+        row[6] = 999;
+        m.write_row(1, &row).unwrap();
+        assert_eq!(m.read_word(ROW_WORDS + 6).unwrap(), 999);
+    }
+
+    #[test]
+    fn f64_storage() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        let v = ts_fpu::Sf64::from(std::f64::consts::PI);
+        m.write_f64(10, v).unwrap();
+        assert_eq!(m.read_f64(10).unwrap().to_host(), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn parity_catches_injected_fault() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        m.write_word(42, 0x0102_0304).unwrap();
+        m.inject_bit_flip(42, 9).unwrap(); // flips a bit in byte lane 1
+        match m.read_word(42) {
+            Err(MemError::Parity { addr: 42, lane: 1 }) => {}
+            other => panic!("expected parity error, got {other:?}"),
+        }
+        // Row port sees it too.
+        let mut row = [0u32; ROW_WORDS];
+        assert!(matches!(m.read_row(0, &mut row), Err(MemError::Parity { addr: 42, .. })));
+        // Rewriting the word clears the fault.
+        m.write_word(42, 7).unwrap();
+        assert_eq!(m.read_word(42).unwrap(), 7);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        for i in 0..m.cfg().words() {
+            m.write_word(i, i as u32 ^ 0x5a5a).unwrap();
+        }
+        let snap = m.snapshot();
+        for i in 0..16 {
+            m.write_word(i, 0).unwrap();
+        }
+        m.inject_bit_flip(20, 3).unwrap();
+        m.restore(&snap);
+        for i in 0..m.cfg().words() {
+            assert_eq!(m.read_word(i).unwrap(), i as u32 ^ 0x5a5a);
+        }
+    }
+
+    #[test]
+    fn row_move_is_2560_mbps_each_way() {
+        // Moving 1024 rows (1 MB) costs 1024 × 2 × 400 ns ≈ 0.82 ms,
+        // i.e. 2560 MB/s of read plus 2560 MB/s of write.
+        let d = row_move_cost(1);
+        assert_eq!(d, Dur::ns(800));
+        let mb_per_s = d.throughput_bytes(1024) / 1e6;
+        assert!((mb_per_s - 1280.0).abs() < 1e-9); // read+write halves it
+    }
+
+    #[test]
+    fn small_geometry() {
+        let cfg = MemCfg::small(16);
+        assert_eq!(cfg.rows(), 16);
+        assert_eq!(cfg.rows_a(), 4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn bad_small_geometry() {
+        let _ = MemCfg::small(6);
+    }
+}

@@ -1,0 +1,534 @@
+//! The deterministic single-threaded async executor.
+//!
+//! Tasks are ordinary `'static` futures. The executor keeps a FIFO ready
+//! queue and a timer heap ordered by `(instant, registration sequence)`;
+//! because only one task runs at a time and tasks advance virtual time only
+//! through [`SimHandle::sleep`]-family primitives, execution order is a pure
+//! function of the program — the foundation of the workspace's determinism
+//! guarantee (see crate docs).
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{Dur, Time};
+
+type BoxFut = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Shared FIFO of task ids made runnable by wakers.
+///
+/// This is the only `Send + Sync` piece of the executor: the std `Waker` API
+/// requires it even though the simulation never leaves one thread.
+type ReadyQueue = Arc<Mutex<VecDeque<usize>>>;
+
+struct TaskWaker {
+    id: usize,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().unwrap().push_back(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.lock().unwrap().push_back(self.id);
+    }
+}
+
+struct Task {
+    fut: BoxFut,
+    waker: Waker,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TimerKey {
+    at: Time,
+    seq: u64,
+}
+
+struct Inner {
+    now: Time,
+    tasks: Vec<Option<Task>>,
+    live: usize,
+    timers: BinaryHeap<Reverse<(TimerKey, usize)>>, // (key, waker-slot)
+    timer_wakers: Vec<Option<Waker>>,
+    /// Generation per slot: guards cancellation against slot reuse.
+    timer_gens: Vec<u64>,
+    timer_free: Vec<usize>,
+    seq: u64,
+    ready: ReadyQueue,
+    events: u64,
+}
+
+impl Inner {
+    fn register_timer(&mut self, at: Time, waker: Waker) -> (usize, u64) {
+        let slot = match self.timer_free.pop() {
+            Some(s) => {
+                self.timer_wakers[s] = Some(waker);
+                self.timer_gens[s] += 1;
+                s
+            }
+            None => {
+                self.timer_wakers.push(Some(waker));
+                self.timer_gens.push(0);
+                self.timer_wakers.len() - 1
+            }
+        };
+        self.seq += 1;
+        self.timers.push(Reverse((TimerKey { at, seq: self.seq }, slot)));
+        (slot, self.timer_gens[slot])
+    }
+}
+
+/// Outcome of a [`Sim::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// True when every spawned task ran to completion.
+    pub quiescent: bool,
+    /// Number of tasks still alive (blocked on a channel with no partner,
+    /// i.e. deadlocked, or stopped by a bounded run).
+    pub live_tasks: usize,
+    /// Virtual time when the run stopped.
+    pub final_time: Time,
+    /// Timer events processed.
+    pub events: u64,
+}
+
+/// The discrete-event simulator: owns tasks, the clock and the timer heap.
+pub struct Sim {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at `T+0`.
+    pub fn new() -> Sim {
+        let ready: ReadyQueue = Arc::new(Mutex::new(VecDeque::new()));
+        Sim {
+            inner: Rc::new(RefCell::new(Inner {
+                now: Time::ZERO,
+                tasks: Vec::new(),
+                live: 0,
+                timers: BinaryHeap::new(),
+                timer_wakers: Vec::new(),
+                timer_gens: Vec::new(),
+                timer_free: Vec::new(),
+                seq: 0,
+                ready,
+                events: 0,
+            })),
+        }
+    }
+
+    /// A cloneable handle for use inside tasks: clock reads, sleeps, spawns.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle { inner: self.inner.clone() }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.inner.borrow().now
+    }
+
+    /// Spawn a root task. Returns a [`JoinHandle`] that resolves to the
+    /// task's output.
+    pub fn spawn<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        self.handle().spawn(fut)
+    }
+
+    /// Run until no events remain (or a deadlock leaves only blocked tasks).
+    pub fn run(&mut self) -> RunReport {
+        self.run_bounded(None)
+    }
+
+    /// Run, but do not advance the clock past `deadline`. Timers later than
+    /// the deadline stay queued; the clock is left at `deadline` if reached.
+    pub fn run_until(&mut self, deadline: Time) -> RunReport {
+        self.run_bounded(Some(deadline))
+    }
+
+    /// Run for `d` more virtual time (see [`Sim::run_until`]).
+    pub fn run_for(&mut self, d: Dur) -> RunReport {
+        let deadline = self.now() + d;
+        self.run_until(deadline)
+    }
+
+    fn run_bounded(&mut self, deadline: Option<Time>) -> RunReport {
+        loop {
+            // Drain every runnable task before touching the clock.
+            loop {
+                let next = {
+                    let inner = self.inner.borrow();
+                    let mut q = inner.ready.lock().unwrap();
+                    q.pop_front()
+                };
+                match next {
+                    Some(tid) => self.poll_task(tid),
+                    None => break,
+                }
+            }
+            // Advance to the next *live* timer expiry, discarding cancelled
+            // entries without touching the clock.
+            let fired = {
+                let mut inner = self.inner.borrow_mut();
+                loop {
+                    match inner.timers.peek() {
+                        Some(&Reverse((key, slot))) => {
+                            if inner.timer_wakers[slot].is_none() {
+                                // Cancelled: discard silently.
+                                inner.timers.pop();
+                                inner.timer_free.push(slot);
+                                continue;
+                            }
+                            if let Some(dl) = deadline {
+                                if key.at > dl {
+                                    inner.now = dl.max(inner.now);
+                                    break None;
+                                }
+                            }
+                            let Reverse((key, slot)) = inner.timers.pop().expect("peeked");
+                            debug_assert!(key.at >= inner.now, "timer in the past");
+                            inner.now = key.at;
+                            inner.events += 1;
+                            let w = inner.timer_wakers[slot].take();
+                            inner.timer_free.push(slot);
+                            break Some(w);
+                        }
+                        None => break None,
+                    }
+                }
+            };
+            match fired {
+                Some(Some(w)) => w.wake(),
+                Some(None) => unreachable!("cancelled timers are discarded above"),
+                None => break,
+            }
+        }
+        let inner = self.inner.borrow();
+        RunReport {
+            quiescent: inner.live == 0,
+            live_tasks: inner.live,
+            final_time: inner.now,
+            events: inner.events,
+        }
+    }
+
+    fn poll_task(&mut self, tid: usize) {
+        let taken = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.tasks.get_mut(tid) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        let Some(mut task) = taken else {
+            return; // already finished, or spurious wake of a completed slot
+        };
+        let waker = task.waker.clone();
+        let mut cx = Context::from_waker(&waker);
+        match task.fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut inner = self.inner.borrow_mut();
+                inner.live -= 1;
+                // Slot stays None; ids are not reused, so stale wakes are
+                // harmless and task identity is stable for the whole run.
+            }
+            Poll::Pending => {
+                self.inner.borrow_mut().tasks[tid] = Some(task);
+            }
+        }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Tasks may capture SimHandle (an Rc to Inner); clearing them breaks
+        // the reference cycle so deadlocked simulations do not leak.
+        self.inner.borrow_mut().tasks.clear();
+    }
+}
+
+/// Cloneable capability to interact with the simulation from inside tasks.
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.inner.borrow().now
+    }
+
+    /// Suspend the calling task for `d` of virtual time.
+    pub fn sleep(&self, d: Dur) -> Sleep {
+        let at = self.now() + d;
+        self.sleep_until(at)
+    }
+
+    /// Suspend the calling task until the clock reaches `at`.
+    pub fn sleep_until(&self, at: Time) -> Sleep {
+        Sleep { inner: self.inner.clone(), at, reg: None, done: false }
+    }
+
+    /// Spawn a new task; it becomes runnable immediately (at the current
+    /// instant, after already-runnable tasks).
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState { result: None, waker: None }));
+        let state2 = state.clone();
+        let wrapped: BoxFut = Box::pin(async move {
+            let out = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        let mut inner = self.inner.borrow_mut();
+        let tid = inner.tasks.len();
+        let waker = Waker::from(Arc::new(TaskWaker { id: tid, ready: inner.ready.clone() }));
+        inner.tasks.push(Some(Task { fut: wrapped, waker }));
+        inner.live += 1;
+        inner.ready.lock().unwrap().push_back(tid);
+        JoinHandle { state }
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
+///
+/// Dropping an unexpired `Sleep` **cancels** its timer: the clock will not
+/// advance to the abandoned instant (this is what makes `select2`-style
+/// timeouts exact).
+pub struct Sleep {
+    inner: Rc<RefCell<Inner>>,
+    at: Time,
+    reg: Option<(usize, u64)>,
+    done: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.now >= self.at {
+            drop(inner);
+            self.done = true;
+            return Poll::Ready(());
+        }
+        if self.reg.is_none() {
+            let at = self.at;
+            let reg = inner.register_timer(at, cx.waker().clone());
+            drop(inner);
+            self.reg = Some(reg);
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        if let Some((slot, gen)) = self.reg {
+            let mut inner = self.inner.borrow_mut();
+            // Only cancel if the slot still belongs to this registration.
+            if inner.timer_gens[slot] == gen {
+                inner.timer_wakers[slot] = None;
+            }
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Awaitable completion of a spawned task.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+
+    /// Take the result if the task has finished (useful after `Sim::run`).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        match st.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_quiesces() {
+        let mut sim = Sim::new();
+        let r = sim.run();
+        assert!(r.quiescent);
+        assert_eq!(r.final_time, Time::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(Dur::ns(100)).await;
+            assert_eq!(h.now().as_ns(), 100);
+            h.sleep(Dur::ns(25)).await;
+            assert_eq!(h.now().as_ns(), 125);
+        });
+        let r = sim.run();
+        assert!(r.quiescent);
+        assert_eq!(sim.now().as_ns(), 125);
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [30u64, 10, 20].into_iter().enumerate() {
+            let h = sim.handle();
+            let log = log.clone();
+            sim.spawn(async move {
+                h.sleep(Dur::ns(delay)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn same_instant_fifo_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let h = sim.handle();
+            let log = log.clone();
+            sim.spawn(async move {
+                h.sleep(Dur::ns(50)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let jh = sim.spawn(async move {
+            h.sleep(Dur::us(1)).await;
+            42u32
+        });
+        let h2 = sim.handle();
+        let outer = sim.spawn(async move {
+            let inner = h2.spawn(async { 7u32 });
+            inner.await
+        });
+        sim.run();
+        assert_eq!(jh.try_take(), Some(42));
+        assert_eq!(outer.try_take(), Some(7));
+    }
+
+    #[test]
+    fn run_until_bounds_clock() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let done = Rc::new(RefCell::new(false));
+        let d2 = done.clone();
+        sim.spawn(async move {
+            h.sleep(Dur::us(10)).await;
+            *d2.borrow_mut() = true;
+        });
+        let r = sim.run_until(Time::ZERO + Dur::us(3));
+        assert!(!r.quiescent);
+        assert_eq!(r.live_tasks, 1);
+        assert_eq!(sim.now(), Time::ZERO + Dur::us(3));
+        assert!(!*done.borrow());
+        let r2 = sim.run();
+        assert!(r2.quiescent);
+        assert!(*done.borrow());
+        assert_eq!(sim.now(), Time::ZERO + Dur::us(10));
+    }
+
+    #[test]
+    fn spawn_from_task() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let jh = sim.spawn(async move {
+            let mut total = 0u64;
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                let h2 = h.clone();
+                handles.push(h.spawn(async move {
+                    h2.sleep(Dur::ns(i * 10)).await;
+                    i
+                }));
+            }
+            for jh in handles {
+                total += jh.await;
+            }
+            total
+        });
+        sim.run();
+        assert_eq!(jh.try_take(), Some(6));
+    }
+
+    #[test]
+    fn determinism_identical_runs() {
+        fn run_once() -> (Time, u64, Vec<u32>) {
+            let mut sim = Sim::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..8u32 {
+                let h = sim.handle();
+                let log = log.clone();
+                sim.spawn(async move {
+                    for k in 0..5u64 {
+                        h.sleep(Dur::ns((i as u64 * 7 + k * 13) % 29 + 1)).await;
+                        log.borrow_mut().push(i * 100 + k as u32);
+                    }
+                });
+            }
+            let r = sim.run();
+            let l = log.borrow().clone();
+            (r.final_time, r.events, l)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

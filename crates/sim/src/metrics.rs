@@ -1,0 +1,146 @@
+//! Lightweight named counters and busy-time accumulators.
+//!
+//! Every node keeps a [`Metrics`] instance; the machine layer aggregates
+//! them into the utilization tables the benchmark harness prints. Counters
+//! are keyed by `&'static str` so the hot path (one `BTreeMap` lookup per
+//! architectural event, not per element) stays allocation-free.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::Dur;
+
+#[derive(Default)]
+struct MetricsInner {
+    counters: BTreeMap<&'static str, u64>,
+    durations: BTreeMap<&'static str, Dur>,
+}
+
+/// Cloneable bundle of named counters (`u64`) and durations ([`Dur`]).
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<MetricsInner>>,
+}
+
+impl Metrics {
+    /// Create an empty metrics bundle.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `n` to counter `key`.
+    pub fn add(&self, key: &'static str, n: u64) {
+        *self.inner.borrow_mut().counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Increment counter `key` by one.
+    pub fn inc(&self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Read counter `key` (0 if never written).
+    pub fn get(&self, key: &'static str) -> u64 {
+        self.inner.borrow().counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Accumulate busy time under `key`.
+    pub fn add_time(&self, key: &'static str, d: Dur) {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.durations.entry(key).or_insert(Dur::ZERO);
+        *slot += d;
+    }
+
+    /// Read accumulated time under `key`.
+    pub fn get_time(&self, key: &'static str) -> Dur {
+        self.inner.borrow().durations.get(key).copied().unwrap_or(Dur::ZERO)
+    }
+
+    /// Snapshot of all counters (sorted by key).
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner.borrow().counters.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Snapshot of all durations (sorted by key).
+    pub fn durations(&self) -> Vec<(&'static str, Dur)> {
+        self.inner.borrow().durations.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Fold another bundle into this one (used to aggregate per-node metrics
+    /// into machine totals).
+    pub fn merge(&self, other: &Metrics) {
+        let o = other.inner.borrow();
+        let mut m = self.inner.borrow_mut();
+        for (k, v) in &o.counters {
+            *m.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, d) in &o.durations {
+            let slot = m.durations.entry(k).or_insert(Dur::ZERO);
+            *slot += *d;
+        }
+    }
+
+    /// Reset everything to zero.
+    pub fn clear(&self) {
+        let mut m = self.inner.borrow_mut();
+        m.counters.clear();
+        m.durations.clear();
+    }
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Metrics")
+            .field("counters", &inner.counters)
+            .field("durations", &inner.durations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.inc("flops");
+        m.add("flops", 9);
+        assert_eq!(m.get("flops"), 10);
+        assert_eq!(m.get("missing"), 0);
+    }
+
+    #[test]
+    fn durations_accumulate() {
+        let m = Metrics::new();
+        m.add_time("vec_busy", Dur::ns(125));
+        m.add_time("vec_busy", Dur::ns(125));
+        assert_eq!(m.get_time("vec_busy"), Dur::ns(250));
+    }
+
+    #[test]
+    fn merge_folds() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.add("x", 1);
+        b.add("x", 2);
+        b.add("y", 3);
+        b.add_time("t", Dur::us(1));
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+        assert_eq!(a.get_time("t"), Dur::us(1));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let m = Metrics::new();
+        m.inc("a");
+        m.add_time("b", Dur::ns(1));
+        m.clear();
+        assert_eq!(m.counters().len(), 0);
+        assert_eq!(m.durations().len(), 0);
+    }
+}

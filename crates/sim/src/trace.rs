@@ -1,0 +1,138 @@
+//! Execution tracing: busy-interval capture and ASCII Gantt rendering.
+//!
+//! Attach a [`Tracer`] to [`Resource`](crate::Resource)s and every granted
+//! slot is recorded as a [`Span`]. The renderer buckets spans into a fixed
+//! character width, one row per track — the quickest way to *see* the
+//! §II overlap story (vector unit crunching while the control processor
+//! gathers and the links stream).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::{Dur, Time};
+
+/// One busy interval on a named track.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Track label (e.g. `"n0.vec"`).
+    pub track: String,
+    /// Slot start.
+    pub start: Time,
+    /// Slot end.
+    pub end: Time,
+}
+
+/// A shared collector of [`Span`]s.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    spans: Rc<RefCell<Vec<Span>>>,
+}
+
+impl Tracer {
+    /// New, empty tracer.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Record a busy interval.
+    pub fn record(&self, track: &str, start: Time, end: Time) {
+        self.spans.borrow_mut().push(Span { track: track.to_string(), start, end });
+    }
+
+    /// All spans recorded so far (in recording order).
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.borrow().clone()
+    }
+
+    /// Total busy time per track, sorted by track name.
+    pub fn busy_by_track(&self) -> Vec<(String, Dur)> {
+        let mut map = std::collections::BTreeMap::<String, Dur>::new();
+        for s in self.spans.borrow().iter() {
+            let d = s.end.since(s.start);
+            let slot = map.entry(s.track.clone()).or_insert(Dur::ZERO);
+            *slot += d;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Render an ASCII Gantt chart `width` characters wide covering
+    /// `[0, horizon]`. Each row is one track; `#` marks busy buckets,
+    /// `.` idle ones.
+    pub fn gantt(&self, horizon: Time, width: usize) -> String {
+        use std::fmt::Write;
+        assert!(width > 0 && horizon > Time::ZERO);
+        let spans = self.spans.borrow();
+        let mut tracks: Vec<String> =
+            spans.iter().map(|s| s.track.clone()).collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+        tracks.sort();
+        let h = horizon.as_ps() as f64;
+        let mut out = String::new();
+        let label_w = tracks.iter().map(|t| t.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "{:label_w$} |{}| 0..{horizon}",
+            "",
+            "-".repeat(width),
+            label_w = label_w
+        );
+        for track in &tracks {
+            let mut row = vec![false; width];
+            for s in spans.iter().filter(|s| &s.track == track) {
+                let a = ((s.start.as_ps() as f64 / h) * width as f64).floor() as usize;
+                let b = ((s.end.as_ps() as f64 / h) * width as f64).ceil() as usize;
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = true;
+                }
+            }
+            let bar: String = row.iter().map(|&b| if b { '#' } else { '.' }).collect();
+            let _ = writeln!(out, "{track:label_w$} |{bar}|", label_w = label_w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time::ZERO + Dur::us(us)
+    }
+
+    #[test]
+    fn records_and_sums() {
+        let tr = Tracer::new();
+        tr.record("a", t(0), t(10));
+        tr.record("a", t(20), t(30));
+        tr.record("b", t(5), t(15));
+        let busy = tr.busy_by_track();
+        assert_eq!(busy, vec![("a".into(), Dur::us(20)), ("b".into(), Dur::us(10))]);
+        assert_eq!(tr.spans().len(), 3);
+    }
+
+    #[test]
+    fn gantt_marks_busy_buckets() {
+        let tr = Tracer::new();
+        tr.record("vec", t(0), t(50));
+        tr.record("cp", t(50), t(100));
+        let g = tr.gantt(t(100), 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cp = lines.iter().find(|l| l.starts_with("cp")).unwrap();
+        let vec = lines.iter().find(|l| l.starts_with("vec")).unwrap();
+        assert!(cp.contains(".....#####"), "{cp}");
+        assert!(vec.contains("#####....."), "{vec}");
+    }
+
+    #[test]
+    fn overlapping_spans_merge_visually() {
+        let tr = Tracer::new();
+        tr.record("x", t(0), t(60));
+        tr.record("x", t(40), t(100));
+        let g = tr.gantt(t(100), 10);
+        let x = g.lines().find(|l| l.starts_with('x')).unwrap();
+        assert!(x.contains("##########"), "{x}");
+    }
+}

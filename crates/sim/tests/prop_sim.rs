@@ -1,0 +1,134 @@
+//! Property tests for the simulation kernel: determinism, time ordering,
+//! resource FIFO discipline, channel pairing.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use ts_sim::{Dur, Rendezvous, Resource, Sim, Time};
+
+proptest! {
+    /// Any random program of sleeps is deterministic and time-ordered.
+    #[test]
+    fn random_sleep_programs_are_deterministic(
+        delays in prop::collection::vec(prop::collection::vec(1u64..10_000, 1..8), 1..12)
+    ) {
+        let run = |delays: &[Vec<u64>]| {
+            let mut sim = Sim::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for (i, ds) in delays.iter().enumerate() {
+                let h = sim.handle();
+                let ds = ds.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    for d in ds {
+                        h.sleep(Dur::ns(d)).await;
+                        log.borrow_mut().push((h.now(), i));
+                    }
+                });
+            }
+            let r = sim.run();
+            prop_assert!(r.quiescent);
+            let events = log.borrow().clone();
+            Ok((sim.now(), events))
+        };
+        let (t1, l1) = run(&delays)?;
+        let (t2, l2) = run(&delays)?;
+        prop_assert_eq!(t1, t2);
+        // The event log is identical and nondecreasing in time.
+        prop_assert_eq!(&l1, &l2);
+        for w in l1.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        // Final time is the max per-task sum.
+        let max_sum = delays.iter().map(|ds| ds.iter().sum::<u64>()).max().unwrap();
+        prop_assert_eq!(t1, Time::ZERO + Dur::ns(max_sum));
+    }
+
+    /// A FIFO resource serves overlapping requests back-to-back with no
+    /// gaps and no overlap, and total busy time is the sum of demands.
+    #[test]
+    fn resource_serves_fifo_without_gaps(durs in prop::collection::vec(1u64..1000, 1..20)) {
+        let mut sim = Sim::new();
+        let res = Resource::new("r");
+        let slots = Rc::new(RefCell::new(Vec::new()));
+        for &d in &durs {
+            let h = sim.handle();
+            let res = res.clone();
+            let slots = slots.clone();
+            sim.spawn(async move {
+                let (s, e) = res.use_for(&h, Dur::ns(d)).await;
+                slots.borrow_mut().push((s, e));
+            });
+        }
+        prop_assert!(sim.run().quiescent);
+        let mut slots = slots.borrow().clone();
+        slots.sort();
+        let mut cursor = Time::ZERO;
+        for (s, e) in &slots {
+            prop_assert_eq!(*s, cursor, "no gap, no overlap");
+            cursor = *e;
+        }
+        let total: u64 = durs.iter().sum();
+        prop_assert_eq!(res.busy_total(), Dur::ns(total));
+    }
+
+    /// Rendezvous pairing is FIFO: k senders and k receivers match in
+    /// arrival order regardless of their timing offsets.
+    #[test]
+    fn rendezvous_matches_in_fifo_order(
+        send_delays in prop::collection::vec(0u64..500, 1..10),
+    ) {
+        let k = send_delays.len();
+        let mut sim = Sim::new();
+        let ch: Rendezvous<usize> = Rendezvous::new();
+        // Senders arrive in index order (cumulative delays).
+        let mut acc = 0;
+        for (i, &d) in send_delays.iter().enumerate() {
+            acc += d + 1; // strictly increasing arrival times
+            let tx = ch.clone();
+            let h = sim.handle();
+            let at = acc;
+            sim.spawn(async move {
+                h.sleep(Dur::ns(at)).await;
+                tx.send(i).await;
+            });
+        }
+        let rx = ch.clone();
+        let jh = sim.spawn(async move {
+            let mut got = Vec::new();
+            for _ in 0..k {
+                got.push(rx.recv().await);
+            }
+            got
+        });
+        prop_assert!(sim.run().quiescent);
+        prop_assert_eq!(jh.try_take().unwrap(), (0..k).collect::<Vec<_>>());
+    }
+
+    /// run_until never passes the deadline and resuming completes the work
+    /// identically to one uninterrupted run.
+    #[test]
+    fn bounded_runs_compose(total_ns in 1000u64..100_000, cut in 1u64..999) {
+        let make = || {
+            let mut sim = Sim::new();
+            let h = sim.handle();
+            let jh = sim.spawn(async move {
+                h.sleep(Dur::ns(total_ns)).await;
+                h.now()
+            });
+            (sim, jh)
+        };
+        // Uninterrupted.
+        let (mut s1, j1) = make();
+        s1.run();
+        // Interrupted at an arbitrary fraction.
+        let (mut s2, j2) = make();
+        let cut_at = Time::ZERO + Dur::ns(total_ns * cut / 1000);
+        let r = s2.run_until(cut_at);
+        prop_assert!(s2.now() <= cut_at);
+        prop_assert!(!r.quiescent || total_ns * cut / 1000 >= total_ns);
+        s2.run();
+        prop_assert_eq!(j1.try_take(), j2.try_take());
+        prop_assert_eq!(s1.now(), s2.now());
+    }
+}

@@ -1,0 +1,761 @@
+//! # ts-vec — vector registers and the arithmetic controller
+//!
+//! §II *Memory* / *Arithmetic*: the vector arithmetic unit views node memory
+//! as two banks of 1024-byte **vectors** aligned on row boundaries. A vector
+//! register loads an entire row in 400 ns; two registers stream operands
+//! into the pipelined adder/multiplier at one element per 125 ns cycle
+//! (62.5 ns per 32-bit word), and results shift back into either bank. A
+//! preprogrammed **micro-sequencer** executes "vector forms": the program
+//! names the operands and the form, and the control processor is free until
+//! the completion interrupt.
+//!
+//! This crate implements that machinery over [`ts_mem::NodeMemory`]:
+//!
+//! * [`VectorReg`] — a 1024-byte register with row load/store and typed
+//!   element access.
+//! * [`VecUnit`] — the micro-sequencer. Every [`form`](VecForm) computes
+//!   **real element values** with the bit-accurate `ts-fpu` arithmetic *and*
+//!   returns the cycle-exact [`VecTiming`] of the hardware:
+//!   `overhead + row I/O + pipeline_depth + (n−1)·II` cycles, where the
+//!   initiation interval II is 1 when the two operand streams come from
+//!   different banks and 2 when they collide in one bank — the measurable
+//!   content of the paper's dual-bank design claim (experiment E9).
+//! * Chained forms (SAXPY, dot product) run the multiplier into the adder:
+//!   depth is the sum of both pipes, the rate is unchanged, and each element
+//!   counts 2 flops — which is exactly how the node reaches its 16 MFLOPS
+//!   peak.
+//!
+//! Scalar results (dot, sum, min/max) return through the status interface
+//! rather than a memory row.
+
+#![deny(missing_docs)]
+
+use ts_fpu::pipeline::{Pipeline, Precision};
+use ts_fpu::soft::{self, B32, B64};
+use ts_fpu::Sf64;
+use ts_mem::{Bank, MemError, NodeMemory, ROW_TIME, ROW_WORDS};
+use ts_sim::Dur;
+
+/// One 1024-byte vector register (a full memory row).
+#[derive(Clone)]
+pub struct VectorReg {
+    words: [u32; ROW_WORDS],
+}
+
+impl Default for VectorReg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VectorReg {
+    /// A zeroed register.
+    pub fn new() -> VectorReg {
+        VectorReg { words: [0; ROW_WORDS] }
+    }
+
+    /// Load from a memory row (hardware cost: [`ROW_TIME`]).
+    pub fn load(&mut self, mem: &NodeMemory, row: usize) -> Result<(), MemError> {
+        mem.read_row(row, &mut self.words)
+    }
+
+    /// Store to a memory row (hardware cost: [`ROW_TIME`]).
+    pub fn store(&self, mem: &mut NodeMemory, row: usize) -> Result<(), MemError> {
+        mem.write_row(row, &self.words)
+    }
+
+    /// Element as 64-bit bits (two words, low first).
+    pub fn get64(&self, i: usize) -> u64 {
+        self.words[2 * i] as u64 | ((self.words[2 * i + 1] as u64) << 32)
+    }
+
+    /// Set a 64-bit element.
+    pub fn set64(&mut self, i: usize, bits: u64) {
+        self.words[2 * i] = bits as u32;
+        self.words[2 * i + 1] = (bits >> 32) as u32;
+    }
+
+    /// Element as 32-bit bits.
+    pub fn get32(&self, i: usize) -> u32 {
+        self.words[i]
+    }
+
+    /// Set a 32-bit element.
+    pub fn set32(&mut self, i: usize, bits: u32) {
+        self.words[i] = bits;
+    }
+}
+
+/// The vector forms the micro-sequencer implements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VecForm {
+    /// `z[i] = x[i] + y[i]`
+    VAdd,
+    /// `z[i] = x[i] − y[i]`
+    VSub,
+    /// `z[i] = x[i] · y[i]`
+    VMul,
+    /// `z[i] = a·x[i] + y[i]` — the chained SAXPY (2 flops/element).
+    Saxpy(Sf64),
+    /// `z[i] = s · x[i]` (scalar held in the multiplier input register).
+    VSMul(Sf64),
+    /// `z[i] = s + x[i]` (scalar held in the adder input register).
+    VSAdd(Sf64),
+    /// Scalar `Σ x[i]·y[i]` — chained with adder feedback.
+    Dot,
+    /// Scalar `Σ x[i]` — adder feedback only.
+    Sum,
+    /// Scalar `max x[i]` (adder comparison path).
+    Max,
+    /// Scalar `min x[i]`.
+    Min,
+    /// `(argmax, max |x[i]|)` — the pivot-search primitive.
+    AbsMax,
+}
+
+impl VecForm {
+    /// Does the form stream two vector operands?
+    pub fn two_operands(self) -> bool {
+        matches!(self, VecForm::VAdd | VecForm::VSub | VecForm::VMul | VecForm::Saxpy(_) | VecForm::Dot)
+    }
+
+    /// Does the form write a result vector (vs. a scalar)?
+    pub fn writes_vector(self) -> bool {
+        !matches!(self, VecForm::Dot | VecForm::Sum | VecForm::Max | VecForm::Min | VecForm::AbsMax)
+    }
+
+    /// Flops charged per element.
+    pub fn flops_per_elem(self) -> u64 {
+        match self {
+            VecForm::Saxpy(_) | VecForm::Dot => 2,
+            _ => 1,
+        }
+    }
+
+    /// Pipeline depth in cycles for this form at a given precision.
+    pub fn depth(self, prec: Precision) -> u64 {
+        let add = Pipeline::adder(prec).stages as u64;
+        let mul = Pipeline::multiplier(prec).stages as u64;
+        match self {
+            VecForm::VAdd | VecForm::VSub | VecForm::VSAdd(_) => add,
+            VecForm::VMul | VecForm::VSMul(_) => mul,
+            VecForm::Saxpy(_) | VecForm::Dot => mul + add,
+            VecForm::Sum | VecForm::Max | VecForm::Min | VecForm::AbsMax => add,
+        }
+    }
+}
+
+/// Timing of one executed vector form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VecTiming {
+    /// Wall-clock duration the arithmetic unit was busy.
+    pub duration: Dur,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Initiation interval used (1 = dual-bank streaming, 2 = bank conflict).
+    pub initiation_interval: u64,
+}
+
+/// Result of a vector form: timing plus the scalar output, if any.
+#[derive(Clone, Copy, Debug)]
+pub struct VecResult {
+    /// Timing of the operation.
+    pub timing: VecTiming,
+    /// Scalar result for reduction forms (bits of an `Sf64`/`Sf32`).
+    pub scalar: Option<u64>,
+    /// Index result for `AbsMax`.
+    pub index: Option<usize>,
+}
+
+/// Configuration of the vector unit.
+#[derive(Clone, Copy, Debug)]
+pub struct VecUnitParams {
+    /// Fixed issue overhead: the control processor writing the operand
+    /// descriptors and form opcode to the arithmetic controller. The paper
+    /// gives no number; one word-port access (400 ns) plus one cycle is
+    /// used and stated in DESIGN.md.
+    pub issue_overhead: Dur,
+    /// Force a single-bank machine (the E9 ablation): both operand streams
+    /// share one bank regardless of row placement, II = 2.
+    pub force_single_bank: bool,
+}
+
+impl Default for VecUnitParams {
+    fn default() -> Self {
+        VecUnitParams { issue_overhead: Dur::ns(525), force_single_bank: false }
+    }
+}
+
+/// The vector arithmetic unit of one node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VecUnit {
+    /// Unit parameters.
+    pub params: VecUnitParams,
+}
+
+impl VecUnit {
+    /// A unit with the paper's configuration.
+    pub fn new() -> VecUnit {
+        VecUnit::default()
+    }
+
+    /// The ablation unit: memory behaves as a single bank.
+    pub fn single_bank() -> VecUnit {
+        VecUnit { params: VecUnitParams { force_single_bank: true, ..Default::default() } }
+    }
+
+    /// Execute `form` over `n` elements in 64-bit mode.
+    ///
+    /// Vectors start at the given *rows* and may span consecutive rows
+    /// (`n` may exceed 128). For two-operand forms the initiation interval
+    /// is decided by the banks of the two operand base rows.
+    pub fn exec64(
+        &self,
+        mem: &mut NodeMemory,
+        form: VecForm,
+        x_row: usize,
+        y_row: usize,
+        z_row: usize,
+        n: usize,
+    ) -> Result<VecResult, MemError> {
+        self.exec(mem, form, x_row, y_row, z_row, n, Precision::Double)
+    }
+
+    /// Execute `form` over `n` elements in 32-bit mode.
+    pub fn exec32(
+        &self,
+        mem: &mut NodeMemory,
+        form: VecForm,
+        x_row: usize,
+        y_row: usize,
+        z_row: usize,
+        n: usize,
+    ) -> Result<VecResult, MemError> {
+        self.exec(mem, form, x_row, y_row, z_row, n, Precision::Single)
+    }
+
+    /// Initiation interval for a two-operand stream whose inputs live in
+    /// the given banks.
+    fn initiation_interval(&self, form: VecForm, bx: Bank, by: Bank) -> u64 {
+        if !form.two_operands() {
+            return 1;
+        }
+        if self.params.force_single_bank || bx == by {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn timing(&self, form: VecForm, n: usize, ii: u64, prec: Precision) -> VecTiming {
+        let cycle = Dur::CYCLE;
+        let mut d = self.params.issue_overhead;
+        // Row I/O: the two first operand rows load in parallel when they sit
+        // in different banks (one ROW_TIME), serially otherwise; subsequent
+        // rows stream behind the pipeline. The final result row (or scalar
+        // status word) drains in one more ROW_TIME.
+        let first_loads = if form.two_operands() && ii == 2 { 2 } else { 1 };
+        d += ROW_TIME * first_loads;
+        let depth = form.depth(prec);
+        if n > 0 {
+            d += cycle * (depth + (n as u64 - 1) * ii);
+        }
+        if form.writes_vector() {
+            d += ROW_TIME; // final store
+        } else {
+            // Reduction drain: feedback through the adder pipe once more,
+            // then the scalar is read through the status interface.
+            d += cycle * Pipeline::adder(prec).stages as u64;
+            d += ts_mem::WORD_TIME;
+        }
+        VecTiming {
+            duration: d,
+            flops: form.flops_per_elem() * n as u64,
+            initiation_interval: ii,
+        }
+    }
+
+    /// Data conversion through the adder path (§II: the adder performs
+    /// "data conversions"): narrow `n` 64-bit elements starting at `x_row`
+    /// into 32-bit elements at `z_row` (RNE, flush-to-zero). Output rows
+    /// pack two input rows each. Timing is adder-path, one result/cycle.
+    pub fn convert64to32(
+        &self,
+        mem: &mut NodeMemory,
+        x_row: usize,
+        z_row: usize,
+        n: usize,
+    ) -> Result<VecResult, MemError> {
+        let timing = self.timing(VecForm::VSAdd(Sf64::ZERO), n, 1, Precision::Double);
+        let mut xr = VectorReg::new();
+        for r in 0..n.div_ceil(128).max(1) {
+            let lo = r * 128;
+            let hi = ((r + 1) * 128).min(n);
+            if lo >= hi {
+                break;
+            }
+            xr.load(mem, x_row + r)?;
+            let mut zr = VectorReg::new();
+            // Read-modify-write the (half-density) output row.
+            zr.load(mem, z_row + r / 2)?;
+            for i in lo..hi {
+                let j = i - lo;
+                let narrow = ts_fpu::soft::f64_to_f32(xr.get64(j)) as u32;
+                zr.set32((r % 2) * 128 + j, narrow);
+            }
+            zr.store(mem, z_row + r / 2)?;
+        }
+        Ok(VecResult { timing, scalar: None, index: None })
+    }
+
+    /// Widen `n` 32-bit elements at `x_row` into 64-bit elements at
+    /// `z_row` (exact; subnormal inputs flush). Each input row expands to
+    /// two output rows.
+    pub fn convert32to64(
+        &self,
+        mem: &mut NodeMemory,
+        x_row: usize,
+        z_row: usize,
+        n: usize,
+    ) -> Result<VecResult, MemError> {
+        let timing = self.timing(VecForm::VSAdd(Sf64::ZERO), n, 1, Precision::Double);
+        let mut xr = VectorReg::new();
+        let mut zr = VectorReg::new();
+        for r in 0..n.div_ceil(256).max(1) {
+            let lo = r * 256;
+            let hi = ((r + 1) * 256).min(n);
+            if lo >= hi {
+                break;
+            }
+            xr.load(mem, x_row + r)?;
+            for i in lo..hi {
+                let j = i - lo;
+                let wide = ts_fpu::soft::f32_to_f64(xr.get32(j) as u64);
+                zr.set64(j % 128, wide);
+                if j % 128 == 127 || i == hi - 1 {
+                    zr.store(mem, z_row + 2 * r + j / 128)?;
+                }
+            }
+        }
+        Ok(VecResult { timing, scalar: None, index: None })
+    }
+
+    fn exec(
+        &self,
+        mem: &mut NodeMemory,
+        form: VecForm,
+        x_row: usize,
+        y_row: usize,
+        z_row: usize,
+        n: usize,
+        prec: Precision,
+    ) -> Result<VecResult, MemError> {
+        let per_row = prec.elems_per_row();
+        let rows = n.div_ceil(per_row).max(1);
+        let ii = self.initiation_interval(form, mem.bank_of_row(x_row), mem.bank_of_row(y_row));
+        let timing = self.timing(form, n, ii, prec);
+
+        // --- compute real values, row by row, like the stream would ---
+        let mut xr = VectorReg::new();
+        let mut yr = VectorReg::new();
+        let mut zr = VectorReg::new();
+        // Reduction accumulators.
+        let mut acc: Option<u64> = None;
+        let mut best_idx = 0usize;
+
+        for r in 0..rows {
+            let lo = r * per_row;
+            let hi = ((r + 1) * per_row).min(n);
+            if lo >= hi {
+                break;
+            }
+            xr.load(mem, x_row + r)?;
+            if form.two_operands() {
+                yr.load(mem, y_row + r)?;
+            }
+            for i in lo..hi {
+                let j = i - lo;
+                match prec {
+                    Precision::Double => {
+                        let x = xr.get64(j);
+                        let y = if form.two_operands() { yr.get64(j) } else { 0 };
+                        match form {
+                            VecForm::VAdd => zr.set64(j, soft::add::<B64>(x, y)),
+                            VecForm::VSub => zr.set64(j, soft::sub::<B64>(x, y)),
+                            VecForm::VMul => zr.set64(j, soft::mul::<B64>(x, y)),
+                            VecForm::Saxpy(a) => {
+                                let ax = soft::mul::<B64>(a.to_bits(), x);
+                                zr.set64(j, soft::add::<B64>(ax, y));
+                            }
+                            VecForm::VSMul(s) => zr.set64(j, soft::mul::<B64>(s.to_bits(), x)),
+                            VecForm::VSAdd(s) => zr.set64(j, soft::add::<B64>(s.to_bits(), x)),
+                            VecForm::Dot => {
+                                let p = soft::mul::<B64>(x, y);
+                                acc = Some(match acc {
+                                    None => p,
+                                    Some(a) => soft::add::<B64>(a, p),
+                                });
+                            }
+                            VecForm::Sum => {
+                                acc = Some(match acc {
+                                    None => x,
+                                    Some(a) => soft::add::<B64>(a, x),
+                                });
+                            }
+                            VecForm::Max | VecForm::Min => {
+                                acc = Some(match acc {
+                                    None => x,
+                                    Some(a) => {
+                                        let keep_x = match soft::cmp::<B64>(x, a) {
+                                            Some(std::cmp::Ordering::Greater) => {
+                                                matches!(form, VecForm::Max)
+                                            }
+                                            Some(std::cmp::Ordering::Less) => {
+                                                matches!(form, VecForm::Min)
+                                            }
+                                            _ => false,
+                                        };
+                                        if keep_x {
+                                            x
+                                        } else {
+                                            a
+                                        }
+                                    }
+                                });
+                            }
+                            VecForm::AbsMax => {
+                                let ax = soft::abs::<B64>(x);
+                                let better = match acc {
+                                    None => true,
+                                    Some(a) => matches!(
+                                        soft::cmp::<B64>(ax, a),
+                                        Some(std::cmp::Ordering::Greater)
+                                    ),
+                                };
+                                if better {
+                                    acc = Some(ax);
+                                    best_idx = i;
+                                }
+                            }
+                        }
+                    }
+                    Precision::Single => {
+                        let x = xr.get32(j) as u64;
+                        let y = if form.two_operands() { yr.get32(j) as u64 } else { 0 };
+                        match form {
+                            VecForm::VAdd => zr.set32(j, soft::add::<B32>(x, y) as u32),
+                            VecForm::VSub => zr.set32(j, soft::sub::<B32>(x, y) as u32),
+                            VecForm::VMul => zr.set32(j, soft::mul::<B32>(x, y) as u32),
+                            VecForm::Saxpy(a) => {
+                                let a32 = ts_fpu::soft::f64_to_f32(a.to_bits());
+                                let ax = soft::mul::<B32>(a32, x);
+                                zr.set32(j, soft::add::<B32>(ax, y) as u32);
+                            }
+                            VecForm::VSMul(s) => {
+                                let s32 = ts_fpu::soft::f64_to_f32(s.to_bits());
+                                zr.set32(j, soft::mul::<B32>(s32, x) as u32);
+                            }
+                            VecForm::VSAdd(s) => {
+                                let s32 = ts_fpu::soft::f64_to_f32(s.to_bits());
+                                zr.set32(j, soft::add::<B32>(s32, x) as u32);
+                            }
+                            VecForm::Dot => {
+                                let p = soft::mul::<B32>(x, y);
+                                acc = Some(match acc {
+                                    None => p,
+                                    Some(a) => soft::add::<B32>(a, p),
+                                });
+                            }
+                            VecForm::Sum => {
+                                acc = Some(match acc {
+                                    None => x,
+                                    Some(a) => soft::add::<B32>(a, x),
+                                });
+                            }
+                            VecForm::Max | VecForm::Min => {
+                                acc = Some(match acc {
+                                    None => x,
+                                    Some(a) => {
+                                        let keep_x = match soft::cmp::<B32>(x, a) {
+                                            Some(std::cmp::Ordering::Greater) => {
+                                                matches!(form, VecForm::Max)
+                                            }
+                                            Some(std::cmp::Ordering::Less) => {
+                                                matches!(form, VecForm::Min)
+                                            }
+                                            _ => false,
+                                        };
+                                        if keep_x {
+                                            x
+                                        } else {
+                                            a
+                                        }
+                                    }
+                                });
+                            }
+                            VecForm::AbsMax => {
+                                let ax = soft::abs::<B32>(x);
+                                let better = match acc {
+                                    None => true,
+                                    Some(a) => matches!(
+                                        soft::cmp::<B32>(ax, a),
+                                        Some(std::cmp::Ordering::Greater)
+                                    ),
+                                };
+                                if better {
+                                    acc = Some(ax);
+                                    best_idx = i;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if form.writes_vector() {
+                zr.store(mem, z_row + r)?;
+            }
+        }
+
+        Ok(VecResult {
+            timing,
+            scalar: if form.writes_vector() { None } else { acc.or(Some(0)) },
+            index: matches!(form, VecForm::AbsMax).then_some(best_idx),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_mem::MemCfg;
+
+    /// Memory with x in bank A (row 0), y in bank B (first B row), z in B.
+    fn setup(_n: usize) -> (NodeMemory, usize, usize, usize) {
+        let mem = NodeMemory::new(MemCfg::default());
+        let rows_a = mem.cfg().rows_a(); // 256
+        (mem, 0, rows_a, rows_a + 64)
+    }
+
+    fn fill64(mem: &mut NodeMemory, row: usize, vals: &[f64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            let addr = row * ROW_WORDS + 2 * i;
+            mem.write_u64(addr, v.to_bits()).unwrap();
+        }
+    }
+
+    fn read64(mem: &NodeMemory, row: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| f64::from_bits(mem.read_u64(row * ROW_WORDS + 2 * i).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn vadd_values_and_timing() {
+        let (mut mem, x, y, z) = setup(4);
+        fill64(&mut mem, x, &[1.0, 2.0, 3.0, 4.0]);
+        fill64(&mut mem, y, &[10.0, 20.0, 30.0, 40.0]);
+        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 4).unwrap();
+        assert_eq!(read64(&mem, z, 4), vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(r.timing.initiation_interval, 1, "cross-bank streams");
+        assert_eq!(r.timing.flops, 4);
+        // issue 525 + load 400 + (6 + 3)×125 + store 400 = 2450 ns.
+        assert_eq!(r.timing.duration, Dur::ns(525 + 400 + 9 * 125 + 400));
+    }
+
+    #[test]
+    fn same_bank_halves_the_rate() {
+        let mut mem = NodeMemory::new(MemCfg::default());
+        // Both operands in bank A.
+        fill64(&mut mem, 0, &[1.0; 8]);
+        fill64(&mut mem, 1, &[2.0; 8]);
+        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, 0, 1, 2, 8).unwrap();
+        assert_eq!(r.timing.initiation_interval, 2);
+        assert_eq!(read64(&mem, 2, 8), vec![3.0; 8]);
+        // Cross-bank same op:
+        let (mut mem2, x, y, z) = setup(8);
+        fill64(&mut mem2, x, &[1.0; 8]);
+        fill64(&mut mem2, y, &[2.0; 8]);
+        let r2 = VecUnit::new().exec64(&mut mem2, VecForm::VAdd, x, y, z, 8).unwrap();
+        assert!(r.timing.duration > r2.timing.duration);
+    }
+
+    #[test]
+    fn force_single_bank_ablation() {
+        let (mut mem, x, y, z) = setup(128);
+        fill64(&mut mem, x, &[1.5; 128]);
+        fill64(&mut mem, y, &[2.5; 128]);
+        let dual = VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 128).unwrap();
+        let single = VecUnit::single_bank().exec64(&mut mem, VecForm::VMul, x, y, z, 128).unwrap();
+        assert_eq!(dual.timing.initiation_interval, 1);
+        assert_eq!(single.timing.initiation_interval, 2);
+        // Long-vector ratio approaches 2×.
+        let ratio =
+            single.timing.duration.as_secs_f64() / dual.timing.duration.as_secs_f64();
+        assert!(ratio > 1.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn saxpy_chains_and_counts_two_flops() {
+        let (mut mem, x, y, z) = setup(128);
+        let xs: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..128).map(|i| (i * 3) as f64).collect();
+        fill64(&mut mem, x, &xs);
+        fill64(&mut mem, y, &ys);
+        let a = Sf64::from(2.0);
+        let r = VecUnit::new().exec64(&mut mem, VecForm::Saxpy(a), x, y, z, 128).unwrap();
+        let want: Vec<f64> = (0..128).map(|i| 2.0 * i as f64 + (i * 3) as f64).collect();
+        assert_eq!(read64(&mem, z, 128), want);
+        assert_eq!(r.timing.flops, 256);
+        // Depth is mul(7) + add(6) = 13 cycles; II = 1.
+        assert_eq!(
+            r.timing.duration,
+            Dur::ns(525) + ROW_TIME + Dur::CYCLE * (13 + 127) + ROW_TIME
+        );
+    }
+
+    #[test]
+    fn peak_rate_approaches_16_mflops() {
+        // 1024-element SAXPY (8 rows per operand).
+        let (mut mem, x, y, z) = setup(1024);
+        fill64(&mut mem, x, &[1.0; 128]);
+        let n = 1024;
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::Saxpy(Sf64::from(3.0)), x, y, z, n)
+            .unwrap();
+        let mflops = r.timing.flops as f64 / r.timing.duration.as_secs_f64() / 1e6;
+        assert!(mflops > 15.0 && mflops <= 16.0, "mflops = {mflops}");
+    }
+
+    #[test]
+    fn dot_product_reduces() {
+        let (mut mem, x, y, _z) = setup(4);
+        fill64(&mut mem, x, &[1.0, 2.0, 3.0, 4.0]);
+        fill64(&mut mem, y, &[5.0, 6.0, 7.0, 8.0]);
+        let r = VecUnit::new().exec64(&mut mem, VecForm::Dot, x, y, 0, 4).unwrap();
+        assert_eq!(f64::from_bits(r.scalar.unwrap()), 70.0);
+        assert_eq!(r.timing.flops, 8);
+        assert!(r.index.is_none());
+    }
+
+    #[test]
+    fn sum_min_max() {
+        let (mut mem, x, y, _z) = setup(5);
+        fill64(&mut mem, x, &[3.0, -7.5, 12.0, 0.5, -2.0]);
+        let u = VecUnit::new();
+        let s = u.exec64(&mut mem, VecForm::Sum, x, y, 0, 5).unwrap();
+        assert_eq!(f64::from_bits(s.scalar.unwrap()), 6.0);
+        let mx = u.exec64(&mut mem, VecForm::Max, x, y, 0, 5).unwrap();
+        assert_eq!(f64::from_bits(mx.scalar.unwrap()), 12.0);
+        let mn = u.exec64(&mut mem, VecForm::Min, x, y, 0, 5).unwrap();
+        assert_eq!(f64::from_bits(mn.scalar.unwrap()), -7.5);
+    }
+
+    #[test]
+    fn absmax_finds_pivot() {
+        let (mut mem, x, y, _z) = setup(6);
+        fill64(&mut mem, x, &[3.0, -17.5, 12.0, 0.5, -2.0, 17.0]);
+        let r = VecUnit::new().exec64(&mut mem, VecForm::AbsMax, x, y, 0, 6).unwrap();
+        assert_eq!(r.index, Some(1));
+        assert_eq!(f64::from_bits(r.scalar.unwrap()), 17.5);
+    }
+
+    #[test]
+    fn multi_row_vectors() {
+        // 300 elements span 3 rows (128 per row in 64-bit mode).
+        let (mut mem, x, y, z) = setup(300);
+        for r in 0..3 {
+            let lo = r * 128;
+            let vals: Vec<f64> = (lo..(lo + 128).min(300)).map(|i| i as f64).collect();
+            fill64(&mut mem, x + r, &vals);
+            let ones = vec![1.0; vals.len()];
+            fill64(&mut mem, y + r, &ones);
+        }
+        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 300).unwrap();
+        assert_eq!(r.timing.flops, 300);
+        let out = read64(&mem, z, 128);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[127], 128.0);
+        let out2 = read64(&mem, z + 2, 300 - 256);
+        assert_eq!(out2[0], 257.0);
+        assert_eq!(out2[43], 300.0);
+    }
+
+    #[test]
+    fn single_precision_mode() {
+        let mut mem = NodeMemory::new(MemCfg::default());
+        let rows_a = mem.cfg().rows_a();
+        for i in 0..256 {
+            mem.write_word(i, (i as f32 * 0.5).to_bits()).unwrap();
+            mem.write_word(rows_a * ROW_WORDS + i, 1.0f32.to_bits()).unwrap();
+        }
+        let r = VecUnit::new()
+            .exec32(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 1, 256)
+            .unwrap();
+        assert_eq!(r.timing.flops, 256);
+        for i in 0..256 {
+            let got = f32::from_bits(mem.read_word((rows_a + 1) * ROW_WORDS + i).unwrap());
+            assert_eq!(got, i as f32 * 0.5 + 1.0);
+        }
+        // 32-bit multiplier is 5-deep: a VMul of n=1 runs 5 cycles.
+        let m = VecUnit::new()
+            .exec32(&mut mem, VecForm::VMul, 0, rows_a, rows_a + 2, 1)
+            .unwrap();
+        assert_eq!(
+            m.timing.duration,
+            Dur::ns(525) + ROW_TIME + Dur::CYCLE * 5 + ROW_TIME
+        );
+    }
+
+    #[test]
+    fn ftz_flows_through_vector_ops() {
+        let (mut mem, x, y, z) = setup(2);
+        fill64(&mut mem, x, &[1e-200, 1.0]);
+        fill64(&mut mem, y, &[1e-200, 1.0]);
+        let _ = VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 2).unwrap();
+        let out = read64(&mem, z, 2);
+        assert_eq!(out, vec![0.0, 1.0], "subnormal product flushed to zero");
+    }
+
+    #[test]
+    fn convert_64_to_32_and_back() {
+        let mut mem = NodeMemory::new(MemCfg::default());
+        let rows_a = mem.cfg().rows_a();
+        let vals: Vec<f64> = (0..200).map(|i| i as f64 * 0.25 - 10.0).collect();
+        fill64(&mut mem, 0, &vals[..128]);
+        fill64(&mut mem, 1, &vals[128..]);
+        let u = VecUnit::new();
+        let r = u.convert64to32(&mut mem, 0, rows_a, 200).unwrap();
+        assert_eq!(r.timing.flops, 200);
+        // Check narrowed values through the word port.
+        for (i, &v) in vals.iter().enumerate() {
+            let got = f32::from_bits(mem.read_word(rows_a * ROW_WORDS + i).unwrap());
+            assert_eq!(got, v as f32, "narrow[{i}]");
+        }
+        // Widen back into a fresh area.
+        let w = u.convert32to64(&mut mem, rows_a, rows_a + 8, 200).unwrap();
+        assert_eq!(w.timing.flops, 200);
+        for (i, &v) in vals.iter().enumerate() {
+            let got =
+                f64::from_bits(mem.read_u64((rows_a + 8 + i / 128) * ROW_WORDS + 2 * (i % 128)).unwrap());
+            assert_eq!(got, v as f32 as f64, "widen[{i}]");
+        }
+    }
+
+    #[test]
+    fn convert_flushes_f32_subnormals() {
+        let mut mem = NodeMemory::new(MemCfg::default());
+        let rows_a = mem.cfg().rows_a();
+        fill64(&mut mem, 0, &[1e-40, 1.5]); // 1e-40 is subnormal in f32
+        let u = VecUnit::new();
+        u.convert64to32(&mut mem, 0, rows_a, 2).unwrap();
+        assert_eq!(f32::from_bits(mem.read_word(rows_a * ROW_WORDS).unwrap()), 0.0);
+        assert_eq!(f32::from_bits(mem.read_word(rows_a * ROW_WORDS + 1).unwrap()), 1.5);
+    }
+
+    #[test]
+    fn empty_vector_is_legal() {
+        let (mut mem, x, y, z) = setup(0);
+        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 0).unwrap();
+        assert_eq!(r.timing.flops, 0);
+    }
+}

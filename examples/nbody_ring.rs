@@ -1,0 +1,43 @@
+//! All-pairs N-body on the ring embedding — the Fox & Otto pipeline the
+//! paper cites as the algorithmic blueprint for machines of this class.
+//!
+//! Shows the balanced ring schedule (every link equally loaded), the cost
+//! of software reciprocal square roots on a machine without a divider, and
+//! force verification against the direct sum.
+//!
+//! ```text
+//! cargo run --release --example nbody_ring
+//! ```
+
+use fps_t_series::kernels::nbody::{distributed_nbody, reference_forces, FLOPS_PER_PAIR};
+use fps_t_series::machine::{Machine, MachineCfg};
+
+fn main() {
+    const BODIES: usize = 64;
+    println!("all-pairs N-body, {BODIES} bodies ({FLOPS_PER_PAIR} hardware ops per pair)\n");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>10}",
+        "nodes", "elapsed", "MFLOPS", "bytes sent", "max err"
+    );
+    for dim in [0u32, 2, 3] {
+        let mut machine = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+        let (bodies, forces, stats) = distributed_nbody(&mut machine, BODIES, 42);
+        let want = reference_forces(&bodies);
+        let mut max_err = 0.0f64;
+        for ((gx, gy), (wx, wy)) in forces.iter().zip(&want) {
+            max_err = max_err.max((gx - wx).abs().max((gy - wy).abs()));
+        }
+        assert!(max_err < 1e-9);
+        println!(
+            "{:>6} {:>12} {:>10.2} {:>12} {:>10.2e}",
+            1u32 << dim,
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            max_err,
+        );
+    }
+    println!("\nthe ring pipeline keeps every link equally busy: O(N^2/p) arithmetic");
+    println!("against O(N) communication per node — comfortably beyond the paper's");
+    println!("130-ops-per-word balance threshold once N is a few hundred.");
+}

@@ -1,0 +1,52 @@
+//! # fps-t-series — facade crate
+//!
+//! A comprehensive Rust reproduction of *"The Architecture of a Homogeneous
+//! Vector Supercomputer"* (Gustafson, Hawkinson & Scott, Floating Point
+//! Systems, ICPP 1986): a deterministic, cycle-approximate simulator of the
+//! **FPS T Series** hypercube vector supercomputer together with the software
+//! stack the paper argues the architecture supports.
+//!
+//! This crate re-exports the workspace members under short module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `ts-sim` | deterministic async discrete-event kernel |
+//! | [`fpu`] | `ts-fpu` | bit-accurate software IEEE-754 (flush-to-zero) + pipeline models |
+//! | [`mem`] | `ts-mem` | dual-ported banked node memory |
+//! | [`vector`] | `ts-vec` | vector registers, arithmetic controller, vector forms |
+//! | [`link`] | `ts-link` | serial links: framing, DMA, sublinks, contention |
+//! | [`cube`] | `ts-cube` | binary n-cube topology, Gray codes, embeddings, routing |
+//! | [`cp`] | `ts-cp` | stack-machine control-processor ISA, assembler, emulator |
+//! | [`node`] | `ts-node` | node assembly + Occam-style programming model |
+//! | [`machine`] | `t-series-core` | modules, system ring, disks, snapshots, collectives |
+//! | [`kernels`] | `ts-kernels` | distributed matmul, FFT, LU, bitonic sort, stencil |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every figure and quantitative claim.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fps_t_series::machine::{Machine, MachineCfg};
+//!
+//! // Build a 2-cube (4 nodes) and run a program on every node.
+//! let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+//! let handles = m.launch(|ctx| async move {
+//!     ctx.cp_compute(100).await; // 100 instructions at 7.5 MIPS
+//!     ctx.id()
+//! });
+//! assert!(m.run().quiescent);
+//! assert_eq!(handles[3].try_take(), Some(3));
+//! // See examples/quickstart.rs for vector arithmetic and links.
+//! ```
+
+pub use t_series_core as machine;
+pub use ts_cp as cp;
+pub use ts_cube as cube;
+pub use ts_fpu as fpu;
+pub use ts_kernels as kernels;
+pub use ts_link as link;
+pub use ts_mem as mem;
+pub use ts_node as node;
+pub use ts_sim as sim;
+pub use ts_vec as vector;

@@ -1,0 +1,118 @@
+//! End-to-end failure/recovery scenarios: the §III checkpoint machinery
+//! protecting a real computation across a simulated node failure.
+
+use fps_t_series::machine::{Machine, MachineCfg};
+use fps_t_series::vector::VecForm;
+use ts_fpu::Sf64;
+use ts_mem::ROW_WORDS;
+use ts_sim::Dur;
+
+/// One "phase" of work: every node runs `sweeps` SAXPY passes over its
+/// accumulator row (deterministic, state lives entirely in node memory).
+fn run_phase(machine: &mut Machine, sweeps: usize) {
+    machine.launch(move |ctx| async move {
+        let rows_a = ctx.mem().cfg().rows_a();
+        for _ in 0..sweeps {
+            // acc (bank B row 0) += 1.0 * ones (bank A row 0)
+            ctx.vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128)
+                .await
+                .unwrap();
+        }
+    });
+    let r = machine.run();
+    assert!(r.quiescent);
+}
+
+fn setup(machine: &mut Machine) {
+    for node in &machine.nodes {
+        let mut mem = node.mem_mut();
+        let rows_a = mem.cfg().rows_a();
+        for i in 0..128 {
+            mem.write_f64(2 * i, Sf64::from(1.0)).unwrap(); // the ones vector
+            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64)).unwrap();
+        }
+    }
+}
+
+fn read_acc(machine: &Machine, node: usize, i: usize) -> f64 {
+    let mem = machine.nodes[node].mem();
+    let rows_a = mem.cfg().rows_a();
+    mem.read_f64(rows_a * ROW_WORDS + 2 * i).unwrap().to_host()
+}
+
+#[test]
+fn crash_restore_rerun_equals_uninterrupted_run() {
+    // Reference: run 3 + 5 phases straight through.
+    let mut reference = Machine::build(MachineCfg::cube_small_mem(3, 8));
+    setup(&mut reference);
+    run_phase(&mut reference, 3);
+    run_phase(&mut reference, 5);
+    let want: Vec<f64> = (0..8).map(|n| read_acc(&reference, n, 17)).collect();
+
+    // Protected run: 3 phases, checkpoint, then a crash destroys phase-2
+    // progress on one node. The machine "reboots" (fresh build — task
+    // state does not survive a crash), restores the snapshot, reruns.
+    let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+    setup(&mut m);
+    run_phase(&mut m, 3);
+    let (images, snap_t) = m.snapshot();
+    assert!(snap_t > Dur::ZERO);
+    // Phase 2 starts, then node 5 takes a memory fault partway through.
+    run_phase(&mut m, 2); // partial work that will be lost
+    m.nodes[5].mem_mut().inject_bit_flip(500, 9).unwrap();
+    assert!(
+        m.nodes[5].mem().read_word(500).is_err(),
+        "parity must detect the fault"
+    );
+
+    // Reboot + restore + rerun phase 2 in full.
+    let mut rebooted = Machine::build(MachineCfg::cube_small_mem(3, 8));
+    let restore_t = rebooted.restore(&images);
+    assert!(restore_t > Dur::ZERO);
+    run_phase(&mut rebooted, 5);
+
+    let got: Vec<f64> = (0..8).map(|n| read_acc(&rebooted, n, 17)).collect();
+    assert_eq!(got, want, "recovered run must equal the uninterrupted run");
+    // And the values are what the arithmetic says: id + 8 sweeps.
+    for (n, v) in got.iter().enumerate() {
+        assert_eq!(*v, n as f64 + 8.0);
+    }
+}
+
+#[test]
+fn snapshot_overhead_accounts_in_simulated_time() {
+    // The snapshot is not free: wall-clock of (work, snapshot, work) equals
+    // the sum of its parts.
+    let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+    setup(&mut m);
+    run_phase(&mut m, 3);
+    let t1 = m.now();
+    let (_, snap_t) = m.snapshot();
+    let t2 = m.now();
+    assert_eq!(t2.since(t1), snap_t);
+    run_phase(&mut m, 3);
+    assert!(m.now() > t2);
+}
+
+#[test]
+fn utilization_report_reflects_the_run() {
+    let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+    setup(&mut m);
+    run_phase(&mut m, 4);
+    let report = m.utilization_report();
+    assert!(report.contains("node"), "{report}");
+    // 4 nodes × 4 sweeps × 256 flops.
+    assert_eq!(m.metrics().get("vec.flops"), 4 * 4 * 256);
+    assert!(report.contains("MFLOPS achieved"));
+    // Vector utilization is >0% and ≤100% on every line.
+    for line in report.lines().skip(1).take(4) {
+        let pct: f64 = line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(pct > 0.0 && pct <= 100.0, "{line}");
+    }
+}

@@ -1,140 +1,78 @@
 //! Kernel benches (experiment E11): each application kernel at a small,
 //! verified size across machine dimensions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use t_series_core::{Machine, MachineCfg};
+use ts_bench::Bench;
 use ts_kernels::{fft, lu, matmul, sort, stencil};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e11_matmul_16");
-    g.sample_size(10);
+fn main() {
+    let b = Bench::new();
+
     for dim in [0u32, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube(dim));
-                let (a, bm, cm, stats) = matmul::distributed_matmul(&mut m, 16, 5);
-                let want = matmul::reference_matmul(16, &a, &bm);
-                assert!(cm
-                    .iter()
-                    .zip(&want)
-                    .all(|(g, w)| (g - w).abs() <= 1e-12 * w.abs().max(1.0)));
-                black_box(stats.elapsed)
-            })
+        b.run(&format!("e11_matmul_16/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube(dim));
+            let (a, bm, cm, stats) = matmul::distributed_matmul(&mut m, 16, 5);
+            let want = matmul::reference_matmul(16, &a, &bm);
+            assert!(cm
+                .iter()
+                .zip(&want)
+                .all(|(g, w)| (g - w).abs() <= 1e-12 * w.abs().max(1.0)));
+            stats.elapsed
         });
     }
-    g.finish();
-}
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e11_fft_128");
-    g.sample_size(10);
     for dim in [0u32, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            let input: Vec<(f64, f64)> =
-                (0..128).map(|i| ((i as f64 * 0.37).sin(), 0.0)).collect();
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let (out, stats) = fft::distributed_fft(&mut m, &input);
-                black_box((out[1], stats.elapsed))
-            })
+        let input: Vec<(f64, f64)> = (0..128).map(|i| ((i as f64 * 0.37).sin(), 0.0)).collect();
+        b.run(&format!("e11_fft_128/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let (out, stats) = fft::distributed_fft(&mut m, &input);
+            (out[1], stats.elapsed)
         });
     }
-    g.finish();
-}
 
-fn bench_lu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e11_lu_32");
-    g.sample_size(10);
     for dim in [0u32, 1] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube(dim));
-                let (a, perm, lumat, stats) = lu::distributed_lu(&mut m, 32, 6);
-                assert!(lu::reconstruction_error(32, &a, &perm, &lumat) < 1e-10);
-                black_box(stats.elapsed)
-            })
+        b.run(&format!("e11_lu_32/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube(dim));
+            let (a, perm, lumat, stats) = lu::distributed_lu(&mut m, 32, 6);
+            assert!(lu::reconstruction_error(32, &a, &perm, &lumat) < 1e-10);
+            stats.elapsed
         });
     }
-    g.finish();
-}
 
-fn bench_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e11_bitonic_256");
-    g.sample_size(10);
     for dim in [0u32, 3] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let (out, stats) = sort::distributed_sort(&mut m, 256, 9);
-                assert!(out.windows(2).all(|w| w[0] <= w[1]));
-                black_box(stats.elapsed)
-            })
+        b.run(&format!("e11_bitonic_256/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let (out, stats) = sort::distributed_sort(&mut m, 256, 9);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]));
+            stats.elapsed
         });
     }
-    g.finish();
-}
 
-fn bench_jacobi(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e11_jacobi_5sweeps");
-    g.sample_size(10);
     for dim in [0u32, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            let half = dim / 2;
-            let (sx, sy) = (1usize << half, 1usize << (dim - half));
-            let g_tile = 8;
-            let init: Vec<f64> =
-                (0..sx * g_tile * sy * g_tile).map(|i| (i % 5) as f64).collect();
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let (out, stats) = stencil::distributed_jacobi(&mut m, g_tile, 5, &init);
-                black_box((out[0], stats.elapsed))
-            })
+        let half = dim / 2;
+        let (sx, sy) = (1usize << half, 1usize << (dim - half));
+        let g_tile = 8;
+        let init: Vec<f64> = (0..sx * g_tile * sy * g_tile).map(|i| (i % 5) as f64).collect();
+        b.run(&format!("e11_jacobi_5sweeps/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let (out, stats) = stencil::distributed_jacobi(&mut m, g_tile, 5, &init);
+            (out[0], stats.elapsed)
         });
     }
-    g.finish();
-}
 
-fn bench_nbody(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nbody_64");
-    g.sample_size(10);
     for dim in [0u32, 3] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let (_, forces, stats) =
-                    ts_kernels::nbody::distributed_nbody(&mut m, 64, 7);
-                black_box((forces[0], stats.elapsed))
-            })
+        b.run(&format!("nbody_64/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let (_, forces, stats) = ts_kernels::nbody::distributed_nbody(&mut m, 64, 7);
+            (forces[0], stats.elapsed)
         });
     }
-    g.finish();
-}
 
-fn bench_cg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cg_8x8_tiles");
-    g.sample_size(10);
     for dim in [0u32, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let (_, x, iters, _) =
-                    ts_kernels::cg::distributed_cg(&mut m, 8, 1e-8, 7);
-                black_box((x[0], iters))
-            })
+        b.run(&format!("cg_8x8_tiles/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let (_, x, iters, _) = ts_kernels::cg::distributed_cg(&mut m, 8, 1e-8, 7);
+            (x[0], iters)
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_fft,
-    bench_lu,
-    bench_sort,
-    bench_jacobi,
-    bench_nbody,
-    bench_cg
-);
-criterion_main!(benches);

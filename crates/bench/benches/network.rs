@@ -1,101 +1,82 @@
 //! Network benches (experiments E2, E5, E6, E10, E13): link streaming,
 //! balance ratios, collectives across cube sizes, and topology math.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use t_series_core::{collectives, Machine, MachineCfg};
+use ts_bench::Bench;
 use ts_cube::embed::{MeshEmbedding, RingEmbedding};
 use ts_cube::Hypercube;
 use ts_fpu::Sf64;
 use ts_node::CombineOp;
 
-/// E2: one link streams at 0.5 MB/s of simulated time.
-fn bench_link_stream(c: &mut Criterion) {
-    c.bench_function("e2_link_stream_100kb", |b| {
-        b.iter(|| {
-            let mut m = Machine::build(MachineCfg::cube_small_mem(1, 8));
-            let (c0, c1) = (m.ctx(0), m.ctx(1));
-            m.launch_on(0, async move {
-                for _ in 0..25 {
-                    c0.send_dim(0, vec![0u32; 1024]).await;
-                }
-            });
-            m.launch_on(1, async move {
-                for _ in 0..25 {
-                    c1.recv_dim(0).await;
-                }
+fn main() {
+    let b = Bench::new();
+
+    // E2: one link streams at 0.5 MB/s of simulated time.
+    b.run("e2_link_stream_100kb", || {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(1, 8));
+        let (c0, c1) = (m.ctx(0), m.ctx(1));
+        m.launch_on(0, async move {
+            for _ in 0..25 {
+                c0.send_dim(0, vec![0u32; 1024]).await;
+            }
+        });
+        m.launch_on(1, async move {
+            for _ in 0..25 {
+                c1.recv_dim(0).await;
+            }
+        });
+        assert!(m.run().quiescent);
+        let mbps = 25.0 * 4096.0 / m.now().as_secs_f64() / 1e6;
+        assert!(mbps > 0.49 && mbps <= 0.5);
+        mbps
+    });
+
+    // Broadcast latency grows with log p (E6's O(log n) claim).
+    for dim in [2u32, 4, 6] {
+        b.run(&format!("broadcast_log_p/{dim}"), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let cube = m.cube;
+            m.launch(move |ctx| async move {
+                let data = (ctx.id() == 0).then(|| vec![7u32; 16]);
+                collectives::broadcast(&ctx, cube, 0, data).await;
             });
             assert!(m.run().quiescent);
-            let mbps = 25.0 * 4096.0 / m.now().as_secs_f64() / 1e6;
-            assert!(mbps > 0.49 && mbps <= 0.5);
-            black_box(mbps)
-        })
-    });
-}
-
-/// Broadcast latency grows with log p (E6's O(log n) claim).
-fn bench_broadcast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("broadcast_log_p");
-    for dim in [2u32, 4, 6] {
-        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let cube = m.cube;
-                m.launch(move |ctx| async move {
-                    let data = (ctx.id() == 0).then(|| vec![7u32; 16]);
-                    collectives::broadcast(&ctx, cube, 0, data).await;
-                });
-                assert!(m.run().quiescent);
-                black_box(m.now())
-            })
+            m.now()
         });
     }
-    g.finish();
-}
 
-/// All-reduce by dimension exchange across cube sizes.
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce");
+    // All-reduce by dimension exchange across cube sizes.
     for dim in [2u32, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let cube = m.cube;
-                let handles = m.launch(move |ctx| async move {
-                    let mine = vec![Sf64::from(ctx.id() as f64); 32];
-                    collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await
-                });
-                assert!(m.run().quiescent);
-                let want: f64 = (0..(1u64 << dim)).map(|i| i as f64).sum();
-                for h in handles {
-                    assert_eq!(h.try_take().unwrap()[0].to_host(), want);
-                }
-                black_box(m.now())
-            })
+        b.run(&format!("allreduce/{dim}"), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let cube = m.cube;
+            let handles = m.launch(move |ctx| async move {
+                let mine = vec![Sf64::from(ctx.id() as f64); 32];
+                collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await
+            });
+            assert!(m.run().quiescent);
+            let want: f64 = (0..(1u64 << dim)).map(|i| i as f64).sum();
+            for h in handles {
+                assert_eq!(h.try_take().unwrap()[0].to_host(), want);
+            }
+            m.now()
         });
     }
-    g.finish();
-}
 
-/// Topology math: Gray-code embeddings and dilation checks (pure compute).
-fn bench_embeddings(c: &mut Criterion) {
-    c.bench_function("e6_embedding_dilation_10cube", |b| {
-        b.iter(|| {
-            let cube = Hypercube::new(10);
-            let ring = RingEmbedding::new(cube).dilation();
-            let mesh = MeshEmbedding::new(cube, &[5, 5]);
-            let d = ring.max(mesh.dilation()).max(mesh.torus_dilation());
-            assert_eq!(d, 1);
-            black_box(d)
-        })
+    // Topology math: Gray-code embeddings and dilation checks (pure compute).
+    b.run("e6_embedding_dilation_10cube", || {
+        let cube = Hypercube::new(10);
+        let ring = RingEmbedding::new(cube).dilation();
+        let mesh = MeshEmbedding::new(cube, &[5, 5]);
+        let d = ring.max(mesh.dilation()).max(mesh.torus_dilation());
+        assert_eq!(d, 1);
+        d
     });
-}
 
-/// E13: the shared-bus baseline is pure arithmetic — bench the sweep.
-fn bench_shared_bus_sweep(c: &mut Criterion) {
-    use t_series_core::baseline::{CrossbarCost, SharedBusMachine};
-    c.bench_function("e13_bus_vs_cube_sweep", |b| {
-        b.iter(|| {
+    // E13: the shared-bus baseline is pure arithmetic — bench the sweep.
+    {
+        use t_series_core::baseline::{CrossbarCost, SharedBusMachine};
+        b.run("e13_bus_vs_cube_sweep", || {
             let mut total = 0.0;
             for dim in 0..=12u32 {
                 let p = 1u64 << dim;
@@ -107,39 +88,26 @@ fn bench_shared_bus_sweep(c: &mut Criterion) {
                 };
                 total += bus.achieved_mflops() + CrossbarCost { p }.crossbar_switches() as f64;
             }
-            black_box(total)
-        })
-    });
-}
+            total
+        });
+    }
 
-/// Routed messaging through the e-cube store-and-forward fabric.
-fn bench_router(c: &mut Criterion) {
-    use t_series_core::router::Router;
-    c.bench_function("router_3hop_message", |b| {
-        b.iter(|| {
+    // Routed messaging through the e-cube store-and-forward fabric.
+    {
+        use t_series_core::router::Router;
+        b.run("router_3hop_message", || {
             let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
             let router = Router::start(&m);
             let h0 = router.handle(0);
             let h7 = router.handle(7);
             let jh = m.handle().spawn(async move {
-                h0.send_to(7, vec![0u32; 16]).await;
+                h0.send_to(7, vec![0u32; 16]).await.unwrap();
                 let got = h7.recv().await;
                 router.shutdown().await;
                 got.1.len()
             });
             assert!(m.run().quiescent);
-            black_box(jh.try_take().unwrap())
-        })
-    });
+            jh.try_take().unwrap()
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_link_stream,
-    bench_broadcast,
-    bench_allreduce,
-    bench_embeddings,
-    bench_shared_bus_sweep,
-    bench_router
-);
-criterion_main!(benches);

@@ -1,141 +1,110 @@
 //! Node-level benches (experiments E1–E5, E9, E15): the software FPU, the
 //! vector forms, gather/scatter, the control-processor emulator, and the
-//! dual-bank ablation. Criterion measures host cost; each bench also
+//! dual-bank ablation. The harness measures host cost; each bench also
 //! asserts the *simulated* quantity it regenerates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use t_series_core::{Machine, MachineCfg};
+use ts_bench::Bench;
 use ts_fpu::{softdiv, Sf64};
 use ts_vec::VecForm;
 
-/// E3: a 16 000-element chained SAXPY reaches ~16 MFLOPS of simulated rate.
-fn bench_peak_saxpy(c: &mut Criterion) {
-    c.bench_function("e3_peak_saxpy_16k", |b| {
-        b.iter(|| {
-            let mut m = Machine::build(MachineCfg::cube(0));
+fn main() {
+    let b = Bench::new();
+
+    // E3: a 16 000-element chained SAXPY reaches ~16 MFLOPS of simulated rate.
+    b.run("e3_peak_saxpy_16k", || {
+        let mut m = Machine::build(MachineCfg::cube(0));
+        let ctx = m.ctx(0);
+        let jh = m.launch_on(0, async move {
+            let rows_a = ctx.mem().cfg().rows_a();
+            let r = ctx
+                .vec(VecForm::Saxpy(Sf64::from(2.0)), 0, rows_a, rows_a + 512, 16_000)
+                .await
+                .unwrap();
+            r.timing
+        });
+        m.run();
+        let t = jh.try_take().unwrap();
+        let mflops = t.flops as f64 / t.duration.as_secs_f64() / 1e6;
+        assert!(mflops > 15.9);
+        mflops
+    });
+
+    // E9: the single-bank ablation halves the streaming rate.
+    for single in [false, true] {
+        let name =
+            if single { "e9_bank_ablation/single_bank" } else { "e9_bank_ablation/dual_bank" };
+        b.run(name, || {
+            let mut cfg = MachineCfg::cube(0);
+            cfg.node.single_bank = single;
+            let mut m = Machine::build(cfg);
             let ctx = m.ctx(0);
             let jh = m.launch_on(0, async move {
                 let rows_a = ctx.mem().cfg().rows_a();
-                let r = ctx
-                    .vec(VecForm::Saxpy(Sf64::from(2.0)), 0, rows_a, rows_a + 512, 16_000)
-                    .await
-                    .unwrap();
-                r.timing
+                ctx.vec(VecForm::VMul, 0, rows_a, rows_a + 512, 8192).await.unwrap().timing
             });
             m.run();
-            let t = jh.try_take().unwrap();
-            let mflops = t.flops as f64 / t.duration.as_secs_f64() / 1e6;
-            assert!(mflops > 15.9);
-            black_box(mflops)
-        })
-    });
-}
-
-/// E9: the single-bank ablation halves the streaming rate.
-fn bench_dual_vs_single_bank(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e9_bank_ablation");
-    for single in [false, true] {
-        g.bench_function(if single { "single_bank" } else { "dual_bank" }, |b| {
-            b.iter(|| {
-                let mut cfg = MachineCfg::cube(0);
-                cfg.node.single_bank = single;
-                let mut m = Machine::build(cfg);
-                let ctx = m.ctx(0);
-                let jh = m.launch_on(0, async move {
-                    let rows_a = ctx.mem().cfg().rows_a();
-                    ctx.vec(VecForm::VMul, 0, rows_a, rows_a + 512, 8192).await.unwrap().timing
-                });
-                m.run();
-                black_box(jh.try_take().unwrap().duration)
-            })
+            jh.try_take().unwrap().duration
         });
     }
-    g.finish();
-}
 
-/// E4: gather at 1.6 µs per 64-bit element.
-fn bench_gather(c: &mut Criterion) {
-    c.bench_function("e4_gather_512", |b| {
-        b.iter(|| {
-            let mut m = Machine::build(MachineCfg::cube(0));
-            let ctx = m.ctx(0);
-            let jh = m.launch_on(0, async move {
-                let srcs: Vec<usize> = (0..512).map(|i| 4096 + 4 * i).collect();
-                let t0 = ctx.now();
-                ctx.gather64(&srcs, 1024).await.unwrap();
-                ctx.now().since(t0)
-            });
-            m.run();
-            let d = jh.try_take().unwrap();
-            assert_eq!(d.as_ns(), 512 * 1600);
-            black_box(d)
-        })
+    // E4: gather at 1.6 µs per 64-bit element.
+    b.run("e4_gather_512", || {
+        let mut m = Machine::build(MachineCfg::cube(0));
+        let ctx = m.ctx(0);
+        let jh = m.launch_on(0, async move {
+            let srcs: Vec<usize> = (0..512).map(|i| 4096 + 4 * i).collect();
+            let t0 = ctx.now();
+            ctx.gather64(&srcs, 1024).await.unwrap();
+            ctx.now().since(t0)
+        });
+        m.run();
+        let d = jh.try_take().unwrap();
+        assert_eq!(d.as_ns(), 512 * 1600);
+        d
     });
-}
 
-/// E1: the stack-machine emulator at ~7.5 simulated MIPS.
-fn bench_cp_emulator(c: &mut Criterion) {
+    // E1: the stack-machine emulator at ~7.5 simulated MIPS.
     let code = ts_cp::assemble(
         "ldc 0\nstl 0\nldc 5000\nstl 1\n\
          loop:\nldl 0\nldl 1\nadd\nstl 0\nldl 1\nadc -1\nstl 1\nldl 1\neqc 0\ncj loop\nhalt\n",
     )
     .unwrap();
-    c.bench_function("e1_cp_60k_instructions", |b| {
-        b.iter(|| {
-            let mut mem = vec![0u32; 8192];
-            ts_cp::emu::load_code(&mut mem, 4096, &code).unwrap();
-            let mut cp = ts_cp::Cp::new(4096, 256);
-            cp.run(&mut mem, 10_000_000).unwrap();
-            assert!(cp.mips() > 6.0 && cp.mips() < 9.5);
-            black_box(cp.cycles)
-        })
+    b.run("e1_cp_60k_instructions", || {
+        let mut mem = vec![0u32; 8192];
+        ts_cp::emu::load_code(&mut mem, 4096, &code).unwrap();
+        let mut cp = ts_cp::Cp::new(4096, 256);
+        cp.run(&mut mem, 10_000_000).unwrap();
+        assert!(cp.mips() > 6.0 && cp.mips() < 9.5);
+        cp.cycles
     });
-}
 
-/// The software FPU itself: host-side throughput of the bit-level ops.
-fn bench_softfloat(c: &mut Criterion) {
+    // The software FPU itself: host-side throughput of the bit-level ops.
     let xs: Vec<Sf64> = (0..1024).map(|i| Sf64::from(i as f64 * 1.7 + 0.3)).collect();
-    c.bench_function("softfloat_add_mul_1k", |b| {
-        b.iter(|| {
-            let mut acc = Sf64::from(1.0);
-            for &x in &xs {
-                acc = acc + x * Sf64::from(1.000001);
-            }
-            black_box(acc)
-        })
+    b.run("softfloat_add_mul_1k", || {
+        let mut acc = Sf64::from(1.0);
+        for &x in &xs {
+            acc = acc + x * Sf64::from(1.000001);
+        }
+        acc
     });
-    c.bench_function("softfloat_newton_div", |b| {
-        b.iter(|| black_box(softdiv::div(Sf64::from(22.0), Sf64::from(7.0))))
+    b.run("softfloat_newton_div", || {
+        black_box(softdiv::div(Sf64::from(22.0), Sf64::from(7.0)))
+    });
+
+    // E15: physical row move vs element-wise swap.
+    b.run("e15_row_swap", || {
+        let mut m = Machine::build(MachineCfg::cube(0));
+        let ctx = m.ctx(0);
+        let jh = m.launch_on(0, async move {
+            let t0 = ctx.now();
+            ctx.row_swap(300, 700, 1).await.unwrap();
+            ctx.now().since(t0)
+        });
+        m.run();
+        let d = jh.try_take().unwrap();
+        assert_eq!(d.as_ns(), 1600);
+        d
     });
 }
-
-/// E15: physical row move vs element-wise swap.
-fn bench_row_moves(c: &mut Criterion) {
-    c.bench_function("e15_row_swap", |b| {
-        b.iter(|| {
-            let mut m = Machine::build(MachineCfg::cube(0));
-            let ctx = m.ctx(0);
-            let jh = m.launch_on(0, async move {
-                let t0 = ctx.now();
-                ctx.row_swap(300, 700, 1).await.unwrap();
-                ctx.now().since(t0)
-            });
-            m.run();
-            let d = jh.try_take().unwrap();
-            assert_eq!(d.as_ns(), 1600);
-            black_box(d)
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_peak_saxpy,
-    bench_dual_vs_single_bank,
-    bench_gather,
-    bench_cp_emulator,
-    bench_softfloat,
-    bench_row_moves
-);
-criterion_main!(benches);

@@ -1,53 +1,41 @@
 //! System-level benches (experiments E7, E8, E14): machine construction,
 //! snapshots through the system boards, checkpoint policy, ring traffic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use t_series_core::checkpoint::{simulate_run, young_interval};
 use t_series_core::system::ring_distribute;
 use t_series_core::{Machine, MachineCfg};
+use ts_bench::Bench;
 use ts_sim::Dur;
 
-/// Building and wiring machines of increasing size (host cost of E7).
-fn bench_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine_build");
+fn main() {
+    let b = Bench::new();
+
+    // Building and wiring machines of increasing size (host cost of E7).
     for dim in [3u32, 6, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                assert_eq!(m.nodes.len(), 1 << dim);
-                black_box(m.cube.dim())
-            })
+        b.run(&format!("machine_build/{}", 1 << dim), || {
+            let m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            assert_eq!(m.nodes.len(), 1 << dim);
+            m.cube.dim()
         });
     }
-    g.finish();
-}
 
-/// E8: module snapshot over the system thread (reduced memory for speed;
-/// the simulated time stays wire-limited).
-fn bench_snapshot(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_snapshot");
-    g.sample_size(10);
+    // E8: module snapshot over the system thread (reduced memory for speed;
+    // the simulated time stays wire-limited).
     for dim in [3u32, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 32));
-                let (images, t) = m.snapshot();
-                assert_eq!(images.len(), 1 << dim);
-                black_box(t)
-            })
+        b.run(&format!("e8_snapshot/{}", 1 << dim), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 32));
+            let (images, t) = m.snapshot();
+            assert_eq!(images.len(), 1 << dim);
+            t
         });
     }
-    g.finish();
-}
 
-/// E8: the Monte-Carlo checkpoint-interval sweep.
-fn bench_checkpoint_policy(c: &mut Criterion) {
-    c.bench_function("e8_interval_sweep", |b| {
+    // E8: the Monte-Carlo checkpoint-interval sweep.
+    {
         let work = Dur::secs(36_000);
         let snap = Dur::secs(16);
         let mtbf = Dur::from_secs_f64(3.1 * 3600.0);
-        b.iter(|| {
+        b.run("e8_interval_sweep", || {
             let mut best = (Dur::ZERO, f64::INFINITY);
             for mins in [2u64, 5, 10, 20, 40] {
                 let interval = Dur::secs(mins * 60);
@@ -62,31 +50,21 @@ fn bench_checkpoint_policy(c: &mut Criterion) {
             // The winner must bracket Young's optimum.
             let y = young_interval(snap, mtbf);
             assert!(best.0.as_secs_f64() / y.as_secs_f64() < 4.0);
-            black_box(best)
-        })
-    });
-}
-
-/// E14: ring distribution across module counts.
-fn bench_ring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e14_ring_distribute");
-    g.sample_size(10);
-    for dim in [4u32, 6] {
-        g.bench_with_input(BenchmarkId::from_parameter(1 << (dim - 3)), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
-                let boards = m.boards.clone();
-                let h = m.handle();
-                h.spawn(async move {
-                    ring_distribute(&boards, vec![0u32; 1024]).await;
-                });
-                assert!(m.run().quiescent);
-                black_box(m.now())
-            })
+            best
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_build, bench_snapshot, bench_checkpoint_policy, bench_ring);
-criterion_main!(benches);
+    // E14: ring distribution across module counts.
+    for dim in [4u32, 6] {
+        b.run(&format!("e14_ring_distribute/{}", 1 << (dim - 3)), || {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+            let boards = m.boards.clone();
+            let h = m.handle();
+            h.spawn(async move {
+                ring_distribute(&boards, vec![0u32; 1024]).await;
+            });
+            assert!(m.run().quiescent);
+            m.now()
+        });
+    }
+}

@@ -1,0 +1,65 @@
+//! Minimal benchmark harness.
+//!
+//! The workspace builds offline, so the bench targets use this ~50-line
+//! timing loop instead of Criterion. Every `[[bench]]` target is a plain
+//! `fn main()` (`harness = false` in the manifest) that registers closures
+//! with [`Bench::run`]; each closure is warmed up once and then timed over a
+//! handful of iterations, reporting min/mean host cost. The simulated
+//! quantities each bench regenerates are still asserted inside the closure,
+//! so `cargo bench` doubles as a correctness sweep.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Simple named-benchmark runner: `Bench::new().run("name", || ...)`.
+pub struct Bench {
+    iters: u32,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// Create a runner; `TS_BENCH_ITERS` overrides the iteration count
+    /// (default 5).
+    pub fn new() -> Bench {
+        let iters = std::env::var("TS_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        Bench { iters: iters.max(1) }
+    }
+
+    /// Time `f` over the configured iterations and print one report line.
+    /// The closure's return value is black-boxed so the work is not
+    /// optimised away.
+    pub fn run<R, F: FnMut() -> R>(&self, name: &str, mut f: F) {
+        black_box(f()); // warm-up (and first correctness check)
+        let mut min = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            min = min.min(dt);
+            total += dt;
+        }
+        let mean = total / self.iters as f64;
+        println!("bench {name:<40} min {:>12} mean {:>12}", fmt_s(min), fmt_s(mean));
+    }
+}
+
+fn fmt_s(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}

@@ -10,9 +10,11 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod sweep;
 
 pub use experiments::*;
+pub use harness::Bench;
 pub use sweep::parallel_sweep;
 
 /// Pretty-print a paper-vs-measured row.

@@ -3,11 +3,11 @@
 //! Each simulated machine is single-threaded and deterministic (`Rc`-based,
 //! deliberately `!Send`), but sweeps over *independent* configurations are
 //! embarrassingly parallel at the host level: every worker thread builds
-//! and runs its own machines. Following the workspace's concurrency
-//! guidelines, this uses crossbeam scoped threads with a `parking_lot`
-//! mutex around the result vector — no `unsafe`, no shared simulator state.
+//! and runs its own machines. This uses std scoped threads with a mutex
+//! around the result vector — no `unsafe`, no shared simulator state, no
+//! external dependencies (the workspace builds offline).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Run `f` over every point of `params` using up to `threads` host threads;
 /// results come back in input order. `f` must build its own simulator state
@@ -23,23 +23,23 @@ where
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let work: Mutex<std::vec::IntoIter<(usize, P)>> =
         Mutex::new(params.into_iter().enumerate().collect::<Vec<_>>().into_iter());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let next = work.lock().next();
+            s.spawn(|| loop {
+                let next = work.lock().unwrap().next();
                 match next {
                     Some((i, p)) => {
                         let r = f(&p);
-                        results.lock()[i] = Some(r);
+                        results.lock().unwrap()[i] = Some(r);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("sweep point not computed"))
         .collect()

@@ -16,9 +16,7 @@
 //!   snapshot on failure. Sweeping the interval reproduces the U-shaped
 //!   overhead curve whose flat bottom sits near the 10-minute choice.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use ts_sim::Dur;
+use ts_sim::{Dur, Rng};
 
 /// Young's approximation of the optimal checkpoint interval:
 /// `T* = sqrt(2 · snapshot_cost · mtbf)`.
@@ -67,8 +65,8 @@ pub fn simulate_run(
     seed: u64,
 ) -> RunStats {
     assert!(!interval.is_zero(), "interval must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut next_failure = exp_sample(&mut rng, mtbf);
+    let mut rng = Rng::new(seed);
+    let mut next_failure = rng.exp(mtbf.as_secs_f64());
     let mut clock = 0.0f64; // seconds
     let mut done = 0.0f64; // committed work seconds
     let work_s = work.as_secs_f64();
@@ -94,7 +92,7 @@ pub fn simulate_run(
             failures += 1;
             // Restore from the last snapshot before resuming.
             clock += snap_s;
-            next_failure = clock + exp_sample(&mut rng, mtbf);
+            next_failure = clock + rng.exp(mtbf.as_secs_f64());
         }
     }
     RunStats {
@@ -103,11 +101,6 @@ pub fn simulate_run(
         snapshot_time: Dur::from_secs_f64(snap_total),
         rework: Dur::from_secs_f64(rework),
     }
-}
-
-fn exp_sample(rng: &mut StdRng, mean: Dur) -> f64 {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    -mean.as_secs_f64() * u.ln()
 }
 
 #[cfg(test)]

@@ -17,6 +17,62 @@
 use ts_cube::Hypercube;
 use ts_fpu::Sf64;
 use ts_node::{occam, CombineOp, NodeCtx};
+use ts_sim::{select2, Dur, Either, SimHandle};
+
+/// A collective (or any awaited operation) missed its deadline on every
+/// allowed attempt — a partner is dead or the fabric is too degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExpired {
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for DeadlineExpired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline expired after {} attempt(s)", self.attempts)
+    }
+}
+
+impl std::error::Error for DeadlineExpired {}
+
+/// Run `op` under a deadline, retrying up to `attempts` times. Each attempt
+/// builds a fresh future via the closure and races it against a timer; a
+/// timed-out attempt is dropped (cancelling its parked channel operations —
+/// the claim protocol makes that safe) and retried. A collective whose
+/// partner crashed thus errors within `attempts × dur` of simulated time
+/// instead of blocking forever. Books `collective.retries` /
+/// `collective.deadline_expired` into `ctx`'s node metrics.
+///
+/// Caveat: operations that *spawn* helper tasks (the dimension-exchange
+/// collectives run their send/recv pair under an Occam `PAR`) leave those
+/// helpers parked after a timeout — they hold no resources and are swept
+/// away when the supervisor reboots the machine, but they keep the run
+/// from reporting quiescent. Rooted collectives (broadcast/reduce) and
+/// plain sends cancel cleanly.
+pub async fn with_deadline<F, Fut, T>(
+    ctx: &NodeCtx,
+    dur: Dur,
+    attempts: u32,
+    mut op: F,
+) -> Result<T, DeadlineExpired>
+where
+    F: FnMut() -> Fut,
+    Fut: std::future::Future<Output = T>,
+{
+    let h: &SimHandle = ctx.handle();
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            ctx.metrics().inc("collective.retries");
+        }
+        let fut = Box::pin(op());
+        match select2(fut, h.sleep(dur)).await {
+            Either::Left(v) => return Ok(v),
+            Either::Right(()) => {}
+        }
+    }
+    ctx.metrics().inc("collective.deadline_expired");
+    Err(DeadlineExpired { attempts: attempts.max(1) })
+}
 
 /// Broadcast `data` from `root` to every node; returns the payload on all
 /// nodes. Non-roots pass `None`.
@@ -355,5 +411,49 @@ mod tests {
         });
         assert!(m.run().quiescent);
         assert_eq!(handles.into_iter().next().unwrap().try_take(), Some((vec![9], 3.0)));
+    }
+
+    #[test]
+    fn collective_with_crashed_partner_times_out_within_deadline() {
+        // Node 1 is dead before the broadcast starts. Without a deadline
+        // the root's send would park forever on the rendezvous; with one,
+        // node 0 gets an error after exactly attempts × dur of simulated
+        // time.
+        let mut m = small(1);
+        let cube = m.cube;
+        m.inject_node_crash(1);
+        let ctx = m.ctx(0);
+        let jh = m.launch_on(0, async move {
+            let r = with_deadline(&ctx, Dur::us(5_000), 3, || {
+                broadcast(&ctx, cube, 0, Some(vec![1, 2, 3]))
+            })
+            .await;
+            (r.map(|_| ()), ctx.now())
+        });
+        let report = m.run();
+        assert!(report.quiescent, "deadline wrapper must not hang");
+        let (r, t) = jh.try_take().unwrap();
+        assert_eq!(r, Err(DeadlineExpired { attempts: 3 }));
+        assert_eq!(t.since(ts_sim::Time::ZERO), Dur::us(15_000));
+        assert_eq!(m.metrics().get("collective.retries"), 2);
+        assert_eq!(m.metrics().get("collective.deadline_expired"), 1);
+    }
+
+    #[test]
+    fn with_deadline_passes_through_success() {
+        let mut m = small(2);
+        let cube = m.cube;
+        let handles = m.launch(move |ctx| async move {
+            let mine = vec![Sf64::from(ctx.id() as f64)];
+            with_deadline(&ctx, Dur::us(1_000_000), 2, || {
+                allreduce(&ctx, cube, CombineOp::Add, mine.clone())
+            })
+            .await
+        });
+        assert!(m.run().quiescent);
+        for h in handles {
+            assert_eq!(h.try_take().unwrap().unwrap()[0].to_host(), 6.0);
+        }
+        assert_eq!(m.metrics().get("collective.retries"), 0);
     }
 }

@@ -1,0 +1,261 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a schedule of hardware faults — link failures, node
+//! crashes, memory bit flips — pinned to exact simulated times. Because
+//! the simulator is deterministic, the same plan against the same program
+//! produces the same interleaving every run: fault drills are replayable,
+//! and a bug found under a seeded plan reproduces from the seed alone.
+//!
+//! Plans are built explicitly ([`FaultPlan::with`]) or generated from a
+//! seed ([`FaultPlan::generate`]) using the simulator's own PRNG. They can
+//! be armed on a bare [`Machine`] as timed background tasks
+//! ([`FaultPlan::schedule`]), or driven synchronously by the
+//! [`crate::supervisor::Supervisor`], which slices its run quanta around
+//! each fault time so injection lands at the exact instant.
+
+use std::fmt;
+
+use ts_cube::NodeId;
+use ts_node::Node;
+use ts_sim::{Dur, Rng, Time};
+
+use crate::Machine;
+
+/// One hardware fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The physical link carrying cube dimension `dim` at `node` dies —
+    /// both directions, the neighbour sees it too. Link faults are
+    /// *persistent*: a rebooted machine comes back with the link still
+    /// dead (the cable is broken, not the software).
+    LinkDown {
+        /// Node on one end of the failed edge.
+        node: NodeId,
+        /// Cube dimension of the failed edge.
+        dim: u32,
+    },
+    /// `node`'s control processor halts; every wired link on the node
+    /// (cube and system thread) goes down with it. Transient: a reboot
+    /// brings the node back.
+    NodeCrash {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// A single bit of `node`'s memory flips without updating parity; the
+    /// next access reports a parity error. Repaired by restore + scrub.
+    MemFlip {
+        /// Node whose memory is hit.
+        node: NodeId,
+        /// Word address of the flip.
+        addr: usize,
+        /// Bit index within the word (taken mod 32).
+        bit: u32,
+    },
+}
+
+impl FaultEvent {
+    /// The node the fault lands on.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            FaultEvent::LinkDown { node, .. }
+            | FaultEvent::NodeCrash { node }
+            | FaultEvent::MemFlip { node, .. } => node,
+        }
+    }
+
+    /// True for faults that survive a reboot (broken hardware, not state).
+    pub fn is_persistent(&self) -> bool {
+        matches!(self, FaultEvent::LinkDown { .. })
+    }
+
+    /// Inject this fault into `m` right now.
+    pub fn apply(&self, m: &Machine) {
+        match *self {
+            FaultEvent::LinkDown { node, dim } => m.inject_link_down(node, dim),
+            FaultEvent::NodeCrash { node } => m.inject_node_crash(node),
+            FaultEvent::MemFlip { node, addr, bit } => m.inject_mem_flip(node, addr, bit),
+        }
+    }
+
+    /// Inject directly through a node handle (used by the timed tasks
+    /// [`FaultPlan::schedule`] spawns, which cannot borrow the machine).
+    fn apply_to(&self, n: &Node) {
+        match *self {
+            FaultEvent::LinkDown { dim, .. } => {
+                n.set_link_down(dim as usize);
+                n.metrics().inc("fault.link_down");
+            }
+            FaultEvent::NodeCrash { .. } => {
+                n.crash();
+                n.metrics().inc("fault.node_crash");
+            }
+            FaultEvent::MemFlip { addr, bit, .. } => {
+                n.mem_mut().inject_bit_flip(addr, bit).expect("mem-flip address out of range");
+                n.metrics().inc("fault.mem_flip");
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultEvent::LinkDown { node, dim } => write!(f, "link down at n{node} dim {dim}"),
+            FaultEvent::NodeCrash { node } => write!(f, "node n{node} crashed"),
+            FaultEvent::MemFlip { node, addr, bit } => {
+                write!(f, "bit {bit} flipped at n{node} mem[{addr}]")
+            }
+        }
+    }
+}
+
+/// A fault pinned to a simulated time (measured in accumulated *job* time
+/// from the start of the protected run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedFault {
+    /// When the fault strikes.
+    pub at: Dur,
+    /// What breaks.
+    pub event: FaultEvent,
+}
+
+/// A deterministic schedule of faults, sorted by time.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<TimedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a fault-free drill).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder: add a fault at `at`, keeping the schedule sorted.
+    pub fn with(mut self, at: Dur, event: FaultEvent) -> FaultPlan {
+        self.push(at, event);
+        self
+    }
+
+    /// Add a fault at `at`, keeping the schedule sorted (stable: equal
+    /// times preserve insertion order).
+    pub fn push(&mut self, at: Dur, event: FaultEvent) {
+        self.faults.push(TimedFault { at, event });
+        self.faults.sort_by_key(|f| f.at);
+    }
+
+    /// Generate `count` faults at uniform times in `(0, window)` against a
+    /// `dim`-cube with `mem_words` words of memory per node. Fully
+    /// determined by `seed`: the same seed always yields the same plan.
+    pub fn generate(seed: u64, dim: u32, mem_words: usize, count: usize, window: Dur) -> FaultPlan {
+        assert!(dim >= 1, "fault generation needs at least a 1-cube");
+        let mut rng = Rng::new(seed);
+        let nodes = 1u64 << dim;
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let at = Dur::from_secs_f64(window.as_secs_f64() * rng.f64());
+            let node = rng.below(nodes) as NodeId;
+            let event = match rng.below(3) {
+                0 => FaultEvent::LinkDown { node, dim: rng.below(dim as u64) as u32 },
+                1 => FaultEvent::NodeCrash { node },
+                _ => FaultEvent::MemFlip {
+                    node,
+                    addr: rng.range(0, mem_words),
+                    bit: rng.below(32) as u32,
+                },
+            };
+            plan.push(at, event);
+        }
+        plan
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The schedule, in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedFault> {
+        self.faults.iter()
+    }
+
+    /// Arm the plan on a bare machine: one background task per fault
+    /// sleeps to its exact simulated time and injects it. For machines
+    /// driven by a single [`Machine::run`]; the supervisor instead applies
+    /// plans synchronously so it can account job time across reboots.
+    pub fn schedule(&self, m: &Machine) {
+        let h = m.handle();
+        for f in self.faults.iter().copied() {
+            let node = m.nodes[f.event.node() as usize].clone();
+            let hh = h.clone();
+            h.spawn(async move {
+                hh.sleep_until(Time::ZERO + f.at).await;
+                f.event.apply_to(&node);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineCfg;
+
+    #[test]
+    fn plans_stay_sorted_and_seeds_reproduce() {
+        let p = FaultPlan::new()
+            .with(Dur::ms(5), FaultEvent::NodeCrash { node: 3 })
+            .with(Dur::ms(1), FaultEvent::LinkDown { node: 0, dim: 2 });
+        let ats: Vec<Dur> = p.iter().map(|f| f.at).collect();
+        assert_eq!(ats, vec![Dur::ms(1), Dur::ms(5)]);
+
+        let a = FaultPlan::generate(42, 3, 1024, 6, Dur::secs(1));
+        let b = FaultPlan::generate(42, 3, 1024, 6, Dur::secs(1));
+        assert_eq!(a.len(), 6);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            b.iter().collect::<Vec<_>>(),
+            "same seed, same plan"
+        );
+        let c = FaultPlan::generate(43, 3, 1024, 6, Dur::secs(1));
+        assert_ne!(
+            a.iter().collect::<Vec<_>>(),
+            c.iter().collect::<Vec<_>>(),
+            "different seed, different plan"
+        );
+        for w in a.faults.windows(2) {
+            assert!(w[0].at <= w[1].at, "generated plan sorted");
+        }
+    }
+
+    #[test]
+    fn scheduled_faults_fire_at_their_exact_times() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+        let plan = FaultPlan::new()
+            .with(Dur::us(300), FaultEvent::LinkDown { node: 0, dim: 1 })
+            .with(Dur::us(700), FaultEvent::NodeCrash { node: 3 })
+            .with(Dur::us(900), FaultEvent::MemFlip { node: 2, addr: 17, bit: 4 });
+        plan.schedule(&m);
+
+        // Nothing is broken before the first fault time...
+        m.run_for(Dur::us(299));
+        assert!(m.link_up(0, 1));
+        // ...and each fault lands exactly on schedule.
+        m.run_for(Dur::us(1));
+        assert!(!m.link_up(0, 1));
+        assert!(!m.nodes[3].is_crashed());
+        m.run_for(Dur::us(400));
+        assert!(m.nodes[3].is_crashed());
+        assert_eq!(m.nodes[2].mem().parity_errors(), 0);
+        m.run_for(Dur::us(200));
+        assert_eq!(m.nodes[2].mem().parity_errors(), 1);
+        assert_eq!(m.metrics().get("fault.link_down"), 1);
+        assert_eq!(m.metrics().get("fault.node_crash"), 1);
+        assert_eq!(m.metrics().get("fault.mem_flip"), 1);
+    }
+}

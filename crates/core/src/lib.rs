@@ -33,8 +33,10 @@
 pub mod baseline;
 pub mod checkpoint;
 pub mod collectives;
+pub mod fault;
 pub mod model;
 pub mod router;
+pub mod supervisor;
 pub mod system;
 
 use ts_cube::{Hypercube, NodeId, SublinkBudget};
@@ -175,6 +177,9 @@ impl Machine {
                 let mut ba =
                     LinkChannel::new_pair(wires_out[bi][l].clone(), wires_in[ai][l].clone());
                 ba.set_metrics(nodes[bi].metrics().clone());
+                // Both directions of one physical edge share a health flag,
+                // so a single LinkDown fault fails traffic both ways.
+                ba.set_status(ab.status().clone());
                 nodes[ai].wire_dim(d as usize, ab.clone(), ba.clone());
                 nodes[bi].wire_dim(d as usize, ba, ab);
             }
@@ -193,7 +198,8 @@ impl Machine {
             let mut from_node = Vec::new();
             for id in lo..hi {
                 let down = LinkChannel::new_pair(board_out.clone(), wires_in[id][3].clone());
-                let up = LinkChannel::new_pair(wires_out[id][3].clone(), board_in.clone());
+                let mut up = LinkChannel::new_pair(wires_out[id][3].clone(), board_in.clone());
+                up.set_status(down.status().clone());
                 nodes[id].wire_system(up.clone(), down.clone());
                 to_node.push(down);
                 from_node.push(up);
@@ -277,6 +283,38 @@ impl Machine {
         self.sim.run()
     }
 
+    // --- fault injection ----------------------------------------------------
+
+    /// Kill the physical link carrying cube dimension `dim` at `node`. Both
+    /// directions go down (the neighbour sees it too); failable traffic on
+    /// the edge then errors instead of hanging.
+    pub fn inject_link_down(&self, node: NodeId, dim: u32) {
+        let n = &self.nodes[node as usize];
+        n.set_link_down(dim as usize);
+        n.metrics().inc("fault.link_down");
+    }
+
+    /// Crash `node`: its control processor is dead and every wired link
+    /// (cube and system thread) is marked down.
+    pub fn inject_node_crash(&self, node: NodeId) {
+        let n = &self.nodes[node as usize];
+        n.crash();
+        n.metrics().inc("fault.node_crash");
+    }
+
+    /// Flip `bit` of the word at `addr` in `node`'s memory without fixing
+    /// parity — the next read reports `MemError::Parity`.
+    pub fn inject_mem_flip(&self, node: NodeId, addr: usize, bit: u32) {
+        let n = &self.nodes[node as usize];
+        n.mem_mut().inject_bit_flip(addr, bit).expect("mem-flip address out of range");
+        n.metrics().inc("fault.mem_flip");
+    }
+
+    /// True while the physical link on `(node, dim)` is alive.
+    pub fn link_up(&self, node: NodeId, dim: u32) -> bool {
+        self.nodes[node as usize].link_up(dim as usize)
+    }
+
     /// Run at most `d` further virtual time.
     pub fn run_for(&mut self, d: Dur) -> RunReport {
         self.sim.run_for(d)
@@ -347,6 +385,49 @@ impl Machine {
             self.achieved_mflops(),
             self.cfg.specs().peak_mflops
         );
+        // Fault and recovery story, when there is one: faults injected,
+        // how the fabric and collectives coped, and what the supervisor's
+        // healing cost.
+        let m = self.metrics();
+        let faults =
+            m.get("fault.link_down") + m.get("fault.node_crash") + m.get("fault.mem_flip");
+        let coped = m.get("router.reroutes")
+            + m.get("router.retries")
+            + m.get("router.dropped")
+            + m.get("collective.retries")
+            + m.get("collective.deadline_expired")
+            + m.get("fault.scrubbed_words");
+        let healed = m.get("supervisor.reboots") + m.get("supervisor.snapshots");
+        if faults + coped + healed > 0 {
+            let _ = writeln!(
+                out,
+                "faults: {} link down, {} node crash, {} mem flip; \
+                 {} scrubbed words",
+                m.get("fault.link_down"),
+                m.get("fault.node_crash"),
+                m.get("fault.mem_flip"),
+                m.get("fault.scrubbed_words"),
+            );
+            let _ = writeln!(
+                out,
+                "router: {} reroutes, {} retries, {} dropped; \
+                 collectives: {} retries, {} deadline expiries",
+                m.get("router.reroutes"),
+                m.get("router.retries"),
+                m.get("router.dropped"),
+                m.get("collective.retries"),
+                m.get("collective.deadline_expired"),
+            );
+            if healed > 0 {
+                let _ = writeln!(
+                    out,
+                    "recovery: {} snapshots, {} reboots, {:.3} ms rework",
+                    m.get("supervisor.snapshots"),
+                    m.get("supervisor.reboots"),
+                    m.get_time("supervisor.rework").as_secs_f64() * 1e3,
+                );
+            }
+        }
         out
     }
 
@@ -401,7 +482,15 @@ impl Machine {
                 let node = self.nodes[id].clone();
                 self.sim.spawn(async move {
                     let image = system::recv_image(&ctx).await;
-                    node.mem_mut().restore(&image);
+                    let mut mem = node.mem_mut();
+                    // Scrub first: count the words whose parity a fault
+                    // desynced, so the recovery report can show them.
+                    let latent = mem.scrub_all();
+                    mem.restore(&image);
+                    drop(mem);
+                    if latent > 0 {
+                        node.metrics().add("fault.scrubbed_words", latent as u64);
+                    }
                 });
             }
         }

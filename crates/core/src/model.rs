@@ -145,7 +145,7 @@ mod tests {
         let h7 = router.handle(7);
         let jh = m.handle().spawn(async move {
             let t0 = h7.ctx().now();
-            h0.send_to(7, vec![0u32; 61]).await; // 61 + 3 header = 64 words
+            h0.send_to(7, vec![0u32; 59]).await.unwrap(); // 59 + 5 header = 64 words
             h7.recv().await;
             let dt = h7.ctx().now().since(t0);
             router.shutdown().await;

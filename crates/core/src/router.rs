@@ -17,6 +17,21 @@
 //! Shutdown is itself routed: poison messages visit nodes in decreasing
 //! address order, so every intermediate a poison needs is still alive
 //! (e-cube intermediates are strict submasks of the destination).
+//!
+//! ## Degraded-mode routing
+//!
+//! When a fault plan kills links, the strict e-cube choice (lowest set bit
+//! of `here XOR dst`) may be dead. The daemon then **falls back to the next
+//! live dimension** that still needs correcting — any correction order
+//! keeps intermediates inside the submask lattice, so the hop count is
+//! unchanged and progress is still monotone. Only when *every* remaining
+//! correction dimension is dead does the message take a **detour**: it
+//! flips the lowest live dimension outside the correction set, bounded by a
+//! per-message budget of two extra hops (`DETOUR_BUDGET`), and records the
+//! flipped dimension so the next hop does not immediately undo it. A
+//! message whose budget runs dry is dropped rather than left to wander.
+//! The daemon books `router.reroutes`, `router.retries` (a link died while
+//! a hop was being sent) and `router.dropped` into its node's metrics.
 
 use ts_cube::Hypercube;
 use ts_link::{LinkChannel, LinkParams, Wire};
@@ -31,6 +46,28 @@ const ROUTE_CP_INSTRS: u64 = 12;
 const KIND_DATA: u32 = 0;
 const KIND_POISON: u32 = 1;
 
+/// Frame header: destination, source, kind, detour budget, avoid-dim.
+const HDR: usize = 5;
+/// Extra hops a message may spend detouring around dead links.
+const DETOUR_BUDGET: u32 = 2;
+/// Sentinel for "no dimension to avoid".
+const AVOID_NONE: u32 = u32::MAX;
+/// A forwarded hop that has not been accepted after this long is abandoned
+/// (the next daemon died with the frame en route). Far above any legitimate
+/// queueing delay, so healthy traffic never trips it.
+const FORWARD_DEADLINE: Dur = Dur::us(100_000);
+
+fn frame_for(dst: u32, src: u32, kind: u32, payload: &[u32]) -> Vec<u32> {
+    let mut frame = Vec::with_capacity(payload.len() + HDR);
+    frame.push(dst);
+    frame.push(src);
+    frame.push(kind);
+    frame.push(DETOUR_BUDGET);
+    frame.push(AVOID_NONE);
+    frame.extend_from_slice(payload);
+    frame
+}
+
 /// Per-node endpoint for routed messaging.
 #[derive(Clone)]
 pub struct RouterHandle {
@@ -43,14 +80,11 @@ pub struct RouterHandle {
 
 impl RouterHandle {
     /// Send `payload` to node `dst` (any node, any distance). Completes
-    /// when the message has left this node.
-    pub async fn send_to(&self, dst: u32, payload: Vec<u32>) {
-        let mut frame = Vec::with_capacity(payload.len() + 3);
-        frame.push(dst);
-        frame.push(self.me);
-        frame.push(KIND_DATA);
-        frame.extend_from_slice(&payload);
-        self.inject.send(self.ctx.handle(), frame).await;
+    /// when the message has left this node; errors instead of hanging if
+    /// this node's daemon is dead (the node crashed).
+    pub async fn send_to(&self, dst: u32, payload: Vec<u32>) -> Result<(), ts_link::LinkError> {
+        let frame = frame_for(dst, self.me, KIND_DATA, &payload);
+        self.inject.try_send(self.ctx.handle(), frame).await
     }
 
     /// Receive the next message delivered to this node: `(source, payload)`.
@@ -92,7 +126,10 @@ impl Router {
         let mut handles = Vec::with_capacity(machine.nodes.len());
         for node in &machine.nodes {
             let ctx = node.ctx();
-            let inject = LinkChannel::new(Wire::new("router.loopback", loop_params));
+            let mut inject = LinkChannel::new(Wire::new("router.loopback", loop_params));
+            // The loopback dies with the node, so injection into a crashed
+            // node's daemon errors instead of hanging.
+            inject.set_status(node.health());
             let deliver = Mailbox::new();
             let daemon_ctx = ctx.clone();
             let daemon_inject = inject.clone();
@@ -121,22 +158,50 @@ impl Router {
 
     /// Stop every daemon by routing poison to each node, highest address
     /// first (host task; await it before expecting quiescence).
+    ///
+    /// Tolerates a degraded fabric: poisons are injected from the lowest
+    /// *live* node (detouring around dead links like any message), poisons
+    /// to crashed nodes are simply dropped en route, and a crashed node's
+    /// daemon has already been torn down by its health watch.
     pub async fn shutdown(self) -> u64 {
         let cube = self.cube;
-        // Poison from node 0's injection port, farthest first. A poison to
-        // node k only transits strict submasks of k, which are poisoned
-        // later, so every forwarder is still alive.
-        let h0 = self.handles[0].clone();
-        for dst in (0..cube.nodes()).rev() {
-            let frame = vec![dst, 0, KIND_POISON];
-            h0.inject.send(h0.ctx.handle(), frame).await;
+        // A poison to node k only transits submasks of k (any correction
+        // order), which are poisoned later, so every forwarder is alive.
+        let injector = self
+            .handles
+            .iter()
+            .find(|h| !h.ctx.is_crashed())
+            .cloned();
+        if let Some(h0) = injector {
+            // The injector's own poison must go last — its daemon has to
+            // stay alive to accept every other injection.
+            let order = (0..cube.nodes()).rev().filter(|&d| d != h0.me).chain([h0.me]);
+            for dst in order {
+                let frame = frame_for(dst, h0.me, KIND_POISON, &[]);
+                // A poison for a dead node may be refused; skip it.
+                let _ = h0.inject.try_send(h0.ctx.handle(), frame).await;
+            }
         }
         // Collect forwarding counts.
         let mut total = 0;
         for h in &self.handles {
-            // The daemon finishes once its poison arrives.
+            // The daemon finishes once its poison (or crash) arrives. If a
+            // routed poison was dropped by the degraded fabric, poison the
+            // straggler directly through its loopback after a grace period
+            // (the system board's reset line).
+            let mut waited = 0u32;
             while !h.daemon.is_finished() {
                 h.ctx.handle().sleep(Dur::us(100)).await;
+                waited += 1;
+                if waited == 2000 {
+                    let frame = frame_for(h.me, h.me, KIND_POISON, &[]);
+                    let hh = h.clone();
+                    h.ctx.handle().spawn(async move {
+                        let send = Box::pin(hh.inject.try_send(hh.ctx.handle(), frame));
+                        let timeout = hh.ctx.handle().sleep(FORWARD_DEADLINE);
+                        let _ = ts_sim::select2(send, timeout).await;
+                    });
+                }
             }
             total += h.daemon.try_take().unwrap_or(0);
         }
@@ -153,10 +218,14 @@ async fn daemon(
 ) -> u64 {
     let me = ctx.id();
     let mut forwarded = 0u64;
+    let health = ctx.health();
     loop {
-        // ALT over the loopback injection port and every cube dimension.
-        let dims: Vec<usize> = (0..cube.dim() as usize).collect();
-        let frame = alt_inject_or_dims(&ctx, &inject, &dims).await;
+        // ALT over the loopback injection port and every cube dimension,
+        // racing the node's health flag: a crash tears the daemon down.
+        let frame = match alt_inject_or_dims(&ctx, &inject, cube, &health).await {
+            Ok(f) => f,
+            Err(_) => return forwarded, // node crashed
+        };
         let dst = frame[0];
         let src = frame[1];
         let kind = frame[2];
@@ -164,7 +233,7 @@ async fn daemon(
         if dst == me {
             match kind {
                 KIND_POISON => return forwarded,
-                _ => deliver.send((src, frame[3..].to_vec())),
+                _ => deliver.send((src, frame[HDR..].to_vec())),
             }
         } else {
             // Forward asynchronously: a daemon blocked in a rendezvous
@@ -172,31 +241,99 @@ async fn daemon(
             // each other would deadlock (e-cube only guarantees freedom
             // from *cyclic* waits given output buffering, which this
             // models — the hardware's DMA engines are exactly that).
-            let d = (me ^ dst).trailing_zeros() as usize;
             let fwd = ctx.clone();
             ctx.handle().spawn(async move {
-                fwd.send_dim(d, frame).await;
+                forward_frame(fwd, cube, frame).await;
             });
             forwarded += 1;
         }
     }
 }
 
-/// ALT over the loopback channel plus the incoming cube dimensions.
+/// Forward one frame a hop towards its destination, degrading gracefully:
+/// prefer the strict e-cube dimension, fall back to the next live
+/// correction dimension, detour on a non-correction dimension within the
+/// frame's budget, retry when a link dies mid-hop, and drop (with a
+/// counter) when nothing is left to try.
+async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
+    let me = ctx.id();
+    let dst = frame[0];
+    let ndims = cube.dim() as usize;
+    loop {
+        let diff = me ^ dst;
+        let ecube = diff.trailing_zeros() as usize;
+        let avoid = frame[4];
+        // Preferred: the lowest live dimension still needing correction,
+        // skipping the detour dimension we just arrived on.
+        let mut choice = (0..ndims)
+            .find(|&d| diff >> d & 1 == 1 && avoid != d as u32 && ctx.link_up(d));
+        if choice.is_none() && avoid < 32 && diff >> avoid & 1 == 1 && ctx.link_up(avoid as usize)
+        {
+            // Undoing the detour is all that is left — allowed, it just
+            // costs the budget already spent.
+            choice = Some(avoid as usize);
+        }
+        let d = match choice {
+            Some(d) => {
+                frame[4] = AVOID_NONE;
+                d
+            }
+            None => {
+                // Every correction dimension is dead here: detour on the
+                // lowest live dimension outside the correction set.
+                let budget = frame[3];
+                let detour = (0..ndims)
+                    .find(|&d| diff >> d & 1 == 0 && avoid != d as u32 && ctx.link_up(d));
+                match (budget, detour) {
+                    (1.., Some(d)) => {
+                        frame[3] = budget - 1;
+                        frame[4] = d as u32;
+                        d
+                    }
+                    _ => {
+                        ctx.metrics().inc("router.dropped");
+                        return;
+                    }
+                }
+            }
+        };
+        if d != ecube {
+            ctx.metrics().inc("router.reroutes");
+        }
+        let send = Box::pin(ctx.try_send_dim(d, frame.clone()));
+        match ts_sim::select2(send, ctx.handle().sleep(FORWARD_DEADLINE)).await {
+            ts_sim::Either::Left(Ok(())) => return,
+            ts_sim::Either::Left(Err(_)) => {
+                // The link died under us: pick again.
+                ctx.metrics().inc("router.retries");
+            }
+            ts_sim::Either::Right(()) => {
+                // Nobody took the frame within the deadline — the next
+                // daemon is gone. Abandon rather than park forever.
+                ctx.metrics().inc("router.dropped");
+                return;
+            }
+        }
+    }
+}
+
+/// ALT over the loopback channel plus the incoming cube dimensions, failing
+/// when the node's health flag goes down.
 async fn alt_inject_or_dims(
     ctx: &NodeCtx,
     inject: &LinkChannel,
-    dims: &[usize],
-) -> Vec<u32> {
+    cube: Hypercube,
+    health: &ts_link::LinkStatus,
+) -> Result<Vec<u32>, ts_link::LinkError> {
     // Build the channel list: loopback first (priority), then each dim.
-    let mut chans: Vec<LinkChannel> = Vec::with_capacity(dims.len() + 1);
+    let mut chans: Vec<LinkChannel> = Vec::with_capacity(cube.dim() as usize + 1);
     chans.push(inject.clone());
-    for &d in dims {
+    for d in 0..cube.dim() as usize {
         chans.push(ctx.in_channel(d));
     }
     let refs: Vec<&LinkChannel> = chans.iter().collect();
-    let (_idx, words) = ts_link::alt_recv(ctx.handle(), &refs).await;
-    words
+    let (_idx, words) = ts_link::alt_recv_or_down(ctx.handle(), &refs, health).await?;
+    Ok(words)
 }
 
 #[cfg(test)]
@@ -211,7 +348,7 @@ mod tests {
         let h0 = router.handle(0);
         let h7 = router.handle(7);
         let done = m.handle().spawn(async move {
-            h0.send_to(7, vec![1, 2, 3]).await;
+            h0.send_to(7, vec![1, 2, 3]).await.unwrap();
             let (src, data) = h7.recv().await;
             router.shutdown().await;
             (src, data)
@@ -231,7 +368,7 @@ mod tests {
             let hd = router.handle(dst);
             let jh = m.handle().spawn(async move {
                 let t0 = hd.ctx.now();
-                h0.send_to(dst, vec![0u32; 64]).await;
+                h0.send_to(dst, vec![0u32; 64]).await.unwrap();
                 hd.recv().await;
                 let dt = hd.ctx.now().since(t0);
                 router.shutdown().await;
@@ -250,6 +387,54 @@ mod tests {
     }
 
     #[test]
+    fn reroutes_around_downed_link() {
+        // Kill edge 0–1 (dimension 0 at node 0). A 0→7 message still makes
+        // it in 3 hops by correcting a higher dimension first; a 0→1
+        // message needs a +2-hop detour. Both must be delivered.
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        m.inject_link_down(0, 0);
+        let router = Router::start(&m);
+        let h0 = router.handle(0);
+        let h1 = router.handle(1);
+        let h7 = router.handle(7);
+        let done = m.handle().spawn(async move {
+            h0.send_to(7, vec![77]).await.unwrap();
+            let far = h7.recv().await;
+            h0.send_to(1, vec![11]).await.unwrap();
+            let near = h1.recv().await;
+            router.shutdown().await;
+            (far, near)
+        });
+        let r = m.run();
+        assert!(r.quiescent, "degraded routing must still terminate");
+        assert_eq!(done.try_take(), Some(((0, vec![77]), (0, vec![11]))));
+        let metrics = m.metrics();
+        assert!(metrics.get("router.reroutes") >= 1, "detour must be counted");
+        // Data traffic was fully delivered (asserted above); only shutdown
+        // poisons may have been dropped and recovered by the backstop.
+    }
+
+    #[test]
+    fn message_to_crashed_node_dropped_without_hanging() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        let router = Router::start(&m);
+        m.inject_node_crash(7);
+        let h0 = router.handle(0);
+        let h7 = router.handle(7);
+        let done = m.handle().spawn(async move {
+            // Injecting *at* the crashed node errors immediately.
+            assert!(h7.send_to(0, vec![1]).await.is_err());
+            // A message *to* the crashed node is dropped en route.
+            h0.send_to(7, vec![9]).await.unwrap();
+            router.shutdown().await
+        });
+        let r = m.run();
+        assert!(r.quiescent, "crashed node must not strand the fabric");
+        assert!(done.try_take().is_some());
+        assert!(m.metrics().get("router.dropped") >= 1);
+    }
+
+    #[test]
     fn random_all_to_all_delivers_everything() {
         let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
         let router = Router::start(&m);
@@ -263,7 +448,7 @@ mod tests {
                 async move {
                     for j in 0..n {
                         if j != i {
-                            h.send_to(j, vec![i * 1000 + j]).await;
+                            h.send_to(j, vec![i * 1000 + j]).await.unwrap();
                         }
                     }
                 }

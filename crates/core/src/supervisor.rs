@@ -1,0 +1,444 @@
+//! Self-healing supervisor: checkpoint, watch, reboot, restore, replay.
+//!
+//! §III of the paper describes the system software's answer to hardware
+//! faults: periodic memory snapshots through the system boards ("about 10
+//! minutes provides a good compromise"), and on failure a reboot followed
+//! by a restart from the last snapshot. The [`Supervisor`] reproduces that
+//! loop as a simulated procedure around a [`Machine`]:
+//!
+//! 1. the protected job is a list of **phases** — replayable closures
+//!    whose entire effect is on node memory (launch tasks, run to
+//!    quiescence);
+//! 2. the supervisor drives the simulation in **quanta**, slicing each
+//!    quantum around the next scheduled fault of a [`FaultPlan`] so
+//!    injection lands at its exact job time;
+//! 3. after every quantum it checks **health**: a crashed control
+//!    processor or a latent memory parity error marks the incarnation
+//!    dead;
+//! 4. on a dead incarnation it **reboots** (a fresh [`Machine`] — task
+//!    state does not survive), re-applies persistent faults (a broken
+//!    cable stays broken), restores the last snapshot through the system
+//!    boards, and replays every phase since that checkpoint;
+//! 5. after a phase completes, if at least the checkpoint interval of job
+//!    time has passed since the last snapshot, it takes a new one.
+//!
+//! Job time is the accumulated simulated time across all incarnations —
+//! snapshots, restores and replayed (lost) work all cost job time, which
+//! is how the checkpoint-interval trade-off of [`crate::checkpoint`]
+//! becomes observable end to end.
+
+use std::fmt;
+
+use ts_sim::{Dur, Time};
+
+use crate::fault::FaultPlan;
+use crate::{Machine, MachineCfg};
+
+/// One replayable unit of work: launch tasks on the machine; the
+/// supervisor runs them to quiescence. Must be a pure function of node
+/// memory so a replay after restore reproduces the original effect.
+pub type Phase<'a> = Box<dyn Fn(&mut Machine) + 'a>;
+
+/// Why a protected run could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// A phase deadlocked with no pending timers and no faults left to
+    /// blame — replaying would deadlock identically, so the supervisor
+    /// gives up instead of looping.
+    Wedged {
+        /// Index of the wedged phase.
+        phase: usize,
+    },
+    /// More reboots than `max_reboots` — the fault plan (or the job)
+    /// keeps killing every incarnation.
+    RebootStorm,
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Wedged { phase } => {
+                write!(f, "phase {phase} deadlocked with no fault to recover from")
+            }
+            SupervisorError::RebootStorm => write!(f, "reboot limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// What a protected run cost and what it survived.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorReport {
+    /// Total job time: simulated time accumulated across every
+    /// incarnation, including snapshots, restores and replayed work.
+    pub total: Dur,
+    /// Reboot-restore-replay cycles taken.
+    pub reboots: u32,
+    /// Snapshots written (including the baseline).
+    pub snapshots: u32,
+    /// Job time spent on work that was later lost and replayed.
+    pub rework: Dur,
+    /// Human-readable log of every injected fault, in order.
+    pub faults: Vec<String>,
+}
+
+/// Supervises a machine through a phased job under a fault plan.
+///
+/// Construct with [`Supervisor::new`], tune with the builder methods, and
+/// call [`Supervisor::run_to_completion`].
+pub struct Supervisor {
+    cfg: MachineCfg,
+    interval: Dur,
+    quantum: Dur,
+    max_reboots: u32,
+}
+
+impl Supervisor {
+    /// A supervisor for machines of configuration `cfg`, with a 10-minute
+    /// checkpoint interval (the paper's recommendation), a 1 ms health
+    /// quantum, and a 16-reboot limit.
+    pub fn new(cfg: MachineCfg) -> Supervisor {
+        Supervisor {
+            cfg,
+            interval: Dur::secs(600),
+            quantum: Dur::ms(1),
+            max_reboots: 16,
+        }
+    }
+
+    /// Snapshot whenever at least this much job time has passed since the
+    /// last snapshot, measured at phase boundaries.
+    pub fn checkpoint_interval(mut self, d: Dur) -> Supervisor {
+        assert!(!d.is_zero(), "checkpoint interval must be positive");
+        self.interval = d;
+        self
+    }
+
+    /// Health-check granularity: how much simulated time may pass between
+    /// looks at the machine (and the outer bound on fault-to-detection
+    /// latency).
+    pub fn quantum(mut self, d: Dur) -> Supervisor {
+        assert!(!d.is_zero(), "quantum must be positive");
+        self.quantum = d;
+        self
+    }
+
+    /// Give up with [`SupervisorError::RebootStorm`] after this many
+    /// reboots.
+    pub fn max_reboots(mut self, n: u32) -> Supervisor {
+        self.max_reboots = n;
+        self
+    }
+
+    /// Run `phases` to completion under `plan`, healing as needed.
+    ///
+    /// `setup` initialises node memory on the first incarnation only —
+    /// later incarnations get their state from snapshot restore. Returns
+    /// the final machine (for inspecting node memory) and the report.
+    pub fn run_to_completion(
+        &self,
+        setup: impl Fn(&mut Machine),
+        phases: &[Phase<'_>],
+        plan: &FaultPlan,
+    ) -> Result<(Machine, SupervisorReport), SupervisorError> {
+        let mut report = SupervisorReport::default();
+        let mut fired = vec![false; plan.len()];
+
+        let mut m = Machine::build(self.cfg);
+        setup(&mut m);
+        let mut mark = m.now(); // incarnation origin
+        let mut base = Dur::ZERO; // job time at the origin
+        let job = |base: Dur, m: &Machine, mark: Time| base + m.now().since(mark);
+
+        // Baseline snapshot: the earliest state recovery can return to.
+        let (mut images, _) = m.snapshot();
+        report.snapshots += 1;
+        let mut ckpt_phase = 0usize; // first phase the snapshot does NOT cover
+        let mut committed = job(base, &m, mark); // job time at last commit
+
+        let mut phase_idx = 0usize;
+        while phase_idx < phases.len() {
+            phases[phase_idx](&mut m);
+
+            // Drive this phase in quanta, injecting faults on schedule.
+            let healthy = loop {
+                let jnow = job(base, &m, mark);
+                let next_fault =
+                    plan.iter().zip(&fired).filter(|(_, f)| !**f).map(|(tf, _)| tf.at).min();
+                let slice = match next_fault {
+                    Some(at) if at <= jnow => Dur::ZERO, // overdue: inject below
+                    Some(at) if at < jnow + self.quantum => at - jnow,
+                    _ => self.quantum,
+                };
+                let before = m.now();
+                let ran = if slice.is_zero() { None } else { Some(m.run_for(slice)) };
+
+                let jnow = job(base, &m, mark);
+                let mut injected = false;
+                for (i, tf) in plan.iter().enumerate() {
+                    if !fired[i] && tf.at <= jnow {
+                        tf.event.apply(&m);
+                        fired[i] = true;
+                        injected = true;
+                        report.faults.push(format!("t={} {}", tf.at, tf.event));
+                    }
+                }
+
+                let crashed = m.nodes.iter().any(|n| n.is_crashed());
+                let latent: usize = m.nodes.iter().map(|n| n.mem().parity_errors()).sum();
+                if crashed || latent > 0 {
+                    break false;
+                }
+
+                if let Some(r) = ran {
+                    if r.quiescent {
+                        break true;
+                    }
+                    if m.now() == before && !injected {
+                        // Parked tasks, no timers, clock frozen. If a fault
+                        // is still pending, warp job time to it — on real
+                        // hardware the wall clock reaches the fault even
+                        // when the program is stuck — and let injection
+                        // (next iteration) shake things loose or kill the
+                        // incarnation. Otherwise the deadlock is the job's
+                        // own and replay cannot fix it.
+                        match next_fault {
+                            Some(at) if at > jnow => base += at - jnow,
+                            _ => return Err(SupervisorError::Wedged { phase: phase_idx }),
+                        }
+                    }
+                }
+            };
+
+            if healthy {
+                phase_idx += 1;
+                let jnow = job(base, &m, mark);
+                if jnow.saturating_sub(committed) >= self.interval && phase_idx < phases.len() {
+                    let (im, _) = m.snapshot();
+                    images = im;
+                    report.snapshots += 1;
+                    ckpt_phase = phase_idx;
+                    committed = job(base, &m, mark);
+                }
+                continue;
+            }
+
+            // Reboot, restore, replay.
+            report.reboots += 1;
+            if report.reboots > self.max_reboots {
+                return Err(SupervisorError::RebootStorm);
+            }
+            let jnow = job(base, &m, mark);
+            report.rework += jnow.saturating_sub(committed);
+            base = jnow;
+            m = Machine::build(self.cfg);
+            mark = m.now();
+            for (i, tf) in plan.iter().enumerate() {
+                if fired[i] && tf.event.is_persistent() {
+                    tf.event.apply(&m);
+                }
+            }
+            m.restore(&images);
+            phase_idx = ckpt_phase;
+        }
+
+        report.total = job(base, &m, mark);
+        // Book the supervisor's own accounting into the machine's metrics
+        // so `Machine::utilization_report` can show the recovery story.
+        let meters = m.nodes[0].metrics();
+        meters.add("supervisor.reboots", report.reboots as u64);
+        meters.add("supervisor.snapshots", report.snapshots as u64);
+        meters.add_time("supervisor.rework", report.rework);
+        Ok((m, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultEvent;
+    use ts_fpu::Sf64;
+    use ts_mem::ROW_WORDS;
+    use ts_vec::VecForm;
+
+    fn cfg() -> MachineCfg {
+        MachineCfg::cube_small_mem(3, 8)
+    }
+
+    /// Seed every node: a ones vector in bank A row 0, an id-valued
+    /// accumulator in bank B row 0.
+    fn seed(m: &mut Machine) {
+        for node in &m.nodes {
+            let mut mem = node.mem_mut();
+            let rows_a = mem.cfg().rows_a();
+            for i in 0..128 {
+                mem.write_f64(2 * i, Sf64::from(1.0)).unwrap();
+                mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64)).unwrap();
+            }
+        }
+    }
+
+    /// A phase of `sweeps` SAXPY passes (acc += ones) on every node. A
+    /// parity error aborts the node's work — the supervisor's patrol scan
+    /// catches the latent fault and rolls back.
+    fn sweep_phase(sweeps: usize) -> Phase<'static> {
+        Box::new(move |m: &mut Machine| {
+            m.launch(move |ctx| async move {
+                let rows_a = ctx.mem().cfg().rows_a();
+                for _ in 0..sweeps {
+                    let r = ctx.vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128).await;
+                    if r.is_err() {
+                        return;
+                    }
+                }
+            });
+        })
+    }
+
+    fn accs(m: &Machine) -> Vec<f64> {
+        (0..m.nodes.len())
+            .map(|n| {
+                let mem = m.nodes[n].mem();
+                let rows_a = mem.cfg().rows_a();
+                mem.read_f64(rows_a * ROW_WORDS + 34).unwrap().to_host()
+            })
+            .collect()
+    }
+
+    fn phases() -> Vec<Phase<'static>> {
+        vec![sweep_phase(3), sweep_phase(5), sweep_phase(2)]
+    }
+
+    #[test]
+    fn fault_free_run_takes_only_the_baseline_snapshot() {
+        let sup = Supervisor::new(cfg());
+        let (m, rep) = sup.run_to_completion(seed, &phases(), &FaultPlan::new()).unwrap();
+        assert_eq!(accs(&m), (0..8).map(|n| n as f64 + 10.0).collect::<Vec<_>>());
+        assert_eq!(rep.reboots, 0);
+        assert_eq!(rep.snapshots, 1, "default 10-minute interval: baseline only");
+        assert_eq!(rep.rework, Dur::ZERO);
+        assert!(rep.faults.is_empty());
+    }
+
+    /// Measure the job timeline without a supervisor: (baseline snapshot
+    /// cost, duration of phase 0, duration of phase 1). Used to pin fault
+    /// times to the middle of a specific phase — snapshots dominate job
+    /// time, so fractional positioning would land inside a snapshot where
+    /// there is no work to lose.
+    fn probe_times() -> (Dur, Dur, Dur) {
+        let mut m = Machine::build(cfg());
+        seed(&mut m);
+        let (_, d0) = m.snapshot();
+        let ph = phases();
+        let t1 = m.now();
+        ph[0](&mut m);
+        assert!(m.run().quiescent);
+        let p0 = m.now().since(t1);
+        let t2 = m.now();
+        ph[1](&mut m);
+        assert!(m.run().quiescent);
+        let p1 = m.now().since(t2);
+        (d0, p0, p1)
+    }
+
+    #[test]
+    fn node_crash_mid_run_is_healed_bit_identically() {
+        let sup = Supervisor::new(cfg());
+        let (ref_m, ref_rep) =
+            sup.run_to_completion(seed, &phases(), &FaultPlan::new()).unwrap();
+        let want = accs(&ref_m);
+
+        // Crash node 5 halfway through phase 1.
+        let (d0, p0, p1) = probe_times();
+        let crash_at = d0 + p0 + Dur::from_secs_f64(p1.as_secs_f64() / 2.0);
+        let plan = FaultPlan::new().with(crash_at, FaultEvent::NodeCrash { node: 5 });
+        let (m, rep) = sup.run_to_completion(seed, &phases(), &plan).unwrap();
+
+        assert_eq!(accs(&m), want, "healed run must be bit-identical");
+        assert_eq!(rep.reboots, 1);
+        assert_eq!(rep.faults.len(), 1);
+        assert!(rep.faults[0].contains("n5 crashed"), "{:?}", rep.faults);
+        assert!(rep.rework > Dur::ZERO, "the interrupted work was replayed");
+        assert!(rep.total > ref_rep.total, "healing costs job time");
+        assert!(!m.nodes[5].is_crashed(), "reboot repaired the node");
+        // Supervisor accounting is visible through machine metrics.
+        assert_eq!(m.metrics().get("supervisor.reboots"), 1);
+        assert_eq!(m.metrics().get("supervisor.snapshots"), 1);
+    }
+
+    #[test]
+    fn mem_flip_is_caught_by_patrol_scan_and_rolled_back() {
+        let sup = Supervisor::new(cfg());
+        let (ref_m, _) = sup.run_to_completion(seed, &phases(), &FaultPlan::new()).unwrap();
+        let want = accs(&ref_m);
+
+        // Flip a bit of the accumulator itself, mid phase 1: without
+        // recovery the final memory would be wrong, not just a transient
+        // error.
+        let (d0, p0, p1) = probe_times();
+        let flip_at = d0 + p0 + Dur::from_secs_f64(p1.as_secs_f64() / 2.0);
+        let rows_a = ref_m.nodes[0].mem().cfg().rows_a();
+        let plan = FaultPlan::new().with(
+            flip_at,
+            FaultEvent::MemFlip { node: 2, addr: rows_a * ROW_WORDS + 34, bit: 52 },
+        );
+        let (m, rep) = sup.run_to_completion(seed, &phases(), &plan).unwrap();
+        assert_eq!(accs(&m), want);
+        assert_eq!(rep.reboots, 1);
+        assert_eq!(m.nodes[2].mem().parity_errors(), 0, "restore scrubbed the flip");
+    }
+
+    #[test]
+    fn link_down_persists_across_the_healing_reboot() {
+        let sup = Supervisor::new(cfg());
+        let (d0, p0, p1) = probe_times();
+        let plan = FaultPlan::new()
+            .with(d0 + Dur::from_secs_f64(p0.as_secs_f64() / 2.0), FaultEvent::LinkDown {
+                node: 1,
+                dim: 2,
+            })
+            .with(
+                d0 + p0 + Dur::from_secs_f64(p1.as_secs_f64() / 2.0),
+                FaultEvent::NodeCrash { node: 6 },
+            );
+        let (m, rep) = sup.run_to_completion(seed, &phases(), &plan).unwrap();
+        assert_eq!(rep.reboots, 1, "link down alone must not trigger a reboot");
+        assert!(!m.link_up(1, 2), "the broken cable stays broken after reboot");
+        assert_eq!(rep.faults.len(), 2);
+    }
+
+    #[test]
+    fn same_plan_reproduces_the_same_run() {
+        let sup = Supervisor::new(cfg()).checkpoint_interval(Dur::us(1));
+        let plan = FaultPlan::generate(7, 3, 8 * ROW_WORDS, 2, Dur::secs(1));
+        let run = || {
+            // Faults beyond the job's end never fire; that's fine for a
+            // determinism check as long as both runs agree.
+            sup.run_to_completion(seed, &phases(), &plan)
+        };
+        let (m1, r1) = run().unwrap();
+        let (m2, r2) = run().unwrap();
+        assert_eq!(r1.total, r2.total);
+        assert_eq!(r1.faults, r2.faults);
+        assert_eq!(r1.reboots, r2.reboots);
+        assert_eq!(accs(&m1), accs(&m2));
+    }
+
+    #[test]
+    fn a_jobs_own_deadlock_is_reported_not_retried() {
+        let sup = Supervisor::new(cfg());
+        let wedge: Vec<Phase<'static>> = vec![Box::new(|m: &mut Machine| {
+            let ctx = m.ctx(0);
+            m.launch_on(0, async move {
+                // Receive that no one will ever send: a deterministic hang.
+                ctx.recv_dim(0).await;
+            });
+        })];
+        let err = match sup.run_to_completion(seed, &wedge, &FaultPlan::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("a deadlocked phase must not complete"),
+        };
+        assert_eq!(err, SupervisorError::Wedged { phase: 0 });
+    }
+}

@@ -1,16 +1,18 @@
 //! Property tests for the collectives: correctness on random payloads,
-//! roots and cube sizes; agreement with sequential references.
+//! roots and cube sizes; agreement with sequential references. Seeded
+//! random cases via [`Rng`] (offline, reproducible).
 
-use proptest::prelude::*;
 use t_series_core::{collectives, Machine, MachineCfg};
 use ts_fpu::Sf64;
 use ts_node::CombineOp;
+use ts_sim::Rng;
 
 fn machine(dim: u32) -> Machine {
     Machine::build(MachineCfg::cube_small_mem(dim, 8))
 }
 
-/// Local splitmix64 (ts-kernels has one, but it depends on this crate).
+/// Local splitmix64: per-node value derivation must be a pure function of
+/// (seed, id, j) so every node computes the same reference.
 fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e3779b97f4a7c15);
     let mut z = *state;
@@ -19,15 +21,13 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn broadcast_any_root_any_payload(
-        dim in 0u32..=4,
-        root_seed in any::<u32>(),
-        payload in prop::collection::vec(any::<u32>(), 1..50),
-    ) {
+#[test]
+fn broadcast_any_root_any_payload() {
+    let mut rng = Rng::new(0xc011_0001);
+    for _ in 0..24 {
+        let dim = rng.below(5) as u32;
+        let root_seed = rng.next_u32();
+        let payload: Vec<u32> = (0..rng.range(1, 50)).map(|_| rng.next_u32()).collect();
         let mut m = machine(dim);
         let cube = m.cube;
         let root = root_seed % cube.nodes();
@@ -39,19 +39,21 @@ proptest! {
                 collectives::broadcast(&ctx, cube, root, data).await
             }
         });
-        prop_assert!(m.run().quiescent, "broadcast deadlocked");
+        assert!(m.run().quiescent, "broadcast deadlocked");
         for h in handles {
-            prop_assert_eq!(h.try_take().unwrap(), payload.clone());
+            assert_eq!(h.try_take().unwrap(), payload.clone());
         }
     }
+}
 
-    #[test]
-    fn reduce_equals_sequential_sum(
-        dim in 0u32..=4,
-        root_seed in any::<u32>(),
-        vals_seed in any::<u64>(),
-        len in 1usize..20,
-    ) {
+#[test]
+fn reduce_equals_sequential_sum() {
+    let mut rng = Rng::new(0xc011_0002);
+    for _ in 0..24 {
+        let dim = rng.below(5) as u32;
+        let root_seed = rng.next_u32();
+        let vals_seed = rng.next_u64();
+        let len = rng.range(1, 20);
         let mut m = machine(dim);
         let cube = m.cube;
         let root = root_seed % cube.nodes();
@@ -64,7 +66,7 @@ proptest! {
             let mine: Vec<Sf64> = (0..len).map(|j| Sf64::from(value(ctx.id(), j))).collect();
             collectives::reduce(&ctx, cube, root, CombineOp::Add, mine).await
         });
-        prop_assert!(m.run().quiescent, "reduce deadlocked");
+        assert!(m.run().quiescent, "reduce deadlocked");
         for (i, h) in handles.into_iter().enumerate() {
             let got = h.try_take().unwrap();
             if i as u32 == root {
@@ -72,21 +74,22 @@ proptest! {
                 for (j, out) in v.iter().enumerate() {
                     // Integer-valued contributions: sums are exact.
                     let want: f64 = (0..cube.nodes()).map(|id| value(id, j)).sum();
-                    prop_assert_eq!(out.to_host(), want);
+                    assert_eq!(out.to_host(), want);
                 }
             } else {
-                prop_assert!(got.is_none());
+                assert!(got.is_none());
             }
         }
     }
+}
 
-    #[test]
-    fn allreduce_variants_agree_on_all_nodes(
-        dim in 0u32..=4,
-        vals_seed in any::<u64>(),
-        op_pick in 0usize..3,
-    ) {
-        let op = [CombineOp::Add, CombineOp::Max, CombineOp::Min][op_pick];
+#[test]
+fn allreduce_variants_agree_on_all_nodes() {
+    let mut rng = Rng::new(0xc011_0003);
+    for _ in 0..24 {
+        let dim = rng.below(5) as u32;
+        let vals_seed = rng.next_u64();
+        let op = [CombineOp::Add, CombineOp::Max, CombineOp::Min][rng.range(0, 3)];
         let mut m = machine(dim);
         let cube = m.cube;
         let value = move |id: u32| {
@@ -97,7 +100,7 @@ proptest! {
             let mine = vec![Sf64::from(value(ctx.id()))];
             collectives::allreduce(&ctx, cube, op, mine).await
         });
-        prop_assert!(m.run().quiescent, "allreduce deadlocked");
+        assert!(m.run().quiescent, "allreduce deadlocked");
         let all: Vec<f64> = (0..cube.nodes()).map(value).collect();
         let want = match op {
             CombineOp::Add => all.iter().sum::<f64>(),
@@ -106,34 +109,42 @@ proptest! {
             CombineOp::Mul => unreachable!(),
         };
         for h in handles {
-            prop_assert_eq!(h.try_take().unwrap()[0].to_host(), want);
+            assert_eq!(h.try_take().unwrap()[0].to_host(), want);
         }
     }
+}
 
-    #[test]
-    fn allgather_collects_all_ids(dim in 0u32..=4, tag in any::<u32>()) {
+#[test]
+fn allgather_collects_all_ids() {
+    let mut rng = Rng::new(0xc011_0004);
+    for _ in 0..24 {
+        let dim = rng.below(5) as u32;
+        let tag = rng.next_u32();
         let mut m = machine(dim);
         let cube = m.cube;
         let handles = m.launch(move |ctx| async move {
             collectives::allgather(&ctx, cube, vec![ctx.id() ^ tag]).await
         });
-        prop_assert!(m.run().quiescent, "allgather deadlocked");
+        assert!(m.run().quiescent, "allgather deadlocked");
         for h in handles {
             let got = h.try_take().unwrap();
-            prop_assert_eq!(got.len() as u32, cube.nodes());
+            assert_eq!(got.len() as u32, cube.nodes());
             for (i, (id, words)) in got.iter().enumerate() {
-                prop_assert_eq!(*id, i as u32);
-                prop_assert_eq!(words[0], i as u32 ^ tag);
+                assert_eq!(*id, i as u32);
+                assert_eq!(words[0], i as u32 ^ tag);
             }
         }
     }
+}
 
-    /// Snapshot then restore reproduces arbitrary memory contents exactly.
-    #[test]
-    fn snapshot_restore_arbitrary_state(
-        dim in 0u32..=3,
-        writes in prop::collection::vec((0usize..1024, any::<u32>()), 1..30),
-    ) {
+/// Snapshot then restore reproduces arbitrary memory contents exactly.
+#[test]
+fn snapshot_restore_arbitrary_state() {
+    let mut rng = Rng::new(0xc011_0005);
+    for _ in 0..16 {
+        let dim = rng.below(4) as u32;
+        let writes: Vec<(usize, u32)> =
+            (0..rng.range(1, 30)).map(|_| (rng.range(0, 1024), rng.next_u32())).collect();
         let mut m = machine(dim);
         for (k, node) in m.nodes.iter().enumerate() {
             for &(addr, v) in &writes {
@@ -151,7 +162,7 @@ proptest! {
                 model.insert(addr, v ^ k as u32);
             }
             for (&addr, &want) in &model {
-                prop_assert_eq!(node.mem().read_word(addr).unwrap(), want);
+                assert_eq!(node.mem().read_word(addr).unwrap(), want);
             }
         }
     }

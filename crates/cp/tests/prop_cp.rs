@@ -1,8 +1,9 @@
 //! Property tests for the control processor: encoding round-trips and
-//! random straight-line programs against host arithmetic.
+//! random straight-line programs against host arithmetic. Seeded random
+//! cases via [`Rng`] (offline, reproducible).
 
-use proptest::prelude::*;
 use ts_cp::{assemble, emu::load_code, Cp, StepOutcome};
+use ts_sim::Rng;
 
 /// Run a program and return workspace slot 0.
 fn run_program(src: &str) -> Result<u32, ts_cp::CpError> {
@@ -16,18 +17,30 @@ fn run_program(src: &str) -> Result<u32, ts_cp::CpError> {
     }
 }
 
-proptest! {
-    /// ldc of any i32 round-trips through the prefix encoding.
-    #[test]
-    fn ldc_any_constant(v in any::<i32>()) {
+/// ldc of any i32 round-trips through the prefix encoding.
+#[test]
+fn ldc_any_constant() {
+    let mut rng = Rng::new(0xc2a0_0001);
+    for _ in 0..128 {
+        let v = rng.next_u32() as i32;
         let got = run_program(&format!("ldc {v}\nstl 0\nhalt\n")).unwrap();
-        prop_assert_eq!(got as i32, v);
+        assert_eq!(got as i32, v);
     }
+}
 
-    /// Binary ALU operations match host semantics.
-    #[test]
-    fn alu_matches_host(a in any::<i32>(), b in any::<i32>(), op in 0usize..9) {
-        let (name, host): (&str, fn(i32, i32) -> Option<i32>) = match op {
+/// Host-side model of one ALU op: `None` marks the undefined (trapping)
+/// divide-by-zero cases.
+type HostOp = fn(i32, i32) -> Option<i32>;
+
+/// Binary ALU operations match host semantics.
+#[test]
+fn alu_matches_host() {
+    let mut rng = Rng::new(0xc2a0_0002);
+    for _ in 0..256 {
+        let a = rng.next_u32() as i32;
+        let b = rng.next_u32() as i32;
+        let op = rng.range(0, 9);
+        let (name, host): (&str, HostOp) = match op {
             0 => ("add", |x, y| Some(x.wrapping_add(y))),
             1 => ("sub", |x, y| Some(x.wrapping_sub(y))),
             2 => ("mul", |x, y| Some(x.wrapping_mul(y))),
@@ -44,43 +57,61 @@ proptest! {
         match host(a, b) {
             Some(want) => {
                 let got = run_program(&src).unwrap();
-                prop_assert_eq!(got as i32, want, "{} {} {}", a, name, b);
+                assert_eq!(got as i32, want, "{a} {name} {b}");
             }
             None => {
-                prop_assert!(matches!(run_program(&src), Err(ts_cp::CpError::DivByZero)));
+                assert!(matches!(run_program(&src), Err(ts_cp::CpError::DivByZero)));
             }
         }
     }
+}
 
-    /// adc (add constant) on random values.
-    #[test]
-    fn adc_matches_host(a in any::<i32>(), k in any::<i32>()) {
+/// adc (add constant) on random values.
+#[test]
+fn adc_matches_host() {
+    let mut rng = Rng::new(0xc2a0_0003);
+    for _ in 0..128 {
+        let a = rng.next_u32() as i32;
+        let k = rng.next_u32() as i32;
         let got = run_program(&format!("ldc {a}\nadc {k}\nstl 0\nhalt\n")).unwrap();
-        prop_assert_eq!(got as i32, a.wrapping_add(k));
+        assert_eq!(got as i32, a.wrapping_add(k));
     }
+}
 
-    /// Shifts with in-range counts.
-    #[test]
-    fn shifts_match_host(a in any::<u32>(), s in 0u32..32) {
+/// Shifts with in-range counts.
+#[test]
+fn shifts_match_host() {
+    let mut rng = Rng::new(0xc2a0_0004);
+    for _ in 0..128 {
+        let a = rng.next_u32();
+        let s = rng.below(32) as u32;
         let shl = run_program(&format!("ldc {}\nldc {s}\nshl\nstl 0\nhalt\n", a as i32)).unwrap();
-        prop_assert_eq!(shl, a.wrapping_shl(s));
+        assert_eq!(shl, a.wrapping_shl(s));
         let shr = run_program(&format!("ldc {}\nldc {s}\nshr\nstl 0\nhalt\n", a as i32)).unwrap();
-        prop_assert_eq!(shr, a.wrapping_shr(s));
+        assert_eq!(shr, a.wrapping_shr(s));
     }
+}
 
-    /// A counted loop executes exactly n iterations for any small n.
-    #[test]
-    fn counted_loop(n in 1u32..500) {
+/// A counted loop executes exactly n iterations for any small n.
+#[test]
+fn counted_loop() {
+    let mut rng = Rng::new(0xc2a0_0005);
+    for _ in 0..32 {
+        let n = 1 + rng.below(499) as u32;
         let src = format!(
             "ldc 0\nstl 0\nldc {n}\nstl 1\n\
              loop:\nldl 0\nadc 1\nstl 0\nldl 1\nadc -1\nstl 1\nldl 1\neqc 0\ncj loop\nhalt\n"
         );
-        prop_assert_eq!(run_program(&src).unwrap(), n);
+        assert_eq!(run_program(&src).unwrap(), n);
     }
+}
 
-    /// Random local-variable traffic: a store/load shuffle preserves values.
-    #[test]
-    fn workspace_traffic(vals in prop::collection::vec(any::<i32>(), 1..12)) {
+/// Random local-variable traffic: a store/load shuffle preserves values.
+#[test]
+fn workspace_traffic() {
+    let mut rng = Rng::new(0xc2a0_0006);
+    for _ in 0..64 {
+        let vals: Vec<i32> = (0..rng.range(1, 12)).map(|_| rng.next_u32() as i32).collect();
         let mut src = String::new();
         for (i, v) in vals.iter().enumerate() {
             src.push_str(&format!("ldc {v}\nstl {i}\n"));
@@ -92,13 +123,17 @@ proptest! {
         }
         src.push_str("stl 0\nhalt\n");
         let want = vals.iter().fold(0i32, |a, &b| a.wrapping_add(b));
-        prop_assert_eq!(run_program(&src).unwrap() as i32, want);
+        assert_eq!(run_program(&src).unwrap() as i32, want);
     }
+}
 
-    /// Disassembling any assembled program and reassembling the listing
-    /// reproduces the bytes exactly.
-    #[test]
-    fn disasm_roundtrip(consts in prop::collection::vec(any::<i32>(), 1..20)) {
+/// Disassembling any assembled program and reassembling the listing
+/// reproduces the bytes exactly.
+#[test]
+fn disasm_roundtrip() {
+    let mut rng = Rng::new(0xc2a0_0007);
+    for _ in 0..64 {
+        let consts: Vec<i32> = (0..rng.range(1, 20)).map(|_| rng.next_u32() as i32).collect();
         let mut src = String::new();
         for (i, v) in consts.iter().enumerate() {
             src.push_str(&format!("ldc {v}\nstl {}\n", i % 16));
@@ -110,13 +145,20 @@ proptest! {
             .map(|d| format!("{}\n", d.insn))
             .collect();
         let code2 = assemble(&text).unwrap();
-        prop_assert_eq!(code, code2);
+        assert_eq!(code, code2);
     }
+}
 
-    /// Random `occ` expression trees evaluate exactly like host i32
-    /// arithmetic (wrapping, C-style truncating division).
-    #[test]
-    fn occ_expressions_match_host(ops in prop::collection::vec((0usize..6, -50i32..50), 1..12), seed in any::<i32>()) {
+/// Random `occ` expression trees evaluate exactly like host i32 arithmetic
+/// (wrapping, C-style truncating division).
+#[test]
+fn occ_expressions_match_host() {
+    let mut rng = Rng::new(0xc2a0_0008);
+    for _ in 0..64 {
+        let seed = rng.next_u32() as i32;
+        let ops: Vec<(usize, i32)> = (0..rng.range(1, 12))
+            .map(|_| (rng.range(0, 6), rng.below(100) as i32 - 50))
+            .collect();
         // Build a left-leaning expression with random operators and
         // operands, avoiding division by zero syntactically.
         let mut src = format!("x := {seed};\n");
@@ -145,14 +187,18 @@ proptest! {
         load_code(&mut mem, 8192, &c.code).unwrap();
         let mut cp = Cp::new(8192, 256);
         cp.run(&mut mem, 10_000_000).unwrap();
-        prop_assert_eq!(mem[256 + c.vars["x"]] as i32, expected);
+        assert_eq!(mem[256 + c.vars["x"]] as i32, expected);
     }
+}
 
-    /// The timing model stays in a plausible MIPS band for arbitrary
-    /// ALU-heavy programs (no memory-free program can be slower than the
-    /// divide-bound floor or faster than 1 cycle/instruction).
-    #[test]
-    fn mips_band(ops in prop::collection::vec(0usize..5, 10..100)) {
+/// The timing model stays in a plausible MIPS band for arbitrary ALU-heavy
+/// programs (no memory-free program can be slower than the divide-bound
+/// floor or faster than 1 cycle/instruction).
+#[test]
+fn mips_band() {
+    let mut rng = Rng::new(0xc2a0_0009);
+    for _ in 0..64 {
+        let ops: Vec<usize> = (0..rng.range(10, 100)).map(|_| rng.range(0, 5)).collect();
         let mut src = String::from("ldc 1\n");
         for &o in &ops {
             let name = ["dup", "not", "mint", "dup\nadd", "dup\nxor"][o];
@@ -166,6 +212,6 @@ proptest! {
         let mut cp = Cp::new(4096, 256);
         cp.run(&mut mem, 1_000_000).unwrap();
         let mips = cp.mips();
-        prop_assert!(mips > 1.0 && mips <= 15.0, "mips = {}", mips);
+        assert!(mips > 1.0 && mips <= 15.0, "mips = {mips}");
     }
 }

@@ -1,119 +1,156 @@
-//! Property tests for the hypercube combinatorics.
+//! Property tests for the hypercube combinatorics. Seeded random cases via
+//! [`Rng`] (offline, reproducible).
 
-use proptest::prelude::*;
 use ts_cube::embed::{FftEmbedding, MeshEmbedding, RingEmbedding};
 use ts_cube::{gray, gray_inv, Hypercube, SublinkBudget};
+use ts_sim::Rng;
 
-proptest! {
-    #[test]
-    fn gray_inverse_roundtrip(i in any::<u32>()) {
-        prop_assert_eq!(gray_inv(gray(i)), i);
+#[test]
+fn gray_inverse_roundtrip() {
+    let mut rng = Rng::new(0xc0be_0001);
+    for _ in 0..1024 {
+        let i = rng.next_u32();
+        assert_eq!(gray_inv(gray(i)), i);
     }
+}
 
-    #[test]
-    fn gray_adjacent_codes_differ_in_one_bit(i in 0u32..u32::MAX) {
-        prop_assert_eq!((gray(i) ^ gray(i + 1)).count_ones(), 1);
+#[test]
+fn gray_adjacent_codes_differ_in_one_bit() {
+    let mut rng = Rng::new(0xc0be_0002);
+    for _ in 0..1024 {
+        let i = (rng.next_u64() % (u32::MAX as u64)) as u32;
+        assert_eq!((gray(i) ^ gray(i + 1)).count_ones(), 1);
     }
+}
 
-    #[test]
-    fn route_length_equals_hamming_distance(dim in 1u32..=14, a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn route_length_equals_hamming_distance() {
+    let mut rng = Rng::new(0xc0be_0003);
+    for _ in 0..256 {
+        let dim = 1 + rng.below(14) as u32;
         let c = Hypercube::new(dim);
         let mask = c.nodes() - 1;
-        let (a, b) = (a & mask, b & mask);
+        let (a, b) = (rng.next_u32() & mask, rng.next_u32() & mask);
         let path = c.route(a, b);
-        prop_assert_eq!(path.len() as u32, c.distance(a, b) + 1);
+        assert_eq!(path.len() as u32, c.distance(a, b) + 1);
         // Every step is one cube edge; dimensions strictly increase.
         let mut last = None;
         for w in path.windows(2) {
             let d = w[0] ^ w[1];
-            prop_assert_eq!(d.count_ones(), 1);
+            assert_eq!(d.count_ones(), 1);
             let dim_idx = d.trailing_zeros();
-            prop_assert!(last.is_none_or(|l| dim_idx > l));
+            assert!(last.is_none_or(|l| dim_idx > l));
             last = Some(dim_idx);
         }
     }
+}
 
-    #[test]
-    fn distance_is_a_metric(dim in 1u32..=12, a in any::<u32>(), b in any::<u32>(), c_ in any::<u32>()) {
+#[test]
+fn distance_is_a_metric() {
+    let mut rng = Rng::new(0xc0be_0004);
+    for _ in 0..256 {
+        let dim = 1 + rng.below(12) as u32;
         let c = Hypercube::new(dim);
         let m = c.nodes() - 1;
-        let (a, b, x) = (a & m, b & m, c_ & m);
-        prop_assert_eq!(c.distance(a, b), c.distance(b, a));
-        prop_assert_eq!(c.distance(a, a), 0);
-        prop_assert!(c.distance(a, x) <= c.distance(a, b) + c.distance(b, x));
-        prop_assert!(c.distance(a, b) <= c.diameter());
+        let (a, b, x) = (rng.next_u32() & m, rng.next_u32() & m, rng.next_u32() & m);
+        assert_eq!(c.distance(a, b), c.distance(b, a));
+        assert_eq!(c.distance(a, a), 0);
+        assert!(c.distance(a, x) <= c.distance(a, b) + c.distance(b, x));
+        assert!(c.distance(a, b) <= c.diameter());
     }
+}
 
-    #[test]
-    fn binomial_tree_paths_reach_root(dim in 1u32..=10, root in any::<u32>(), node in any::<u32>()) {
+#[test]
+fn binomial_tree_paths_reach_root() {
+    let mut rng = Rng::new(0xc0be_0005);
+    for _ in 0..256 {
+        let dim = 1 + rng.below(10) as u32;
         let c = Hypercube::new(dim);
         let m = c.nodes() - 1;
-        let (root, node) = (root & m, node & m);
+        let (root, node) = (rng.next_u32() & m, rng.next_u32() & m);
         let mut cur = node;
         let mut hops = 0;
         while cur != root {
             let parent = c.binomial_parent(root, cur);
-            prop_assert_eq!(c.distance(cur, parent), 1);
+            assert_eq!(c.distance(cur, parent), 1);
             cur = parent;
             hops += 1;
-            prop_assert!(hops <= dim);
+            assert!(hops <= dim);
         }
         // Depth equals the Hamming distance to the root.
-        prop_assert_eq!(hops, c.distance(node, root));
+        assert_eq!(hops, c.distance(node, root));
     }
+}
 
-    #[test]
-    fn parent_child_consistency(dim in 1u32..=8, root in any::<u32>(), node in any::<u32>()) {
+#[test]
+fn parent_child_consistency() {
+    let mut rng = Rng::new(0xc0be_0006);
+    for _ in 0..256 {
+        let dim = 1 + rng.below(8) as u32;
         let c = Hypercube::new(dim);
         let m = c.nodes() - 1;
-        let (root, node) = (root & m, node & m);
+        let (root, node) = (rng.next_u32() & m, rng.next_u32() & m);
         for ch in c.binomial_children(root, node) {
-            prop_assert_eq!(c.binomial_parent(root, ch), node);
+            assert_eq!(c.binomial_parent(root, ch), node);
         }
     }
+}
 
-    #[test]
-    fn ring_embedding_properties(dim in 1u32..=11) {
+#[test]
+fn ring_embedding_properties() {
+    for dim in 1u32..=11 {
         let c = Hypercube::new(dim);
         let r = RingEmbedding::new(c);
-        prop_assert_eq!(r.dilation(), 1);
+        assert_eq!(r.dilation(), 1);
         // next/prev consistency at a few sampled nodes.
         for node in [0, c.nodes() / 3, c.nodes() - 1] {
-            prop_assert_eq!(r.prev(r.next(node)), node);
+            assert_eq!(r.prev(r.next(node)), node);
         }
     }
+}
 
-    #[test]
-    fn random_mesh_shapes_are_dilation_one(dim in 2u32..=9, cut in 1u32..=8) {
-        let cut = cut.min(dim - 1);
+#[test]
+fn random_mesh_shapes_are_dilation_one() {
+    let mut rng = Rng::new(0xc0be_0007);
+    for _ in 0..64 {
+        let dim = 2 + rng.below(8) as u32;
+        let cut = (1 + rng.below(8) as u32).min(dim - 1);
         let c = Hypercube::new(dim);
         let m = MeshEmbedding::new(c, &[cut, dim - cut]);
-        prop_assert_eq!(m.dilation(), 1);
-        prop_assert_eq!(m.torus_dilation(), 1);
+        assert_eq!(m.dilation(), 1);
+        assert_eq!(m.torus_dilation(), 1);
         // Coordinates round-trip for random nodes.
         for node in [0, c.nodes() / 2, c.nodes() - 1] {
             let coords = m.coords_of(node);
-            prop_assert_eq!(m.node_at(&coords), node);
+            assert_eq!(m.node_at(&coords), node);
         }
     }
+}
 
-    #[test]
-    fn butterfly_always_one_hop(dim in 1u32..=12, node in any::<u32>(), stage in any::<u32>()) {
+#[test]
+fn butterfly_always_one_hop() {
+    let mut rng = Rng::new(0xc0be_0008);
+    for _ in 0..256 {
+        let dim = 1 + rng.below(12) as u32;
         let c = Hypercube::new(dim);
         let f = FftEmbedding::new(c);
-        let node = node & (c.nodes() - 1);
-        let stage = stage % dim;
+        let node = rng.next_u32() & (c.nodes() - 1);
+        let stage = rng.next_u32() % dim;
         let p = f.partner(node, stage);
-        prop_assert_eq!(c.distance(node, p), 1);
-        prop_assert_eq!(f.partner(p, stage), node);
+        assert_eq!(c.distance(node, p), 1);
+        assert_eq!(f.partner(p, stage), node);
     }
+}
 
-    #[test]
-    fn sublink_budget_never_exceeds_total(system in 0u32..=8, io in 0u32..=8) {
-        let b = SublinkBudget { system, io };
-        prop_assert!(b.for_hypercube() <= SublinkBudget::TOTAL);
-        prop_assert!(b.max_dim() <= Hypercube::MAX_DIM);
-        prop_assert!(b.supports(b.max_dim()));
-        prop_assert!(!b.supports(b.max_dim() + 1));
+#[test]
+fn sublink_budget_never_exceeds_total() {
+    for system in 0u32..=8 {
+        for io in 0u32..=8 {
+            let b = SublinkBudget { system, io };
+            assert!(b.for_hypercube() <= SublinkBudget::TOTAL);
+            assert!(b.max_dim() <= Hypercube::MAX_DIM);
+            assert!(b.supports(b.max_dim()));
+            assert!(!b.supports(b.max_dim() + 1));
+        }
     }
 }

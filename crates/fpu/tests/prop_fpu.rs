@@ -4,10 +4,13 @@
 //! arithmetic is bit-identical to IEEE round-to-nearest-even, so the software
 //! implementation must match the host **exactly, bit for bit**. Where
 //! subnormals appear we pin the documented FTZ semantics instead.
+//!
+//! Random cases come from the workspace's seeded [`Rng`], so the suite runs
+//! offline and every failure replays.
 
-use proptest::prelude::*;
 use ts_fpu::soft::{self, B32, B64};
 use ts_fpu::{softdiv, Sf32, Sf64};
+use ts_sim::Rng;
 
 /// Flush subnormals of the host representation to a same-signed zero
 /// (the reference model for inputs *and* results).
@@ -37,210 +40,288 @@ fn ftz32(v: f32) -> f32 {
 
 /// Finite f64 whose exponent keeps +, −, × results clear of the subnormal
 /// boundary, so host RNE and software FTZ agree exactly.
-fn safe_f64() -> impl Strategy<Value = f64> {
+fn safe_f64(rng: &mut Rng) -> f64 {
     // sign × mantissa-in-[1,2) × 2^e with e in [-400, 400].
-    (any::<bool>(), any::<u64>(), -400i32..=400).prop_map(|(neg, frac, e)| {
-        let m = 1.0 + (frac >> 12) as f64 / (1u64 << 52) as f64;
-        let v = m * 2f64.powi(e);
-        if neg {
-            -v
-        } else {
-            v
-        }
-    })
+    let neg = rng.bool();
+    let frac = rng.next_u64();
+    let e = rng.range(0, 801) as i32 - 400;
+    let m = 1.0 + (frac >> 12) as f64 / (1u64 << 52) as f64;
+    let v = m * 2f64.powi(e);
+    if neg {
+        -v
+    } else {
+        v
+    }
 }
 
-fn safe_f32() -> impl Strategy<Value = f32> {
-    (any::<bool>(), any::<u32>(), -40i32..=40).prop_map(|(neg, frac, e)| {
-        let m = 1.0 + (frac >> 9) as f32 / (1u32 << 23) as f32;
-        let v = m * 2f32.powi(e);
-        if neg {
-            -v
-        } else {
-            v
-        }
-    })
+fn safe_f32(rng: &mut Rng) -> f32 {
+    let neg = rng.bool();
+    let frac = rng.next_u32();
+    let e = rng.range(0, 81) as i32 - 40;
+    let m = 1.0 + (frac >> 9) as f32 / (1u32 << 23) as f32;
+    let v = m * 2f32.powi(e);
+    if neg {
+        -v
+    } else {
+        v
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2000))]
+const CASES: usize = 2000;
 
-    #[test]
-    fn add64_matches_host(a in safe_f64(), b in safe_f64()) {
+#[test]
+fn add64_matches_host() {
+    let mut rng = Rng::new(0xf9a0_0001);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f64(&mut rng), safe_f64(&mut rng));
         let sw = (Sf64::from(a) + Sf64::from(b)).to_bits();
         let host = (a + b).to_bits();
-        prop_assert_eq!(sw, host, "{} + {}", a, b);
+        assert_eq!(sw, host, "{a} + {b}");
     }
+}
 
-    #[test]
-    fn sub64_matches_host(a in safe_f64(), b in safe_f64()) {
+#[test]
+fn sub64_matches_host() {
+    let mut rng = Rng::new(0xf9a0_0002);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f64(&mut rng), safe_f64(&mut rng));
         let sw = (Sf64::from(a) - Sf64::from(b)).to_bits();
         let host = (a - b).to_bits();
-        prop_assert_eq!(sw, host, "{} - {}", a, b);
+        assert_eq!(sw, host, "{a} - {b}");
     }
+}
 
-    #[test]
-    fn mul64_matches_host(a in safe_f64(), b in safe_f64()) {
+#[test]
+fn mul64_matches_host() {
+    let mut rng = Rng::new(0xf9a0_0003);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f64(&mut rng), safe_f64(&mut rng));
         let sw = (Sf64::from(a) * Sf64::from(b)).to_bits();
         let host = (a * b).to_bits();
-        prop_assert_eq!(sw, host, "{} * {}", a, b);
+        assert_eq!(sw, host, "{a} * {b}");
     }
+}
 
-    #[test]
-    fn add32_matches_host(a in safe_f32(), b in safe_f32()) {
+#[test]
+fn add32_matches_host() {
+    let mut rng = Rng::new(0xf9a0_0004);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f32(&mut rng), safe_f32(&mut rng));
         let sw = (Sf32::from(a) + Sf32::from(b)).to_bits();
         let host = (a + b).to_bits();
-        prop_assert_eq!(sw, host, "{} + {}", a, b);
+        assert_eq!(sw, host, "{a} + {b}");
     }
+}
 
-    #[test]
-    fn mul32_matches_host(a in safe_f32(), b in safe_f32()) {
+#[test]
+fn mul32_matches_host() {
+    let mut rng = Rng::new(0xf9a0_0005);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f32(&mut rng), safe_f32(&mut rng));
         let sw = (Sf32::from(a) * Sf32::from(b)).to_bits();
         let host = (a * b).to_bits();
-        prop_assert_eq!(sw, host, "{} * {}", a, b);
+        assert_eq!(sw, host, "{a} * {b}");
     }
+}
 
-    /// Arbitrary bit patterns (including NaNs, infs, subnormals): the
-    /// software result must equal FTZ(host(FTZ(a), FTZ(b))) whenever that
-    /// reference is well-defined (we skip cases where the host result is
-    /// subnormal-rounded at the normal boundary, where FTZ and gradual
-    /// underflow legitimately disagree), and NaNs must map to NaNs.
-    #[test]
-    fn add64_arbitrary_bits(abits in any::<u64>(), bbits in any::<u64>()) {
+/// Arbitrary bit patterns (including NaNs, infs, subnormals): the software
+/// result must equal FTZ(host(FTZ(a), FTZ(b))) whenever that reference is
+/// well-defined (we skip cases where the host result is subnormal-rounded
+/// at the normal boundary, where FTZ and gradual underflow legitimately
+/// disagree), and NaNs must map to NaNs.
+#[test]
+fn add64_arbitrary_bits() {
+    let mut rng = Rng::new(0xf9a0_0006);
+    for _ in 0..CASES {
+        let (abits, bbits) = (rng.next_u64(), rng.next_u64());
         let (a, b) = (f64::from_bits(abits), f64::from_bits(bbits));
         let sw = f64::from_bits((Sf64::from(a) + Sf64::from(b)).to_bits());
         let host = ftz64(ftz64(a) + ftz64(b));
         if host.is_nan() {
-            prop_assert!(sw.is_nan());
+            assert!(sw.is_nan());
         } else if host == 0.0 || host.abs() >= f64::MIN_POSITIVE * 2.0 {
             // Away from the FTZ boundary the reference is exact...
             if ftz64(a) + ftz64(b) == host {
                 // ...but only when the host itself did not round a subnormal.
-                prop_assert_eq!(sw.to_bits(), host.to_bits(), "{} + {}", a, b);
+                assert_eq!(sw.to_bits(), host.to_bits(), "{a} + {b}");
             }
         }
     }
+}
 
-    #[test]
-    fn mul64_arbitrary_bits(abits in any::<u64>(), bbits in any::<u64>()) {
+#[test]
+fn mul64_arbitrary_bits() {
+    let mut rng = Rng::new(0xf9a0_0007);
+    for _ in 0..CASES {
+        let (abits, bbits) = (rng.next_u64(), rng.next_u64());
         let (a, b) = (f64::from_bits(abits), f64::from_bits(bbits));
         let sw = f64::from_bits((Sf64::from(a) * Sf64::from(b)).to_bits());
         let host = ftz64(ftz64(a) * ftz64(b));
         if host.is_nan() {
-            prop_assert!(sw.is_nan());
-        } else if host == 0.0 || host.abs() >= f64::MIN_POSITIVE * 2.0 {
-            if ftz64(a) * ftz64(b) == host {
-                prop_assert_eq!(sw.to_bits(), host.to_bits(), "{} * {}", a, b);
-            }
+            assert!(sw.is_nan());
+        } else if (host == 0.0 || host.abs() >= f64::MIN_POSITIVE * 2.0)
+            && ftz64(a) * ftz64(b) == host
+        {
+            assert_eq!(sw.to_bits(), host.to_bits(), "{a} * {b}");
         }
     }
+}
 
-    #[test]
-    fn mul32_arbitrary_bits(abits in any::<u32>(), bbits in any::<u32>()) {
+#[test]
+fn mul32_arbitrary_bits() {
+    let mut rng = Rng::new(0xf9a0_0008);
+    for _ in 0..CASES {
+        let (abits, bbits) = (rng.next_u32(), rng.next_u32());
         let (a, b) = (f32::from_bits(abits), f32::from_bits(bbits));
         let sw = f32::from_bits((Sf32::from(a) * Sf32::from(b)).to_bits());
         let host = ftz32(ftz32(a) * ftz32(b));
         if host.is_nan() {
-            prop_assert!(sw.is_nan());
-        } else if host == 0.0 || host.abs() >= f32::MIN_POSITIVE * 2.0 {
-            if ftz32(a) * ftz32(b) == host {
-                prop_assert_eq!(sw.to_bits(), host.to_bits(), "{} * {}", a, b);
-            }
+            assert!(sw.is_nan());
+        } else if (host == 0.0 || host.abs() >= f32::MIN_POSITIVE * 2.0)
+            && ftz32(a) * ftz32(b) == host
+        {
+            assert_eq!(sw.to_bits(), host.to_bits(), "{a} * {b}");
         }
     }
+}
 
-    #[test]
-    fn compare_matches_host_partial_cmp(abits in any::<u64>(), bbits in any::<u64>()) {
-        let (a, b) = (f64::from_bits(abits), f64::from_bits(bbits));
+#[test]
+fn compare_matches_host_partial_cmp() {
+    let mut rng = Rng::new(0xf9a0_0009);
+    for _ in 0..CASES {
+        let (a, b) = (f64::from_bits(rng.next_u64()), f64::from_bits(rng.next_u64()));
         // FTZ first: −min_subnormal and +min_subnormal compare equal here.
         let (fa, fb) = (ftz64(a), ftz64(b));
         let sw = Sf64::from(a).compare(Sf64::from(b));
-        prop_assert_eq!(sw, fa.partial_cmp(&fb), "{} vs {}", a, b);
+        assert_eq!(sw, fa.partial_cmp(&fb), "{a} vs {b}");
     }
+}
 
-    #[test]
-    fn addition_commutes(a in safe_f64(), b in safe_f64()) {
+#[test]
+fn addition_commutes() {
+    let mut rng = Rng::new(0xf9a0_000a);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f64(&mut rng), safe_f64(&mut rng));
         let ab = Sf64::from(a) + Sf64::from(b);
         let ba = Sf64::from(b) + Sf64::from(a);
-        prop_assert_eq!(ab.to_bits(), ba.to_bits());
+        assert_eq!(ab.to_bits(), ba.to_bits());
     }
+}
 
-    #[test]
-    fn multiplication_commutes(a in safe_f64(), b in safe_f64()) {
+#[test]
+fn multiplication_commutes() {
+    let mut rng = Rng::new(0xf9a0_000b);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f64(&mut rng), safe_f64(&mut rng));
         let ab = Sf64::from(a) * Sf64::from(b);
         let ba = Sf64::from(b) * Sf64::from(a);
-        prop_assert_eq!(ab.to_bits(), ba.to_bits());
+        assert_eq!(ab.to_bits(), ba.to_bits());
     }
+}
 
-    #[test]
-    fn negation_is_exact(a in safe_f64(), b in safe_f64()) {
+#[test]
+fn negation_is_exact() {
+    let mut rng = Rng::new(0xf9a0_000c);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f64(&mut rng), safe_f64(&mut rng));
         // a − b == −(b − a) in RNE (sign-symmetric rounding).
         let x = Sf64::from(a) - Sf64::from(b);
         let y = -(Sf64::from(b) - Sf64::from(a));
-        prop_assert_eq!(x.to_bits(), y.to_bits());
+        assert_eq!(x.to_bits(), y.to_bits());
     }
+}
 
-    #[test]
-    fn narrow_matches_host(a in safe_f64()) {
+#[test]
+fn narrow_matches_host() {
+    let mut rng = Rng::new(0xf9a0_000d);
+    for _ in 0..CASES {
+        let a = safe_f64(&mut rng);
         let sw = Sf64::from(a).to_sf32().to_bits();
         let host = ftz32(a as f32).to_bits();
-        prop_assert_eq!(sw, host, "{}", a);
+        assert_eq!(sw, host, "{a}");
     }
+}
 
-    #[test]
-    fn widen_matches_host(a in safe_f32()) {
+#[test]
+fn widen_matches_host() {
+    let mut rng = Rng::new(0xf9a0_000e);
+    for _ in 0..CASES {
+        let a = safe_f32(&mut rng);
         let sw = Sf32::from(a).to_sf64().to_bits();
         let host = (a as f64).to_bits();
-        prop_assert_eq!(sw, host, "{}", a);
+        assert_eq!(sw, host, "{a}");
     }
+}
 
-    #[test]
-    fn int_roundtrip(v in any::<i64>()) {
+#[test]
+fn int_roundtrip() {
+    let mut rng = Rng::new(0xf9a0_000f);
+    for _ in 0..CASES {
+        let v = rng.next_u64() as i64;
         let f = Sf64::from_i64(v);
-        prop_assert_eq!(f.to_host().to_bits(), (v as f64).to_bits());
+        assert_eq!(f.to_host().to_bits(), (v as f64).to_bits());
         // Values representable exactly round-trip.
         if v.abs() < (1 << 53) {
-            prop_assert_eq!(f.to_i64(), v);
+            assert_eq!(f.to_i64(), v);
         }
     }
+}
 
-    #[test]
-    fn truncation_matches_host(a in safe_f64()) {
+#[test]
+fn truncation_matches_host() {
+    let mut rng = Rng::new(0xf9a0_0010);
+    for _ in 0..CASES {
+        let a = safe_f64(&mut rng);
         let clamped = a.clamp(-1e18, 1e18);
-        prop_assert_eq!(Sf64::from(clamped).to_i64(), clamped.trunc() as i64);
+        assert_eq!(Sf64::from(clamped).to_i64(), clamped.trunc() as i64);
     }
+}
 
-    #[test]
-    fn recip_within_1ulp(a in safe_f64()) {
+#[test]
+fn recip_within_1ulp() {
+    let mut rng = Rng::new(0xf9a0_0011);
+    for _ in 0..CASES {
+        let a = safe_f64(&mut rng);
         let r = softdiv::recip(Sf64::from(a)).to_host();
         let want = 1.0 / a;
         if want.is_finite() && want.abs() >= f64::MIN_POSITIVE {
             let ud = (r.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
-            prop_assert!(ud <= 1, "recip({}) = {}, want {} ({} ulp)", a, r, want, ud);
+            assert!(ud <= 1, "recip({a}) = {r}, want {want} ({ud} ulp)");
         }
     }
+}
 
-    #[test]
-    fn div_within_1ulp(a in safe_f64(), b in safe_f64()) {
+#[test]
+fn div_within_1ulp() {
+    let mut rng = Rng::new(0xf9a0_0012);
+    for _ in 0..CASES {
+        let (a, b) = (safe_f64(&mut rng), safe_f64(&mut rng));
         let q = softdiv::div(Sf64::from(a), Sf64::from(b)).to_host();
         let want = a / b;
         if want.is_finite() && want.abs() >= f64::MIN_POSITIVE {
             let ud = (q.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
-            prop_assert!(ud <= 1, "{}/{} = {}, want {} ({} ulp)", a, b, q, want, ud);
+            assert!(ud <= 1, "{a}/{b} = {q}, want {want} ({ud} ulp)");
         }
     }
+}
 
-    #[test]
-    fn sqrt_within_2ulp(a in safe_f64()) {
-        let x = a.abs();
+#[test]
+fn sqrt_within_2ulp() {
+    let mut rng = Rng::new(0xf9a0_0013);
+    for _ in 0..CASES {
+        let x = safe_f64(&mut rng).abs();
         let s = softdiv::sqrt(Sf64::from(x)).to_host();
         let want = x.sqrt();
         let ud = (s.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
-        prop_assert!(ud <= 2, "sqrt({}) = {}, want {} ({} ulp)", x, s, want, ud);
+        assert!(ud <= 2, "sqrt({x}) = {s}, want {want} ({ud} ulp)");
     }
+}
 
-    #[test]
-    fn raw_add_never_panics(abits in any::<u64>(), bbits in any::<u64>()) {
+#[test]
+fn raw_add_never_panics() {
+    let mut rng = Rng::new(0xf9a0_0014);
+    for _ in 0..CASES {
+        let (abits, bbits) = (rng.next_u64(), rng.next_u64());
         let _ = soft::add::<B64>(abits, bbits);
         let _ = soft::mul::<B64>(abits, bbits);
         let _ = soft::add::<B32>(abits & 0xffff_ffff, bbits & 0xffff_ffff);

@@ -37,27 +37,36 @@ impl Cpx {
         Cpx { re: Sf64::from(re), im: Sf64::from(im) }
     }
 
+    /// Host-side view.
+    pub fn to_host(self) -> (f64, f64) {
+        (self.re.to_host(), self.im.to_host())
+    }
+}
+
+impl std::ops::Add for Cpx {
+    type Output = Cpx;
     /// Complex addition (2 flops).
-    pub fn add(self, o: Cpx) -> Cpx {
+    fn add(self, o: Cpx) -> Cpx {
         Cpx { re: self.re + o.re, im: self.im + o.im }
     }
+}
 
+impl std::ops::Sub for Cpx {
+    type Output = Cpx;
     /// Complex subtraction (2 flops).
-    pub fn sub(self, o: Cpx) -> Cpx {
+    fn sub(self, o: Cpx) -> Cpx {
         Cpx { re: self.re - o.re, im: self.im - o.im }
     }
+}
 
+impl std::ops::Mul for Cpx {
+    type Output = Cpx;
     /// Complex multiplication (6 flops).
-    pub fn mul(self, o: Cpx) -> Cpx {
+    fn mul(self, o: Cpx) -> Cpx {
         Cpx {
             re: self.re * o.re - self.im * o.im,
             im: self.re * o.im + self.im * o.re,
         }
-    }
-
-    /// Host-side view.
-    pub fn to_host(self) -> (f64, f64) {
-        (self.re.to_host(), self.im.to_host())
     }
 }
 
@@ -119,11 +128,11 @@ pub async fn fft_node(ctx: NodeCtx, cube: Hypercube, total: usize, mut local: Ve
         for j in 0..nl {
             let (a, b) = if low_side { (local[j], theirs[j]) } else { (theirs[j], local[j]) };
             if low_side {
-                local[j] = a.add(b);
+                local[j] = a + b;
             } else {
                 // Twiddle index: the low global index mod span.
                 let g_low = (me & !(span / nl)) * nl + j;
-                local[j] = a.sub(b).mul(twiddle(g_low % span, span));
+                local[j] = (a - b) * twiddle(g_low % span, span);
             }
         }
         ctx.charge_vec_flops(FLOPS_PER_BUTTERFLY * nl as u64).await;
@@ -138,8 +147,8 @@ pub async fn fft_node(ctx: NodeCtx, cube: Hypercube, total: usize, mut local: Ve
                 let i = start + off;
                 let j = i + span;
                 let (a, b) = (local[i], local[j]);
-                local[i] = a.add(b);
-                local[j] = a.sub(b).mul(twiddle((base + i) % span.max(1), span));
+                local[i] = a + b;
+                local[j] = (a - b) * twiddle((base + i) % span.max(1), span);
             }
             start += 2 * span;
         }

@@ -133,8 +133,8 @@ pub async fn lu_node(ctx: NodeCtx, cube: Hypercube, n: usize) -> Vec<usize> {
         {
             let mut mem = ctx.mem_mut();
             let base = layout.pivot_row * ROW_WORDS;
-            for j in 0..n {
-                let v = if j > k { pivot_f[j] } else { Sf64::ZERO };
+            for (j, &pf) in pivot_f.iter().enumerate().take(n) {
+                let v = if j > k { pf } else { Sf64::ZERO };
                 mem.write_f64(base + 2 * j, v).unwrap();
             }
         }

@@ -110,9 +110,9 @@ pub fn distributed_matmul(
     seed: u64,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>, KernelStats) {
     let cube = machine.cube;
-    assert!(cube.dim() % 2 == 0, "Cannon needs a square torus (even cube dimension)");
+    assert!(cube.dim().is_multiple_of(2), "Cannon needs a square torus (even cube dimension)");
     let s = 1usize << (cube.dim() / 2);
-    assert!(n % s == 0, "matrix size must divide the torus side");
+    assert!(n.is_multiple_of(s), "matrix size must divide the torus side");
     let bsize = n / s;
 
     let mut st = seed;

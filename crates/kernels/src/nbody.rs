@@ -132,7 +132,7 @@ pub fn distributed_nbody(
 ) -> (Vec<Body>, Vec<(f64, f64)>, KernelStats) {
     let cube = machine.cube;
     let p = cube.nodes() as usize;
-    assert!(total % p == 0);
+    assert!(total.is_multiple_of(p));
     let nl = total / p;
     let mut st = seed;
     let bodies: Vec<Body> = (0..total)

@@ -97,7 +97,7 @@ pub fn distributed_sort(
 ) -> (Vec<f64>, KernelStats) {
     let cube = machine.cube;
     let p = cube.nodes() as usize;
-    assert!(total % p == 0);
+    assert!(total.is_multiple_of(p));
     let nl = total / p;
     let mut st = seed;
     let keys: Vec<f64> = (0..total).map(|_| rand_f64(&mut st) * 1e6).collect();

@@ -172,7 +172,7 @@ pub fn distributed_spmv(
 ) -> (Vec<f64>, Vec<f64>, KernelStats) {
     let cube = machine.cube;
     let p = cube.nodes() as usize;
-    assert!(a.n % p == 0);
+    assert!(a.n.is_multiple_of(p));
     let rows_per = a.n / p;
     let mut st = seed;
     let x: Vec<f64> = (0..a.n).map(|_| rand_f64(&mut st)).collect();

@@ -59,7 +59,7 @@ pub fn distributed_transpose(
 ) -> (Vec<f64>, Vec<f64>, KernelStats) {
     let cube = machine.cube;
     let p = cube.nodes() as usize;
-    assert!(n % p == 0);
+    assert!(n.is_multiple_of(p));
     let bsize = n / p;
     let mut st = seed;
     let a: Vec<f64> = (0..n * n).map(|_| rand_f64(&mut st)).collect();

@@ -1,15 +1,20 @@
 //! Property tests for the distributed kernels: verified numerics on random
-//! problem sizes, seeds and machine shapes.
+//! problem sizes, seeds and machine shapes. Seeded random cases via [`Rng`]
+//! (offline, reproducible).
 
-use proptest::prelude::*;
 use t_series_core::{Machine, MachineCfg};
 use ts_kernels::{fft, lu, matmul, sort, stencil};
+use ts_sim::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+const CASES: usize = 12;
 
-    #[test]
-    fn matmul_random(dim_half in 0u32..=2, blocks in 1usize..=3, seed in any::<u64>()) {
+#[test]
+fn matmul_random() {
+    let mut rng = Rng::new(0x4e10_0001);
+    for _ in 0..CASES {
+        let dim_half = rng.below(3) as u32;
+        let blocks = rng.range(1, 4);
+        let seed = rng.next_u64();
         let dim = dim_half * 2;
         let s = 1usize << dim_half;
         let n = s * blocks * 2;
@@ -17,13 +22,19 @@ proptest! {
         let (a, b, c, stats) = matmul::distributed_matmul(&mut m, n, seed);
         let want = matmul::reference_matmul(n, &a, &b);
         for (got, w) in c.iter().zip(&want) {
-            prop_assert!((got - w).abs() <= 1e-12 * w.abs().max(1.0));
+            assert!((got - w).abs() <= 1e-12 * w.abs().max(1.0));
         }
-        prop_assert_eq!(stats.flops, 2 * (n * n * n) as u64);
+        assert_eq!(stats.flops, 2 * (n * n * n) as u64);
     }
+}
 
-    #[test]
-    fn fft_random(dim in 0u32..=3, log_local in 1u32..=4, seed in any::<u64>()) {
+#[test]
+fn fft_random() {
+    let mut rng = Rng::new(0x4e10_0002);
+    for _ in 0..CASES {
+        let dim = rng.below(4) as u32;
+        let log_local = 1 + rng.below(4) as u32;
+        let seed = rng.next_u64();
         let total = 1usize << (dim + log_local);
         let mut st = seed;
         let input: Vec<(f64, f64)> = (0..total)
@@ -33,60 +44,85 @@ proptest! {
         let (got, _) = fft::distributed_fft(&mut m, &input);
         let want = fft::reference_dft(&input);
         for (&(gr, gi), &(wr, wi)) in got.iter().zip(&want) {
-            prop_assert!((gr - wr).abs() < 1e-9 * total as f64, "{} vs {}", gr, wr);
-            prop_assert!((gi - wi).abs() < 1e-9 * total as f64);
+            assert!((gr - wr).abs() < 1e-9 * total as f64, "{gr} vs {wr}");
+            assert!((gi - wi).abs() < 1e-9 * total as f64);
         }
     }
+}
 
-    #[test]
-    fn lu_random(dim in 0u32..=2, n_scale in 1usize..=3, seed in any::<u64>()) {
+#[test]
+fn lu_random() {
+    let mut rng = Rng::new(0x4e10_0003);
+    let mut cases = 0;
+    while cases < CASES {
+        let dim = rng.below(3) as u32;
+        let n_scale = rng.range(1, 4);
+        let seed = rng.next_u64();
         let n = 8 * n_scale * (1usize << dim).max(1);
-        prop_assume!(n <= 64);
+        if n > 64 {
+            continue;
+        }
+        cases += 1;
         let mut m = Machine::build(MachineCfg::cube(dim));
         let (a, perm, lumat, _) = lu::distributed_lu(&mut m, n, seed);
         let mut sorted = perm.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
         let err = lu::reconstruction_error(n, &a, &perm, &lumat);
-        prop_assert!(err < 1e-9, "reconstruction error {}", err);
+        assert!(err < 1e-9, "reconstruction error {err}");
     }
+}
 
-    #[test]
-    fn sort_random(dim in 0u32..=4, per_node in 1usize..=32, seed in any::<u64>()) {
+#[test]
+fn sort_random() {
+    let mut rng = Rng::new(0x4e10_0004);
+    for _ in 0..CASES {
+        let dim = rng.below(5) as u32;
+        let per_node = rng.range(1, 33);
+        let seed = rng.next_u64();
         let total = per_node << dim;
         let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
         let (got, _) = sort::distributed_sort(&mut m, total, seed);
-        prop_assert_eq!(got.len(), total);
+        assert_eq!(got.len(), total);
         for w in got.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
         // Same multiset as the input (regenerate it).
         let mut st = seed;
-        let mut want: Vec<f64> =
-            (0..total).map(|_| ts_kernels::rand_f64(&mut st) * 1e6).collect();
+        let mut want: Vec<f64> = (0..total).map(|_| ts_kernels::rand_f64(&mut st) * 1e6).collect();
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn jacobi_random(dim in 0u32..=4, g_pow in 1u32..=3, sweeps in 1usize..=6, seed in any::<u64>()) {
+#[test]
+fn jacobi_random() {
+    let mut rng = Rng::new(0x4e10_0005);
+    for _ in 0..CASES {
+        let dim = rng.below(5) as u32;
+        let g_pow = 1 + rng.below(3) as u32;
+        let sweeps = rng.range(1, 7);
+        let seed = rng.next_u64();
         let g = 1usize << g_pow;
         let half = dim / 2;
         let (sx, sy) = (1usize << half, 1usize << (dim - half));
         let mut st = seed;
-        let init: Vec<f64> =
-            (0..sx * g * sy * g).map(|_| ts_kernels::rand_f64(&mut st)).collect();
+        let init: Vec<f64> = (0..sx * g * sy * g).map(|_| ts_kernels::rand_f64(&mut st)).collect();
         let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
         let (got, _) = stencil::distributed_jacobi(&mut m, g, sweeps, &init);
         let want = stencil::reference_jacobi(sx * g, sy * g, sweeps, &init);
         for (&a, &b) in got.iter().zip(&want) {
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12);
         }
     }
+}
 
-    /// Determinism across kernels: identical stats on identical runs.
-    #[test]
-    fn kernel_runs_are_deterministic(seed in any::<u64>()) {
+/// Determinism across kernels: identical stats on identical runs.
+#[test]
+fn kernel_runs_are_deterministic() {
+    let mut rng = Rng::new(0x4e10_0006);
+    for _ in 0..4 {
+        let seed = rng.next_u64();
         let run = || {
             let mut m = Machine::build(MachineCfg::cube(2));
             let (_, _, c, stats) = matmul::distributed_matmul(&mut m, 8, seed);
@@ -94,8 +130,8 @@ proptest! {
         };
         let (c1, t1, b1) = run();
         let (c2, t2, b2) = run();
-        prop_assert_eq!(c1, c2);
-        prop_assert_eq!(t1, t2);
-        prop_assert_eq!(b1, b2);
+        assert_eq!(c1, c2);
+        assert_eq!(t1, t2);
+        assert_eq!(b1, b2);
     }
 }

@@ -27,7 +27,14 @@
 
 #![deny(missing_docs)]
 
-use ts_sim::{Dur, Metrics, OneShot, Rendezvous, Resource, SimHandle, Time};
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use ts_sim::{select2, Dur, Either, Metrics, OneShot, Rendezvous, Resource, SimHandle, Time};
 
 /// Line rate and framing of one serial link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +138,102 @@ impl Wire {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Failable state
+// ---------------------------------------------------------------------------
+
+/// Error returned by the failable sublink operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The physical link (or its partner node) is down: the operation was
+    /// refused or aborted without transferring any data.
+    Down,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Down => write!(f, "link down"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+struct StatusInner {
+    up: bool,
+    watchers: Vec<Waker>,
+}
+
+/// Shared health flag of one **physical link**. Both direction channels of a
+/// node pair — and every clone of them — hold the same status, so a single
+/// [`LinkStatus::set_down`] fails traffic in both directions at once.
+#[derive(Clone)]
+pub struct LinkStatus {
+    inner: Rc<RefCell<StatusInner>>,
+}
+
+impl Default for LinkStatus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinkStatus {
+    /// A fresh, healthy link.
+    pub fn new() -> LinkStatus {
+        LinkStatus { inner: Rc::new(RefCell::new(StatusInner { up: true, watchers: Vec::new() })) }
+    }
+
+    /// True while the link is alive.
+    pub fn is_up(&self) -> bool {
+        self.inner.borrow().up
+    }
+
+    /// Mark the link dead, waking every operation parked on it so it can
+    /// resolve to [`LinkError::Down`] instead of hanging forever.
+    pub fn set_down(&self) {
+        let watchers = {
+            let mut st = self.inner.borrow_mut();
+            st.up = false;
+            std::mem::take(&mut st.watchers)
+        };
+        for w in watchers {
+            w.wake();
+        }
+    }
+
+    /// Restore the link (a repaired machine reuses its fabric).
+    pub fn set_up(&self) {
+        self.inner.borrow_mut().up = true;
+    }
+
+    /// A future that resolves once the link goes down (immediately if it
+    /// already is). Race it against a channel operation with
+    /// [`ts_sim::select2`].
+    pub fn watch_down(&self) -> DownWatch {
+        DownWatch { status: self.clone() }
+    }
+}
+
+/// Future returned by [`LinkStatus::watch_down`].
+pub struct DownWatch {
+    status: LinkStatus,
+}
+
+impl Future for DownWatch {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.status.inner.borrow_mut();
+        if !st.up {
+            return Poll::Ready(());
+        }
+        st.watchers.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
 struct Packet {
     words: Vec<u32>,
     /// Completion instant, reported back to the sender by the receiver.
@@ -150,29 +253,65 @@ pub struct LinkChannel {
     tx_wire: Wire,
     rx_wire: Wire,
     metrics: Metrics,
+    status: LinkStatus,
 }
 
 impl LinkChannel {
     /// Create a sublink whose two ends share one `wire` (unit tests and
     /// simple point-to-point setups).
     pub fn new(wire: Wire) -> LinkChannel {
-        LinkChannel { rv: Rendezvous::new(), tx_wire: wire.clone(), rx_wire: wire, metrics: Metrics::new() }
+        LinkChannel {
+            rv: Rendezvous::new(),
+            tx_wire: wire.clone(),
+            rx_wire: wire,
+            metrics: Metrics::new(),
+            status: LinkStatus::new(),
+        }
     }
 
     /// Create a sublink between two distinct link engines: the sender's
     /// output wire and the receiver's input wire.
     pub fn new_pair(tx_wire: Wire, rx_wire: Wire) -> LinkChannel {
-        LinkChannel { rv: Rendezvous::new(), tx_wire, rx_wire, metrics: Metrics::new() }
+        LinkChannel {
+            rv: Rendezvous::new(),
+            tx_wire,
+            rx_wire,
+            metrics: Metrics::new(),
+            status: LinkStatus::new(),
+        }
     }
 
     /// Create a sublink with shared metrics (the node's counters).
     pub fn with_metrics(wire: Wire, metrics: Metrics) -> LinkChannel {
-        LinkChannel { rv: Rendezvous::new(), tx_wire: wire.clone(), rx_wire: wire, metrics }
+        LinkChannel {
+            rv: Rendezvous::new(),
+            tx_wire: wire.clone(),
+            rx_wire: wire,
+            metrics,
+            status: LinkStatus::new(),
+        }
     }
 
     /// Attach a metrics bundle after construction.
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// The shared health flag of the physical link under this sublink.
+    pub fn status(&self) -> &LinkStatus {
+        &self.status
+    }
+
+    /// Tie this sublink to an existing physical-link status. Call before the
+    /// channel is cloned out to its endpoints, e.g. so both direction
+    /// channels of one node-pair link share a single flag.
+    pub fn set_status(&mut self, status: LinkStatus) {
+        self.status = status;
+    }
+
+    /// True while the underlying physical link is alive.
+    pub fn is_up(&self) -> bool {
+        self.status.is_up()
     }
 
     /// The receiving-side wire this sublink is multiplexed onto.
@@ -217,6 +356,58 @@ impl LinkChannel {
         )
     }
 
+    /// Failable [`LinkChannel::send`]: identical timing on the success path,
+    /// but resolves to [`LinkError::Down`] — instead of blocking forever —
+    /// when the link is already dead or dies while the send is parked
+    /// waiting for its rendezvous partner. Once the receiver has committed,
+    /// the framed transfer is in flight and completes even if the link dies
+    /// underneath it.
+    pub async fn try_send(&self, h: &SimHandle, words: Vec<u32>) -> Result<(), LinkError> {
+        if !self.status.is_up() {
+            return Err(LinkError::Down);
+        }
+        let bytes = words.len() * 4;
+        // DMA engine setup on the sending side.
+        h.sleep(self.tx_wire.params.dma_startup).await;
+        if !self.status.is_up() {
+            return Err(LinkError::Down);
+        }
+        let done = OneShot::new();
+        let pkt = Packet { words, done: done.clone() };
+        match select2(self.rv.send(pkt), self.status.watch_down()).await {
+            Either::Left(()) => {
+                self.metrics.inc("link.msgs_sent");
+                self.metrics.add("link.bytes_sent", bytes as u64);
+                let end = done.recv().await;
+                h.sleep_until(end).await;
+                Ok(())
+            }
+            Either::Right(()) => Err(LinkError::Down),
+        }
+    }
+
+    /// Failable [`LinkChannel::recv`]: resolves to [`LinkError::Down`] when
+    /// the link is already dead or dies before any sender commits. A sender
+    /// that committed first still hands its message over (the transfer was
+    /// already in flight when the link died).
+    pub async fn try_recv(&self, h: &SimHandle) -> Result<Vec<u32>, LinkError> {
+        if !self.status.is_up() {
+            return Err(LinkError::Down);
+        }
+        match select2(self.rv.recv(), self.status.watch_down()).await {
+            Either::Left(pkt) => {
+                let bytes = pkt.words.len() * 4;
+                let (_start, end) = self.reserve_both(h.now(), bytes);
+                h.sleep_until(end).await;
+                self.metrics.inc("link.msgs_recv");
+                self.metrics.add("link.bytes_recv", bytes as u64);
+                pkt.done.send(end);
+                Ok(pkt.words)
+            }
+            Either::Right(()) => Err(LinkError::Down),
+        }
+    }
+
     /// True if a sender is currently blocked on this sublink (used by ALT).
     pub fn sender_waiting(&self) -> bool {
         self.rv.sender_waiting()
@@ -243,6 +434,34 @@ pub async fn alt_recv(h: &SimHandle, chans: &[&LinkChannel]) -> (usize, Vec<u32>
     ch.metrics.add("link.bytes_recv", bytes as u64);
     pkt.done.send(end);
     (idx, pkt.words)
+}
+
+/// Failable [`alt_recv`]: races the `ALT` against `watch` going down, so a
+/// daemon parked over its input channels can be torn down (node crash,
+/// shutdown) instead of hanging forever. Senders that commit first are
+/// still served.
+pub async fn alt_recv_or_down(
+    h: &SimHandle,
+    chans: &[&LinkChannel],
+    watch: &LinkStatus,
+) -> Result<(usize, Vec<u32>), LinkError> {
+    if !watch.is_up() {
+        return Err(LinkError::Down);
+    }
+    let rvs: Vec<&Rendezvous<Packet>> = chans.iter().map(|c| &c.rv).collect();
+    match select2(ts_sim::alt(&rvs), watch.watch_down()).await {
+        Either::Left((idx, pkt)) => {
+            let bytes = pkt.words.len() * 4;
+            let ch = chans[idx];
+            let (_start, end) = ch.reserve_both(h.now(), bytes);
+            h.sleep_until(end).await;
+            ch.metrics.inc("link.msgs_recv");
+            ch.metrics.add("link.bytes_recv", bytes as u64);
+            pkt.done.send(end);
+            Ok((idx, pkt.words))
+        }
+        Either::Right(()) => Err(LinkError::Down),
+    }
 }
 
 #[cfg(test)]
@@ -455,5 +674,104 @@ mod tests {
         // 5 µs startup + 32 bytes × 2 µs = 69 µs.
         assert_eq!(t.as_ns(), 69_000);
         assert_eq!(wire.busy_total(), Dur::us(64));
+    }
+
+    #[test]
+    fn send_on_downed_link_errors_without_hanging() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        ch.status().set_down();
+        let jh = sim.spawn(async move {
+            let r = ch.try_send(&h, vec![0; 2]).await;
+            (r, h.now())
+        });
+        assert!(sim.run().quiescent);
+        let (r, t) = jh.try_take().unwrap();
+        assert_eq!(r, Err(LinkError::Down));
+        // Refused before even charging DMA startup.
+        assert_eq!(t.as_ns(), 0);
+    }
+
+    #[test]
+    fn parked_send_aborts_when_link_dies() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let status = ch.status().clone();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(Dur::us(100)).await;
+            status.set_down();
+        });
+        // No receiver ever arrives: without the failable path this send
+        // would park forever.
+        let jh = sim.spawn(async move {
+            let r = ch.try_send(&h, vec![0; 2]).await;
+            (r, h.now())
+        });
+        let report = sim.run();
+        assert!(report.quiescent, "sim must quiesce, not strand the sender");
+        let (r, t) = jh.try_take().unwrap();
+        assert_eq!(r, Err(LinkError::Down));
+        assert_eq!(t.as_ns(), 100_000);
+    }
+
+    #[test]
+    fn parked_recv_aborts_when_link_dies() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let status = ch.status().clone();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(Dur::us(50)).await;
+            status.set_down();
+        });
+        let jh = sim.spawn(async move {
+            let r = ch.try_recv(&h).await;
+            (r.is_err(), h.now())
+        });
+        assert!(sim.run().quiescent);
+        let (errored, t) = jh.try_take().unwrap();
+        assert!(errored);
+        assert_eq!(t.as_ns(), 50_000);
+    }
+
+    #[test]
+    fn try_paths_keep_exact_timing_when_healthy() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        sim.spawn(async move {
+            tx.try_send(&h2, vec![0xff; 2]).await.unwrap();
+            // Same clock as the infallible path: 5 µs startup + 16 µs wire.
+            assert_eq!(h2.now().as_ns(), 21_000);
+        });
+        let jh = sim.spawn(async move {
+            let words = rx.try_recv(&h).await.unwrap();
+            (words.len(), h.now())
+        });
+        assert!(sim.run().quiescent);
+        let (n, t) = jh.try_take().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.as_ns(), 21_000);
+    }
+
+    #[test]
+    fn status_shared_across_clones_and_directions() {
+        let wa = Wire::new("a", LinkParams::default());
+        let wb = Wire::new("b", LinkParams::default());
+        let ab = LinkChannel::new_pair(wa.clone(), wb.clone());
+        let mut ba = LinkChannel::new_pair(wb, wa);
+        ba.set_status(ab.status().clone());
+        let ab2 = ab.clone();
+        ab.status().set_down();
+        assert!(!ab2.is_up());
+        assert!(!ba.is_up());
+        ab.status().set_up();
+        assert!(ba.is_up());
     }
 }

@@ -1,23 +1,29 @@
 //! Property tests for the link model: framing arithmetic, conservation of
-//! bytes, determinism of contention.
+//! bytes, determinism of contention. Seeded random cases via [`Rng`] so the
+//! suite runs offline and fails reproducibly.
 
-use proptest::prelude::*;
 use ts_link::{LinkChannel, LinkParams, Wire};
-use ts_sim::{Dur, Sim, Time};
+use ts_sim::{Dur, Rng, Sim, Time};
 
-proptest! {
-    /// Wire time is exactly linear in bytes; message time adds startup.
-    #[test]
-    fn framing_arithmetic(bytes in 0usize..100_000) {
+/// Wire time is exactly linear in bytes; message time adds startup.
+#[test]
+fn framing_arithmetic() {
+    let mut rng = Rng::new(0x11c0_0001);
+    for _ in 0..256 {
+        let bytes = rng.range(0, 100_000);
         let p = LinkParams::default();
-        prop_assert_eq!(p.wire_time(bytes), Dur::us(2) * bytes as u64);
-        prop_assert_eq!(p.message_time(bytes), Dur::us(5) + p.wire_time(bytes));
+        assert_eq!(p.wire_time(bytes), Dur::us(2) * bytes as u64);
+        assert_eq!(p.message_time(bytes), Dur::us(5) + p.wire_time(bytes));
     }
+}
 
-    /// Any mix of message sizes over one channel: total elapsed equals
-    /// sum(startup + wire time) when sender and receiver are dedicated.
-    #[test]
-    fn serial_stream_time_is_additive(sizes in prop::collection::vec(1usize..200, 1..15)) {
+/// Any mix of message sizes over one channel: total elapsed equals
+/// sum(startup + wire time) when sender and receiver are dedicated.
+#[test]
+fn serial_stream_time_is_additive() {
+    let mut rng = Rng::new(0x11c0_0002);
+    for _ in 0..24 {
+        let sizes: Vec<usize> = (0..rng.range(1, 15)).map(|_| rng.range(1, 200)).collect();
         let mut sim = Sim::new();
         let h = sim.handle();
         let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
@@ -35,15 +41,19 @@ proptest! {
                 rx.recv(&h).await;
             }
         });
-        prop_assert!(sim.run().quiescent);
+        assert!(sim.run().quiescent);
         let p = LinkParams::default();
         let want: Dur = sizes.iter().map(|&s| p.message_time(s * 4)).sum();
-        prop_assert_eq!(sim.now(), Time::ZERO + want);
+        assert_eq!(sim.now(), Time::ZERO + want);
     }
+}
 
-    /// Bytes are conserved and metrics agree with payload sizes.
-    #[test]
-    fn byte_conservation(sizes in prop::collection::vec(1usize..100, 1..10)) {
+/// Bytes are conserved and metrics agree with payload sizes.
+#[test]
+fn byte_conservation() {
+    let mut rng = Rng::new(0x11c0_0003);
+    for _ in 0..24 {
+        let sizes: Vec<usize> = (0..rng.range(1, 10)).map(|_| rng.range(1, 100)).collect();
         let mut sim = Sim::new();
         let h = sim.handle();
         let m = ts_sim::Metrics::new();
@@ -64,22 +74,24 @@ proptest! {
             }
             total
         });
-        prop_assert!(sim.run().quiescent);
+        assert!(sim.run().quiescent);
         let words: usize = sizes.iter().sum();
-        prop_assert_eq!(jh.try_take().unwrap(), words);
-        prop_assert_eq!(m.get("link.bytes_sent"), 4 * words as u64);
-        prop_assert_eq!(m.get("link.bytes_recv"), 4 * words as u64);
-        prop_assert_eq!(m.get("link.msgs_sent"), sizes.len() as u64);
+        assert_eq!(jh.try_take().unwrap(), words);
+        assert_eq!(m.get("link.bytes_sent"), 4 * words as u64);
+        assert_eq!(m.get("link.bytes_recv"), 4 * words as u64);
+        assert_eq!(m.get("link.msgs_sent"), sizes.len() as u64);
     }
+}
 
-    /// Two sublinks sharing a wire: the wire's busy time equals the total
-    /// payload wire time (work conservation under contention), and the
-    /// schedule is deterministic.
-    #[test]
-    fn contention_conserves_work(
-        a_sizes in prop::collection::vec(1usize..60, 1..8),
-        b_sizes in prop::collection::vec(1usize..60, 1..8),
-    ) {
+/// Two sublinks sharing a wire: the wire's busy time equals the total
+/// payload wire time (work conservation under contention), and the
+/// schedule is deterministic.
+#[test]
+fn contention_conserves_work() {
+    let mut rng = Rng::new(0x11c0_0004);
+    for _ in 0..16 {
+        let a_sizes: Vec<usize> = (0..rng.range(1, 8)).map(|_| rng.range(1, 60)).collect();
+        let b_sizes: Vec<usize> = (0..rng.range(1, 8)).map(|_| rng.range(1, 60)).collect();
         let run = || {
             let mut sim = Sim::new();
             let h = sim.handle();
@@ -106,10 +118,10 @@ proptest! {
         };
         let (q1, t1, busy1) = run();
         let (q2, t2, busy2) = run();
-        prop_assert!(q1 && q2);
-        prop_assert_eq!(t1, t2, "deterministic contention");
-        prop_assert_eq!(busy1, busy2);
+        assert!(q1 && q2);
+        assert_eq!(t1, t2, "deterministic contention");
+        assert_eq!(busy1, busy2);
         let total_words: usize = a_sizes.iter().chain(&b_sizes).sum();
-        prop_assert_eq!(busy1, Dur::us(2) * (4 * total_words) as u64);
+        assert_eq!(busy1, Dur::us(2) * (4 * total_words) as u64);
     }
 }

@@ -78,7 +78,7 @@ impl Default for MemCfg {
 impl MemCfg {
     /// A reduced geometry (same 1:3 bank split) for large-machine tests.
     pub fn small(rows: usize) -> MemCfg {
-        assert!(rows >= 4 && rows % 4 == 0, "need a multiple of 4 rows");
+        assert!(rows >= 4 && rows.is_multiple_of(4), "need a multiple of 4 rows");
         MemCfg { words_a: rows / 4 * ROW_WORDS, words_b: rows * 3 / 4 * ROW_WORDS }
     }
 
@@ -104,7 +104,7 @@ impl MemCfg {
 
     /// Validate the geometry (row-aligned banks).
     pub fn validate(&self) -> Result<(), String> {
-        if self.words_a % ROW_WORDS != 0 || self.words_b % ROW_WORDS != 0 {
+        if !self.words_a.is_multiple_of(ROW_WORDS) || !self.words_b.is_multiple_of(ROW_WORDS) {
             return Err("banks must be whole rows (1024-byte aligned)".into());
         }
         if self.words_a == 0 || self.words_b == 0 {
@@ -287,19 +287,52 @@ impl NodeMemory {
         Ok(())
     }
 
+    /// Recompute the stored parity of the word at `addr` from its data,
+    /// clearing any injected corruption (the scrubber's repair step after a
+    /// restore has rewritten the word).
+    pub fn scrub(&mut self, addr: usize) -> Result<(), MemError> {
+        self.check(addr)?;
+        self.parity[addr] = parity_nibble(self.data[addr]);
+        Ok(())
+    }
+
+    /// Scrub the whole memory — recompute every word's parity from its
+    /// data — and return how many words had mismatched parity. Run by the
+    /// recovery path so a restored machine starts with a clean store.
+    pub fn scrub_all(&mut self) -> usize {
+        let mut fixed = 0;
+        for (i, &w) in self.data.iter().enumerate() {
+            let want = parity_nibble(w);
+            if self.parity[i] != want {
+                self.parity[i] = want;
+                fixed += 1;
+            }
+        }
+        fixed
+    }
+
+    /// Count words whose stored parity disagrees with their data, without
+    /// repairing anything. The health monitor's patrol read: a non-zero
+    /// count means a latent fault is waiting to fail the next access.
+    pub fn parity_errors(&self) -> usize {
+        self.data
+            .iter()
+            .zip(&self.parity)
+            .filter(|(&w, &p)| p != parity_nibble(w))
+            .count()
+    }
+
     /// Copy the entire contents out (the system disk's snapshot image).
     pub fn snapshot(&self) -> Vec<u32> {
         self.data.clone()
     }
 
-    /// Restore contents from a snapshot image (recomputing parity, as the
-    /// restore path rewrites every word).
+    /// Restore contents from a snapshot image (recomputing parity via the
+    /// scrubber, as the restore path rewrites every word).
     pub fn restore(&mut self, image: &[u32]) {
         assert_eq!(image.len(), self.cfg.words(), "snapshot geometry mismatch");
         self.data.copy_from_slice(image);
-        for (i, &w) in image.iter().enumerate() {
-            self.parity[i] = parity_nibble(w);
-        }
+        self.scrub_all();
     }
 }
 

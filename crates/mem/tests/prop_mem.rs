@@ -1,15 +1,17 @@
 //! Property tests for the dual-ported memory: port consistency, parity,
-//! snapshot fidelity.
+//! snapshot fidelity. Seeded random cases via [`Rng`] (offline, reproducible).
 
-use proptest::prelude::*;
 use ts_mem::{MemCfg, NodeMemory, ROW_WORDS};
+use ts_sim::Rng;
 
-proptest! {
-    /// Writes through either port are visible through both.
-    #[test]
-    fn ports_share_storage(
-        writes in prop::collection::vec((0usize..16 * ROW_WORDS, any::<u32>()), 1..50)
-    ) {
+/// Writes through either port are visible through both.
+#[test]
+fn ports_share_storage() {
+    let mut rng = Rng::new(0x3e30_0001);
+    for _ in 0..48 {
+        let writes: Vec<(usize, u32)> = (0..rng.range(1, 50))
+            .map(|_| (rng.range(0, 16 * ROW_WORDS), rng.next_u32()))
+            .collect();
         let mut m = NodeMemory::new(MemCfg::small(16));
         let mut model = vec![0u32; 16 * ROW_WORDS];
         for &(addr, v) in &writes {
@@ -18,73 +20,90 @@ proptest! {
         }
         // Word port agrees with the model.
         for &(addr, _) in &writes {
-            prop_assert_eq!(m.read_word(addr).unwrap(), model[addr]);
+            assert_eq!(m.read_word(addr).unwrap(), model[addr]);
         }
         // Row port sees the same bytes.
         let mut row = [0u32; ROW_WORDS];
         for r in 0..16 {
             m.read_row(r, &mut row).unwrap();
-            prop_assert_eq!(&row[..], &model[r * ROW_WORDS..(r + 1) * ROW_WORDS]);
+            assert_eq!(&row[..], &model[r * ROW_WORDS..(r + 1) * ROW_WORDS]);
         }
     }
+}
 
-    /// A row write followed by word reads round-trips.
-    #[test]
-    fn row_write_word_read(r in 0usize..16, data in prop::collection::vec(any::<u32>(), ROW_WORDS)) {
+/// A row write followed by word reads round-trips.
+#[test]
+fn row_write_word_read() {
+    let mut rng = Rng::new(0x3e30_0002);
+    for _ in 0..64 {
+        let r = rng.range(0, 16);
+        let data: Vec<u32> = (0..ROW_WORDS).map(|_| rng.next_u32()).collect();
         let mut m = NodeMemory::new(MemCfg::small(16));
         let mut row = [0u32; ROW_WORDS];
         row.copy_from_slice(&data);
         m.write_row(r, &row).unwrap();
         for (i, &v) in data.iter().enumerate() {
-            prop_assert_eq!(m.read_word(r * ROW_WORDS + i).unwrap(), v);
+            assert_eq!(m.read_word(r * ROW_WORDS + i).unwrap(), v);
         }
     }
+}
 
-    /// Parity detects any single-bit flip and pinpoints the byte lane.
-    #[test]
-    fn parity_catches_any_single_bit_flip(
-        addr in 0usize..16 * ROW_WORDS,
-        value in any::<u32>(),
-        bit in 0u32..32,
-    ) {
+/// Parity detects any single-bit flip and pinpoints the byte lane.
+#[test]
+fn parity_catches_any_single_bit_flip() {
+    let mut rng = Rng::new(0x3e30_0003);
+    for _ in 0..256 {
+        let addr = rng.range(0, 16 * ROW_WORDS);
+        let value = rng.next_u32();
+        let bit = rng.below(32) as u32;
         let mut m = NodeMemory::new(MemCfg::small(16));
         m.write_word(addr, value).unwrap();
         m.inject_bit_flip(addr, bit).unwrap();
         match m.read_word(addr) {
             Err(ts_mem::MemError::Parity { addr: a, lane }) => {
-                prop_assert_eq!(a, addr);
-                prop_assert_eq!(lane as u32, bit / 8);
+                assert_eq!(a, addr);
+                assert_eq!(lane as u32, bit / 8);
             }
-            other => prop_assert!(false, "expected parity error, got {:?}", other),
+            other => panic!("expected parity error, got {other:?}"),
         }
         // Rewriting heals it.
         m.write_word(addr, value).unwrap();
-        prop_assert_eq!(m.read_word(addr).unwrap(), value);
+        assert_eq!(m.read_word(addr).unwrap(), value);
     }
+}
 
-    /// Two flips in the same byte evade parity (even parity limitation) —
-    /// pinned as documented behaviour of per-byte parity.
-    #[test]
-    fn double_flip_same_byte_escapes_parity(
-        addr in 0usize..8 * ROW_WORDS,
-        value in any::<u32>(),
-        lane in 0u32..4,
-        b1 in 0u32..8,
-        b2 in 0u32..8,
-    ) {
-        prop_assume!(b1 != b2);
+/// Two flips in the same byte evade parity (even parity limitation) —
+/// pinned as documented behaviour of per-byte parity.
+#[test]
+fn double_flip_same_byte_escapes_parity() {
+    let mut rng = Rng::new(0x3e30_0004);
+    let mut cases = 0;
+    while cases < 128 {
+        let addr = rng.range(0, 8 * ROW_WORDS);
+        let value = rng.next_u32();
+        let lane = rng.below(4) as u32;
+        let b1 = rng.below(8) as u32;
+        let b2 = rng.below(8) as u32;
+        if b1 == b2 {
+            continue;
+        }
+        cases += 1;
         let mut m = NodeMemory::new(MemCfg::small(8));
         m.write_word(addr, value).unwrap();
         m.inject_bit_flip(addr, lane * 8 + b1).unwrap();
         m.inject_bit_flip(addr, lane * 8 + b2).unwrap();
-        prop_assert!(m.read_word(addr).is_ok());
+        assert!(m.read_word(addr).is_ok());
     }
+}
 
-    /// Snapshot/restore is a faithful copy of all state.
-    #[test]
-    fn snapshot_restore_faithful(
-        writes in prop::collection::vec((0usize..8 * ROW_WORDS, any::<u32>()), 1..40)
-    ) {
+/// Snapshot/restore is a faithful copy of all state.
+#[test]
+fn snapshot_restore_faithful() {
+    let mut rng = Rng::new(0x3e30_0005);
+    for _ in 0..48 {
+        let writes: Vec<(usize, u32)> = (0..rng.range(1, 40))
+            .map(|_| (rng.range(0, 8 * ROW_WORDS), rng.next_u32()))
+            .collect();
         let mut m = NodeMemory::new(MemCfg::small(8));
         for &(a, v) in &writes {
             m.write_word(a, v).unwrap();
@@ -104,15 +123,20 @@ proptest! {
                     expected = vv;
                 }
             }
-            prop_assert_eq!(m.read_word(a).unwrap(), expected);
+            assert_eq!(m.read_word(a).unwrap(), expected);
         }
     }
+}
 
-    /// f64 storage round-trips bit-exactly, including NaN payloads.
-    #[test]
-    fn f64_roundtrip(addr in 0usize..(8 * ROW_WORDS - 2), bits in any::<u64>()) {
+/// f64 storage round-trips bit-exactly, including NaN payloads.
+#[test]
+fn f64_roundtrip() {
+    let mut rng = Rng::new(0x3e30_0006);
+    for _ in 0..256 {
+        let addr = rng.range(0, 8 * ROW_WORDS - 2);
+        let bits = rng.next_u64();
         let mut m = NodeMemory::new(MemCfg::small(8));
         m.write_u64(addr, bits).unwrap();
-        prop_assert_eq!(m.read_u64(addr).unwrap(), bits);
+        assert_eq!(m.read_u64(addr).unwrap(), bits);
     }
 }

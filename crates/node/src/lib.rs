@@ -41,7 +41,7 @@ use std::rc::Rc;
 
 use ts_cp::{Cp, CpBus, CpError, CpEvent, StepOutcome};
 use ts_fpu::Sf64;
-use ts_link::LinkChannel;
+use ts_link::{LinkChannel, LinkError};
 use ts_mem::{MemCfg, MemError, NodeMemory, GATHER64_TIME, ROW_TIME, ROW_WORDS, WORD_TIME};
 use ts_sim::{Dur, Metrics, Resource, SimHandle};
 use ts_vec::{VecForm, VecResult, VecUnit};
@@ -63,7 +63,7 @@ pub enum CombineOp {
 }
 
 /// Static configuration of one node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct NodeCfg {
     /// Memory geometry (1 MB in the paper's machine).
     pub mem: MemCfg,
@@ -71,16 +71,6 @@ pub struct NodeCfg {
     pub link: ts_link::LinkParams,
     /// Force the single-bank ablation (experiment E9).
     pub single_bank: bool,
-}
-
-impl Default for NodeCfg {
-    fn default() -> Self {
-        NodeCfg {
-            mem: MemCfg::default(),
-            link: ts_link::LinkParams::default(),
-            single_bank: false,
-        }
-    }
 }
 
 struct NodeState {
@@ -92,6 +82,11 @@ struct NodeState {
     /// System-thread channels (to the module's system board).
     sys_out: Option<LinkChannel>,
     sys_in: Option<LinkChannel>,
+    /// Health flag, "up" while the node is alive. Set down by a fault plan
+    /// (node crash); watchable, so daemons parked on the node's channels
+    /// can be torn down. Every link of a crashed node is also marked down
+    /// so partners fail fast.
+    health: ts_link::LinkStatus,
 }
 
 /// One processor node: shared handle used by the machine builder.
@@ -125,6 +120,7 @@ impl Node {
                 in_dims: Vec::new(),
                 sys_out: None,
                 sys_in: None,
+                health: ts_link::LinkStatus::new(),
             })),
             cp_res: Resource::new("cp"),
             vec_res: Resource::new("vec"),
@@ -155,6 +151,57 @@ impl Node {
         let mut st = self.state.borrow_mut();
         st.sys_out = Some(out);
         st.sys_in = Some(inp);
+    }
+
+    /// Kill the physical link on dimension `dim`: both direction channels
+    /// are marked down, so failable traffic on either end errors instead of
+    /// hanging.
+    pub fn set_link_down(&self, dim: usize) {
+        let st = self.state.borrow();
+        if let Some(out) = st.out_dims.get(dim) {
+            out.status().set_down();
+        }
+        if let Some(inp) = st.in_dims.get(dim) {
+            inp.status().set_down();
+        }
+    }
+
+    /// True while the physical link on `dim` is alive (an unwired dimension
+    /// counts as down).
+    pub fn link_up(&self, dim: usize) -> bool {
+        let st = self.state.borrow();
+        match (st.out_dims.get(dim), st.in_dims.get(dim)) {
+            (Some(out), Some(inp)) => out.is_up() && inp.is_up(),
+            _ => false,
+        }
+    }
+
+    /// Crash the node: marks the control processor dead and downs every
+    /// wired link (cube dimensions and the system thread) so partners fail
+    /// fast instead of waiting on a rendezvous that will never come.
+    pub fn crash(&self) {
+        let st = self.state.borrow();
+        st.health.set_down();
+        for ch in st.out_dims.iter().chain(st.in_dims.iter()) {
+            ch.status().set_down();
+        }
+        if let Some(ch) = &st.sys_out {
+            ch.status().set_down();
+        }
+        if let Some(ch) = &st.sys_in {
+            ch.status().set_down();
+        }
+    }
+
+    /// True once the node has been crashed by a fault plan.
+    pub fn is_crashed(&self) -> bool {
+        !self.state.borrow().health.is_up()
+    }
+
+    /// The node's watchable health flag ("up" while alive). Daemons race
+    /// their channel waits against this so a crash tears them down.
+    pub fn health(&self) -> ts_link::LinkStatus {
+        self.state.borrow().health.clone()
     }
 
     /// The program-facing context.
@@ -598,6 +645,42 @@ impl NodeCtx {
         let w = ch.recv(&self.node.h).await;
         self.node.metrics.add("link.words_recv", w.len() as u64);
         w
+    }
+
+    /// Failable [`NodeCtx::send_dim`]: returns [`LinkError::Down`] instead
+    /// of hanging when the link across `dim` is (or goes) dead.
+    pub async fn try_send_dim(&self, dim: usize, words: Vec<u32>) -> Result<(), LinkError> {
+        let ch = self.out_chan(dim);
+        let n = words.len() as u64;
+        let r = ch.try_send(&self.node.h, words).await;
+        if r.is_ok() {
+            self.node.metrics.add("link.words_sent", n);
+        }
+        r
+    }
+
+    /// Failable [`NodeCtx::recv_dim`]: returns [`LinkError::Down`] instead
+    /// of hanging when the link across `dim` is (or goes) dead.
+    pub async fn try_recv_dim(&self, dim: usize) -> Result<Vec<u32>, LinkError> {
+        let ch = self.in_chan(dim);
+        let w = ch.try_recv(&self.node.h).await?;
+        self.node.metrics.add("link.words_recv", w.len() as u64);
+        Ok(w)
+    }
+
+    /// True while the physical link across `dim` is alive.
+    pub fn link_up(&self, dim: usize) -> bool {
+        self.node.link_up(dim)
+    }
+
+    /// True once this node has been crashed by a fault plan.
+    pub fn is_crashed(&self) -> bool {
+        self.node.is_crashed()
+    }
+
+    /// The node's watchable health flag ("up" while alive).
+    pub fn health(&self) -> ts_link::LinkStatus {
+        self.node.health()
     }
 
     /// `ALT` over several incoming dimensions: first sender wins.

@@ -1,10 +1,10 @@
 //! Property tests for the node layer: data integrity of gather/scatter,
 //! timing additivity, and determinism of random operation sequences.
+//! Seeded random cases via [`Rng`] (offline, reproducible).
 
-use proptest::prelude::*;
 use ts_fpu::Sf64;
 use ts_node::{Node, NodeCfg};
-use ts_sim::Sim;
+use ts_sim::{Rng, Sim};
 use ts_vec::VecForm;
 
 fn small_node(sim: &Sim) -> Node {
@@ -12,22 +12,20 @@ fn small_node(sim: &Sim) -> Node {
     Node::new(0, cfg, sim.handle())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// gather64 then scatter64 back to the original addresses restores
-    /// every element (addresses distinct by construction).
-    #[test]
-    fn gather_scatter_roundtrip(perm_seed in any::<u64>(), n in 1usize..60) {
+/// gather64 then scatter64 back to the original addresses restores every
+/// element (addresses distinct by construction).
+#[test]
+fn gather_scatter_roundtrip() {
+    let mut rng = Rng::new(0x40de_0001);
+    for _ in 0..32 {
+        let n = rng.range(1, 60);
         let mut sim = Sim::new();
         let node = small_node(&sim);
         // Distinct source addresses: even stride from 2048, shuffled.
         let mut addrs: Vec<usize> = (0..n).map(|i| 2048 + 4 * i).collect();
-        let mut s = perm_seed;
         for i in (1..addrs.len()).rev() {
-            let mut z = s;
-            z ^= z >> 12; z ^= z << 25; z ^= z >> 27; s = z;
-            addrs.swap(i, (z as usize) % (i + 1));
+            let j = rng.range(0, i + 1);
+            addrs.swap(i, j);
         }
         {
             let mut mem = node.mem_mut();
@@ -48,16 +46,21 @@ proptest! {
             }
             ctx.scatter64(1024, &addrs2).await.unwrap();
         });
-        prop_assert!(sim.run().quiescent);
+        assert!(sim.run().quiescent);
         let mem = node.mem();
         for (k, &a) in addrs.iter().enumerate() {
-            prop_assert_eq!(mem.read_f64(a).unwrap().to_host(), k as f64 + 0.5);
+            assert_eq!(mem.read_f64(a).unwrap().to_host(), k as f64 + 0.5);
         }
     }
+}
 
-    /// Sequential ops cost the sum of their individual times.
-    #[test]
-    fn sequential_timing_is_additive(n1 in 1usize..200, n2 in 1usize..200) {
+/// Sequential ops cost the sum of their individual times.
+#[test]
+fn sequential_timing_is_additive() {
+    let mut rng = Rng::new(0x40de_0002);
+    for _ in 0..24 {
+        let n1 = rng.range(1, 200);
+        let n2 = rng.range(1, 200);
         let time_of = |ns: &[usize]| {
             let mut sim = Sim::new();
             let node = small_node(&sim);
@@ -74,12 +77,16 @@ proptest! {
         let t1 = time_of(&[n1]);
         let t2 = time_of(&[n2]);
         let t12 = time_of(&[n1, n2]);
-        prop_assert_eq!(t12, t1 + t2);
+        assert_eq!(t12, t1 + t2);
     }
+}
 
-    /// Random interleavings of vec/gather/cp ops are deterministic.
-    #[test]
-    fn random_programs_are_deterministic(ops in prop::collection::vec(0usize..4, 1..20)) {
+/// Random interleavings of vec/gather/cp ops are deterministic.
+#[test]
+fn random_programs_are_deterministic() {
+    let mut rng = Rng::new(0x40de_0003);
+    for _ in 0..24 {
+        let ops: Vec<usize> = (0..rng.range(1, 20)).map(|_| rng.range(0, 4)).collect();
         let run = |ops: &[usize]| {
             let mut sim = Sim::new();
             let node = small_node(&sim);
@@ -93,9 +100,7 @@ proptest! {
                             ctx.vec(VecForm::VMul, 0, 4, 5, 64).await.unwrap();
                         }
                         1 => {
-                            pending.push(
-                                ctx.vec_async(VecForm::VAdd, 1, 5, 6, 128).unwrap(),
-                            );
+                            pending.push(ctx.vec_async(VecForm::VAdd, 1, 5, 6, 128).unwrap());
                         }
                         2 => {
                             let srcs: Vec<usize> = (0..16).map(|i| 2048 + 4 * i).collect();
@@ -111,15 +116,23 @@ proptest! {
             assert!(sim.run().quiescent);
             (sim.now(), node.metrics().get("vec.flops"), node.metrics().get_time("cp.busy"))
         };
-        prop_assert_eq!(run(&ops), run(&ops));
+        assert_eq!(run(&ops), run(&ops));
     }
+}
 
-    /// Message payloads cross links bit-exactly, any size, any values.
-    #[test]
-    fn link_payload_integrity(vals in prop::collection::vec(any::<u64>(), 1..100)) {
+/// Message payloads cross links bit-exactly, any size, any values.
+#[test]
+fn link_payload_integrity() {
+    let mut rng = Rng::new(0x40de_0004);
+    for _ in 0..24 {
+        let vals: Vec<u64> = (0..rng.range(1, 100)).map(|_| rng.next_u64()).collect();
         let mut sim = Sim::new();
         let a = small_node(&sim);
-        let b = Node::new(1, NodeCfg { mem: ts_mem::MemCfg::small(16), ..NodeCfg::default() }, sim.handle());
+        let b = Node::new(
+            1,
+            NodeCfg { mem: ts_mem::MemCfg::small(16), ..NodeCfg::default() },
+            sim.handle(),
+        );
         let w1 = ts_link::Wire::new("ab", ts_link::LinkParams::default());
         let w2 = ts_link::Wire::new("ba", ts_link::LinkParams::default());
         let ab = ts_link::LinkChannel::new(w1);
@@ -131,11 +144,11 @@ proptest! {
         let sent2 = sent.clone();
         sim.spawn(async move { ca.send_f64s(0, &sent2).await });
         let jh = sim.spawn(async move { cb.recv_f64s(0).await });
-        prop_assert!(sim.run().quiescent);
+        assert!(sim.run().quiescent);
         let got = jh.try_take().unwrap();
-        prop_assert_eq!(got.len(), sent.len());
+        assert_eq!(got.len(), sent.len());
         for (g, s) in got.iter().zip(&sent) {
-            prop_assert_eq!(g.to_bits(), s.to_bits());
+            assert_eq!(g.to_bits(), s.to_bits());
         }
     }
 }

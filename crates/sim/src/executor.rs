@@ -254,8 +254,15 @@ impl Sim {
 impl Drop for Sim {
     fn drop(&mut self) {
         // Tasks may capture SimHandle (an Rc to Inner); clearing them breaks
-        // the reference cycle so deadlocked simulations do not leak.
-        self.inner.borrow_mut().tasks.clear();
+        // the reference cycle so deadlocked simulations do not leak. Move
+        // them out before dropping: task destructors (e.g. a pending
+        // `Sleep` cancelling its timer) re-borrow `inner`, which would
+        // panic if the borrow were still held across the drop.
+        let tasks = {
+            let mut inner = self.inner.borrow_mut();
+            std::mem::take(&mut inner.tasks)
+        };
+        drop(tasks);
     }
 }
 

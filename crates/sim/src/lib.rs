@@ -47,6 +47,7 @@ pub mod channel;
 pub mod executor;
 pub mod metrics;
 pub mod resource;
+pub mod rng;
 pub mod time;
 pub mod trace;
 
@@ -54,5 +55,6 @@ pub use channel::{alt, select2, Either, Mailbox, OneShot, Rendezvous};
 pub use executor::{JoinHandle, RunReport, Sim, SimHandle};
 pub use metrics::Metrics;
 pub use resource::Resource;
+pub use rng::Rng;
 pub use time::{Dur, Time};
 pub use trace::{Span, Tracer};

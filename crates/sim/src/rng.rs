@@ -1,0 +1,136 @@
+//! Tiny deterministic PRNG for tests, fault schedules and Monte-Carlo models.
+//!
+//! The workspace builds offline, so instead of pulling in `rand` every crate
+//! that needs reproducible pseudo-randomness uses this ~40-line xorshift64*
+//! generator. Quality is far beyond what the simulator needs (it passes the
+//! usual quick equidistribution smoke tests) and, critically, the stream is
+//! **stable across platforms and releases**: a seed stored in a test or a
+//! fault plan reproduces the exact same scenario forever.
+
+/// Xorshift64* generator with splitmix64 seeding.
+///
+/// Deterministic, `Copy`-cheap, and never dependent on global state: two
+/// generators built from the same seed produce identical streams.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Build a generator from a seed. Any seed is fine — the splitmix64
+    /// scrambler maps even "weak" seeds (0, 1, 2, ...) to well-mixed states.
+    pub fn new(seed: u64) -> Rng {
+        // splitmix64 step: guarantees a non-zero, well-distributed state.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Rng { state: z | 1 }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Next 32-bit value (upper half of the 64-bit output, which has the
+    /// better statistical properties in xorshift64*).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift range reduction; bias is < 2^-64 per draw, well
+        // under anything the simulator's statistics could observe.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Exponentially distributed sample with the given mean (inverse-CDF
+    /// method). Used by failure models: inter-arrival times of faults with
+    /// mean-time-between-failures `mean`.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Clamp away from 0 so ln() stays finite.
+        let u = self.f64().max(f64::EPSILON);
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = Rng::new(0);
+        let mut b = Rng::new(1);
+        let same = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Rng::new(7);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            let v = r.below(8);
+            assert!(v < 8);
+            buckets[v as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from 1000");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut r = Rng::new(123);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = Rng::new(99);
+        let mean = 250.0;
+        let sum: f64 = (0..20_000).map(|_| r.exp(mean)).sum();
+        let got = sum / 20_000.0;
+        assert!((got - mean).abs() < mean * 0.05, "exp mean {got} vs {mean}");
+    }
+}

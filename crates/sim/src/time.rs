@@ -134,6 +134,12 @@ impl Dur {
         self.0 == 0
     }
 
+    /// `self - other`, clamping at zero instead of panicking.
+    #[inline]
+    pub const fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
     /// Bytes-per-second throughput implied by moving `bytes` in this span.
     /// Returns `f64::INFINITY` for a zero span.
     #[inline]
@@ -224,7 +230,7 @@ impl Sum for Dur {
 fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     if ps == 0 {
         write!(f, "0s")
-    } else if ps % 1_000_000_000_000 == 0 {
+    } else if ps.is_multiple_of(1_000_000_000_000) {
         write!(f, "{}s", ps / 1_000_000_000_000)
     } else if ps >= 1_000_000_000_000 {
         write!(f, "{:.3}s", ps as f64 / 1e12)

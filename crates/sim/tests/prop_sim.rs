@@ -1,17 +1,22 @@
 //! Property tests for the simulation kernel: determinism, time ordering,
 //! resource FIFO discipline, channel pairing.
+//!
+//! Inputs are drawn from the workspace's own seeded [`Rng`] so the suite
+//! runs fully offline; each test replays a fixed stream of random cases and
+//! therefore fails reproducibly.
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
-use ts_sim::{Dur, Rendezvous, Resource, Sim, Time};
+use ts_sim::{Dur, Rendezvous, Resource, Rng, Sim, Time};
 
-proptest! {
-    /// Any random program of sleeps is deterministic and time-ordered.
-    #[test]
-    fn random_sleep_programs_are_deterministic(
-        delays in prop::collection::vec(prop::collection::vec(1u64..10_000, 1..8), 1..12)
-    ) {
+/// Any random program of sleeps is deterministic and time-ordered.
+#[test]
+fn random_sleep_programs_are_deterministic() {
+    let mut rng = Rng::new(0x51b0_0001);
+    for _ in 0..24 {
+        let delays: Vec<Vec<u64>> = (0..rng.range(1, 12))
+            .map(|_| (0..rng.range(1, 8)).map(|_| 1 + rng.below(9_999)).collect())
+            .collect();
         let run = |delays: &[Vec<u64>]| {
             let mut sim = Sim::new();
             let log = Rc::new(RefCell::new(Vec::new()));
@@ -27,27 +32,31 @@ proptest! {
                 });
             }
             let r = sim.run();
-            prop_assert!(r.quiescent);
+            assert!(r.quiescent);
             let events = log.borrow().clone();
-            Ok((sim.now(), events))
+            (sim.now(), events)
         };
-        let (t1, l1) = run(&delays)?;
-        let (t2, l2) = run(&delays)?;
-        prop_assert_eq!(t1, t2);
+        let (t1, l1) = run(&delays);
+        let (t2, l2) = run(&delays);
+        assert_eq!(t1, t2);
         // The event log is identical and nondecreasing in time.
-        prop_assert_eq!(&l1, &l2);
+        assert_eq!(l1, l2);
         for w in l1.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0);
         }
         // Final time is the max per-task sum.
         let max_sum = delays.iter().map(|ds| ds.iter().sum::<u64>()).max().unwrap();
-        prop_assert_eq!(t1, Time::ZERO + Dur::ns(max_sum));
+        assert_eq!(t1, Time::ZERO + Dur::ns(max_sum));
     }
+}
 
-    /// A FIFO resource serves overlapping requests back-to-back with no
-    /// gaps and no overlap, and total busy time is the sum of demands.
-    #[test]
-    fn resource_serves_fifo_without_gaps(durs in prop::collection::vec(1u64..1000, 1..20)) {
+/// A FIFO resource serves overlapping requests back-to-back with no gaps
+/// and no overlap, and total busy time is the sum of demands.
+#[test]
+fn resource_serves_fifo_without_gaps() {
+    let mut rng = Rng::new(0x51b0_0002);
+    for _ in 0..32 {
+        let durs: Vec<u64> = (0..rng.range(1, 20)).map(|_| 1 + rng.below(999)).collect();
         let mut sim = Sim::new();
         let res = Resource::new("r");
         let slots = Rc::new(RefCell::new(Vec::new()));
@@ -60,24 +69,26 @@ proptest! {
                 slots.borrow_mut().push((s, e));
             });
         }
-        prop_assert!(sim.run().quiescent);
+        assert!(sim.run().quiescent);
         let mut slots = slots.borrow().clone();
         slots.sort();
         let mut cursor = Time::ZERO;
         for (s, e) in &slots {
-            prop_assert_eq!(*s, cursor, "no gap, no overlap");
+            assert_eq!(*s, cursor, "no gap, no overlap");
             cursor = *e;
         }
         let total: u64 = durs.iter().sum();
-        prop_assert_eq!(res.busy_total(), Dur::ns(total));
+        assert_eq!(res.busy_total(), Dur::ns(total));
     }
+}
 
-    /// Rendezvous pairing is FIFO: k senders and k receivers match in
-    /// arrival order regardless of their timing offsets.
-    #[test]
-    fn rendezvous_matches_in_fifo_order(
-        send_delays in prop::collection::vec(0u64..500, 1..10),
-    ) {
+/// Rendezvous pairing is FIFO: k senders and k receivers match in arrival
+/// order regardless of their timing offsets.
+#[test]
+fn rendezvous_matches_in_fifo_order() {
+    let mut rng = Rng::new(0x51b0_0003);
+    for _ in 0..32 {
+        let send_delays: Vec<u64> = (0..rng.range(1, 10)).map(|_| rng.below(500)).collect();
         let k = send_delays.len();
         let mut sim = Sim::new();
         let ch: Rendezvous<usize> = Rendezvous::new();
@@ -101,14 +112,19 @@ proptest! {
             }
             got
         });
-        prop_assert!(sim.run().quiescent);
-        prop_assert_eq!(jh.try_take().unwrap(), (0..k).collect::<Vec<_>>());
+        assert!(sim.run().quiescent);
+        assert_eq!(jh.try_take().unwrap(), (0..k).collect::<Vec<_>>());
     }
+}
 
-    /// run_until never passes the deadline and resuming completes the work
-    /// identically to one uninterrupted run.
-    #[test]
-    fn bounded_runs_compose(total_ns in 1000u64..100_000, cut in 1u64..999) {
+/// run_until never passes the deadline and resuming completes the work
+/// identically to one uninterrupted run.
+#[test]
+fn bounded_runs_compose() {
+    let mut rng = Rng::new(0x51b0_0004);
+    for _ in 0..64 {
+        let total_ns = 1000 + rng.below(99_000);
+        let cut = 1 + rng.below(998);
         let make = || {
             let mut sim = Sim::new();
             let h = sim.handle();
@@ -125,10 +141,10 @@ proptest! {
         let (mut s2, j2) = make();
         let cut_at = Time::ZERO + Dur::ns(total_ns * cut / 1000);
         let r = s2.run_until(cut_at);
-        prop_assert!(s2.now() <= cut_at);
-        prop_assert!(!r.quiescent || total_ns * cut / 1000 >= total_ns);
+        assert!(s2.now() <= cut_at);
+        assert!(!r.quiescent || total_ns * cut / 1000 >= total_ns);
         s2.run();
-        prop_assert_eq!(j1.try_take(), j2.try_take());
-        prop_assert_eq!(s1.now(), s2.now());
+        assert_eq!(j1.try_take(), j2.try_take());
+        assert_eq!(s1.now(), s2.now());
     }
 }

@@ -340,6 +340,7 @@ impl VecUnit {
         Ok(VecResult { timing, scalar: None, index: None })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec(
         &self,
         mem: &mut NodeMemory,

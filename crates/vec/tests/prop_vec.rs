@@ -1,15 +1,16 @@
 //! Property tests for the vector unit: every form against a host-side
-//! reference on random data, and timing-model invariants.
+//! reference on random data, and timing-model invariants. Seeded random
+//! cases via [`Rng`] (offline, reproducible).
 
-use proptest::prelude::*;
 use ts_fpu::Sf64;
 use ts_mem::{MemCfg, NodeMemory, ROW_WORDS};
+use ts_sim::Rng;
 use ts_vec::{VecForm, VecUnit};
 
 /// Values whose sums/products stay well inside the normal range, so
 /// flush-to-zero never makes the host reference diverge.
-fn safe_vals(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec((-1000.0f64..1000.0).prop_map(|v| v + 0.001), n..=n)
+fn safe_vals(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| (rng.f64() * 2000.0 - 1000.0) + 0.001).collect()
 }
 
 fn setup(xs: &[f64], ys: &[f64]) -> (NodeMemory, usize, usize, usize) {
@@ -30,31 +31,42 @@ fn read_out(mem: &NodeMemory, row: usize, n: usize) -> Vec<f64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn vadd_matches_host(xs in safe_vals(100), ys in safe_vals(100)) {
+#[test]
+fn vadd_matches_host() {
+    let mut rng = Rng::new(0x7ec0_0001);
+    for _ in 0..CASES {
+        let (xs, ys) = (safe_vals(&mut rng, 100), safe_vals(&mut rng, 100));
         let (mut mem, x, y, z) = setup(&xs, &ys);
         VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 100).unwrap();
         let got = read_out(&mem, z, 100);
         for i in 0..100 {
-            prop_assert_eq!(got[i].to_bits(), (xs[i] + ys[i]).to_bits());
+            assert_eq!(got[i].to_bits(), (xs[i] + ys[i]).to_bits());
         }
     }
+}
 
-    #[test]
-    fn vmul_matches_host(xs in safe_vals(64), ys in safe_vals(64)) {
+#[test]
+fn vmul_matches_host() {
+    let mut rng = Rng::new(0x7ec0_0002);
+    for _ in 0..CASES {
+        let (xs, ys) = (safe_vals(&mut rng, 64), safe_vals(&mut rng, 64));
         let (mut mem, x, y, z) = setup(&xs, &ys);
         VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 64).unwrap();
         let got = read_out(&mem, z, 64);
         for i in 0..64 {
-            prop_assert_eq!(got[i].to_bits(), (xs[i] * ys[i]).to_bits());
+            assert_eq!(got[i].to_bits(), (xs[i] * ys[i]).to_bits());
         }
     }
+}
 
-    #[test]
-    fn saxpy_matches_host(a in -100.0f64..100.0, xs in safe_vals(80), ys in safe_vals(80)) {
+#[test]
+fn saxpy_matches_host() {
+    let mut rng = Rng::new(0x7ec0_0003);
+    for _ in 0..CASES {
+        let a = rng.f64() * 200.0 - 100.0;
+        let (xs, ys) = (safe_vals(&mut rng, 80), safe_vals(&mut rng, 80));
         let (mut mem, x, y, z) = setup(&xs, &ys);
         VecUnit::new()
             .exec64(&mut mem, VecForm::Saxpy(Sf64::from(a)), x, y, z, 80)
@@ -64,23 +76,31 @@ proptest! {
             // a*x computed with one rounding, then +y with another — the
             // host float expression rounds identically.
             let want = a * xs[i] + ys[i];
-            prop_assert_eq!(got[i].to_bits(), want.to_bits());
+            assert_eq!(got[i].to_bits(), want.to_bits());
         }
     }
+}
 
-    #[test]
-    fn dot_matches_sequential_host(xs in safe_vals(50), ys in safe_vals(50)) {
+#[test]
+fn dot_matches_sequential_host() {
+    let mut rng = Rng::new(0x7ec0_0004);
+    for _ in 0..CASES {
+        let (xs, ys) = (safe_vals(&mut rng, 50), safe_vals(&mut rng, 50));
         let (mut mem, x, y, _z) = setup(&xs, &ys);
         let r = VecUnit::new().exec64(&mut mem, VecForm::Dot, x, y, 0, 50).unwrap();
         let mut want = 0.0f64;
         for i in 0..50 {
             want += xs[i] * ys[i]; // same association order as the feedback pipe
         }
-        prop_assert_eq!(f64::from_bits(r.scalar.unwrap()).to_bits(), want.to_bits());
+        assert_eq!(f64::from_bits(r.scalar.unwrap()).to_bits(), want.to_bits());
     }
+}
 
-    #[test]
-    fn reductions_match_host(xs in safe_vals(60)) {
+#[test]
+fn reductions_match_host() {
+    let mut rng = Rng::new(0x7ec0_0005);
+    for _ in 0..CASES {
+        let xs = safe_vals(&mut rng, 60);
         let (mut mem, x, y, _z) = setup(&xs, &xs);
         let u = VecUnit::new();
         let sum = u.exec64(&mut mem, VecForm::Sum, x, y, 0, 60).unwrap();
@@ -88,19 +108,23 @@ proptest! {
         for &v in &xs {
             want += v;
         }
-        prop_assert_eq!(f64::from_bits(sum.scalar.unwrap()).to_bits(), want.to_bits());
+        assert_eq!(f64::from_bits(sum.scalar.unwrap()).to_bits(), want.to_bits());
 
         let mx = u.exec64(&mut mem, VecForm::Max, x, y, 0, 60).unwrap();
         let want_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(f64::from_bits(mx.scalar.unwrap()), want_max);
+        assert_eq!(f64::from_bits(mx.scalar.unwrap()), want_max);
 
         let mn = u.exec64(&mut mem, VecForm::Min, x, y, 0, 60).unwrap();
         let want_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        prop_assert_eq!(f64::from_bits(mn.scalar.unwrap()), want_min);
+        assert_eq!(f64::from_bits(mn.scalar.unwrap()), want_min);
     }
+}
 
-    #[test]
-    fn absmax_matches_host(xs in safe_vals(40)) {
+#[test]
+fn absmax_matches_host() {
+    let mut rng = Rng::new(0x7ec0_0006);
+    for _ in 0..CASES {
+        let xs = safe_vals(&mut rng, 40);
         let (mut mem, x, y, _z) = setup(&xs, &xs);
         let r = VecUnit::new().exec64(&mut mem, VecForm::AbsMax, x, y, 0, 40).unwrap();
         let (mut bi, mut bv) = (0usize, -1.0f64);
@@ -110,31 +134,39 @@ proptest! {
                 bi = i;
             }
         }
-        prop_assert_eq!(r.index.unwrap(), bi);
-        prop_assert_eq!(f64::from_bits(r.scalar.unwrap()), bv);
+        assert_eq!(r.index.unwrap(), bi);
+        assert_eq!(f64::from_bits(r.scalar.unwrap()), bv);
     }
+}
 
-    /// Timing model invariants: duration grows affinely with n at 1 cycle
-    /// per element (cross-bank), and flops match the form.
-    #[test]
-    fn timing_is_affine_in_n(n in 1usize..2000) {
+/// Timing model invariants: duration grows affinely with n at 1 cycle per
+/// element (cross-bank), and flops match the form.
+#[test]
+fn timing_is_affine_in_n() {
+    let mut rng = Rng::new(0x7ec0_0007);
+    for _ in 0..CASES {
+        let n = rng.range(1, 2000);
         let mut mem = NodeMemory::new(MemCfg::default());
         let rows_a = mem.cfg().rows_a();
         let u = VecUnit::new();
         let r1 = u.exec64(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 256, n).unwrap();
         let r2 = u.exec64(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 256, n + 1).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             (r2.timing.duration - r1.timing.duration).as_ns(),
             125,
             "one extra element costs one cycle"
         );
-        prop_assert_eq!(r1.timing.flops, n as u64);
-        prop_assert_eq!(r1.timing.initiation_interval, 1);
+        assert_eq!(r1.timing.flops, n as u64);
+        assert_eq!(r1.timing.initiation_interval, 1);
     }
+}
 
-    /// Single-bank mode is never faster and reaches 2x for long vectors.
-    #[test]
-    fn single_bank_slowdown_bounded(n in 2usize..4000) {
+/// Single-bank mode is never faster and reaches 2x for long vectors.
+#[test]
+fn single_bank_slowdown_bounded() {
+    let mut rng = Rng::new(0x7ec0_0008);
+    for _ in 0..CASES {
+        let n = rng.range(2, 4000);
         let mut mem = NodeMemory::new(MemCfg::default());
         let rows_a = mem.cfg().rows_a();
         let dual = VecUnit::new()
@@ -143,21 +175,24 @@ proptest! {
         let single = VecUnit::single_bank()
             .exec64(&mut mem, VecForm::VMul, 0, rows_a, rows_a + 256, n)
             .unwrap();
-        prop_assert!(single.timing.duration >= dual.timing.duration);
-        let ratio =
-            single.timing.duration.as_secs_f64() / dual.timing.duration.as_secs_f64();
-        prop_assert!(ratio <= 2.0 + 1e-9);
+        assert!(single.timing.duration >= dual.timing.duration);
+        let ratio = single.timing.duration.as_secs_f64() / dual.timing.duration.as_secs_f64();
+        assert!(ratio <= 2.0 + 1e-9);
     }
+}
 
-    /// FTZ propagates through vector ops on subnormal-producing data.
-    #[test]
-    fn vector_ftz(scale in 1e-200f64..1e-160) {
+/// FTZ propagates through vector ops on subnormal-producing data.
+#[test]
+fn vector_ftz() {
+    let mut rng = Rng::new(0x7ec0_0009);
+    for _ in 0..CASES {
+        let scale = 1e-200 * (1.0 + rng.f64() * 1e3);
         let xs = vec![scale; 8];
         let ys = vec![scale; 8];
         let (mut mem, x, y, z) = setup(&xs, &ys);
         VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 8).unwrap();
         for v in read_out(&mem, z, 8) {
-            prop_assert_eq!(v, 0.0, "subnormal product must flush");
+            assert_eq!(v, 0.0, "subnormal product must flush");
         }
     }
 }

@@ -26,7 +26,7 @@ fn main() {
             assert_eq!(src, 0);
             let x = item[0];
             h.ctx().cp_compute(5_000).await; // the work
-            h.send_to(0, vec![x * x]).await;
+            h.send_to(0, vec![x * x]).await.unwrap();
         });
     }
 
@@ -36,7 +36,7 @@ fn main() {
     let cube = machine.cube;
     let master = machine.handle().spawn(async move {
         for w in 1..n {
-            h0.send_to(w, vec![w * 10]).await;
+            h0.send_to(w, vec![w * 10]).await.unwrap();
         }
         let mut results = Vec::new();
         for _ in 1..n {

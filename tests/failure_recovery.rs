@@ -1,6 +1,9 @@
 //! End-to-end failure/recovery scenarios: the §III checkpoint machinery
 //! protecting a real computation across a simulated node failure.
 
+use fps_t_series::machine::fault::{FaultEvent, FaultPlan};
+use fps_t_series::machine::router::Router;
+use fps_t_series::machine::supervisor::{Phase, Supervisor};
 use fps_t_series::machine::{Machine, MachineCfg};
 use fps_t_series::vector::VecForm;
 use ts_fpu::Sf64;
@@ -92,6 +95,82 @@ fn snapshot_overhead_accounts_in_simulated_time() {
     assert_eq!(t2.since(t1), snap_t);
     run_phase(&mut m, 3);
     assert!(m.now() > t2);
+}
+
+#[test]
+fn router_poison_shutdown_completes_after_scheduled_link_down() {
+    // A cable dies while the fabric is idle; the shutdown wave must still
+    // reach every daemon — poisons detour around the dead edge (or are
+    // dropped and recovered by the backstop) instead of parking forever.
+    let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+    let router = Router::start(&m);
+    FaultPlan::new()
+        .with(Dur::us(50), FaultEvent::LinkDown { node: 0, dim: 1 })
+        .schedule(&m);
+    let h = m.handle();
+    let jh = m.handle().spawn(async move {
+        h.sleep(Dur::us(100)).await; // let the fault land first
+        router.shutdown().await
+    });
+    let r = m.run();
+    assert!(r.quiescent, "shutdown must not hang on a degraded fabric");
+    assert!(jh.try_take().is_some(), "every daemon stopped and reported");
+    assert_eq!(m.metrics().get("fault.link_down"), 1);
+}
+
+#[test]
+fn supervisor_recovers_mem_flip_during_phase_two_bit_identically() {
+    // The same job as crash_restore_rerun_equals_uninterrupted_run, but
+    // the fault drill and the recovery are fully automatic: a bit flip
+    // lands mid phase 2, the supervisor's patrol scan catches it, and the
+    // reboot-restore-replay leaves memory bit-identical to the fault-free
+    // reference.
+    let cfg = MachineCfg::cube_small_mem(3, 8);
+    let phases: Vec<Phase<'static>> = vec![
+        Box::new(|m: &mut Machine| run_phase_async(m, 3)),
+        Box::new(|m: &mut Machine| run_phase_async(m, 5)),
+    ];
+    let sup = Supervisor::new(cfg);
+
+    let (ref_m, ref_rep) = sup.run_to_completion(setup, &phases, &FaultPlan::new()).unwrap();
+    let want: Vec<f64> = (0..8).map(|n| read_acc(&ref_m, n, 17)).collect();
+    assert_eq!(want, (0..8).map(|n| n as f64 + 8.0).collect::<Vec<_>>());
+
+    // Position the flip in the middle of phase 2: job time = baseline
+    // snapshot + phase 1 + half of phase 2, measured on a probe machine.
+    let mut probe = Machine::build(cfg);
+    setup(&mut probe);
+    let (_, d0) = probe.snapshot();
+    run_phase(&mut probe, 3);
+    let t = probe.now();
+    run_phase(&mut probe, 5);
+    let p2 = probe.now().since(t);
+    let flip_at = ref_rep.total - p2 + Dur::from_secs_f64(p2.as_secs_f64() / 2.0);
+    assert!(flip_at > d0, "flip must land after the baseline snapshot");
+
+    let rows_a = ref_m.nodes[0].mem().cfg().rows_a();
+    let plan = FaultPlan::new().with(
+        flip_at,
+        FaultEvent::MemFlip { node: 5, addr: rows_a * ROW_WORDS + 34, bit: 13 },
+    );
+    let (m, rep) = sup.run_to_completion(setup, &phases, &plan).unwrap();
+    let got: Vec<f64> = (0..8).map(|n| read_acc(&m, n, 17)).collect();
+    assert_eq!(got, want, "auto-recovered run must equal the fault-free run");
+    assert_eq!(rep.reboots, 1);
+    assert!(rep.rework > Dur::ZERO, "phase-2 progress was lost and replayed");
+    assert_eq!(m.nodes[5].mem().parity_errors(), 0, "no latent corruption survives");
+}
+
+/// Like [`run_phase`] but only launches — the supervisor drives the sim.
+fn run_phase_async(machine: &mut Machine, sweeps: usize) {
+    machine.launch(move |ctx| async move {
+        let rows_a = ctx.mem().cfg().rows_a();
+        for _ in 0..sweeps {
+            if ctx.vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128).await.is_err() {
+                return;
+            }
+        }
+    });
 }
 
 #[test]

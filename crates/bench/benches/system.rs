@@ -24,7 +24,7 @@ fn main() {
     for dim in [3u32, 4] {
         b.run(&format!("e8_snapshot/{}", 1 << dim), || {
             let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 32));
-            let (images, t) = m.snapshot();
+            let (images, t) = m.snapshot().unwrap();
             assert_eq!(images.len(), 1 << dim);
             t
         });

@@ -1,0 +1,106 @@
+//! Emit a machine-readable benchmark report (`BENCH_2.json` by default).
+//!
+//! Runs the kernel sweep (E11), measures collective latencies on a
+//! 3-cube, times the metrics hot path, and writes everything as JSON.
+//! With `--baseline <path>` the run fails (exit 2) if any kernel's
+//! MFLOPS dropped more than 20% below the baseline file's figure — the
+//! simulator is deterministic, so in practice any drop is a real
+//! modelling change, and the 20% headroom only forgives intentional
+//! fidelity adjustments that should come with a baseline refresh.
+//!
+//! ```text
+//! cargo run -p ts-bench                          # writes BENCH_2.json
+//! cargo run -p ts-bench -- --out BENCH_ci.json --baseline BENCH_baseline.json
+//! cargo run -p ts-bench -- --trace overlap.json  # also dump a Perfetto trace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use t_series_core::{Machine, MachineCfg};
+use ts_bench::report::{collective_latencies, counter_microbench, kernel_rows, regressions};
+use ts_bench::BenchReport;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_json [--out PATH] [--baseline PATH] [--trace PATH]\n\
+         \n\
+         --out PATH       where to write the JSON report (default BENCH_2.json)\n\
+         --baseline PATH  fail (exit 2) if any kernel regresses >20% vs this report\n\
+         --trace PATH     also write a Perfetto trace of a small traced matmul run"
+    );
+    std::process::exit(64);
+}
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("BENCH_2.json");
+    let mut baseline: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().unwrap_or_else(|| usage()).into(),
+            "--baseline" => baseline = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--trace" => trace = Some(args.next().unwrap_or_else(|| usage()).into()),
+            _ => usage(),
+        }
+    }
+
+    let kernels = kernel_rows(&ts_bench::e11_kernel_scaling());
+    println!("\nmeasuring collective latencies on the 8-node cube...");
+    let collectives = collective_latencies(3);
+    for c in &collectives {
+        println!(
+            "  {:<10} {:>3} nodes  {:>5} calls  mean {:>8.1} us  p99 <= {:>4} us",
+            c.op, c.nodes, c.calls, c.mean_us, c.p99_us
+        );
+    }
+    println!("timing the metrics hot path...");
+    let counter = counter_microbench(5_000_000);
+    println!(
+        "  registry handle {:.2} ns/op, legacy map {:.2} ns/op",
+        counter.handle_ns_per_op, counter.legacy_ns_per_op
+    );
+    if counter.handle_ns_per_op > counter.legacy_ns_per_op * 1.10 {
+        eprintln!("FAIL: pre-registered counter handle is slower than the legacy BTreeMap path");
+        return ExitCode::from(2);
+    }
+
+    let report = BenchReport { kernels, collectives, counter };
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("FAIL: cannot write {}: {e}", out.display());
+        return ExitCode::from(1);
+    }
+    println!("wrote {}", out.display());
+
+    if let Some(path) = trace {
+        let mut m = Machine::build(MachineCfg::cube(2));
+        let tracer = m.enable_tracing();
+        ts_kernels::matmul::distributed_matmul(&mut m, 16, 42);
+        if let Err(e) = ts_sim::write_trace(&tracer, &path) {
+            eprintln!("FAIL: cannot write trace {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        println!("wrote Perfetto trace {}", path.display());
+    }
+
+    if let Some(base_path) = baseline {
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL: cannot read baseline {}: {e}", base_path.display());
+                return ExitCode::from(1);
+            }
+        };
+        let bad = regressions(&report.kernels, &base, 0.20);
+        if !bad.is_empty() {
+            eprintln!("FAIL: kernel throughput regressed vs {}:", base_path.display());
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            return ExitCode::from(2);
+        }
+        println!("no kernel regressed >20% vs {}", base_path.display());
+    }
+    ExitCode::SUCCESS
+}

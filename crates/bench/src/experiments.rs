@@ -399,7 +399,7 @@ pub fn e8_checkpointing() -> (f64, f64) {
     let mut snap_secs = 0.0;
     for dim in [3u32, 4] {
         let mut m = Machine::build(MachineCfg::cube(dim));
-        let (_, t) = m.snapshot();
+        let (_, t) = m.snapshot().unwrap();
         snap_secs = t.as_secs_f64();
         row(
             &format!("snapshot time, {dim}-cube ({} nodes)", 1 << dim),

@@ -11,10 +11,12 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod report;
 pub mod sweep;
 
 pub use experiments::*;
 pub use harness::Bench;
+pub use report::{BenchReport, CollectiveRow, CounterBench, KernelRow};
 pub use sweep::parallel_sweep;
 
 /// Pretty-print a paper-vs-measured row.

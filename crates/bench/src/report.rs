@@ -1,0 +1,350 @@
+//! Machine-readable benchmark reports (`BENCH_<n>.json`).
+//!
+//! The repro binary prints human tables; CI and the paper-comparison
+//! scripts want numbers they can diff. This module renders the kernel
+//! sweep, collective latencies and the metrics-hot-path microbenchmark
+//! into a small hand-rolled JSON document (the workspace takes no
+//! external dependencies, so there is no serde here), and can compare
+//! two such documents to flag throughput regressions.
+//!
+//! The format is deliberately line-oriented — one object per line inside
+//! each array — so the baseline comparison can extract fields with plain
+//! string scanning instead of a full JSON parser.
+
+use std::time::Instant;
+
+use t_series_core::{collectives, Machine, MachineCfg, NODE_PEAK_MFLOPS};
+use ts_fpu::Sf64;
+use ts_node::CombineOp;
+use ts_sim::{Metrics, MetricsRegistry};
+
+/// One kernel measurement: achieved throughput against the machine's
+/// nominal peak (`nodes × 16 MFLOPS`, the paper's §I per-node figure).
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name (`matmul`, `fft`, `lu`, `sort`).
+    pub name: String,
+    /// Number of nodes in the cube the kernel ran on.
+    pub nodes: u32,
+    /// Simulated wall-clock of the run, in seconds.
+    pub elapsed_s: f64,
+    /// Aggregate achieved MFLOPS.
+    pub mflops: f64,
+    /// Nominal machine peak, `nodes × 16.0`.
+    pub peak_mflops: f64,
+    /// `mflops / peak_mflops`.
+    pub efficiency: f64,
+}
+
+/// Latency summary for one collective operation, merged across all nodes
+/// of the measurement machine.
+#[derive(Debug, Clone)]
+pub struct CollectiveRow {
+    /// Operation name (`broadcast`, `allreduce`, `barrier`).
+    pub op: String,
+    /// Nodes participating.
+    pub nodes: u32,
+    /// Completed calls booked into the histograms.
+    pub calls: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Upper bound on the 99th-percentile latency, in microseconds.
+    pub p99_us: u64,
+}
+
+/// Wall-clock cost per event of the two metric stores: the pre-registered
+/// [`ts_sim::Counter`] handle (hot path) vs the legacy
+/// [`Metrics`]-by-`&'static str` map (cold path).
+#[derive(Debug, Clone, Copy)]
+pub struct CounterBench {
+    /// Nanoseconds per `Counter::add` on a registry handle.
+    pub handle_ns_per_op: f64,
+    /// Nanoseconds per `Metrics::add` through the BTreeMap store.
+    pub legacy_ns_per_op: f64,
+}
+
+/// A full benchmark report, renderable as JSON.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Kernel sweep results.
+    pub kernels: Vec<KernelRow>,
+    /// Collective latency summaries.
+    pub collectives: Vec<CollectiveRow>,
+    /// Hot-path counter microbenchmark.
+    pub counter: CounterBench,
+}
+
+/// Annotate the raw `(name, nodes, elapsed_s, mflops)` tuples from
+/// [`crate::e11_kernel_scaling`] with peak and efficiency.
+pub fn kernel_rows(raw: &[(&'static str, u32, f64, f64)]) -> Vec<KernelRow> {
+    raw.iter()
+        .map(|&(name, nodes, elapsed_s, mflops)| {
+            let peak = nodes as f64 * NODE_PEAK_MFLOPS;
+            KernelRow {
+                name: name.to_string(),
+                nodes,
+                elapsed_s,
+                mflops,
+                peak_mflops: peak,
+                efficiency: mflops / peak,
+            }
+        })
+        .collect()
+}
+
+/// Run broadcast / allreduce / barrier on a `2^dim`-node cube and read the
+/// per-op latency histograms the collectives book into the machine's
+/// metrics registry (`node/{id}/collective/{op}_us`).
+pub fn collective_latencies(dim: u32) -> Vec<CollectiveRow> {
+    let mut m = Machine::build(MachineCfg::cube(dim));
+    let cube = m.cube;
+    m.launch(move |ctx| async move {
+        let payload = (ctx.id() == 0).then(|| vec![7u32; 64]);
+        collectives::broadcast(&ctx, cube, 0, payload).await;
+        let mine = vec![Sf64::from(ctx.id() as f64)];
+        collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await;
+        collectives::barrier(&ctx, cube).await;
+    });
+    assert!(m.run().quiescent, "collective latency probe stalled");
+
+    let nodes = 1u32 << dim;
+    ["broadcast", "allreduce", "barrier"]
+        .iter()
+        .map(|op| {
+            let mut calls = 0u64;
+            let mut weighted_us = 0.0f64;
+            let mut p99 = 0u64;
+            for id in 0..nodes {
+                let h = m
+                    .registry()
+                    .scope(&format!("node/{id}"))
+                    .scope("collective")
+                    .histogram(&format!("{op}_us"));
+                calls += h.total();
+                weighted_us += h.mean() * h.total() as f64;
+                p99 = p99.max(h.quantile_bound(0.99));
+            }
+            CollectiveRow {
+                op: op.to_string(),
+                nodes,
+                calls,
+                mean_us: if calls == 0 { 0.0 } else { weighted_us / calls as f64 },
+                p99_us: p99,
+            }
+        })
+        .collect()
+}
+
+/// Time `iters` increments through a pre-registered [`ts_sim::Counter`]
+/// handle and through the legacy string-keyed [`Metrics`] map. The handle
+/// is the hot path: a plain `Cell` bump, no lookup, no allocation. A
+/// result where the handle is slower than the map means the registry
+/// redesign regressed the hot path.
+pub fn counter_microbench(iters: u64) -> CounterBench {
+    let reg = MetricsRegistry::new();
+    let handle = reg.counter("bench/hotpath");
+    let t = Instant::now();
+    for _ in 0..iters {
+        handle.add(1);
+    }
+    let handle_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+    // Keep the counter observable so the loop cannot be discarded.
+    assert_eq!(reg.get_counter("bench/hotpath"), Some(iters));
+
+    let legacy = Metrics::new();
+    let t = Instant::now();
+    for _ in 0..iters {
+        legacy.add("bench.hotpath", 1);
+    }
+    let legacy_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+    assert_eq!(legacy.get("bench.hotpath"), iters);
+
+    CounterBench { handle_ns_per_op: handle_ns, legacy_ns_per_op: legacy_ns }
+}
+
+impl BenchReport {
+    /// Render the report as JSON. One object per line inside each array,
+    /// so field extraction in [`parse_kernels`] stays trivial.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"ts-bench/1\",\n  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"nodes\": {}, \"elapsed_s\": {:.9}, \
+                 \"mflops\": {:.6}, \"peak_mflops\": {:.1}, \"efficiency\": {:.6}}}{}\n",
+                k.name,
+                k.nodes,
+                k.elapsed_s,
+                k.mflops,
+                k.peak_mflops,
+                k.efficiency,
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"collectives\": [\n");
+        for (i, c) in self.collectives.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"op\": \"{}\", \"nodes\": {}, \"calls\": {}, \
+                 \"mean_us\": {:.3}, \"p99_us_bound\": {}}}{}\n",
+                c.op,
+                c.nodes,
+                c.calls,
+                c.mean_us,
+                c.p99_us,
+                if i + 1 < self.collectives.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"counter_microbench\": {{\"handle_ns_per_op\": {:.3}, \
+             \"legacy_btreemap_ns_per_op\": {:.3}}}\n}}\n",
+            self.counter.handle_ns_per_op, self.counter.legacy_ns_per_op
+        ));
+        s
+    }
+}
+
+/// Pull `(name, nodes, mflops)` triples back out of a report produced by
+/// [`BenchReport::to_json`]. Scans line-by-line; returns an empty vec for
+/// malformed input (the caller treats that as "no baseline").
+pub fn parse_kernels(json: &str) -> Vec<(String, u32, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let name = json_str(line, "name")?;
+            let nodes = json_num(line, "nodes")? as u32;
+            let mflops = json_num(line, "mflops")?;
+            Some((name, nodes, mflops))
+        })
+        .collect()
+}
+
+/// Compare `current` kernels against a baseline JSON document. Returns one
+/// human-readable line per kernel whose MFLOPS fell below
+/// `(1 - tolerance) ×` the baseline figure. Kernels present on only one
+/// side are ignored — adding a kernel must not fail CI.
+pub fn regressions(current: &[KernelRow], baseline_json: &str, tolerance: f64) -> Vec<String> {
+    let base = parse_kernels(baseline_json);
+    let mut out = Vec::new();
+    for k in current {
+        if let Some((_, _, was)) = base.iter().find(|(n, p, _)| *n == k.name && *p == k.nodes) {
+            let floor = was * (1.0 - tolerance);
+            if k.mflops < floor {
+                out.push(format!(
+                    "{} on {} nodes: {:.2} MFLOPS < {:.2} (baseline {:.2} - {:.0}%)",
+                    k.name,
+                    k.nodes,
+                    k.mflops,
+                    floor,
+                    was,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Extract the string value of `"key": "..."` from a single JSON line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let tail = after_key(line, key)?;
+    let tail = tail.strip_prefix('"')?;
+    Some(tail[..tail.find('"')?].to_string())
+}
+
+/// Extract the numeric value of `"key": <number>` from a single JSON line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tail = after_key(line, key)?;
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Position just past `"key":` (and any spaces) in `line`.
+fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    Some(line[at..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            kernels: vec![
+                KernelRow {
+                    name: "matmul".into(),
+                    nodes: 4,
+                    elapsed_s: 0.25,
+                    mflops: 40.0,
+                    peak_mflops: 64.0,
+                    efficiency: 0.625,
+                },
+                KernelRow {
+                    name: "fft".into(),
+                    nodes: 16,
+                    elapsed_s: 0.5,
+                    mflops: 100.0,
+                    peak_mflops: 256.0,
+                    efficiency: 100.0 / 256.0,
+                },
+            ],
+            collectives: vec![CollectiveRow {
+                op: "barrier".into(),
+                nodes: 8,
+                calls: 8,
+                mean_us: 12.5,
+                p99_us: 16,
+            }],
+            counter: CounterBench { handle_ns_per_op: 1.0, legacy_ns_per_op: 20.0 },
+        }
+    }
+
+    #[test]
+    fn json_round_trips_kernel_fields() {
+        let json = sample().to_json();
+        let parsed = parse_kernels(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "matmul");
+        assert_eq!(parsed[0].1, 4);
+        assert!((parsed[0].2 - 40.0).abs() < 1e-9);
+        assert_eq!(parsed[1], ("fft".to_string(), 16, 100.0));
+    }
+
+    #[test]
+    fn regression_check_flags_only_real_drops() {
+        let baseline = sample().to_json();
+        let mut current = sample().kernels;
+        current[0].mflops = 35.0; // within 20% of 40 — fine
+        current[1].mflops = 70.0; // 30% below 100 — regression
+        let bad = regressions(&current, &baseline, 0.20);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("fft"), "{bad:?}");
+    }
+
+    #[test]
+    fn counter_handle_is_not_slower_than_legacy_map() {
+        let b = counter_microbench(2_000_000);
+        // Generous headroom: the handle is a Cell bump, the legacy path a
+        // BTreeMap lookup behind a RefCell. Even on a noisy CI box the
+        // handle must not lose.
+        assert!(
+            b.handle_ns_per_op <= b.legacy_ns_per_op * 1.10,
+            "registry handle regressed the hot path: {:.2} ns/op vs legacy {:.2} ns/op",
+            b.handle_ns_per_op,
+            b.legacy_ns_per_op
+        );
+    }
+
+    #[test]
+    fn collective_latency_probe_books_all_ops() {
+        let rows = collective_latencies(2);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.calls, 4, "{} should run once per node", r.op);
+            assert!(r.mean_us > 0.0, "{} mean should be positive", r.op);
+            assert!(r.p99_us as f64 >= r.mean_us, "{}: p99 bound below mean", r.op);
+        }
+    }
+}

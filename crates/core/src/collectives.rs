@@ -17,7 +17,16 @@
 use ts_cube::Hypercube;
 use ts_fpu::Sf64;
 use ts_node::{occam, CombineOp, NodeCtx};
-use ts_sim::{select2, Dur, Either, SimHandle};
+use ts_sim::{select2, Dur, Either, SimHandle, Time};
+
+/// Book one completed collective into the node's per-op latency histogram
+/// (`node/{id}/collective/{op}_us` in the machine registry). Registration
+/// is a map lookup — fine off the hot path, where a collective costs
+/// microseconds of simulated link time anyway.
+fn book_latency(ctx: &NodeCtx, op: &str, started: Time) {
+    let us = ctx.now().since(started).as_ns() / 1_000;
+    ctx.meters().scope().scope("collective").histogram(&format!("{op}_us")).observe(us);
+}
 
 /// A collective (or any awaited operation) missed its deadline on every
 /// allowed attempt — a partner is dead or the fabric is too degraded.
@@ -77,6 +86,7 @@ where
 /// Broadcast `data` from `root` to every node; returns the payload on all
 /// nodes. Non-roots pass `None`.
 pub async fn broadcast(ctx: &NodeCtx, cube: Hypercube, root: u32, data: Option<Vec<u32>>) -> Vec<u32> {
+    let t0 = ctx.now();
     let me = ctx.id();
     let buf = if me == root {
         data.expect("root must provide the broadcast payload")
@@ -92,6 +102,7 @@ pub async fn broadcast(ctx: &NodeCtx, cube: Hypercube, root: u32, data: Option<V
         let d = (me ^ child).trailing_zeros() as usize;
         ctx.send_dim(d, buf.clone()).await;
     }
+    book_latency(ctx, "broadcast", t0);
     buf
 }
 
@@ -104,6 +115,7 @@ pub async fn reduce(
     op: CombineOp,
     mine: Vec<Sf64>,
 ) -> Option<Vec<Sf64>> {
+    let t0 = ctx.now();
     let me = ctx.id();
     let mut acc = mine;
     // Receive from each child subtree (lowest dimension first — the order
@@ -113,13 +125,15 @@ pub async fn reduce(
         let theirs = ctx.recv_f64s(d).await;
         ctx.combine_values(op, &mut acc, &theirs).await;
     }
-    if me == root {
+    let result = if me == root {
         Some(acc)
     } else {
         let parent_dim = (me ^ root).trailing_zeros() as usize;
         ctx.send_f64s(parent_dim, &acc).await;
         None
-    }
+    };
+    book_latency(ctx, "reduce", t0);
+    result
 }
 
 /// All-reduce by dimension exchange: every node ends with the elementwise
@@ -130,6 +144,7 @@ pub async fn allreduce(
     op: CombineOp,
     mine: Vec<Sf64>,
 ) -> Vec<Sf64> {
+    let t0 = ctx.now();
     let mut acc = mine;
     for d in 0..cube.dim() as usize {
         let h = ctx.handle().clone();
@@ -144,6 +159,7 @@ pub async fn allreduce(
         .await;
         ctx.combine_values(op, &mut acc, &theirs).await;
     }
+    book_latency(ctx, "allreduce", t0);
     acc
 }
 
@@ -152,6 +168,7 @@ pub async fn allreduce(
 pub async fn allgather(ctx: &NodeCtx, cube: Hypercube, mine: Vec<u32>) -> Vec<(u32, Vec<u32>)> {
     // Accumulated set of (node, payload), flattened for the wire as
     // [id, len, words..., id, len, words...].
+    let t0 = ctx.now();
     let mut have: Vec<(u32, Vec<u32>)> = vec![(ctx.id(), mine)];
     for d in 0..cube.dim() as usize {
         let mut flat = Vec::new();
@@ -178,6 +195,7 @@ pub async fn allgather(ctx: &NodeCtx, cube: Hypercube, mine: Vec<u32>) -> Vec<(u
         }
     }
     have.sort_by_key(|(id, _)| *id);
+    book_latency(ctx, "allgather", t0);
     have
 }
 
@@ -191,6 +209,7 @@ pub async fn scan(
     op: CombineOp,
     mine: Vec<Sf64>,
 ) -> Vec<Sf64> {
+    let t0 = ctx.now();
     let me = ctx.id();
     let mut prefix = mine.clone();
     let mut total = mine;
@@ -211,12 +230,14 @@ pub async fn scan(
             ctx.combine_values(op, &mut prefix, &theirs).await;
         }
     }
+    book_latency(ctx, "scan", t0);
     prefix
 }
 
 /// Barrier: a 1-word dimension exchange (all nodes leave only after all
 /// have entered).
 pub async fn barrier(ctx: &NodeCtx, cube: Hypercube) {
+    let t0 = ctx.now();
     for d in 0..cube.dim() as usize {
         let h = ctx.handle().clone();
         let send_ctx = ctx.clone();
@@ -230,6 +251,7 @@ pub async fn barrier(ctx: &NodeCtx, cube: Hypercube) {
         )
         .await;
     }
+    book_latency(ctx, "barrier", t0);
 }
 
 #[cfg(test)]
@@ -421,7 +443,7 @@ mod tests {
         // time.
         let mut m = small(1);
         let cube = m.cube;
-        m.inject_node_crash(1);
+        m.faults().crash(1);
         let ctx = m.ctx(0);
         let jh = m.launch_on(0, async move {
             let r = with_deadline(&ctx, Dur::us(5_000), 3, || {

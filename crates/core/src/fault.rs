@@ -70,10 +70,11 @@ impl FaultEvent {
 
     /// Inject this fault into `m` right now.
     pub fn apply(&self, m: &Machine) {
+        let f = m.faults();
         match *self {
-            FaultEvent::LinkDown { node, dim } => m.inject_link_down(node, dim),
-            FaultEvent::NodeCrash { node } => m.inject_node_crash(node),
-            FaultEvent::MemFlip { node, addr, bit } => m.inject_mem_flip(node, addr, bit),
+            FaultEvent::LinkDown { node, dim } => f.link_down(node, dim),
+            FaultEvent::NodeCrash { node } => f.crash(node),
+            FaultEvent::MemFlip { node, addr, bit } => f.mem_flip(node, addr, bit),
         }
     }
 
@@ -244,10 +245,10 @@ mod tests {
 
         // Nothing is broken before the first fault time...
         m.run_for(Dur::us(299));
-        assert!(m.link_up(0, 1));
+        assert!(m.faults().is_link_up(0, 1));
         // ...and each fault lands exactly on schedule.
         m.run_for(Dur::us(1));
-        assert!(!m.link_up(0, 1));
+        assert!(!m.faults().is_link_up(0, 1));
         assert!(!m.nodes[3].is_crashed());
         m.run_for(Dur::us(400));
         assert!(m.nodes[3].is_crashed());

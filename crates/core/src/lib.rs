@@ -39,10 +39,12 @@ pub mod router;
 pub mod supervisor;
 pub mod system;
 
+use std::fmt;
+
 use ts_cube::{Hypercube, NodeId, SublinkBudget};
 use ts_link::{LinkChannel, Wire};
 use ts_node::{Node, NodeCfg, NodeCtx};
-use ts_sim::{Dur, JoinHandle, Metrics, RunReport, Sim, SimHandle, Time};
+use ts_sim::{Dur, JoinHandle, Metrics, MetricsRegistry, RunReport, Sim, SimHandle, Time};
 
 use crate::system::{Disk, SystemBoard};
 
@@ -123,6 +125,57 @@ pub struct Specs {
     pub max_hops: u32,
 }
 
+/// Why a machine-level snapshot or restore could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// Restore was handed a different number of images than the machine
+    /// has nodes.
+    BadImageCount {
+        /// Nodes in the machine.
+        expected: usize,
+        /// Images supplied.
+        got: usize,
+    },
+    /// An image's word count does not match the node's memory geometry.
+    BadImageGeometry {
+        /// The mismatched node.
+        node: NodeId,
+        /// Words the node's memory holds.
+        expected: usize,
+        /// Words the image holds.
+        got: usize,
+    },
+    /// The operation needs `node` alive, but its control processor is
+    /// crashed (reboot first, then restore).
+    NodeDown {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// The simulated procedure deadlocked before completing (a system
+    /// thread is down, or unrelated tasks wedged the simulation).
+    Stalled {
+        /// Which procedure stalled.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MachineError::BadImageCount { expected, got } => {
+                write!(f, "expected {expected} snapshot images, got {got}")
+            }
+            MachineError::BadImageGeometry { node, expected, got } => {
+                write!(f, "image for n{node} has {got} words, memory holds {expected}")
+            }
+            MachineError::NodeDown { node } => write!(f, "node n{node} is down"),
+            MachineError::Stalled { op } => write!(f, "{op} deadlocked before completing"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
 /// A complete, wired T Series machine plus its simulation.
 pub struct Machine {
     /// The interconnect shape.
@@ -133,6 +186,7 @@ pub struct Machine {
     pub boards: Vec<SystemBoard>,
     cfg: MachineCfg,
     sim: Sim,
+    registry: MetricsRegistry,
 }
 
 impl Machine {
@@ -149,8 +203,11 @@ impl Machine {
         let sim = Sim::new();
         let h = sim.handle();
         let cube = Hypercube::new(cfg.dim);
-        let nodes: Vec<Node> =
-            cube.iter().map(|id| Node::new(id, cfg.node, h.clone())).collect();
+        let registry = MetricsRegistry::new();
+        let nodes: Vec<Node> = cube
+            .iter()
+            .map(|id| Node::with_registry(id, cfg.node, h.clone(), &registry))
+            .collect();
 
         // Four link engines per node, each direction its own FIFO server.
         let wires_out: Vec<Vec<Wire>> = cube
@@ -174,9 +231,12 @@ impl Machine {
                 let mut ab =
                     LinkChannel::new_pair(wires_out[ai][l].clone(), wires_in[bi][l].clone());
                 ab.set_metrics(nodes[ai].metrics().clone());
+                // Message latency is booked at delivery, on the receiver.
+                ab.set_latency_histogram(nodes[bi].meters().link_latency_ns.clone());
                 let mut ba =
                     LinkChannel::new_pair(wires_out[bi][l].clone(), wires_in[ai][l].clone());
                 ba.set_metrics(nodes[bi].metrics().clone());
+                ba.set_latency_histogram(nodes[ai].meters().link_latency_ns.clone());
                 // Both directions of one physical edge share a health flag,
                 // so a single LinkDown fault fails traffic both ways.
                 ba.set_status(ab.status().clone());
@@ -227,7 +287,7 @@ impl Machine {
             }
         }
 
-        Machine { cube, nodes, boards, cfg, sim }
+        Machine { cube, nodes, boards, cfg, sim, registry }
     }
 
     /// The configuration this machine was built from.
@@ -285,34 +345,34 @@ impl Machine {
 
     // --- fault injection ----------------------------------------------------
 
-    /// Kill the physical link carrying cube dimension `dim` at `node`. Both
-    /// directions go down (the neighbour sees it too); failable traffic on
-    /// the edge then errors instead of hanging.
+    /// The machine's fault-injection facade: every way of breaking (or
+    /// repairing) hardware, in one place.
+    pub fn faults(&self) -> FaultInjector<'_> {
+        FaultInjector { m: self }
+    }
+
+    /// Kill the physical link carrying cube dimension `dim` at `node`.
+    #[deprecated(since = "0.2.0", note = "use `machine.faults().link_down(node, dim)`")]
     pub fn inject_link_down(&self, node: NodeId, dim: u32) {
-        let n = &self.nodes[node as usize];
-        n.set_link_down(dim as usize);
-        n.metrics().inc("fault.link_down");
+        self.faults().link_down(node, dim);
     }
 
-    /// Crash `node`: its control processor is dead and every wired link
-    /// (cube and system thread) is marked down.
+    /// Crash `node`.
+    #[deprecated(since = "0.2.0", note = "use `machine.faults().crash(node)`")]
     pub fn inject_node_crash(&self, node: NodeId) {
-        let n = &self.nodes[node as usize];
-        n.crash();
-        n.metrics().inc("fault.node_crash");
+        self.faults().crash(node);
     }
 
-    /// Flip `bit` of the word at `addr` in `node`'s memory without fixing
-    /// parity — the next read reports `MemError::Parity`.
+    /// Flip `bit` of the word at `addr` in `node`'s memory.
+    #[deprecated(since = "0.2.0", note = "use `machine.faults().mem_flip(node, addr, bit)`")]
     pub fn inject_mem_flip(&self, node: NodeId, addr: usize, bit: u32) {
-        let n = &self.nodes[node as usize];
-        n.mem_mut().inject_bit_flip(addr, bit).expect("mem-flip address out of range");
-        n.metrics().inc("fault.mem_flip");
+        self.faults().mem_flip(node, addr, bit);
     }
 
     /// True while the physical link on `(node, dim)` is alive.
+    #[deprecated(since = "0.2.0", note = "use `machine.faults().is_link_up(node, dim)`")]
     pub fn link_up(&self, node: NodeId, dim: u32) -> bool {
-        self.nodes[node as usize].link_up(dim as usize)
+        self.faults().is_link_up(node, dim)
     }
 
     /// Run at most `d` further virtual time.
@@ -320,18 +380,40 @@ impl Machine {
         self.sim.run_for(d)
     }
 
-    /// Aggregate all node metrics into one bundle.
+    /// The machine-wide metrics registry: every node's unit meters under
+    /// `node/{id}/...`, plus whatever routers and collectives register.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Aggregate all node metrics into one legacy-keyed bundle.
+    ///
+    /// Hot-path accounting lives in the typed registry now; this bridge
+    /// folds the meter totals back under the historical flat keys
+    /// (`vec.flops`, `cp.busy`, ...) so existing reports and kernel-stat
+    /// consumers keep working unchanged.
     pub fn metrics(&self) -> Metrics {
         let total = Metrics::new();
         for n in &self.nodes {
             total.merge(n.metrics());
+            let mt = n.meters();
+            total.add("cp.instrs", mt.cp_instrs.get());
+            total.add_time("cp.busy", mt.cp_busy.get());
+            total.add("cp.gathered", mt.cp_gathered.get());
+            total.add("cp.scattered", mt.cp_scattered.get());
+            total.add_time("port.cp", mt.port_cp.get());
+            total.add("vec.flops", mt.vec_flops.get());
+            total.add_time("vec.busy", mt.vec_busy.get());
+            total.add("mem.rows_moved", mt.rows_moved.get());
+            total.add("link.words_sent", mt.link_words_sent.get());
+            total.add("link.words_recv", mt.link_words_recv.get());
         }
         total
     }
 
     /// Achieved MFLOPS across the machine for the elapsed simulated time.
     pub fn achieved_mflops(&self) -> f64 {
-        let flops = self.metrics().get("vec.flops");
+        let flops: u64 = self.nodes.iter().map(|n| n.meters().vec_flops.get()).sum();
         let t = self.now().as_secs_f64();
         if t == 0.0 {
             0.0
@@ -340,12 +422,30 @@ impl Machine {
         }
     }
 
-    /// Attach an execution tracer to every node's hardware units (spans on
-    /// `n<id>.cp`, `n<id>.vec`, `n<id>.port`).
+    /// Attach an execution tracer across the whole machine:
+    ///
+    /// * busy spans on every node's hardware units (`n<id>.cp`, `n<id>.vec`,
+    ///   `n<id>.port`) and link engines (`n<id>.l<l>`);
+    /// * flow arrows from sender to receiver link track for every message
+    ///   delivered over a cube edge.
+    ///
+    /// Export with [`ts_sim::write_trace`] for ui.perfetto.dev.
     pub fn enable_tracing(&self) -> ts_sim::Tracer {
         let tracer = ts_sim::Tracer::new();
         for node in &self.nodes {
             node.attach_tracer(&tracer);
+        }
+        for a in self.cube.iter() {
+            for d in 0..self.cfg.dim {
+                let b = self.cube.neighbor(a, d);
+                let l = (d % 4) as usize;
+                if let Some(ch) = self.nodes[a as usize].out_channel(d as usize) {
+                    ch.wire().resource().attach_tracer(tracer.clone(), format!("n{a}.l{l}"));
+                    let from = tracer.track(&format!("n{a}.l{l}"));
+                    let to = tracer.track(&format!("n{b}.l{l}"));
+                    ch.enable_flow_trace(tracer.clone(), from, to);
+                }
+            }
         }
         tracer
     }
@@ -364,8 +464,9 @@ impl Machine {
         );
         for node in &self.nodes {
             let m = node.metrics();
-            let vecb = m.get_time("vec.busy").as_secs_f64();
-            let cpb = m.get_time("cp.busy").as_secs_f64();
+            let mt = node.meters();
+            let vecb = mt.vec_busy.get().as_secs_f64();
+            let cpb = mt.cp_busy.get().as_secs_f64();
             let pct = |b: f64| if total > 0.0 { b / total * 100.0 } else { 0.0 };
             let _ = writeln!(
                 out,
@@ -373,7 +474,7 @@ impl Machine {
                 node.id,
                 pct(vecb),
                 pct(cpb),
-                m.get("vec.flops"),
+                mt.vec_flops.get(),
                 m.get("link.bytes_sent"),
                 m.get("link.bytes_recv"),
             );
@@ -385,6 +486,28 @@ impl Machine {
             self.achieved_mflops(),
             self.cfg.specs().peak_mflops
         );
+        // Histogram aggregation: merge the per-node distributions the hot
+        // paths observed into machine-wide summaries.
+        let vec_len = merge_hists(self.nodes.iter().map(|n| n.meters().vec_len.clone()));
+        if vec_len.total > 0 {
+            let _ = writeln!(
+                out,
+                "vector ops: {} issued, mean length {:.0}, p99 length ≤ {}",
+                vec_len.total,
+                vec_len.mean,
+                vec_len.quantile_bound(0.99),
+            );
+        }
+        let lat = merge_hists(self.nodes.iter().map(|n| n.meters().link_latency_ns.clone()));
+        if lat.total > 0 {
+            let _ = writeln!(
+                out,
+                "link messages: {} delivered, mean latency {:.1} µs, p99 ≤ {:.1} µs",
+                lat.total,
+                lat.mean / 1e3,
+                lat.quantile_bound(0.99) as f64 / 1e3,
+            );
+        }
         // Fault and recovery story, when there is one: faults injected,
         // how the fabric and collectives coped, and what the supervisor's
         // healing cost.
@@ -434,7 +557,14 @@ impl Machine {
     /// Take a coordinated snapshot of every node's memory through the
     /// system boards and disks (§III), as a simulated procedure. Returns
     /// the images (node order) and the wall-clock the snapshot took.
-    pub fn snapshot(&mut self) -> (Vec<Vec<u32>>, Dur) {
+    ///
+    /// Fails with [`MachineError::NodeDown`] if any node is crashed (a
+    /// dead control processor cannot stream its memory), and with
+    /// [`MachineError::Stalled`] if the streaming procedure deadlocks.
+    pub fn snapshot(&mut self) -> Result<(Vec<Vec<u32>>, Dur), MachineError> {
+        if let Some(n) = self.nodes.iter().find(|n| n.is_crashed()) {
+            return Err(MachineError::NodeDown { node: n.id });
+        }
         let t0 = self.sim.now();
         let mut image_handles = Vec::new();
         for (m, board) in self.boards.iter().enumerate() {
@@ -456,18 +586,43 @@ impl Machine {
             }));
         }
         let report = self.sim.run();
-        assert!(report.quiescent, "snapshot deadlocked");
+        if !report.quiescent {
+            return Err(MachineError::Stalled { op: "snapshot" });
+        }
         let mut images = Vec::new();
         for h in image_handles {
-            images.extend(h.try_take().expect("snapshot incomplete"));
+            images.extend(h.try_take().ok_or(MachineError::Stalled { op: "snapshot" })?);
         }
-        (images, self.sim.now().since(t0))
+        Ok((images, self.sim.now().since(t0)))
     }
 
     /// Restore every node's memory from snapshot images (the recovery
     /// path: boards stream images back down the system thread).
-    pub fn restore(&mut self, images: &[Vec<u32>]) -> Dur {
-        assert_eq!(images.len(), self.nodes.len());
+    ///
+    /// Fails with [`MachineError::BadImageCount`] /
+    /// [`MachineError::BadImageGeometry`] on a malformed image set,
+    /// [`MachineError::NodeDown`] if a crashed node cannot receive its
+    /// image, and [`MachineError::Stalled`] on deadlock.
+    pub fn restore(&mut self, images: &[Vec<u32>]) -> Result<Dur, MachineError> {
+        if images.len() != self.nodes.len() {
+            return Err(MachineError::BadImageCount {
+                expected: self.nodes.len(),
+                got: images.len(),
+            });
+        }
+        for (node, image) in self.nodes.iter().zip(images) {
+            let expected = node.mem().cfg().words();
+            if image.len() != expected {
+                return Err(MachineError::BadImageGeometry {
+                    node: node.id,
+                    expected,
+                    got: image.len(),
+                });
+            }
+        }
+        if let Some(n) = self.nodes.iter().find(|n| n.is_crashed()) {
+            return Err(MachineError::NodeDown { node: n.id });
+        }
         let t0 = self.sim.now();
         for (m, board) in self.boards.iter().enumerate() {
             let lo = m * 8;
@@ -495,9 +650,95 @@ impl Machine {
             }
         }
         let report = self.sim.run();
-        assert!(report.quiescent, "restore deadlocked");
-        self.sim.now().since(t0)
+        if !report.quiescent {
+            return Err(MachineError::Stalled { op: "restore" });
+        }
+        Ok(self.sim.now().since(t0))
     }
+}
+
+/// Fault-injection facade returned by [`Machine::faults`]: breaks (and
+/// repairs) hardware, booking each event into the fault metrics.
+pub struct FaultInjector<'m> {
+    m: &'m Machine,
+}
+
+impl FaultInjector<'_> {
+    /// Kill the physical link carrying cube dimension `dim` at `node`.
+    /// Both directions go down (the neighbour sees it too); failable
+    /// traffic on the edge then errors instead of hanging.
+    pub fn link_down(&self, node: NodeId, dim: u32) {
+        let n = &self.m.nodes[node as usize];
+        n.set_link_down(dim as usize);
+        n.metrics().inc("fault.link_down");
+    }
+
+    /// Repair the physical link carrying cube dimension `dim` at `node`
+    /// (the inverse of [`FaultInjector::link_down`]): both directions come
+    /// back up.
+    pub fn link_up(&self, node: NodeId, dim: u32) {
+        let n = &self.m.nodes[node as usize];
+        n.set_link_up(dim as usize);
+        n.metrics().inc("fault.link_repair");
+    }
+
+    /// Crash `node`: its control processor is dead and every wired link
+    /// (cube and system thread) is marked down.
+    pub fn crash(&self, node: NodeId) {
+        let n = &self.m.nodes[node as usize];
+        n.crash();
+        n.metrics().inc("fault.node_crash");
+    }
+
+    /// Flip `bit` of the word at `addr` in `node`'s memory without fixing
+    /// parity — the next read reports a parity error.
+    pub fn mem_flip(&self, node: NodeId, addr: usize, bit: u32) {
+        let n = &self.m.nodes[node as usize];
+        n.mem_mut().inject_bit_flip(addr, bit).expect("mem-flip address out of range");
+        n.metrics().inc("fault.mem_flip");
+    }
+
+    /// True while the physical link on `(node, dim)` is alive.
+    pub fn is_link_up(&self, node: NodeId, dim: u32) -> bool {
+        self.m.nodes[node as usize].link_up(dim as usize)
+    }
+}
+
+/// A machine-wide merge of per-node histogram distributions.
+struct MergedHist {
+    total: u64,
+    mean: f64,
+    counts: [u64; ts_sim::metrics::HIST_BUCKETS],
+}
+
+impl MergedHist {
+    /// Upper bound of the bucket containing the `q`-quantile.
+    fn quantile_bound(&self, q: f64) -> u64 {
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target && c > 0 {
+                return ts_sim::Histogram::bucket_range(i).1;
+            }
+        }
+        ts_sim::Histogram::bucket_range(ts_sim::metrics::HIST_BUCKETS - 1).1
+    }
+}
+
+fn merge_hists(hists: impl Iterator<Item = ts_sim::Histogram>) -> MergedHist {
+    let mut counts = [0u64; ts_sim::metrics::HIST_BUCKETS];
+    let mut total = 0u64;
+    let mut weighted = 0.0f64;
+    for h in hists {
+        for (acc, c) in counts.iter_mut().zip(h.counts()) {
+            *acc += c;
+        }
+        let t = h.total();
+        total += t;
+        weighted += h.mean() * t as f64;
+    }
+    MergedHist { total, mean: if total > 0 { weighted / total as f64 } else { 0.0 }, counts }
 }
 
 #[cfg(test)]
@@ -641,19 +882,80 @@ mod tests {
     }
 
     #[test]
+    fn registry_scopes_per_node_metrics() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        m.launch(|ctx| async move {
+            ctx.cp_compute(100).await;
+        });
+        assert!(m.run().quiescent);
+        assert_eq!(m.registry().get_counter("node/3/cp/instrs"), Some(100));
+        assert_eq!(m.registry().sum_counters("cp/instrs"), 800);
+        // The legacy bridge folds meter totals under the flat keys.
+        assert_eq!(m.metrics().get("cp.instrs"), 800);
+    }
+
+    #[test]
+    fn faults_facade_breaks_and_repairs_links() {
+        let m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+        let f = m.faults();
+        assert!(f.is_link_up(0, 1));
+        f.link_down(0, 1);
+        assert!(!f.is_link_up(0, 1), "link down at one end downs the edge");
+        assert!(!f.is_link_up(2, 1), "the neighbour sees the failure too");
+        f.link_up(0, 1);
+        assert!(f.is_link_up(0, 1));
+        assert!(f.is_link_up(2, 1));
+        assert_eq!(m.metrics().get("fault.link_down"), 1);
+        assert_eq!(m.metrics().get("fault.link_repair"), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_inject_methods_delegate_to_the_facade() {
+        let m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+        m.inject_link_down(0, 1);
+        assert!(!m.link_up(0, 1));
+        m.inject_node_crash(3);
+        assert!(m.nodes[3].is_crashed());
+        m.inject_mem_flip(1, 7, 4);
+        assert_eq!(m.metrics().get("fault.link_down"), 1);
+        assert_eq!(m.metrics().get("fault.node_crash"), 1);
+        assert_eq!(m.metrics().get("fault.mem_flip"), 1);
+    }
+
+    #[test]
+    fn snapshot_and_restore_report_machine_errors() {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        let (images, _) = m.snapshot().unwrap();
+        assert_eq!(
+            m.restore(&images[..3]),
+            Err(MachineError::BadImageCount { expected: 8, got: 3 })
+        );
+        let mut bad = images.clone();
+        bad[2].pop();
+        match m.restore(&bad) {
+            Err(MachineError::BadImageGeometry { node: 2, .. }) => {}
+            other => panic!("expected BadImageGeometry for node 2, got {other:?}"),
+        }
+        m.faults().crash(5);
+        assert_eq!(m.snapshot(), Err(MachineError::NodeDown { node: 5 }));
+        assert_eq!(m.restore(&images), Err(MachineError::NodeDown { node: 5 }));
+    }
+
+    #[test]
     fn snapshot_roundtrip_restores_memory() {
         let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
         for (i, node) in m.nodes.iter().enumerate() {
             node.mem_mut().write_word(10, 1000 + i as u32).unwrap();
         }
-        let (images, snap_time) = m.snapshot();
+        let (images, snap_time) = m.snapshot().unwrap();
         assert_eq!(images.len(), 8);
         assert!(snap_time > Dur::ZERO);
         // Corrupt, then restore.
         for node in &m.nodes {
             node.mem_mut().write_word(10, 0).unwrap();
         }
-        let restore_time = m.restore(&images);
+        let restore_time = m.restore(&images).unwrap();
         assert!(restore_time > Dur::ZERO);
         for (i, node) in m.nodes.iter().enumerate() {
             assert_eq!(node.mem().read_word(10).unwrap(), 1000 + i as u32);
@@ -666,11 +968,11 @@ mod tests {
         // of configuration" — modules snapshot in parallel.
         let t3 = {
             let mut m = Machine::build(MachineCfg::cube_small_mem(3, 16));
-            m.snapshot().1
+            m.snapshot().unwrap().1
         };
         let t5 = {
             let mut m = Machine::build(MachineCfg::cube_small_mem(5, 16));
-            m.snapshot().1
+            m.snapshot().unwrap().1
         };
         let ratio = t5.as_secs_f64() / t3.as_secs_f64();
         assert!(ratio < 1.05, "snapshot should not grow with machine size: {ratio}");

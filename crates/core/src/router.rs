@@ -46,8 +46,9 @@ const ROUTE_CP_INSTRS: u64 = 12;
 const KIND_DATA: u32 = 0;
 const KIND_POISON: u32 = 1;
 
-/// Frame header: destination, source, kind, detour budget, avoid-dim.
-const HDR: usize = 5;
+/// Frame header: destination, source, kind, detour budget, avoid-dim,
+/// hops taken so far.
+const HDR: usize = 6;
 /// Extra hops a message may spend detouring around dead links.
 const DETOUR_BUDGET: u32 = 2;
 /// Sentinel for "no dimension to avoid".
@@ -64,6 +65,7 @@ fn frame_for(dst: u32, src: u32, kind: u32, payload: &[u32]) -> Vec<u32> {
     frame.push(kind);
     frame.push(DETOUR_BUDGET);
     frame.push(AVOID_NONE);
+    frame.push(0); // hops taken
     frame.extend_from_slice(payload);
     frame
 }
@@ -219,6 +221,9 @@ async fn daemon(
     let me = ctx.id();
     let mut forwarded = 0u64;
     let health = ctx.health();
+    // Distribution of hop counts over messages delivered *here*
+    // (`node/{id}/router/hops` in the machine registry).
+    let hops_hist = ctx.meters().scope().histogram("router/hops");
     loop {
         // ALT over the loopback injection port and every cube dimension,
         // racing the node's health flag: a crash tears the daemon down.
@@ -233,7 +238,10 @@ async fn daemon(
         if dst == me {
             match kind {
                 KIND_POISON => return forwarded,
-                _ => deliver.send((src, frame[HDR..].to_vec())),
+                _ => {
+                    hops_hist.observe(frame[5] as u64);
+                    deliver.send((src, frame[HDR..].to_vec()));
+                }
             }
         } else {
             // Forward asynchronously: a daemon blocked in a rendezvous
@@ -300,7 +308,11 @@ async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
         if d != ecube {
             ctx.metrics().inc("router.reroutes");
         }
-        let send = Box::pin(ctx.try_send_dim(d, frame.clone()));
+        // Count the hop in the copy we send; a failed attempt retries from
+        // the original frame without inflating the count.
+        let mut hop = frame.clone();
+        hop[5] += 1;
+        let send = Box::pin(ctx.try_send_dim(d, hop));
         match ts_sim::select2(send, ctx.handle().sleep(FORWARD_DEADLINE)).await {
             ts_sim::Either::Left(Ok(())) => return,
             ts_sim::Either::Left(Err(_)) => {
@@ -356,6 +368,11 @@ mod tests {
         let r = m.run();
         assert!(r.quiescent, "router did not shut down cleanly");
         assert_eq!(done.try_take(), Some((0, vec![1, 2, 3])));
+        // 0 → 7 in a 3-cube is exactly 3 e-cube hops, booked in the
+        // receiver's hop histogram.
+        let hops = m.registry().scope("node/7").histogram("router/hops");
+        assert_eq!(hops.total(), 1);
+        assert_eq!(hops.mean(), 3.0);
     }
 
     #[test]
@@ -392,7 +409,7 @@ mod tests {
         // it in 3 hops by correcting a higher dimension first; a 0→1
         // message needs a +2-hop detour. Both must be delivered.
         let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
-        m.inject_link_down(0, 0);
+        m.faults().link_down(0, 0);
         let router = Router::start(&m);
         let h0 = router.handle(0);
         let h1 = router.handle(1);
@@ -418,7 +435,7 @@ mod tests {
     fn message_to_crashed_node_dropped_without_hanging() {
         let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
         let router = Router::start(&m);
-        m.inject_node_crash(7);
+        m.faults().crash(7);
         let h0 = router.handle(0);
         let h7 = router.handle(7);
         let done = m.handle().spawn(async move {

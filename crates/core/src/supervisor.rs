@@ -32,7 +32,7 @@ use std::fmt;
 use ts_sim::{Dur, Time};
 
 use crate::fault::FaultPlan;
-use crate::{Machine, MachineCfg};
+use crate::{Machine, MachineCfg, MachineError};
 
 /// One replayable unit of work: launch tasks on the machine; the
 /// supervisor runs them to quiescence. Must be a pure function of node
@@ -52,6 +52,9 @@ pub enum SupervisorError {
     /// More reboots than `max_reboots` — the fault plan (or the job)
     /// keeps killing every incarnation.
     RebootStorm,
+    /// A snapshot or restore failed at the machine level (dead node,
+    /// malformed image set, or a stalled system thread).
+    Machine(MachineError),
 }
 
 impl fmt::Display for SupervisorError {
@@ -61,11 +64,18 @@ impl fmt::Display for SupervisorError {
                 write!(f, "phase {phase} deadlocked with no fault to recover from")
             }
             SupervisorError::RebootStorm => write!(f, "reboot limit exceeded"),
+            SupervisorError::Machine(e) => write!(f, "checkpoint machinery failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for SupervisorError {}
+
+impl From<MachineError> for SupervisorError {
+    fn from(e: MachineError) -> SupervisorError {
+        SupervisorError::Machine(e)
+    }
+}
 
 /// What a protected run cost and what it survived.
 #[derive(Clone, Debug, Default)]
@@ -152,7 +162,7 @@ impl Supervisor {
         let job = |base: Dur, m: &Machine, mark: Time| base + m.now().since(mark);
 
         // Baseline snapshot: the earliest state recovery can return to.
-        let (mut images, _) = m.snapshot();
+        let (mut images, _) = m.snapshot()?;
         report.snapshots += 1;
         let mut ckpt_phase = 0usize; // first phase the snapshot does NOT cover
         let mut committed = job(base, &m, mark); // job time at last commit
@@ -215,7 +225,7 @@ impl Supervisor {
                 phase_idx += 1;
                 let jnow = job(base, &m, mark);
                 if jnow.saturating_sub(committed) >= self.interval && phase_idx < phases.len() {
-                    let (im, _) = m.snapshot();
+                    let (im, _) = m.snapshot()?;
                     images = im;
                     report.snapshots += 1;
                     ckpt_phase = phase_idx;
@@ -239,7 +249,7 @@ impl Supervisor {
                     tf.event.apply(&m);
                 }
             }
-            m.restore(&images);
+            m.restore(&images)?;
             phase_idx = ckpt_phase;
         }
 
@@ -329,7 +339,7 @@ mod tests {
     fn probe_times() -> (Dur, Dur, Dur) {
         let mut m = Machine::build(cfg());
         seed(&mut m);
-        let (_, d0) = m.snapshot();
+        let (_, d0) = m.snapshot().unwrap();
         let ph = phases();
         let t1 = m.now();
         ph[0](&mut m);
@@ -404,7 +414,7 @@ mod tests {
             );
         let (m, rep) = sup.run_to_completion(seed, &phases(), &plan).unwrap();
         assert_eq!(rep.reboots, 1, "link down alone must not trigger a reboot");
-        assert!(!m.link_up(1, 2), "the broken cable stays broken after reboot");
+        assert!(!m.faults().is_link_up(1, 2), "the broken cable stays broken after reboot");
         assert_eq!(rep.faults.len(), 2);
     }
 

@@ -151,11 +151,11 @@ fn snapshot_restore_arbitrary_state() {
                 node.mem_mut().write_word(addr, v ^ k as u32).unwrap();
             }
         }
-        let (images, _) = m.snapshot();
+        let (images, _) = m.snapshot().unwrap();
         for node in &m.nodes {
             node.mem_mut().write_word(writes[0].0, !0).unwrap();
         }
-        m.restore(&images);
+        m.restore(&images).unwrap();
         for (k, node) in m.nodes.iter().enumerate() {
             let mut model = std::collections::HashMap::new();
             for &(addr, v) in &writes {

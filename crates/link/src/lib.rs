@@ -34,7 +34,10 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use ts_sim::{select2, Dur, Either, Metrics, OneShot, Rendezvous, Resource, SimHandle, Time};
+use ts_sim::{
+    select2, Counter, Dur, Either, Histogram, Metrics, OneShot, Rendezvous, Resource, SimHandle,
+    Time, TrackId, Tracer,
+};
 
 /// Line rate and framing of one serial link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,12 +106,25 @@ impl LinkParams {
 pub struct Wire {
     resource: Resource,
     params: LinkParams,
+    /// Payload bytes carried, shared by every clone of this wire.
+    bytes: Counter,
+    /// Flits carried: one flit is a 32-bit payload word, the unit the DMA
+    /// engine moves through the word port.
+    flits: Counter,
+    /// Transfers (reservations) granted.
+    transfers: Counter,
 }
 
 impl Wire {
     /// Create an idle wire.
     pub fn new(name: &'static str, params: LinkParams) -> Wire {
-        Wire { resource: Resource::new(name), params }
+        Wire {
+            resource: Resource::new(name),
+            params,
+            bytes: Counter::new(),
+            flits: Counter::new(),
+            transfers: Counter::new(),
+        }
     }
 
     /// Framing parameters.
@@ -119,7 +135,32 @@ impl Wire {
     /// Occupy the wire for a `bytes`-byte transfer starting no earlier than
     /// `now`; returns the `(start, end)` of the granted slot.
     pub fn reserve(&self, now: Time, bytes: usize) -> (Time, Time) {
+        self.book(bytes);
         self.resource.reserve(now, self.params.wire_time(bytes))
+    }
+
+    /// Account a `bytes`-byte transfer in the per-wire tallies (called by
+    /// every reservation path, including joint sender/receiver grants that
+    /// bypass [`Wire::reserve`]).
+    fn book(&self, bytes: usize) {
+        self.bytes.add(bytes as u64);
+        self.flits.add(bytes as u64 / 4);
+        self.transfers.inc();
+    }
+
+    /// Payload bytes this wire has carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Flits (32-bit payload words) this wire has carried.
+    pub fn flits_carried(&self) -> u64 {
+        self.flits.get()
+    }
+
+    /// Transfers granted on this wire.
+    pub fn transfers(&self) -> u64 {
+        self.transfers.get()
     }
 
     /// Total time the wire has carried data.
@@ -238,6 +279,17 @@ struct Packet {
     words: Vec<u32>,
     /// Completion instant, reported back to the sender by the receiver.
     done: OneShot<Time>,
+    /// When the sender committed the message (post-DMA-startup): the start
+    /// of the end-to-end latency the receiver observes.
+    sent_at: Time,
+}
+
+/// Optional telemetry shared by every clone of one sublink: an end-to-end
+/// message-latency histogram and a trace flow arrow per delivered message.
+#[derive(Default)]
+struct LinkTelemetry {
+    latency_ns: Option<Histogram>,
+    flow: Option<(Tracer, TrackId, TrackId)>,
 }
 
 /// One **sublink**: a unidirectional CSP channel multiplexed onto the
@@ -254,6 +306,7 @@ pub struct LinkChannel {
     rx_wire: Wire,
     metrics: Metrics,
     status: LinkStatus,
+    telem: Rc<RefCell<LinkTelemetry>>,
 }
 
 impl LinkChannel {
@@ -266,6 +319,7 @@ impl LinkChannel {
             rx_wire: wire,
             metrics: Metrics::new(),
             status: LinkStatus::new(),
+            telem: Rc::new(RefCell::new(LinkTelemetry::default())),
         }
     }
 
@@ -278,6 +332,7 @@ impl LinkChannel {
             rx_wire,
             metrics: Metrics::new(),
             status: LinkStatus::new(),
+            telem: Rc::new(RefCell::new(LinkTelemetry::default())),
         }
     }
 
@@ -289,12 +344,40 @@ impl LinkChannel {
             rx_wire: wire,
             metrics,
             status: LinkStatus::new(),
+            telem: Rc::new(RefCell::new(LinkTelemetry::default())),
         }
     }
 
     /// Attach a metrics bundle after construction.
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Record every delivered message's end-to-end latency (sender commit →
+    /// receiver completion, in nanoseconds) into `hist`. The telemetry slot
+    /// is shared across clones, so enabling it on either end covers both.
+    pub fn set_latency_histogram(&self, hist: Histogram) {
+        self.telem.borrow_mut().latency_ns = Some(hist);
+    }
+
+    /// Emit a trace flow arrow from track `from` to track `to` for every
+    /// delivered message. Shared across clones, like the histogram.
+    pub fn enable_flow_trace(&self, tracer: Tracer, from: TrackId, to: TrackId) {
+        self.telem.borrow_mut().flow = Some((tracer, from, to));
+    }
+
+    /// Receive-side accounting shared by every delivery path: legacy
+    /// counters, the optional latency histogram and the optional flow arrow.
+    fn book_recv(&self, sent_at: Time, end: Time, bytes: usize) {
+        self.metrics.inc("link.msgs_recv");
+        self.metrics.add("link.bytes_recv", bytes as u64);
+        let telem = self.telem.borrow();
+        if let Some(hist) = &telem.latency_ns {
+            hist.observe(end.since(sent_at).as_ns());
+        }
+        if let Some((tracer, from, to)) = &telem.flow {
+            tracer.flow(*from, *to, sent_at, end);
+        }
     }
 
     /// The shared health flag of the physical link under this sublink.
@@ -328,7 +411,7 @@ impl LinkChannel {
         let done = OneShot::new();
         self.metrics.inc("link.msgs_sent");
         self.metrics.add("link.bytes_sent", bytes as u64);
-        self.rv.send(Packet { words, done: done.clone() }).await;
+        self.rv.send(Packet { words, done: done.clone(), sent_at: h.now() }).await;
         let end = done.recv().await;
         h.sleep_until(end).await;
     }
@@ -340,14 +423,17 @@ impl LinkChannel {
         let bytes = pkt.words.len() * 4;
         let (_start, end) = self.reserve_both(h.now(), bytes);
         h.sleep_until(end).await;
-        self.metrics.inc("link.msgs_recv");
-        self.metrics.add("link.bytes_recv", bytes as u64);
+        self.book_recv(pkt.sent_at, end, bytes);
         pkt.done.send(end);
         pkt.words
     }
 
     /// Occupy both link engines for a `bytes`-byte transfer.
     fn reserve_both(&self, now: Time, bytes: usize) -> (Time, Time) {
+        self.tx_wire.book(bytes);
+        if !self.tx_wire.resource().same_as(self.rx_wire.resource()) {
+            self.rx_wire.book(bytes);
+        }
         Resource::reserve_pair(
             self.tx_wire.resource(),
             self.rx_wire.resource(),
@@ -373,7 +459,7 @@ impl LinkChannel {
             return Err(LinkError::Down);
         }
         let done = OneShot::new();
-        let pkt = Packet { words, done: done.clone() };
+        let pkt = Packet { words, done: done.clone(), sent_at: h.now() };
         match select2(self.rv.send(pkt), self.status.watch_down()).await {
             Either::Left(()) => {
                 self.metrics.inc("link.msgs_sent");
@@ -399,8 +485,7 @@ impl LinkChannel {
                 let bytes = pkt.words.len() * 4;
                 let (_start, end) = self.reserve_both(h.now(), bytes);
                 h.sleep_until(end).await;
-                self.metrics.inc("link.msgs_recv");
-                self.metrics.add("link.bytes_recv", bytes as u64);
+                self.book_recv(pkt.sent_at, end, bytes);
                 pkt.done.send(end);
                 Ok(pkt.words)
             }
@@ -430,8 +515,7 @@ pub async fn alt_recv(h: &SimHandle, chans: &[&LinkChannel]) -> (usize, Vec<u32>
     let ch = chans[idx];
     let (_start, end) = ch.reserve_both(h.now(), bytes);
     h.sleep_until(end).await;
-    ch.metrics.inc("link.msgs_recv");
-    ch.metrics.add("link.bytes_recv", bytes as u64);
+    ch.book_recv(pkt.sent_at, end, bytes);
     pkt.done.send(end);
     (idx, pkt.words)
 }
@@ -455,8 +539,7 @@ pub async fn alt_recv_or_down(
             let ch = chans[idx];
             let (_start, end) = ch.reserve_both(h.now(), bytes);
             h.sleep_until(end).await;
-            ch.metrics.inc("link.msgs_recv");
-            ch.metrics.add("link.bytes_recv", bytes as u64);
+            ch.book_recv(pkt.sent_at, end, bytes);
             pkt.done.send(end);
             Ok((idx, pkt.words))
         }
@@ -628,6 +711,74 @@ mod tests {
         assert_eq!(m.get("link.bytes_sent"), 16);
         assert_eq!(m.get("link.bytes_recv"), 16);
     }
+    #[test]
+    fn wire_tallies_bytes_and_flits() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let wire = Wire::new("w", LinkParams::default());
+        let ch = LinkChannel::new(wire.clone());
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![0; 8]).await });
+        sim.spawn(async move {
+            rx.recv(&h).await;
+        });
+        assert!(sim.run().quiescent);
+        assert_eq!(wire.bytes_carried(), 32);
+        assert_eq!(wire.flits_carried(), 8);
+        assert_eq!(wire.transfers(), 1);
+    }
+
+    #[test]
+    fn latency_histogram_observes_message_time() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let hist = Histogram::new();
+        ch.set_latency_histogram(hist.clone());
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![0xff; 2]).await });
+        sim.spawn(async move {
+            rx.recv(&h).await;
+        });
+        assert!(sim.run().quiescent);
+        // One 64-bit word: 16 µs of wire time after the sender committed.
+        assert_eq!(hist.total(), 1);
+        assert!((hist.mean() - 16_000.0).abs() < 1e-9, "{}", hist.mean());
+    }
+
+    #[test]
+    fn flow_trace_links_sender_and_receiver_tracks() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let tracer = Tracer::new();
+        let from = tracer.track("n0.l0");
+        let to = tracer.track("n1.l0");
+        ch.enable_flow_trace(tracer.clone(), from, to);
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![0; 2]).await });
+        sim.spawn(async move {
+            rx.recv(&h).await;
+        });
+        assert!(sim.run().quiescent);
+        let flows: Vec<_> = tracer
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, ts_sim::Event::Flow { .. }))
+            .collect();
+        assert_eq!(flows.len(), 1);
+        match flows[0] {
+            ts_sim::Event::Flow { from: f, to: t, depart, arrive, .. } => {
+                assert_eq!((f, t), (from, to));
+                assert!(arrive > depart);
+            }
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn alt_recv_takes_first_sender() {
         let mut sim = Sim::new();

@@ -43,7 +43,7 @@ use ts_cp::{Cp, CpBus, CpError, CpEvent, StepOutcome};
 use ts_fpu::Sf64;
 use ts_link::{LinkChannel, LinkError};
 use ts_mem::{MemCfg, MemError, NodeMemory, GATHER64_TIME, ROW_TIME, ROW_WORDS, WORD_TIME};
-use ts_sim::{Dur, Metrics, Resource, SimHandle};
+use ts_sim::{BusyTime, Counter, Dur, Histogram, Metrics, MetricsRegistry, MetricsScope, Resource, SimHandle};
 use ts_vec::{VecForm, VecResult, VecUnit};
 
 /// Average control-processor instruction time (7.5 MIPS).
@@ -89,6 +89,68 @@ struct NodeState {
     health: ts_link::LinkStatus,
 }
 
+/// Pre-registered hot-path metric handles for one node's units, living
+/// under `node/{id}/...` in the machine's [`MetricsRegistry`].
+///
+/// Every handle is a shared cell registered once at node construction, so
+/// the per-event cost on the hot path is a single store — no map lookup,
+/// no string, no allocation (the property the bench microbenchmark
+/// verifies against the legacy [`Metrics::inc`] path).
+#[derive(Clone)]
+pub struct NodeMeters {
+    scope: MetricsScope,
+    /// Control-processor busy time (`node/{id}/cp/busy`).
+    pub cp_busy: BusyTime,
+    /// Control-processor instructions executed (`node/{id}/cp/instrs`).
+    pub cp_instrs: Counter,
+    /// Elements gathered by the CP word-port loop (`node/{id}/cp/gathered`).
+    pub cp_gathered: Counter,
+    /// Elements scattered by the CP word-port loop (`node/{id}/cp/scattered`).
+    pub cp_scattered: Counter,
+    /// Word-port time consumed by the CP (`node/{id}/port/cp`).
+    pub port_cp: BusyTime,
+    /// Vector-unit busy time (`node/{id}/vec/busy`).
+    pub vec_busy: BusyTime,
+    /// Floating-point operations retired (`node/{id}/vec/flops`).
+    pub vec_flops: Counter,
+    /// Histogram of vector-form lengths (`node/{id}/vec/len`).
+    pub vec_len: Histogram,
+    /// Memory rows moved through the row port (`node/{id}/mem/rows_moved`).
+    pub rows_moved: Counter,
+    /// Payload words sent over cube links (`node/{id}/link/words_sent`).
+    pub link_words_sent: Counter,
+    /// Payload words received over cube links (`node/{id}/link/words_recv`).
+    pub link_words_recv: Counter,
+    /// End-to-end inbound message latency in ns (`node/{id}/link/latency_ns`).
+    pub link_latency_ns: Histogram,
+}
+
+impl NodeMeters {
+    fn new(scope: MetricsScope) -> NodeMeters {
+        NodeMeters {
+            cp_busy: scope.busy_time("cp/busy"),
+            cp_instrs: scope.counter("cp/instrs"),
+            cp_gathered: scope.counter("cp/gathered"),
+            cp_scattered: scope.counter("cp/scattered"),
+            port_cp: scope.busy_time("port/cp"),
+            vec_busy: scope.busy_time("vec/busy"),
+            vec_flops: scope.counter("vec/flops"),
+            vec_len: scope.histogram("vec/len"),
+            rows_moved: scope.counter("mem/rows_moved"),
+            link_words_sent: scope.counter("link/words_sent"),
+            link_words_recv: scope.counter("link/words_recv"),
+            link_latency_ns: scope.histogram("link/latency_ns"),
+            scope,
+        }
+    }
+
+    /// The node's `node/{id}` scope, for registering further unit metrics
+    /// (router hop histograms, collective latencies).
+    pub fn scope(&self) -> &MetricsScope {
+        &self.scope
+    }
+}
+
 /// One processor node: shared handle used by the machine builder.
 #[derive(Clone)]
 pub struct Node {
@@ -103,13 +165,22 @@ pub struct Node {
     /// The random-access memory port (CP + link DMA share it).
     port_res: Resource,
     metrics: Metrics,
+    meters: NodeMeters,
 }
 
 impl Node {
-    /// Build a node. Channels are wired afterwards by the machine layer via
-    /// [`Node::wire_dim`] / [`Node::wire_system`].
+    /// Build a node with a private, standalone metrics registry. Channels
+    /// are wired afterwards by the machine layer via [`Node::wire_dim`] /
+    /// [`Node::wire_system`].
     pub fn new(id: u32, cfg: NodeCfg, h: SimHandle) -> Node {
+        Node::with_registry(id, cfg, h, &MetricsRegistry::new())
+    }
+
+    /// Build a node whose unit meters register under `node/{id}/...` in a
+    /// shared machine-wide registry.
+    pub fn with_registry(id: u32, cfg: NodeCfg, h: SimHandle, registry: &MetricsRegistry) -> Node {
         let vec_unit = if cfg.single_bank { VecUnit::single_bank() } else { VecUnit::new() };
+        let meters = NodeMeters::new(registry.scope(&format!("node/{id}")));
         Node {
             id,
             h,
@@ -126,6 +197,7 @@ impl Node {
             vec_res: Resource::new("vec"),
             port_res: Resource::new("port"),
             metrics: Metrics::new(),
+            meters,
         }
     }
 
@@ -163,6 +235,18 @@ impl Node {
         }
         if let Some(inp) = st.in_dims.get(dim) {
             inp.status().set_down();
+        }
+    }
+
+    /// Repair the physical link on dimension `dim`: both direction channels
+    /// are marked up again (the inverse of [`Node::set_link_down`]).
+    pub fn set_link_up(&self, dim: usize) {
+        let st = self.state.borrow();
+        if let Some(out) = st.out_dims.get(dim) {
+            out.status().set_up();
+        }
+        if let Some(inp) = st.in_dims.get(dim) {
+            inp.status().set_up();
         }
     }
 
@@ -214,6 +298,23 @@ impl Node {
         &self.metrics
     }
 
+    /// This node's pre-registered unit meters.
+    pub fn meters(&self) -> &NodeMeters {
+        &self.meters
+    }
+
+    /// The outgoing sublink for dimension `dim`, if wired (the machine's
+    /// telemetry layer uses this to attach flow traces and latency
+    /// histograms to each cube edge).
+    pub fn out_channel(&self, dim: usize) -> Option<LinkChannel> {
+        self.state.borrow().out_dims.get(dim).cloned()
+    }
+
+    /// Number of cube dimensions wired so far.
+    pub fn dims_wired(&self) -> usize {
+        self.state.borrow().out_dims.len()
+    }
+
     /// Direct (zero-simulated-time) access to memory, for host-side setup
     /// and verification.
     pub fn mem(&self) -> Ref<'_, NodeMemory> {
@@ -262,6 +363,11 @@ impl NodeCtx {
         &self.node.metrics
     }
 
+    /// The node's pre-registered unit meters.
+    pub fn meters(&self) -> &NodeMeters {
+        &self.node.meters
+    }
+
     /// Zero-time memory access for setup/verification (host side).
     pub fn mem(&self) -> Ref<'_, NodeMemory> {
         self.node.mem()
@@ -277,8 +383,8 @@ impl NodeCtx {
     /// Run `n` average control-processor instructions (7.5 MIPS).
     pub async fn cp_compute(&self, n: u64) {
         let d = CP_INSTR_TIME * n;
-        self.node.metrics.add("cp.instrs", n);
-        self.node.metrics.add_time("cp.busy", d);
+        self.node.meters.cp_instrs.add(n);
+        self.node.meters.cp_busy.add(d);
         self.node.cp_res.use_for(&self.node.h, d).await;
     }
 
@@ -286,7 +392,7 @@ impl NodeCtx {
     pub async fn cp_read(&self, addr: usize) -> Result<u32, MemError> {
         self.node.cp_res.use_for(&self.node.h, WORD_TIME).await;
         self.node.port_res.reserve(self.now(), WORD_TIME);
-        self.node.metrics.add_time("port.cp", WORD_TIME);
+        self.node.meters.port_cp.add(WORD_TIME);
         self.node.state.borrow().mem.read_word(addr)
     }
 
@@ -294,7 +400,7 @@ impl NodeCtx {
     pub async fn cp_write(&self, addr: usize, w: u32) -> Result<(), MemError> {
         self.node.cp_res.use_for(&self.node.h, WORD_TIME).await;
         self.node.port_res.reserve(self.now(), WORD_TIME);
-        self.node.metrics.add_time("port.cp", WORD_TIME);
+        self.node.meters.port_cp.add(WORD_TIME);
         self.node.state.borrow_mut().mem.write_word(addr, w)
     }
 
@@ -306,9 +412,9 @@ impl NodeCtx {
         let d = GATHER64_TIME * src.len() as u64;
         // The CP and the word port are both occupied by the loop.
         self.node.port_res.reserve(self.now(), d);
-        self.node.metrics.add("cp.gathered", src.len() as u64);
-        self.node.metrics.add_time("cp.busy", d);
-        self.node.metrics.add_time("port.cp", d);
+        self.node.meters.cp_gathered.add(src.len() as u64);
+        self.node.meters.cp_busy.add(d);
+        self.node.meters.port_cp.add(d);
         {
             let mut st = self.node.state.borrow_mut();
             for (i, &s) in src.iter().enumerate() {
@@ -325,9 +431,9 @@ impl NodeCtx {
     pub async fn gather32(&self, src: &[usize], dst: usize) -> Result<(), MemError> {
         let d = ts_mem::GATHER32_TIME * src.len() as u64;
         self.node.port_res.reserve(self.now(), d);
-        self.node.metrics.add("cp.gathered", src.len() as u64);
-        self.node.metrics.add_time("cp.busy", d);
-        self.node.metrics.add_time("port.cp", d);
+        self.node.meters.cp_gathered.add(src.len() as u64);
+        self.node.meters.cp_busy.add(d);
+        self.node.meters.port_cp.add(d);
         {
             let mut st = self.node.state.borrow_mut();
             for (i, &s) in src.iter().enumerate() {
@@ -344,9 +450,9 @@ impl NodeCtx {
     pub async fn scatter64(&self, src: usize, dst: &[usize]) -> Result<(), MemError> {
         let d = GATHER64_TIME * dst.len() as u64;
         self.node.port_res.reserve(self.now(), d);
-        self.node.metrics.add("cp.scattered", dst.len() as u64);
-        self.node.metrics.add_time("cp.busy", d);
-        self.node.metrics.add_time("port.cp", d);
+        self.node.meters.cp_scattered.add(dst.len() as u64);
+        self.node.meters.cp_busy.add(d);
+        self.node.meters.port_cp.add(d);
         {
             let mut st = self.node.state.borrow_mut();
             for (i, &t) in dst.iter().enumerate() {
@@ -363,7 +469,7 @@ impl NodeCtx {
     /// argument). 800 ns per row (one read + one write).
     pub async fn row_move(&self, src_row: usize, dst_row: usize, rows: usize) -> Result<(), MemError> {
         let d = ROW_TIME * (2 * rows as u64);
-        self.node.metrics.add("mem.rows_moved", rows as u64);
+        self.node.meters.rows_moved.add(rows as u64);
         {
             let mut st = self.node.state.borrow_mut();
             let mut buf = [0u32; ROW_WORDS];
@@ -379,7 +485,7 @@ impl NodeCtx {
     /// Swap two row ranges (read both, write both: 1.6 µs per row pair).
     pub async fn row_swap(&self, a_row: usize, b_row: usize, rows: usize) -> Result<(), MemError> {
         let d = ROW_TIME * (4 * rows as u64);
-        self.node.metrics.add("mem.rows_moved", 2 * rows as u64);
+        self.node.meters.rows_moved.add(2 * rows as u64);
         {
             let mut st = self.node.state.borrow_mut();
             let mut ba = [0u32; ROW_WORDS];
@@ -426,8 +532,9 @@ impl NodeCtx {
             let mut st = self.node.state.borrow_mut();
             let NodeState { mem, vec_unit, .. } = &mut *st;
             let r = vec_unit.exec32(mem, form, x_row, y_row, z_row, n)?;
-            self.node.metrics.add("vec.flops", r.timing.flops);
-            self.node.metrics.add_time("vec.busy", r.timing.duration);
+            self.node.meters.vec_flops.add(r.timing.flops);
+            self.node.meters.vec_busy.add(r.timing.duration);
+            self.node.meters.vec_len.observe(n as u64);
             r
         };
         let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
@@ -447,8 +554,9 @@ impl NodeCtx {
             let mut st = self.node.state.borrow_mut();
             let NodeState { mem, vec_unit, .. } = &mut *st;
             let r = vec_unit.convert64to32(mem, x_row, z_row, n)?;
-            self.node.metrics.add("vec.flops", r.timing.flops);
-            self.node.metrics.add_time("vec.busy", r.timing.duration);
+            self.node.meters.vec_flops.add(r.timing.flops);
+            self.node.meters.vec_busy.add(r.timing.duration);
+            self.node.meters.vec_len.observe(n as u64);
             r
         };
         let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
@@ -467,8 +575,9 @@ impl NodeCtx {
             let mut st = self.node.state.borrow_mut();
             let NodeState { mem, vec_unit, .. } = &mut *st;
             let r = vec_unit.convert32to64(mem, x_row, z_row, n)?;
-            self.node.metrics.add("vec.flops", r.timing.flops);
-            self.node.metrics.add_time("vec.busy", r.timing.duration);
+            self.node.meters.vec_flops.add(r.timing.flops);
+            self.node.meters.vec_busy.add(r.timing.duration);
+            self.node.meters.vec_len.observe(n as u64);
             r
         };
         let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
@@ -512,8 +621,9 @@ impl NodeCtx {
         let mut st = self.node.state.borrow_mut();
         let NodeState { mem, vec_unit, .. } = &mut *st;
         let r = vec_unit.exec64(mem, form, x_row, y_row, z_row, n)?;
-        self.node.metrics.add("vec.flops", r.timing.flops);
-        self.node.metrics.add_time("vec.busy", r.timing.duration);
+        self.node.meters.vec_flops.add(r.timing.flops);
+        self.node.meters.vec_busy.add(r.timing.duration);
+        self.node.meters.vec_len.observe(n as u64);
         Ok(r)
     }
 
@@ -552,8 +662,9 @@ impl NodeCtx {
             d += Dur::CYCLE * (depth + n as u64 - 1);
         }
         d += ROW_TIME;
-        self.node.metrics.add("vec.flops", n as u64);
-        self.node.metrics.add_time("vec.busy", d);
+        self.node.meters.vec_flops.add(n as u64);
+        self.node.meters.vec_busy.add(d);
+        self.node.meters.vec_len.observe(n as u64);
         let (_s, end) = self.node.vec_res.reserve(self.now(), d);
         self.node.h.sleep_until(end).await;
     }
@@ -607,8 +718,9 @@ impl NodeCtx {
             d += Dur::CYCLE * (depth + n - 1);
         }
         d += ROW_TIME;
-        self.node.metrics.add("vec.flops", flops);
-        self.node.metrics.add_time("vec.busy", d);
+        self.node.meters.vec_flops.add(flops);
+        self.node.meters.vec_busy.add(d);
+        self.node.meters.vec_len.observe(n);
         d
     }
 
@@ -635,7 +747,7 @@ impl NodeCtx {
     /// Send words to the hypercube neighbour across `dim`.
     pub async fn send_dim(&self, dim: usize, words: Vec<u32>) {
         let ch = self.out_chan(dim);
-        self.node.metrics.add("link.words_sent", words.len() as u64);
+        self.node.meters.link_words_sent.add(words.len() as u64);
         ch.send(&self.node.h, words).await;
     }
 
@@ -643,7 +755,7 @@ impl NodeCtx {
     pub async fn recv_dim(&self, dim: usize) -> Vec<u32> {
         let ch = self.in_chan(dim);
         let w = ch.recv(&self.node.h).await;
-        self.node.metrics.add("link.words_recv", w.len() as u64);
+        self.node.meters.link_words_recv.add(w.len() as u64);
         w
     }
 
@@ -654,7 +766,7 @@ impl NodeCtx {
         let n = words.len() as u64;
         let r = ch.try_send(&self.node.h, words).await;
         if r.is_ok() {
-            self.node.metrics.add("link.words_sent", n);
+            self.node.meters.link_words_sent.add(n);
         }
         r
     }
@@ -664,7 +776,7 @@ impl NodeCtx {
     pub async fn try_recv_dim(&self, dim: usize) -> Result<Vec<u32>, LinkError> {
         let ch = self.in_chan(dim);
         let w = ch.try_recv(&self.node.h).await?;
-        self.node.metrics.add("link.words_recv", w.len() as u64);
+        self.node.meters.link_words_recv.add(w.len() as u64);
         Ok(w)
     }
 
@@ -688,7 +800,7 @@ impl NodeCtx {
         let chans: Vec<LinkChannel> = dims.iter().map(|&d| self.in_chan(d)).collect();
         let refs: Vec<&LinkChannel> = chans.iter().collect();
         let (idx, words) = ts_link::alt_recv(&self.node.h, &refs).await;
-        self.node.metrics.add("link.words_recv", words.len() as u64);
+        self.node.meters.link_words_recv.add(words.len() as u64);
         (dims[idx], words)
     }
 
@@ -752,7 +864,7 @@ impl NodeCtx {
             let already = self.node.metrics.get_time("cp.isa_charged");
             let fresh = elapsed - already;
             self.node.metrics.add_time("cp.isa_charged", fresh);
-            self.node.metrics.add_time("cp.busy", fresh);
+            self.node.meters.cp_busy.add(fresh);
             self.node.cp_res.use_for(&self.node.h, fresh).await;
             match outcome {
                 StepOutcome::Halted => return Ok(cp),
@@ -905,7 +1017,7 @@ mod tests {
         assert_eq!(flops, 128);
         assert!(t.as_ns() > 0);
         assert_eq!(node.mem().read_f64(257 * ROW_WORDS).unwrap().to_host(), 1.0);
-        assert_eq!(node.metrics().get("vec.flops"), 128);
+        assert_eq!(node.meters().vec_flops.get(), 128);
     }
 
     #[test]
@@ -1094,7 +1206,7 @@ mod tests {
         for (i, w) in [11u32, 22, 33, 44].into_iter().enumerate() {
             assert_eq!(b.mem().read_word(512 + i).unwrap(), w);
         }
-        assert!(b.metrics().get_time("cp.busy") > Dur::ZERO);
+        assert!(b.meters().cp_busy.get() > Dur::ZERO);
     }
 
     #[test]
@@ -1150,6 +1262,6 @@ mod tests {
         });
         assert!(sim.run().quiescent);
         assert_eq!(node.mem().read_f64(257 * ROW_WORDS + 4).unwrap().to_host(), 12.0);
-        assert_eq!(node.metrics().get("vec.flops"), 4);
+        assert_eq!(node.meters().vec_flops.get(), 4);
     }
 }

@@ -64,6 +64,11 @@ struct Inner {
     seq: u64,
     ready: ReadyQueue,
     events: u64,
+    /// Profiling: task polls (wakes serviced), tasks ever spawned, and the
+    /// high-water mark of the timer heap. Cheap enough to keep always-on.
+    polls: u64,
+    spawned: u64,
+    max_timers: usize,
 }
 
 impl Inner {
@@ -82,6 +87,7 @@ impl Inner {
         };
         self.seq += 1;
         self.timers.push(Reverse((TimerKey { at, seq: self.seq }, slot)));
+        self.max_timers = self.max_timers.max(self.timers.len());
         (slot, self.timer_gens[slot])
     }
 }
@@ -98,6 +104,24 @@ pub struct RunReport {
     pub final_time: Time,
     /// Timer events processed.
     pub events: u64,
+}
+
+/// Always-on executor profile counters, read via [`Sim::profile`].
+///
+/// These are the scheduler-level "quantum/wake" hooks the telemetry layer
+/// reports: how many wakes were serviced, how many timer events fired, how
+/// many tasks ever existed and how deep the timer heap got. Useful for
+/// spotting busy-wait storms (polls ≫ events) or runaway spawning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecProfile {
+    /// Task polls serviced (each wake that reached a future's `poll`).
+    pub polls: u64,
+    /// Timer events fired.
+    pub timer_events: u64,
+    /// Tasks spawned over the executor's lifetime.
+    pub spawned: u64,
+    /// High-water mark of the pending-timer heap.
+    pub max_timers: usize,
 }
 
 /// The discrete-event simulator: owns tasks, the clock and the timer heap.
@@ -127,6 +151,9 @@ impl Sim {
                 seq: 0,
                 ready,
                 events: 0,
+                polls: 0,
+                spawned: 0,
+                max_timers: 0,
             })),
         }
     }
@@ -139,6 +166,17 @@ impl Sim {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.inner.borrow().now
+    }
+
+    /// Scheduler profile counters accumulated since construction.
+    pub fn profile(&self) -> ExecProfile {
+        let inner = self.inner.borrow();
+        ExecProfile {
+            polls: inner.polls,
+            timer_events: inner.events,
+            spawned: inner.spawned,
+            max_timers: inner.max_timers,
+        }
     }
 
     /// Spawn a root task. Returns a [`JoinHandle`] that resolves to the
@@ -235,6 +273,7 @@ impl Sim {
         let Some(mut task) = taken else {
             return; // already finished, or spurious wake of a completed slot
         };
+        self.inner.borrow_mut().polls += 1;
         let waker = task.waker.clone();
         let mut cx = Context::from_waker(&waker);
         match task.fut.as_mut().poll(&mut cx) {
@@ -307,6 +346,7 @@ impl SimHandle {
         let waker = Waker::from(Arc::new(TaskWaker { id: tid, ready: inner.ready.clone() }));
         inner.tasks.push(Some(Task { fut: wrapped, waker }));
         inner.live += 1;
+        inner.spawned += 1;
         inner.ready.lock().unwrap().push_back(tid);
         JoinHandle { state }
     }

@@ -46,15 +46,20 @@
 pub mod channel;
 pub mod executor;
 pub mod metrics;
+pub mod perfetto;
 pub mod resource;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use channel::{alt, select2, Either, Mailbox, OneShot, Rendezvous};
-pub use executor::{JoinHandle, RunReport, Sim, SimHandle};
-pub use metrics::Metrics;
+pub use executor::{ExecProfile, JoinHandle, RunReport, Sim, SimHandle};
+pub use metrics::{
+    natural_cmp, BusyTime, Counter, Histogram, MetricValue, Metrics, MetricsRegistry,
+    MetricsScope,
+};
+pub use perfetto::{trace_event_json, write_trace};
 pub use resource::Resource;
 pub use rng::Rng;
 pub use time::{Dur, Time};
-pub use trace::{Span, Tracer};
+pub use trace::{Event, Span, TrackId, Tracer};

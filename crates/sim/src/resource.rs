@@ -17,7 +17,7 @@ struct ResState {
     busy_until: Time,
     busy_total: Dur,
     uses: u64,
-    tracer: Option<(crate::trace::Tracer, String)>,
+    tracer: Option<(crate::trace::Tracer, crate::trace::TrackId)>,
 }
 
 /// An exclusive, FIFO-served resource with utilization accounting.
@@ -61,15 +61,22 @@ impl Resource {
         st.busy_total += dur;
         st.uses += 1;
         if let Some((tracer, track)) = &st.tracer {
-            tracer.record(track, start, end);
+            tracer.record_span(*track, start, end);
         }
         (start, end)
     }
 
     /// Attach a tracer: every granted slot from now on is recorded as a
-    /// span on `track`.
+    /// span on `track`. The track name is interned once here, so the grant
+    /// path records a fixed-size event with no per-span allocation.
     pub fn attach_tracer(&self, tracer: crate::trace::Tracer, track: impl Into<String>) {
-        self.state.borrow_mut().tracer = Some((tracer, track.into()));
+        let id = tracer.track(&track.into());
+        self.state.borrow_mut().tracer = Some((tracer, id));
+    }
+
+    /// The interned trace track this resource records on, if any.
+    pub fn trace_track(&self) -> Option<crate::trace::TrackId> {
+        self.state.borrow().tracer.as_ref().map(|(_, id)| *id)
     }
 
     /// Reserve and hold the resource for `dur`: suspends the caller until
@@ -124,7 +131,7 @@ impl Resource {
             st.busy_total += dur;
             st.uses += 1;
             if let Some((tracer, track)) = &st.tracer {
-                tracer.record(track, start, end);
+                tracer.record_span(*track, start, end);
             }
         }
         (start, end)

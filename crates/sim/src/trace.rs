@@ -1,17 +1,85 @@
-//! Execution tracing: busy-interval capture and ASCII Gantt rendering.
+//! Execution tracing: structured events, busy-interval capture and ASCII
+//! Gantt rendering.
 //!
 //! Attach a [`Tracer`] to [`Resource`](crate::Resource)s and every granted
-//! slot is recorded as a [`Span`]. The renderer buckets spans into a fixed
-//! character width, one row per track — the quickest way to *see* the
-//! §II overlap story (vector unit crunching while the control processor
-//! gathers and the links stream).
+//! slot is recorded as a span [`Event`] on an interned [`TrackId`]. The
+//! tracer feeds two renderers: the ASCII Gantt below (the quickest way to
+//! *see* the §II overlap story — vector unit crunching while the control
+//! processor gathers and the links stream) and the Chrome `trace_event`
+//! JSON exporter in [`perfetto`](crate::perfetto), which produces files
+//! loadable in `ui.perfetto.dev`.
+//!
+//! Tracks are interned once (`track()` returns a copyable [`TrackId`]), so
+//! recording a span on the hot path pushes a fixed-size [`Event`] — no
+//! `String` allocation per span.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use crate::metrics::natural_cmp;
 use crate::time::{Dur, Time};
 
-/// One busy interval on a named track.
+/// Interned identifier of one timeline track (e.g. `"n0.vec"`).
+///
+/// Obtained from [`Tracer::track`]; copying it is free, and recording
+/// against it allocates nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u32);
+
+/// One structured trace event with a typed payload.
+///
+/// Events are fixed-size and `Copy`: the hot path pushes one into the
+/// tracer's buffer without allocating.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A completed busy interval on `track` (a resource grant, a unit
+    /// executing one operation, a wire carrying one transfer).
+    Span {
+        /// Track the interval belongs to.
+        track: TrackId,
+        /// Slot start.
+        start: Time,
+        /// Slot end.
+        end: Time,
+    },
+    /// A point-in-time marker (e.g. a fault injection, a reboot).
+    Instant {
+        /// Track the marker belongs to.
+        track: TrackId,
+        /// When it happened.
+        at: Time,
+        /// Static label shown by viewers.
+        name: &'static str,
+    },
+    /// A sampled counter value (e.g. queue depth after an enqueue).
+    Counter {
+        /// Track the series belongs to.
+        track: TrackId,
+        /// Sample instant.
+        at: Time,
+        /// Static series name.
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+    /// A flow arrow connecting a departure on one track to an arrival on
+    /// another (one link message travelling between nodes).
+    Flow {
+        /// Sending track.
+        from: TrackId,
+        /// Receiving track.
+        to: TrackId,
+        /// When the message left `from`.
+        depart: Time,
+        /// When it arrived at `to`.
+        arrive: Time,
+        /// Unique id tying the two arrow endpoints together.
+        id: u64,
+    },
+}
+
+/// One busy interval on a named track, as returned by [`Tracer::spans`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Span {
     /// Track label (e.g. `"n0.vec"`).
@@ -22,10 +90,22 @@ pub struct Span {
     pub end: Time,
 }
 
-/// A shared collector of [`Span`]s.
+#[derive(Default)]
+struct TracerInner {
+    /// Interned track names, indexed by `TrackId`.
+    tracks: Vec<String>,
+    /// Reverse index: name → id.
+    index: BTreeMap<String, TrackId>,
+    /// Recorded events, in recording order.
+    events: Vec<Event>,
+    /// Next flow-arrow id.
+    next_flow: u64,
+}
+
+/// A shared collector of structured trace [`Event`]s.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    spans: Rc<RefCell<Vec<Span>>>,
+    inner: Rc<RefCell<TracerInner>>,
 }
 
 impl Tracer {
@@ -34,39 +114,132 @@ impl Tracer {
         Tracer::default()
     }
 
-    /// Record a busy interval.
-    pub fn record(&self, track: &str, start: Time, end: Time) {
-        self.spans.borrow_mut().push(Span { track: track.to_string(), start, end });
-    }
-
-    /// All spans recorded so far (in recording order).
-    pub fn spans(&self) -> Vec<Span> {
-        self.spans.borrow().clone()
-    }
-
-    /// Total busy time per track, sorted by track name.
-    pub fn busy_by_track(&self) -> Vec<(String, Dur)> {
-        let mut map = std::collections::BTreeMap::<String, Dur>::new();
-        for s in self.spans.borrow().iter() {
-            let d = s.end.since(s.start);
-            let slot = map.entry(s.track.clone()).or_insert(Dur::ZERO);
-            *slot += d;
+    /// Intern `name` and return its [`TrackId`]. Calling twice with the
+    /// same name returns the same id; hold on to the id and record against
+    /// it so the hot path never touches the name again.
+    pub fn track(&self, name: &str) -> TrackId {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(id) = inner.index.get(name) {
+            return *id;
         }
-        map.into_iter().collect()
+        let id = TrackId(inner.tracks.len() as u32);
+        inner.tracks.push(name.to_string());
+        inner.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Name of an interned track.
+    ///
+    /// # Panics
+    /// If `id` did not come from this tracer.
+    pub fn track_name(&self, id: TrackId) -> String {
+        self.inner.borrow().tracks[id.0 as usize].clone()
+    }
+
+    /// All interned track names, in interning order (index = `TrackId`).
+    pub fn tracks(&self) -> Vec<String> {
+        self.inner.borrow().tracks.clone()
+    }
+
+    /// Record a busy interval on an interned track. Allocation-free.
+    pub fn record_span(&self, track: TrackId, start: Time, end: Time) {
+        self.inner.borrow_mut().events.push(Event::Span { track, start, end });
+    }
+
+    /// Record a busy interval on a track named by string.
+    ///
+    /// Interns the track on first use (one allocation per *track*, not per
+    /// span). Prefer [`Tracer::track`] + [`Tracer::record_span`] on hot
+    /// paths to skip the name lookup entirely.
+    pub fn record(&self, track: &str, start: Time, end: Time) {
+        let id = self.track(track);
+        self.record_span(id, start, end);
+    }
+
+    /// Record a point-in-time marker.
+    pub fn instant(&self, track: TrackId, at: Time, name: &'static str) {
+        self.inner.borrow_mut().events.push(Event::Instant { track, at, name });
+    }
+
+    /// Record a counter sample.
+    pub fn counter(&self, track: TrackId, at: Time, name: &'static str, value: u64) {
+        self.inner.borrow_mut().events.push(Event::Counter { track, at, name, value });
+    }
+
+    /// Record a flow arrow from `from` (at `depart`) to `to` (at `arrive`).
+    /// Returns the arrow id.
+    pub fn flow(&self, from: TrackId, to: TrackId, depart: Time, arrive: Time) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_flow;
+        inner.next_flow += 1;
+        inner.events.push(Event::Flow { from, to, depart, arrive, id });
+        id
+    }
+
+    /// All events recorded so far, in recording order. Because the
+    /// executor is deterministic, two identical runs yield identical
+    /// event vectors — the integration tests assert this.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// All span events recorded so far (in recording order), with track
+    /// names resolved.
+    pub fn spans(&self) -> Vec<Span> {
+        let inner = self.inner.borrow();
+        inner
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { track, start, end } => Some(Span {
+                    track: inner.tracks[track.0 as usize].clone(),
+                    start: *start,
+                    end: *end,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total busy time per track, sorted in natural (node, unit) order:
+    /// digit runs inside names compare numerically, so `n2.vec` sorts
+    /// before `n10.vec`.
+    pub fn busy_by_track(&self) -> Vec<(String, Dur)> {
+        let inner = self.inner.borrow();
+        let mut busy = vec![Dur::ZERO; inner.tracks.len()];
+        let mut seen = vec![false; inner.tracks.len()];
+        for e in &inner.events {
+            if let Event::Span { track, start, end } = e {
+                busy[track.0 as usize] += end.since(*start);
+                seen[track.0 as usize] = true;
+            }
+        }
+        let mut out: Vec<(String, Dur)> = inner
+            .tracks
+            .iter()
+            .zip(busy)
+            .zip(seen)
+            .filter(|(_, seen)| *seen)
+            .map(|((name, d), _)| (name.clone(), d))
+            .collect();
+        out.sort_by(|a, b| natural_cmp(&a.0, &b.0));
+        out
     }
 
     /// Render an ASCII Gantt chart `width` characters wide covering
-    /// `[0, horizon]`. Each row is one track; `#` marks busy buckets,
-    /// `.` idle ones.
+    /// `[0, horizon]`. Each row is one track in natural (node, unit)
+    /// order; `#` marks busy buckets, `.` idle ones.
     pub fn gantt(&self, horizon: Time, width: usize) -> String {
         use std::fmt::Write;
         assert!(width > 0 && horizon > Time::ZERO);
-        let spans = self.spans.borrow();
-        let mut tracks: Vec<String> =
-            spans.iter().map(|s| s.track.clone()).collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect();
-        tracks.sort();
+        let spans = self.spans();
+        let mut tracks: Vec<String> = spans
+            .iter()
+            .map(|s| s.track.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        tracks.sort_by(|a, b| natural_cmp(a, b));
         let h = horizon.as_ps() as f64;
         let mut out = String::new();
         let label_w = tracks.iter().map(|t| t.len()).max().unwrap_or(4).max(4);
@@ -110,6 +283,46 @@ mod tests {
         let busy = tr.busy_by_track();
         assert_eq!(busy, vec![("a".into(), Dur::us(20)), ("b".into(), Dur::us(10))]);
         assert_eq!(tr.spans().len(), 3);
+    }
+
+    #[test]
+    fn interning_reuses_track_ids() {
+        let tr = Tracer::new();
+        let a = tr.track("n0.vec");
+        let b = tr.track("n0.vec");
+        let c = tr.track("n0.cp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(tr.track_name(a), "n0.vec");
+        assert_eq!(tr.tracks().len(), 2);
+    }
+
+    #[test]
+    fn busy_by_track_sorts_numerically_not_lexicographically() {
+        let tr = Tracer::new();
+        tr.record("n10.vec", t(0), t(1));
+        tr.record("n2.vec", t(0), t(1));
+        tr.record("n2.cp", t(0), t(1));
+        let order: Vec<String> = tr.busy_by_track().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec!["n2.cp", "n2.vec", "n10.vec"]);
+    }
+
+    #[test]
+    fn typed_events_round_trip() {
+        let tr = Tracer::new();
+        let a = tr.track("n0.cp");
+        let b = tr.track("n1.cp");
+        tr.record_span(a, t(0), t(5));
+        tr.instant(a, t(2), "fault");
+        tr.counter(b, t(3), "depth", 4);
+        let id = tr.flow(a, b, t(1), t(4));
+        assert_eq!(id, 0);
+        let ev = tr.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0], Event::Span { track: a, start: t(0), end: t(5) });
+        assert_eq!(ev[1], Event::Instant { track: a, at: t(2), name: "fault" });
+        assert_eq!(ev[2], Event::Counter { track: b, at: t(3), name: "depth", value: 4 });
+        assert_eq!(ev[3], Event::Flow { from: a, to: b, depart: t(1), arrive: t(4), id: 0 });
     }
 
     #[test]

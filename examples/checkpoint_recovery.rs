@@ -20,7 +20,7 @@ fn main() {
         node.mem_mut().write_word(100, 0xC0DE + i as u32).unwrap();
     }
 
-    let (images, snap_time) = machine.snapshot();
+    let (images, snap_time) = machine.snapshot().unwrap();
     println!("snapshot of {} nodes took {snap_time}", machine.nodes.len());
 
     // A cosmic ray: flip a bit behind the parity's back on node 5.
@@ -31,7 +31,7 @@ fn main() {
     }
 
     // Recover from the snapshot.
-    let restore_time = machine.restore(&images);
+    let restore_time = machine.restore(&images).unwrap();
     println!("restore took {restore_time}");
     for (i, node) in machine.nodes.iter().enumerate() {
         assert_eq!(node.mem().read_word(100).unwrap(), 0xC0DE + i as u32);

@@ -68,7 +68,7 @@ fn main() {
     let d0 = {
         let mut m = Machine::build(cfg());
         seed(&mut m);
-        m.snapshot().1
+        m.snapshot().unwrap().1
     };
     let work = ref_rep.total.saturating_sub(d0).as_secs_f64();
     let at = |f: f64| d0 + Dur::from_secs_f64(work * f);

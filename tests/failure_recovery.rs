@@ -58,7 +58,7 @@ fn crash_restore_rerun_equals_uninterrupted_run() {
     let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
     setup(&mut m);
     run_phase(&mut m, 3);
-    let (images, snap_t) = m.snapshot();
+    let (images, snap_t) = m.snapshot().unwrap();
     assert!(snap_t > Dur::ZERO);
     // Phase 2 starts, then node 5 takes a memory fault partway through.
     run_phase(&mut m, 2); // partial work that will be lost
@@ -70,7 +70,7 @@ fn crash_restore_rerun_equals_uninterrupted_run() {
 
     // Reboot + restore + rerun phase 2 in full.
     let mut rebooted = Machine::build(MachineCfg::cube_small_mem(3, 8));
-    let restore_t = rebooted.restore(&images);
+    let restore_t = rebooted.restore(&images).unwrap();
     assert!(restore_t > Dur::ZERO);
     run_phase(&mut rebooted, 5);
 
@@ -90,7 +90,7 @@ fn snapshot_overhead_accounts_in_simulated_time() {
     setup(&mut m);
     run_phase(&mut m, 3);
     let t1 = m.now();
-    let (_, snap_t) = m.snapshot();
+    let (_, snap_t) = m.snapshot().unwrap();
     let t2 = m.now();
     assert_eq!(t2.since(t1), snap_t);
     run_phase(&mut m, 3);
@@ -140,7 +140,7 @@ fn supervisor_recovers_mem_flip_during_phase_two_bit_identically() {
     // snapshot + phase 1 + half of phase 2, measured on a probe machine.
     let mut probe = Machine::build(cfg);
     setup(&mut probe);
-    let (_, d0) = probe.snapshot();
+    let (_, d0) = probe.snapshot().unwrap();
     run_phase(&mut probe, 3);
     let t = probe.now();
     run_phase(&mut probe, 5);

@@ -101,7 +101,7 @@ fn results(m: &Machine) -> Vec<(f64, f64)> {
 fn probe_times() -> (Dur, Dur, Dur) {
     let mut m = Machine::build(cfg());
     seed(&mut m);
-    let (_, d0) = m.snapshot();
+    let (_, d0) = m.snapshot().unwrap();
     let ph = phases();
     let t1 = m.now();
     ph[0](&mut m);
@@ -152,7 +152,7 @@ fn link_kill_plus_node_crash_heals_bit_identically() {
     assert_eq!(rep.reboots, 1, "only the crash needs a reboot");
     assert_eq!(rep.faults.len(), 2, "{:?}", rep.faults);
     assert!(rep.rework > Dur::ZERO);
-    assert!(!m.link_up(1, 0), "the cable stays broken");
+    assert!(!m.faults().is_link_up(1, 0), "the cable stays broken");
     // The replayed exchange ran on a degraded fabric: the router had to
     // detour around the dead edge, and counted it.
     assert!(m.metrics().get("router.reroutes") >= 1, "{}", m.utilization_report());

@@ -178,7 +178,7 @@ fn snapshot_is_about_15_seconds_with_full_memory() {
     // configuration." Full 1 MB nodes, one module: 8 MB over the 0.5 MB/s
     // system thread ≈ 16 s of simulated time.
     let mut m = Machine::build(MachineCfg::cube(3));
-    let (_, t) = m.snapshot();
+    let (_, t) = m.snapshot().unwrap();
     let secs = t.as_secs_f64();
     assert!((14.0..19.0).contains(&secs), "snapshot took {secs} s");
 }
@@ -227,12 +227,12 @@ fn parity_fault_then_restore_recovers_a_computation() {
     m.run();
     drop(handles);
     // Checkpoint.
-    let (images, _) = m.snapshot();
+    let (images, _) = m.snapshot().unwrap();
     // A fault corrupts node 6 behind parity's back.
     m.nodes[6].mem_mut().inject_bit_flip(40, 13).unwrap();
     assert!(m.nodes[6].mem().read_f64(40).is_err(), "parity must trip");
     // Restore and verify every node.
-    m.restore(&images);
+    m.restore(&images).unwrap();
     for (i, node) in m.nodes.iter().enumerate() {
         assert_eq!(node.mem().read_f64(40).unwrap().to_host(), i as f64 * 3.5);
     }

@@ -1,4 +1,4 @@
-//! Emit a machine-readable benchmark report (`BENCH_2.json` by default).
+//! Emit a machine-readable benchmark report (`BENCH_3.json` by default).
 //!
 //! Runs the kernel sweep (E11), measures collective latencies on a
 //! 3-cube, times the metrics hot path, and writes everything as JSON.
@@ -9,7 +9,7 @@
 //! fidelity adjustments that should come with a baseline refresh.
 //!
 //! ```text
-//! cargo run -p ts-bench                          # writes BENCH_2.json
+//! cargo run -p ts-bench                          # writes BENCH_3.json
 //! cargo run -p ts-bench -- --out BENCH_ci.json --baseline BENCH_baseline.json
 //! cargo run -p ts-bench -- --trace overlap.json  # also dump a Perfetto trace
 //! ```
@@ -18,14 +18,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use t_series_core::{Machine, MachineCfg};
-use ts_bench::report::{collective_latencies, counter_microbench, kernel_rows, regressions};
+use ts_bench::report::{collective_probe, counter_microbench, kernel_rows, regressions};
 use ts_bench::BenchReport;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_json [--out PATH] [--baseline PATH] [--trace PATH]\n\
          \n\
-         --out PATH       where to write the JSON report (default BENCH_2.json)\n\
+         --out PATH       where to write the JSON report (default BENCH_3.json)\n\
          --baseline PATH  fail (exit 2) if any kernel regresses >20% vs this report\n\
          --trace PATH     also write a Perfetto trace of a small traced matmul run"
     );
@@ -33,7 +33,7 @@ fn usage() -> ! {
 }
 
 fn main() -> ExitCode {
-    let mut out = PathBuf::from("BENCH_2.json");
+    let mut out = PathBuf::from("BENCH_3.json");
     let mut baseline: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -48,7 +48,7 @@ fn main() -> ExitCode {
 
     let kernels = kernel_rows(&ts_bench::e11_kernel_scaling());
     println!("\nmeasuring collective latencies on the 8-node cube...");
-    let collectives = collective_latencies(3);
+    let (collectives, transport) = collective_probe(3);
     for c in &collectives {
         println!(
             "  {:<10} {:>3} nodes  {:>5} calls  mean {:>8.1} us  p99 <= {:>4} us",
@@ -65,8 +65,16 @@ fn main() -> ExitCode {
         eprintln!("FAIL: pre-registered counter handle is slower than the legacy BTreeMap path");
         return ExitCode::from(2);
     }
+    println!(
+        "transport on the fault-free path: {} retransmits, {} CRC errors, {} escalations",
+        transport.retransmits, transport.crc_errors, transport.escalations
+    );
+    if transport.retransmits + transport.crc_errors + transport.escalations > 0 {
+        eprintln!("FAIL: reliable transport did work on a fault-free run (nonzero overhead)");
+        return ExitCode::from(2);
+    }
 
-    let report = BenchReport { kernels, collectives, counter };
+    let report = BenchReport { kernels, collectives, counter, transport };
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("FAIL: cannot write {}: {e}", out.display());
         return ExitCode::from(1);

@@ -16,7 +16,7 @@ pub mod sweep;
 
 pub use experiments::*;
 pub use harness::Bench;
-pub use report::{BenchReport, CollectiveRow, CounterBench, KernelRow};
+pub use report::{BenchReport, CollectiveRow, CounterBench, KernelRow, TransportCounters};
 pub use sweep::parallel_sweep;
 
 /// Pretty-print a paper-vs-measured row.

@@ -63,6 +63,20 @@ pub struct CounterBench {
     pub legacy_ns_per_op: f64,
 }
 
+/// Reliable-transport protocol counters observed on a fault-free probe
+/// run. The transport only does work when an impairment is queued, so on
+/// the healthy path every figure must be zero — recording them in the
+/// report makes "zero protocol overhead" a diffable claim, not a comment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportCounters {
+    /// Flits retransmitted by go-back-N recovery.
+    pub retransmits: u64,
+    /// Flits that failed their CRC-16.
+    pub crc_errors: u64,
+    /// Links condemned by retransmit-budget exhaustion.
+    pub escalations: u64,
+}
+
 /// A full benchmark report, renderable as JSON.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -72,6 +86,8 @@ pub struct BenchReport {
     pub collectives: Vec<CollectiveRow>,
     /// Hot-path counter microbenchmark.
     pub counter: CounterBench,
+    /// Transport counters from the fault-free collective probe.
+    pub transport: TransportCounters,
 }
 
 /// Annotate the raw `(name, nodes, elapsed_s, mflops)` tuples from
@@ -96,6 +112,14 @@ pub fn kernel_rows(raw: &[(&'static str, u32, f64, f64)]) -> Vec<KernelRow> {
 /// per-op latency histograms the collectives book into the machine's
 /// metrics registry (`node/{id}/collective/{op}_us`).
 pub fn collective_latencies(dim: u32) -> Vec<CollectiveRow> {
+    collective_probe(dim).0
+}
+
+/// [`collective_latencies`], plus the reliable-transport counters the same
+/// fault-free run accumulated. No impairments are ever queued here, so a
+/// nonzero count means the protocol is doing work on the healthy path —
+/// exactly the overhead the report exists to rule out.
+pub fn collective_probe(dim: u32) -> (Vec<CollectiveRow>, TransportCounters) {
     let mut m = Machine::build(MachineCfg::cube(dim));
     let cube = m.cube;
     m.launch(move |ctx| async move {
@@ -108,7 +132,7 @@ pub fn collective_latencies(dim: u32) -> Vec<CollectiveRow> {
     assert!(m.run().quiescent, "collective latency probe stalled");
 
     let nodes = 1u32 << dim;
-    ["broadcast", "allreduce", "barrier"]
+    let rows = ["broadcast", "allreduce", "barrier"]
         .iter()
         .map(|op| {
             let mut calls = 0u64;
@@ -132,7 +156,15 @@ pub fn collective_latencies(dim: u32) -> Vec<CollectiveRow> {
                 p99_us: p99,
             }
         })
-        .collect()
+        .collect();
+
+    let met = m.metrics();
+    let transport = TransportCounters {
+        retransmits: met.get("link.retransmits"),
+        crc_errors: met.get("link.crc_errors"),
+        escalations: met.get("link.escalations"),
+    };
+    (rows, transport)
 }
 
 /// Time `iters` increments through a pre-registered [`ts_sim::Counter`]
@@ -196,8 +228,13 @@ impl BenchReport {
         }
         s.push_str(&format!(
             "  ],\n  \"counter_microbench\": {{\"handle_ns_per_op\": {:.3}, \
-             \"legacy_btreemap_ns_per_op\": {:.3}}}\n}}\n",
+             \"legacy_btreemap_ns_per_op\": {:.3}}},\n",
             self.counter.handle_ns_per_op, self.counter.legacy_ns_per_op
+        ));
+        s.push_str(&format!(
+            "  \"transport_fault_free\": {{\"retransmits\": {}, \"crc_errors\": {}, \
+             \"escalations\": {}}}\n}}\n",
+            self.transport.retransmits, self.transport.crc_errors, self.transport.escalations
         ));
         s
     }
@@ -298,6 +335,7 @@ mod tests {
                 p99_us: 16,
             }],
             counter: CounterBench { handle_ns_per_op: 1.0, legacy_ns_per_op: 20.0 },
+            transport: TransportCounters::default(),
         }
     }
 
@@ -335,6 +373,21 @@ mod tests {
             b.handle_ns_per_op,
             b.legacy_ns_per_op
         );
+    }
+
+    #[test]
+    fn json_carries_the_transport_section() {
+        let json = sample().to_json();
+        assert!(json.contains("\"transport_fault_free\""), "{json}");
+        assert!(json.contains("\"retransmits\": 0"), "{json}");
+    }
+
+    #[test]
+    fn fault_free_probe_shows_zero_protocol_overhead() {
+        let (_, t) = collective_probe(2);
+        assert_eq!(t.retransmits, 0, "healthy path must not retransmit");
+        assert_eq!(t.crc_errors, 0);
+        assert_eq!(t.escalations, 0);
     }
 
     #[test]

@@ -237,6 +237,19 @@ impl Machine {
                     LinkChannel::new_pair(wires_out[bi][l].clone(), wires_in[ai][l].clone());
                 ba.set_metrics(nodes[bi].metrics().clone());
                 ba.set_latency_histogram(nodes[ai].meters().link_latency_ns.clone());
+                // Retransmit accounting lands on the *transmitting* node's
+                // meters — corruption is injected at the sender's end.
+                let (ma, mb) = (nodes[ai].meters().clone(), nodes[bi].meters().clone());
+                ab.set_transport_meters(
+                    ma.link_retransmits.clone(),
+                    ma.link_crc_errors.clone(),
+                    ma.link_escalations.clone(),
+                );
+                ba.set_transport_meters(
+                    mb.link_retransmits.clone(),
+                    mb.link_crc_errors.clone(),
+                    mb.link_escalations.clone(),
+                );
                 // Both directions of one physical edge share a health flag,
                 // so a single LinkDown fault fails traffic both ways.
                 ba.set_status(ab.status().clone());
@@ -407,6 +420,9 @@ impl Machine {
             total.add("mem.rows_moved", mt.rows_moved.get());
             total.add("link.words_sent", mt.link_words_sent.get());
             total.add("link.words_recv", mt.link_words_recv.get());
+            total.add("link.retransmits", mt.link_retransmits.get());
+            total.add("link.crc_errors", mt.link_crc_errors.get());
+            total.add("link.escalations", mt.link_escalations.get());
         }
         total
     }
@@ -512,8 +528,34 @@ impl Machine {
         // how the fabric and collectives coped, and what the supervisor's
         // healing cost.
         let m = self.metrics();
-        let faults =
-            m.get("fault.link_down") + m.get("fault.node_crash") + m.get("fault.mem_flip");
+        // Reliable-transport story: retransmissions absorbed below the
+        // routing layer, and the flap outages that drove some of them.
+        let retrans = m.get("link.retransmits");
+        let crc = m.get("link.crc_errors");
+        let escal = m.get("link.escalations");
+        if retrans + crc + escal > 0 {
+            let _ = writeln!(
+                out,
+                "transport: {retrans} flits retransmitted, {crc} CRC errors, \
+                 {escal} links condemned",
+            );
+        }
+        let flaps = merge_hists(self.nodes.iter().map(|n| n.meters().link_flap_us.clone()));
+        if flaps.total > 0 {
+            let _ = writeln!(
+                out,
+                "link flaps: {} outages, mean {:.0} µs, p99 ≤ {} µs",
+                flaps.total,
+                flaps.mean,
+                flaps.quantile_bound(0.99),
+            );
+        }
+        let faults = m.get("fault.link_down")
+            + m.get("fault.node_crash")
+            + m.get("fault.mem_flip")
+            + m.get("fault.wire_corrupt")
+            + m.get("fault.flit_drop")
+            + m.get("fault.link_flap");
         let coped = m.get("router.reroutes")
             + m.get("router.retries")
             + m.get("router.dropped")
@@ -531,6 +573,17 @@ impl Machine {
                 m.get("fault.mem_flip"),
                 m.get("fault.scrubbed_words"),
             );
+            let transient =
+                m.get("fault.wire_corrupt") + m.get("fault.flit_drop") + m.get("fault.link_flap");
+            if transient > 0 {
+                let _ = writeln!(
+                    out,
+                    "transient faults: {} wire corrupt, {} flit drop, {} link flap",
+                    m.get("fault.wire_corrupt"),
+                    m.get("fault.flit_drop"),
+                    m.get("fault.link_flap"),
+                );
+            }
             let _ = writeln!(
                 out,
                 "router: {} reroutes, {} retries, {} dropped; \
@@ -701,6 +754,32 @@ impl FaultInjector<'_> {
     /// True while the physical link on `(node, dim)` is alive.
     pub fn is_link_up(&self, node: NodeId, dim: u32) -> bool {
         self.m.nodes[node as usize].link_up(dim as usize)
+    }
+
+    /// Queue a transient bit corruption on `node`'s next outbound message
+    /// on `dim`: the hit flit fails its CRC-16 at the receiver and is
+    /// recovered by go-back-N retransmission.
+    pub fn wire_corrupt(&self, node: NodeId, dim: u32, flit_bit: u64) {
+        let n = &self.m.nodes[node as usize];
+        n.queue_wire_corrupt(dim as usize, flit_bit);
+        n.metrics().inc("fault.wire_corrupt");
+    }
+
+    /// Queue a transient flit loss on `node`'s next outbound message on
+    /// `dim`: the receiver times out and the window is retransmitted.
+    pub fn flit_drop(&self, node: NodeId, dim: u32) {
+        let n = &self.m.nodes[node as usize];
+        n.queue_flit_drop(dim as usize);
+        n.metrics().inc("fault.flit_drop");
+    }
+
+    /// Flap the link on `(node, dim)`: down now, self-healing after
+    /// `down_for` of sim time (unless retransmit escalation has condemned
+    /// it in the meantime — a condemned link stays down).
+    pub fn link_flap(&self, node: NodeId, dim: u32, down_for: ts_sim::Dur) {
+        let n = &self.m.nodes[node as usize];
+        n.flap_link(dim as usize, down_for);
+        n.metrics().inc("fault.link_flap");
     }
 }
 

@@ -89,6 +89,10 @@ pub struct SupervisorReport {
     pub snapshots: u32,
     /// Job time spent on work that was later lost and replayed.
     pub rework: Dur,
+    /// Hangs broken by the watchdog: the clock froze with the job
+    /// unfinished after a transient fault, and the supervisor rebooted
+    /// instead of spinning forever.
+    pub watchdog_trips: u32,
     /// Human-readable log of every injected fault, in order.
     pub faults: Vec<String>,
 }
@@ -102,6 +106,7 @@ pub struct Supervisor {
     interval: Dur,
     quantum: Dur,
     max_reboots: u32,
+    hang_horizon: Dur,
 }
 
 impl Supervisor {
@@ -114,7 +119,23 @@ impl Supervisor {
             interval: Dur::secs(600),
             quantum: Dur::ms(1),
             max_reboots: 16,
+            hang_horizon: Dur::secs(60),
         }
+    }
+
+    /// Watchdog horizon: job time charged for detecting a hang. When the
+    /// sim clock freezes with the phase unfinished *after a transient
+    /// fault has fired*, the supervisor assumes the fault wedged the job
+    /// (a flap stranding a task on a link-status check, a crash partner
+    /// parked on a rendezvous), charges this much job time — the
+    /// wall-clock a real watchdog timer would have waited — and reboots
+    /// from the last checkpoint instead of giving up. A hang with no
+    /// fault to blame is still reported as [`SupervisorError::Wedged`]:
+    /// replaying a deterministic deadlock would deadlock identically.
+    pub fn hang_horizon(mut self, d: Dur) -> Supervisor {
+        assert!(!d.is_zero(), "hang horizon must be positive");
+        self.hang_horizon = d;
+        self
     }
 
     /// Snapshot whenever at least this much job time has passed since the
@@ -215,7 +236,27 @@ impl Supervisor {
                         // own and replay cannot fix it.
                         match next_fault {
                             Some(at) if at > jnow => base += at - jnow,
-                            _ => return Err(SupervisorError::Wedged { phase: phase_idx }),
+                            _ => {
+                                // No fault left to wait for. If a transient
+                                // fault already fired, the hang is (possibly)
+                                // its doing — e.g. a flap stranding a task
+                                // that sampled the link while it was down —
+                                // and a reboot-replay heals it. The watchdog
+                                // charges its detection horizon and breaks
+                                // the hang. With no fault in the story the
+                                // deadlock is the job's own: replay would
+                                // wedge identically, so give up.
+                                let transient_fired = plan
+                                    .iter()
+                                    .zip(&fired)
+                                    .any(|(tf, f)| *f && !tf.event.is_persistent());
+                                if !transient_fired {
+                                    return Err(SupervisorError::Wedged { phase: phase_idx });
+                                }
+                                base += self.hang_horizon;
+                                report.watchdog_trips += 1;
+                                break false;
+                            }
                         }
                     }
                 }
@@ -259,6 +300,7 @@ impl Supervisor {
         let meters = m.nodes[0].metrics();
         meters.add("supervisor.reboots", report.reboots as u64);
         meters.add("supervisor.snapshots", report.snapshots as u64);
+        meters.add("supervisor.watchdog_trips", report.watchdog_trips as u64);
         meters.add_time("supervisor.rework", report.rework);
         Ok((m, report))
     }
@@ -433,6 +475,44 @@ mod tests {
         assert_eq!(r1.faults, r2.faults);
         assert_eq!(r1.reboots, r2.reboots);
         assert_eq!(accs(&m1), accs(&m2));
+    }
+
+    #[test]
+    fn watchdog_breaks_a_flap_induced_hang_and_replay_heals_it() {
+        // The job samples its dim-0 link status once at launch and parks
+        // forever if the link is down — a hang a LinkFlap can cause but a
+        // replay (with the link healthy again) cannot. The flap fires
+        // before the task's first poll, so incarnation 1 wedges; the
+        // repair timer keeps the clock alive until 10 ms, then the clock
+        // freezes and the watchdog must reboot rather than report Wedged.
+        let link_gated: Vec<Phase<'static>> = vec![Box::new(|m: &mut Machine| {
+            let ctx = m.ctx(0);
+            m.launch_on(0, async move {
+                if !ctx.link_up(0) {
+                    std::future::pending::<()>().await;
+                }
+            });
+        })];
+        let plan = FaultPlan::new().with(
+            Dur::ps(1),
+            FaultEvent::LinkFlap { node: 0, dim: 0, down_for: Dur::ms(10) },
+        );
+        let sup = Supervisor::new(cfg()).hang_horizon(Dur::secs(2));
+        let (m, rep) = sup.run_to_completion(seed, &link_gated, &plan).unwrap();
+        assert_eq!(rep.watchdog_trips, 1, "the hang was detected, not spun on");
+        assert_eq!(rep.reboots, 1, "watchdog trip heals via reboot-replay");
+        assert!(rep.total >= Dur::secs(2), "the detection horizon is charged as job time");
+        assert!(m.faults().is_link_up(0, 0), "a flap is transient: reboot comes back clean");
+        assert_eq!(m.metrics().get("supervisor.watchdog_trips"), 1);
+        // The flap itself was booked on incarnation 1's metrics, which died
+        // with the reboot — only the supervisor's accounting survives.
+        assert_eq!(rep.faults.len(), 1);
+        assert!(rep.faults[0].contains("link flapped"), "{:?}", rep.faults);
+
+        // Determinism: the same flap plan reproduces the same healing run.
+        let (_, rep2) = sup.run_to_completion(seed, &link_gated, &plan).unwrap();
+        assert_eq!(rep2.total, rep.total);
+        assert_eq!(rep2.watchdog_trips, 1);
     }
 
     #[test]

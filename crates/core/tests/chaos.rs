@@ -1,0 +1,231 @@
+//! Chaos soak: seeded transient-fault schedules against the collectives
+//! and two kernels (Cannon matmul, distributed FFT).
+//!
+//! The contract under test is the reliable-transport tentpole: wire
+//! corruption, flit drops and link flaps are *invisible to results* —
+//! every run completes bit-identical to the fault-free baseline, with the
+//! damage showing up only in retransmit/CRC counters. When the contract
+//! breaks, the harness deterministically shrinks the fault schedule to a
+//! minimal reproducing plan and writes it to `chaos_repro.txt` (override
+//! with the `CHAOS_REPRO` env var) before failing.
+
+use t_series_core::collectives::{allgather, allreduce, barrier, broadcast, reduce, scan};
+use t_series_core::fault::{FaultEvent, FaultPlan};
+use t_series_core::router::Router;
+use t_series_core::{Machine, MachineCfg};
+use ts_fpu::Sf64;
+use ts_kernels::{fft, matmul};
+use ts_node::CombineOp;
+use ts_sim::Dur;
+
+/// FNV-1a over a byte stream: a stable, dependency-free digest.
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fnv_u32s(h: &mut u64, words: &[u32]) {
+    for w in words {
+        fnv(h, &w.to_le_bytes());
+    }
+}
+
+fn fnv_f64s(h: &mut u64, vals: &[f64]) {
+    for v in vals {
+        fnv(h, &v.to_bits().to_le_bytes());
+    }
+}
+
+struct Outcome {
+    digest: u64,
+    retransmits: u64,
+    crc_errors: u64,
+    report: String,
+}
+
+/// The soak workload: every collective, then an 8×8 Cannon matmul, then a
+/// 16-point distributed FFT, all on one 2-cube machine with `plan` armed
+/// as timed background faults. Returns a digest of every computed result
+/// (and nothing timing-dependent).
+fn run_workload(plan: &FaultPlan) -> Outcome {
+    let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+    let cube = m.cube;
+    plan.schedule(&m);
+
+    let handles = m.launch(move |ctx| async move {
+        let data = (ctx.id() == 0).then(|| vec![0xB0A0_0001, 0xB0A0_0002, 0xB0A0_0003]);
+        let b = broadcast(&ctx, cube, 0, data).await;
+        let r = reduce(&ctx, cube, 0, CombineOp::Add, vec![Sf64::from(ctx.id() as f64 + 0.5)])
+            .await;
+        let ar =
+            allreduce(&ctx, cube, CombineOp::Add, vec![Sf64::from(1.0 + ctx.id() as f64)]).await;
+        let ag = allgather(&ctx, cube, vec![ctx.id() * 7 + 1]).await;
+        let sc = scan(&ctx, cube, CombineOp::Add, vec![Sf64::from(ctx.id() as f64)]).await;
+        barrier(&ctx, cube).await;
+        (b, r, ar, ag, sc)
+    });
+    assert!(m.run().quiescent, "collectives deadlocked under chaos");
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for h in handles {
+        let (b, r, ar, ag, sc) = h.try_take().expect("collective task incomplete");
+        fnv_u32s(&mut digest, &b);
+        if let Some(v) = r {
+            fnv_f64s(&mut digest, &v.iter().map(|x| x.to_host()).collect::<Vec<_>>());
+        }
+        fnv_f64s(&mut digest, &ar.iter().map(|x| x.to_host()).collect::<Vec<_>>());
+        for (id, words) in ag {
+            fnv(&mut digest, &id.to_le_bytes());
+            fnv_u32s(&mut digest, &words);
+        }
+        fnv_f64s(&mut digest, &sc.iter().map(|x| x.to_host()).collect::<Vec<_>>());
+    }
+
+    let (_, _, c, _) = matmul::distributed_matmul(&mut m, 8, 7);
+    fnv_f64s(&mut digest, &c);
+
+    let input: Vec<(f64, f64)> =
+        (0..16).map(|i| (i as f64 * 0.25, -(i as f64) * 0.125)).collect();
+    let (spectrum, _) = fft::distributed_fft(&mut m, &input);
+    for (re, im) in spectrum {
+        fnv_f64s(&mut digest, &[re, im]);
+    }
+
+    let met = m.metrics();
+    Outcome {
+        digest,
+        retransmits: met.get("link.retransmits"),
+        crc_errors: met.get("link.crc_errors"),
+        report: m.utilization_report(),
+    }
+}
+
+/// An early, guaranteed-to-be-consumed pair of impairments on node 0 (the
+/// broadcast root transmits on every dimension first thing), plus a
+/// seeded transient tail.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new()
+        .with(Dur::ps(1), FaultEvent::WireCorrupt { node: 0, dim: 0, flit_bit: 17 })
+        .with(Dur::ps(2), FaultEvent::FlitDrop { node: 0, dim: 1 });
+    for tf in FaultPlan::generate_transient(seed, 2, 6, Dur::ms(50)).iter() {
+        plan.push(tf.at, tf.event);
+    }
+    plan
+}
+
+/// Shrink `plan` against `fails`, write the minimal repro to the artifact
+/// path, and panic with it. Only reached when the soak contract breaks.
+fn shrink_and_bail(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> ! {
+    let minimal = plan.shrink(&mut fails);
+    let path = std::env::var("CHAOS_REPRO").unwrap_or_else(|_| "chaos_repro.txt".into());
+    let text = format!(
+        "# minimal reproducing fault plan ({} of {} faults)\n{minimal}",
+        minimal.len(),
+        plan.len(),
+    );
+    let _ = std::fs::write(&path, &text);
+    panic!("chaos soak failed; minimal repro written to {path}:\n{text}");
+}
+
+#[test]
+fn seeded_transient_chaos_is_invisible_to_results() {
+    let baseline = run_workload(&FaultPlan::new());
+    assert_eq!(baseline.retransmits, 0, "fault-free run must not retransmit");
+    assert_eq!(baseline.crc_errors, 0);
+
+    // The CI chaos-smoke seeds: fixed, so a failure here is reproducible
+    // from the test alone.
+    for seed in [42u64, 1986, 0xD1CE] {
+        let plan = chaos_plan(seed);
+        let out = run_workload(&plan);
+        if out.digest != baseline.digest {
+            shrink_and_bail(&plan, |p| run_workload(p).digest != baseline.digest);
+        }
+        assert!(
+            out.retransmits > 0,
+            "seed {seed}: the planted faults must actually cost retransmissions"
+        );
+        assert!(out.crc_errors > 0, "seed {seed}: the planted corruption must be detected");
+        assert!(
+            out.report.contains("transport: "),
+            "utilization report must show the transport story:\n{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("transient faults: "),
+            "utilization report must count the injected transients:\n{}",
+            out.report
+        );
+    }
+}
+
+#[test]
+fn exhausted_retransmit_budget_escalates_to_permanent_link_down() {
+    let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+    // One more drop than the budget allows, all against node 0's dim-0
+    // transmit queue: the next message drains them all, overruns the
+    // budget, and the transport condemns the link.
+    {
+        let f = m.faults();
+        for _ in 0..9 {
+            f.flit_drop(0, 0);
+        }
+    }
+    let ctx0 = m.ctx(0);
+    let ctx1 = m.ctx(1);
+    m.launch_on(0, async move { ctx0.send_dim(0, vec![5, 6, 7, 8]).await });
+    let got = m.launch_on(1, async move { ctx1.recv_dim(0).await });
+    assert!(m.run().quiescent);
+    assert_eq!(got.try_take(), Some(vec![5, 6, 7, 8]), "the in-flight message still lands");
+    assert!(!m.faults().is_link_up(0, 0), "budget exhaustion kills the link for good");
+    let met = m.metrics();
+    assert!(met.get("link.escalations") >= 1);
+    assert!(met.get("link.retransmits") > 0);
+
+    // The dead link now feeds the degraded-routing path: 0 → 3 normally
+    // leaves on dimension 0; the router must detour around the condemned
+    // edge and still deliver.
+    let router = Router::start(&m);
+    let h0 = router.handle(0);
+    let h3 = router.handle(3);
+    let done = m.handle().spawn(async move {
+        h0.send_to(3, vec![99]).await.unwrap();
+        let msg = h3.recv().await;
+        router.shutdown().await;
+        msg
+    });
+    assert!(m.run().quiescent, "router did not shut down cleanly");
+    assert_eq!(done.try_take(), Some((0, vec![99])));
+    assert!(m.metrics().get("router.reroutes") >= 1, "delivery went the long way around");
+    assert!(
+        m.utilization_report().contains("links condemned"),
+        "the report must record the escalation"
+    );
+}
+
+#[test]
+fn shrinker_reduces_a_failing_schedule_to_one_fault() {
+    // Stand-in "assertion failure": CRC errors observed during the run.
+    // Exactly one fault in this padded schedule can cause that, so the
+    // shrinker — re-running the full workload per candidate — must strip
+    // the four flap decoys and keep the single corruption.
+    let plan = FaultPlan::new()
+        .with(Dur::ps(1), FaultEvent::WireCorrupt { node: 0, dim: 0, flit_bit: 3 })
+        .with(Dur::us(100), FaultEvent::LinkFlap { node: 1, dim: 0, down_for: Dur::us(40) })
+        .with(Dur::us(200), FaultEvent::LinkFlap { node: 2, dim: 1, down_for: Dur::us(40) })
+        .with(Dur::us(300), FaultEvent::LinkFlap { node: 3, dim: 0, down_for: Dur::us(40) })
+        .with(Dur::us(400), FaultEvent::LinkFlap { node: 0, dim: 1, down_for: Dur::us(40) });
+    let fails = |p: &FaultPlan| run_workload(p).crc_errors > 0;
+    assert!(fails(&plan), "the planted corruption must trip the predicate");
+    let minimal = plan.shrink(fails);
+    assert_eq!(minimal.len(), 1, "decoys survived shrinking:\n{minimal}");
+    assert_eq!(
+        minimal.iter().next().unwrap().event,
+        FaultEvent::WireCorrupt { node: 0, dim: 0, flit_bit: 3 }
+    );
+    // The printed repro round-trips through the text format.
+    let back: FaultPlan = minimal.to_string().parse().unwrap();
+    assert_eq!(back.iter().collect::<Vec<_>>(), minimal.iter().collect::<Vec<_>>());
+}

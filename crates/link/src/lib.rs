@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -99,6 +100,195 @@ impl LinkParams {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Reliable transport: CRC-16 framing and go-back-N retransmission
+// ---------------------------------------------------------------------------
+
+/// 256-entry lookup table for CRC-16/CCITT-FALSE (polynomial 0x1021),
+/// built at compile time — the table-driven form a link adapter's firmware
+/// would burn into ROM.
+const CRC16_TABLE: [u16; 256] = build_crc16_table();
+
+const fn build_crc16_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-16/CCITT-FALSE over a byte stream (init 0xFFFF, no reflection, no
+/// final XOR). The check vector: `crc16(b"123456789") == 0x29B1`.
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &b in bytes {
+        crc = (crc << 8) ^ CRC16_TABLE[(((crc >> 8) ^ b as u16) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// CRC-16 over 32-bit payload words, fed big-endian byte by byte (the
+/// order the serializer shifts them onto the wire).
+pub fn crc16_words(words: &[u32]) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &w in words {
+        for b in w.to_be_bytes() {
+            crc = (crc << 8) ^ CRC16_TABLE[(((crc >> 8) ^ b as u16) & 0xFF) as usize];
+        }
+    }
+    crc
+}
+
+/// Reliable-transport parameters of one sublink direction.
+///
+/// Messages are framed into flits of `flit_words` payload words, each
+/// carrying a sequence number and a [`crc16`] trailer. The receiver NAKs a
+/// flit whose CRC fails; a flit that vanishes entirely is recovered by the
+/// sender's retransmit timer. Either way the sender **goes back N**: it
+/// rewinds to the failed sequence number and resends up to `window` flits.
+/// A transfer that needs more than `budget` recovery rounds condemns the
+/// link — it is declared permanently down and the degraded-routing path
+/// takes over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportCfg {
+    /// Payload words per flit (the DMA engine's burst unit).
+    pub flit_words: usize,
+    /// Go-back-N window: flits in flight before the sender stalls for an
+    /// acknowledge, and the most it resends per recovery round.
+    pub window: usize,
+    /// Retransmit timer for a flit that was never acknowledged (a drop —
+    /// nothing came back to NAK).
+    pub timeout: Dur,
+    /// Consecutive drops double the timeout up to `timeout << backoff_cap`.
+    pub backoff_cap: u32,
+    /// Recovery rounds allowed per transfer before the link is condemned.
+    pub budget: u32,
+}
+
+impl Default for TransportCfg {
+    fn default() -> Self {
+        TransportCfg {
+            flit_words: 4,
+            window: 8,
+            timeout: Dur::us(200),
+            backoff_cap: 4,
+            budget: 8,
+        }
+    }
+}
+
+/// One framed flit: a sequence number, up to `flit_words` payload words,
+/// and a CRC-16 over both.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Flit {
+    /// Sequence number within the message.
+    pub seq: u32,
+    /// Payload words (the last flit of a message may be short).
+    pub payload: Vec<u32>,
+    /// CRC-16/CCITT-FALSE over the sequence word and the payload.
+    pub crc: u16,
+}
+
+impl Flit {
+    /// Wire overhead per flit beyond the payload: 4 bytes of sequence
+    /// number + 2 bytes of CRC.
+    pub const OVERHEAD_BYTES: usize = 6;
+
+    /// Frame `seq` + `payload` with a freshly computed CRC.
+    pub fn new(seq: u32, payload: Vec<u32>) -> Flit {
+        let crc = Self::compute_crc(seq, &payload);
+        Flit { seq, payload, crc }
+    }
+
+    fn compute_crc(seq: u32, payload: &[u32]) -> u16 {
+        let mut crc = 0xFFFFu16;
+        for b in seq.to_be_bytes() {
+            crc = (crc << 8) ^ CRC16_TABLE[(((crc >> 8) ^ b as u16) & 0xFF) as usize];
+        }
+        for &w in payload {
+            for b in w.to_be_bytes() {
+                crc = (crc << 8) ^ CRC16_TABLE[(((crc >> 8) ^ b as u16) & 0xFF) as usize];
+            }
+        }
+        crc
+    }
+
+    /// Split a message into sequence-numbered flits of `flit_words`
+    /// payload words each.
+    pub fn frame(words: &[u32], flit_words: usize) -> Vec<Flit> {
+        let flit_words = flit_words.max(1);
+        if words.is_empty() {
+            return vec![Flit::new(0, Vec::new())];
+        }
+        words
+            .chunks(flit_words)
+            .enumerate()
+            .map(|(i, chunk)| Flit::new(i as u32, chunk.to_vec()))
+            .collect()
+    }
+
+    /// True when the stored CRC matches the sequence word and payload.
+    pub fn check(&self) -> bool {
+        self.crc == Self::compute_crc(self.seq, &self.payload)
+    }
+
+    /// Flip one payload bit (`bit` taken mod the payload width) — the
+    /// transient a noisy wire inflicts mid-frame.
+    pub fn flip_bit(&mut self, bit: u64) {
+        if self.payload.is_empty() {
+            // A headerless runt: flip a sequence bit instead.
+            self.seq ^= 1 << (bit % 32);
+            return;
+        }
+        let bit = bit % (self.payload.len() as u64 * 32);
+        self.payload[(bit / 32) as usize] ^= 1 << (bit % 32);
+    }
+}
+
+/// A queued transient impairment on one sublink direction, consumed by the
+/// next transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Impair {
+    /// One payload bit of one flit is flipped in flight (`flit_bit` indexes
+    /// into the message's concatenated flit payloads).
+    Corrupt {
+        flit_bit: u64,
+    },
+    /// One flit vanishes entirely: no data, no NAK — only the sender's
+    /// retransmit timer recovers it.
+    Drop,
+}
+
+/// Per-direction reliable-transport state, shared by every clone of one
+/// sublink.
+struct TransportState {
+    cfg: TransportCfg,
+    pending: VecDeque<Impair>,
+    retransmits: Counter,
+    crc_errors: Counter,
+    escalations: Counter,
+}
+
+impl Default for TransportState {
+    fn default() -> Self {
+        TransportState {
+            cfg: TransportCfg::default(),
+            pending: VecDeque::new(),
+            retransmits: Counter::new(),
+            crc_errors: Counter::new(),
+            escalations: Counter::new(),
+        }
+    }
+}
+
 /// One direction of one physical serial link: a FIFO bandwidth server with
 /// utilization accounting. The four sublinks multiplexed onto the link all
 /// reserve capacity here.
@@ -146,6 +336,14 @@ impl Wire {
         self.bytes.add(bytes as u64);
         self.flits.add(bytes as u64 / 4);
         self.transfers.inc();
+    }
+
+    /// Account retransmitted bytes: they occupy the wire and count in the
+    /// byte/flit tallies but are part of the original transfer, not a new
+    /// one.
+    fn book_extra(&self, bytes: usize) {
+        self.bytes.add(bytes as u64);
+        self.flits.add(bytes as u64 / 4);
     }
 
     /// Payload bytes this wire has carried.
@@ -203,6 +401,10 @@ impl std::error::Error for LinkError {}
 
 struct StatusInner {
     up: bool,
+    /// Set when the transport layer exhausted its retransmit budget: the
+    /// hardware is declared broken and [`LinkStatus::set_up`] no longer
+    /// revives it (a flap repair must not resurrect a condemned cable).
+    condemned: bool,
     watchers: Vec<Waker>,
 }
 
@@ -223,7 +425,13 @@ impl Default for LinkStatus {
 impl LinkStatus {
     /// A fresh, healthy link.
     pub fn new() -> LinkStatus {
-        LinkStatus { inner: Rc::new(RefCell::new(StatusInner { up: true, watchers: Vec::new() })) }
+        LinkStatus {
+            inner: Rc::new(RefCell::new(StatusInner {
+                up: true,
+                condemned: false,
+                watchers: Vec::new(),
+            })),
+        }
     }
 
     /// True while the link is alive.
@@ -244,9 +452,34 @@ impl LinkStatus {
         }
     }
 
-    /// Restore the link (a repaired machine reuses its fabric).
+    /// Restore the link (a repaired machine reuses its fabric). A no-op on
+    /// a condemned link: hardware the transport layer gave up on stays
+    /// down until the whole fabric is rebuilt.
     pub fn set_up(&self) {
-        self.inner.borrow_mut().up = true;
+        let mut st = self.inner.borrow_mut();
+        if !st.condemned {
+            st.up = true;
+        }
+    }
+
+    /// Permanently fail the link: down now, and immune to
+    /// [`LinkStatus::set_up`]. Used by the transport layer when a
+    /// transfer exhausts its retransmit budget.
+    pub fn condemn(&self) {
+        let watchers = {
+            let mut st = self.inner.borrow_mut();
+            st.up = false;
+            st.condemned = true;
+            std::mem::take(&mut st.watchers)
+        };
+        for w in watchers {
+            w.wake();
+        }
+    }
+
+    /// True once the link has been condemned by budget exhaustion.
+    pub fn is_condemned(&self) -> bool {
+        self.inner.borrow().condemned
     }
 
     /// A future that resolves once the link goes down (immediately if it
@@ -307,44 +540,36 @@ pub struct LinkChannel {
     metrics: Metrics,
     status: LinkStatus,
     telem: Rc<RefCell<LinkTelemetry>>,
+    transport: Rc<RefCell<TransportState>>,
 }
 
 impl LinkChannel {
     /// Create a sublink whose two ends share one `wire` (unit tests and
     /// simple point-to-point setups).
     pub fn new(wire: Wire) -> LinkChannel {
-        LinkChannel {
-            rv: Rendezvous::new(),
-            tx_wire: wire.clone(),
-            rx_wire: wire,
-            metrics: Metrics::new(),
-            status: LinkStatus::new(),
-            telem: Rc::new(RefCell::new(LinkTelemetry::default())),
-        }
+        LinkChannel::assemble(wire.clone(), wire, Metrics::new())
     }
 
     /// Create a sublink between two distinct link engines: the sender's
     /// output wire and the receiver's input wire.
     pub fn new_pair(tx_wire: Wire, rx_wire: Wire) -> LinkChannel {
-        LinkChannel {
-            rv: Rendezvous::new(),
-            tx_wire,
-            rx_wire,
-            metrics: Metrics::new(),
-            status: LinkStatus::new(),
-            telem: Rc::new(RefCell::new(LinkTelemetry::default())),
-        }
+        LinkChannel::assemble(tx_wire, rx_wire, Metrics::new())
     }
 
     /// Create a sublink with shared metrics (the node's counters).
     pub fn with_metrics(wire: Wire, metrics: Metrics) -> LinkChannel {
+        LinkChannel::assemble(wire.clone(), wire, metrics)
+    }
+
+    fn assemble(tx_wire: Wire, rx_wire: Wire, metrics: Metrics) -> LinkChannel {
         LinkChannel {
             rv: Rendezvous::new(),
-            tx_wire: wire.clone(),
-            rx_wire: wire,
+            tx_wire,
+            rx_wire,
             metrics,
             status: LinkStatus::new(),
             telem: Rc::new(RefCell::new(LinkTelemetry::default())),
+            transport: Rc::new(RefCell::new(TransportState::default())),
         }
     }
 
@@ -421,7 +646,7 @@ impl LinkChannel {
     pub async fn recv(&self, h: &SimHandle) -> Vec<u32> {
         let pkt = self.rv.recv().await;
         let bytes = pkt.words.len() * 4;
-        let (_start, end) = self.reserve_both(h.now(), bytes);
+        let (_start, end) = self.transfer(h.now(), &pkt.words);
         h.sleep_until(end).await;
         self.book_recv(pkt.sent_at, end, bytes);
         pkt.done.send(end);
@@ -440,6 +665,163 @@ impl LinkChannel {
             now,
             self.rx_wire.params.wire_time(bytes),
         )
+    }
+
+    // --- reliable transport -------------------------------------------------
+
+    /// Set this direction's transport parameters (shared across clones).
+    pub fn set_transport_cfg(&self, cfg: TransportCfg) {
+        self.transport.borrow_mut().cfg = cfg;
+    }
+
+    /// This direction's transport parameters.
+    pub fn transport_cfg(&self) -> TransportCfg {
+        self.transport.borrow().cfg
+    }
+
+    /// Route retransmit/CRC/escalation counts into pre-registered meters
+    /// (the sending node's, since retransmission is the sender's work).
+    pub fn set_transport_meters(
+        &self,
+        retransmits: Counter,
+        crc_errors: Counter,
+        escalations: Counter,
+    ) {
+        let mut tr = self.transport.borrow_mut();
+        tr.retransmits = retransmits;
+        tr.crc_errors = crc_errors;
+        tr.escalations = escalations;
+    }
+
+    /// Queue a transient wire fault: one payload bit of the next message on
+    /// this direction is flipped in flight. The receiver's CRC catches it
+    /// and the go-back-N protocol recovers.
+    pub fn inject_corrupt(&self, flit_bit: u64) {
+        self.transport.borrow_mut().pending.push_back(Impair::Corrupt { flit_bit });
+    }
+
+    /// Queue a transient wire fault: one flit of the next message on this
+    /// direction vanishes; only the sender's retransmit timer recovers it.
+    pub fn inject_drop(&self) {
+        self.transport.borrow_mut().pending.push_back(Impair::Drop);
+    }
+
+    /// Impairments queued but not yet consumed by a transfer.
+    pub fn pending_impairments(&self) -> usize {
+        self.transport.borrow().pending.len()
+    }
+
+    /// Flits retransmitted on this direction so far.
+    pub fn transport_retransmits(&self) -> u64 {
+        self.transport.borrow().retransmits.get()
+    }
+
+    /// CRC errors detected on this direction so far.
+    pub fn transport_crc_errors(&self) -> u64 {
+        self.transport.borrow().crc_errors.get()
+    }
+
+    /// Budget-exhaustion escalations on this direction so far.
+    pub fn transport_escalations(&self) -> u64 {
+        self.transport.borrow().escalations.get()
+    }
+
+    /// Complete the framed transfer of `words` on both link engines,
+    /// playing any queued transient impairments through the go-back-N
+    /// recovery protocol.
+    ///
+    /// The healthy path is byte-for-byte identical to a plain
+    /// [`LinkChannel::reserve_both`] — framing overhead is already part of
+    /// [`LinkParams`]'s per-byte cost, so fault-free timing does not move.
+    /// Each queued impairment costs one recovery round: a corrupted flit
+    /// is NAKed after a CRC check on the actual framed words; a dropped
+    /// flit waits out the retransmit timer (with exponential backoff on
+    /// consecutive drops); either way the sender rewinds and resends up to
+    /// `window` flits, whose bytes occupy both wires for real. A transfer
+    /// needing more than `budget` rounds condemns the link — the message
+    /// in flight still completes, but the link is permanently down and
+    /// every later operation sees [`LinkError::Down`].
+    fn transfer(&self, now: Time, words: &[u32]) -> (Time, Time) {
+        let bytes = words.len() * 4;
+        let (start, end) = self.reserve_both(now, bytes);
+        if self.transport.borrow().pending.is_empty() {
+            return (start, end);
+        }
+
+        let mut tr = self.transport.borrow_mut();
+        let cfg = tr.cfg;
+        let flit_words = cfg.flit_words.max(1);
+        let flits = Flit::frame(words, flit_words);
+        let nflits = flits.len();
+        let payload_bits = (flit_words * 32) as u64;
+        let byte_time = self.rx_wire.params.byte_time();
+
+        let mut rounds: u32 = 0;
+        let mut idle = Dur::ZERO;
+        let mut resent_bytes: usize = 0;
+        let mut consecutive_drops: u32 = 0;
+        while let Some(imp) = tr.pending.pop_front() {
+            rounds += 1;
+            let rewind_to = match imp {
+                Impair::Corrupt { flit_bit } => {
+                    consecutive_drops = 0;
+                    let fi = ((flit_bit / payload_bits) as usize) % nflits;
+                    let mut hit = flits[fi].clone();
+                    hit.flip_bit(flit_bit % payload_bits);
+                    if hit.check() {
+                        // An undetected corruption (impossible for a single
+                        // bit flip under CRC-16): delivered as-is.
+                        continue;
+                    }
+                    tr.crc_errors.inc();
+                    // NAK turnaround: one framed byte each way.
+                    idle += byte_time * 2;
+                    fi
+                }
+                Impair::Drop => {
+                    // Nothing came back: the retransmit timer fires, doubled
+                    // for consecutive drops up to the backoff cap.
+                    let exp = consecutive_drops.min(cfg.backoff_cap);
+                    idle += Dur::ps(cfg.timeout.as_ps() << exp);
+                    consecutive_drops += 1;
+                    0
+                }
+            };
+            // Go back N: resend from the failed flit, at most `window`.
+            let resent = (nflits - rewind_to).min(cfg.window.max(1));
+            resent_bytes += resent * (flit_words * 4 + Flit::OVERHEAD_BYTES);
+            tr.retransmits.add(resent as u64);
+        }
+
+        let exhausted = rounds > cfg.budget;
+        if exhausted {
+            tr.escalations.inc();
+        }
+        drop(tr);
+
+        // Retransmitted flits occupy both engines for real; timer and NAK
+        // waits leave the wire idle but delay completion.
+        let mut final_end = end;
+        if resent_bytes > 0 {
+            self.tx_wire.book_extra(resent_bytes);
+            if !self.tx_wire.resource().same_as(self.rx_wire.resource()) {
+                self.rx_wire.book_extra(resent_bytes);
+            }
+            let (_s, e) = Resource::reserve_pair(
+                self.tx_wire.resource(),
+                self.rx_wire.resource(),
+                end,
+                self.rx_wire.params.wire_time(resent_bytes),
+            );
+            final_end = e;
+        }
+        final_end += idle;
+        if exhausted {
+            // Budget blown: the message in flight is delivered, then the
+            // link is condemned — permanently down, immune to flap repair.
+            self.status.condemn();
+        }
+        (start, final_end)
     }
 
     /// Failable [`LinkChannel::send`]: identical timing on the success path,
@@ -483,7 +865,7 @@ impl LinkChannel {
         match select2(self.rv.recv(), self.status.watch_down()).await {
             Either::Left(pkt) => {
                 let bytes = pkt.words.len() * 4;
-                let (_start, end) = self.reserve_both(h.now(), bytes);
+                let (_start, end) = self.transfer(h.now(), &pkt.words);
                 h.sleep_until(end).await;
                 self.book_recv(pkt.sent_at, end, bytes);
                 pkt.done.send(end);
@@ -513,7 +895,7 @@ pub async fn alt_recv(h: &SimHandle, chans: &[&LinkChannel]) -> (usize, Vec<u32>
     let (idx, pkt) = ts_sim::alt(&rvs).await;
     let bytes = pkt.words.len() * 4;
     let ch = chans[idx];
-    let (_start, end) = ch.reserve_both(h.now(), bytes);
+    let (_start, end) = ch.transfer(h.now(), &pkt.words);
     h.sleep_until(end).await;
     ch.book_recv(pkt.sent_at, end, bytes);
     pkt.done.send(end);
@@ -537,7 +919,7 @@ pub async fn alt_recv_or_down(
         Either::Left((idx, pkt)) => {
             let bytes = pkt.words.len() * 4;
             let ch = chans[idx];
-            let (_start, end) = ch.reserve_both(h.now(), bytes);
+            let (_start, end) = ch.transfer(h.now(), &pkt.words);
             h.sleep_until(end).await;
             ch.book_recv(pkt.sent_at, end, bytes);
             pkt.done.send(end);
@@ -909,6 +1291,244 @@ mod tests {
         let (n, t) = jh.try_take().unwrap();
         assert_eq!(n, 2);
         assert_eq!(t.as_ns(), 21_000);
+    }
+
+    #[test]
+    fn crc16_matches_the_ccitt_false_check_vector() {
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b""), 0xFFFF);
+        // The word-fed form agrees with the byte-fed form on the same
+        // big-endian stream.
+        assert_eq!(crc16_words(&[0x31323334]), crc16(b"1234"));
+    }
+
+    #[test]
+    fn framing_round_trips_and_crc_checks() {
+        let words: Vec<u32> = (0..10).collect();
+        let flits = Flit::frame(&words, 4);
+        assert_eq!(flits.len(), 3, "10 words / 4 per flit");
+        assert_eq!(flits[2].payload.len(), 2, "short tail flit");
+        let mut rebuilt = Vec::new();
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq, i as u32);
+            assert!(f.check(), "fresh flit must verify");
+            rebuilt.extend_from_slice(&f.payload);
+        }
+        assert_eq!(rebuilt, words);
+        // An empty message still frames as one (runt) flit.
+        assert_eq!(Flit::frame(&[], 4).len(), 1);
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_detected() {
+        let flit = Flit::new(3, vec![0xDEAD_BEEF, 0x0123_4567, 0, u32::MAX]);
+        for bit in 0..128 {
+            let mut hit = flit.clone();
+            hit.flip_bit(bit);
+            assert!(!hit.check(), "bit {bit} slipped past the CRC");
+        }
+    }
+
+    #[test]
+    fn corrupt_flit_costs_a_nak_and_a_window_resend() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let wire = Wire::new("w", LinkParams::default());
+        let ch = LinkChannel::new(wire.clone());
+        ch.inject_corrupt(0); // hits flit 0 of the next message
+        let (tx, rx) = (ch.clone(), ch.clone());
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![0xAB; 8]).await });
+        let jh = sim.spawn(async move {
+            let w = rx.recv(&h).await;
+            (w.len(), h.now())
+        });
+        assert!(sim.run().quiescent);
+        let (n, t) = jh.try_take().unwrap();
+        assert_eq!(n, 8, "the message is still delivered intact");
+        // Healthy: 5 µs startup + 32 B × 2 µs = 69 µs. The CRC failure on
+        // flit 0 rewinds the full 2-flit message: 2 × (16 + 6) B = 44 B of
+        // retransmission (88 µs) plus a 2-byte-time NAK turnaround (4 µs).
+        assert_eq!(t.as_ns(), 69_000 + 88_000 + 4_000);
+        assert_eq!(ch.transport_crc_errors(), 1);
+        assert_eq!(ch.transport_retransmits(), 2);
+        assert_eq!(ch.transport_escalations(), 0);
+        assert_eq!(ch.pending_impairments(), 0, "impairment consumed");
+        // The retransmitted bytes really occupied the wire.
+        assert_eq!(wire.busy_total(), Dur::us(64 + 88));
+        assert_eq!(wire.bytes_carried(), 32 + 44);
+        assert!(ch.is_up(), "one recoverable error must not kill the link");
+    }
+
+    #[test]
+    fn corruption_late_in_the_message_resends_less() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        // Bit 128 lands in flit 1 (payload bits 0..128 are flit 0).
+        ch.inject_corrupt(128);
+        let (tx, rx) = (ch.clone(), ch.clone());
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![1; 8]).await });
+        let jh = sim.spawn(async move {
+            rx.recv(&h).await;
+            h.now()
+        });
+        assert!(sim.run().quiescent);
+        // Only the tail flit is resent: 22 B = 44 µs + 4 µs NAK.
+        assert_eq!(jh.try_take().unwrap().as_ns(), 69_000 + 44_000 + 4_000);
+        assert_eq!(ch.transport_retransmits(), 1);
+    }
+
+    #[test]
+    fn drops_back_off_exponentially() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        ch.inject_drop();
+        ch.inject_drop();
+        let (tx, rx) = (ch.clone(), ch.clone());
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![2; 8]).await });
+        let jh = sim.spawn(async move {
+            rx.recv(&h).await;
+            h.now()
+        });
+        assert!(sim.run().quiescent);
+        // Two consecutive drops: timeouts 200 µs + 400 µs of idle wire,
+        // plus two full-window resends of the 2-flit message (2 × 88 µs).
+        assert_eq!(jh.try_take().unwrap().as_ns(), 69_000 + 2 * 88_000 + 600_000);
+        assert_eq!(ch.transport_retransmits(), 4);
+        assert_eq!(ch.transport_crc_errors(), 0, "a drop is not a CRC hit");
+    }
+
+    #[test]
+    fn budget_exhaustion_condemns_the_link_but_delivers() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let budget = ch.transport_cfg().budget;
+        for _ in 0..=budget {
+            ch.inject_drop();
+        }
+        let (tx, rx) = (ch.clone(), ch.clone());
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![3; 4]).await });
+        let h3 = h.clone();
+        let jh = sim.spawn(async move { rx.recv(&h3).await });
+        assert!(sim.run().quiescent);
+        assert_eq!(jh.try_take(), Some(vec![3; 4]), "the in-flight message completes");
+        assert_eq!(ch.transport_escalations(), 1);
+        assert!(!ch.is_up(), "budget exhaustion escalates to a permanent link-down");
+        assert!(ch.status().is_condemned());
+        // A condemned link cannot be revived by a flap repair.
+        ch.status().set_up();
+        assert!(!ch.is_up());
+        // Later failable traffic sees the dead link immediately.
+        let jh2 = sim.spawn(async move {
+            let r = ch.try_send(&h, vec![9; 2]).await;
+            r.is_err()
+        });
+        assert!(sim.run().quiescent);
+        assert_eq!(jh2.try_take(), Some(true));
+    }
+
+    #[test]
+    fn custom_transport_cfg_is_honored() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        ch.set_transport_cfg(TransportCfg {
+            flit_words: 2,
+            window: 1,
+            timeout: Dur::us(50),
+            backoff_cap: 0,
+            budget: 8,
+        });
+        ch.inject_drop();
+        let (tx, rx) = (ch.clone(), ch.clone());
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![4; 8]).await });
+        let jh = sim.spawn(async move {
+            rx.recv(&h).await;
+            h.now()
+        });
+        assert!(sim.run().quiescent);
+        // Window of 1 flit of 2 words: 8 + 6 = 14 B resent (28 µs) + 50 µs.
+        assert_eq!(jh.try_take().unwrap().as_ns(), 69_000 + 28_000 + 50_000);
+        assert_eq!(ch.transport_retransmits(), 1);
+    }
+
+    #[test]
+    fn transport_meters_route_into_shared_counters() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let ch = LinkChannel::new(Wire::new("w", LinkParams::default()));
+        let (retrans, crc, esc) = (Counter::new(), Counter::new(), Counter::new());
+        ch.set_transport_meters(retrans.clone(), crc.clone(), esc.clone());
+        ch.inject_corrupt(7);
+        let (tx, rx) = (ch.clone(), ch);
+        let h2 = h.clone();
+        sim.spawn(async move { tx.send(&h2, vec![5; 4]).await });
+        sim.spawn(async move {
+            rx.recv(&h).await;
+        });
+        assert!(sim.run().quiescent);
+        assert_eq!(crc.get(), 1);
+        assert_eq!(retrans.get(), 1, "4-word message is a single flit");
+        assert_eq!(esc.get(), 0);
+    }
+
+    // --- flap ordering (the LinkFlap fault path) ---------------------------
+
+    #[test]
+    fn down_up_down_wakes_each_rounds_waiters_exactly_once() {
+        let mut sim = Sim::new();
+        let status = LinkStatus::new();
+        let s1 = status.clone();
+        let first = sim.spawn(async move {
+            s1.watch_down().await;
+            1u32
+        });
+        sim.run();
+        assert_eq!(first.try_take(), None, "no fault yet: waiter parked");
+        status.set_down();
+        sim.run();
+        assert_eq!(first.try_take(), Some(1), "first flap wakes the first waiter");
+
+        status.set_up();
+        assert!(status.is_up());
+        let s2 = status.clone();
+        let second = sim.spawn(async move {
+            s2.watch_down().await;
+            2u32
+        });
+        sim.run();
+        assert_eq!(second.try_take(), None, "healed link: new waiter parks");
+        status.set_down();
+        sim.run();
+        assert_eq!(second.try_take(), Some(2), "second flap wakes only the new waiter");
+    }
+
+    #[test]
+    fn a_heal_racing_the_wake_reparks_the_watcher() {
+        // down → up faster than the woken task can run: when it finally
+        // polls, the link is healthy again, so it must re-park and resolve
+        // only on the *next* down — not spuriously complete.
+        let mut sim = Sim::new();
+        let status = LinkStatus::new();
+        let s = status.clone();
+        let jh = sim.spawn(async move {
+            s.watch_down().await;
+        });
+        sim.run(); // parked
+        status.set_down();
+        status.set_up(); // heals before the waker is polled
+        sim.run();
+        assert_eq!(jh.try_take(), None, "watcher re-parks on a healed link");
+        status.set_down();
+        sim.run();
+        assert_eq!(jh.try_take(), Some(()), "the next real down resolves it");
     }
 
     #[test]

@@ -123,6 +123,17 @@ pub struct NodeMeters {
     pub link_words_recv: Counter,
     /// End-to-end inbound message latency in ns (`node/{id}/link/latency_ns`).
     pub link_latency_ns: Histogram,
+    /// Flits retransmitted by outbound go-back-N recovery
+    /// (`node/{id}/link/retransmits`).
+    pub link_retransmits: Counter,
+    /// Flits whose CRC-16 failed on an outbound link (`node/{id}/link/crc_errors`).
+    pub link_crc_errors: Counter,
+    /// Retransmit budgets exhausted, escalating the link to a permanent
+    /// down (`node/{id}/link/escalations`).
+    pub link_escalations: Counter,
+    /// Histogram of transient link-flap outage lengths in µs
+    /// (`node/{id}/link/flap_us`).
+    pub link_flap_us: Histogram,
 }
 
 impl NodeMeters {
@@ -140,6 +151,10 @@ impl NodeMeters {
             link_words_sent: scope.counter("link/words_sent"),
             link_words_recv: scope.counter("link/words_recv"),
             link_latency_ns: scope.histogram("link/latency_ns"),
+            link_retransmits: scope.counter("link/retransmits"),
+            link_crc_errors: scope.counter("link/crc_errors"),
+            link_escalations: scope.counter("link/escalations"),
+            link_flap_us: scope.histogram("link/flap_us"),
             scope,
         }
     }
@@ -248,6 +263,38 @@ impl Node {
         if let Some(inp) = st.in_dims.get(dim) {
             inp.status().set_up();
         }
+    }
+
+    /// Queue a transient bit-flip on the next outbound message of `dim`:
+    /// the flit addressed by `flit_bit` arrives with a flipped payload bit,
+    /// fails its CRC, and is retransmitted by go-back-N recovery.
+    pub fn queue_wire_corrupt(&self, dim: usize, flit_bit: u64) {
+        if let Some(out) = self.state.borrow().out_dims.get(dim) {
+            out.inject_corrupt(flit_bit);
+        }
+    }
+
+    /// Queue a transient flit loss on the next outbound message of `dim`:
+    /// the receiver times out and the window is retransmitted.
+    pub fn queue_flit_drop(&self, dim: usize) {
+        if let Some(out) = self.state.borrow().out_dims.get(dim) {
+            out.inject_drop();
+        }
+    }
+
+    /// Flap the physical link on `dim`: down now, back up after `down_for`
+    /// of sim time (a repair task is spawned on the node's scheduler). The
+    /// outage length is recorded in the `link/flap_us` histogram. A link
+    /// already condemned by retransmit-budget escalation stays down.
+    pub fn flap_link(&self, dim: usize, down_for: Dur) {
+        self.set_link_down(dim);
+        self.meters.link_flap_us.observe(down_for.as_ps() / 1_000_000);
+        let node = self.clone();
+        let h = self.h.clone();
+        self.h.spawn(async move {
+            h.sleep(down_for).await;
+            node.set_link_up(dim);
+        });
     }
 
     /// True while the physical link on `dim` is alive (an unwired dimension

@@ -52,7 +52,9 @@ fn main() {
         let half = dim / 2;
         let (sx, sy) = (1usize << half, 1usize << (dim - half));
         let g_tile = 8;
-        let init: Vec<f64> = (0..sx * g_tile * sy * g_tile).map(|i| (i % 5) as f64).collect();
+        let init: Vec<f64> = (0..sx * g_tile * sy * g_tile)
+            .map(|i| (i % 5) as f64)
+            .collect();
         b.run(&format!("e11_jacobi_5sweeps/{}", 1 << dim), || {
             let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
             let (out, stats) = stencil::distributed_jacobi(&mut m, g_tile, 5, &init);

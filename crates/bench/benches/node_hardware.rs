@@ -19,7 +19,13 @@ fn main() {
         let jh = m.launch_on(0, async move {
             let rows_a = ctx.mem().cfg().rows_a();
             let r = ctx
-                .vec(VecForm::Saxpy(Sf64::from(2.0)), 0, rows_a, rows_a + 512, 16_000)
+                .vec(
+                    VecForm::Saxpy(Sf64::from(2.0)),
+                    0,
+                    rows_a,
+                    rows_a + 512,
+                    16_000,
+                )
                 .await
                 .unwrap();
             r.timing
@@ -33,8 +39,11 @@ fn main() {
 
     // E9: the single-bank ablation halves the streaming rate.
     for single in [false, true] {
-        let name =
-            if single { "e9_bank_ablation/single_bank" } else { "e9_bank_ablation/dual_bank" };
+        let name = if single {
+            "e9_bank_ablation/single_bank"
+        } else {
+            "e9_bank_ablation/dual_bank"
+        };
         b.run(name, || {
             let mut cfg = MachineCfg::cube(0);
             cfg.node.single_bank = single;
@@ -42,7 +51,10 @@ fn main() {
             let ctx = m.ctx(0);
             let jh = m.launch_on(0, async move {
                 let rows_a = ctx.mem().cfg().rows_a();
-                ctx.vec(VecForm::VMul, 0, rows_a, rows_a + 512, 8192).await.unwrap().timing
+                ctx.vec(VecForm::VMul, 0, rows_a, rows_a + 512, 8192)
+                    .await
+                    .unwrap()
+                    .timing
             });
             m.run();
             jh.try_take().unwrap().duration
@@ -81,7 +93,9 @@ fn main() {
     });
 
     // The software FPU itself: host-side throughput of the bit-level ops.
-    let xs: Vec<Sf64> = (0..1024).map(|i| Sf64::from(i as f64 * 1.7 + 0.3)).collect();
+    let xs: Vec<Sf64> = (0..1024)
+        .map(|i| Sf64::from(i as f64 * 1.7 + 0.3))
+        .collect();
     b.run("softfloat_add_mul_1k", || {
         let mut acc = Sf64::from(1.0);
         for &x in &xs {

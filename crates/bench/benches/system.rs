@@ -41,7 +41,9 @@ fn main() {
                 let interval = Dur::secs(mins * 60);
                 let mut total = 0.0;
                 for seed in 0..10 {
-                    total += simulate_run(work, interval, snap, mtbf, seed).total.as_secs_f64();
+                    total += simulate_run(work, interval, snap, mtbf, seed)
+                        .total
+                        .as_secs_f64();
                 }
                 if total < best.1 {
                     best = (interval, total);

@@ -1,7 +1,8 @@
-//! Emit a machine-readable benchmark report (`BENCH_3.json` by default).
+//! Emit a machine-readable benchmark report (`BENCH_4.json` by default).
 //!
 //! Runs the kernel sweep (E11), measures collective latencies on a
-//! 3-cube, times the metrics hot path, and writes everything as JSON.
+//! 3-cube, runs the space-sharing scheduler batch under both queue
+//! policies, times the metrics hot path, and writes everything as JSON.
 //! With `--baseline <path>` the run fails (exit 2) if any kernel's
 //! MFLOPS dropped more than 20% below the baseline file's figure — the
 //! simulator is deterministic, so in practice any drop is a real
@@ -9,7 +10,7 @@
 //! fidelity adjustments that should come with a baseline refresh.
 //!
 //! ```text
-//! cargo run -p ts-bench                          # writes BENCH_3.json
+//! cargo run -p ts-bench                          # writes BENCH_4.json
 //! cargo run -p ts-bench -- --out BENCH_ci.json --baseline BENCH_baseline.json
 //! cargo run -p ts-bench -- --trace overlap.json  # also dump a Perfetto trace
 //! ```
@@ -18,14 +19,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use t_series_core::{Machine, MachineCfg};
-use ts_bench::report::{collective_probe, counter_microbench, kernel_rows, regressions};
+use ts_bench::report::{
+    collective_probe, counter_microbench, kernel_rows, regressions, sched_probe,
+};
 use ts_bench::BenchReport;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_json [--out PATH] [--baseline PATH] [--trace PATH]\n\
          \n\
-         --out PATH       where to write the JSON report (default BENCH_3.json)\n\
+         --out PATH       where to write the JSON report (default BENCH_4.json)\n\
          --baseline PATH  fail (exit 2) if any kernel regresses >20% vs this report\n\
          --trace PATH     also write a Perfetto trace of a small traced matmul run"
     );
@@ -33,7 +36,7 @@ fn usage() -> ! {
 }
 
 fn main() -> ExitCode {
-    let mut out = PathBuf::from("BENCH_3.json");
+    let mut out = PathBuf::from("BENCH_4.json");
     let mut baseline: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -55,6 +58,18 @@ fn main() -> ExitCode {
             c.op, c.nodes, c.calls, c.mean_us, c.p99_us
         );
     }
+    println!("running the space-sharing scheduler batch...");
+    let sched = sched_probe();
+    for r in &sched {
+        println!(
+            "  {:<13} {} jobs  makespan {:>7.1} us  mean wait {:>7.1} us  util {:>5.1}%",
+            r.policy,
+            r.jobs,
+            r.makespan_us,
+            r.mean_wait_us,
+            r.utilization * 100.0
+        );
+    }
     println!("timing the metrics hot path...");
     let counter = counter_microbench(5_000_000);
     println!(
@@ -74,7 +89,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = BenchReport { kernels, collectives, counter, transport };
+    let report = BenchReport {
+        kernels,
+        collectives,
+        sched,
+        counter,
+        transport,
+    };
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("FAIL: cannot write {}: {e}", out.display());
         return ExitCode::from(1);
@@ -102,7 +123,10 @@ fn main() -> ExitCode {
         };
         let bad = regressions(&report.kernels, &base, 0.20);
         if !bad.is_empty() {
-            eprintln!("FAIL: kernel throughput regressed vs {}:", base_path.display());
+            eprintln!(
+                "FAIL: kernel throughput regressed vs {}:",
+                base_path.display()
+            );
             for line in &bad {
                 eprintln!("  {line}");
             }

@@ -64,7 +64,11 @@ pub fn e2_bandwidths() -> (f64, f64, f64, f64) {
         assert!(m.run().quiescent);
         25.0 * 4096.0 / m.now().as_secs_f64() / 1e6
     };
-    row("serial link, unidirectional (MB/s)", "> 0.5 (~0.5)", &format!("{link_mbps:.3}"));
+    row(
+        "serial link, unidirectional (MB/s)",
+        "> 0.5 (~0.5)",
+        &format!("{link_mbps:.3}"),
+    );
 
     // CP <-> RAM through the word port.
     let cp_mbps = {
@@ -81,7 +85,11 @@ pub fn e2_bandwidths() -> (f64, f64, f64, f64) {
         let d = jh.try_take().unwrap();
         d.throughput_bytes(4000) / 1e6
     };
-    row("control processor <-> RAM (MB/s)", "10", &format!("{cp_mbps:.1}"));
+    row(
+        "control processor <-> RAM (MB/s)",
+        "10",
+        &format!("{cp_mbps:.1}"),
+    );
 
     // Memory row <-> vector register.
     let row_mbps = {
@@ -97,7 +105,11 @@ pub fn e2_bandwidths() -> (f64, f64, f64, f64) {
         // read+write: each direction moves 64 KiB at the row-port rate.
         2.0 * d.throughput_bytes(64 * 1024) / 1e6
     };
-    row("memory <-> vector register (MB/s)", "2560", &format!("{row_mbps:.0}"));
+    row(
+        "memory <-> vector register (MB/s)",
+        "2560",
+        &format!("{row_mbps:.0}"),
+    );
 
     // Vector registers -> arithmetic: 3 streams during a long SAXPY.
     let vecreg_mbps = {
@@ -115,7 +127,11 @@ pub fn e2_bandwidths() -> (f64, f64, f64, f64) {
         let d = jh.try_take().unwrap();
         d.throughput_bytes(3 * 8 * 4096) / 1e6
     };
-    row("vector registers <-> arithmetic (MB/s)", "192", &format!("{vecreg_mbps:.0}"));
+    row(
+        "vector registers <-> arithmetic (MB/s)",
+        "192",
+        &format!("{vecreg_mbps:.0}"),
+    );
 
     // Link adapter aggregate: all four links of node 0 active at once
     // (both directions), against 5 neighbours in a 4-cube.
@@ -167,7 +183,11 @@ pub fn e2_bandwidths() -> (f64, f64, f64, f64) {
         let bytes = 8.0 * 4096.0 * 8.0; // 8 msgs × 4 KB × (4 out + 4 in)
         bytes / m.now().as_secs_f64() / 1e6
     };
-    row("all four links, both directions (MB/s)", "> 4", &format!("{agg_mbps:.2}"));
+    row(
+        "all four links, both directions (MB/s)",
+        "> 4",
+        &format!("{agg_mbps:.2}"),
+    );
     row("link adapter (instr/status) (MB/s)", "10", "10 (word port)");
     (link_mbps, cp_mbps, row_mbps, vecreg_mbps)
 }
@@ -190,11 +210,27 @@ pub fn e3_peak_arithmetic() -> (f64, f64) {
     let saxpy = run(VecForm::Saxpy(Sf64::from(2.0)), 16_000);
     let vadd = run(VecForm::VAdd, 16_000);
     let short = run(VecForm::Saxpy(Sf64::from(2.0)), 16);
-    row("chained SAXPY, long vector (MFLOPS)", "16 peak", &format!("{saxpy:.2}"));
-    row("single pipe (VAdd), long vector (MFLOPS)", "8", &format!("{vadd:.2}"));
-    row("chained SAXPY, 16 elements (MFLOPS)", "(startup-bound)", &format!("{short:.2}"));
+    row(
+        "chained SAXPY, long vector (MFLOPS)",
+        "16 peak",
+        &format!("{saxpy:.2}"),
+    );
+    row(
+        "single pipe (VAdd), long vector (MFLOPS)",
+        "8",
+        &format!("{vadd:.2}"),
+    );
+    row(
+        "chained SAXPY, 16 elements (MFLOPS)",
+        "(startup-bound)",
+        &format!("{short:.2}"),
+    );
     row("adder pipeline", "6 stages", "6 stages");
-    row("multiplier pipeline (64/32-bit)", "7 / 5 stages", "7 / 5 stages");
+    row(
+        "multiplier pipeline (64/32-bit)",
+        "7 / 5 stages",
+        "7 / 5 stages",
+    );
     row("gradual underflow", "not supported", "flush-to-zero");
     (saxpy, vadd)
 }
@@ -251,17 +287,40 @@ pub fn e5_balance_ratios() -> (f64, f64) {
     });
     assert!(m.run().quiescent);
     let (arith, gather, link) = jh.try_take().unwrap();
-    row("arithmetic time / 64-bit result (µs)", "0.125", &format!("{:.3}", arith * 1e6));
-    row("gather time / 64-bit element (µs)", "1.6", &format!("{:.3}", gather * 1e6));
-    row("link time / 64-bit word (µs)", "16", &format!("{:.3}", link * 1e6));
+    row(
+        "arithmetic time / 64-bit result (µs)",
+        "0.125",
+        &format!("{:.3}", arith * 1e6),
+    );
+    row(
+        "gather time / 64-bit element (µs)",
+        "1.6",
+        &format!("{:.3}", gather * 1e6),
+    );
+    row(
+        "link time / 64-bit word (µs)",
+        "16",
+        &format!("{:.3}", link * 1e6),
+    );
     let rg = gather / arith;
     let rl = link / arith;
-    row("ratio arithmetic : gather", "1 : 13", &format!("1 : {rg:.1}"));
-    row("ratio arithmetic : link", "1 : 130", &format!("1 : {rl:.1}"));
+    row(
+        "ratio arithmetic : gather",
+        "1 : 13",
+        &format!("1 : {rg:.1}"),
+    );
+    row(
+        "ratio arithmetic : link",
+        "1 : 130",
+        &format!("1 : {rl:.1}"),
+    );
 
     // The overlap rule: ops per gathered vector vs wall-clock.
     println!("\n  overlap sweep: k vector forms per gathered 128-vector");
-    println!("  {:>4} {:>14} {:>14} {:>10}", "k", "round time", "vec busy", "hidden?");
+    println!(
+        "  {:>4} {:>14} {:>14} {:>10}",
+        "k", "round time", "vec busy", "hidden?"
+    );
     for k in [1usize, 4, 8, 13, 20, 26] {
         let mut m = Machine::build(MachineCfg::cube(0));
         let ctx = m.ctx(0);
@@ -332,7 +391,13 @@ pub fn e6_embeddings() -> u32 {
     }
     // Mesh family up to dimension n (6-cube).
     let c6 = Hypercube::new(6);
-    for bits in [vec![6], vec![3, 3], vec![2, 2, 2], vec![1, 1, 2, 2], vec![1, 1, 1, 1, 1, 1]] {
+    for bits in [
+        vec![6],
+        vec![3, 3],
+        vec![2, 2, 2],
+        vec![1, 1, 2, 2],
+        vec![1, 1, 1, 1, 1, 1],
+    ] {
         let m = MeshEmbedding::new(c6, &bits);
         let shape: Vec<String> = (0..m.rank()).map(|a| m.side(a).to_string()).collect();
         row(
@@ -383,12 +448,28 @@ pub fn e7_scaling_table() -> f64 {
         "> 12 MB/s",
         &format!("{} MB/s", MachineCfg::cube(3).specs().intramodule_mb_per_s),
     );
-    row("4 cabinets (64 nodes)", "1 GFLOPS, 64 MB", "1.024 GFLOPS, 64 MB");
-    row("12-cube (4096 nodes)", "> 65 GFLOPS, 4 GB", &format!("{:.1} GFLOPS, 4 GB", last / 1000.0));
+    row(
+        "4 cabinets (64 nodes)",
+        "1 GFLOPS, 64 MB",
+        "1.024 GFLOPS, 64 MB",
+    );
+    row(
+        "12-cube (4096 nodes)",
+        "> 65 GFLOPS, 4 GB",
+        &format!("{:.1} GFLOPS, 4 GB", last / 1000.0),
+    );
     let b = SublinkBudget::default();
-    row("largest with 2 I/O sublinks", "12-cube", &format!("{}-cube", b.max_dim()));
+    row(
+        "largest with 2 I/O sublinks",
+        "12-cube",
+        &format!("{}-cube", b.max_dim()),
+    );
     let no_io = SublinkBudget { system: 2, io: 0 };
-    row("architectural maximum", "14-cube", &format!("{}-cube", no_io.max_dim()));
+    row(
+        "architectural maximum",
+        "14-cube",
+        &format!("{}-cube", no_io.max_dim()),
+    );
     last / 1000.0
 }
 
@@ -412,7 +493,10 @@ pub fn e8_checkpointing() -> (f64, f64) {
     let snapshot = Dur::from_secs_f64(snap_secs);
     let mtbf = Dur::from_secs_f64(3.1 * 3600.0);
     println!("\n  interval sweep (10 h job, {snap_secs:.0} s snapshot, 3.1 h MTBF):");
-    println!("  {:>10} {:>14} {:>10}", "interval", "avg runtime", "overhead");
+    println!(
+        "  {:>10} {:>14} {:>10}",
+        "interval", "avg runtime", "overhead"
+    );
     let mut best = (0u64, f64::INFINITY);
     let minutes = vec![1u64, 2, 5, 10, 20, 40, 80];
     // Monte-Carlo points are independent: fan the sweep across host threads.
@@ -420,7 +504,9 @@ pub fn e8_checkpointing() -> (f64, f64) {
         let interval = Dur::secs(mins * 60);
         let mut total = 0.0;
         for seed in 0..30 {
-            total += simulate_run(work, interval, snapshot, mtbf, seed).total.as_secs_f64();
+            total += simulate_run(work, interval, snapshot, mtbf, seed)
+                .total
+                .as_secs_f64();
         }
         total / 30.0
     });
@@ -436,7 +522,11 @@ pub fn e8_checkpointing() -> (f64, f64) {
         );
     }
     let t_star = young_interval(snapshot, mtbf).as_secs_f64() / 60.0;
-    row("best interval (paper)", "about 10 min", &format!("{} min (Young: {t_star:.1})", best.0));
+    row(
+        "best interval (paper)",
+        "about 10 min",
+        &format!("{} min (Young: {t_star:.1})", best.0),
+    );
     (snap_secs, t_star)
 }
 
@@ -473,7 +563,11 @@ pub fn e9_dual_bank() -> f64 {
         );
     }
     let ratio = ratio_sum / 3.0;
-    row("dual-bank speedup", "2x (one op per cycle)", &format!("{ratio:.2}x"));
+    row(
+        "dual-bank speedup",
+        "2x (one op per cycle)",
+        &format!("{ratio:.2}x"),
+    );
     ratio
 }
 
@@ -481,7 +575,10 @@ pub fn e9_dual_bank() -> f64 {
 /// operations per transferred 64-bit word. Returns the measured crossover.
 pub fn e10_comm_comp_balance() -> f64 {
     header("E10: ops per transferred word vs efficiency (§II)");
-    println!("  {:>12} {:>14} {:>14} {:>12}", "ops/word", "round time", "vec busy", "efficiency");
+    println!(
+        "  {:>12} {:>14} {:>14} {:>12}",
+        "ops/word", "round time", "vec busy", "efficiency"
+    );
     let mut crossover = 0.0;
     let mut prev_eff = 0.0;
     for ops_per_word in [16usize, 64, 130, 260, 520] {
@@ -544,13 +641,26 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
         let n = 32;
         let (a, b, c, stats) = matmul::distributed_matmul(&mut m, n, 99);
         let want = matmul::reference_matmul(n, &a, &b);
-        let ok = c.iter().zip(&want).all(|(g, w)| (g - w).abs() <= 1e-12 * w.abs().max(1.0));
+        let ok = c
+            .iter()
+            .zip(&want)
+            .all(|(g, w)| (g - w).abs() <= 1e-12 * w.abs().max(1.0));
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9.2} {:>12} {:>10}",
-            "matmul", 1 << dim, format!("{n}x{n}"), format!("{}", stats.elapsed),
-            stats.mflops, stats.bytes_sent, if ok { "yes" } else { "NO" }
+            "matmul",
+            1 << dim,
+            format!("{n}x{n}"),
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
-        out.push(("matmul", 1 << dim, stats.elapsed.as_secs_f64(), stats.mflops));
+        out.push((
+            "matmul",
+            1 << dim,
+            stats.elapsed.as_secs_f64(),
+            stats.mflops,
+        ));
     }
     // FFT: N grows with the machine (weak-ish scaling).
     for dim in [0u32, 2, 4] {
@@ -568,8 +678,13 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
             .all(|(&(gr, gi), &(wr, wi))| (gr - wr).abs() < 1e-8 && (gi - wi).abs() < 1e-8);
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9.2} {:>12} {:>10}",
-            "fft", 1 << dim, n, format!("{}", stats.elapsed), stats.mflops,
-            stats.bytes_sent, if ok { "yes" } else { "NO" }
+            "fft",
+            1 << dim,
+            n,
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
         out.push(("fft", 1 << dim, stats.elapsed.as_secs_f64(), stats.mflops));
     }
@@ -581,8 +696,13 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
         let ok = lu::reconstruction_error(n, &a, &perm, &lumat) < 1e-9;
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9.2} {:>12} {:>10}",
-            "lu", 1 << dim, format!("{n}x{n}"), format!("{}", stats.elapsed),
-            stats.mflops, stats.bytes_sent, if ok { "yes" } else { "NO" }
+            "lu",
+            1 << dim,
+            format!("{n}x{n}"),
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
         out.push(("lu", 1 << dim, stats.elapsed.as_secs_f64(), stats.mflops));
     }
@@ -594,8 +714,13 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
         let ok = sorted.windows(2).all(|w| w[0] <= w[1]);
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9.2} {:>12} {:>10}",
-            "sort", 1 << dim, n, format!("{}", stats.elapsed), stats.mflops,
-            stats.bytes_sent, if ok { "yes" } else { "NO" }
+            "sort",
+            1 << dim,
+            n,
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
         out.push(("sort", 1 << dim, stats.elapsed.as_secs_f64(), stats.mflops));
     }
@@ -606,17 +731,28 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
         let half = dim / 2;
         let (sx, sy) = (1usize << half, 1usize << (dim - half));
         let mut st = 5u64;
-        let init: Vec<f64> =
-            (0..sx * g * sy * g).map(|_| ts_kernels::rand_f64(&mut st)).collect();
+        let init: Vec<f64> = (0..sx * g * sy * g)
+            .map(|_| ts_kernels::rand_f64(&mut st))
+            .collect();
         let (got, stats) = stencil::distributed_jacobi(&mut m, g, 5, &init);
         let want = stencil::reference_jacobi(sx * g, sy * g, 5, &init);
         let ok = got.iter().zip(&want).all(|(a, b)| (a - b).abs() < 1e-12);
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9.2} {:>12} {:>10}",
-            "jacobi", 1 << dim, format!("{}x{}", sx * g, sy * g), format!("{}", stats.elapsed),
-            stats.mflops, stats.bytes_sent, if ok { "yes" } else { "NO" }
+            "jacobi",
+            1 << dim,
+            format!("{}x{}", sx * g, sy * g),
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
-        out.push(("jacobi", 1 << dim, stats.elapsed.as_secs_f64(), stats.mflops));
+        out.push((
+            "jacobi",
+            1 << dim,
+            stats.elapsed.as_secs_f64(),
+            stats.mflops,
+        ));
     }
     // CG: per-node tile fixed.
     for dim in [0u32, 2] {
@@ -628,8 +764,13 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
         let res = ts_kernels::cg::cg_residual(sx * g, sy * g, &x, &b);
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9.2} {:>12} {:>10}",
-            "cg", 1 << dim, format!("{} it", iters), format!("{}", stats.elapsed),
-            stats.mflops, stats.bytes_sent, if res < 1e-8 { "yes" } else { "NO" }
+            "cg",
+            1 << dim,
+            format!("{} it", iters),
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if res < 1e-8 { "yes" } else { "NO" }
         );
         out.push(("cg", 1 << dim, stats.elapsed.as_secs_f64(), stats.mflops));
     }
@@ -645,13 +786,21 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
             .all(|((gx, gy), (wx, wy))| (gx - wx).abs() < 1e-9 && (gy - wy).abs() < 1e-9);
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9.2} {:>12} {:>10}",
-            "nbody", 1 << dim, nb, format!("{}", stats.elapsed), stats.mflops,
-            stats.bytes_sent, if ok { "yes" } else { "NO" }
+            "nbody",
+            1 << dim,
+            nb,
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
         out.push(("nbody", 1 << dim, stats.elapsed.as_secs_f64(), stats.mflops));
     }
     // Sparse mat-vec: the gather-bound regime, both schedules.
-    for schedule in [ts_kernels::spmv::SpmvSchedule::Sequential, ts_kernels::spmv::SpmvSchedule::Overlapped] {
+    for schedule in [
+        ts_kernels::spmv::SpmvSchedule::Sequential,
+        ts_kernels::spmv::SpmvSchedule::Overlapped,
+    ] {
         let a = ts_kernels::spmv::Crs::random(64, 12, 9);
         let mut m = Machine::build(MachineCfg::cube(2));
         let (x, y, stats) = ts_kernels::spmv::distributed_spmv(&mut m, &a, schedule, 6);
@@ -664,8 +813,12 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
             } else {
                 "spmv(ovl)"
             },
-            4, "64, 12nz", format!("{}", stats.elapsed), stats.mflops,
-            stats.bytes_sent, if ok { "yes" } else { "NO" }
+            4,
+            "64, 12nz",
+            format!("{}", stats.elapsed),
+            stats.mflops,
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
         out.push(("spmv", 4, stats.elapsed.as_secs_f64(), stats.mflops));
     }
@@ -677,8 +830,13 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
         let ok = at == ts_kernels::transpose::reference_transpose(n, &a);
         println!(
             "  {:<10} {:>6} {:>9} {:>12} {:>9} {:>12} {:>10}",
-            "transpose", 1 << dim, format!("{n}x{n}"), format!("{}", stats.elapsed),
-            "-", stats.bytes_sent, if ok { "yes" } else { "NO" }
+            "transpose",
+            1 << dim,
+            format!("{n}x{n}"),
+            format!("{}", stats.elapsed),
+            "-",
+            stats.bytes_sent,
+            if ok { "yes" } else { "NO" }
         );
         out.push(("transpose", 1 << dim, stats.elapsed.as_secs_f64(), 0.0));
     }
@@ -691,14 +849,37 @@ pub fn e11_kernel_scaling() -> Vec<(&'static str, u32, f64, f64)> {
 pub fn e12_link_framing() -> f64 {
     header("E12: link protocol (§II Communications)");
     let p = ts_link::LinkParams::default();
-    row("raw line rate", "(serial link)", &format!("{} Mbit/s", p.bit_rate / 1_000_000));
+    row(
+        "raw line rate",
+        "(serial link)",
+        &format!("{} Mbit/s", p.bit_rate / 1_000_000),
+    );
     row("framing per byte", "2 sync + 8 data + 1 stop", "11 bits");
-    row("acknowledge per byte", "2 bits", &format!("{} bits", p.ack_bits));
-    row("effective unidirectional (MB/s)", "> 0.5", &format!("{:.3}", p.effective_mb_per_s()));
-    row("64-bit word on the wire (µs)", "16", &format!("{:.1}", p.wire_time(8).as_us_f64()));
-    row("DMA startup (µs)", "about 5", &format!("{:.1}", p.dma_startup.as_us_f64()));
+    row(
+        "acknowledge per byte",
+        "2 bits",
+        &format!("{} bits", p.ack_bits),
+    );
+    row(
+        "effective unidirectional (MB/s)",
+        "> 0.5",
+        &format!("{:.3}", p.effective_mb_per_s()),
+    );
+    row(
+        "64-bit word on the wire (µs)",
+        "16",
+        &format!("{:.1}", p.wire_time(8).as_us_f64()),
+    );
+    row(
+        "DMA startup (µs)",
+        "about 5",
+        &format!("{:.1}", p.dma_startup.as_us_f64()),
+    );
     println!("\n  message-size sweep (startup amortization):");
-    println!("  {:>10} {:>12} {:>14}", "bytes", "latency", "effective MB/s");
+    println!(
+        "  {:>10} {:>12} {:>14}",
+        "bytes", "latency", "effective MB/s"
+    );
     for bytes in [8usize, 64, 256, 1024, 4096] {
         let t = p.message_time(bytes);
         println!(
@@ -797,8 +978,16 @@ pub fn e13_shared_vs_cube() -> f64 {
         );
         advantage = cube_gf / bus_gf;
     }
-    row("4096-way cube advantage over one bus", "(the point of §I)", &format!("{advantage:.0}x"));
-    row("interconnect growth", "crossbar O(p^2) vs cube O(p log p)", "reproduced above");
+    row(
+        "4096-way cube advantage over one bus",
+        "(the point of §I)",
+        &format!("{advantage:.0}x"),
+    );
+    row(
+        "interconnect growth",
+        "crossbar O(p^2) vs cube O(p log p)",
+        "reproduced above",
+    );
     advantage
 }
 
@@ -813,7 +1002,10 @@ pub fn e13_shared_vs_cube() -> f64 {
 pub fn e14_system_ring() -> (f64, f64) {
     header("E14: system ring vs hypercube broadcast (§III)");
     println!("  bulk distribution (16 KB program image):");
-    println!("  {:>8} {:>8} {:>14} {:>14}", "dim", "modules", "ring distrib", "cube broadcast");
+    println!(
+        "  {:>8} {:>8} {:>14} {:>14}",
+        "dim", "modules", "ring distrib", "cube broadcast"
+    );
     let mut last = (0.0, 0.0);
     for dim in [4u32, 5, 6] {
         let payload_words = 4096usize;
@@ -849,9 +1041,14 @@ pub fn e14_system_ring() -> (f64, f64) {
         last = (ring_t, cube_t);
     }
     println!("  (the chunked ring pipelines; the tree pays log2(p) full-payload hops)");
-    println!("
-  small control message (8 bytes):");
-    println!("  {:>8} {:>8} {:>14} {:>14}", "dim", "modules", "ring (farthest)", "cube broadcast");
+    println!(
+        "
+  small control message (8 bytes):"
+    );
+    println!(
+        "  {:>8} {:>8} {:>14} {:>14}",
+        "dim", "modules", "ring (farthest)", "cube broadcast"
+    );
     for dim in [4u32, 5, 6] {
         let ring_t = {
             let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
@@ -908,10 +1105,22 @@ pub fn e15_row_moves() -> f64 {
     });
     m.run();
     let (by_rows, by_words) = jh.try_take().unwrap();
-    row("swap two 1 KB rows via row port", "1.6 µs", &format!("{by_rows}"));
-    row("same swap element-by-element", "614 µs", &format!("{by_words}"));
+    row(
+        "swap two 1 KB rows via row port",
+        "1.6 µs",
+        &format!("{by_rows}"),
+    );
+    row(
+        "same swap element-by-element",
+        "614 µs",
+        &format!("{by_words}"),
+    );
     let speedup = by_words.as_secs_f64() / by_rows.as_secs_f64();
-    row("row-port advantage", "~384x (2560 vs 6.7 MB/s)", &format!("{speedup:.0}x"));
+    row(
+        "row-port advantage",
+        "~384x (2560 vs 6.7 MB/s)",
+        &format!("{speedup:.0}x"),
+    );
     println!("  (\"moving data physically, rather than keeping linked lists of pointers\")");
     speedup
 }
@@ -946,16 +1155,28 @@ pub fn e16_chaining_ablation() -> f64 {
         let jh = m.launch_on(0, async move {
             let rows_a = ctx.mem().cfg().rows_a();
             let t0 = ctx.now();
-            ctx.vec(VecForm::VSMul(Sf64::from(2.0)), 0, 0, 128, N).await.unwrap();
-            ctx.vec(VecForm::VAdd, 128, rows_a, rows_a + 256, N).await.unwrap();
+            ctx.vec(VecForm::VSMul(Sf64::from(2.0)), 0, 0, 128, N)
+                .await
+                .unwrap();
+            ctx.vec(VecForm::VAdd, 128, rows_a, rows_a + 256, N)
+                .await
+                .unwrap();
             ctx.now().since(t0)
         });
         m.run();
         jh.try_take().unwrap()
     };
     let mf = |d: Dur| 2.0 * N as f64 / d.as_secs_f64() / 1e6;
-    row("chained SAXPY (MFLOPS)", "16", &format!("{:.2}", mf(chained)));
-    row("separate VSMul + VAdd (MFLOPS)", "(half)", &format!("{:.2}", mf(unchained)));
+    row(
+        "chained SAXPY (MFLOPS)",
+        "16",
+        &format!("{:.2}", mf(chained)),
+    );
+    row(
+        "separate VSMul + VAdd (MFLOPS)",
+        "(half)",
+        &format!("{:.2}", mf(unchained)),
+    );
     let speedup = unchained.as_secs_f64() / chained.as_secs_f64();
     row("chaining speedup", "2x", &format!("{speedup:.2}x"));
     println!("  (chaining also skips the intermediate vector's row traffic)");

@@ -30,7 +30,9 @@ impl Bench {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(5);
-        Bench { iters: iters.max(1) }
+        Bench {
+            iters: iters.max(1),
+        }
     }
 
     /// Time `f` over the configured iterations and print one report line.
@@ -48,7 +50,11 @@ impl Bench {
             total += dt;
         }
         let mean = total / self.iters as f64;
-        println!("bench {name:<40} min {:>12} mean {:>12}", fmt_s(min), fmt_s(mean));
+        println!(
+            "bench {name:<40} min {:>12} mean {:>12}",
+            fmt_s(min),
+            fmt_s(mean)
+        );
     }
 }
 

@@ -16,6 +16,7 @@ use std::time::Instant;
 use t_series_core::{collectives, Machine, MachineCfg, NODE_PEAK_MFLOPS};
 use ts_fpu::Sf64;
 use ts_node::CombineOp;
+use ts_sched::{JobKernel, JobSpec, Policy, Scheduler};
 use ts_sim::{Metrics, MetricsRegistry};
 
 /// One kernel measurement: achieved throughput against the machine's
@@ -77,6 +78,26 @@ pub struct TransportCounters {
     pub escalations: u64,
 }
 
+/// One space-sharing scheduler measurement: a fixed mixed-width batch
+/// run to completion under one queue policy on a dim-2 machine.
+#[derive(Debug, Clone)]
+pub struct SchedRow {
+    /// Queue policy (`Fcfs`, `FcfsBackfill`).
+    pub policy: String,
+    /// Jobs in the batch.
+    pub jobs: u32,
+    /// Simulated time from first submit to last completion, µs.
+    pub makespan_us: f64,
+    /// Mean queue wait across the batch, µs.
+    pub mean_wait_us: f64,
+    /// Node-time fraction spent running jobs over the makespan.
+    pub utilization: f64,
+    /// Checkpoint evictions across the batch.
+    pub preemptions: u32,
+    /// Fault-driven subcube re-allocations across the batch.
+    pub reallocations: u32,
+}
+
 /// A full benchmark report, renderable as JSON.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -84,6 +105,8 @@ pub struct BenchReport {
     pub kernels: Vec<KernelRow>,
     /// Collective latency summaries.
     pub collectives: Vec<CollectiveRow>,
+    /// Space-sharing scheduler batch, one row per policy.
+    pub sched: Vec<SchedRow>,
     /// Hot-path counter microbenchmark.
     pub counter: CounterBench,
     /// Transport counters from the fault-free collective probe.
@@ -152,7 +175,11 @@ pub fn collective_probe(dim: u32) -> (Vec<CollectiveRow>, TransportCounters) {
                 op: op.to_string(),
                 nodes,
                 calls,
-                mean_us: if calls == 0 { 0.0 } else { weighted_us / calls as f64 },
+                mean_us: if calls == 0 {
+                    0.0
+                } else {
+                    weighted_us / calls as f64
+                },
                 p99_us: p99,
             }
         })
@@ -165,6 +192,53 @@ pub fn collective_probe(dim: u32) -> (Vec<CollectiveRow>, TransportCounters) {
         escalations: met.get("link.escalations"),
     };
     (rows, transport)
+}
+
+/// Run one fixed mixed-width batch under each queue policy on a dim-2
+/// machine and summarize the schedules. The machine is deliberately too
+/// small to hold the whole batch at once, and a machine-wide job sits
+/// behind a long narrow one, so the two policies diverge: FCFS leaves
+/// the leftover subcube idle behind the stuck wide job, backfill fills
+/// it. Everything runs on simulated time, so the rows are deterministic.
+pub fn sched_probe() -> Vec<SchedRow> {
+    let batch = || {
+        vec![
+            JobSpec::new("long-narrow", 1, JobKernel::AllReduce { phases: 6 }),
+            JobSpec::new(
+                "wide",
+                2,
+                JobKernel::Saxpy {
+                    phases: 2,
+                    sweeps: 4,
+                },
+            ),
+            JobSpec::new(
+                "short-narrow",
+                1,
+                JobKernel::Saxpy {
+                    phases: 1,
+                    sweeps: 1,
+                },
+            ),
+            JobSpec::new("solo", 0, JobKernel::AllReduce { phases: 2 }),
+        ]
+    };
+    [Policy::Fcfs, Policy::FcfsBackfill]
+        .iter()
+        .map(|&policy| {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(2, 8));
+            let rep = Scheduler::new(policy).run_batch(&mut m, batch(), None);
+            SchedRow {
+                policy: format!("{policy:?}"),
+                jobs: rep.jobs.len() as u32,
+                makespan_us: rep.makespan.as_us_f64(),
+                mean_wait_us: rep.mean_wait.as_us_f64(),
+                utilization: rep.utilization,
+                preemptions: rep.preemptions,
+                reallocations: rep.reallocations,
+            }
+        })
+        .collect()
 }
 
 /// Time `iters` increments through a pre-registered [`ts_sim::Counter`]
@@ -191,7 +265,10 @@ pub fn counter_microbench(iters: u64) -> CounterBench {
     let legacy_ns = t.elapsed().as_nanos() as f64 / iters as f64;
     assert_eq!(legacy.get("bench.hotpath"), iters);
 
-    CounterBench { handle_ns_per_op: handle_ns, legacy_ns_per_op: legacy_ns }
+    CounterBench {
+        handle_ns_per_op: handle_ns,
+        legacy_ns_per_op: legacy_ns,
+    }
 }
 
 impl BenchReport {
@@ -223,7 +300,27 @@ impl BenchReport {
                 c.calls,
                 c.mean_us,
                 c.p99_us,
-                if i + 1 < self.collectives.len() { "," } else { "" }
+                if i + 1 < self.collectives.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n  \"scheduler\": [\n");
+        for (i, r) in self.sched.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"jobs\": {}, \"makespan_us\": {:.3}, \
+                 \"mean_wait_us\": {:.3}, \"utilization\": {:.6}, \
+                 \"preemptions\": {}, \"reallocations\": {}}}{}\n",
+                r.policy,
+                r.jobs,
+                r.makespan_us,
+                r.mean_wait_us,
+                r.utilization,
+                r.preemptions,
+                r.reallocations,
+                if i + 1 < self.sched.len() { "," } else { "" }
             ));
         }
         s.push_str(&format!(
@@ -334,7 +431,19 @@ mod tests {
                 mean_us: 12.5,
                 p99_us: 16,
             }],
-            counter: CounterBench { handle_ns_per_op: 1.0, legacy_ns_per_op: 20.0 },
+            sched: vec![SchedRow {
+                policy: "Fcfs".into(),
+                jobs: 4,
+                makespan_us: 1200.0,
+                mean_wait_us: 300.0,
+                utilization: 0.5,
+                preemptions: 0,
+                reallocations: 0,
+            }],
+            counter: CounterBench {
+                handle_ns_per_op: 1.0,
+                legacy_ns_per_op: 20.0,
+            },
             transport: TransportCounters::default(),
         }
     }
@@ -391,13 +500,40 @@ mod tests {
     }
 
     #[test]
+    fn json_carries_the_scheduler_section() {
+        let json = sample().to_json();
+        assert!(json.contains("\"scheduler\""), "{json}");
+        assert!(json.contains("\"policy\": \"Fcfs\""), "{json}");
+    }
+
+    #[test]
+    fn sched_probe_shows_backfill_winning() {
+        let rows = sched_probe();
+        assert_eq!(rows.len(), 2);
+        let (fcfs, backfill) = (&rows[0], &rows[1]);
+        assert_eq!(fcfs.policy, "Fcfs");
+        assert_eq!(backfill.policy, "FcfsBackfill");
+        assert!(
+            backfill.makespan_us < fcfs.makespan_us,
+            "backfill {} us must beat FCFS {} us",
+            backfill.makespan_us,
+            fcfs.makespan_us
+        );
+        assert!(backfill.utilization > fcfs.utilization);
+    }
+
+    #[test]
     fn collective_latency_probe_books_all_ops() {
         let rows = collective_latencies(2);
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert_eq!(r.calls, 4, "{} should run once per node", r.op);
             assert!(r.mean_us > 0.0, "{} mean should be positive", r.op);
-            assert!(r.p99_us as f64 >= r.mean_us, "{}: p99 bound below mean", r.op);
+            assert!(
+                r.p99_us as f64 >= r.mean_us,
+                "{}: p99 bound below mean",
+                r.op
+            );
         }
     }
 }

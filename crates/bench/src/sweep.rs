@@ -21,8 +21,13 @@ where
     let n = params.len();
     let threads = threads.max(1).min(n.max(1));
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let work: Mutex<std::vec::IntoIter<(usize, P)>> =
-        Mutex::new(params.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let work: Mutex<std::vec::IntoIter<(usize, P)>> = Mutex::new(
+        params
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {

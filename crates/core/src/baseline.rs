@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn latency_blows_up_at_saturation() {
-        let light = SharedBusMachine { demand_bytes_per_s: 1.0e6, ..bus(8) };
+        let light = SharedBusMachine {
+            demand_bytes_per_s: 1.0e6,
+            ..bus(8)
+        };
         assert!(light.latency_multiplier() < 1.1);
         let heavy = bus(8);
         assert!(heavy.latency_multiplier().is_infinite());

@@ -57,13 +57,7 @@ pub struct RunStats {
 /// Failures are exponential with mean `mtbf`; on failure the machine
 /// restores the last snapshot (cost `snapshot`, the restore path being
 /// symmetric with the save path) and replays lost work.
-pub fn simulate_run(
-    work: Dur,
-    interval: Dur,
-    snapshot: Dur,
-    mtbf: Dur,
-    seed: u64,
-) -> RunStats {
+pub fn simulate_run(work: Dur, interval: Dur, snapshot: Dur, mtbf: Dur, seed: u64) -> RunStats {
     assert!(!interval.is_zero(), "interval must be positive");
     let mut rng = Rng::new(seed);
     let mut next_failure = rng.exp(mtbf.as_secs_f64());
@@ -139,7 +133,9 @@ mod tests {
         let avg = |interval: Dur| {
             let mut total = 0.0;
             for seed in 0..40 {
-                total += simulate_run(work, interval, snap, mtbf, seed).total.as_secs_f64();
+                total += simulate_run(work, interval, snap, mtbf, seed)
+                    .total
+                    .as_secs_f64();
             }
             total / 40.0
         };
@@ -166,15 +162,24 @@ mod tests {
                 (t.as_secs_f64(), at(t))
             })
             .collect();
-        let best = dense.iter().cloned().fold((0.0, f64::INFINITY), |acc, x| {
-            if x.1 < acc.1 {
-                x
-            } else {
-                acc
-            }
-        });
+        let best =
+            dense.iter().cloned().fold(
+                (0.0, f64::INFINITY),
+                |acc, x| {
+                    if x.1 < acc.1 {
+                        x
+                    } else {
+                        acc
+                    }
+                },
+            );
         let ratio = best.0 / y.as_secs_f64();
-        assert!((0.5..2.0).contains(&ratio), "optimum {} vs Young {}", best.0, y);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "optimum {} vs Young {}",
+            best.0,
+            y
+        );
     }
 
     #[test]
@@ -186,7 +191,9 @@ mod tests {
         let mut total = 0.0;
         const RUNS: u64 = 60;
         for seed in 0..RUNS {
-            total += simulate_run(work, interval, snap, mtbf, seed).total.as_secs_f64();
+            total += simulate_run(work, interval, snap, mtbf, seed)
+                .total
+                .as_secs_f64();
         }
         let sim = total / RUNS as f64;
         let model = expected_runtime(work, interval, snap, mtbf).as_secs_f64();

@@ -25,7 +25,11 @@ use ts_sim::{select2, Dur, Either, SimHandle, Time};
 /// microseconds of simulated link time anyway.
 fn book_latency(ctx: &NodeCtx, op: &str, started: Time) {
     let us = ctx.now().since(started).as_ns() / 1_000;
-    ctx.meters().scope().scope("collective").histogram(&format!("{op}_us")).observe(us);
+    ctx.meters()
+        .scope()
+        .scope("collective")
+        .histogram(&format!("{op}_us"))
+        .observe(us);
 }
 
 /// A collective (or any awaited operation) missed its deadline on every
@@ -80,12 +84,19 @@ where
         }
     }
     ctx.metrics().inc("collective.deadline_expired");
-    Err(DeadlineExpired { attempts: attempts.max(1) })
+    Err(DeadlineExpired {
+        attempts: attempts.max(1),
+    })
 }
 
 /// Broadcast `data` from `root` to every node; returns the payload on all
 /// nodes. Non-roots pass `None`.
-pub async fn broadcast(ctx: &NodeCtx, cube: Hypercube, root: u32, data: Option<Vec<u32>>) -> Vec<u32> {
+pub async fn broadcast(
+    ctx: &NodeCtx,
+    cube: Hypercube,
+    root: u32,
+    data: Option<Vec<u32>>,
+) -> Vec<u32> {
     let t0 = ctx.now();
     let me = ctx.id();
     let buf = if me == root {
@@ -203,12 +214,7 @@ pub async fn allgather(ctx: &NodeCtx, cube: Hypercube, mine: Vec<u32>) -> Vec<(u
 /// classic hypercube algorithm: at each dimension exchange a node folds the
 /// partner's partial into its *total*, and into its *prefix* only when the
 /// partner's id is lower. log₂ p steps, like all-reduce.
-pub async fn scan(
-    ctx: &NodeCtx,
-    cube: Hypercube,
-    op: CombineOp,
-    mine: Vec<Sf64>,
-) -> Vec<Sf64> {
+pub async fn scan(ctx: &NodeCtx, cube: Hypercube, op: CombineOp, mine: Vec<Sf64>) -> Vec<Sf64> {
     let t0 = ctx.now();
     let me = ctx.id();
     let mut prefix = mine.clone();
@@ -432,7 +438,10 @@ mod tests {
             (b, r[0].to_host())
         });
         assert!(m.run().quiescent);
-        assert_eq!(handles.into_iter().next().unwrap().try_take(), Some((vec![9], 3.0)));
+        assert_eq!(
+            handles.into_iter().next().unwrap().try_take(),
+            Some((vec![9], 3.0))
+        );
     }
 
     #[test]

@@ -133,9 +133,17 @@ impl FaultEvent {
             FaultEvent::LinkDown { node, dim } => f.link_down(node, dim),
             FaultEvent::NodeCrash { node } => f.crash(node),
             FaultEvent::MemFlip { node, addr, bit } => f.mem_flip(node, addr, bit),
-            FaultEvent::WireCorrupt { node, dim, flit_bit } => f.wire_corrupt(node, dim, flit_bit),
+            FaultEvent::WireCorrupt {
+                node,
+                dim,
+                flit_bit,
+            } => f.wire_corrupt(node, dim, flit_bit),
             FaultEvent::FlitDrop { node, dim } => f.flit_drop(node, dim),
-            FaultEvent::LinkFlap { node, dim, down_for } => f.link_flap(node, dim, down_for),
+            FaultEvent::LinkFlap {
+                node,
+                dim,
+                down_for,
+            } => f.link_flap(node, dim, down_for),
         }
     }
 
@@ -152,7 +160,9 @@ impl FaultEvent {
                 n.metrics().inc("fault.node_crash");
             }
             FaultEvent::MemFlip { addr, bit, .. } => {
-                n.mem_mut().inject_bit_flip(addr, bit).expect("mem-flip address out of range");
+                n.mem_mut()
+                    .inject_bit_flip(addr, bit)
+                    .expect("mem-flip address out of range");
                 n.metrics().inc("fault.mem_flip");
             }
             FaultEvent::WireCorrupt { dim, flit_bit, .. } => {
@@ -179,11 +189,19 @@ impl FaultEvent {
             FaultEvent::MemFlip { node, addr, bit } => {
                 write!(f, "mem_flip n{node} a{addr} b{bit}")
             }
-            FaultEvent::WireCorrupt { node, dim, flit_bit } => {
+            FaultEvent::WireCorrupt {
+                node,
+                dim,
+                flit_bit,
+            } => {
                 write!(f, "wire_corrupt n{node} d{dim} bit{flit_bit}")
             }
             FaultEvent::FlitDrop { node, dim } => write!(f, "flit_drop n{node} d{dim}"),
-            FaultEvent::LinkFlap { node, dim, down_for } => {
+            FaultEvent::LinkFlap {
+                node,
+                dim,
+                down_for,
+            } => {
                 write!(f, "link_flap n{node} d{dim} down{}ps", down_for.as_ps())
             }
         }
@@ -198,15 +216,26 @@ impl fmt::Display for FaultEvent {
             FaultEvent::MemFlip { node, addr, bit } => {
                 write!(f, "bit {bit} flipped at n{node} mem[{addr}]")
             }
-            FaultEvent::WireCorrupt { node, dim, flit_bit } => {
+            FaultEvent::WireCorrupt {
+                node,
+                dim,
+                flit_bit,
+            } => {
                 write!(f, "wire bit {flit_bit} corrupted at n{node} dim {dim}")
             }
             FaultEvent::FlitDrop { node, dim } => {
                 write!(f, "flit dropped at n{node} dim {dim}")
             }
-            FaultEvent::LinkFlap { node, dim, down_for } => {
-                write!(f, "link flapped for {:.0} us at n{node} dim {dim}",
-                    down_for.as_secs_f64() * 1e6)
+            FaultEvent::LinkFlap {
+                node,
+                dim,
+                down_for,
+            } => {
+                write!(
+                    f,
+                    "link flapped for {:.0} us at n{node} dim {dim}",
+                    down_for.as_secs_f64() * 1e6
+                )
             }
         }
     }
@@ -260,7 +289,10 @@ impl FaultPlan {
             let at = Dur::from_secs_f64(window.as_secs_f64() * rng.f64());
             let node = rng.below(nodes) as NodeId;
             let event = match rng.below(6) {
-                0 => FaultEvent::LinkDown { node, dim: rng.below(dim as u64) as u32 },
+                0 => FaultEvent::LinkDown {
+                    node,
+                    dim: rng.below(dim as u64) as u32,
+                },
                 1 => FaultEvent::NodeCrash { node },
                 2 => FaultEvent::MemFlip {
                     node,
@@ -272,7 +304,10 @@ impl FaultPlan {
                     dim: rng.below(dim as u64) as u32,
                     flit_bit: rng.below(4096),
                 },
-                4 => FaultEvent::FlitDrop { node, dim: rng.below(dim as u64) as u32 },
+                4 => FaultEvent::FlitDrop {
+                    node,
+                    dim: rng.below(dim as u64) as u32,
+                },
                 _ => FaultEvent::LinkFlap {
                     node,
                     dim: rng.below(dim as u64) as u32,
@@ -298,7 +333,11 @@ impl FaultPlan {
             let node = rng.below(nodes) as NodeId;
             let d = rng.below(dim as u64) as u32;
             let event = match rng.below(3) {
-                0 => FaultEvent::WireCorrupt { node, dim: d, flit_bit: rng.below(4096) },
+                0 => FaultEvent::WireCorrupt {
+                    node,
+                    dim: d,
+                    flit_bit: rng.below(4096),
+                },
                 1 => FaultEvent::FlitDrop { node, dim: d },
                 _ => FaultEvent::LinkFlap {
                     node,
@@ -346,7 +385,9 @@ impl FaultPlan {
                     node: field("n")? as NodeId,
                     dim: field("d")? as u32,
                 },
-                "node_crash" => FaultEvent::NodeCrash { node: field("n")? as NodeId },
+                "node_crash" => FaultEvent::NodeCrash {
+                    node: field("n")? as NodeId,
+                },
                 "mem_flip" => FaultEvent::MemFlip {
                     node: field("n")? as NodeId,
                     addr: field("a")? as usize,
@@ -478,7 +519,11 @@ pub struct PlanParseError {
 
 impl fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fault plan line {}: {} in {:?}", self.line, self.what, self.text)
+        write!(
+            f,
+            "fault plan line {}: {} in {:?}",
+            self.line, self.what, self.text
+        )
     }
 }
 
@@ -521,10 +566,31 @@ mod tests {
         let plan = FaultPlan::new()
             .with(Dur::us(10), FaultEvent::LinkDown { node: 1, dim: 2 })
             .with(Dur::us(20), FaultEvent::NodeCrash { node: 3 })
-            .with(Dur::us(30), FaultEvent::MemFlip { node: 0, addr: 99, bit: 7 })
-            .with(Dur::us(40), FaultEvent::WireCorrupt { node: 2, dim: 0, flit_bit: 513 })
+            .with(
+                Dur::us(30),
+                FaultEvent::MemFlip {
+                    node: 0,
+                    addr: 99,
+                    bit: 7,
+                },
+            )
+            .with(
+                Dur::us(40),
+                FaultEvent::WireCorrupt {
+                    node: 2,
+                    dim: 0,
+                    flit_bit: 513,
+                },
+            )
             .with(Dur::us(50), FaultEvent::FlitDrop { node: 5, dim: 1 })
-            .with(Dur::us(60), FaultEvent::LinkFlap { node: 4, dim: 2, down_for: Dur::ms(3) });
+            .with(
+                Dur::us(60),
+                FaultEvent::LinkFlap {
+                    node: 4,
+                    dim: 2,
+                    down_for: Dur::ms(3),
+                },
+            );
         let text = plan.to_string();
         let back: FaultPlan = text.parse().expect("own output must parse");
         assert_eq!(
@@ -535,12 +601,17 @@ mod tests {
         // Generated plans round-trip too (all six kinds, random fields).
         let gen = FaultPlan::generate(0xC0FFEE, 3, 256, 24, Dur::secs(1));
         let back: FaultPlan = gen.to_string().parse().unwrap();
-        assert_eq!(back.iter().collect::<Vec<_>>(), gen.iter().collect::<Vec<_>>());
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            gen.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn plan_parse_skips_comments_and_rejects_junk() {
-        let plan: FaultPlan = "\n# a comment\n  5000000ps flit_drop n1 d0  \n".parse().unwrap();
+        let plan: FaultPlan = "\n# a comment\n  5000000ps flit_drop n1 d0  \n"
+            .parse()
+            .unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(
             plan.iter().next().unwrap().event,
@@ -548,8 +619,14 @@ mod tests {
         );
         let err = "12ps frobnicate n0".parse::<FaultPlan>().unwrap_err();
         assert_eq!(err.line, 1);
-        assert!("nonsense link_down n0 d0".parse::<FaultPlan>().is_err(), "bad time");
-        assert!("7ps mem_flip n0 a1".parse::<FaultPlan>().is_err(), "missing field");
+        assert!(
+            "nonsense link_down n0 d0".parse::<FaultPlan>().is_err(),
+            "bad time"
+        );
+        assert!(
+            "7ps mem_flip n0 a1".parse::<FaultPlan>().is_err(),
+            "missing field"
+        );
     }
 
     #[test]
@@ -557,7 +634,12 @@ mod tests {
         let plan = FaultPlan::generate_transient(99, 3, 40, Dur::secs(1));
         assert_eq!(plan.len(), 40);
         for tf in plan.iter() {
-            assert_eq!(tf.event.persistence(), Persistence::Transient, "{}", tf.event);
+            assert_eq!(
+                tf.event.persistence(),
+                Persistence::Transient,
+                "{}",
+                tf.event
+            );
             assert!(matches!(
                 tf.event,
                 FaultEvent::WireCorrupt { .. }
@@ -566,7 +648,10 @@ mod tests {
             ));
         }
         let again = FaultPlan::generate_transient(99, 3, 40, Dur::secs(1));
-        assert_eq!(plan.iter().collect::<Vec<_>>(), again.iter().collect::<Vec<_>>());
+        assert_eq!(
+            plan.iter().collect::<Vec<_>>(),
+            again.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -577,11 +662,20 @@ mod tests {
             .with(Dur::us(500), FaultEvent::NodeCrash { node: 3 })
             .with(Dur::us(900), FaultEvent::FlitDrop { node: 0, dim: 1 });
         for i in 0..10 {
-            plan.push(Dur::us(i * 100), FaultEvent::MemFlip { node: 1, addr: i as usize, bit: 0 });
+            plan.push(
+                Dur::us(i * 100),
+                FaultEvent::MemFlip {
+                    node: 1,
+                    addr: i as usize,
+                    bit: 0,
+                },
+            );
         }
         let fails = |p: &FaultPlan| {
-            p.iter().any(|f| f.event == FaultEvent::NodeCrash { node: 3 })
-                && p.iter().any(|f| f.event == FaultEvent::FlitDrop { node: 0, dim: 1 })
+            p.iter()
+                .any(|f| f.event == FaultEvent::NodeCrash { node: 3 })
+                && p.iter()
+                    .any(|f| f.event == FaultEvent::FlitDrop { node: 0, dim: 1 })
         };
         let min = plan.shrink(fails);
         assert_eq!(min.len(), 2, "only the two culprits survive:\n{min}");
@@ -599,7 +693,14 @@ mod tests {
         let plan = FaultPlan::new()
             .with(Dur::us(300), FaultEvent::LinkDown { node: 0, dim: 1 })
             .with(Dur::us(700), FaultEvent::NodeCrash { node: 3 })
-            .with(Dur::us(900), FaultEvent::MemFlip { node: 2, addr: 17, bit: 4 });
+            .with(
+                Dur::us(900),
+                FaultEvent::MemFlip {
+                    node: 2,
+                    addr: 17,
+                    bit: 4,
+                },
+            );
         plan.schedule(&m);
 
         // Nothing is broken before the first fault time...

@@ -41,7 +41,7 @@ pub mod system;
 
 use std::fmt;
 
-use ts_cube::{Hypercube, NodeId, SublinkBudget};
+use ts_cube::{Hypercube, NodeId, Subcube, SublinkBudget};
 use ts_link::{LinkChannel, Wire};
 use ts_node::{Node, NodeCfg, NodeCtx};
 use ts_sim::{Dur, JoinHandle, Metrics, MetricsRegistry, RunReport, Sim, SimHandle, Time};
@@ -165,8 +165,15 @@ impl fmt::Display for MachineError {
             MachineError::BadImageCount { expected, got } => {
                 write!(f, "expected {expected} snapshot images, got {got}")
             }
-            MachineError::BadImageGeometry { node, expected, got } => {
-                write!(f, "image for n{node} has {got} words, memory holds {expected}")
+            MachineError::BadImageGeometry {
+                node,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "image for n{node} has {got} words, memory holds {expected}"
+                )
             }
             MachineError::NodeDown { node } => write!(f, "node n{node} is down"),
             MachineError::Stalled { op } => write!(f, "{op} deadlocked before completing"),
@@ -212,11 +219,19 @@ impl Machine {
         // Four link engines per node, each direction its own FIFO server.
         let wires_out: Vec<Vec<Wire>> = cube
             .iter()
-            .map(|_| (0..4).map(|_| Wire::new("link.out", cfg.node.link)).collect())
+            .map(|_| {
+                (0..4)
+                    .map(|_| Wire::new("link.out", cfg.node.link))
+                    .collect()
+            })
             .collect();
         let wires_in: Vec<Vec<Wire>> = cube
             .iter()
-            .map(|_| (0..4).map(|_| Wire::new("link.in", cfg.node.link)).collect())
+            .map(|_| {
+                (0..4)
+                    .map(|_| Wire::new("link.in", cfg.node.link))
+                    .collect()
+            })
             .collect();
 
         // Hypercube edges: dimension d rides physical link d mod 4.
@@ -300,7 +315,14 @@ impl Machine {
             }
         }
 
-        Machine { cube, nodes, boards, cfg, sim, registry }
+        Machine {
+            cube,
+            nodes,
+            boards,
+            cfg,
+            sim,
+            registry,
+        }
     }
 
     /// The configuration this machine was built from.
@@ -356,6 +378,84 @@ impl Machine {
         self.sim.run()
     }
 
+    // --- space sharing ------------------------------------------------------
+
+    /// A node's program context relabeled into `sub`'s coordinates: the
+    /// context reports virtual id `virt` and maps virtual dimension `k`
+    /// onto physical dimension `sub.dims()[k]`, so kernels and
+    /// collectives written for a dim-`sub.dim()` cube run unmodified
+    /// inside the partition.
+    pub fn subcube_ctx(&self, sub: &Subcube, virt: NodeId) -> NodeCtx {
+        let phys = sub.to_phys(virt);
+        let dims: Vec<usize> = sub.dims().iter().map(|&d| d as usize).collect();
+        self.nodes[phys as usize].ctx().subcube_view(virt, dims)
+    }
+
+    /// Launch one program per node of the partition (SPMD over the
+    /// subcube, in virtual node order). Counterpart of
+    /// [`Machine::launch`] for space-shared operation.
+    pub fn launch_subcube<F, Fut>(
+        &mut self,
+        sub: &Subcube,
+        mut program: F,
+    ) -> Vec<JoinHandle<Fut::Output>>
+    where
+        F: FnMut(NodeCtx) -> Fut,
+        Fut: std::future::Future + 'static,
+        Fut::Output: 'static,
+    {
+        let mut handles = Vec::with_capacity(sub.len() as usize);
+        for virt in 0..sub.len() {
+            let fut = program(self.subcube_ctx(sub, virt));
+            handles.push(self.sim.spawn(fut));
+        }
+        handles
+    }
+
+    /// Host-side capture of a partition's node memories, in virtual node
+    /// order. Takes zero simulated time — callers that model the §III
+    /// system-thread streaming cost (as `ts-sched` does for job
+    /// checkpoints) charge it separately.
+    pub fn subcube_images(&self, sub: &Subcube) -> Vec<Vec<u32>> {
+        (0..sub.len())
+            .map(|v| self.nodes[sub.to_phys(v) as usize].mem().snapshot())
+            .collect()
+    }
+
+    /// Host-side restore of a partition's node memories from images in
+    /// virtual node order (the job-migration path: the images may have
+    /// been captured on a *different* subcube of the same dim). Zero
+    /// simulated time; see [`Machine::subcube_images`].
+    pub fn restore_subcube(&self, sub: &Subcube, images: &[Vec<u32>]) -> Result<(), MachineError> {
+        if images.len() != sub.len() as usize {
+            return Err(MachineError::BadImageCount {
+                expected: sub.len() as usize,
+                got: images.len(),
+            });
+        }
+        for (v, image) in images.iter().enumerate() {
+            let node = &self.nodes[sub.to_phys(v as NodeId) as usize];
+            let expected = node.mem().cfg().words();
+            if image.len() != expected {
+                return Err(MachineError::BadImageGeometry {
+                    node: node.id,
+                    expected,
+                    got: image.len(),
+                });
+            }
+            if node.is_crashed() {
+                return Err(MachineError::NodeDown { node: node.id });
+            }
+        }
+        for (v, image) in images.iter().enumerate() {
+            let node = &self.nodes[sub.to_phys(v as NodeId) as usize];
+            let mut mem = node.mem_mut();
+            mem.scrub_all();
+            mem.restore(image);
+        }
+        Ok(())
+    }
+
     // --- fault injection ----------------------------------------------------
 
     /// The machine's fault-injection facade: every way of breaking (or
@@ -377,7 +477,10 @@ impl Machine {
     }
 
     /// Flip `bit` of the word at `addr` in `node`'s memory.
-    #[deprecated(since = "0.2.0", note = "use `machine.faults().mem_flip(node, addr, bit)`")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `machine.faults().mem_flip(node, addr, bit)`"
+    )]
     pub fn inject_mem_flip(&self, node: NodeId, addr: usize, bit: u32) {
         self.faults().mem_flip(node, addr, bit);
     }
@@ -456,7 +559,9 @@ impl Machine {
                 let b = self.cube.neighbor(a, d);
                 let l = (d % 4) as usize;
                 if let Some(ch) = self.nodes[a as usize].out_channel(d as usize) {
-                    ch.wire().resource().attach_tracer(tracer.clone(), format!("n{a}.l{l}"));
+                    ch.wire()
+                        .resource()
+                        .attach_tracer(tracer.clone(), format!("n{a}.l{l}"));
                     let from = tracer.track(&format!("n{a}.l{l}"));
                     let to = tracer.track(&format!("n{b}.l{l}"));
                     ch.enable_flow_trace(tracer.clone(), from, to);
@@ -514,7 +619,11 @@ impl Machine {
                 vec_len.quantile_bound(0.99),
             );
         }
-        let lat = merge_hists(self.nodes.iter().map(|n| n.meters().link_latency_ns.clone()));
+        let lat = merge_hists(
+            self.nodes
+                .iter()
+                .map(|n| n.meters().link_latency_ns.clone()),
+        );
         if lat.total > 0 {
             let _ = writeln!(
                 out,
@@ -634,9 +743,10 @@ impl Machine {
             // Board side: receive per node, write to disk.
             let board = board.clone();
             let count = hi - lo;
-            image_handles.push(self.sim.spawn(async move {
-                board.collect_snapshot(count).await
-            }));
+            image_handles.push(
+                self.sim
+                    .spawn(async move { board.collect_snapshot(count).await }),
+            );
         }
         let report = self.sim.run();
         if !report.quiescent {
@@ -644,7 +754,10 @@ impl Machine {
         }
         let mut images = Vec::new();
         for h in image_handles {
-            images.extend(h.try_take().ok_or(MachineError::Stalled { op: "snapshot" })?);
+            images.extend(
+                h.try_take()
+                    .ok_or(MachineError::Stalled { op: "snapshot" })?,
+            );
         }
         Ok((images, self.sim.now().since(t0)))
     }
@@ -747,7 +860,9 @@ impl FaultInjector<'_> {
     /// parity — the next read reports a parity error.
     pub fn mem_flip(&self, node: NodeId, addr: usize, bit: u32) {
         let n = &self.m.nodes[node as usize];
-        n.mem_mut().inject_bit_flip(addr, bit).expect("mem-flip address out of range");
+        n.mem_mut()
+            .inject_bit_flip(addr, bit)
+            .expect("mem-flip address out of range");
         n.metrics().inc("fault.mem_flip");
     }
 
@@ -817,7 +932,15 @@ fn merge_hists(hists: impl Iterator<Item = ts_sim::Histogram>) -> MergedHist {
         total += t;
         weighted += h.mean() * t as f64;
     }
-    MergedHist { total, mean: if total > 0 { weighted / total as f64 } else { 0.0 }, counts }
+    MergedHist {
+        total,
+        mean: if total > 0 {
+            weighted / total as f64
+        } else {
+            0.0
+        },
+        counts,
+    }
 }
 
 #[cfg(test)]
@@ -885,8 +1008,7 @@ mod tests {
                 let me = ctx.id();
                 let h = ctx.handle().clone();
                 let c2 = ctx.clone();
-                let send =
-                    async move { c2.send_dim(d, vec![me]).await };
+                let send = async move { c2.send_dim(d, vec![me]).await };
                 let c3 = ctx.clone();
                 let recv = async move { c3.recv_dim(d).await };
                 let (_, got) = ts_node::occam::par2(&h, send, recv).await;
@@ -1008,7 +1130,10 @@ mod tests {
         let (images, _) = m.snapshot().unwrap();
         assert_eq!(
             m.restore(&images[..3]),
-            Err(MachineError::BadImageCount { expected: 8, got: 3 })
+            Err(MachineError::BadImageCount {
+                expected: 8,
+                got: 3
+            })
         );
         let mut bad = images.clone();
         bad[2].pop();
@@ -1054,6 +1179,9 @@ mod tests {
             m.snapshot().unwrap().1
         };
         let ratio = t5.as_secs_f64() / t3.as_secs_f64();
-        assert!(ratio < 1.05, "snapshot should not grow with machine size: {ratio}");
+        assert!(
+            ratio < 1.05,
+            "snapshot should not grow with machine size: {ratio}"
+        );
     }
 }

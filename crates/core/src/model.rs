@@ -31,7 +31,10 @@ impl Default for NetModel {
 impl NetModel {
     /// Derive the model from link parameters.
     pub fn from_params(p: LinkParams) -> NetModel {
-        NetModel { o: p.dma_startup, w: p.wire_time(4) }
+        NetModel {
+            o: p.dma_startup,
+            w: p.wire_time(4),
+        }
     }
 
     /// One point-to-point message of `m` words between neighbours:

@@ -136,12 +136,9 @@ impl Router {
             let daemon_ctx = ctx.clone();
             let daemon_inject = inject.clone();
             let daemon_deliver = deliver.clone();
-            let daemon = ctx.handle().spawn(daemon(
-                daemon_ctx,
-                cube,
-                daemon_inject,
-                daemon_deliver,
-            ));
+            let daemon =
+                ctx.handle()
+                    .spawn(daemon(daemon_ctx, cube, daemon_inject, daemon_deliver));
             handles.push(RouterHandle {
                 me: node.id,
                 ctx,
@@ -169,15 +166,14 @@ impl Router {
         let cube = self.cube;
         // A poison to node k only transits submasks of k (any correction
         // order), which are poisoned later, so every forwarder is alive.
-        let injector = self
-            .handles
-            .iter()
-            .find(|h| !h.ctx.is_crashed())
-            .cloned();
+        let injector = self.handles.iter().find(|h| !h.ctx.is_crashed()).cloned();
         if let Some(h0) = injector {
             // The injector's own poison must go last — its daemon has to
             // stay alive to accept every other injection.
-            let order = (0..cube.nodes()).rev().filter(|&d| d != h0.me).chain([h0.me]);
+            let order = (0..cube.nodes())
+                .rev()
+                .filter(|&d| d != h0.me)
+                .chain([h0.me]);
             for dst in order {
                 let frame = frame_for(dst, h0.me, KIND_POISON, &[]);
                 // A poison for a dead node may be refused; skip it.
@@ -273,10 +269,9 @@ async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
         let avoid = frame[4];
         // Preferred: the lowest live dimension still needing correction,
         // skipping the detour dimension we just arrived on.
-        let mut choice = (0..ndims)
-            .find(|&d| diff >> d & 1 == 1 && avoid != d as u32 && ctx.link_up(d));
-        if choice.is_none() && avoid < 32 && diff >> avoid & 1 == 1 && ctx.link_up(avoid as usize)
-        {
+        let mut choice =
+            (0..ndims).find(|&d| diff >> d & 1 == 1 && avoid != d as u32 && ctx.link_up(d));
+        if choice.is_none() && avoid < 32 && diff >> avoid & 1 == 1 && ctx.link_up(avoid as usize) {
             // Undoing the detour is all that is left — allowed, it just
             // costs the budget already spent.
             choice = Some(avoid as usize);
@@ -290,8 +285,8 @@ async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
                 // Every correction dimension is dead here: detour on the
                 // lowest live dimension outside the correction set.
                 let budget = frame[3];
-                let detour = (0..ndims)
-                    .find(|&d| diff >> d & 1 == 0 && avoid != d as u32 && ctx.link_up(d));
+                let detour =
+                    (0..ndims).find(|&d| diff >> d & 1 == 0 && avoid != d as u32 && ctx.link_up(d));
                 match (budget, detour) {
                     (1.., Some(d)) => {
                         frame[3] = budget - 1;
@@ -426,7 +421,10 @@ mod tests {
         assert!(r.quiescent, "degraded routing must still terminate");
         assert_eq!(done.try_take(), Some(((0, vec![77]), (0, vec![11]))));
         let metrics = m.metrics();
-        assert!(metrics.get("router.reroutes") >= 1, "detour must be counted");
+        assert!(
+            metrics.get("router.reroutes") >= 1,
+            "detour must be counted"
+        );
         // Data traffic was fully delivered (asserted above); only shutdown
         // poisons may have been dropped and recovered by the backstop.
     }
@@ -494,8 +492,10 @@ mod tests {
         assert!(rep.quiescent, "all-to-all did not terminate");
         let results = closer.try_take().unwrap();
         for (i, got) in results {
-            let want: Vec<(u32, u32)> =
-                (0..n).filter(|&j| j != i).map(|j| (j, j * 1000 + i)).collect();
+            let want: Vec<(u32, u32)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (j, j * 1000 + i))
+                .collect();
             assert_eq!(got, want, "node {i}");
         }
     }

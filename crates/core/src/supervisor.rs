@@ -195,15 +195,23 @@ impl Supervisor {
             // Drive this phase in quanta, injecting faults on schedule.
             let healthy = loop {
                 let jnow = job(base, &m, mark);
-                let next_fault =
-                    plan.iter().zip(&fired).filter(|(_, f)| !**f).map(|(tf, _)| tf.at).min();
+                let next_fault = plan
+                    .iter()
+                    .zip(&fired)
+                    .filter(|(_, f)| !**f)
+                    .map(|(tf, _)| tf.at)
+                    .min();
                 let slice = match next_fault {
                     Some(at) if at <= jnow => Dur::ZERO, // overdue: inject below
                     Some(at) if at < jnow + self.quantum => at - jnow,
                     _ => self.quantum,
                 };
                 let before = m.now();
-                let ran = if slice.is_zero() { None } else { Some(m.run_for(slice)) };
+                let ran = if slice.is_zero() {
+                    None
+                } else {
+                    Some(m.run_for(slice))
+                };
 
                 let jnow = job(base, &m, mark);
                 let mut injected = false;
@@ -326,7 +334,8 @@ mod tests {
             let rows_a = mem.cfg().rows_a();
             for i in 0..128 {
                 mem.write_f64(2 * i, Sf64::from(1.0)).unwrap();
-                mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64)).unwrap();
+                mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64))
+                    .unwrap();
             }
         }
     }
@@ -339,7 +348,9 @@ mod tests {
             m.launch(move |ctx| async move {
                 let rows_a = ctx.mem().cfg().rows_a();
                 for _ in 0..sweeps {
-                    let r = ctx.vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128).await;
+                    let r = ctx
+                        .vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128)
+                        .await;
                     if r.is_err() {
                         return;
                     }
@@ -365,10 +376,18 @@ mod tests {
     #[test]
     fn fault_free_run_takes_only_the_baseline_snapshot() {
         let sup = Supervisor::new(cfg());
-        let (m, rep) = sup.run_to_completion(seed, &phases(), &FaultPlan::new()).unwrap();
-        assert_eq!(accs(&m), (0..8).map(|n| n as f64 + 10.0).collect::<Vec<_>>());
+        let (m, rep) = sup
+            .run_to_completion(seed, &phases(), &FaultPlan::new())
+            .unwrap();
+        assert_eq!(
+            accs(&m),
+            (0..8).map(|n| n as f64 + 10.0).collect::<Vec<_>>()
+        );
         assert_eq!(rep.reboots, 0);
-        assert_eq!(rep.snapshots, 1, "default 10-minute interval: baseline only");
+        assert_eq!(
+            rep.snapshots, 1,
+            "default 10-minute interval: baseline only"
+        );
         assert_eq!(rep.rework, Dur::ZERO);
         assert!(rep.faults.is_empty());
     }
@@ -397,8 +416,9 @@ mod tests {
     #[test]
     fn node_crash_mid_run_is_healed_bit_identically() {
         let sup = Supervisor::new(cfg());
-        let (ref_m, ref_rep) =
-            sup.run_to_completion(seed, &phases(), &FaultPlan::new()).unwrap();
+        let (ref_m, ref_rep) = sup
+            .run_to_completion(seed, &phases(), &FaultPlan::new())
+            .unwrap();
         let want = accs(&ref_m);
 
         // Crash node 5 halfway through phase 1.
@@ -422,7 +442,9 @@ mod tests {
     #[test]
     fn mem_flip_is_caught_by_patrol_scan_and_rolled_back() {
         let sup = Supervisor::new(cfg());
-        let (ref_m, _) = sup.run_to_completion(seed, &phases(), &FaultPlan::new()).unwrap();
+        let (ref_m, _) = sup
+            .run_to_completion(seed, &phases(), &FaultPlan::new())
+            .unwrap();
         let want = accs(&ref_m);
 
         // Flip a bit of the accumulator itself, mid phase 1: without
@@ -433,12 +455,20 @@ mod tests {
         let rows_a = ref_m.nodes[0].mem().cfg().rows_a();
         let plan = FaultPlan::new().with(
             flip_at,
-            FaultEvent::MemFlip { node: 2, addr: rows_a * ROW_WORDS + 34, bit: 52 },
+            FaultEvent::MemFlip {
+                node: 2,
+                addr: rows_a * ROW_WORDS + 34,
+                bit: 52,
+            },
         );
         let (m, rep) = sup.run_to_completion(seed, &phases(), &plan).unwrap();
         assert_eq!(accs(&m), want);
         assert_eq!(rep.reboots, 1);
-        assert_eq!(m.nodes[2].mem().parity_errors(), 0, "restore scrubbed the flip");
+        assert_eq!(
+            m.nodes[2].mem().parity_errors(),
+            0,
+            "restore scrubbed the flip"
+        );
     }
 
     #[test]
@@ -446,17 +476,20 @@ mod tests {
         let sup = Supervisor::new(cfg());
         let (d0, p0, p1) = probe_times();
         let plan = FaultPlan::new()
-            .with(d0 + Dur::from_secs_f64(p0.as_secs_f64() / 2.0), FaultEvent::LinkDown {
-                node: 1,
-                dim: 2,
-            })
+            .with(
+                d0 + Dur::from_secs_f64(p0.as_secs_f64() / 2.0),
+                FaultEvent::LinkDown { node: 1, dim: 2 },
+            )
             .with(
                 d0 + p0 + Dur::from_secs_f64(p1.as_secs_f64() / 2.0),
                 FaultEvent::NodeCrash { node: 6 },
             );
         let (m, rep) = sup.run_to_completion(seed, &phases(), &plan).unwrap();
         assert_eq!(rep.reboots, 1, "link down alone must not trigger a reboot");
-        assert!(!m.faults().is_link_up(1, 2), "the broken cable stays broken after reboot");
+        assert!(
+            !m.faults().is_link_up(1, 2),
+            "the broken cable stays broken after reboot"
+        );
         assert_eq!(rep.faults.len(), 2);
     }
 
@@ -495,14 +528,24 @@ mod tests {
         })];
         let plan = FaultPlan::new().with(
             Dur::ps(1),
-            FaultEvent::LinkFlap { node: 0, dim: 0, down_for: Dur::ms(10) },
+            FaultEvent::LinkFlap {
+                node: 0,
+                dim: 0,
+                down_for: Dur::ms(10),
+            },
         );
         let sup = Supervisor::new(cfg()).hang_horizon(Dur::secs(2));
         let (m, rep) = sup.run_to_completion(seed, &link_gated, &plan).unwrap();
         assert_eq!(rep.watchdog_trips, 1, "the hang was detected, not spun on");
         assert_eq!(rep.reboots, 1, "watchdog trip heals via reboot-replay");
-        assert!(rep.total >= Dur::secs(2), "the detection horizon is charged as job time");
-        assert!(m.faults().is_link_up(0, 0), "a flap is transient: reboot comes back clean");
+        assert!(
+            rep.total >= Dur::secs(2),
+            "the detection horizon is charged as job time"
+        );
+        assert!(
+            m.faults().is_link_up(0, 0),
+            "a flap is transient: reboot comes back clean"
+        );
         assert_eq!(m.metrics().get("supervisor.watchdog_trips"), 1);
         // The flap itself was booked on incarnation 1's metrics, which died
         // with the reboot — only the supervisor's accounting survives.

@@ -33,7 +33,10 @@ pub struct Disk {
 impl Disk {
     /// A disk writing/reading at `bytes_per_sec`.
     pub fn new(bytes_per_sec: f64) -> Disk {
-        Disk { res: Resource::new("disk"), bytes_per_sec }
+        Disk {
+            res: Resource::new("disk"),
+            bytes_per_sec,
+        }
     }
 
     /// Time to move `bytes` at the disk's rate.
@@ -178,13 +181,23 @@ impl SystemBoard {
 
     /// Forward `words` to the next board on the ring.
     pub async fn ring_send(&self, words: Vec<u32>) {
-        let ch = self.state.borrow().ring_next.clone().expect("ring not wired");
+        let ch = self
+            .state
+            .borrow()
+            .ring_next
+            .clone()
+            .expect("ring not wired");
         ch.send(&self.h, words).await;
     }
 
     /// Receive from the previous board on the ring.
     pub async fn ring_recv(&self) -> Vec<u32> {
-        let ch = self.state.borrow().ring_prev.clone().expect("ring not wired");
+        let ch = self
+            .state
+            .borrow()
+            .ring_prev
+            .clone()
+            .expect("ring not wired");
         ch.recv(&self.h).await
     }
 }
@@ -244,12 +257,18 @@ pub fn boot(machine: &mut crate::Machine, image_words: usize) -> Vec<SelfTest> {
         // Test a 256-word region at word 1200; code lives at byte 2400
         // (word 600) and the workspace in on-chip RAM — all inside even the
         // smallest test geometry (8 rows = 2048 words).
-        let words = 256.min(node.mem().cfg().words().saturating_sub(1456)).max(64);
+        let words = 256
+            .min(node.mem().cfg().words().saturating_sub(1456))
+            .max(64);
         handles.push(h.spawn(async move {
             let set = ts_cp::programs::memset(1200, 0x5A5A, words as u32);
-            let cp1 = ctx.run_cp_program(&ts_cp::assemble(&set).unwrap(), 2400, 256).await;
+            let cp1 = ctx
+                .run_cp_program(&ts_cp::assemble(&set).unwrap(), 2400, 256)
+                .await;
             let sum = ts_cp::programs::sum_words(1200, words as u32);
-            let cp2 = ctx.run_cp_program(&ts_cp::assemble(&sum).unwrap(), 2400, 256).await;
+            let cp2 = ctx
+                .run_cp_program(&ts_cp::assemble(&sum).unwrap(), 2400, 256)
+                .await;
             let (instr, ok) = match (cp1, cp2) {
                 (Ok(a), Ok(b)) => {
                     let got = ctx.mem().read_word(256 + 3).unwrap_or(0);
@@ -265,7 +284,8 @@ pub fn boot(machine: &mut crate::Machine, image_words: usize) -> Vec<SelfTest> {
                 cp_instructions: instr,
             };
             // Report up the system thread: [node, ok, words].
-            ctx.send_system(vec![verdict.node, verdict.ok as u32, words as u32]).await;
+            ctx.send_system(vec![verdict.node, verdict.ok as u32, words as u32])
+                .await;
             verdict
         }));
     }
@@ -290,8 +310,10 @@ pub fn boot(machine: &mut crate::Machine, image_words: usize) -> Vec<SelfTest> {
     }
     let report = machine.run();
     assert!(report.quiescent, "boot did not complete");
-    let mut verdicts: Vec<SelfTest> =
-        handles.into_iter().map(|jh| jh.try_take().expect("self-test incomplete")).collect();
+    let mut verdicts: Vec<SelfTest> = handles
+        .into_iter()
+        .map(|jh| jh.try_take().expect("self-test incomplete"))
+        .collect();
     verdicts.sort_by_key(|v| v.node);
     verdicts
 }

@@ -57,12 +57,29 @@ fn run_workload(plan: &FaultPlan) -> Outcome {
     let handles = m.launch(move |ctx| async move {
         let data = (ctx.id() == 0).then(|| vec![0xB0A0_0001, 0xB0A0_0002, 0xB0A0_0003]);
         let b = broadcast(&ctx, cube, 0, data).await;
-        let r = reduce(&ctx, cube, 0, CombineOp::Add, vec![Sf64::from(ctx.id() as f64 + 0.5)])
-            .await;
-        let ar =
-            allreduce(&ctx, cube, CombineOp::Add, vec![Sf64::from(1.0 + ctx.id() as f64)]).await;
+        let r = reduce(
+            &ctx,
+            cube,
+            0,
+            CombineOp::Add,
+            vec![Sf64::from(ctx.id() as f64 + 0.5)],
+        )
+        .await;
+        let ar = allreduce(
+            &ctx,
+            cube,
+            CombineOp::Add,
+            vec![Sf64::from(1.0 + ctx.id() as f64)],
+        )
+        .await;
         let ag = allgather(&ctx, cube, vec![ctx.id() * 7 + 1]).await;
-        let sc = scan(&ctx, cube, CombineOp::Add, vec![Sf64::from(ctx.id() as f64)]).await;
+        let sc = scan(
+            &ctx,
+            cube,
+            CombineOp::Add,
+            vec![Sf64::from(ctx.id() as f64)],
+        )
+        .await;
         barrier(&ctx, cube).await;
         (b, r, ar, ag, sc)
     });
@@ -73,21 +90,31 @@ fn run_workload(plan: &FaultPlan) -> Outcome {
         let (b, r, ar, ag, sc) = h.try_take().expect("collective task incomplete");
         fnv_u32s(&mut digest, &b);
         if let Some(v) = r {
-            fnv_f64s(&mut digest, &v.iter().map(|x| x.to_host()).collect::<Vec<_>>());
+            fnv_f64s(
+                &mut digest,
+                &v.iter().map(|x| x.to_host()).collect::<Vec<_>>(),
+            );
         }
-        fnv_f64s(&mut digest, &ar.iter().map(|x| x.to_host()).collect::<Vec<_>>());
+        fnv_f64s(
+            &mut digest,
+            &ar.iter().map(|x| x.to_host()).collect::<Vec<_>>(),
+        );
         for (id, words) in ag {
             fnv(&mut digest, &id.to_le_bytes());
             fnv_u32s(&mut digest, &words);
         }
-        fnv_f64s(&mut digest, &sc.iter().map(|x| x.to_host()).collect::<Vec<_>>());
+        fnv_f64s(
+            &mut digest,
+            &sc.iter().map(|x| x.to_host()).collect::<Vec<_>>(),
+        );
     }
 
     let (_, _, c, _) = matmul::distributed_matmul(&mut m, 8, 7);
     fnv_f64s(&mut digest, &c);
 
-    let input: Vec<(f64, f64)> =
-        (0..16).map(|i| (i as f64 * 0.25, -(i as f64) * 0.125)).collect();
+    let input: Vec<(f64, f64)> = (0..16)
+        .map(|i| (i as f64 * 0.25, -(i as f64) * 0.125))
+        .collect();
     let (spectrum, _) = fft::distributed_fft(&mut m, &input);
     for (re, im) in spectrum {
         fnv_f64s(&mut digest, &[re, im]);
@@ -107,7 +134,14 @@ fn run_workload(plan: &FaultPlan) -> Outcome {
 /// seeded transient tail.
 fn chaos_plan(seed: u64) -> FaultPlan {
     let mut plan = FaultPlan::new()
-        .with(Dur::ps(1), FaultEvent::WireCorrupt { node: 0, dim: 0, flit_bit: 17 })
+        .with(
+            Dur::ps(1),
+            FaultEvent::WireCorrupt {
+                node: 0,
+                dim: 0,
+                flit_bit: 17,
+            },
+        )
         .with(Dur::ps(2), FaultEvent::FlitDrop { node: 0, dim: 1 });
     for tf in FaultPlan::generate_transient(seed, 2, 6, Dur::ms(50)).iter() {
         plan.push(tf.at, tf.event);
@@ -132,7 +166,10 @@ fn shrink_and_bail(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) 
 #[test]
 fn seeded_transient_chaos_is_invisible_to_results() {
     let baseline = run_workload(&FaultPlan::new());
-    assert_eq!(baseline.retransmits, 0, "fault-free run must not retransmit");
+    assert_eq!(
+        baseline.retransmits, 0,
+        "fault-free run must not retransmit"
+    );
     assert_eq!(baseline.crc_errors, 0);
 
     // The CI chaos-smoke seeds: fixed, so a failure here is reproducible
@@ -147,7 +184,10 @@ fn seeded_transient_chaos_is_invisible_to_results() {
             out.retransmits > 0,
             "seed {seed}: the planted faults must actually cost retransmissions"
         );
-        assert!(out.crc_errors > 0, "seed {seed}: the planted corruption must be detected");
+        assert!(
+            out.crc_errors > 0,
+            "seed {seed}: the planted corruption must be detected"
+        );
         assert!(
             out.report.contains("transport: "),
             "utilization report must show the transport story:\n{}",
@@ -178,8 +218,15 @@ fn exhausted_retransmit_budget_escalates_to_permanent_link_down() {
     m.launch_on(0, async move { ctx0.send_dim(0, vec![5, 6, 7, 8]).await });
     let got = m.launch_on(1, async move { ctx1.recv_dim(0).await });
     assert!(m.run().quiescent);
-    assert_eq!(got.try_take(), Some(vec![5, 6, 7, 8]), "the in-flight message still lands");
-    assert!(!m.faults().is_link_up(0, 0), "budget exhaustion kills the link for good");
+    assert_eq!(
+        got.try_take(),
+        Some(vec![5, 6, 7, 8]),
+        "the in-flight message still lands"
+    );
+    assert!(
+        !m.faults().is_link_up(0, 0),
+        "budget exhaustion kills the link for good"
+    );
     let met = m.metrics();
     assert!(met.get("link.escalations") >= 1);
     assert!(met.get("link.retransmits") > 0);
@@ -198,7 +245,10 @@ fn exhausted_retransmit_budget_escalates_to_permanent_link_down() {
     });
     assert!(m.run().quiescent, "router did not shut down cleanly");
     assert_eq!(done.try_take(), Some((0, vec![99])));
-    assert!(m.metrics().get("router.reroutes") >= 1, "delivery went the long way around");
+    assert!(
+        m.metrics().get("router.reroutes") >= 1,
+        "delivery went the long way around"
+    );
     assert!(
         m.utilization_report().contains("links condemned"),
         "the report must record the escalation"
@@ -212,20 +262,65 @@ fn shrinker_reduces_a_failing_schedule_to_one_fault() {
     // shrinker — re-running the full workload per candidate — must strip
     // the four flap decoys and keep the single corruption.
     let plan = FaultPlan::new()
-        .with(Dur::ps(1), FaultEvent::WireCorrupt { node: 0, dim: 0, flit_bit: 3 })
-        .with(Dur::us(100), FaultEvent::LinkFlap { node: 1, dim: 0, down_for: Dur::us(40) })
-        .with(Dur::us(200), FaultEvent::LinkFlap { node: 2, dim: 1, down_for: Dur::us(40) })
-        .with(Dur::us(300), FaultEvent::LinkFlap { node: 3, dim: 0, down_for: Dur::us(40) })
-        .with(Dur::us(400), FaultEvent::LinkFlap { node: 0, dim: 1, down_for: Dur::us(40) });
+        .with(
+            Dur::ps(1),
+            FaultEvent::WireCorrupt {
+                node: 0,
+                dim: 0,
+                flit_bit: 3,
+            },
+        )
+        .with(
+            Dur::us(100),
+            FaultEvent::LinkFlap {
+                node: 1,
+                dim: 0,
+                down_for: Dur::us(40),
+            },
+        )
+        .with(
+            Dur::us(200),
+            FaultEvent::LinkFlap {
+                node: 2,
+                dim: 1,
+                down_for: Dur::us(40),
+            },
+        )
+        .with(
+            Dur::us(300),
+            FaultEvent::LinkFlap {
+                node: 3,
+                dim: 0,
+                down_for: Dur::us(40),
+            },
+        )
+        .with(
+            Dur::us(400),
+            FaultEvent::LinkFlap {
+                node: 0,
+                dim: 1,
+                down_for: Dur::us(40),
+            },
+        );
     let fails = |p: &FaultPlan| run_workload(p).crc_errors > 0;
-    assert!(fails(&plan), "the planted corruption must trip the predicate");
+    assert!(
+        fails(&plan),
+        "the planted corruption must trip the predicate"
+    );
     let minimal = plan.shrink(fails);
     assert_eq!(minimal.len(), 1, "decoys survived shrinking:\n{minimal}");
     assert_eq!(
         minimal.iter().next().unwrap().event,
-        FaultEvent::WireCorrupt { node: 0, dim: 0, flit_bit: 3 }
+        FaultEvent::WireCorrupt {
+            node: 0,
+            dim: 0,
+            flit_bit: 3
+        }
     );
     // The printed repro round-trips through the text format.
     let back: FaultPlan = minimal.to_string().parse().unwrap();
-    assert_eq!(back.iter().collect::<Vec<_>>(), minimal.iter().collect::<Vec<_>>());
+    assert_eq!(
+        back.iter().collect::<Vec<_>>(),
+        minimal.iter().collect::<Vec<_>>()
+    );
 }

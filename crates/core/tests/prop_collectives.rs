@@ -143,8 +143,9 @@ fn snapshot_restore_arbitrary_state() {
     let mut rng = Rng::new(0xc011_0005);
     for _ in 0..16 {
         let dim = rng.below(4) as u32;
-        let writes: Vec<(usize, u32)> =
-            (0..rng.range(1, 30)).map(|_| (rng.range(0, 1024), rng.next_u32())).collect();
+        let writes: Vec<(usize, u32)> = (0..rng.range(1, 30))
+            .map(|_| (rng.range(0, 1024), rng.next_u32()))
+            .collect();
         let mut m = machine(dim);
         for (k, node) in m.nodes.iter().enumerate() {
             for &(addr, v) in &writes {

@@ -83,7 +83,11 @@ enum Operand {
 
 #[derive(Clone, Debug)]
 enum Item {
-    DirectFn { d: Direct, operand: Operand, line: usize },
+    DirectFn {
+        d: Direct,
+        operand: Operand,
+        line: usize,
+    },
     Operation(Op),
 }
 
@@ -201,10 +205,16 @@ pub fn assemble(src: &str) -> Result<Vec<u8>, AsmError> {
             let (label, tail) = rest.split_at(colon);
             let label = label.trim();
             if label.is_empty() || label.contains(char::is_whitespace) {
-                return Err(AsmError::BadOperand { line, text: text.into() });
+                return Err(AsmError::BadOperand {
+                    line,
+                    text: text.into(),
+                });
             }
             if labels.insert(label.to_string(), items.len()).is_some() {
-                return Err(AsmError::DuplicateLabel { line, label: label.into() });
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: label.into(),
+                });
             }
             rest = tail[1..].trim();
         }
@@ -215,11 +225,19 @@ pub fn assemble(src: &str) -> Result<Vec<u8>, AsmError> {
         let mnemonic = parts.next().unwrap().to_ascii_lowercase();
         let arg = parts.next();
         if parts.next().is_some() {
-            return Err(AsmError::BadOperand { line, text: rest.into() });
+            return Err(AsmError::BadOperand {
+                line,
+                text: rest.into(),
+            });
         }
         if let Some(d) = direct_of(&mnemonic) {
             let operand = match arg {
-                None => return Err(AsmError::BadOperand { line, text: rest.into() }),
+                None => {
+                    return Err(AsmError::BadOperand {
+                        line,
+                        text: rest.into(),
+                    })
+                }
                 Some(a) => match a.parse::<i64>() {
                     Ok(v) => Operand::Imm(v),
                     Err(_) => Operand::Label(a.to_string()),
@@ -228,11 +246,17 @@ pub fn assemble(src: &str) -> Result<Vec<u8>, AsmError> {
             items.push(Item::DirectFn { d, operand, line });
         } else if let Some(op) = op_of(&mnemonic) {
             if arg.is_some() {
-                return Err(AsmError::BadOperand { line, text: rest.into() });
+                return Err(AsmError::BadOperand {
+                    line,
+                    text: rest.into(),
+                });
             }
             items.push(Item::Operation(op));
         } else {
-            return Err(AsmError::UnknownMnemonic { line, text: mnemonic });
+            return Err(AsmError::UnknownMnemonic {
+                line,
+                text: mnemonic,
+            });
         }
     }
 
@@ -306,9 +330,10 @@ fn operand_value(
     match operand {
         Operand::Imm(v) => Ok(*v),
         Operand::Label(l) => {
-            let target = *labels
-                .get(l)
-                .ok_or_else(|| AsmError::UndefinedLabel { line, label: l.clone() })?;
+            let target = *labels.get(l).ok_or_else(|| AsmError::UndefinedLabel {
+                line,
+                label: l.clone(),
+            })?;
             let target_off = offsets[target] as i64;
             let after_insn = (offsets[i] + sizes[i]) as i64;
             Ok(target_off - after_insn)
@@ -338,7 +363,7 @@ mod tests {
         assert_eq!(code[0], 0x45); // ldc 5
         assert_eq!(code[1], 0xd3); // stl 3
         assert_eq!(code[2], 0xf1); // opr add(1)
-        // halt = opr 0x18 needs a pfix.
+                                   // halt = opr 0x18 needs a pfix.
         assert_eq!(&code[3..], &[0x21, 0xf8]);
     }
 
@@ -357,7 +382,21 @@ mod tests {
     #[test]
     fn negative_encoding_decodes_correctly() {
         // Round-trip every interesting operand through a real decode loop.
-        for k in [-1i64, -2, -15, -16, -17, -256, -4097, -1_000_000, 0, 15, 16, 255, 1 << 20] {
+        for k in [
+            -1i64,
+            -2,
+            -15,
+            -16,
+            -17,
+            -256,
+            -4097,
+            -1_000_000,
+            0,
+            15,
+            16,
+            255,
+            1 << 20,
+        ] {
             let mut bytes = Vec::new();
             encode_direct(Direct::Ldc, k, &mut bytes);
             let mut oreg: u32 = 0;

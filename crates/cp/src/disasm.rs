@@ -130,7 +130,11 @@ pub fn disassemble(code: &[u8]) -> Vec<Decoded> {
                         Some(op) => Insn::Operation(op),
                         None => Insn::UnknownOp(code_sel),
                     };
-                    out.push(Decoded { offset: start, len: i - start, insn });
+                    out.push(Decoded {
+                        offset: start,
+                        len: i - start,
+                        insn,
+                    });
                     break;
                 }
                 other => {

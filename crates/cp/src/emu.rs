@@ -27,7 +27,9 @@ pub trait CpBus {
 
 impl CpBus for Vec<u32> {
     fn read(&mut self, word_addr: u32) -> Result<u32, CpError> {
-        self.get(word_addr as usize).copied().ok_or(CpError::Bus { addr: word_addr })
+        self.get(word_addr as usize)
+            .copied()
+            .ok_or(CpError::Bus { addr: word_addr })
     }
 
     fn write(&mut self, word_addr: u32, value: u32) -> Result<(), CpError> {
@@ -278,11 +280,7 @@ impl Cp {
         Ok(None)
     }
 
-    fn operate(
-        &mut self,
-        code: u32,
-        bus: &mut dyn CpBus,
-    ) -> Result<Option<StepOutcome>, CpError> {
+    fn operate(&mut self, code: u32, bus: &mut dyn CpBus) -> Result<Option<StepOutcome>, CpError> {
         let op = Op::from_u32(code).ok_or(CpError::IllegalOp { code })?;
         self.cycles += op.cycles();
         match op {
@@ -388,7 +386,10 @@ impl Cp {
             Op::VecOp => {
                 let n = self.pop();
                 let descriptor = self.pop();
-                return Ok(Some(StepOutcome::Yielded(CpEvent::VecIssue { descriptor, n })));
+                return Ok(Some(StepOutcome::Yielded(CpEvent::VecIssue {
+                    descriptor,
+                    n,
+                })));
             }
             Op::Halt => {
                 self.halted = true;
@@ -553,7 +554,11 @@ mod tests {
         let outcome = cp.run(&mut mem, 1000).unwrap();
         assert_eq!(
             outcome,
-            StepOutcome::Yielded(CpEvent::Out { chan: 3, ptr: 512, words: 16 })
+            StepOutcome::Yielded(CpEvent::Out {
+                chan: 3,
+                ptr: 512,
+                words: 16
+            })
         );
         // Resume: next run halts.
         assert_eq!(cp.run(&mut mem, 10).unwrap(), StepOutcome::Halted);
@@ -570,7 +575,10 @@ mod tests {
         let outcome = cp.run(&mut mem, 1000).unwrap();
         assert_eq!(
             outcome,
-            StepOutcome::Yielded(CpEvent::VecIssue { descriptor: 640, n: 128 })
+            StepOutcome::Yielded(CpEvent::VecIssue {
+                descriptor: 640,
+                n: 128
+            })
         );
     }
 

@@ -178,8 +178,8 @@ impl Op {
             Mul => 26,
             Div | Rem => 39,
             Lend => 5,
-            In | Out => 10,  // channel setup before the DMA engine takes over
-            VecOp => 8,      // write descriptor to the arithmetic controller
+            In | Out => 10, // channel setup before the DMA engine takes over
+            VecOp => 8,     // write descriptor to the arithmetic controller
             Ret => 3,
             _ => 1,
         }

@@ -108,9 +108,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, OccError> {
                             break;
                         }
                     }
-                    let v = s
-                        .parse::<i64>()
-                        .map_err(|_| OccError { line, msg: format!("bad number {s}") })?;
+                    let v = s.parse::<i64>().map_err(|_| OccError {
+                        line,
+                        msg: format!("bad number {s}"),
+                    })?;
                     out.push((Tok::Num(v), line));
                 }
                 ':' => {
@@ -119,7 +120,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, OccError> {
                         chars.next();
                         out.push((Tok::Assign, line));
                     } else {
-                        return Err(OccError { line, msg: "expected := after :".into() });
+                        return Err(OccError {
+                            line,
+                            msg: "expected := after :".into(),
+                        });
                     }
                 }
                 ';' => {
@@ -168,7 +172,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, OccError> {
                         chars.next();
                         out.push((Tok::Op(format!("{c}=")), line));
                     } else {
-                        return Err(OccError { line, msg: format!("lone {c}") });
+                        return Err(OccError {
+                            line,
+                            msg: format!("lone {c}"),
+                        });
                     }
                 }
                 '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' => {
@@ -176,7 +183,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, OccError> {
                     out.push((Tok::Op(c.to_string()), line));
                 }
                 other => {
-                    return Err(OccError { line, msg: format!("unexpected character {other:?}") })
+                    return Err(OccError {
+                        line,
+                        msg: format!("unexpected character {other:?}"),
+                    })
                 }
             }
         }
@@ -212,7 +222,9 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |(_, l)| *l)
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -225,7 +237,10 @@ impl Parser {
         let line = self.line();
         match self.next() {
             Some(t) if &t == want => Ok(()),
-            other => Err(OccError { line, msg: format!("expected {what}, found {other:?}") }),
+            other => Err(OccError {
+                line,
+                msg: format!("expected {what}, found {other:?}"),
+            }),
         }
     }
 
@@ -239,7 +254,10 @@ impl Parser {
                 }
                 Some(_) => out.push(self.stmt()?),
                 None => {
-                    return Err(OccError { line: self.line(), msg: "missing }".into() })
+                    return Err(OccError {
+                        line: self.line(),
+                        msg: "missing }".into(),
+                    })
                 }
             }
         }
@@ -307,7 +325,10 @@ impl Parser {
                 self.expect(&Tok::Semi, ";")?;
                 Ok(Stmt::Halt)
             }
-            other => Err(OccError { line, msg: format!("unexpected {other:?}") }),
+            other => Err(OccError {
+                line,
+                msg: format!("unexpected {other:?}"),
+            }),
         }
     }
 
@@ -352,7 +373,10 @@ impl Parser {
                 let a = self.atom()?;
                 Ok(Expr::Bin("-".into(), Box::new(Expr::Num(0)), Box::new(a)))
             }
-            other => Err(OccError { line, msg: format!("expected expression, found {other:?}") }),
+            other => Err(OccError {
+                line,
+                msg: format!("expected expression, found {other:?}"),
+            }),
         }
     }
 }
@@ -546,9 +570,16 @@ pub fn compile(src: &str) -> Result<Compiled, OccError> {
     if !matches!(stmts.last(), Some(Stmt::Halt)) {
         cg.emit("halt");
     }
-    let code = assemble(&cg.asm)
-        .map_err(|e| OccError { line: 0, msg: format!("internal codegen error: {e}") })?;
-    Ok(Compiled { code, asm: cg.asm, vars: cg.vars, workspace_slots: cg.max_slot })
+    let code = assemble(&cg.asm).map_err(|e| OccError {
+        line: 0,
+        msg: format!("internal codegen error: {e}"),
+    })?;
+    Ok(Compiled {
+        code,
+        asm: cg.asm,
+        vars: cg.vars,
+        workspace_slots: cg.max_slot,
+    })
 }
 
 #[cfg(test)]
@@ -577,7 +608,10 @@ mod tests {
 
     #[test]
     fn division_and_modulo() {
-        run("q := 17 / 5; r := 17 % 5; n := -17 / 5;", &[("q", 3), ("r", 2), ("n", -3)]);
+        run(
+            "q := 17 / 5; r := 17 % 5; n := -17 / 5;",
+            &[("q", 3), ("r", 2), ("n", -3)],
+        );
     }
 
     #[test]
@@ -637,7 +671,14 @@ mod tests {
     fn unary_minus_and_bitwise() {
         run(
             "a := -5 + 3; b := 12 & 10; c := 12 | 3; d := 12 ^ 10; e := 1 << 10; f := 1024 >> 3;",
-            &[("a", -2), ("b", 8), ("c", 15), ("d", 6), ("e", 1024), ("f", 128)],
+            &[
+                ("a", -2),
+                ("b", 8),
+                ("c", 15),
+                ("d", 6),
+                ("e", 1024),
+                ("f", 128),
+            ],
         );
     }
 

@@ -111,7 +111,9 @@ fn counted_loop() {
 fn workspace_traffic() {
     let mut rng = Rng::new(0xc2a0_0006);
     for _ in 0..64 {
-        let vals: Vec<i32> = (0..rng.range(1, 12)).map(|_| rng.next_u32() as i32).collect();
+        let vals: Vec<i32> = (0..rng.range(1, 12))
+            .map(|_| rng.next_u32() as i32)
+            .collect();
         let mut src = String::new();
         for (i, v) in vals.iter().enumerate() {
             src.push_str(&format!("ldc {v}\nstl {i}\n"));
@@ -133,7 +135,9 @@ fn workspace_traffic() {
 fn disasm_roundtrip() {
     let mut rng = Rng::new(0xc2a0_0007);
     for _ in 0..64 {
-        let consts: Vec<i32> = (0..rng.range(1, 20)).map(|_| rng.next_u32() as i32).collect();
+        let consts: Vec<i32> = (0..rng.range(1, 20))
+            .map(|_| rng.next_u32() as i32)
+            .collect();
         let mut src = String::new();
         for (i, v) in consts.iter().enumerate() {
             src.push_str(&format!("ldc {v}\nstl {}\n", i % 16));

@@ -65,7 +65,10 @@ impl RingEmbedding {
     pub fn dilation(&self) -> u32 {
         let n = self.len();
         (0..n)
-            .map(|p| self.cube.distance(self.node_at(p), self.node_at((p + 1) % n)))
+            .map(|p| {
+                self.cube
+                    .distance(self.node_at(p), self.node_at((p + 1) % n))
+            })
             .max()
             .unwrap_or(0)
     }
@@ -99,7 +102,11 @@ impl MeshEmbedding {
             offsets.push(off);
             off += b;
         }
-        MeshEmbedding { cube, bits: bits.to_vec(), offsets }
+        MeshEmbedding {
+            cube,
+            bits: bits.to_vec(),
+            offsets,
+        }
     }
 
     /// Number of axes.
@@ -150,7 +157,11 @@ impl MeshEmbedding {
     pub fn step_wrap(&self, coords: &[u32], axis: usize, forward: bool) -> Vec<u32> {
         let side = self.side(axis);
         let mut c = coords.to_vec();
-        c[axis] = if forward { (c[axis] + 1) % side } else { (c[axis] + side - 1) % side };
+        c[axis] = if forward {
+            (c[axis] + 1) % side
+        } else {
+            (c[axis] + side - 1) % side
+        };
         c
     }
 

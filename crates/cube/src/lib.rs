@@ -126,7 +126,11 @@ impl Hypercube {
     /// neighbours across each dimension *below* the lowest set bit of
     /// `node ^ root` (all dimensions for the root itself).
     pub fn binomial_children(self, root: NodeId, node: NodeId) -> Vec<NodeId> {
-        let limit = if node == root { self.dim } else { (node ^ root).trailing_zeros() };
+        let limit = if node == root {
+            self.dim
+        } else {
+            (node ^ root).trailing_zeros()
+        };
         (0..limit).map(|d| node ^ (1 << d)).collect()
     }
 
@@ -149,6 +153,152 @@ impl Hypercube {
     /// Number of 16-node cabinets (two modules each, a "tesseract"; §III).
     pub fn cabinets(self) -> u32 {
         self.modules().div_ceil(2)
+    }
+}
+
+/// A d-dimensional subcube of a larger n-cube: the set of nodes reachable
+/// from `base` by flipping any subset of the `dims` address bits.
+///
+/// Disjoint subcubes are complete hypercubes in their own right, which is
+/// what makes the machine *space-shareable* (§III: the n-cube is built from
+/// 8-node modules that are themselves 3-subcubes): independent jobs can run
+/// on disjoint subcubes with full isolation, because every edge of a
+/// subcube is a physical cube edge and no route between two of its nodes
+/// leaves it (e-cube routing only corrects bits the endpoints differ in).
+///
+/// The subcube relabels its nodes: **virtual** id `v ∈ 0..2^d` maps to the
+/// physical id `base ^ spread(v)`, where bit `k` of `v` lands on physical
+/// address bit `dims[k]`. Virtual dimension `k` is physical dimension
+/// `dims[k]`. A program written against virtual ids and dimensions (every
+/// collective and kernel in this workspace) therefore runs unmodified
+/// inside any subcube.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subcube {
+    base: NodeId,
+    dims: Vec<u32>,
+}
+
+impl Subcube {
+    /// A subcube of `base` spanning the given address bits. `base` must
+    /// have every spanned bit clear (the canonical corner), and `dims`
+    /// must be strictly increasing.
+    pub fn new(base: NodeId, dims: Vec<u32>) -> Subcube {
+        assert!(
+            dims.windows(2).all(|w| w[0] < w[1]),
+            "dims must be strictly increasing"
+        );
+        for &d in &dims {
+            assert!(
+                base & (1 << d) == 0,
+                "base must sit at the subcube's low corner"
+            );
+        }
+        Subcube { base, dims }
+    }
+
+    /// The aligned d-subcube spanning dimensions `0..d` at `base` (the
+    /// shape the buddy allocator hands out: `base` is a multiple of `2^d`).
+    pub fn aligned(base: NodeId, d: u32) -> Subcube {
+        assert_eq!(
+            base % (1 << d),
+            0,
+            "aligned subcube base must be a multiple of 2^d"
+        );
+        Subcube::new(base, (0..d).collect())
+    }
+
+    /// The subcube's low corner (physical id of virtual node 0).
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// The spanned physical dimensions, lowest first (virtual dimension
+    /// `k` rides physical dimension `dims()[k]`).
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Subcube dimension d.
+    pub fn dim(&self) -> u32 {
+        self.dims.len() as u32
+    }
+
+    /// Number of nodes, 2^d.
+    pub fn len(&self) -> u32 {
+        1 << self.dim()
+    }
+
+    /// Always false: even a 0-subcube holds one node. Provided because
+    /// [`Subcube::len`] exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The subcube as a standalone hypercube (for collectives and routing
+    /// in virtual coordinates).
+    pub fn cube(&self) -> Hypercube {
+        Hypercube::new(self.dim())
+    }
+
+    /// Physical id of virtual node `v`: XOR the base with `v`'s bits
+    /// spread onto the spanned dimensions.
+    pub fn to_phys(&self, v: NodeId) -> NodeId {
+        debug_assert!(v < self.len());
+        let mut p = self.base;
+        for (k, &d) in self.dims.iter().enumerate() {
+            if v & (1 << k) != 0 {
+                p ^= 1 << d;
+            }
+        }
+        p
+    }
+
+    /// Virtual id of physical node `p`, or `None` if `p` is outside the
+    /// subcube.
+    pub fn to_virt(&self, p: NodeId) -> Option<NodeId> {
+        let diff = p ^ self.base;
+        let mut v = 0;
+        let mut covered = 0;
+        for (k, &d) in self.dims.iter().enumerate() {
+            if diff & (1 << d) != 0 {
+                v |= 1 << k;
+            }
+            covered |= 1 << d;
+        }
+        if diff & !covered != 0 {
+            return None;
+        }
+        Some(v)
+    }
+
+    /// True if physical node `p` belongs to the subcube.
+    pub fn contains(&self, p: NodeId) -> bool {
+        self.to_virt(p).is_some()
+    }
+
+    /// Physical node ids in virtual order (index = virtual id).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(|v| self.to_phys(v))
+    }
+
+    /// True if every node of the subcube lives in one 8-node module — the
+    /// module-affinity property: an intramodule job keeps all its traffic
+    /// on the short in-module wires. Aligned subcubes of dimension ≤ 3
+    /// always satisfy this.
+    pub fn within_one_module(&self) -> bool {
+        let m = self.base >> 3;
+        self.iter().all(|p| p >> 3 == m)
+    }
+
+    /// True if the two subcubes share no node: the bases must differ on
+    /// some dimension spanned by neither (on spanned dimensions both sides
+    /// can reach either value, so only unspanned bits separate them).
+    pub fn disjoint(&self, other: &Subcube) -> bool {
+        let mut covered = 0u32;
+        for &d in self.dims.iter().chain(&other.dims) {
+            covered |= 1 << d;
+        }
+        (self.base ^ other.base) & !covered != 0
     }
 }
 
@@ -380,5 +530,66 @@ mod tests {
     #[should_panic(expected = "dimension 14")]
     fn fifteen_cube_rejected() {
         let _ = Hypercube::new(15);
+    }
+
+    #[test]
+    fn subcube_relabeling_round_trips() {
+        // A 2-subcube of a 4-cube on dimensions {1, 3} at base 0b0101.
+        let s = Subcube::new(0b0101, vec![1, 3]);
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.len(), 4);
+        let phys: Vec<NodeId> = s.iter().collect();
+        assert_eq!(phys, vec![0b0101, 0b0111, 0b1101, 0b1111]);
+        for v in 0..s.len() {
+            assert_eq!(s.to_virt(s.to_phys(v)), Some(v));
+        }
+        assert_eq!(s.to_virt(0b0100), None, "outside the subcube");
+        assert!(s.contains(0b1111));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn subcube_edges_are_physical_cube_edges() {
+        // Virtual neighbours across virtual dimension k are physical
+        // neighbours across dims()[k]: one hop, never more.
+        let c = Hypercube::new(5);
+        let s = Subcube::new(0b00010, vec![0, 2, 4]);
+        for v in 0..s.len() {
+            for k in 0..s.dim() {
+                let pv = s.to_phys(v);
+                let pn = s.to_phys(v ^ (1 << k));
+                assert_eq!(c.distance(pv, pn), 1);
+                assert_eq!(pv ^ pn, 1 << s.dims()[k as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_subcubes_of_dim_le_3_stay_in_one_module() {
+        for d in 0..=3u32 {
+            for base in (0..64).step_by(1 << d) {
+                let s = Subcube::aligned(base, d);
+                assert!(s.within_one_module(), "aligned {d}-subcube at {base}");
+            }
+        }
+        // A 4-subcube necessarily spans two modules.
+        assert!(!Subcube::aligned(0, 4).within_one_module());
+    }
+
+    #[test]
+    fn disjoint_aligned_blocks_are_disjoint() {
+        let a = Subcube::aligned(0, 2);
+        let b = Subcube::aligned(4, 2);
+        let c = Subcube::aligned(0, 3);
+        assert!(a.disjoint(&b));
+        assert!(b.disjoint(&a));
+        assert!(!a.disjoint(&c), "the 3-subcube covers the 2-subcube");
+        assert!(!a.disjoint(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "low corner")]
+    fn subcube_base_must_be_canonical() {
+        let _ = Subcube::new(0b10, vec![1]);
     }
 }

@@ -139,7 +139,13 @@ mod tests {
     fn row_geometry() {
         assert_eq!(Precision::Double.elems_per_row(), 128);
         assert_eq!(Precision::Single.elems_per_row(), 256);
-        assert_eq!(Precision::Double.bytes() * Precision::Double.elems_per_row(), 1024);
-        assert_eq!(Precision::Single.bytes() * Precision::Single.elems_per_row(), 1024);
+        assert_eq!(
+            Precision::Double.bytes() * Precision::Double.elems_per_row(),
+            1024
+        );
+        assert_eq!(
+            Precision::Single.bytes() * Precision::Single.elems_per_row(),
+            1024
+        );
     }
 }

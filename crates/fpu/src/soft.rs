@@ -67,11 +67,19 @@ impl Format for B32 {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Class {
     Nan,
-    Inf { sign: bool },
-    Zero { sign: bool },
+    Inf {
+        sign: bool,
+    },
+    Zero {
+        sign: bool,
+    },
     /// `mant` has the hidden bit set: `HIDDEN <= mant < 2*HIDDEN`.
     /// `exp` is unbiased.
-    Norm { sign: bool, exp: i32, mant: u64 },
+    Norm {
+        sign: bool,
+        exp: i32,
+        mant: u64,
+    },
 }
 
 #[inline]
@@ -104,7 +112,11 @@ fn unpack<F: Format>(bits: u64) -> Class {
         // Zero or subnormal: both flush to zero (DAZ).
         Class::Zero { sign }
     } else {
-        Class::Norm { sign, exp: e as i32 - F::BIAS, mant: m | F::HIDDEN }
+        Class::Norm {
+            sign,
+            exp: e as i32 - F::BIAS,
+            mant: m | F::HIDDEN,
+        }
     }
 }
 
@@ -184,8 +196,16 @@ pub fn add<F: Format>(a: u64, b: u64) -> u64 {
         (Zero { .. }, n @ Norm { .. }) => pack_class::<F>(n),
         (n @ Norm { .. }, Zero { .. }) => pack_class::<F>(n),
         (
-            Norm { sign: sa, exp: ea, mant: ma },
-            Norm { sign: sb, exp: eb, mant: mb },
+            Norm {
+                sign: sa,
+                exp: ea,
+                mant: ma,
+            },
+            Norm {
+                sign: sb,
+                exp: eb,
+                mant: mb,
+            },
         ) => add_norm::<F>(sa, ea, ma, sb, eb, mb),
     }
 }
@@ -257,8 +277,16 @@ pub fn mul<F: Format>(a: u64, b: u64) -> u64 {
         | (Zero { sign: sa }, Norm { sign: sb, .. })
         | (Norm { sign: sa, .. }, Zero { sign: sb }) => pack_zero::<F>(sa ^ sb),
         (
-            Norm { sign: sa, exp: ea, mant: ma },
-            Norm { sign: sb, exp: eb, mant: mb },
+            Norm {
+                sign: sa,
+                exp: ea,
+                mant: ma,
+            },
+            Norm {
+                sign: sb,
+                exp: eb,
+                mant: mb,
+            },
         ) => {
             let sign = sa ^ sb;
             // Product of two (MANT_BITS+1)-bit significands: at most
@@ -274,7 +302,11 @@ pub fn mul<F: Format>(a: u64, b: u64) -> u64 {
             // Extract MANT_BITS+1 significand bits plus GRS, sticky the rest.
             // Keep mant at position so that hidden bit lands at MANT_BITS+3.
             let keep = F::MANT_BITS + 4; // significand + grs
-            let shift = if top_set { prod_bits - keep } else { prod_bits - 1 - keep };
+            let shift = if top_set {
+                prod_bits - keep
+            } else {
+                prod_bits - 1 - keep
+            };
             let lost = prod & ((1u128 << shift) - 1);
             let mut mant_grs = (prod >> shift) as u64;
             if lost != 0 {
@@ -585,20 +617,32 @@ mod tests {
 
     #[test]
     fn simple_sums() {
-        for (a, b) in [(1.0, 2.0), (0.1, 0.2), (1e300, 1e300), (-5.5, 5.5), (3.25, -1.125)] {
-            assert_eq!(
-                add::<B64>(f(a), f(b)),
-                f(a + b),
-                "{a} + {b}"
-            );
+        for (a, b) in [
+            (1.0, 2.0),
+            (0.1, 0.2),
+            (1e300, 1e300),
+            (-5.5, 5.5),
+            (3.25, -1.125),
+        ] {
+            assert_eq!(add::<B64>(f(a), f(b)), f(a + b), "{a} + {b}");
         }
     }
 
     #[test]
     fn simple_products() {
-        for (a, b) in [(1.5f64, 2.0f64), (0.1, 0.2), (1e-150, 1e-150), (-3.0, 7.0), (1e308, 10.0)] {
+        for (a, b) in [
+            (1.5f64, 2.0f64),
+            (0.1, 0.2),
+            (1e-150, 1e-150),
+            (-3.0, 7.0),
+            (1e308, 10.0),
+        ] {
             let want = a * b;
-            let want = if want != 0.0 && want.abs() < f64::MIN_POSITIVE { 0.0 } else { want };
+            let want = if want != 0.0 && want.abs() < f64::MIN_POSITIVE {
+                0.0
+            } else {
+                want
+            };
             assert_eq!(mul::<B64>(f(a), f(b)), f(want), "{a} * {b}");
         }
     }
@@ -616,7 +660,10 @@ mod tests {
         assert!(Sf64::from_host(f64::NAN + 0.0).is_nan());
         assert_eq!(add::<B64>(f(f64::NAN), f(1.0)), B64::QNAN);
         assert_eq!(mul::<B64>(f(f64::INFINITY), f(0.0)), B64::QNAN);
-        assert_eq!(add::<B64>(f(f64::INFINITY), f(f64::NEG_INFINITY)), B64::QNAN);
+        assert_eq!(
+            add::<B64>(f(f64::INFINITY), f(f64::NEG_INFINITY)),
+            B64::QNAN
+        );
     }
 
     #[test]
@@ -631,7 +678,7 @@ mod tests {
     #[test]
     fn flush_to_zero_inputs() {
         let sub = f64::from_bits(1); // smallest subnormal
-        // Treated as zero on input.
+                                     // Treated as zero on input.
         assert_eq!(add::<B64>(f(sub), f(1.0)), f(1.0));
         assert_eq!(mul::<B64>(f(sub), f(1e300)), f(0.0));
         let negsub = f64::from_bits(1 | (1 << 63));
@@ -650,7 +697,6 @@ mod tests {
         assert_eq!(mul::<B64>(f(a), f(1.0)), f(a));
     }
 
-
     #[test]
     fn overflow_boundary_rounding() {
         // The largest finite double plus half its ulp rounds to infinity
@@ -666,7 +712,7 @@ mod tests {
     #[test]
     fn min_normal_boundary() {
         let mn = f64::MIN_POSITIVE; // 2^-1022
-        // Exactly at the boundary: survives.
+                                    // Exactly at the boundary: survives.
         assert_eq!(mul::<B64>(f(mn), f(1.0)), f(mn));
         // Halving flushes (result would be subnormal).
         assert_eq!(mul::<B64>(f(mn), f(0.5)), f(0.0));
@@ -734,7 +780,17 @@ mod tests {
 
     #[test]
     fn int_conversions() {
-        for v in [0i64, 1, -1, 42, -12345, 1 << 52, (1 << 53) + 1, i64::MAX, i64::MIN + 1] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            42,
+            -12345,
+            1 << 52,
+            (1 << 53) + 1,
+            i64::MAX,
+            i64::MIN + 1,
+        ] {
             assert_eq!(from_i64::<B64>(v), f(v as f64), "{v}");
         }
         assert_eq!(to_i64::<B64>(f(3.99)), 3);

@@ -43,7 +43,7 @@ fn recip_seed(x: Sf64) -> Sf64 {
     let c1 = Sf64::from(48.0 / 17.0);
     let c2 = Sf64::from(32.0 / 17.0);
     let approx = c1 - c2 * d; // ≈ 1/d ∈ (1, 2]
-    // Scale by 2^-(e+1).
+                              // Scale by 2^-(e+1).
     let e_unb = exp as i64 - 1023;
     let a_bits = approx.to_bits();
     let a_exp = ((a_bits >> 52) & 0x7ff) as i64;
@@ -146,8 +146,8 @@ pub fn sqrt(x: Sf64) -> Sf64 {
         y = y * half * (three - x * y * y);
     }
     let s = x * y; // sqrt(x) = x / sqrt(x)
-    // One Heron correction with software divide-free step:
-    // s' = (s + x·recip(s)) / 2 — use recip (mul/add only).
+                   // One Heron correction with software divide-free step:
+                   // s' = (s + x·recip(s)) / 2 — use recip (mul/add only).
     (s + x * recip(s)) * half
 }
 
@@ -162,9 +162,15 @@ mod tests {
 
     #[test]
     fn recip_accuracy() {
-        for v in [1.0, 2.0, 3.0, 0.1, 17.0, 1e10, 1e-10, -5.0, 123456.789, 0.9999999] {
+        for v in [
+            1.0, 2.0, 3.0, 0.1, 17.0, 1e10, 1e-10, -5.0, 123456.789, 0.9999999,
+        ] {
             let r = recip(Sf64::from(v)).to_host();
-            assert!(ulp_diff(r, 1.0 / v) <= 1, "recip({v}) = {r}, want {}", 1.0 / v);
+            assert!(
+                ulp_diff(r, 1.0 / v) <= 1,
+                "recip({v}) = {r}, want {}",
+                1.0 / v
+            );
         }
     }
 
@@ -178,18 +184,31 @@ mod tests {
 
     #[test]
     fn div_accuracy() {
-        for (a, b) in [(1.0, 3.0), (22.0, 7.0), (-1e5, 17.0), (0.1, 0.3), (1e200, 1e-100)] {
+        for (a, b) in [
+            (1.0, 3.0),
+            (22.0, 7.0),
+            (-1e5, 17.0),
+            (0.1, 0.3),
+            (1e200, 1e-100),
+        ] {
             let q = div(Sf64::from(a), Sf64::from(b)).to_host();
             assert!(ulp_diff(q, a / b) <= 1, "{a}/{b} = {q}, want {}", a / b);
         }
-        assert_eq!(div(Sf64::from(5.0), Sf64::from(0.0)).to_host(), f64::INFINITY);
+        assert_eq!(
+            div(Sf64::from(5.0), Sf64::from(0.0)).to_host(),
+            f64::INFINITY
+        );
     }
 
     #[test]
     fn sqrt_accuracy() {
         for v in [1.0, 2.0, 4.0, 9.0, 0.25, 1e10, 3.7, 1e-8, 6.25e4] {
             let s = sqrt(Sf64::from(v)).to_host();
-            assert!(ulp_diff(s, v.sqrt()) <= 2, "sqrt({v}) = {s}, want {}", v.sqrt());
+            assert!(
+                ulp_diff(s, v.sqrt()) <= 2,
+                "sqrt({v}) = {s}, want {}",
+                v.sqrt()
+            );
         }
         assert!(sqrt(Sf64::from(-1.0)).is_nan());
         assert_eq!(sqrt(Sf64::from(0.0)).to_host(), 0.0);

@@ -189,7 +189,10 @@ fn mul32_arbitrary_bits() {
 fn compare_matches_host_partial_cmp() {
     let mut rng = Rng::new(0xf9a0_0009);
     for _ in 0..CASES {
-        let (a, b) = (f64::from_bits(rng.next_u64()), f64::from_bits(rng.next_u64()));
+        let (a, b) = (
+            f64::from_bits(rng.next_u64()),
+            f64::from_bits(rng.next_u64()),
+        );
         // FTZ first: −min_subnormal and +min_subnormal compare equal here.
         let (fa, fb) = (ftz64(a), ftz64(b));
         let sw = Sf64::from(a).compare(Sf64::from(b));

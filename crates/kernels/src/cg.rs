@@ -86,7 +86,9 @@ impl TileGeometry {
         }
         let mut halos: [Option<Vec<f64>>; 4] = [None, None, None, None];
         let mut recvs = Vec::new();
-        for (slot, dim) in [self.west, self.east, self.north, self.south].into_iter().enumerate()
+        for (slot, dim) in [self.west, self.east, self.north, self.south]
+            .into_iter()
+            .enumerate()
         {
             if let Some(d) = dim {
                 let c = ctx.clone();
@@ -131,8 +133,7 @@ async fn global_dot(ctx: &NodeCtx, cube: Hypercube, a: &[f64], b: &[f64]) -> f64
     let asf: Vec<Sf64> = a.iter().map(|&v| Sf64::from(v)).collect();
     let bsf: Vec<Sf64> = b.iter().map(|&v| Sf64::from(v)).collect();
     let local = ctx.dot_values(&asf, &bsf).await;
-    let total =
-        t_series_core::collectives::allreduce(ctx, cube, CombineOp::Add, vec![local]).await;
+    let total = t_series_core::collectives::allreduce(ctx, cube, CombineOp::Add, vec![local]).await;
     total[0].to_host()
 }
 
@@ -188,7 +189,9 @@ pub fn distributed_cg(
     let (sx, sy) = (mesh.side(0) as usize, mesh.side(1) as usize);
     let side_x = sx * g;
     let mut st = seed;
-    let b: Vec<f64> = (0..side_x * sy * g).map(|_| crate::rand_f64(&mut st)).collect();
+    let b: Vec<f64> = (0..side_x * sy * g)
+        .map(|_| crate::rand_f64(&mut st))
+        .collect();
 
     let t0 = machine.now();
     let handles: Vec<_> = machine
@@ -203,7 +206,9 @@ pub fn distributed_cg(
                     tile[y * g + x] = b[(cy * g + y) * side_x + cx * g + x];
                 }
             }
-            machine.handle().spawn(cg_node(node.ctx(), cube, g, tile, tol, 10_000))
+            machine
+                .handle()
+                .spawn(cg_node(node.ctx(), cube, g, tile, tol, 10_000))
         })
         .collect();
     let report = machine.run();

@@ -34,7 +34,10 @@ pub struct Cpx {
 impl Cpx {
     /// Construct from host floats.
     pub fn new(re: f64, im: f64) -> Cpx {
-        Cpx { re: Sf64::from(re), im: Sf64::from(im) }
+        Cpx {
+            re: Sf64::from(re),
+            im: Sf64::from(im),
+        }
     }
 
     /// Host-side view.
@@ -47,7 +50,10 @@ impl std::ops::Add for Cpx {
     type Output = Cpx;
     /// Complex addition (2 flops).
     fn add(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re + o.re, im: self.im + o.im }
+        Cpx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -55,7 +61,10 @@ impl std::ops::Sub for Cpx {
     type Output = Cpx;
     /// Complex subtraction (2 flops).
     fn sub(self, o: Cpx) -> Cpx {
-        Cpx { re: self.re - o.re, im: self.im - o.im }
+        Cpx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -104,7 +113,12 @@ fn unpack(words: &[u32]) -> Vec<Cpx> {
 /// The per-node DIF FFT program over `local` points (global index =
 /// `id · local.len() + j`). Returns this node's slice of the bit-reversed-
 /// order spectrum.
-pub async fn fft_node(ctx: NodeCtx, cube: Hypercube, total: usize, mut local: Vec<Cpx>) -> Vec<Cpx> {
+pub async fn fft_node(
+    ctx: NodeCtx,
+    cube: Hypercube,
+    total: usize,
+    mut local: Vec<Cpx>,
+) -> Vec<Cpx> {
     let nl = local.len();
     assert!(nl.is_power_of_two() && total == nl << cube.dim() as usize);
     let me = ctx.id() as usize;
@@ -126,7 +140,11 @@ pub async fn fft_node(ctx: NodeCtx, cube: Hypercube, total: usize, mut local: Ve
         .await;
         let theirs = unpack(&theirs);
         for j in 0..nl {
-            let (a, b) = if low_side { (local[j], theirs[j]) } else { (theirs[j], local[j]) };
+            let (a, b) = if low_side {
+                (local[j], theirs[j])
+            } else {
+                (theirs[j], local[j])
+            };
             if low_side {
                 local[j] = a + b;
             } else {
@@ -152,7 +170,8 @@ pub async fn fft_node(ctx: NodeCtx, cube: Hypercube, total: usize, mut local: Ve
             }
             start += 2 * span;
         }
-        ctx.charge_vec_flops(FLOPS_PER_BUTTERFLY * (nl as u64 / 2)).await;
+        ctx.charge_vec_flops(FLOPS_PER_BUTTERFLY * (nl as u64 / 2))
+            .await;
         span /= 2;
     }
     local
@@ -191,8 +210,10 @@ pub fn distributed_fft(
         .map(|node| {
             let ctx = node.ctx();
             let lo = node.id as usize * nl;
-            let local: Vec<Cpx> =
-                input[lo..lo + nl].iter().map(|&(re, im)| Cpx::new(re, im)).collect();
+            let local: Vec<Cpx> = input[lo..lo + nl]
+                .iter()
+                .map(|&(re, im)| Cpx::new(re, im))
+                .collect();
             machine.handle().spawn(fft_node(ctx, cube, total, local))
         })
         .collect();
@@ -201,7 +222,12 @@ pub fn distributed_fft(
     let elapsed = machine.now().since(t0);
     let mut flat = Vec::with_capacity(total);
     for jh in handles {
-        flat.extend(jh.try_take().expect("fft incomplete").into_iter().map(Cpx::to_host));
+        flat.extend(
+            jh.try_take()
+                .expect("fft incomplete")
+                .into_iter()
+                .map(Cpx::to_host),
+        );
     }
     let natural = bit_reverse_permute(&flat);
     let stats = KernelStats::from_metrics(&machine.metrics(), elapsed, p as u64);
@@ -234,8 +260,9 @@ mod tests {
 
     fn check(dim: u32, total: usize) -> KernelStats {
         let mut st = 7u64;
-        let input: Vec<(f64, f64)> =
-            (0..total).map(|_| (rand_f64(&mut st), rand_f64(&mut st))).collect();
+        let input: Vec<(f64, f64)> = (0..total)
+            .map(|_| (rand_f64(&mut st), rand_f64(&mut st)))
+            .collect();
         let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
         let (got, stats) = distributed_fft(&mut m, &input);
         let want = reference_dft(&input);

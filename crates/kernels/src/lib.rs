@@ -76,8 +76,16 @@ impl KernelStats {
             elapsed,
             flops,
             bytes_sent: bytes,
-            mflops: if secs > 0.0 { flops as f64 / secs / 1e6 } else { 0.0 },
-            vec_utilization: if secs > 0.0 { vec_busy / (secs * nodes as f64) } else { 0.0 },
+            mflops: if secs > 0.0 {
+                flops as f64 / secs / 1e6
+            } else {
+                0.0
+            },
+            vec_utilization: if secs > 0.0 {
+                vec_busy / (secs * nodes as f64)
+            } else {
+                0.0
+            },
         }
     }
 }

@@ -40,7 +40,11 @@ pub struct LuLayout {
 impl LuLayout {
     /// Layout for a node whose memory has its bank split at `rows_a`.
     pub fn new(rows_a: usize) -> LuLayout {
-        LuLayout { matrix_base: rows_a, pivot_row: 0, column_row: 1 }
+        LuLayout {
+            matrix_base: rows_a,
+            pivot_row: 0,
+            column_row: 1,
+        }
     }
 }
 
@@ -72,9 +76,17 @@ pub async fn lu_node(ctx: NodeCtx, cube: Hypercube, n: usize) -> Vec<usize> {
                     (layout.matrix_base + l) * ROW_WORDS + 2 * k
                 })
                 .collect();
-            ctx.gather64(&srcs, layout.column_row * ROW_WORDS).await.unwrap();
+            ctx.gather64(&srcs, layout.column_row * ROW_WORDS)
+                .await
+                .unwrap();
             let r = ctx
-                .vec(VecForm::AbsMax, layout.column_row, layout.column_row, 0, free.len())
+                .vec(
+                    VecForm::AbsMax,
+                    layout.column_row,
+                    layout.column_row,
+                    0,
+                    free.len(),
+                )
                 .await
                 .unwrap();
             let idx = r.index.unwrap();
@@ -106,7 +118,11 @@ pub async fn lu_node(ctx: NodeCtx, cube: Hypercube, n: usize) -> Vec<usize> {
             let l = best_row / p;
             let mem = ctx.mem();
             let base = (layout.matrix_base + l) * ROW_WORDS;
-            Some((0..2 * n).map(|i| mem.read_word(base + i).unwrap()).collect())
+            Some(
+                (0..2 * n)
+                    .map(|i| mem.read_word(base + i).unwrap())
+                    .collect(),
+            )
         } else {
             None
         };
@@ -184,7 +200,9 @@ pub async fn solve_node(
         let l = g / p;
         let base = (layout.matrix_base + l) * ROW_WORDS;
         let mem = ctx.mem();
-        (lo..hi).map(|j| mem.read_f64(base + 2 * j).unwrap()).collect()
+        (lo..hi)
+            .map(|j| mem.read_f64(base + 2 * j).unwrap())
+            .collect()
     };
 
     // Forward substitution: y[k] = (Pb)[k] − L[k, 0..k] · y[0..k].
@@ -240,25 +258,22 @@ pub fn distributed_solve(
         .nodes
         .iter()
         .map(|node| {
-            machine.handle().spawn(solve_node(
-                node.ctx(),
-                cube,
-                n,
-                perm.clone(),
-                b.clone(),
-            ))
+            machine
+                .handle()
+                .spawn(solve_node(node.ctx(), cube, n, perm.clone(), b.clone()))
         })
         .collect();
     let report = machine.run();
     assert!(report.quiescent, "solve deadlocked");
     let elapsed = machine.now().since(t0);
-    let xs: Vec<Vec<f64>> =
-        handles.into_iter().map(|h| h.try_take().expect("solve incomplete")).collect();
+    let xs: Vec<Vec<f64>> = handles
+        .into_iter()
+        .map(|h| h.try_take().expect("solve incomplete"))
+        .collect();
     for x in &xs[1..] {
         assert_eq!(x, &xs[0], "nodes disagree on the solution");
     }
-    let stats =
-        KernelStats::from_metrics(&machine.metrics(), elapsed, cube.nodes() as u64);
+    let stats = KernelStats::from_metrics(&machine.metrics(), elapsed, cube.nodes() as u64);
     (a, b, xs[0].clone(), stats)
 }
 
@@ -293,7 +308,8 @@ pub fn distributed_lu(
         let mut mem = node.mem_mut();
         let base = (layout.matrix_base + l) * ROW_WORDS;
         for j in 0..n {
-            mem.write_f64(base + 2 * j, Sf64::from(a[g * n + j])).unwrap();
+            mem.write_f64(base + 2 * j, Sf64::from(a[g * n + j]))
+                .unwrap();
         }
     }
 
@@ -307,8 +323,10 @@ pub fn distributed_lu(
     assert!(report.quiescent, "LU deadlocked");
     let elapsed = machine.now().since(t0);
 
-    let perms: Vec<Vec<usize>> =
-        handles.into_iter().map(|h| h.try_take().expect("lu incomplete")).collect();
+    let perms: Vec<Vec<usize>> = handles
+        .into_iter()
+        .map(|h| h.try_take().expect("lu incomplete"))
+        .collect();
     for p2 in &perms[1..] {
         assert_eq!(p2, &perms[0], "nodes disagree on the pivot permutation");
     }

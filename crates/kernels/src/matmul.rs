@@ -36,7 +36,9 @@ impl TorusPos {
 
     /// The cube dimension crossed when stepping along `axis` (wrapping).
     fn step_dim(&self, me: u32, axis: usize, forward: bool) -> usize {
-        let nb = self.mesh.node_at(&self.mesh.step_wrap(&self.coords, axis, forward));
+        let nb = self
+            .mesh
+            .node_at(&self.mesh.step_wrap(&self.coords, axis, forward));
         (me ^ nb).trailing_zeros() as usize
     }
 }
@@ -110,9 +112,15 @@ pub fn distributed_matmul(
     seed: u64,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>, KernelStats) {
     let cube = machine.cube;
-    assert!(cube.dim().is_multiple_of(2), "Cannon needs a square torus (even cube dimension)");
+    assert!(
+        cube.dim().is_multiple_of(2),
+        "Cannon needs a square torus (even cube dimension)"
+    );
     let s = 1usize << (cube.dim() / 2);
-    assert!(n.is_multiple_of(s), "matrix size must divide the torus side");
+    assert!(
+        n.is_multiple_of(s),
+        "matrix size must divide the torus side"
+    );
     let bsize = n / s;
 
     let mut st = seed;

@@ -54,10 +54,12 @@ fn unpack(words: &[u32]) -> Vec<Body> {
     words
         .chunks_exact(6)
         .map(|c| {
-            let f = |i: usize| {
-                f64::from_bits(c[2 * i] as u64 | ((c[2 * i + 1] as u64) << 32))
-            };
-            Body { x: f(0), y: f(1), m: f(2) }
+            let f = |i: usize| f64::from_bits(c[2 * i] as u64 | ((c[2 * i + 1] as u64) << 32));
+            Body {
+                x: f(0),
+                y: f(1),
+                m: f(2),
+            }
         })
         .collect()
 }
@@ -81,11 +83,7 @@ fn accumulate(residents: &[Body], visitors: &[Body], forces: &mut [(f64, f64)]) 
 }
 
 /// The per-node program: returns the total force on each resident body.
-pub async fn nbody_node(
-    ctx: NodeCtx,
-    cube: Hypercube,
-    residents: Vec<Body>,
-) -> Vec<(f64, f64)> {
+pub async fn nbody_node(ctx: NodeCtx, cube: Hypercube, residents: Vec<Body>) -> Vec<(f64, f64)> {
     let ring = RingEmbedding::new(cube);
     let me = ctx.id();
     let next = ring.next(me);
@@ -101,7 +99,8 @@ pub async fn nbody_node(
         others.swap_remove(i);
         accumulate(&residents[i..=i], &others, &mut forces[i..=i]);
     }
-    ctx.charge_vec_flops(FLOPS_PER_PAIR * (nl * nl.saturating_sub(1)) as u64).await;
+    ctx.charge_vec_flops(FLOPS_PER_PAIR * (nl * nl.saturating_sub(1)) as u64)
+        .await;
 
     // Circulate the visitor buffer p−1 steps around the ring.
     let mut visitors = residents.clone();
@@ -118,7 +117,8 @@ pub async fn nbody_node(
         .await;
         visitors = unpack(&incoming);
         accumulate(&residents, &visitors, &mut forces);
-        ctx.charge_vec_flops(FLOPS_PER_PAIR * (nl * visitors.len()) as u64).await;
+        ctx.charge_vec_flops(FLOPS_PER_PAIR * (nl * visitors.len()) as u64)
+            .await;
     }
     forces
 }
@@ -237,8 +237,16 @@ mod tests {
     #[test]
     fn softened_forces_are_finite_for_coincident_bodies() {
         let bodies = vec![
-            Body { x: 1.0, y: 1.0, m: 1.0 },
-            Body { x: 1.0, y: 1.0, m: 2.0 },
+            Body {
+                x: 1.0,
+                y: 1.0,
+                m: 1.0,
+            },
+            Body {
+                x: 1.0,
+                y: 1.0,
+                m: 2.0,
+            },
         ];
         let f = reference_forces(&bodies);
         assert!(f[0].0.is_finite() && f[0].1.is_finite());

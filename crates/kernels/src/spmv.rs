@@ -60,7 +60,12 @@ impl Crs {
             }
             row_ptr.push(col_idx.len());
         }
-        Crs { n, row_ptr, col_idx, values }
+        Crs {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Host reference product.
@@ -120,7 +125,9 @@ pub async fn spmv_node(
     let p = cube.nodes() as usize;
     let me = ctx.id() as usize;
     let rows_per = a.n / p;
-    let layout = Layout { rows_a: ctx.mem().cfg().rows_a() };
+    let layout = Layout {
+        rows_a: ctx.mem().cfg().rows_a(),
+    };
     let my_rows = me * rows_per..(me + 1) * rows_per;
 
     let mut y = vec![0.0f64; rows_per];
@@ -131,7 +138,10 @@ pub async fn spmv_node(
         let nnz = hi - lo;
         assert!(nnz <= 128, "row fits one scratch row");
         // Gather the x entries this row touches into scratch.
-        let srcs: Vec<usize> = a.col_idx[lo..hi].iter().map(|&j| layout.x_word(j)).collect();
+        let srcs: Vec<usize> = a.col_idx[lo..hi]
+            .iter()
+            .map(|&j| layout.x_word(j))
+            .collect();
         let scratch = layout.scratch_row(slot);
         ctx.gather64(&srcs, scratch * ROW_WORDS).await.unwrap();
         match schedule {
@@ -183,7 +193,8 @@ pub fn distributed_spmv(
     for node in &machine.nodes {
         let mut mem = node.mem_mut();
         for (j, &v) in x.iter().enumerate() {
-            mem.write_f64(layout_rows_a * ROW_WORDS + 2 * j, Sf64::from(v)).unwrap();
+            mem.write_f64(layout_rows_a * ROW_WORDS + 2 * j, Sf64::from(v))
+                .unwrap();
         }
         let me = node.id as usize;
         for slot in 0..rows_per {
@@ -191,7 +202,8 @@ pub fn distributed_spmv(
             let (lo, hi) = (a.row_ptr[i], a.row_ptr[i + 1]);
             let base = (layout_rows_a + 512 + slot) * ROW_WORDS;
             for (k, idx) in (lo..hi).enumerate() {
-                mem.write_f64(base + 2 * k, Sf64::from(a.values[idx])).unwrap();
+                mem.write_f64(base + 2 * k, Sf64::from(a.values[idx]))
+                    .unwrap();
             }
         }
     }

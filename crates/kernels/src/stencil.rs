@@ -144,7 +144,9 @@ pub fn distributed_jacobi(
                     tile[y * g + x] = init[(cy * g + y) * side_x + cx * g + x];
                 }
             }
-            machine.handle().spawn(jacobi_node(node.ctx(), cube, g, tile, sweeps))
+            machine
+                .handle()
+                .spawn(jacobi_node(node.ctx(), cube, g, tile, sweeps))
         })
         .collect();
     let report = machine.run();
@@ -181,7 +183,9 @@ pub fn reference_jacobi(width: usize, height: usize, sweeps: usize, init: &[f64]
         for y in 0..height as isize {
             for x in 0..width as isize {
                 next[y as usize * width + x as usize] = 0.25
-                    * (at(&cur, x - 1, y) + at(&cur, x + 1, y) + at(&cur, x, y - 1)
+                    * (at(&cur, x - 1, y)
+                        + at(&cur, x + 1, y)
+                        + at(&cur, x, y - 1)
                         + at(&cur, x, y + 1));
             }
         }

@@ -82,7 +82,9 @@ pub fn distributed_transpose(
                     blk
                 })
                 .collect();
-            machine.handle().spawn(transpose_rows(node.ctx(), cube, bsize, blocks))
+            machine
+                .handle()
+                .spawn(transpose_rows(node.ctx(), cube, bsize, blocks))
         })
         .collect();
     let report = machine.run();
@@ -116,12 +118,16 @@ pub async fn transpose_rows(
     let me = ctx.id();
     let p = cube.nodes();
     // Tag: (final_owner = original column, original row, data).
-    let mut holding: Vec<(u32, u32, Vec<f64>)> =
-        blocks.into_iter().enumerate().map(|(j, d)| (j as u32, me, d)).collect();
+    let mut holding: Vec<(u32, u32, Vec<f64>)> = blocks
+        .into_iter()
+        .enumerate()
+        .map(|(j, d)| (j as u32, me, d))
+        .collect();
     for d in 0..cube.dim() as usize {
         let bit = 1u32 << d;
-        let (send, keep): (Vec<_>, Vec<_>) =
-            holding.into_iter().partition(|(owner, _, _)| (owner & bit) != (me & bit));
+        let (send, keep): (Vec<_>, Vec<_>) = holding
+            .into_iter()
+            .partition(|(owner, _, _)| (owner & bit) != (me & bit));
         // Flatten with both tags.
         let tagged: Vec<(u32, Vec<f64>)> = send
             .into_iter()
@@ -143,7 +149,8 @@ pub async fn transpose_rows(
         }
     }
     // Local transposes: strided element traffic through the word port.
-    ctx.cp_compute(12 * (p as u64) * (bsize * bsize) as u64).await;
+    ctx.cp_compute(12 * (p as u64) * (bsize * bsize) as u64)
+        .await;
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); p as usize];
     for (owner, row, data) in holding {
         debug_assert_eq!(owner, me);

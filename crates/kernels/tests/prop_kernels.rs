@@ -89,7 +89,9 @@ fn sort_random() {
         }
         // Same multiset as the input (regenerate it).
         let mut st = seed;
-        let mut want: Vec<f64> = (0..total).map(|_| ts_kernels::rand_f64(&mut st) * 1e6).collect();
+        let mut want: Vec<f64> = (0..total)
+            .map(|_| ts_kernels::rand_f64(&mut st) * 1e6)
+            .collect();
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(got, want);
     }
@@ -107,7 +109,9 @@ fn jacobi_random() {
         let half = dim / 2;
         let (sx, sy) = (1usize << half, 1usize << (dim - half));
         let mut st = seed;
-        let init: Vec<f64> = (0..sx * g * sy * g).map(|_| ts_kernels::rand_f64(&mut st)).collect();
+        let init: Vec<f64> = (0..sx * g * sy * g)
+            .map(|_| ts_kernels::rand_f64(&mut st))
+            .collect();
         let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
         let (got, _) = stencil::distributed_jacobi(&mut m, g, sweeps, &init);
         let want = stencil::reference_jacobi(sx * g, sy * g, sweeps, &init);

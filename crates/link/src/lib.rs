@@ -37,7 +37,7 @@ use std::task::{Context, Poll, Waker};
 
 use ts_sim::{
     select2, Counter, Dur, Either, Histogram, Metrics, OneShot, Rendezvous, Resource, SimHandle,
-    Time, TrackId, Tracer,
+    Time, Tracer, TrackId,
 };
 
 /// Line rate and framing of one serial link.
@@ -116,7 +116,11 @@ const fn build_crc16_table() -> [u16; 256] {
         let mut crc = (i as u16) << 8;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -259,9 +263,7 @@ impl Flit {
 enum Impair {
     /// One payload bit of one flit is flipped in flight (`flit_bit` indexes
     /// into the message's concatenated flit payloads).
-    Corrupt {
-        flit_bit: u64,
-    },
+    Corrupt { flit_bit: u64 },
     /// One flit vanishes entirely: no data, no NAK — only the sender's
     /// retransmit timer recovers it.
     Drop,
@@ -486,7 +488,9 @@ impl LinkStatus {
     /// already is). Race it against a channel operation with
     /// [`ts_sim::select2`].
     pub fn watch_down(&self) -> DownWatch {
-        DownWatch { status: self.clone() }
+        DownWatch {
+            status: self.clone(),
+        }
     }
 }
 
@@ -636,7 +640,13 @@ impl LinkChannel {
         let done = OneShot::new();
         self.metrics.inc("link.msgs_sent");
         self.metrics.add("link.bytes_sent", bytes as u64);
-        self.rv.send(Packet { words, done: done.clone(), sent_at: h.now() }).await;
+        self.rv
+            .send(Packet {
+                words,
+                done: done.clone(),
+                sent_at: h.now(),
+            })
+            .await;
         let end = done.recv().await;
         h.sleep_until(end).await;
     }
@@ -697,7 +707,10 @@ impl LinkChannel {
     /// this direction is flipped in flight. The receiver's CRC catches it
     /// and the go-back-N protocol recovers.
     pub fn inject_corrupt(&self, flit_bit: u64) {
-        self.transport.borrow_mut().pending.push_back(Impair::Corrupt { flit_bit });
+        self.transport
+            .borrow_mut()
+            .pending
+            .push_back(Impair::Corrupt { flit_bit });
     }
 
     /// Queue a transient wire fault: one flit of the next message on this
@@ -841,7 +854,11 @@ impl LinkChannel {
             return Err(LinkError::Down);
         }
         let done = OneShot::new();
-        let pkt = Packet { words, done: done.clone(), sent_at: h.now() };
+        let pkt = Packet {
+            words,
+            done: done.clone(),
+            sent_at: h.now(),
+        };
         match select2(self.rv.send(pkt), self.status.watch_down()).await {
             Either::Left(()) => {
                 self.metrics.inc("link.msgs_sent");
@@ -959,7 +976,7 @@ mod tests {
         let h2 = h.clone();
         sim.spawn(async move {
             tx.send(&h2, vec![0xff; 2]).await; // one 64-bit word
-            // Sender resumes at startup (5 µs) + wire (16 µs) = 21 µs.
+                                               // Sender resumes at startup (5 µs) + wire (16 µs) = 21 µs.
             assert_eq!(h2.now().as_ns(), 21_000);
         });
         let jh = sim.spawn(async move { rx.recv(&h).await });
@@ -1153,7 +1170,13 @@ mod tests {
             .collect();
         assert_eq!(flows.len(), 1);
         match flows[0] {
-            ts_sim::Event::Flow { from: f, to: t, depart, arrive, .. } => {
+            ts_sim::Event::Flow {
+                from: f,
+                to: t,
+                depart,
+                arrive,
+                ..
+            } => {
                 assert_eq!((f, t), (from, to));
                 assert!(arrive > depart);
             }
@@ -1397,7 +1420,10 @@ mod tests {
         assert!(sim.run().quiescent);
         // Two consecutive drops: timeouts 200 µs + 400 µs of idle wire,
         // plus two full-window resends of the 2-flit message (2 × 88 µs).
-        assert_eq!(jh.try_take().unwrap().as_ns(), 69_000 + 2 * 88_000 + 600_000);
+        assert_eq!(
+            jh.try_take().unwrap().as_ns(),
+            69_000 + 2 * 88_000 + 600_000
+        );
         assert_eq!(ch.transport_retransmits(), 4);
         assert_eq!(ch.transport_crc_errors(), 0, "a drop is not a CRC hit");
     }
@@ -1417,9 +1443,16 @@ mod tests {
         let h3 = h.clone();
         let jh = sim.spawn(async move { rx.recv(&h3).await });
         assert!(sim.run().quiescent);
-        assert_eq!(jh.try_take(), Some(vec![3; 4]), "the in-flight message completes");
+        assert_eq!(
+            jh.try_take(),
+            Some(vec![3; 4]),
+            "the in-flight message completes"
+        );
         assert_eq!(ch.transport_escalations(), 1);
-        assert!(!ch.is_up(), "budget exhaustion escalates to a permanent link-down");
+        assert!(
+            !ch.is_up(),
+            "budget exhaustion escalates to a permanent link-down"
+        );
         assert!(ch.status().is_condemned());
         // A condemned link cannot be revived by a flap repair.
         ch.status().set_up();
@@ -1494,7 +1527,11 @@ mod tests {
         assert_eq!(first.try_take(), None, "no fault yet: waiter parked");
         status.set_down();
         sim.run();
-        assert_eq!(first.try_take(), Some(1), "first flap wakes the first waiter");
+        assert_eq!(
+            first.try_take(),
+            Some(1),
+            "first flap wakes the first waiter"
+        );
 
         status.set_up();
         assert!(status.is_up());
@@ -1507,7 +1544,11 @@ mod tests {
         assert_eq!(second.try_take(), None, "healed link: new waiter parks");
         status.set_down();
         sim.run();
-        assert_eq!(second.try_take(), Some(2), "second flap wakes only the new waiter");
+        assert_eq!(
+            second.try_take(),
+            Some(2),
+            "second flap wakes only the new waiter"
+        );
     }
 
     #[test]

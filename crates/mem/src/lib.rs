@@ -71,15 +71,24 @@ pub struct MemCfg {
 impl Default for MemCfg {
     /// The paper's geometry: 64 K + 192 K 32-bit words = 1 MByte.
     fn default() -> Self {
-        MemCfg { words_a: 64 * 1024, words_b: 192 * 1024 }
+        MemCfg {
+            words_a: 64 * 1024,
+            words_b: 192 * 1024,
+        }
     }
 }
 
 impl MemCfg {
     /// A reduced geometry (same 1:3 bank split) for large-machine tests.
     pub fn small(rows: usize) -> MemCfg {
-        assert!(rows >= 4 && rows.is_multiple_of(4), "need a multiple of 4 rows");
-        MemCfg { words_a: rows / 4 * ROW_WORDS, words_b: rows * 3 / 4 * ROW_WORDS }
+        assert!(
+            rows >= 4 && rows.is_multiple_of(4),
+            "need a multiple of 4 rows"
+        );
+        MemCfg {
+            words_a: rows / 4 * ROW_WORDS,
+            words_b: rows * 3 / 4 * ROW_WORDS,
+        }
     }
 
     /// Total words.
@@ -138,7 +147,10 @@ impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemError::OutOfRange { addr, words } => {
-                write!(f, "word address {addr} out of range (memory is {words} words)")
+                write!(
+                    f,
+                    "word address {addr} out of range (memory is {words} words)"
+                )
             }
             MemError::Parity { addr, lane } => {
                 write!(f, "parity error at word {addr}, byte lane {lane}")
@@ -175,7 +187,11 @@ impl NodeMemory {
     /// Allocate a zeroed memory with the given geometry.
     pub fn new(cfg: MemCfg) -> NodeMemory {
         cfg.validate().expect("invalid memory geometry");
-        NodeMemory { cfg, data: vec![0; cfg.words()], parity: vec![0; cfg.words()] }
+        NodeMemory {
+            cfg,
+            data: vec![0; cfg.words()],
+            parity: vec![0; cfg.words()],
+        }
     }
 
     /// The geometry.
@@ -202,7 +218,10 @@ impl NodeMemory {
         if addr < self.cfg.words() {
             Ok(())
         } else {
-            Err(MemError::OutOfRange { addr, words: self.cfg.words() })
+            Err(MemError::OutOfRange {
+                addr,
+                words: self.cfg.words(),
+            })
         }
     }
 
@@ -393,7 +412,10 @@ mod tests {
     fn out_of_range_reported() {
         let m = NodeMemory::new(MemCfg::small(8));
         let words = m.cfg().words();
-        assert_eq!(m.read_word(words), Err(MemError::OutOfRange { addr: words, words }));
+        assert_eq!(
+            m.read_word(words),
+            Err(MemError::OutOfRange { addr: words, words })
+        );
     }
 
     #[test]
@@ -448,7 +470,10 @@ mod tests {
         }
         // Row port sees it too.
         let mut row = [0u32; ROW_WORDS];
-        assert!(matches!(m.read_row(0, &mut row), Err(MemError::Parity { addr: 42, .. })));
+        assert!(matches!(
+            m.read_row(0, &mut row),
+            Err(MemError::Parity { addr: 42, .. })
+        ));
         // Rewriting the word clears the fault.
         m.write_word(42, 7).unwrap();
         assert_eq!(m.read_word(42).unwrap(), 7);

@@ -43,7 +43,9 @@ use ts_cp::{Cp, CpBus, CpError, CpEvent, StepOutcome};
 use ts_fpu::Sf64;
 use ts_link::{LinkChannel, LinkError};
 use ts_mem::{MemCfg, MemError, NodeMemory, GATHER64_TIME, ROW_TIME, ROW_WORDS, WORD_TIME};
-use ts_sim::{BusyTime, Counter, Dur, Histogram, Metrics, MetricsRegistry, MetricsScope, Resource, SimHandle};
+use ts_sim::{
+    BusyTime, Counter, Dur, Histogram, Metrics, MetricsRegistry, MetricsScope, Resource, SimHandle,
+};
 use ts_vec::{VecForm, VecResult, VecUnit};
 
 /// Average control-processor instruction time (7.5 MIPS).
@@ -194,7 +196,11 @@ impl Node {
     /// Build a node whose unit meters register under `node/{id}/...` in a
     /// shared machine-wide registry.
     pub fn with_registry(id: u32, cfg: NodeCfg, h: SimHandle, registry: &MetricsRegistry) -> Node {
-        let vec_unit = if cfg.single_bank { VecUnit::single_bank() } else { VecUnit::new() };
+        let vec_unit = if cfg.single_bank {
+            VecUnit::single_bank()
+        } else {
+            VecUnit::new()
+        };
         let meters = NodeMeters::new(registry.scope(&format!("node/{id}")));
         Node {
             id,
@@ -221,9 +227,7 @@ impl Node {
     pub fn wire_dim(&self, dim: usize, out: LinkChannel, inp: LinkChannel) {
         let mut st = self.state.borrow_mut();
         if st.out_dims.len() <= dim {
-            let filler_wire = || {
-                ts_link::Wire::new("unwired", ts_link::LinkParams::default())
-            };
+            let filler_wire = || ts_link::Wire::new("unwired", ts_link::LinkParams::default());
             while st.out_dims.len() <= dim {
                 st.out_dims.push(LinkChannel::new(filler_wire()));
                 st.in_dims.push(LinkChannel::new(filler_wire()));
@@ -288,7 +292,9 @@ impl Node {
     /// already condemned by retransmit-budget escalation stays down.
     pub fn flap_link(&self, dim: usize, down_for: Dur) {
         self.set_link_down(dim);
-        self.meters.link_flap_us.observe(down_for.as_ps() / 1_000_000);
+        self.meters
+            .link_flap_us
+            .observe(down_for.as_ps() / 1_000_000);
         let node = self.clone();
         let h = self.h.clone();
         self.h.spawn(async move {
@@ -337,7 +343,10 @@ impl Node {
 
     /// The program-facing context.
     pub fn ctx(&self) -> NodeCtx {
-        NodeCtx { node: self.clone() }
+        NodeCtx {
+            node: self.clone(),
+            view: None,
+        }
     }
 
     /// This node's metrics.
@@ -376,10 +385,25 @@ impl Node {
     /// Attach an execution tracer: the control processor, vector unit and
     /// word port record busy spans under `n<id>.cp` / `.vec` / `.port`.
     pub fn attach_tracer(&self, tracer: &ts_sim::Tracer) {
-        self.cp_res.attach_tracer(tracer.clone(), format!("n{}.cp", self.id));
-        self.vec_res.attach_tracer(tracer.clone(), format!("n{}.vec", self.id));
-        self.port_res.attach_tracer(tracer.clone(), format!("n{}.port", self.id));
+        self.cp_res
+            .attach_tracer(tracer.clone(), format!("n{}.cp", self.id));
+        self.vec_res
+            .attach_tracer(tracer.clone(), format!("n{}.vec", self.id));
+        self.port_res
+            .attach_tracer(tracer.clone(), format!("n{}.port", self.id));
     }
+}
+
+/// A subcube relabeling attached to a [`NodeCtx`]: the context reports a
+/// **virtual** node id and maps virtual dimension `k` onto physical
+/// dimension `dims[k]`. Programs written against virtual coordinates
+/// (every collective and kernel in the workspace) run unmodified inside a
+/// partition — the space-sharing scheduler's isolation mechanism.
+struct SubcubeView {
+    /// Virtual node id inside the partition.
+    vid: u32,
+    /// Physical dimension carrying each virtual dimension.
+    dims: Vec<usize>,
 }
 
 /// The API node programs run against (an Occam process's view of the
@@ -387,12 +411,55 @@ impl Node {
 #[derive(Clone)]
 pub struct NodeCtx {
     node: Node,
+    /// Optional partition relabeling (see [`NodeCtx::subcube_view`]).
+    view: Option<Rc<SubcubeView>>,
 }
 
 impl NodeCtx {
-    /// Hypercube address of this node.
+    /// Hypercube address of this node: the **virtual** id when the context
+    /// is a subcube view, the physical id otherwise.
     pub fn id(&self) -> u32 {
+        match &self.view {
+            Some(v) => v.vid,
+            None => self.node.id,
+        }
+    }
+
+    /// Physical hypercube address of the underlying node, regardless of
+    /// any attached view.
+    pub fn phys_id(&self) -> u32 {
         self.node.id
+    }
+
+    /// A relabeled context for a node inside a partition: [`NodeCtx::id`]
+    /// reports `vid` and every dimension-indexed operation (`send_dim`,
+    /// `recv_dim`, `alt_dims`, `link_up`, ...) maps virtual dimension `k`
+    /// onto physical dimension `dims[k]`. Collectives and kernels handed
+    /// such a context run bit-identically to a dedicated machine of the
+    /// partition's size, because virtual neighbours are physical
+    /// neighbours and ids relabel consistently across the subcube.
+    pub fn subcube_view(&self, vid: u32, dims: Vec<usize>) -> NodeCtx {
+        assert!(
+            vid < (1 << dims.len()),
+            "virtual id out of range for the view"
+        );
+        NodeCtx {
+            node: self.node.clone(),
+            view: Some(Rc::new(SubcubeView { vid, dims })),
+        }
+    }
+
+    /// Map a virtual dimension through the view (identity without one).
+    fn map_dim(&self, dim: usize) -> usize {
+        match &self.view {
+            Some(v) => *v.dims.get(dim).unwrap_or_else(|| {
+                panic!(
+                    "node {}: virtual dimension {dim} outside the subcube view",
+                    self.node.id
+                )
+            }),
+            None => dim,
+        }
     }
 
     /// Simulation handle (clock, sleeps, spawning).
@@ -514,7 +581,12 @@ impl NodeCtx {
     /// Move `rows` whole rows from `src_row` to `dst_row` through the row
     /// port: physical data movement at 2560 MB/s (§II's pivoting/sorting
     /// argument). 800 ns per row (one read + one write).
-    pub async fn row_move(&self, src_row: usize, dst_row: usize, rows: usize) -> Result<(), MemError> {
+    pub async fn row_move(
+        &self,
+        src_row: usize,
+        dst_row: usize,
+        rows: usize,
+    ) -> Result<(), MemError> {
         let d = ROW_TIME * (2 * rows as u64);
         self.node.meters.rows_moved.add(rows as u64);
         {
@@ -774,15 +846,25 @@ impl NodeCtx {
     // --- links --------------------------------------------------------------
 
     fn out_chan(&self, dim: usize) -> LinkChannel {
-        self.node.state.borrow().out_dims.get(dim).cloned().unwrap_or_else(|| {
-            panic!("node {}: dimension {dim} not wired", self.node.id)
-        })
+        let dim = self.map_dim(dim);
+        self.node
+            .state
+            .borrow()
+            .out_dims
+            .get(dim)
+            .cloned()
+            .unwrap_or_else(|| panic!("node {}: dimension {dim} not wired", self.node.id))
     }
 
     fn in_chan(&self, dim: usize) -> LinkChannel {
-        self.node.state.borrow().in_dims.get(dim).cloned().unwrap_or_else(|| {
-            panic!("node {}: dimension {dim} not wired", self.node.id)
-        })
+        let dim = self.map_dim(dim);
+        self.node
+            .state
+            .borrow()
+            .in_dims
+            .get(dim)
+            .cloned()
+            .unwrap_or_else(|| panic!("node {}: dimension {dim} not wired", self.node.id))
     }
 
     /// The incoming sublink for dimension `dim` (router daemons `ALT` over
@@ -827,9 +909,10 @@ impl NodeCtx {
         Ok(w)
     }
 
-    /// True while the physical link across `dim` is alive.
+    /// True while the physical link across `dim` (a virtual dimension when
+    /// this context is a subcube view) is alive.
     pub fn link_up(&self, dim: usize) -> bool {
-        self.node.link_up(dim)
+        self.node.link_up(self.map_dim(dim))
     }
 
     /// True once this node has been crashed by a fault plan.
@@ -873,13 +956,25 @@ impl NodeCtx {
 
     /// Send to the module's system board.
     pub async fn send_system(&self, words: Vec<u32>) {
-        let ch = self.node.state.borrow().sys_out.clone().expect("system thread not wired");
+        let ch = self
+            .node
+            .state
+            .borrow()
+            .sys_out
+            .clone()
+            .expect("system thread not wired");
         ch.send(&self.node.h, words).await;
     }
 
     /// Receive from the module's system board.
     pub async fn recv_system(&self) -> Vec<u32> {
-        let ch = self.node.state.borrow().sys_in.clone().expect("system thread not wired");
+        let ch = self
+            .node
+            .state
+            .borrow()
+            .sys_in
+            .clone()
+            .expect("system thread not wired");
         ch.recv(&self.node.h).await
     }
 
@@ -915,7 +1010,9 @@ impl NodeCtx {
             self.node.cp_res.use_for(&self.node.h, fresh).await;
             match outcome {
                 StepOutcome::Halted => return Ok(cp),
-                StepOutcome::Yielded(ev) => self.service_event(ev).await.map_err(CpRunError::Mem)?,
+                StepOutcome::Yielded(ev) => {
+                    self.service_event(ev).await.map_err(CpRunError::Mem)?
+                }
             }
         }
     }
@@ -1010,7 +1107,9 @@ struct MemBus<'a> {
 
 impl CpBus for MemBus<'_> {
     fn read(&mut self, word_addr: u32) -> Result<u32, CpError> {
-        self.mem.read_word(word_addr as usize).map_err(|_| CpError::Bus { addr: word_addr })
+        self.mem
+            .read_word(word_addr as usize)
+            .map_err(|_| CpError::Bus { addr: word_addr })
     }
 
     fn write(&mut self, word_addr: u32, value: u32) -> Result<(), CpError> {
@@ -1224,7 +1323,10 @@ mod tests {
         // The widened result is 2*(i + 0.5) exactly (all representable).
         let mem = node.mem();
         for i in 0..64 {
-            let got = mem.read_f64((8 + i / 128) * ROW_WORDS + 2 * i).unwrap().to_host();
+            let got = mem
+                .read_f64((8 + i / 128) * ROW_WORDS + 2 * i)
+                .unwrap()
+                .to_host();
             assert_eq!(got, 2.0 * (i as f64 + 0.5), "elem {i}");
         }
     }
@@ -1279,9 +1381,10 @@ mod tests {
         let mut sim = Sim::new();
         let node = Node::new(0, NodeCfg::default(), sim.handle());
         let ctx = node.ctx();
-        let jh = sim.spawn(async move {
-            matches!(ctx.run_occ("x := ;").await, Err(CpRunError::Compile(_)))
-        });
+        let jh =
+            sim.spawn(
+                async move { matches!(ctx.run_occ("x := ;").await, Err(CpRunError::Compile(_))) },
+            );
         assert!(sim.run().quiescent);
         assert_eq!(jh.try_take(), Some(true));
     }
@@ -1299,7 +1402,8 @@ mod tests {
             mem.write_word(603, 257).unwrap();
             for i in 0..4 {
                 mem.write_f64(2 * i, Sf64::from(i as f64)).unwrap();
-                mem.write_f64(256 * ROW_WORDS + 2 * i, Sf64::from(10.0)).unwrap();
+                mem.write_f64(256 * ROW_WORDS + 2 * i, Sf64::from(10.0))
+                    .unwrap();
             }
         }
         let code = ts_cp::assemble("ldc 600\nldc 4\nvecop\nhalt\n").unwrap();
@@ -1308,7 +1412,10 @@ mod tests {
             ctx.run_cp_program(&code, 4096, 300).await.unwrap();
         });
         assert!(sim.run().quiescent);
-        assert_eq!(node.mem().read_f64(257 * ROW_WORDS + 4).unwrap().to_host(), 12.0);
+        assert_eq!(
+            node.mem().read_f64(257 * ROW_WORDS + 4).unwrap().to_host(),
+            12.0
+        );
         assert_eq!(node.meters().vec_flops.get(), 4);
     }
 }

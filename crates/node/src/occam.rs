@@ -39,12 +39,7 @@ where
 }
 
 /// Run three processes in parallel.
-pub async fn par3<A, B, C>(
-    h: &SimHandle,
-    a: A,
-    b: B,
-    c: C,
-) -> (A::Output, B::Output, C::Output)
+pub async fn par3<A, B, C>(h: &SimHandle, a: A, b: B, c: C) -> (A::Output, B::Output, C::Output)
 where
     A: Future + 'static,
     B: Future + 'static,

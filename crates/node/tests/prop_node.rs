@@ -8,7 +8,10 @@ use ts_sim::{Rng, Sim};
 use ts_vec::VecForm;
 
 fn small_node(sim: &Sim) -> Node {
-    let cfg = NodeCfg { mem: ts_mem::MemCfg::small(16), ..NodeCfg::default() };
+    let cfg = NodeCfg {
+        mem: ts_mem::MemCfg::small(16),
+        ..NodeCfg::default()
+    };
     Node::new(0, cfg, sim.handle())
 }
 
@@ -114,7 +117,11 @@ fn random_programs_are_deterministic() {
                 }
             });
             assert!(sim.run().quiescent);
-            (sim.now(), node.metrics().get("vec.flops"), node.metrics().get_time("cp.busy"))
+            (
+                sim.now(),
+                node.metrics().get("vec.flops"),
+                node.metrics().get_time("cp.busy"),
+            )
         };
         assert_eq!(run(&ops), run(&ops));
     }
@@ -130,7 +137,10 @@ fn link_payload_integrity() {
         let a = small_node(&sim);
         let b = Node::new(
             1,
-            NodeCfg { mem: ts_mem::MemCfg::small(16), ..NodeCfg::default() },
+            NodeCfg {
+                mem: ts_mem::MemCfg::small(16),
+                ..NodeCfg::default()
+            },
             sim.handle(),
         );
         let w1 = ts_link::Wire::new("ab", ts_link::LinkParams::default());

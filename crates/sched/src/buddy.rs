@@ -1,0 +1,208 @@
+//! Buddy subcube allocator over the binary n-cube's address space.
+//!
+//! A d-subcube aligned to the low d address bits occupies node ids
+//! `base .. base + 2^d` with `base` a multiple of `2^d` — exactly the
+//! blocks of a classical buddy allocator over the id space. Splitting an
+//! aligned k-block yields two aligned (k−1)-blocks whose bases differ in
+//! bit k−1 (the *buddies*); freeing re-merges a block with its buddy
+//! whenever both are free, so an idle machine always coalesces back to
+//! one free n-cube.
+//!
+//! Module affinity falls out of alignment: the paper's 8-node module is
+//! the aligned 3-subcube `ids 8m .. 8m+8`, and any aligned block of
+//! order ≤ 3 sits inside one module (its base mod 8 is a multiple of its
+//! size, so the block cannot straddle a multiple of 8). Allocating the
+//! lowest free base first additionally packs jobs into the lowest
+//! modules, keeping the high ids free for wide jobs.
+//!
+//! Everything is deterministic: free lists are kept sorted and the
+//! allocator always picks the smallest sufficient block at the lowest
+//! base, so the same request sequence yields the same placements.
+
+use ts_cube::{NodeId, Subcube};
+
+/// Buddy allocator handing out aligned subcubes of a `dim`-cube.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    dim: u32,
+    /// `free[k]` holds the bases of free aligned k-blocks, sorted.
+    free: Vec<Vec<NodeId>>,
+    /// Nodes removed from service by [`BuddyAllocator::condemn`].
+    condemned: u32,
+}
+
+impl BuddyAllocator {
+    /// An allocator for the whole `dim`-cube, initially one free n-block.
+    pub fn new(dim: u32) -> BuddyAllocator {
+        let mut free = vec![Vec::new(); dim as usize + 1];
+        free[dim as usize].push(0);
+        BuddyAllocator {
+            dim,
+            free,
+            condemned: 0,
+        }
+    }
+
+    /// The machine dimension this allocator covers.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Allocate an aligned d-subcube, or `None` if no block fits.
+    /// Deterministic best-fit: the smallest free order that can satisfy
+    /// the request, split down to size, lowest base first.
+    pub fn alloc(&mut self, d: u32) -> Option<Subcube> {
+        if d > self.dim {
+            return None;
+        }
+        let mut k = (d..=self.dim).find(|&k| !self.free[k as usize].is_empty())?;
+        let base = self.free[k as usize].remove(0);
+        while k > d {
+            k -= 1;
+            // Keep the low half; its buddy (the high half) becomes free.
+            Self::insert(&mut self.free[k as usize], base | (1 << k));
+        }
+        Some(Subcube::aligned(base, d))
+    }
+
+    /// Would [`BuddyAllocator::alloc`]`(d)` currently succeed?
+    pub fn can_alloc(&self, d: u32) -> bool {
+        d <= self.dim && (d..=self.dim).any(|k| !self.free[k as usize].is_empty())
+    }
+
+    /// Return an allocated subcube, coalescing with free buddies as far
+    /// as possible. The subcube must have come from [`BuddyAllocator::alloc`].
+    pub fn release(&mut self, sub: &Subcube) {
+        let mut d = sub.dim();
+        let mut base = sub.base();
+        while d < self.dim {
+            let buddy = base ^ (1 << d);
+            match self.free[d as usize].binary_search(&buddy) {
+                Ok(i) => {
+                    self.free[d as usize].remove(i);
+                    base &= !(1 << d);
+                    d += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        Self::insert(&mut self.free[d as usize], base);
+    }
+
+    /// Permanently remove an allocated subcube from service (a node in it
+    /// died). Condemned blocks are simply never released: their parked
+    /// tasks and corrupt memory can do no harm on nodes that will never
+    /// be handed out again.
+    pub fn condemn(&mut self, sub: &Subcube) {
+        self.condemned += sub.len();
+    }
+
+    /// Nodes currently free (not allocated, not condemned).
+    pub fn free_nodes(&self) -> u32 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(k, v)| (v.len() as u32) << k)
+            .sum()
+    }
+
+    /// Nodes permanently out of service.
+    pub fn condemned_nodes(&self) -> u32 {
+        self.condemned
+    }
+
+    /// True when every non-condemned node has coalesced back into free
+    /// blocks — with nothing condemned, exactly one free n-block.
+    pub fn is_idle(&self) -> bool {
+        self.free_nodes() + self.condemned == 1 << self.dim
+    }
+
+    fn insert(list: &mut Vec<NodeId>, base: NodeId) {
+        match list.binary_search(&base) {
+            Ok(_) => panic!("block {base} double-freed"),
+            Err(i) => list.insert(i, base),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_sim::Rng;
+
+    #[test]
+    fn splits_to_the_lowest_base_and_coalesces_back() {
+        let mut a = BuddyAllocator::new(4);
+        let s0 = a.alloc(2).unwrap();
+        let s1 = a.alloc(2).unwrap();
+        let s2 = a.alloc(3).unwrap();
+        assert_eq!((s0.base(), s1.base(), s2.base()), (0, 4, 8));
+        assert!(!a.can_alloc(3), "only 16 nodes; all allocated");
+        a.release(&s0);
+        a.release(&s2);
+        a.release(&s1);
+        assert!(a.is_idle(), "all frees must coalesce to one 4-block");
+        assert_eq!(a.alloc(4).unwrap().base(), 0);
+    }
+
+    #[test]
+    fn small_blocks_never_straddle_a_module() {
+        let mut a = BuddyAllocator::new(6);
+        for d in [0, 1, 2, 3, 0, 3, 2, 1, 3] {
+            let s = a.alloc(d).unwrap();
+            assert!(
+                s.within_one_module(),
+                "dim-{d} block at {} straddles a module",
+                s.base()
+            );
+        }
+    }
+
+    /// Satellite: random alloc/free sequences never overlap, always
+    /// coalesce back to one free n-cube, and are deterministic.
+    #[test]
+    fn random_alloc_free_is_safe_and_deterministic() {
+        let run = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            let mut a = BuddyAllocator::new(4);
+            let mut live: Vec<Subcube> = Vec::new();
+            let mut placements = Vec::new();
+            for _ in 0..400 {
+                if rng.bool() && !live.is_empty() {
+                    let i = rng.range(0, live.len());
+                    a.release(&live.swap_remove(i));
+                } else if let Some(s) = a.alloc(rng.range(0, 4) as u32) {
+                    for other in &live {
+                        assert!(s.disjoint(other), "{s:?} overlaps {other:?}");
+                    }
+                    placements.push((s.base(), s.dim()));
+                    live.push(s);
+                }
+            }
+            for s in live.drain(..) {
+                a.release(&s);
+            }
+            assert!(a.is_idle(), "full free must coalesce back to the n-cube");
+            placements
+        };
+        for seed in 0..8 {
+            assert_eq!(run(seed), run(seed), "same seed must replay identically");
+        }
+    }
+
+    #[test]
+    fn condemned_blocks_never_come_back() {
+        let mut a = BuddyAllocator::new(2);
+        let s = a.alloc(1).unwrap();
+        a.condemn(&s);
+        let t = a.alloc(1).unwrap();
+        assert!(s.disjoint(&t), "a condemned block must not be re-issued");
+        assert_eq!(a.condemned_nodes(), 2);
+        a.release(&t);
+        assert!(a.is_idle());
+        assert!(
+            a.alloc(2).is_none(),
+            "the full cube can never be whole again"
+        );
+    }
+}

@@ -42,7 +42,9 @@ struct OneShotState<T> {
 
 impl<T> Clone for OneShot<T> {
     fn clone(&self) -> Self {
-        OneShot { state: self.state.clone() }
+        OneShot {
+            state: self.state.clone(),
+        }
     }
 }
 
@@ -56,7 +58,11 @@ impl<T> OneShot<T> {
     /// Create an empty one-shot channel.
     pub fn new() -> Self {
         OneShot {
-            state: Rc::new(RefCell::new(OneShotState { value: None, sent: false, waker: None })),
+            state: Rc::new(RefCell::new(OneShotState {
+                value: None,
+                sent: false,
+                waker: None,
+            })),
         }
     }
 
@@ -73,7 +79,9 @@ impl<T> OneShot<T> {
 
     /// Await the value.
     pub fn recv(&self) -> OneShotRecv<T> {
-        OneShotRecv { state: self.state.clone() }
+        OneShotRecv {
+            state: self.state.clone(),
+        }
     }
 }
 
@@ -135,7 +143,9 @@ pub struct Rendezvous<T> {
 
 impl<T> Clone for Rendezvous<T> {
     fn clone(&self) -> Self {
-        Rendezvous { state: self.state.clone() }
+        Rendezvous {
+            state: self.state.clone(),
+        }
     }
 }
 
@@ -158,17 +168,28 @@ impl<T> Rendezvous<T> {
 
     /// Send: completes when a receiver takes the value.
     pub fn send(&self, v: T) -> SendFut<T> {
-        SendFut { state: self.state.clone(), value: Some(v), cell: None }
+        SendFut {
+            state: self.state.clone(),
+            value: Some(v),
+            cell: None,
+        }
     }
 
     /// Receive: completes when a sender provides a value.
     pub fn recv(&self) -> RecvFut<T> {
-        RecvFut { state: self.state.clone(), cell: None }
+        RecvFut {
+            state: self.state.clone(),
+            cell: None,
+        }
     }
 
     /// True if an (uncancelled) sender is currently blocked on this channel.
     pub fn sender_waiting(&self) -> bool {
-        self.state.borrow().senders.iter().any(|c| !c.borrow().claim.get())
+        self.state
+            .borrow()
+            .senders
+            .iter()
+            .any(|c| !c.borrow().claim.get())
     }
 
     /// Match a parked sender immediately, if one exists.
@@ -283,7 +304,9 @@ impl<T> Future for RecvFut<T> {
             return Poll::Pending;
         }
         // First poll: match a parked sender, else park ourselves.
-        let ch = Rendezvous { state: this.state.clone() };
+        let ch = Rendezvous {
+            state: this.state.clone(),
+        };
         if let Some(v) = ch.try_take() {
             return Poll::Ready(v);
         }
@@ -411,7 +434,11 @@ where
     A: Future + Unpin,
     B: Future + Unpin,
 {
-    Select2 { a: Some(a), b: Some(b) }.await
+    Select2 {
+        a: Some(a),
+        b: Some(b),
+    }
+    .await
 }
 
 struct Select2<A, B> {
@@ -462,7 +489,9 @@ struct MailboxState<T> {
 
 impl<T> Clone for Mailbox<T> {
     fn clone(&self) -> Self {
-        Mailbox { state: self.state.clone() }
+        Mailbox {
+            state: self.state.clone(),
+        }
     }
 }
 
@@ -494,7 +523,9 @@ impl<T> Mailbox<T> {
 
     /// Dequeue, suspending while empty.
     pub fn recv(&self) -> MailboxRecv<T> {
-        MailboxRecv { state: self.state.clone() }
+        MailboxRecv {
+            state: self.state.clone(),
+        }
     }
 
     /// Non-blocking dequeue.

@@ -86,7 +86,8 @@ impl Inner {
             }
         };
         self.seq += 1;
-        self.timers.push(Reverse((TimerKey { at, seq: self.seq }, slot)));
+        self.timers
+            .push(Reverse((TimerKey { at, seq: self.seq }, slot)));
         self.max_timers = self.max_timers.max(self.timers.len());
         (slot, self.timer_gens[slot])
     }
@@ -160,7 +161,9 @@ impl Sim {
 
     /// A cloneable handle for use inside tasks: clock reads, sleeps, spawns.
     pub fn handle(&self) -> SimHandle {
-        SimHandle { inner: self.inner.clone() }
+        SimHandle {
+            inner: self.inner.clone(),
+        }
     }
 
     /// Current virtual time.
@@ -325,13 +328,21 @@ impl SimHandle {
 
     /// Suspend the calling task until the clock reaches `at`.
     pub fn sleep_until(&self, at: Time) -> Sleep {
-        Sleep { inner: self.inner.clone(), at, reg: None, done: false }
+        Sleep {
+            inner: self.inner.clone(),
+            at,
+            reg: None,
+            done: false,
+        }
     }
 
     /// Spawn a new task; it becomes runnable immediately (at the current
     /// instant, after already-runnable tasks).
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
-        let state = Rc::new(RefCell::new(JoinState { result: None, waker: None }));
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
         let state2 = state.clone();
         let wrapped: BoxFut = Box::pin(async move {
             let out = fut.await;
@@ -343,8 +354,14 @@ impl SimHandle {
         });
         let mut inner = self.inner.borrow_mut();
         let tid = inner.tasks.len();
-        let waker = Waker::from(Arc::new(TaskWaker { id: tid, ready: inner.ready.clone() }));
-        inner.tasks.push(Some(Task { fut: wrapped, waker }));
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id: tid,
+            ready: inner.ready.clone(),
+        }));
+        inner.tasks.push(Some(Task {
+            fut: wrapped,
+            waker,
+        }));
         inner.live += 1;
         inner.spawned += 1;
         inner.ready.lock().unwrap().push_back(tid);

@@ -55,11 +55,10 @@ pub mod trace;
 pub use channel::{alt, select2, Either, Mailbox, OneShot, Rendezvous};
 pub use executor::{ExecProfile, JoinHandle, RunReport, Sim, SimHandle};
 pub use metrics::{
-    natural_cmp, BusyTime, Counter, Histogram, MetricValue, Metrics, MetricsRegistry,
-    MetricsScope,
+    natural_cmp, BusyTime, Counter, Histogram, MetricValue, Metrics, MetricsRegistry, MetricsScope,
 };
 pub use perfetto::{trace_event_json, write_trace};
 pub use resource::Resource;
 pub use rng::Rng;
 pub use time::{Dur, Time};
-pub use trace::{Event, Span, TrackId, Tracer};
+pub use trace::{Event, Span, Tracer, TrackId};

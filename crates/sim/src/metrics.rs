@@ -328,7 +328,10 @@ impl MetricsRegistry {
 
     /// A view of this registry that prefixes every path with `prefix/`.
     pub fn scope(&self, prefix: &str) -> MetricsScope {
-        MetricsScope { reg: self.clone(), prefix: prefix.to_string() }
+        MetricsScope {
+            reg: self.clone(),
+            prefix: prefix.to_string(),
+        }
     }
 
     /// Read a counter's value, if registered.
@@ -493,17 +496,32 @@ impl Metrics {
 
     /// Read accumulated time under `key`.
     pub fn get_time(&self, key: &'static str) -> Dur {
-        self.inner.borrow().durations.get(key).copied().unwrap_or(Dur::ZERO)
+        self.inner
+            .borrow()
+            .durations
+            .get(key)
+            .copied()
+            .unwrap_or(Dur::ZERO)
     }
 
     /// Snapshot of all counters (sorted by key).
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
-        self.inner.borrow().counters.iter().map(|(k, v)| (*k, *v)).collect()
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 
     /// Snapshot of all durations (sorted by key).
     pub fn durations(&self) -> Vec<(&'static str, Dur)> {
-        self.inner.borrow().durations.iter().map(|(k, v)| (*k, *v)).collect()
+        self.inner
+            .borrow()
+            .durations
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 
     /// Fold another bundle into this one (used to aggregate per-node metrics

@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 
 use crate::time::Time;
-use crate::trace::{Event, TrackId, Tracer};
+use crate::trace::{Event, Tracer, TrackId};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape(s: &str, out: &mut String) {
@@ -69,7 +69,12 @@ fn addr(name: &str, id: TrackId) -> TrackAddr {
             }
         }
     }
-    TrackAddr { pid: 1, tid, process: "sim".to_string(), thread: name.to_string() }
+    TrackAddr {
+        pid: 1,
+        tid,
+        process: "sim".to_string(),
+        thread: name.to_string(),
+    }
 }
 
 /// Serialize `tracer`'s event stream as Chrome `trace_event` JSON.
@@ -78,8 +83,11 @@ fn addr(name: &str, id: TrackId) -> TrackAddr {
 /// "displayTimeUnit": "ns"}` loadable in `ui.perfetto.dev`.
 pub fn trace_event_json(tracer: &Tracer) -> String {
     let tracks = tracer.tracks();
-    let addrs: Vec<TrackAddr> =
-        tracks.iter().enumerate().map(|(i, n)| addr(n, TrackId(i as u32))).collect();
+    let addrs: Vec<TrackAddr> = tracks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| addr(n, TrackId(i as u32)))
+        .collect();
 
     let mut out = String::with_capacity(4096 + tracer.events().len() * 96);
     out.push_str("{\"traceEvents\":[\n");
@@ -148,7 +156,12 @@ pub fn trace_event_json(tracer: &Tracer) -> String {
                     a.tid
                 )
             }
-            Event::Counter { track, at, name, value } => {
+            Event::Counter {
+                track,
+                at,
+                name,
+                value,
+            } => {
                 let a = &addrs[track.0 as usize];
                 let mut n = String::new();
                 escape(name, &mut n);
@@ -160,7 +173,13 @@ pub fn trace_event_json(tracer: &Tracer) -> String {
                     a.tid
                 )
             }
-            Event::Flow { from, to, depart, arrive, id } => {
+            Event::Flow {
+                from,
+                to,
+                depart,
+                arrive,
+                id,
+            } => {
                 let fa = &addrs[from.0 as usize];
                 let ta = &addrs[to.0 as usize];
                 format!(
@@ -221,9 +240,13 @@ mod tests {
         tr.counter(a, t(1), "depth", 3);
         tr.flow(a, b, t(0), t(2));
         let json = trace_event_json(&tr);
-        for frag in
-            ["\"ph\":\"X\"", "\"ph\":\"i\"", "\"ph\":\"C\"", "\"ph\":\"s\"", "\"ph\":\"f\""]
-        {
+        for frag in [
+            "\"ph\":\"X\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"s\"",
+            "\"ph\":\"f\"",
+        ] {
             assert!(json.contains(frag), "missing {frag} in {json}");
         }
         // Non-node track lands in the shared "sim" process.

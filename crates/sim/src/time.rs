@@ -50,7 +50,10 @@ impl Time {
     /// The span from `earlier` to `self`; panics if `earlier` is later.
     #[inline]
     pub fn since(self, earlier: Time) -> Dur {
-        Dur(self.0.checked_sub(earlier.0).expect("Time::since: earlier instant is later"))
+        Dur(self
+            .0
+            .checked_sub(earlier.0)
+            .expect("Time::since: earlier instant is later"))
     }
 
     /// Saturating difference: zero if `earlier` is later than `self`.

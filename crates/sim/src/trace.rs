@@ -143,7 +143,10 @@ impl Tracer {
 
     /// Record a busy interval on an interned track. Allocation-free.
     pub fn record_span(&self, track: TrackId, start: Time, end: Time) {
-        self.inner.borrow_mut().events.push(Event::Span { track, start, end });
+        self.inner
+            .borrow_mut()
+            .events
+            .push(Event::Span { track, start, end });
     }
 
     /// Record a busy interval on a track named by string.
@@ -158,12 +161,20 @@ impl Tracer {
 
     /// Record a point-in-time marker.
     pub fn instant(&self, track: TrackId, at: Time, name: &'static str) {
-        self.inner.borrow_mut().events.push(Event::Instant { track, at, name });
+        self.inner
+            .borrow_mut()
+            .events
+            .push(Event::Instant { track, at, name });
     }
 
     /// Record a counter sample.
     pub fn counter(&self, track: TrackId, at: Time, name: &'static str, value: u64) {
-        self.inner.borrow_mut().events.push(Event::Counter { track, at, name, value });
+        self.inner.borrow_mut().events.push(Event::Counter {
+            track,
+            at,
+            name,
+            value,
+        });
     }
 
     /// Record a flow arrow from `from` (at `depart`) to `to` (at `arrive`).
@@ -172,7 +183,13 @@ impl Tracer {
         let mut inner = self.inner.borrow_mut();
         let id = inner.next_flow;
         inner.next_flow += 1;
-        inner.events.push(Event::Flow { from, to, depart, arrive, id });
+        inner.events.push(Event::Flow {
+            from,
+            to,
+            depart,
+            arrive,
+            id,
+        });
         id
     }
 
@@ -281,7 +298,10 @@ mod tests {
         tr.record("a", t(20), t(30));
         tr.record("b", t(5), t(15));
         let busy = tr.busy_by_track();
-        assert_eq!(busy, vec![("a".into(), Dur::us(20)), ("b".into(), Dur::us(10))]);
+        assert_eq!(
+            busy,
+            vec![("a".into(), Dur::us(20)), ("b".into(), Dur::us(10))]
+        );
         assert_eq!(tr.spans().len(), 3);
     }
 
@@ -319,10 +339,41 @@ mod tests {
         assert_eq!(id, 0);
         let ev = tr.events();
         assert_eq!(ev.len(), 4);
-        assert_eq!(ev[0], Event::Span { track: a, start: t(0), end: t(5) });
-        assert_eq!(ev[1], Event::Instant { track: a, at: t(2), name: "fault" });
-        assert_eq!(ev[2], Event::Counter { track: b, at: t(3), name: "depth", value: 4 });
-        assert_eq!(ev[3], Event::Flow { from: a, to: b, depart: t(1), arrive: t(4), id: 0 });
+        assert_eq!(
+            ev[0],
+            Event::Span {
+                track: a,
+                start: t(0),
+                end: t(5)
+            }
+        );
+        assert_eq!(
+            ev[1],
+            Event::Instant {
+                track: a,
+                at: t(2),
+                name: "fault"
+            }
+        );
+        assert_eq!(
+            ev[2],
+            Event::Counter {
+                track: b,
+                at: t(3),
+                name: "depth",
+                value: 4
+            }
+        );
+        assert_eq!(
+            ev[3],
+            Event::Flow {
+                from: a,
+                to: b,
+                depart: t(1),
+                arrive: t(4),
+                id: 0
+            }
+        );
     }
 
     #[test]

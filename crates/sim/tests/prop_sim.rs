@@ -45,7 +45,11 @@ fn random_sleep_programs_are_deterministic() {
             assert!(w[0].0 <= w[1].0);
         }
         // Final time is the max per-task sum.
-        let max_sum = delays.iter().map(|ds| ds.iter().sum::<u64>()).max().unwrap();
+        let max_sum = delays
+            .iter()
+            .map(|ds| ds.iter().sum::<u64>())
+            .max()
+            .unwrap();
         assert_eq!(t1, Time::ZERO + Dur::ns(max_sum));
     }
 }

@@ -51,7 +51,9 @@ impl Default for VectorReg {
 impl VectorReg {
     /// A zeroed register.
     pub fn new() -> VectorReg {
-        VectorReg { words: [0; ROW_WORDS] }
+        VectorReg {
+            words: [0; ROW_WORDS],
+        }
     }
 
     /// Load from a memory row (hardware cost: [`ROW_TIME`]).
@@ -116,12 +118,18 @@ pub enum VecForm {
 impl VecForm {
     /// Does the form stream two vector operands?
     pub fn two_operands(self) -> bool {
-        matches!(self, VecForm::VAdd | VecForm::VSub | VecForm::VMul | VecForm::Saxpy(_) | VecForm::Dot)
+        matches!(
+            self,
+            VecForm::VAdd | VecForm::VSub | VecForm::VMul | VecForm::Saxpy(_) | VecForm::Dot
+        )
     }
 
     /// Does the form write a result vector (vs. a scalar)?
     pub fn writes_vector(self) -> bool {
-        !matches!(self, VecForm::Dot | VecForm::Sum | VecForm::Max | VecForm::Min | VecForm::AbsMax)
+        !matches!(
+            self,
+            VecForm::Dot | VecForm::Sum | VecForm::Max | VecForm::Min | VecForm::AbsMax
+        )
     }
 
     /// Flops charged per element.
@@ -182,7 +190,10 @@ pub struct VecUnitParams {
 
 impl Default for VecUnitParams {
     fn default() -> Self {
-        VecUnitParams { issue_overhead: Dur::ns(525), force_single_bank: false }
+        VecUnitParams {
+            issue_overhead: Dur::ns(525),
+            force_single_bank: false,
+        }
     }
 }
 
@@ -201,7 +212,12 @@ impl VecUnit {
 
     /// The ablation unit: memory behaves as a single bank.
     pub fn single_bank() -> VecUnit {
-        VecUnit { params: VecUnitParams { force_single_bank: true, ..Default::default() } }
+        VecUnit {
+            params: VecUnitParams {
+                force_single_bank: true,
+                ..Default::default()
+            },
+        }
     }
 
     /// Execute `form` over `n` elements in 64-bit mode.
@@ -305,7 +321,11 @@ impl VecUnit {
             }
             zr.store(mem, z_row + r / 2)?;
         }
-        Ok(VecResult { timing, scalar: None, index: None })
+        Ok(VecResult {
+            timing,
+            scalar: None,
+            index: None,
+        })
     }
 
     /// Widen `n` 32-bit elements at `x_row` into 64-bit elements at
@@ -337,7 +357,11 @@ impl VecUnit {
                 }
             }
         }
-        Ok(VecResult { timing, scalar: None, index: None })
+        Ok(VecResult {
+            timing,
+            scalar: None,
+            index: None,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -442,7 +466,11 @@ impl VecUnit {
                     }
                     Precision::Single => {
                         let x = xr.get32(j) as u64;
-                        let y = if form.two_operands() { yr.get32(j) as u64 } else { 0 };
+                        let y = if form.two_operands() {
+                            yr.get32(j) as u64
+                        } else {
+                            0
+                        };
                         match form {
                             VecForm::VAdd => zr.set32(j, soft::add::<B32>(x, y) as u32),
                             VecForm::VSub => zr.set32(j, soft::sub::<B32>(x, y) as u32),
@@ -519,7 +547,11 @@ impl VecUnit {
 
         Ok(VecResult {
             timing,
-            scalar: if form.writes_vector() { None } else { acc.or(Some(0)) },
+            scalar: if form.writes_vector() {
+                None
+            } else {
+                acc.or(Some(0))
+            },
             index: matches!(form, VecForm::AbsMax).then_some(best_idx),
         })
     }
@@ -555,7 +587,9 @@ mod tests {
         let (mut mem, x, y, z) = setup(4);
         fill64(&mut mem, x, &[1.0, 2.0, 3.0, 4.0]);
         fill64(&mut mem, y, &[10.0, 20.0, 30.0, 40.0]);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 4).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::VAdd, x, y, z, 4)
+            .unwrap();
         assert_eq!(read64(&mem, z, 4), vec![11.0, 22.0, 33.0, 44.0]);
         assert_eq!(r.timing.initiation_interval, 1, "cross-bank streams");
         assert_eq!(r.timing.flops, 4);
@@ -569,14 +603,18 @@ mod tests {
         // Both operands in bank A.
         fill64(&mut mem, 0, &[1.0; 8]);
         fill64(&mut mem, 1, &[2.0; 8]);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, 0, 1, 2, 8).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::VAdd, 0, 1, 2, 8)
+            .unwrap();
         assert_eq!(r.timing.initiation_interval, 2);
         assert_eq!(read64(&mem, 2, 8), vec![3.0; 8]);
         // Cross-bank same op:
         let (mut mem2, x, y, z) = setup(8);
         fill64(&mut mem2, x, &[1.0; 8]);
         fill64(&mut mem2, y, &[2.0; 8]);
-        let r2 = VecUnit::new().exec64(&mut mem2, VecForm::VAdd, x, y, z, 8).unwrap();
+        let r2 = VecUnit::new()
+            .exec64(&mut mem2, VecForm::VAdd, x, y, z, 8)
+            .unwrap();
         assert!(r.timing.duration > r2.timing.duration);
     }
 
@@ -585,13 +623,16 @@ mod tests {
         let (mut mem, x, y, z) = setup(128);
         fill64(&mut mem, x, &[1.5; 128]);
         fill64(&mut mem, y, &[2.5; 128]);
-        let dual = VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 128).unwrap();
-        let single = VecUnit::single_bank().exec64(&mut mem, VecForm::VMul, x, y, z, 128).unwrap();
+        let dual = VecUnit::new()
+            .exec64(&mut mem, VecForm::VMul, x, y, z, 128)
+            .unwrap();
+        let single = VecUnit::single_bank()
+            .exec64(&mut mem, VecForm::VMul, x, y, z, 128)
+            .unwrap();
         assert_eq!(dual.timing.initiation_interval, 1);
         assert_eq!(single.timing.initiation_interval, 2);
         // Long-vector ratio approaches 2×.
-        let ratio =
-            single.timing.duration.as_secs_f64() / dual.timing.duration.as_secs_f64();
+        let ratio = single.timing.duration.as_secs_f64() / dual.timing.duration.as_secs_f64();
         assert!(ratio > 1.8, "ratio {ratio}");
     }
 
@@ -603,7 +644,9 @@ mod tests {
         fill64(&mut mem, x, &xs);
         fill64(&mut mem, y, &ys);
         let a = Sf64::from(2.0);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::Saxpy(a), x, y, z, 128).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::Saxpy(a), x, y, z, 128)
+            .unwrap();
         let want: Vec<f64> = (0..128).map(|i| 2.0 * i as f64 + (i * 3) as f64).collect();
         assert_eq!(read64(&mem, z, 128), want);
         assert_eq!(r.timing.flops, 256);
@@ -632,7 +675,9 @@ mod tests {
         let (mut mem, x, y, _z) = setup(4);
         fill64(&mut mem, x, &[1.0, 2.0, 3.0, 4.0]);
         fill64(&mut mem, y, &[5.0, 6.0, 7.0, 8.0]);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::Dot, x, y, 0, 4).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::Dot, x, y, 0, 4)
+            .unwrap();
         assert_eq!(f64::from_bits(r.scalar.unwrap()), 70.0);
         assert_eq!(r.timing.flops, 8);
         assert!(r.index.is_none());
@@ -655,7 +700,9 @@ mod tests {
     fn absmax_finds_pivot() {
         let (mut mem, x, y, _z) = setup(6);
         fill64(&mut mem, x, &[3.0, -17.5, 12.0, 0.5, -2.0, 17.0]);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::AbsMax, x, y, 0, 6).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::AbsMax, x, y, 0, 6)
+            .unwrap();
         assert_eq!(r.index, Some(1));
         assert_eq!(f64::from_bits(r.scalar.unwrap()), 17.5);
     }
@@ -671,7 +718,9 @@ mod tests {
             let ones = vec![1.0; vals.len()];
             fill64(&mut mem, y + r, &ones);
         }
-        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 300).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::VAdd, x, y, z, 300)
+            .unwrap();
         assert_eq!(r.timing.flops, 300);
         let out = read64(&mem, z, 128);
         assert_eq!(out[0], 1.0);
@@ -687,7 +736,8 @@ mod tests {
         let rows_a = mem.cfg().rows_a();
         for i in 0..256 {
             mem.write_word(i, (i as f32 * 0.5).to_bits()).unwrap();
-            mem.write_word(rows_a * ROW_WORDS + i, 1.0f32.to_bits()).unwrap();
+            mem.write_word(rows_a * ROW_WORDS + i, 1.0f32.to_bits())
+                .unwrap();
         }
         let r = VecUnit::new()
             .exec32(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 1, 256)
@@ -712,7 +762,9 @@ mod tests {
         let (mut mem, x, y, z) = setup(2);
         fill64(&mut mem, x, &[1e-200, 1.0]);
         fill64(&mut mem, y, &[1e-200, 1.0]);
-        let _ = VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 2).unwrap();
+        let _ = VecUnit::new()
+            .exec64(&mut mem, VecForm::VMul, x, y, z, 2)
+            .unwrap();
         let out = read64(&mem, z, 2);
         assert_eq!(out, vec![0.0, 1.0], "subnormal product flushed to zero");
     }
@@ -736,8 +788,10 @@ mod tests {
         let w = u.convert32to64(&mut mem, rows_a, rows_a + 8, 200).unwrap();
         assert_eq!(w.timing.flops, 200);
         for (i, &v) in vals.iter().enumerate() {
-            let got =
-                f64::from_bits(mem.read_u64((rows_a + 8 + i / 128) * ROW_WORDS + 2 * (i % 128)).unwrap());
+            let got = f64::from_bits(
+                mem.read_u64((rows_a + 8 + i / 128) * ROW_WORDS + 2 * (i % 128))
+                    .unwrap(),
+            );
             assert_eq!(got, v as f32 as f64, "widen[{i}]");
         }
     }
@@ -749,14 +803,22 @@ mod tests {
         fill64(&mut mem, 0, &[1e-40, 1.5]); // 1e-40 is subnormal in f32
         let u = VecUnit::new();
         u.convert64to32(&mut mem, 0, rows_a, 2).unwrap();
-        assert_eq!(f32::from_bits(mem.read_word(rows_a * ROW_WORDS).unwrap()), 0.0);
-        assert_eq!(f32::from_bits(mem.read_word(rows_a * ROW_WORDS + 1).unwrap()), 1.5);
+        assert_eq!(
+            f32::from_bits(mem.read_word(rows_a * ROW_WORDS).unwrap()),
+            0.0
+        );
+        assert_eq!(
+            f32::from_bits(mem.read_word(rows_a * ROW_WORDS + 1).unwrap()),
+            1.5
+        );
     }
 
     #[test]
     fn empty_vector_is_legal() {
         let (mut mem, x, y, z) = setup(0);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 0).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::VAdd, x, y, z, 0)
+            .unwrap();
         assert_eq!(r.timing.flops, 0);
     }
 }

@@ -10,7 +10,9 @@ use ts_vec::{VecForm, VecUnit};
 /// Values whose sums/products stay well inside the normal range, so
 /// flush-to-zero never makes the host reference diverge.
 fn safe_vals(rng: &mut Rng, n: usize) -> Vec<f64> {
-    (0..n).map(|_| (rng.f64() * 2000.0 - 1000.0) + 0.001).collect()
+    (0..n)
+        .map(|_| (rng.f64() * 2000.0 - 1000.0) + 0.001)
+        .collect()
 }
 
 fn setup(xs: &[f64], ys: &[f64]) -> (NodeMemory, usize, usize, usize) {
@@ -20,7 +22,8 @@ fn setup(xs: &[f64], ys: &[f64]) -> (NodeMemory, usize, usize, usize) {
         mem.write_f64(2 * i, Sf64::from(v)).unwrap();
     }
     for (i, &v) in ys.iter().enumerate() {
-        mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(v)).unwrap();
+        mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(v))
+            .unwrap();
     }
     (mem, 0, rows_a, rows_a + 256)
 }
@@ -39,7 +42,9 @@ fn vadd_matches_host() {
     for _ in 0..CASES {
         let (xs, ys) = (safe_vals(&mut rng, 100), safe_vals(&mut rng, 100));
         let (mut mem, x, y, z) = setup(&xs, &ys);
-        VecUnit::new().exec64(&mut mem, VecForm::VAdd, x, y, z, 100).unwrap();
+        VecUnit::new()
+            .exec64(&mut mem, VecForm::VAdd, x, y, z, 100)
+            .unwrap();
         let got = read_out(&mem, z, 100);
         for i in 0..100 {
             assert_eq!(got[i].to_bits(), (xs[i] + ys[i]).to_bits());
@@ -53,7 +58,9 @@ fn vmul_matches_host() {
     for _ in 0..CASES {
         let (xs, ys) = (safe_vals(&mut rng, 64), safe_vals(&mut rng, 64));
         let (mut mem, x, y, z) = setup(&xs, &ys);
-        VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 64).unwrap();
+        VecUnit::new()
+            .exec64(&mut mem, VecForm::VMul, x, y, z, 64)
+            .unwrap();
         let got = read_out(&mem, z, 64);
         for i in 0..64 {
             assert_eq!(got[i].to_bits(), (xs[i] * ys[i]).to_bits());
@@ -87,7 +94,9 @@ fn dot_matches_sequential_host() {
     for _ in 0..CASES {
         let (xs, ys) = (safe_vals(&mut rng, 50), safe_vals(&mut rng, 50));
         let (mut mem, x, y, _z) = setup(&xs, &ys);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::Dot, x, y, 0, 50).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::Dot, x, y, 0, 50)
+            .unwrap();
         let mut want = 0.0f64;
         for i in 0..50 {
             want += xs[i] * ys[i]; // same association order as the feedback pipe
@@ -108,7 +117,10 @@ fn reductions_match_host() {
         for &v in &xs {
             want += v;
         }
-        assert_eq!(f64::from_bits(sum.scalar.unwrap()).to_bits(), want.to_bits());
+        assert_eq!(
+            f64::from_bits(sum.scalar.unwrap()).to_bits(),
+            want.to_bits()
+        );
 
         let mx = u.exec64(&mut mem, VecForm::Max, x, y, 0, 60).unwrap();
         let want_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -126,7 +138,9 @@ fn absmax_matches_host() {
     for _ in 0..CASES {
         let xs = safe_vals(&mut rng, 40);
         let (mut mem, x, y, _z) = setup(&xs, &xs);
-        let r = VecUnit::new().exec64(&mut mem, VecForm::AbsMax, x, y, 0, 40).unwrap();
+        let r = VecUnit::new()
+            .exec64(&mut mem, VecForm::AbsMax, x, y, 0, 40)
+            .unwrap();
         let (mut bi, mut bv) = (0usize, -1.0f64);
         for (i, &v) in xs.iter().enumerate() {
             if v.abs() > bv {
@@ -149,8 +163,12 @@ fn timing_is_affine_in_n() {
         let mut mem = NodeMemory::new(MemCfg::default());
         let rows_a = mem.cfg().rows_a();
         let u = VecUnit::new();
-        let r1 = u.exec64(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 256, n).unwrap();
-        let r2 = u.exec64(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 256, n + 1).unwrap();
+        let r1 = u
+            .exec64(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 256, n)
+            .unwrap();
+        let r2 = u
+            .exec64(&mut mem, VecForm::VAdd, 0, rows_a, rows_a + 256, n + 1)
+            .unwrap();
         assert_eq!(
             (r2.timing.duration - r1.timing.duration).as_ns(),
             125,
@@ -190,7 +208,9 @@ fn vector_ftz() {
         let xs = vec![scale; 8];
         let ys = vec![scale; 8];
         let (mut mem, x, y, z) = setup(&xs, &ys);
-        VecUnit::new().exec64(&mut mem, VecForm::VMul, x, y, z, 8).unwrap();
+        VecUnit::new()
+            .exec64(&mut mem, VecForm::VMul, x, y, z, 8)
+            .unwrap();
         for v in read_out(&mem, z, 8) {
             assert_eq!(v, 0.0, "subnormal product must flush");
         }

@@ -39,7 +39,10 @@ struct Outcome {
 /// Run the soak workload with `plan` armed; digest every computed result
 /// (and nothing timing-dependent).
 fn run_workload(dim: u32, plan: &FaultPlan) -> Outcome {
-    assert!(dim >= 2 && dim.is_multiple_of(2), "Cannon needs an even cube dimension ≥ 2");
+    assert!(
+        dim >= 2 && dim.is_multiple_of(2),
+        "Cannon needs an even cube dimension ≥ 2"
+    );
     let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
     let cube = m.cube;
     plan.schedule(&m);
@@ -47,12 +50,29 @@ fn run_workload(dim: u32, plan: &FaultPlan) -> Outcome {
     let handles = m.launch(move |ctx| async move {
         let data = (ctx.id() == 0).then(|| vec![0xB0A0_0001, 0xB0A0_0002, 0xB0A0_0003]);
         let b = broadcast(&ctx, cube, 0, data).await;
-        let r = reduce(&ctx, cube, 0, CombineOp::Add, vec![Sf64::from(ctx.id() as f64 + 0.5)])
-            .await;
-        let ar =
-            allreduce(&ctx, cube, CombineOp::Add, vec![Sf64::from(1.0 + ctx.id() as f64)]).await;
+        let r = reduce(
+            &ctx,
+            cube,
+            0,
+            CombineOp::Add,
+            vec![Sf64::from(ctx.id() as f64 + 0.5)],
+        )
+        .await;
+        let ar = allreduce(
+            &ctx,
+            cube,
+            CombineOp::Add,
+            vec![Sf64::from(1.0 + ctx.id() as f64)],
+        )
+        .await;
         let ag = allgather(&ctx, cube, vec![ctx.id() * 7 + 1]).await;
-        let sc = scan(&ctx, cube, CombineOp::Add, vec![Sf64::from(ctx.id() as f64)]).await;
+        let sc = scan(
+            &ctx,
+            cube,
+            CombineOp::Add,
+            vec![Sf64::from(ctx.id() as f64)],
+        )
+        .await;
         barrier(&ctx, cube).await;
         (b, r, ar, ag, sc)
     });
@@ -67,17 +87,21 @@ fn run_workload(dim: u32, plan: &FaultPlan) -> Outcome {
         }
         for (id, words) in ag {
             fnv(&mut digest, &id.to_le_bytes());
-            words.iter().for_each(|w| fnv(&mut digest, &w.to_le_bytes()));
+            words
+                .iter()
+                .for_each(|w| fnv(&mut digest, &w.to_le_bytes()));
         }
     }
 
     let side = 1usize << (dim / 2);
     let (_, _, c, _) = matmul::distributed_matmul(&mut m, 4 * side, 7);
-    c.iter().for_each(|v| fnv(&mut digest, &v.to_bits().to_le_bytes()));
+    c.iter()
+        .for_each(|v| fnv(&mut digest, &v.to_bits().to_le_bytes()));
 
     let points = (4usize << dim).next_power_of_two();
-    let input: Vec<(f64, f64)> =
-        (0..points).map(|i| (i as f64 * 0.25, -(i as f64) * 0.125)).collect();
+    let input: Vec<(f64, f64)> = (0..points)
+        .map(|i| (i as f64 * 0.25, -(i as f64) * 0.125))
+        .collect();
     let (spectrum, _) = fft::distributed_fft(&mut m, &input);
     for (re, im) in spectrum {
         fnv(&mut digest, &re.to_bits().to_le_bytes());
@@ -101,10 +125,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut grab = |what: &str| {
-            args.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
-                eprintln!("--{what} needs an integer value");
-                std::process::exit(2);
-            })
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--{what} needs an integer value");
+                    std::process::exit(2);
+                })
         };
         match a.as_str() {
             "--seed" => seed = grab("seed"),
@@ -117,16 +143,29 @@ fn main() {
         }
     }
 
-    println!("chaos soak: {}-cube, seed {seed}, {faults} transient faults\n", dim);
+    println!(
+        "chaos soak: {}-cube, seed {seed}, {faults} transient faults\n",
+        dim
+    );
 
     let baseline = run_workload(dim, &FaultPlan::new());
-    assert_eq!(baseline.retransmits, 0, "fault-free run must not retransmit");
+    assert_eq!(
+        baseline.retransmits, 0,
+        "fault-free run must not retransmit"
+    );
     println!("baseline digest (fault-free): {:016x}", baseline.digest);
 
     // A guaranteed early corruption + drop on the broadcast root, then the
     // seeded transient tail.
     let mut plan = FaultPlan::new()
-        .with(Dur::ps(1), FaultEvent::WireCorrupt { node: 0, dim: 0, flit_bit: 17 })
+        .with(
+            Dur::ps(1),
+            FaultEvent::WireCorrupt {
+                node: 0,
+                dim: 0,
+                flit_bit: 17,
+            },
+        )
         .with(Dur::ps(2), FaultEvent::FlitDrop { node: 0, dim: 1 });
     for tf in FaultPlan::generate_transient(seed, dim, faults, Dur::ms(50)).iter() {
         plan.push(tf.at, tf.event);

@@ -36,7 +36,10 @@ fn main() {
     for (i, node) in machine.nodes.iter().enumerate() {
         assert_eq!(node.mem().read_word(100).unwrap(), 0xC0DE + i as u32);
     }
-    println!("all {} nodes verified intact after restore\n", machine.nodes.len());
+    println!(
+        "all {} nodes verified intact after restore\n",
+        machine.nodes.len()
+    );
 
     // The interval tradeoff: sweep checkpoint intervals for a 10-hour job
     // on a machine with a 3.1-hour MTBF and the paper's ~16 s snapshot.
@@ -44,13 +47,18 @@ fn main() {
     let snapshot = Dur::secs(16);
     let mtbf = Dur::from_secs_f64(3.1 * 3600.0);
     println!("checkpoint-interval sweep (10 h job, 16 s snapshot, 3.1 h MTBF):");
-    println!("{:>10} {:>14} {:>10}", "interval", "avg runtime", "overhead");
+    println!(
+        "{:>10} {:>14} {:>10}",
+        "interval", "avg runtime", "overhead"
+    );
     for &mins in &[1u64, 2, 5, 10, 20, 40, 80] {
         let interval = Dur::secs(mins * 60);
         let mut total = 0.0;
         const RUNS: u64 = 25;
         for seed in 0..RUNS {
-            total += simulate_run(work, interval, snapshot, mtbf, seed).total.as_secs_f64();
+            total += simulate_run(work, interval, snapshot, mtbf, seed)
+                .total
+                .as_secs_f64();
         }
         let avg = total / RUNS as f64;
         let overhead = (avg / work.as_secs_f64() - 1.0) * 100.0;

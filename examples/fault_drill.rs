@@ -26,7 +26,8 @@ fn seed(m: &mut Machine) {
         let rows_a = mem.cfg().rows_a();
         for i in 0..128 {
             mem.write_f64(2 * i, Sf64::from(1.0)).unwrap();
-            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64)).unwrap();
+            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64))
+                .unwrap();
         }
     }
 }
@@ -37,7 +38,10 @@ fn phase(sweeps: usize) -> Phase<'static> {
         m.launch(move |ctx| async move {
             let rows_a = ctx.mem().cfg().rows_a();
             for _ in 0..sweeps {
-                if ctx.vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128).await.is_err()
+                if ctx
+                    .vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128)
+                    .await
+                    .is_err()
                 {
                     return; // parity fault: the supervisor will catch it
                 }
@@ -59,8 +63,14 @@ fn main() {
     let sup = Supervisor::new(cfg());
 
     // Reference: the same job with nothing going wrong.
-    let (ref_m, ref_rep) = sup.run_to_completion(seed, &phases, &FaultPlan::new()).unwrap();
-    println!("fault-free run: {} job time, results {:?}", ref_rep.total, accs(&ref_m));
+    let (ref_m, ref_rep) = sup
+        .run_to_completion(seed, &phases, &FaultPlan::new())
+        .unwrap();
+    println!(
+        "fault-free run: {} job time, results {:?}",
+        ref_rep.total,
+        accs(&ref_m)
+    );
 
     // The drill: a broken cable early, a node crash and a flipped bit
     // later — all at exact, reproducible simulated times inside the
@@ -75,20 +85,34 @@ fn main() {
     let plan = FaultPlan::new()
         .with(at(0.25), FaultEvent::LinkDown { node: 1, dim: 2 })
         .with(at(0.55), FaultEvent::NodeCrash { node: 5 })
-        .with(at(0.9), FaultEvent::MemFlip { node: 2, addr: 64, bit: 9 });
+        .with(
+            at(0.9),
+            FaultEvent::MemFlip {
+                node: 2,
+                addr: 64,
+                bit: 9,
+            },
+        );
     println!("\nfault plan:");
     for f in plan.iter() {
         println!("  t={:<12} {}", format!("{}", f.at), f.event);
     }
 
     let (m, rep) = sup.run_to_completion(seed, &phases, &plan).unwrap();
-    println!("\nsurvived: {} reboots, {} snapshots, {} rework", rep.reboots, rep.snapshots, rep.rework);
+    println!(
+        "\nsurvived: {} reboots, {} snapshots, {} rework",
+        rep.reboots, rep.snapshots, rep.rework
+    );
     for line in &rep.faults {
         println!("  injected {line}");
     }
     println!("healed run: {} job time, results {:?}", rep.total, accs(&m));
 
-    assert_eq!(accs(&m), accs(&ref_m), "healed results must be bit-identical");
+    assert_eq!(
+        accs(&m),
+        accs(&ref_m),
+        "healed results must be bit-identical"
+    );
     println!("\nresults are bit-identical to the fault-free run");
     println!("\npost-mortem:\n{}", m.utilization_report());
 }

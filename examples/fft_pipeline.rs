@@ -21,10 +21,17 @@ fn main() {
 
     // The embedding itself: every butterfly stage is one cube edge.
     let emb = FftEmbedding::new(cube);
-    println!("butterfly embedding on the {dim}-cube: {} stages, dilation {}", emb.stages(), emb.dilation());
+    println!(
+        "butterfly embedding on the {dim}-cube: {} stages, dilation {}",
+        emb.stages(),
+        emb.dilation()
+    );
     for s in 0..emb.stages() {
         print!("  stage {s}: node 0 partners {}", emb.partner(0, s));
-        println!(" (one hop: distance {})", cube.distance(0, emb.partner(0, s)));
+        println!(
+            " (one hop: distance {})",
+            cube.distance(0, emb.partner(0, s))
+        );
     }
 
     // A signal with two tones plus noise.
@@ -55,9 +62,22 @@ fn main() {
     assert!(max_err < 1e-9 * total as f64);
 
     // The two tones dominate the spectrum.
-    let mag: Vec<f64> = spectrum.iter().map(|&(r, i)| (r * r + i * i).sqrt()).collect();
+    let mag: Vec<f64> = spectrum
+        .iter()
+        .map(|&(r, i)| (r * r + i * i).sqrt())
+        .collect();
     let mut idx: Vec<usize> = (0..total / 2).collect();
     idx.sort_by(|&a, &b| mag[b].partial_cmp(&mag[a]).unwrap());
-    println!("  strongest bins: {} and {} (expected 13 and 80)", idx[0], idx[1]);
-    assert_eq!({ let mut t = [idx[0], idx[1]]; t.sort_unstable(); t }, [13, 80]);
+    println!(
+        "  strongest bins: {} and {} (expected 13 and 80)",
+        idx[0], idx[1]
+    );
+    assert_eq!(
+        {
+            let mut t = [idx[0], idx[1]];
+            t.sort_unstable();
+            t
+        },
+        [13, 80]
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     );
 
     let verdicts = boot(&mut machine, 4096);
-    println!("{:>5} {:>8} {:>14} {:>10}", "node", "memtest", "words tested", "CP instrs");
+    println!(
+        "{:>5} {:>8} {:>14} {:>10}",
+        "node", "memtest", "words tested", "CP instrs"
+    );
     for v in &verdicts {
         println!(
             "{:>5} {:>8} {:>14} {:>10}",
@@ -33,5 +36,8 @@ fn main() {
         "\nboot complete at {} — image distributed over the system ring,",
         machine.now()
     );
-    println!("all {} self-tests green; the machine is yours.", verdicts.len());
+    println!(
+        "all {} self-tests green; the machine is yours.",
+        verdicts.len()
+    );
 }

@@ -14,7 +14,10 @@ use fps_t_series::machine::{Machine, MachineCfg};
 fn main() {
     const N: usize = 32;
     println!("Cannon matmul, N = {N} (2N^3 = {} flops)", 2 * N * N * N);
-    println!("{:>6} {:>7} {:>12} {:>10} {:>10} {:>12}", "nodes", "dim", "elapsed", "MFLOPS", "speedup", "bytes sent");
+    println!(
+        "{:>6} {:>7} {:>12} {:>10} {:>10} {:>12}",
+        "nodes", "dim", "elapsed", "MFLOPS", "speedup", "bytes sent"
+    );
 
     let mut t1 = None;
     for dim in [0u32, 2, 4] {

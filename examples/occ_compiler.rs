@@ -22,7 +22,10 @@ fn main() {
         }\n";
     let prog = ts_cp::occ::compile(src).expect("compile failed");
     println!("--- occ source ---\n{src}");
-    println!("--- generated assembly ({} bytes of code) ---", prog.code.len());
+    println!(
+        "--- generated assembly ({} bytes of code) ---",
+        prog.code.len()
+    );
     for line in prog.asm.lines().take(12) {
         println!("  {line}");
     }
@@ -48,10 +51,8 @@ fn main() {
 
     // --- two compiled programs over a link ---------------------------------
     let mut m2 = Machine::build(MachineCfg::cube(1));
-    let ping = ts_cp::occ::compile(
-        "x := 123456789 % 1013;\nsend 0, x;\nrecv 0, echoed;\n",
-    )
-    .unwrap();
+    let ping =
+        ts_cp::occ::compile("x := 123456789 % 1013;\nsend 0, x;\nrecv 0, echoed;\n").unwrap();
     let pong = ts_cp::occ::compile("recv 0, v;\nv := v + 1;\nsend 0, v;\n").unwrap();
     let (c0, c1) = (m2.ctx(0), m2.ctx(1));
     let (p, q) = (ping.clone(), pong.clone());
@@ -62,7 +63,10 @@ fn main() {
         c1.run_cp_program(&q.code, 8192, 256).await.unwrap();
     });
     assert!(m2.run().quiescent);
-    let echoed = m2.nodes[0].mem().read_word(256 + ping.vars["echoed"]).unwrap();
+    let echoed = m2.nodes[0]
+        .mem()
+        .read_word(256 + ping.vars["echoed"])
+        .unwrap();
     println!(
         "\nping-pong between two compiled programs over a 0.5 MB/s link: {} -> {} ({})",
         123456789u32 % 1013,

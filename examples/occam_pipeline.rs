@@ -61,7 +61,11 @@ fn main() {
     for (dim, v) in &got {
         println!("  dim {dim}: {v}");
     }
-    let data: Vec<u32> = got.iter().filter(|(d, _)| *d == 1).map(|&(_, v)| v).collect();
+    let data: Vec<u32> = got
+        .iter()
+        .filter(|(d, _)| *d == 1)
+        .map(|&(_, v)| v)
+        .collect();
     assert_eq!(data, vec![0, 2, 8, 18, 32], "pipeline values");
 
     // --- PAR on one node -------------------------------------------------
@@ -122,6 +126,8 @@ fn main() {
     m3.run();
     let (instrs, mips, t) = jh.try_take().unwrap();
     let sum = m3.nodes[0].mem().read_word(256).unwrap();
-    println!("\nstack-machine program: sum 1..=100 = {sum} ({instrs} instructions, {mips:.2} MIPS, {t})");
+    println!(
+        "\nstack-machine program: sum 1..=100 = {sum} ({instrs} instructions, {mips:.2} MIPS, {t})"
+    );
     assert_eq!(sum, 5050);
 }

@@ -74,9 +74,15 @@ fn traced_two_node_run(path: &std::path::Path) {
     machine.launch_on(1, async move {
         for _ in 0..3 {
             let words = rx.recv_dim(0).await;
-            rx.vec_async(VecForm::Saxpy(Sf64::from(0.5)), 0, rows_a, rows_a, words.len())
-                .unwrap()
-                .await;
+            rx.vec_async(
+                VecForm::Saxpy(Sf64::from(0.5)),
+                0,
+                rows_a,
+                rows_a,
+                words.len(),
+            )
+            .unwrap()
+            .await;
         }
     });
     assert!(machine.run().quiescent);

@@ -82,8 +82,10 @@ fn main() {
                 let xs: Vec<Sf64> = x.iter().map(|&v| Sf64::from(v)).collect();
                 let mut y_local = Vec::with_capacity(rows_per);
                 for r in 0..rows_per {
-                    let row: Vec<Sf64> =
-                        my_rows[r * N..(r + 1) * N].iter().map(|&v| Sf64::from(v)).collect();
+                    let row: Vec<Sf64> = my_rows[r * N..(r + 1) * N]
+                        .iter()
+                        .map(|&v| Sf64::from(v))
+                        .collect();
                     y_local.push(ctx.dot_values(&row, &xs).await);
                 }
                 // Global norm² and Rayleigh numerator by all-reduce.
@@ -102,7 +104,10 @@ fn main() {
                 .await;
                 let norm = sums[0].to_host().sqrt();
                 lambda = sums[1].to_host();
-                x_local = y_local.iter().map(|v| Sf64::from(v.to_host() / norm)).collect();
+                x_local = y_local
+                    .iter()
+                    .map(|v| Sf64::from(v.to_host() / norm))
+                    .collect();
             }
             lambda
         }

@@ -15,7 +15,10 @@ fn main() {
     // memory, 16 MFLOPS vector arithmetic, four serial links).
     let mut machine = Machine::build(MachineCfg::cube(2));
     let specs = machine.cfg().specs();
-    println!("machine: {}-cube, {} nodes, peak {} MFLOPS", specs.dim, specs.nodes, specs.peak_mflops);
+    println!(
+        "machine: {}-cube, {} nodes, peak {} MFLOPS",
+        specs.dim, specs.nodes, specs.peak_mflops
+    );
 
     // Host-side setup: x in bank A (row 0..), y in bank B, so the vector
     // unit streams both operands at one element per 125 ns cycle.

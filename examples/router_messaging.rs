@@ -57,7 +57,10 @@ fn main() {
         assert_eq!(*val, (src * 10) * (src * 10));
         println!("{src:>6} {val:>8} {hops:>6}");
     }
-    println!("\nall {} results correct; finished at {finish}", results.len());
+    println!(
+        "\nall {} results correct; finished at {finish}",
+        results.len()
+    );
     println!("(multi-hop messages paid one link time per hop — run the E-cube");
     println!(" latency check with `cargo test -p t-series-core router`)");
 }

@@ -15,9 +15,19 @@ use fps_t_series::cube::{gray, Hypercube, SublinkBudget};
 
 fn main() {
     println!("The binary n-cube family (Figure 3):");
-    for (dim, name) in [(0, "point"), (1, "line"), (2, "square"), (3, "cube"), (4, "tesseract")] {
+    for (dim, name) in [
+        (0, "point"),
+        (1, "line"),
+        (2, "square"),
+        (3, "cube"),
+        (4, "tesseract"),
+    ] {
         let c = Hypercube::new(dim);
-        println!("  N = {dim}: {name:9} {:4} nodes, diameter {}", c.nodes(), c.diameter());
+        println!(
+            "  N = {dim}: {name:9} {:4} nodes, diameter {}",
+            c.nodes(),
+            c.diameter()
+        );
     }
 
     let cube = Hypercube::new(4);
@@ -27,7 +37,10 @@ fn main() {
     for p in 0..ring.len() {
         print!("{:04b} ", ring.node_at(p));
     }
-    println!("\n  dilation = {} (every step one physical hop, wrap included)", ring.dilation());
+    println!(
+        "\n  dilation = {} (every step one physical hop, wrap included)",
+        ring.dilation()
+    );
 
     println!("\n4x4 mesh on the tesseract:");
     let mesh = MeshEmbedding::new(cube, &[2, 2]);
@@ -38,16 +51,26 @@ fn main() {
         }
         println!();
     }
-    println!("  mesh dilation = {}, torus dilation = {}", mesh.dilation(), mesh.torus_dilation());
+    println!(
+        "  mesh dilation = {}, torus dilation = {}",
+        mesh.dilation(),
+        mesh.torus_dilation()
+    );
 
     println!("\nFFT butterfly on the tesseract:");
     let fft = FftEmbedding::new(cube);
     for s in 0..fft.stages() {
-        println!("  stage {s}: node 0110 partners {:04b}", fft.partner(0b0110, s));
+        println!(
+            "  stage {s}: node 0110 partners {:04b}",
+            fft.partner(0b0110, s)
+        );
     }
     println!("  dilation = {}", fft.dilation());
 
-    println!("\nGray code (first 8): {:?}", (0..8).map(gray).collect::<Vec<_>>());
+    println!(
+        "\nGray code (first 8): {:?}",
+        (0..8).map(gray).collect::<Vec<_>>()
+    );
 
     println!("\nE-cube route 0000 -> 1011:");
     let path = cube.route(0b0000, 0b1011);
@@ -58,8 +81,15 @@ fn main() {
     let b = SublinkBudget::default();
     println!("  4 links x 4 sublinks = {} per node", SublinkBudget::TOTAL);
     println!("  reserved: {} system, {} I/O", b.system, b.io);
-    println!("  left for the hypercube: {} -> largest machine: a {}-cube ({} nodes)",
-        b.for_hypercube(), b.max_dim(), 1u64 << b.max_dim());
+    println!(
+        "  left for the hypercube: {} -> largest machine: a {}-cube ({} nodes)",
+        b.for_hypercube(),
+        b.max_dim(),
+        1u64 << b.max_dim()
+    );
     let no_io = SublinkBudget { system: 2, io: 0 };
-    println!("  without the I/O reservation: a {}-cube (the architectural maximum)", no_io.max_dim());
+    println!(
+        "  without the I/O reservation: a {}-cube (the architectural maximum)",
+        no_io.max_dim()
+    );
 }

@@ -20,6 +20,7 @@
 //! | [`node`] | `ts-node` | node assembly + Occam-style programming model |
 //! | [`machine`] | `t-series-core` | modules, system ring, disks, snapshots, collectives |
 //! | [`kernels`] | `ts-kernels` | distributed matmul, FFT, LU, bitonic sort, stencil |
+//! | [`sched`] | `ts-sched` | space-sharing job scheduler: buddy subcubes, preemption, accounting |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure and quantitative claim.
@@ -48,5 +49,6 @@ pub use ts_kernels as kernels;
 pub use ts_link as link;
 pub use ts_mem as mem;
 pub use ts_node as node;
+pub use ts_sched as sched;
 pub use ts_sim as sim;
 pub use ts_vec as vector;

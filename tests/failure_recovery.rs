@@ -32,7 +32,8 @@ fn setup(machine: &mut Machine) {
         let rows_a = mem.cfg().rows_a();
         for i in 0..128 {
             mem.write_f64(2 * i, Sf64::from(1.0)).unwrap(); // the ones vector
-            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64)).unwrap();
+            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64))
+                .unwrap();
         }
     }
 }
@@ -132,7 +133,9 @@ fn supervisor_recovers_mem_flip_during_phase_two_bit_identically() {
     ];
     let sup = Supervisor::new(cfg);
 
-    let (ref_m, ref_rep) = sup.run_to_completion(setup, &phases, &FaultPlan::new()).unwrap();
+    let (ref_m, ref_rep) = sup
+        .run_to_completion(setup, &phases, &FaultPlan::new())
+        .unwrap();
     let want: Vec<f64> = (0..8).map(|n| read_acc(&ref_m, n, 17)).collect();
     assert_eq!(want, (0..8).map(|n| n as f64 + 8.0).collect::<Vec<_>>());
 
@@ -151,14 +154,28 @@ fn supervisor_recovers_mem_flip_during_phase_two_bit_identically() {
     let rows_a = ref_m.nodes[0].mem().cfg().rows_a();
     let plan = FaultPlan::new().with(
         flip_at,
-        FaultEvent::MemFlip { node: 5, addr: rows_a * ROW_WORDS + 34, bit: 13 },
+        FaultEvent::MemFlip {
+            node: 5,
+            addr: rows_a * ROW_WORDS + 34,
+            bit: 13,
+        },
     );
     let (m, rep) = sup.run_to_completion(setup, &phases, &plan).unwrap();
     let got: Vec<f64> = (0..8).map(|n| read_acc(&m, n, 17)).collect();
-    assert_eq!(got, want, "auto-recovered run must equal the fault-free run");
+    assert_eq!(
+        got, want,
+        "auto-recovered run must equal the fault-free run"
+    );
     assert_eq!(rep.reboots, 1);
-    assert!(rep.rework > Dur::ZERO, "phase-2 progress was lost and replayed");
-    assert_eq!(m.nodes[5].mem().parity_errors(), 0, "no latent corruption survives");
+    assert!(
+        rep.rework > Dur::ZERO,
+        "phase-2 progress was lost and replayed"
+    );
+    assert_eq!(
+        m.nodes[5].mem().parity_errors(),
+        0,
+        "no latent corruption survives"
+    );
 }
 
 /// Like [`run_phase`] but only launches — the supervisor drives the sim.
@@ -166,7 +183,11 @@ fn run_phase_async(machine: &mut Machine, sweeps: usize) {
     machine.launch(move |ctx| async move {
         let rows_a = ctx.mem().cfg().rows_a();
         for _ in 0..sweeps {
-            if ctx.vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128).await.is_err() {
+            if ctx
+                .vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128)
+                .await
+                .is_err()
+            {
                 return;
             }
         }

@@ -31,7 +31,8 @@ fn seed(m: &mut Machine) {
         let rows_a = mem.cfg().rows_a();
         for i in 0..128 {
             mem.write_f64(2 * i, Sf64::from(1.0)).unwrap();
-            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64)).unwrap();
+            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(node.id as f64))
+                .unwrap();
         }
     }
 }
@@ -42,7 +43,10 @@ fn compute_phase(sweeps: usize) -> Phase<'static> {
         m.launch(move |ctx| async move {
             let rows_a = ctx.mem().cfg().rows_a();
             for _ in 0..sweeps {
-                if ctx.vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128).await.is_err()
+                if ctx
+                    .vec(VecForm::Saxpy(Sf64::from(1.0)), 0, rows_a, rows_a, 128)
+                    .await
+                    .is_err()
                 {
                     return;
                 }
@@ -90,7 +94,10 @@ fn results(m: &Machine) -> Vec<(f64, f64)> {
         .iter()
         .map(|n| {
             let mem = n.mem();
-            (mem.read_f64(acc + 34).unwrap().to_host(), mem.read_f64(inbox).unwrap().to_host())
+            (
+                mem.read_f64(acc + 34).unwrap().to_host(),
+                mem.read_f64(inbox).unwrap().to_host(),
+            )
         })
         .collect()
 }
@@ -119,10 +126,10 @@ fn probe_times() -> (Dur, Dur, Dur) {
 fn plan() -> FaultPlan {
     let (d0, p0, p1) = probe_times();
     FaultPlan::new()
-        .with(d0 + Dur::from_secs_f64(p0.as_secs_f64() / 2.0), FaultEvent::LinkDown {
-            node: 1,
-            dim: 0,
-        })
+        .with(
+            d0 + Dur::from_secs_f64(p0.as_secs_f64() / 2.0),
+            FaultEvent::LinkDown { node: 1, dim: 0 },
+        )
         .with(
             d0 + p0 + Dur::from_secs_f64(p1.as_secs_f64() / 2.0),
             FaultEvent::NodeCrash { node: 6 },
@@ -130,13 +137,16 @@ fn plan() -> FaultPlan {
 }
 
 fn healed_run(plan: &FaultPlan) -> (Machine, SupervisorReport) {
-    Supervisor::new(cfg()).run_to_completion(seed, &phases(), plan).unwrap()
+    Supervisor::new(cfg())
+        .run_to_completion(seed, &phases(), plan)
+        .unwrap()
 }
 
 #[test]
 fn link_kill_plus_node_crash_heals_bit_identically() {
-    let (ref_m, _) =
-        Supervisor::new(cfg()).run_to_completion(seed, &phases(), &FaultPlan::new()).unwrap();
+    let (ref_m, _) = Supervisor::new(cfg())
+        .run_to_completion(seed, &phases(), &FaultPlan::new())
+        .unwrap();
     let want = results(&ref_m);
     // Sanity on the reference itself: acc = id + 5 sweeps, inbox carries
     // the opposite node's greeting (100 + src) + src.
@@ -155,12 +165,19 @@ fn link_kill_plus_node_crash_heals_bit_identically() {
     assert!(!m.faults().is_link_up(1, 0), "the cable stays broken");
     // The replayed exchange ran on a degraded fabric: the router had to
     // detour around the dead edge, and counted it.
-    assert!(m.metrics().get("router.reroutes") >= 1, "{}", m.utilization_report());
+    assert!(
+        m.metrics().get("router.reroutes") >= 1,
+        "{}",
+        m.utilization_report()
+    );
     // The post-mortem report tells the whole story.
     let post_mortem = m.utilization_report();
     assert!(post_mortem.contains("faults: 1 link down"), "{post_mortem}");
     assert!(post_mortem.contains("reroutes"), "{post_mortem}");
-    assert!(post_mortem.contains("recovery: 1 snapshots, 1 reboots"), "{post_mortem}");
+    assert!(
+        post_mortem.contains("recovery: 1 snapshots, 1 reboots"),
+        "{post_mortem}"
+    );
 }
 
 #[test]
@@ -186,7 +203,11 @@ fn generated_plans_are_reproducible_end_to_end() {
     // simply never fire.)
     let mem_words = Machine::build(cfg()).nodes[0].mem().cfg().words();
     let plan = FaultPlan::generate(0xF00D, 3, mem_words, 3, Dur::ms(700));
-    let run = || Supervisor::new(cfg()).max_reboots(8).run_to_completion(seed, &phases(), &plan);
+    let run = || {
+        Supervisor::new(cfg())
+            .max_reboots(8)
+            .run_to_completion(seed, &phases(), &plan)
+    };
     match (run(), run()) {
         (Ok((m1, r1)), Ok((m2, r2))) => {
             assert_eq!(r1.faults, r2.faults);

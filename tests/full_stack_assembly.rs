@@ -26,7 +26,8 @@ fn distributed_dot_product_in_machine_code() {
             let x = (node.id as usize * N + i) as f64 * 0.25;
             let y = 2.0 - i as f64 * 0.125;
             mem.write_f64(2 * i, Sf64::from(x)).unwrap();
-            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(y)).unwrap();
+            mem.write_f64(rows_a * ROW_WORDS + 2 * i, Sf64::from(y))
+                .unwrap();
             want_total += x * y;
         }
         // Vector-form descriptor at word 600: Dot(3), x=row 0, y=bank B.
@@ -52,10 +53,17 @@ fn distributed_dot_product_in_machine_code() {
     let mut joins = Vec::new();
     for node in &machine.nodes {
         let ctx = node.ctx();
-        let src = if node.id % 2 == 0 { even.clone() } else { odd.clone() };
+        let src = if node.id % 2 == 0 {
+            even.clone()
+        } else {
+            odd.clone()
+        };
         let code = ts_cp::assemble(&src).expect("assembly failed");
         joins.push(machine.handle().spawn(async move {
-            ctx.run_cp_program(&code, 4096, 256).await.unwrap().instructions
+            ctx.run_cp_program(&code, 4096, 256)
+                .await
+                .unwrap()
+                .instructions
         }));
     }
     let report = machine.run();
@@ -123,9 +131,15 @@ fn compiled_occ_programs_communicate_across_a_link() {
 
     // gcd(462, 1071) = 21; node 1 squares it to 441; node 0 gets it back.
     let slot_back = producer.vars["back"];
-    assert_eq!(machine.nodes[0].mem().read_word(256 + slot_back).unwrap(), 441);
+    assert_eq!(
+        machine.nodes[0].mem().read_word(256 + slot_back).unwrap(),
+        441
+    );
     let slot_sq = consumer.vars["sq"];
-    assert_eq!(machine.nodes[1].mem().read_word(256 + slot_sq).unwrap(), 441);
+    assert_eq!(
+        machine.nodes[1].mem().read_word(256 + slot_sq).unwrap(),
+        441
+    );
     // Two messages actually crossed the serial link.
     assert_eq!(machine.metrics().get("link.msgs_sent"), 2);
 }

@@ -76,7 +76,12 @@ fn simulation_is_deterministic_end_to_end() {
         let report = m.run();
         assert!(report.quiescent);
         let results: Vec<u64> = handles.into_iter().map(|h| h.try_take().unwrap()).collect();
-        (m.now(), report.events, results, m.metrics().get("link.bytes_sent"))
+        (
+            m.now(),
+            report.events,
+            results,
+            m.metrics().get("link.bytes_sent"),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -115,7 +120,10 @@ fn balance_ratio_1_13_130_holds_in_the_simulator() {
     let (arith, gather, link) = jh.try_take().unwrap();
     let r_gather = gather / arith;
     let r_link = link / arith;
-    assert!((11.0..15.0).contains(&r_gather), "gather/arith = {r_gather}");
+    assert!(
+        (11.0..15.0).contains(&r_gather),
+        "gather/arith = {r_gather}"
+    );
     assert!((115.0..145.0).contains(&r_link), "link/arith = {r_link}");
 }
 
@@ -160,8 +168,8 @@ fn overlap_rule_thirteen_ops_hides_gather() {
     let t1 = ops_time(1); // gather dominates
     let t13 = ops_time(13); // balanced
     let t26 = ops_time(26); // arithmetic dominates
-    // At k=1 the round costs ≈ the gather (205 µs); at k=13 the arithmetic
-    // (13 × ~18 µs ≈ 232 µs) just covers it; doubling k doubles time.
+                            // At k=1 the round costs ≈ the gather (205 µs); at k=13 the arithmetic
+                            // (13 × ~18 µs ≈ 232 µs) just covers it; doubling k doubles time.
     assert!(t1 < t13 * 1.02, "t1 {t1} vs t13 {t13}");
     let ratio = t26 / t13;
     assert!(
@@ -195,9 +203,15 @@ fn cube_scales_where_shared_bus_saturates() {
         m.launch(|ctx| async move {
             let rows_a = ctx.mem().cfg().rows_a();
             for _ in 0..32 {
-                ctx.vec(ts_vec::VecForm::Saxpy(Sf64::from(2.0)), 0, rows_a, rows_a, 1024)
-                    .await
-                    .unwrap();
+                ctx.vec(
+                    ts_vec::VecForm::Saxpy(Sf64::from(2.0)),
+                    0,
+                    rows_a,
+                    rows_a,
+                    1024,
+                )
+                .await
+                .unwrap();
             }
         });
         assert!(m.run().quiescent);
@@ -317,13 +331,7 @@ fn large_cube_collectives_smoke() {
         let mut m = Machine::build(MachineCfg::cube_small_mem(7, 8));
         let cube = m.cube;
         let handles = m.launch(move |ctx| async move {
-            let v = collectives::allreduce(
-                &ctx,
-                cube,
-                CombineOp::Add,
-                vec![Sf64::from(1.0)],
-            )
-            .await;
+            let v = collectives::allreduce(&ctx, cube, CombineOp::Add, vec![Sf64::from(1.0)]).await;
             collectives::barrier(&ctx, cube).await;
             v[0].to_host()
         });

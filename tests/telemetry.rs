@@ -191,9 +191,7 @@ mod json {
 
     fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         let start = *pos;
-        while *pos < b.len()
-            && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
             *pos += 1;
         }
         std::str::from_utf8(&b[start..*pos])
@@ -227,9 +225,15 @@ fn traced_workload() -> Tracer {
     m.launch_on(1, async move {
         for _ in 0..3 {
             let words = rx.recv_dim(0).await;
-            rx.vec_async(VecForm::Saxpy(Sf64::from(0.5)), 0, rows_a, rows_a, words.len())
-                .unwrap()
-                .await;
+            rx.vec_async(
+                VecForm::Saxpy(Sf64::from(0.5)),
+                0,
+                rows_a,
+                rows_a,
+                words.len(),
+            )
+            .unwrap()
+            .await;
         }
     });
     assert!(m.run().quiescent);
@@ -247,17 +251,32 @@ fn perfetto_export_is_schema_valid_trace_event_json() {
         .and_then(|v| v.as_arr())
         .expect("top-level traceEvents array");
     assert!(!events.is_empty(), "trace must not be empty");
-    assert_eq!(doc.get("displayTimeUnit").and_then(|v| v.as_str()), Some("ns"));
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ns")
+    );
 
     let mut spans = 0;
     let mut flows_s = 0;
     let mut flows_f = 0;
     let mut span_pids = std::collections::BTreeSet::new();
     for e in events {
-        let ph = e.get("ph").and_then(|v| v.as_str()).expect("every event has ph");
-        assert!(e.get("name").and_then(|v| v.as_str()).is_some(), "every event has a name");
-        assert!(e.get("pid").and_then(|v| v.as_f64()).is_some(), "every event has pid");
-        assert!(e.get("tid").and_then(|v| v.as_f64()).is_some(), "every event has tid");
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every event has ph");
+        assert!(
+            e.get("name").and_then(|v| v.as_str()).is_some(),
+            "every event has a name"
+        );
+        assert!(
+            e.get("pid").and_then(|v| v.as_f64()).is_some(),
+            "every event has pid"
+        );
+        assert!(
+            e.get("tid").and_then(|v| v.as_f64()).is_some(),
+            "every event has tid"
+        );
         match ph {
             "M" => {
                 let name = e.get("name").unwrap().as_str().unwrap();
@@ -295,7 +314,10 @@ fn perfetto_export_is_schema_valid_trace_event_json() {
     assert_eq!(flows_s, flows_f, "every flow start pairs with a finish");
     assert!(flows_s > 0, "link sends must emit flow arrows");
     // Both nodes' units must appear as their own processes (pid = id + 2).
-    assert!(span_pids.contains(&2) && span_pids.contains(&3), "pids: {span_pids:?}");
+    assert!(
+        span_pids.contains(&2) && span_pids.contains(&3),
+        "pids: {span_pids:?}"
+    );
 }
 
 #[test]
@@ -340,7 +362,11 @@ fn histogram_bucketing_respects_bucket_ranges() {
 fn identical_runs_emit_identical_event_streams() {
     let a = traced_workload();
     let b = traced_workload();
-    assert_eq!(a.tracks(), b.tracks(), "track interning must be deterministic");
+    assert_eq!(
+        a.tracks(),
+        b.tracks(),
+        "track interning must be deterministic"
+    );
     assert_eq!(
         trace_event_json(&a),
         trace_event_json(&b),

@@ -1,18 +1,25 @@
-//! Emit a machine-readable benchmark report (`BENCH_4.json` by default).
+//! Emit a machine-readable benchmark report (`BENCH_5.json` by default).
 //!
 //! Runs the kernel sweep (E11), measures collective latencies on a
 //! 3-cube, runs the space-sharing scheduler batch under both queue
-//! policies, times the metrics hot path, and writes everything as JSON.
+//! policies, times the metrics hot path, probes simulator throughput at
+//! a set of cube dimensions, and writes everything as JSON.
 //! With `--baseline <path>` the run fails (exit 2) if any kernel's
 //! MFLOPS dropped more than 20% below the baseline file's figure — the
 //! simulator is deterministic, so in practice any drop is a real
 //! modelling change, and the 20% headroom only forgives intentional
 //! fidelity adjustments that should come with a baseline refresh.
+//! With `--scale-baseline <path>` it also fails (exit 2) if any scale
+//! row's events/sec fell more than 20% below the baseline's — that gate
+//! compares host wall-clock throughput, so it forgives hardware noise up
+//! to 20% but catches a hot-loop regression.
 //!
 //! ```text
-//! cargo run -p ts-bench                          # writes BENCH_4.json
+//! cargo run -p ts-bench                          # writes BENCH_5.json
 //! cargo run -p ts-bench -- --out BENCH_ci.json --baseline BENCH_baseline.json
 //! cargo run -p ts-bench -- --trace overlap.json  # also dump a Perfetto trace
+//! cargo run -p ts-bench -- --scale-only --scale-dims 10,12 \
+//!     --scale-out SCALE_ci.json --scale-baseline BENCH_5.json
 //! ```
 
 use std::path::PathBuf;
@@ -20,33 +27,134 @@ use std::process::ExitCode;
 
 use t_series_core::{Machine, MachineCfg};
 use ts_bench::report::{
-    collective_probe, counter_microbench, kernel_rows, regressions, sched_probe,
+    annotate_scale_pre, collective_probe, counter_microbench, kernel_rows, regressions,
+    scale_probe, scale_regressions, scale_to_json, sched_probe, ScaleRow,
 };
 use ts_bench::BenchReport;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_json [--out PATH] [--baseline PATH] [--trace PATH]\n\
+         \x20                 [--scale-dims LIST] [--scale-only] [--scale-out PATH]\n\
+         \x20                 [--scale-baseline PATH] [--scale-pre PATH]\n\
          \n\
-         --out PATH       where to write the JSON report (default BENCH_4.json)\n\
-         --baseline PATH  fail (exit 2) if any kernel regresses >20% vs this report\n\
-         --trace PATH     also write a Perfetto trace of a small traced matmul run"
+         --out PATH            where to write the JSON report (default BENCH_5.json)\n\
+         --baseline PATH       fail (exit 2) if any kernel regresses >20% vs this report\n\
+         --trace PATH          also write a Perfetto trace of a small traced matmul run\n\
+         --scale-dims LIST     comma-separated cube dims to probe (default 6,8;\n\
+         \x20                     even dims run allreduce+matmul+fft, dims > 10 and\n\
+         \x20                     odd dims run the allreduce smoke only)\n\
+         --scale-only          run only the scale probe (skip kernels/collectives/sched)\n\
+         --scale-out PATH      also write the scale section as a standalone JSON doc\n\
+         --scale-baseline PATH fail (exit 2) on >20% events/sec drop vs this report\n\
+         --scale-pre PATH      annotate rows with speedup vs this reference scale doc"
     );
     std::process::exit(64);
 }
 
+fn run_scale(dims: &[u32]) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    for &dim in dims {
+        // The full batch needs an even dim (Cannon); above dim 10 the
+        // matmul/FFT working set stops being a smoke test, so big cubes
+        // run the allreduce-only kernel.
+        let full = dim.is_multiple_of(2) && dim <= 10;
+        println!(
+            "scale probe: dim {dim} ({} nodes), {}...",
+            1u64 << dim,
+            if full {
+                "allreduce+matmul+fft"
+            } else {
+                "allreduce"
+            }
+        );
+        let row = scale_probe(dim, full);
+        println!(
+            "  build {:.2}s  run {:.2}s  sim {:.4}s  {} events  {:.0} events/s  {:.1} wall-s/sim-s",
+            row.build_s, row.wall_s, row.sim_s, row.events, row.events_per_sec, row.wall_per_sim_s
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 fn main() -> ExitCode {
-    let mut out = PathBuf::from("BENCH_4.json");
+    let mut out = PathBuf::from("BENCH_5.json");
     let mut baseline: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
+    let mut scale_dims: Vec<u32> = vec![6, 8];
+    let mut scale_only = false;
+    let mut scale_out: Option<PathBuf> = None;
+    let mut scale_baseline: Option<PathBuf> = None;
+    let mut scale_pre: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next().unwrap_or_else(|| usage()).into(),
             "--baseline" => baseline = Some(args.next().unwrap_or_else(|| usage()).into()),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--scale-dims" => {
+                scale_dims = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|d| d.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--scale-only" => scale_only = true,
+            "--scale-out" => scale_out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--scale-baseline" => {
+                scale_baseline = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
+            "--scale-pre" => scale_pre = Some(args.next().unwrap_or_else(|| usage()).into()),
             _ => usage(),
         }
+    }
+
+    println!("probing simulator throughput...");
+    let mut scale = run_scale(&scale_dims);
+    if let Some(pre_path) = &scale_pre {
+        match std::fs::read_to_string(pre_path) {
+            Ok(pre) => annotate_scale_pre(&mut scale, &pre),
+            Err(e) => {
+                eprintln!("FAIL: cannot read --scale-pre {}: {e}", pre_path.display());
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if let Some(path) = &scale_out {
+        if let Err(e) = std::fs::write(path, scale_to_json(&scale)) {
+            eprintln!("FAIL: cannot write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(base_path) = &scale_baseline {
+        let base = match std::fs::read_to_string(base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL: cannot read baseline {}: {e}", base_path.display());
+                return ExitCode::from(1);
+            }
+        };
+        let bad = scale_regressions(&scale, &base, 0.20);
+        if !bad.is_empty() {
+            eprintln!(
+                "FAIL: simulator throughput regressed vs {}:",
+                base_path.display()
+            );
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            return ExitCode::from(2);
+        }
+        println!(
+            "no scale row regressed >20% events/sec vs {}",
+            base_path.display()
+        );
+    }
+    if scale_only {
+        return ExitCode::SUCCESS;
     }
 
     let kernels = kernel_rows(&ts_bench::e11_kernel_scaling());
@@ -95,6 +203,7 @@ fn main() -> ExitCode {
         sched,
         counter,
         transport,
+        scale,
     };
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("FAIL: cannot write {}: {e}", out.display());

@@ -16,7 +16,9 @@ pub mod sweep;
 
 pub use experiments::*;
 pub use harness::Bench;
-pub use report::{BenchReport, CollectiveRow, CounterBench, KernelRow, TransportCounters};
+pub use report::{
+    BenchReport, CollectiveRow, CounterBench, KernelRow, ScaleRow, TransportCounters,
+};
 pub use sweep::parallel_sweep;
 
 /// Pretty-print a paper-vs-measured row.

@@ -98,6 +98,38 @@ pub struct SchedRow {
     pub reallocations: u32,
 }
 
+/// Simulator throughput at one cube dimension: how fast the executor
+/// chews through a fixed workload on a `2^dim`-node machine, in host
+/// wall-clock terms. This is the scaling story ([`scale_probe`]): events
+/// per host second should stay roughly flat as the machine grows, and
+/// wall-clock per simulated second is the price of one virtual second.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Cube dimension.
+    pub dim: u32,
+    /// Node count (`2^dim`).
+    pub nodes: u64,
+    /// Workload identifier (`allreduce+matmul+fft` or `allreduce`).
+    pub workload: String,
+    /// Host seconds spent building the machine (wires, links, registry).
+    pub build_s: f64,
+    /// Host seconds spent running the workload (excludes build).
+    pub wall_s: f64,
+    /// Virtual seconds the workload simulated.
+    pub sim_s: f64,
+    /// Timer events the executor processed.
+    pub events: u64,
+    /// Executor throughput: `events / wall_s`.
+    pub events_per_sec: f64,
+    /// Host seconds per simulated second: `wall_s / sim_s`.
+    pub wall_per_sim_s: f64,
+    /// Pre-optimization events/sec from a `--scale-pre` reference run, if
+    /// one was supplied (0.0 otherwise).
+    pub pre_events_per_sec: f64,
+    /// `events_per_sec / pre_events_per_sec` (0.0 without a reference).
+    pub speedup_vs_pre: f64,
+}
+
 /// A full benchmark report, renderable as JSON.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -111,6 +143,8 @@ pub struct BenchReport {
     pub counter: CounterBench,
     /// Transport counters from the fault-free collective probe.
     pub transport: TransportCounters,
+    /// Simulator-throughput rows, one per probed cube dimension.
+    pub scale: Vec<ScaleRow>,
 }
 
 /// Annotate the raw `(name, nodes, elapsed_s, mflops)` tuples from
@@ -241,6 +275,69 @@ pub fn sched_probe() -> Vec<SchedRow> {
         .collect()
 }
 
+/// Measure simulator throughput on a `2^dim`-node machine.
+///
+/// The workload is the scale batch the ROADMAP asks for: a machine-wide
+/// all-reduce, and — when `full_batch` is set (needs an even `dim`) — a
+/// Cannon matmul sized two blocks per torus side plus a distributed FFT
+/// of two points per node, all on one machine so the events and
+/// simulated time accumulate across phases. Build time is measured
+/// separately from run time: at large dims the wiring cost is real but
+/// says nothing about executor throughput.
+pub fn scale_probe(dim: u32, full_batch: bool) -> ScaleRow {
+    assert!(
+        !full_batch || dim.is_multiple_of(2),
+        "the full scale batch includes Cannon matmul, which needs an even dim"
+    );
+    let t0 = Instant::now();
+    let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+    let build_s = t0.elapsed().as_secs_f64();
+    let cube = m.cube;
+    let t1 = Instant::now();
+    let handles = m.launch(move |ctx| async move {
+        let id = ctx.id();
+        let mine = vec![
+            Sf64::from(id as f64),
+            Sf64::from(1.0 / (1.0 + id as f64)),
+            Sf64::from((id % 17) as f64 * 0.5),
+            Sf64::from(1.0),
+        ];
+        collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await
+    });
+    assert!(m.run().quiescent, "scale allreduce stalled at dim {dim}");
+    for h in handles {
+        h.try_take().expect("allreduce result missing");
+    }
+    let workload = if full_batch {
+        let side = 1usize << (dim / 2);
+        ts_kernels::matmul::distributed_matmul(&mut m, 2 * side, 42);
+        let p = cube.nodes() as usize;
+        let input: Vec<(f64, f64)> = (0..2 * p)
+            .map(|i| (i as f64 * 0.25, -(i as f64) * 0.125))
+            .collect();
+        ts_kernels::fft::distributed_fft(&mut m, &input);
+        "allreduce+matmul+fft"
+    } else {
+        "allreduce"
+    };
+    let wall_s = t1.elapsed().as_secs_f64();
+    let prof = m.profile();
+    let sim_s = m.now().as_secs_f64();
+    ScaleRow {
+        dim,
+        nodes: cube.nodes() as u64,
+        workload: workload.to_string(),
+        build_s,
+        wall_s,
+        sim_s,
+        events: prof.timer_events,
+        events_per_sec: prof.timer_events as f64 / wall_s.max(1e-9),
+        wall_per_sim_s: wall_s / sim_s.max(1e-12),
+        pre_events_per_sec: 0.0,
+        speedup_vs_pre: 0.0,
+    }
+}
+
 /// Time `iters` increments through a pre-registered [`ts_sim::Counter`]
 /// handle and through the legacy string-keyed [`Metrics`] map. The handle
 /// is the hot path: a plain `Cell` bump, no lookup, no allocation. A
@@ -330,10 +427,110 @@ impl BenchReport {
         ));
         s.push_str(&format!(
             "  \"transport_fault_free\": {{\"retransmits\": {}, \"crc_errors\": {}, \
-             \"escalations\": {}}}\n}}\n",
+             \"escalations\": {}}},\n",
             self.transport.retransmits, self.transport.crc_errors, self.transport.escalations
         ));
+        s.push_str(&scale_json_array(&self.scale));
+        s.push_str("}\n");
         s
+    }
+}
+
+/// Render scale rows as a `"scale": [...]` JSON fragment (shared by the
+/// full report and the standalone `--scale-only` document).
+fn scale_json_array(rows: &[ScaleRow]) -> String {
+    let mut s = String::from("  \"scale\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dim\": {}, \"nodes\": {}, \"workload\": \"{}\", \
+             \"build_s\": {:.3}, \"wall_s\": {:.3}, \"sim_s\": {:.6}, \
+             \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"wall_per_sim_s\": {:.3}, \"pre_events_per_sec\": {:.1}, \
+             \"speedup_vs_pre\": {:.2}}}{}\n",
+            r.dim,
+            r.nodes,
+            r.workload,
+            r.build_s,
+            r.wall_s,
+            r.sim_s,
+            r.events,
+            r.events_per_sec,
+            r.wall_per_sim_s,
+            r.pre_events_per_sec,
+            r.speedup_vs_pre,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s
+}
+
+/// Render scale rows as a standalone JSON document (the `--scale-only`
+/// output uploaded by the CI scale-smoke lane).
+pub fn scale_to_json(rows: &[ScaleRow]) -> String {
+    format!(
+        "{{\n  \"schema\": \"ts-bench-scale/1\",\n{}}}\n",
+        scale_json_array(rows)
+    )
+}
+
+/// Pull `(dim, workload, events_per_sec)` triples back out of any JSON
+/// document carrying a scale section ([`BenchReport::to_json`] or
+/// [`scale_to_json`]). Scans line-by-line like [`parse_kernels`].
+pub fn parse_scale(json: &str) -> Vec<(u32, String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let dim = json_num(line, "dim")? as u32;
+            let workload = json_str(line, "workload")?;
+            let eps = json_num(line, "events_per_sec")?;
+            Some((dim, workload, eps))
+        })
+        .collect()
+}
+
+/// Compare scale rows against a baseline JSON document: one line per
+/// `(dim, workload)` row whose events/sec fell below
+/// `(1 - tolerance) ×` the baseline figure. Rows present on only one
+/// side are ignored, like [`regressions`].
+pub fn scale_regressions(current: &[ScaleRow], baseline_json: &str, tolerance: f64) -> Vec<String> {
+    let base = parse_scale(baseline_json);
+    let mut out = Vec::new();
+    for r in current {
+        if let Some((_, _, was)) = base
+            .iter()
+            .find(|(d, w, _)| *d == r.dim && *w == r.workload)
+        {
+            let floor = was * (1.0 - tolerance);
+            if r.events_per_sec < floor {
+                out.push(format!(
+                    "scale dim {} ({}): {:.0} events/s < {:.0} (baseline {:.0} - {:.0}%)",
+                    r.dim,
+                    r.workload,
+                    r.events_per_sec,
+                    floor,
+                    was,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Fill each row's `pre_events_per_sec`/`speedup_vs_pre` from a reference
+/// scale document (the pre-optimization measurement), matching rows on
+/// `(dim, workload)`.
+pub fn annotate_scale_pre(rows: &mut [ScaleRow], pre_json: &str) {
+    let pre = parse_scale(pre_json);
+    for r in rows {
+        if let Some((_, _, was)) = pre.iter().find(|(d, w, _)| *d == r.dim && *w == r.workload) {
+            r.pre_events_per_sec = *was;
+            r.speedup_vs_pre = if *was > 0.0 {
+                r.events_per_sec / was
+            } else {
+                0.0
+            };
+        }
     }
 }
 
@@ -445,6 +642,19 @@ mod tests {
                 legacy_ns_per_op: 20.0,
             },
             transport: TransportCounters::default(),
+            scale: vec![ScaleRow {
+                dim: 6,
+                nodes: 64,
+                workload: "allreduce".into(),
+                build_s: 0.01,
+                wall_s: 0.5,
+                sim_s: 0.002,
+                events: 100_000,
+                events_per_sec: 200_000.0,
+                wall_per_sim_s: 250.0,
+                pre_events_per_sec: 0.0,
+                speedup_vs_pre: 0.0,
+            }],
         }
     }
 
@@ -504,6 +714,51 @@ mod tests {
         let json = sample().to_json();
         assert!(json.contains("\"scheduler\""), "{json}");
         assert!(json.contains("\"policy\": \"Fcfs\""), "{json}");
+    }
+
+    #[test]
+    fn scale_json_round_trips_and_gates() {
+        let report = sample();
+        let json = report.to_json();
+        let parsed = parse_scale(&json);
+        assert_eq!(parsed, vec![(6, "allreduce".to_string(), 200_000.0)]);
+        // Standalone scale document parses the same way.
+        let solo = scale_to_json(&report.scale);
+        assert_eq!(parse_scale(&solo), parsed);
+        // 10% below baseline passes a 20% gate; 30% below fails it.
+        let mut fast = report.scale.clone();
+        fast[0].events_per_sec = 180_000.0;
+        assert!(scale_regressions(&fast, &json, 0.20).is_empty());
+        let mut slow = report.scale.clone();
+        slow[0].events_per_sec = 140_000.0;
+        let bad = scale_regressions(&slow, &json, 0.20);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("dim 6"), "{bad:?}");
+        // Kernel parsing must not pick up scale lines and vice versa.
+        assert_eq!(parse_kernels(&solo), vec![]);
+    }
+
+    #[test]
+    fn annotate_pre_computes_speedup() {
+        let mut rows = sample().scale;
+        let pre = scale_to_json(&[ScaleRow {
+            events_per_sec: 40_000.0,
+            ..rows[0].clone()
+        }]);
+        annotate_scale_pre(&mut rows, &pre);
+        assert_eq!(rows[0].pre_events_per_sec, 40_000.0);
+        assert!((rows[0].speedup_vs_pre - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_probe_runs_a_small_cube() {
+        let row = scale_probe(2, true);
+        assert_eq!(row.dim, 2);
+        assert_eq!(row.nodes, 4);
+        assert_eq!(row.workload, "allreduce+matmul+fft");
+        assert!(row.events > 0);
+        assert!(row.sim_s > 0.0);
+        assert!(row.events_per_sec > 0.0);
     }
 
     #[test]

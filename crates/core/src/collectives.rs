@@ -135,6 +135,7 @@ pub async fn reduce(
         let d = (me ^ child).trailing_zeros() as usize;
         let theirs = ctx.recv_f64s(d).await;
         ctx.combine_values(op, &mut acc, &theirs).await;
+        ts_node::recycle_values(theirs);
     }
     let result = if me == root {
         Some(acc)
@@ -160,15 +161,20 @@ pub async fn allreduce(
     for d in 0..cube.dim() as usize {
         let h = ctx.handle().clone();
         let send_ctx = ctx.clone();
-        let out = acc.clone();
+        let mut out = ts_node::take_values(acc.len());
+        out.extend_from_slice(&acc);
         let recv_ctx = ctx.clone();
         let (_, theirs) = occam::par2(
             &h,
-            async move { send_ctx.send_f64s(d, &out).await },
+            async move {
+                send_ctx.send_f64s(d, &out).await;
+                ts_node::recycle_values(out);
+            },
             async move { recv_ctx.recv_f64s(d).await },
         )
         .await;
         ctx.combine_values(op, &mut acc, &theirs).await;
+        ts_node::recycle_values(theirs);
     }
     book_latency(ctx, "allreduce", t0);
     acc
@@ -222,11 +228,15 @@ pub async fn scan(ctx: &NodeCtx, cube: Hypercube, op: CombineOp, mine: Vec<Sf64>
     for d in 0..cube.dim() as usize {
         let h = ctx.handle().clone();
         let send_ctx = ctx.clone();
-        let out = total.clone();
+        let mut out = ts_node::take_values(total.len());
+        out.extend_from_slice(&total);
         let recv_ctx = ctx.clone();
         let (_, theirs) = occam::par2(
             &h,
-            async move { send_ctx.send_f64s(d, &out).await },
+            async move {
+                send_ctx.send_f64s(d, &out).await;
+                ts_node::recycle_values(out);
+            },
             async move { recv_ctx.recv_f64s(d).await },
         )
         .await;
@@ -235,6 +245,7 @@ pub async fn scan(ctx: &NodeCtx, cube: Hypercube, op: CombineOp, mine: Vec<Sf64>
             // Partner has a lower id: its subcube precedes ours.
             ctx.combine_values(op, &mut prefix, &theirs).await;
         }
+        ts_node::recycle_values(theirs);
     }
     book_latency(ctx, "scan", t0);
     prefix
@@ -250,9 +261,13 @@ pub async fn barrier(ctx: &NodeCtx, cube: Hypercube) {
         let recv_ctx = ctx.clone();
         occam::par2(
             &h,
-            async move { send_ctx.send_dim(d, vec![0]).await },
             async move {
-                recv_ctx.recv_dim(d).await;
+                let mut tick = ts_sim::pool::take_words(1);
+                tick.push(0);
+                send_ctx.send_dim(d, tick).await;
+            },
+            async move {
+                ts_sim::pool::put_words(recv_ctx.recv_dim(d).await);
             },
         )
         .await;

@@ -378,6 +378,14 @@ impl Machine {
         self.sim.run()
     }
 
+    /// Executor profile counters (polls, timer events, spawns, heap
+    /// high-water mark) accumulated since the machine was built. The scale
+    /// benchmarks divide `timer_events` by host wall-clock to get the
+    /// simulator's events/sec throughput.
+    pub fn profile(&self) -> ts_sim::ExecProfile {
+        self.sim.profile()
+    }
+
     // --- space sharing ------------------------------------------------------
 
     /// A node's program context relabeled into `sub`'s coordinates: the

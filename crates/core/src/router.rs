@@ -33,8 +33,10 @@
 //! The daemon books `router.reroutes`, `router.retries` (a link died while
 //! a hop was being sent) and `router.dropped` into its node's metrics.
 
+use std::rc::Rc;
+
 use ts_cube::Hypercube;
-use ts_link::{LinkChannel, LinkParams, Wire};
+use ts_link::{AltSet, LinkChannel, LinkParams, LinkStatus, Wire};
 use ts_node::NodeCtx;
 use ts_sim::{Dur, JoinHandle, Mailbox};
 
@@ -59,7 +61,7 @@ const AVOID_NONE: u32 = u32::MAX;
 const FORWARD_DEADLINE: Dur = Dur::us(100_000);
 
 fn frame_for(dst: u32, src: u32, kind: u32, payload: &[u32]) -> Vec<u32> {
-    let mut frame = Vec::with_capacity(payload.len() + HDR);
+    let mut frame = ts_sim::pool::take_words(payload.len() + HDR);
     frame.push(dst);
     frame.push(src);
     frame.push(kind);
@@ -68,6 +70,40 @@ fn frame_for(dst: u32, src: u32, kind: u32, payload: &[u32]) -> Vec<u32> {
     frame.push(0); // hops taken
     frame.extend_from_slice(payload);
     frame
+}
+
+/// Per-node routing table: the watchable status handles of every
+/// dimension's link pair, resolved once at daemon start. Each routing
+/// decision then reads a handful of shared liveness flags — no node-state
+/// borrow, no channel clones, no per-dimension scan through the wiring —
+/// and picks the outgoing dimension with bit arithmetic on the live mask.
+/// Liveness is re-read per hop, so fault-plan link kills are visible
+/// immediately (the status flags are the same cells the fault plan flips).
+struct RouteTable {
+    dims: Vec<Option<(LinkStatus, LinkStatus)>>,
+}
+
+impl RouteTable {
+    fn new(ctx: &NodeCtx, cube: Hypercube) -> RouteTable {
+        RouteTable {
+            dims: (0..cube.dim() as usize)
+                .map(|d| ctx.link_statuses(d))
+                .collect(),
+        }
+    }
+
+    /// Bitmask of dimensions whose link pair is currently alive.
+    fn live_mask(&self) -> u32 {
+        let mut mask = 0u32;
+        for (d, pair) in self.dims.iter().enumerate() {
+            if let Some((out, inp)) = pair {
+                if out.is_up() && inp.is_up() {
+                    mask |= 1 << d;
+                }
+            }
+        }
+        mask
+    }
 }
 
 /// Per-node endpoint for routed messaging.
@@ -220,11 +256,22 @@ async fn daemon(
     // Distribution of hop counts over messages delivered *here*
     // (`node/{id}/router/hops` in the machine registry).
     let hops_hist = ctx.meters().scope().histogram("router/hops");
+    // Prepared once: the ALT branch set (loopback first, for priority, then
+    // each cube dimension) and the routing table. Every message the daemon
+    // ever handles reuses both — nothing is rebuilt per iteration.
+    let alt = {
+        let chans: Vec<LinkChannel> = std::iter::once(inject.clone())
+            .chain((0..cube.dim() as usize).map(|d| ctx.in_channel(d)))
+            .collect();
+        let refs: Vec<&LinkChannel> = chans.iter().collect();
+        AltSet::new(&refs)
+    };
+    let table = Rc::new(RouteTable::new(&ctx, cube));
     loop {
-        // ALT over the loopback injection port and every cube dimension,
-        // racing the node's health flag: a crash tears the daemon down.
-        let frame = match alt_inject_or_dims(&ctx, &inject, cube, &health).await {
-            Ok(f) => f,
+        // ALT over the prepared branch set, racing the node's health flag:
+        // a crash tears the daemon down.
+        let frame = match alt.recv_or_down(ctx.handle(), &health).await {
+            Ok((_idx, f)) => f,
             Err(_) => return forwarded, // node crashed
         };
         let dst = frame[0];
@@ -233,10 +280,14 @@ async fn daemon(
         ctx.cp_compute(ROUTE_CP_INSTRS).await;
         if dst == me {
             match kind {
-                KIND_POISON => return forwarded,
+                KIND_POISON => {
+                    ts_sim::pool::put_words(frame);
+                    return forwarded;
+                }
                 _ => {
                     hops_hist.observe(frame[5] as u64);
                     deliver.send((src, frame[HDR..].to_vec()));
+                    ts_sim::pool::put_words(frame);
                 }
             }
         } else {
@@ -246,8 +297,9 @@ async fn daemon(
             // from *cyclic* waits given output buffering, which this
             // models — the hardware's DMA engines are exactly that).
             let fwd = ctx.clone();
+            let tbl = table.clone();
             ctx.handle().spawn(async move {
-                forward_frame(fwd, cube, frame).await;
+                forward_frame(fwd, tbl, frame).await;
             });
             forwarded += 1;
         }
@@ -259,19 +311,23 @@ async fn daemon(
 /// correction dimension, detour on a non-correction dimension within the
 /// frame's budget, retry when a link dies mid-hop, and drop (with a
 /// counter) when nothing is left to try.
-async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
+async fn forward_frame(ctx: NodeCtx, table: Rc<RouteTable>, mut frame: Vec<u32>) {
     let me = ctx.id();
     let dst = frame[0];
-    let ndims = cube.dim() as usize;
     loop {
+        // Liveness is re-read from the cached status handles on every
+        // attempt; dimension choice is then pure bit arithmetic. Lowest set
+        // bit first everywhere, matching e-cube order.
+        let live = table.live_mask();
         let diff = me ^ dst;
         let ecube = diff.trailing_zeros() as usize;
         let avoid = frame[4];
+        let avoid_bit = if avoid < 32 { 1u32 << avoid } else { 0 };
         // Preferred: the lowest live dimension still needing correction,
         // skipping the detour dimension we just arrived on.
-        let mut choice =
-            (0..ndims).find(|&d| diff >> d & 1 == 1 && avoid != d as u32 && ctx.link_up(d));
-        if choice.is_none() && avoid < 32 && diff >> avoid & 1 == 1 && ctx.link_up(avoid as usize) {
+        let cand = diff & live & !avoid_bit;
+        let mut choice = (cand != 0).then(|| cand.trailing_zeros() as usize);
+        if choice.is_none() && diff & live & avoid_bit != 0 {
             // Undoing the detour is all that is left — allowed, it just
             // costs the budget already spent.
             choice = Some(avoid as usize);
@@ -285,8 +341,8 @@ async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
                 // Every correction dimension is dead here: detour on the
                 // lowest live dimension outside the correction set.
                 let budget = frame[3];
-                let detour =
-                    (0..ndims).find(|&d| diff >> d & 1 == 0 && avoid != d as u32 && ctx.link_up(d));
+                let det = live & !diff & !avoid_bit;
+                let detour = (det != 0).then(|| det.trailing_zeros() as usize);
                 match (budget, detour) {
                     (1.., Some(d)) => {
                         frame[3] = budget - 1;
@@ -295,6 +351,7 @@ async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
                     }
                     _ => {
                         ctx.metrics().inc("router.dropped");
+                        ts_sim::pool::put_words(frame);
                         return;
                     }
                 }
@@ -303,13 +360,17 @@ async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
         if d != ecube {
             ctx.metrics().inc("router.reroutes");
         }
-        // Count the hop in the copy we send; a failed attempt retries from
-        // the original frame without inflating the count.
-        let mut hop = frame.clone();
+        // Count the hop in the (pooled) copy we send; a failed attempt
+        // retries from the original frame without inflating the count.
+        let mut hop = ts_sim::pool::take_words(frame.len());
+        hop.extend_from_slice(&frame);
         hop[5] += 1;
         let send = Box::pin(ctx.try_send_dim(d, hop));
         match ts_sim::select2(send, ctx.handle().sleep(FORWARD_DEADLINE)).await {
-            ts_sim::Either::Left(Ok(())) => return,
+            ts_sim::Either::Left(Ok(())) => {
+                ts_sim::pool::put_words(frame);
+                return;
+            }
             ts_sim::Either::Left(Err(_)) => {
                 // The link died under us: pick again.
                 ctx.metrics().inc("router.retries");
@@ -318,29 +379,11 @@ async fn forward_frame(ctx: NodeCtx, cube: Hypercube, mut frame: Vec<u32>) {
                 // Nobody took the frame within the deadline — the next
                 // daemon is gone. Abandon rather than park forever.
                 ctx.metrics().inc("router.dropped");
+                ts_sim::pool::put_words(frame);
                 return;
             }
         }
     }
-}
-
-/// ALT over the loopback channel plus the incoming cube dimensions, failing
-/// when the node's health flag goes down.
-async fn alt_inject_or_dims(
-    ctx: &NodeCtx,
-    inject: &LinkChannel,
-    cube: Hypercube,
-    health: &ts_link::LinkStatus,
-) -> Result<Vec<u32>, ts_link::LinkError> {
-    // Build the channel list: loopback first (priority), then each dim.
-    let mut chans: Vec<LinkChannel> = Vec::with_capacity(cube.dim() as usize + 1);
-    chans.push(inject.clone());
-    for d in 0..cube.dim() as usize {
-        chans.push(ctx.in_channel(d));
-    }
-    let refs: Vec<&LinkChannel> = chans.iter().collect();
-    let (_idx, words) = ts_link::alt_recv_or_down(ctx.handle(), &refs, health).await?;
-    Ok(words)
 }
 
 #[cfg(test)]

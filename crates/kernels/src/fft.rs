@@ -90,7 +90,7 @@ fn twiddle(k: usize, span: usize) -> Cpx {
 pub const FLOPS_PER_BUTTERFLY: u64 = 10;
 
 fn pack(data: &[Cpx]) -> Vec<u32> {
-    let mut words = Vec::with_capacity(data.len() * 4);
+    let mut words = ts_sim::pool::take_words(data.len() * 4);
     for c in data {
         for bits in [c.re.to_bits(), c.im.to_bits()] {
             words.push(bits as u32);
@@ -132,13 +132,14 @@ pub async fn fft_node(
         let tx = ctx.clone();
         let rx = ctx.clone();
         let outgoing = pack(&local);
-        let (_, theirs) = occam::par2(
+        let (_, words) = occam::par2(
             &h,
             async move { tx.send_dim(pdim, outgoing).await },
             async move { rx.recv_dim(pdim).await },
         )
         .await;
-        let theirs = unpack(&theirs);
+        let theirs = unpack(&words);
+        ts_sim::pool::put_words(words);
         for j in 0..nl {
             let (a, b) = if low_side {
                 (local[j], theirs[j])

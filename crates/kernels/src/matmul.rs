@@ -54,7 +54,10 @@ async fn shift(ctx: &NodeCtx, pos: &TorusPos, axis: usize, block: Vec<Sf64>) -> 
     let rx = ctx.clone();
     let (_, incoming) = occam::par2(
         &h,
-        async move { tx.send_f64s(send_dim, &block).await },
+        async move {
+            tx.send_f64s(send_dim, &block).await;
+            ts_node::recycle_values(block);
+        },
         async move { rx.recv_f64s(recv_dim).await },
     )
     .await;

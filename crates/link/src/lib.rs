@@ -27,7 +27,7 @@
 
 #![deny(missing_docs)]
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
@@ -521,12 +521,84 @@ struct Packet {
     sent_at: Time,
 }
 
+thread_local! {
+    /// Free list of completion one-shots: every `send` needs one, and by the
+    /// time the sender resumes the receiver has dropped its clone, so the
+    /// cell can be reset and reused instead of reallocated per message.
+    static DONE_POOL: std::cell::RefCell<Vec<OneShot<Time>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn take_done() -> OneShot<Time> {
+    DONE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+fn put_done(done: OneShot<Time>) {
+    // Only recycle when the receiver's clone is truly gone; a cancelled
+    // transfer may still hold one, in which case the cell just drops.
+    if done.is_unique() {
+        done.reset();
+        DONE_POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < 4096 {
+                p.push(done);
+            }
+        });
+    }
+}
+
 /// Optional telemetry shared by every clone of one sublink: an end-to-end
 /// message-latency histogram and a trace flow arrow per delivered message.
 #[derive(Default)]
 struct LinkTelemetry {
     latency_ns: Option<Histogram>,
     flow: Option<(Tracer, TrackId, TrackId)>,
+}
+
+/// Hot-path handles into the channel's [`Metrics`] bundle, pre-registered
+/// when the bundle is attached so per-message accounting is four cell bumps
+/// instead of four `BTreeMap` lookups.
+struct HotCounters {
+    msgs_sent: Rc<Cell<u64>>,
+    bytes_sent: Rc<Cell<u64>>,
+    msgs_recv: Rc<Cell<u64>>,
+    bytes_recv: Rc<Cell<u64>>,
+}
+
+impl HotCounters {
+    fn of(metrics: &Metrics) -> HotCounters {
+        HotCounters {
+            msgs_sent: metrics.counter_cell("link.msgs_sent"),
+            bytes_sent: metrics.counter_cell("link.bytes_sent"),
+            msgs_recv: metrics.counter_cell("link.msgs_recv"),
+            bytes_recv: metrics.counter_cell("link.bytes_recv"),
+        }
+    }
+
+    fn book_sent(&self, bytes: u64) {
+        self.msgs_sent.set(self.msgs_sent.get() + 1);
+        self.bytes_sent.set(self.bytes_sent.get() + bytes);
+    }
+
+    fn book_recv(&self, bytes: u64) {
+        self.msgs_recv.set(self.msgs_recv.get() + 1);
+        self.bytes_recv.set(self.bytes_recv.get() + bytes);
+    }
+}
+
+/// Shared state of one sublink. Everything — both endpoints and every clone
+/// they hand out — refers to a single `ChanInner` behind one `Rc`, so
+/// cloning a channel on the hot path is one refcount bump, not a field-by-
+/// field clone of wires, counters and status flags.
+struct ChanInner {
+    rv: Rendezvous<Packet>,
+    tx_wire: Wire,
+    rx_wire: Wire,
+    metrics: Metrics,
+    hot: HotCounters,
+    status: LinkStatus,
+    telem: RefCell<LinkTelemetry>,
+    transport: RefCell<TransportState>,
 }
 
 /// One **sublink**: a unidirectional CSP channel multiplexed onto the
@@ -538,13 +610,7 @@ struct LinkTelemetry {
 /// same channel.
 #[derive(Clone)]
 pub struct LinkChannel {
-    rv: Rendezvous<Packet>,
-    tx_wire: Wire,
-    rx_wire: Wire,
-    metrics: Metrics,
-    status: LinkStatus,
-    telem: Rc<RefCell<LinkTelemetry>>,
-    transport: Rc<RefCell<TransportState>>,
+    inner: Rc<ChanInner>,
 }
 
 impl LinkChannel {
@@ -566,41 +632,49 @@ impl LinkChannel {
     }
 
     fn assemble(tx_wire: Wire, rx_wire: Wire, metrics: Metrics) -> LinkChannel {
+        let hot = HotCounters::of(&metrics);
         LinkChannel {
-            rv: Rendezvous::new(),
-            tx_wire,
-            rx_wire,
-            metrics,
-            status: LinkStatus::new(),
-            telem: Rc::new(RefCell::new(LinkTelemetry::default())),
-            transport: Rc::new(RefCell::new(TransportState::default())),
+            inner: Rc::new(ChanInner {
+                rv: Rendezvous::new(),
+                tx_wire,
+                rx_wire,
+                metrics,
+                hot,
+                status: LinkStatus::new(),
+                telem: RefCell::new(LinkTelemetry::default()),
+                transport: RefCell::new(TransportState::default()),
+            }),
         }
     }
 
-    /// Attach a metrics bundle after construction.
+    /// Attach a metrics bundle after construction. Must run before the
+    /// channel is cloned out to its endpoints (the wiring phase), while
+    /// this handle still owns the sublink exclusively.
     pub fn set_metrics(&mut self, metrics: Metrics) {
-        self.metrics = metrics;
+        let inner = Rc::get_mut(&mut self.inner)
+            .expect("set_metrics must run before the channel is cloned out");
+        inner.hot = HotCounters::of(&metrics);
+        inner.metrics = metrics;
     }
 
     /// Record every delivered message's end-to-end latency (sender commit →
     /// receiver completion, in nanoseconds) into `hist`. The telemetry slot
     /// is shared across clones, so enabling it on either end covers both.
     pub fn set_latency_histogram(&self, hist: Histogram) {
-        self.telem.borrow_mut().latency_ns = Some(hist);
+        self.inner.telem.borrow_mut().latency_ns = Some(hist);
     }
 
     /// Emit a trace flow arrow from track `from` to track `to` for every
     /// delivered message. Shared across clones, like the histogram.
     pub fn enable_flow_trace(&self, tracer: Tracer, from: TrackId, to: TrackId) {
-        self.telem.borrow_mut().flow = Some((tracer, from, to));
+        self.inner.telem.borrow_mut().flow = Some((tracer, from, to));
     }
 
     /// Receive-side accounting shared by every delivery path: legacy
     /// counters, the optional latency histogram and the optional flow arrow.
     fn book_recv(&self, sent_at: Time, end: Time, bytes: usize) {
-        self.metrics.inc("link.msgs_recv");
-        self.metrics.add("link.bytes_recv", bytes as u64);
-        let telem = self.telem.borrow();
+        self.inner.hot.book_recv(bytes as u64);
+        let telem = self.inner.telem.borrow();
         if let Some(hist) = &telem.latency_ns {
             hist.observe(end.since(sent_at).as_ns());
         }
@@ -611,24 +685,26 @@ impl LinkChannel {
 
     /// The shared health flag of the physical link under this sublink.
     pub fn status(&self) -> &LinkStatus {
-        &self.status
+        &self.inner.status
     }
 
     /// Tie this sublink to an existing physical-link status. Call before the
     /// channel is cloned out to its endpoints, e.g. so both direction
     /// channels of one node-pair link share a single flag.
     pub fn set_status(&mut self, status: LinkStatus) {
-        self.status = status;
+        Rc::get_mut(&mut self.inner)
+            .expect("set_status must run before the channel is cloned out")
+            .status = status;
     }
 
     /// True while the underlying physical link is alive.
     pub fn is_up(&self) -> bool {
-        self.status.is_up()
+        self.inner.status.is_up()
     }
 
     /// The receiving-side wire this sublink is multiplexed onto.
     pub fn wire(&self) -> &Wire {
-        &self.rx_wire
+        &self.inner.rx_wire
     }
 
     /// Send `words` and suspend until the receiver has them (CSP semantics:
@@ -636,11 +712,11 @@ impl LinkChannel {
     pub async fn send(&self, h: &SimHandle, words: Vec<u32>) {
         let bytes = words.len() * 4;
         // DMA engine setup on the sending side.
-        h.sleep(self.tx_wire.params.dma_startup).await;
-        let done = OneShot::new();
-        self.metrics.inc("link.msgs_sent");
-        self.metrics.add("link.bytes_sent", bytes as u64);
-        self.rv
+        h.sleep(self.inner.tx_wire.params.dma_startup).await;
+        let done = take_done();
+        self.inner.hot.book_sent(bytes as u64);
+        self.inner
+            .rv
             .send(Packet {
                 words,
                 done: done.clone(),
@@ -649,12 +725,13 @@ impl LinkChannel {
             .await;
         let end = done.recv().await;
         h.sleep_until(end).await;
+        put_done(done);
     }
 
     /// Receive a message, suspending until a sender arrives and the framed
     /// transfer completes. Returns the payload words.
     pub async fn recv(&self, h: &SimHandle) -> Vec<u32> {
-        let pkt = self.rv.recv().await;
+        let pkt = self.inner.rv.recv().await;
         let bytes = pkt.words.len() * 4;
         let (_start, end) = self.transfer(h.now(), &pkt.words);
         h.sleep_until(end).await;
@@ -665,15 +742,16 @@ impl LinkChannel {
 
     /// Occupy both link engines for a `bytes`-byte transfer.
     fn reserve_both(&self, now: Time, bytes: usize) -> (Time, Time) {
-        self.tx_wire.book(bytes);
-        if !self.tx_wire.resource().same_as(self.rx_wire.resource()) {
-            self.rx_wire.book(bytes);
+        let inner = &*self.inner;
+        inner.tx_wire.book(bytes);
+        if !inner.tx_wire.resource().same_as(inner.rx_wire.resource()) {
+            inner.rx_wire.book(bytes);
         }
         Resource::reserve_pair(
-            self.tx_wire.resource(),
-            self.rx_wire.resource(),
+            inner.tx_wire.resource(),
+            inner.rx_wire.resource(),
             now,
-            self.rx_wire.params.wire_time(bytes),
+            inner.rx_wire.params.wire_time(bytes),
         )
     }
 
@@ -681,12 +759,12 @@ impl LinkChannel {
 
     /// Set this direction's transport parameters (shared across clones).
     pub fn set_transport_cfg(&self, cfg: TransportCfg) {
-        self.transport.borrow_mut().cfg = cfg;
+        self.inner.transport.borrow_mut().cfg = cfg;
     }
 
     /// This direction's transport parameters.
     pub fn transport_cfg(&self) -> TransportCfg {
-        self.transport.borrow().cfg
+        self.inner.transport.borrow().cfg
     }
 
     /// Route retransmit/CRC/escalation counts into pre-registered meters
@@ -697,7 +775,7 @@ impl LinkChannel {
         crc_errors: Counter,
         escalations: Counter,
     ) {
-        let mut tr = self.transport.borrow_mut();
+        let mut tr = self.inner.transport.borrow_mut();
         tr.retransmits = retransmits;
         tr.crc_errors = crc_errors;
         tr.escalations = escalations;
@@ -707,7 +785,8 @@ impl LinkChannel {
     /// this direction is flipped in flight. The receiver's CRC catches it
     /// and the go-back-N protocol recovers.
     pub fn inject_corrupt(&self, flit_bit: u64) {
-        self.transport
+        self.inner
+            .transport
             .borrow_mut()
             .pending
             .push_back(Impair::Corrupt { flit_bit });
@@ -716,27 +795,31 @@ impl LinkChannel {
     /// Queue a transient wire fault: one flit of the next message on this
     /// direction vanishes; only the sender's retransmit timer recovers it.
     pub fn inject_drop(&self) {
-        self.transport.borrow_mut().pending.push_back(Impair::Drop);
+        self.inner
+            .transport
+            .borrow_mut()
+            .pending
+            .push_back(Impair::Drop);
     }
 
     /// Impairments queued but not yet consumed by a transfer.
     pub fn pending_impairments(&self) -> usize {
-        self.transport.borrow().pending.len()
+        self.inner.transport.borrow().pending.len()
     }
 
     /// Flits retransmitted on this direction so far.
     pub fn transport_retransmits(&self) -> u64 {
-        self.transport.borrow().retransmits.get()
+        self.inner.transport.borrow().retransmits.get()
     }
 
     /// CRC errors detected on this direction so far.
     pub fn transport_crc_errors(&self) -> u64 {
-        self.transport.borrow().crc_errors.get()
+        self.inner.transport.borrow().crc_errors.get()
     }
 
     /// Budget-exhaustion escalations on this direction so far.
     pub fn transport_escalations(&self) -> u64 {
-        self.transport.borrow().escalations.get()
+        self.inner.transport.borrow().escalations.get()
     }
 
     /// Complete the framed transfer of `words` on both link engines,
@@ -757,17 +840,17 @@ impl LinkChannel {
     fn transfer(&self, now: Time, words: &[u32]) -> (Time, Time) {
         let bytes = words.len() * 4;
         let (start, end) = self.reserve_both(now, bytes);
-        if self.transport.borrow().pending.is_empty() {
+        if self.inner.transport.borrow().pending.is_empty() {
             return (start, end);
         }
 
-        let mut tr = self.transport.borrow_mut();
+        let mut tr = self.inner.transport.borrow_mut();
         let cfg = tr.cfg;
         let flit_words = cfg.flit_words.max(1);
         let flits = Flit::frame(words, flit_words);
         let nflits = flits.len();
         let payload_bits = (flit_words * 32) as u64;
-        let byte_time = self.rx_wire.params.byte_time();
+        let byte_time = self.inner.rx_wire.params.byte_time();
 
         let mut rounds: u32 = 0;
         let mut idle = Dur::ZERO;
@@ -816,15 +899,16 @@ impl LinkChannel {
         // waits leave the wire idle but delay completion.
         let mut final_end = end;
         if resent_bytes > 0 {
-            self.tx_wire.book_extra(resent_bytes);
-            if !self.tx_wire.resource().same_as(self.rx_wire.resource()) {
-                self.rx_wire.book_extra(resent_bytes);
+            let inner = &*self.inner;
+            inner.tx_wire.book_extra(resent_bytes);
+            if !inner.tx_wire.resource().same_as(inner.rx_wire.resource()) {
+                inner.rx_wire.book_extra(resent_bytes);
             }
             let (_s, e) = Resource::reserve_pair(
-                self.tx_wire.resource(),
-                self.rx_wire.resource(),
+                inner.tx_wire.resource(),
+                inner.rx_wire.resource(),
                 end,
-                self.rx_wire.params.wire_time(resent_bytes),
+                inner.rx_wire.params.wire_time(resent_bytes),
             );
             final_end = e;
         }
@@ -832,7 +916,7 @@ impl LinkChannel {
         if exhausted {
             // Budget blown: the message in flight is delivered, then the
             // link is condemned — permanently down, immune to flap repair.
-            self.status.condemn();
+            self.inner.status.condemn();
         }
         (start, final_end)
     }
@@ -844,27 +928,29 @@ impl LinkChannel {
     /// the framed transfer is in flight and completes even if the link dies
     /// underneath it.
     pub async fn try_send(&self, h: &SimHandle, words: Vec<u32>) -> Result<(), LinkError> {
-        if !self.status.is_up() {
+        if !self.inner.status.is_up() {
+            ts_sim::pool::put_words(words);
             return Err(LinkError::Down);
         }
         let bytes = words.len() * 4;
         // DMA engine setup on the sending side.
-        h.sleep(self.tx_wire.params.dma_startup).await;
-        if !self.status.is_up() {
+        h.sleep(self.inner.tx_wire.params.dma_startup).await;
+        if !self.inner.status.is_up() {
+            ts_sim::pool::put_words(words);
             return Err(LinkError::Down);
         }
-        let done = OneShot::new();
+        let done = take_done();
         let pkt = Packet {
             words,
             done: done.clone(),
             sent_at: h.now(),
         };
-        match select2(self.rv.send(pkt), self.status.watch_down()).await {
+        match select2(self.inner.rv.send(pkt), self.inner.status.watch_down()).await {
             Either::Left(()) => {
-                self.metrics.inc("link.msgs_sent");
-                self.metrics.add("link.bytes_sent", bytes as u64);
+                self.inner.hot.book_sent(bytes as u64);
                 let end = done.recv().await;
                 h.sleep_until(end).await;
+                put_done(done);
                 Ok(())
             }
             Either::Right(()) => Err(LinkError::Down),
@@ -876,10 +962,10 @@ impl LinkChannel {
     /// that committed first still hands its message over (the transfer was
     /// already in flight when the link died).
     pub async fn try_recv(&self, h: &SimHandle) -> Result<Vec<u32>, LinkError> {
-        if !self.status.is_up() {
+        if !self.inner.status.is_up() {
             return Err(LinkError::Down);
         }
-        match select2(self.rv.recv(), self.status.watch_down()).await {
+        match select2(self.inner.rv.recv(), self.inner.status.watch_down()).await {
             Either::Left(pkt) => {
                 let bytes = pkt.words.len() * 4;
                 let (_start, end) = self.transfer(h.now(), &pkt.words);
@@ -894,12 +980,12 @@ impl LinkChannel {
 
     /// True if a sender is currently blocked on this sublink (used by ALT).
     pub fn sender_waiting(&self) -> bool {
-        self.rv.sender_waiting()
+        self.inner.rv.sender_waiting()
     }
 
     /// This channel's metrics handle.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.inner.metrics
     }
 }
 
@@ -908,15 +994,8 @@ impl LinkChannel {
 /// completing the framed transfer on that channel's wire. Lowest index wins
 /// when several senders are already waiting (`PRI ALT`).
 pub async fn alt_recv(h: &SimHandle, chans: &[&LinkChannel]) -> (usize, Vec<u32>) {
-    let rvs: Vec<&Rendezvous<Packet>> = chans.iter().map(|c| &c.rv).collect();
-    let (idx, pkt) = ts_sim::alt(&rvs).await;
-    let bytes = pkt.words.len() * 4;
-    let ch = chans[idx];
-    let (_start, end) = ch.transfer(h.now(), &pkt.words);
-    h.sleep_until(end).await;
-    ch.book_recv(pkt.sent_at, end, bytes);
-    pkt.done.send(end);
-    (idx, pkt.words)
+    let set = AltSet::new(chans);
+    set.recv(h).await
 }
 
 /// Failable [`alt_recv`]: races the `ALT` against `watch` going down, so a
@@ -928,21 +1007,67 @@ pub async fn alt_recv_or_down(
     chans: &[&LinkChannel],
     watch: &LinkStatus,
 ) -> Result<(usize, Vec<u32>), LinkError> {
-    if !watch.is_up() {
-        return Err(LinkError::Down);
-    }
-    let rvs: Vec<&Rendezvous<Packet>> = chans.iter().map(|c| &c.rv).collect();
-    match select2(ts_sim::alt(&rvs), watch.watch_down()).await {
-        Either::Left((idx, pkt)) => {
-            let bytes = pkt.words.len() * 4;
-            let ch = chans[idx];
-            let (_start, end) = ch.transfer(h.now(), &pkt.words);
-            h.sleep_until(end).await;
-            ch.book_recv(pkt.sent_at, end, bytes);
-            pkt.done.send(end);
-            Ok((idx, pkt.words))
+    let set = AltSet::new(chans);
+    set.recv_or_down(h, watch).await
+}
+
+/// A prepared `ALT` over a fixed set of sublinks.
+///
+/// Building the set once — e.g. per router daemon, which `ALT`s over the
+/// same loopback-plus-dimensions list for every message it ever handles —
+/// hoists the channel-list and rendezvous-handle allocations out of the
+/// receive loop: each [`AltSet::recv`] borrows the prepared slices and
+/// allocates nothing for the branch set.
+pub struct AltSet {
+    chans: Vec<LinkChannel>,
+    rvs: Vec<Rendezvous<Packet>>,
+}
+
+impl AltSet {
+    /// Prepare an `ALT` over `chans` (branch priority = slice order).
+    pub fn new(chans: &[&LinkChannel]) -> AltSet {
+        AltSet {
+            chans: chans.iter().map(|&c| c.clone()).collect(),
+            rvs: chans.iter().map(|c| c.inner.rv.clone()).collect(),
         }
-        Either::Right(()) => Err(LinkError::Down),
+    }
+
+    /// Wait for the first branch whose sender commits; completes the framed
+    /// transfer on that branch's wire. Lowest index wins when several
+    /// senders are already parked (`PRI ALT`).
+    pub async fn recv(&self, h: &SimHandle) -> (usize, Vec<u32>) {
+        let (idx, pkt) = ts_sim::alt(&self.rvs).await;
+        let bytes = pkt.words.len() * 4;
+        let ch = &self.chans[idx];
+        let (_start, end) = ch.transfer(h.now(), &pkt.words);
+        h.sleep_until(end).await;
+        ch.book_recv(pkt.sent_at, end, bytes);
+        pkt.done.send(end);
+        (idx, pkt.words)
+    }
+
+    /// Failable [`AltSet::recv`]: resolves to [`LinkError::Down`] when
+    /// `watch` goes down first.
+    pub async fn recv_or_down(
+        &self,
+        h: &SimHandle,
+        watch: &LinkStatus,
+    ) -> Result<(usize, Vec<u32>), LinkError> {
+        if !watch.is_up() {
+            return Err(LinkError::Down);
+        }
+        match select2(ts_sim::alt(&self.rvs), watch.watch_down()).await {
+            Either::Left((idx, pkt)) => {
+                let bytes = pkt.words.len() * 4;
+                let ch = &self.chans[idx];
+                let (_start, end) = ch.transfer(h.now(), &pkt.words);
+                h.sleep_until(end).await;
+                ch.book_recv(pkt.sent_at, end, bytes);
+                pkt.done.send(end);
+                Ok((idx, pkt.words))
+            }
+            Either::Right(()) => Err(LinkError::Down),
+        }
     }
 }
 

@@ -51,6 +51,24 @@ use ts_vec::{VecForm, VecResult, VecUnit};
 /// Average control-processor instruction time (7.5 MIPS).
 pub const CP_INSTR_TIME: Dur = Dur::ps(133_333);
 
+thread_local! {
+    /// Free list for `Vec<Sf64>` message values (the unpacked side of the
+    /// word-buffer pool in [`ts_sim::pool`]).
+    static VALUES: ts_sim::pool::BufPool<Sf64> = const { ts_sim::pool::BufPool::new(4096) };
+}
+
+/// Take an empty value buffer with at least `cap` capacity from the pool.
+pub fn take_values(cap: usize) -> Vec<Sf64> {
+    VALUES.with(|p| p.take(cap))
+}
+
+/// Recycle a value buffer (e.g. one returned by [`NodeCtx::recv_f64s`])
+/// once its contents are consumed. Collectives call this every exchange;
+/// dropping the buffer instead is always safe, just slower.
+pub fn recycle_values(v: Vec<Sf64>) {
+    VALUES.with(|p| p.put(v));
+}
+
 /// Elementwise combining operators for [`NodeCtx::combine_values`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CombineOp {
@@ -169,12 +187,21 @@ impl NodeMeters {
 }
 
 /// One processor node: shared handle used by the machine builder.
+///
+/// Cloning a node is one refcount bump — everything mutable or heavy lives
+/// behind a single shared allocation, which keeps `NodeCtx` clones on the
+/// kernel hot path (Cannon shifts clone a context per step) nearly free.
 #[derive(Clone)]
 pub struct Node {
     /// Node id (hypercube address).
     pub id: u32,
     h: SimHandle,
-    state: Rc<RefCell<NodeState>>,
+    shared: Rc<NodeShared>,
+}
+
+/// The single shared allocation behind every clone of one [`Node`].
+struct NodeShared {
+    state: RefCell<NodeState>,
     /// The control processor (scalar side) as an exclusive resource.
     cp_res: Resource,
     /// The vector arithmetic unit as an exclusive resource.
@@ -205,27 +232,29 @@ impl Node {
         Node {
             id,
             h,
-            state: Rc::new(RefCell::new(NodeState {
-                mem: NodeMemory::new(cfg.mem),
-                vec_unit,
-                out_dims: Vec::new(),
-                in_dims: Vec::new(),
-                sys_out: None,
-                sys_in: None,
-                health: ts_link::LinkStatus::new(),
-            })),
-            cp_res: Resource::new("cp"),
-            vec_res: Resource::new("vec"),
-            port_res: Resource::new("port"),
-            metrics: Metrics::new(),
-            meters,
+            shared: Rc::new(NodeShared {
+                state: RefCell::new(NodeState {
+                    mem: NodeMemory::new(cfg.mem),
+                    vec_unit,
+                    out_dims: Vec::new(),
+                    in_dims: Vec::new(),
+                    sys_out: None,
+                    sys_in: None,
+                    health: ts_link::LinkStatus::new(),
+                }),
+                cp_res: Resource::new("cp"),
+                vec_res: Resource::new("vec"),
+                port_res: Resource::new("port"),
+                metrics: Metrics::new(),
+                meters,
+            }),
         }
     }
 
     /// Attach the channel pair for hypercube dimension `dim` (the machine
     /// layer wires both endpoints).
     pub fn wire_dim(&self, dim: usize, out: LinkChannel, inp: LinkChannel) {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.shared.state.borrow_mut();
         if st.out_dims.len() <= dim {
             let filler_wire = || ts_link::Wire::new("unwired", ts_link::LinkParams::default());
             while st.out_dims.len() <= dim {
@@ -239,7 +268,7 @@ impl Node {
 
     /// Attach the system-board channel pair.
     pub fn wire_system(&self, out: LinkChannel, inp: LinkChannel) {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.shared.state.borrow_mut();
         st.sys_out = Some(out);
         st.sys_in = Some(inp);
     }
@@ -248,7 +277,7 @@ impl Node {
     /// are marked down, so failable traffic on either end errors instead of
     /// hanging.
     pub fn set_link_down(&self, dim: usize) {
-        let st = self.state.borrow();
+        let st = self.shared.state.borrow();
         if let Some(out) = st.out_dims.get(dim) {
             out.status().set_down();
         }
@@ -260,7 +289,7 @@ impl Node {
     /// Repair the physical link on dimension `dim`: both direction channels
     /// are marked up again (the inverse of [`Node::set_link_down`]).
     pub fn set_link_up(&self, dim: usize) {
-        let st = self.state.borrow();
+        let st = self.shared.state.borrow();
         if let Some(out) = st.out_dims.get(dim) {
             out.status().set_up();
         }
@@ -273,7 +302,7 @@ impl Node {
     /// the flit addressed by `flit_bit` arrives with a flipped payload bit,
     /// fails its CRC, and is retransmitted by go-back-N recovery.
     pub fn queue_wire_corrupt(&self, dim: usize, flit_bit: u64) {
-        if let Some(out) = self.state.borrow().out_dims.get(dim) {
+        if let Some(out) = self.shared.state.borrow().out_dims.get(dim) {
             out.inject_corrupt(flit_bit);
         }
     }
@@ -281,7 +310,7 @@ impl Node {
     /// Queue a transient flit loss on the next outbound message of `dim`:
     /// the receiver times out and the window is retransmitted.
     pub fn queue_flit_drop(&self, dim: usize) {
-        if let Some(out) = self.state.borrow().out_dims.get(dim) {
+        if let Some(out) = self.shared.state.borrow().out_dims.get(dim) {
             out.inject_drop();
         }
     }
@@ -292,7 +321,8 @@ impl Node {
     /// already condemned by retransmit-budget escalation stays down.
     pub fn flap_link(&self, dim: usize, down_for: Dur) {
         self.set_link_down(dim);
-        self.meters
+        self.shared
+            .meters
             .link_flap_us
             .observe(down_for.as_ps() / 1_000_000);
         let node = self.clone();
@@ -306,7 +336,7 @@ impl Node {
     /// True while the physical link on `dim` is alive (an unwired dimension
     /// counts as down).
     pub fn link_up(&self, dim: usize) -> bool {
-        let st = self.state.borrow();
+        let st = self.shared.state.borrow();
         match (st.out_dims.get(dim), st.in_dims.get(dim)) {
             (Some(out), Some(inp)) => out.is_up() && inp.is_up(),
             _ => false,
@@ -317,7 +347,7 @@ impl Node {
     /// wired link (cube dimensions and the system thread) so partners fail
     /// fast instead of waiting on a rendezvous that will never come.
     pub fn crash(&self) {
-        let st = self.state.borrow();
+        let st = self.shared.state.borrow();
         st.health.set_down();
         for ch in st.out_dims.iter().chain(st.in_dims.iter()) {
             ch.status().set_down();
@@ -332,13 +362,13 @@ impl Node {
 
     /// True once the node has been crashed by a fault plan.
     pub fn is_crashed(&self) -> bool {
-        !self.state.borrow().health.is_up()
+        !self.shared.state.borrow().health.is_up()
     }
 
     /// The node's watchable health flag ("up" while alive). Daemons race
     /// their channel waits against this so a crash tears them down.
     pub fn health(&self) -> ts_link::LinkStatus {
-        self.state.borrow().health.clone()
+        self.shared.state.borrow().health.clone()
     }
 
     /// The program-facing context.
@@ -351,45 +381,48 @@ impl Node {
 
     /// This node's metrics.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.shared.metrics
     }
 
     /// This node's pre-registered unit meters.
     pub fn meters(&self) -> &NodeMeters {
-        &self.meters
+        &self.shared.meters
     }
 
     /// The outgoing sublink for dimension `dim`, if wired (the machine's
     /// telemetry layer uses this to attach flow traces and latency
     /// histograms to each cube edge).
     pub fn out_channel(&self, dim: usize) -> Option<LinkChannel> {
-        self.state.borrow().out_dims.get(dim).cloned()
+        self.shared.state.borrow().out_dims.get(dim).cloned()
     }
 
     /// Number of cube dimensions wired so far.
     pub fn dims_wired(&self) -> usize {
-        self.state.borrow().out_dims.len()
+        self.shared.state.borrow().out_dims.len()
     }
 
     /// Direct (zero-simulated-time) access to memory, for host-side setup
     /// and verification.
     pub fn mem(&self) -> Ref<'_, NodeMemory> {
-        Ref::map(self.state.borrow(), |s| &s.mem)
+        Ref::map(self.shared.state.borrow(), |s| &s.mem)
     }
 
     /// Mutable direct access (host-side setup only — charges no time).
     pub fn mem_mut(&self) -> RefMut<'_, NodeMemory> {
-        RefMut::map(self.state.borrow_mut(), |s| &mut s.mem)
+        RefMut::map(self.shared.state.borrow_mut(), |s| &mut s.mem)
     }
 
     /// Attach an execution tracer: the control processor, vector unit and
     /// word port record busy spans under `n<id>.cp` / `.vec` / `.port`.
     pub fn attach_tracer(&self, tracer: &ts_sim::Tracer) {
-        self.cp_res
+        self.shared
+            .cp_res
             .attach_tracer(tracer.clone(), format!("n{}.cp", self.id));
-        self.vec_res
+        self.shared
+            .vec_res
             .attach_tracer(tracer.clone(), format!("n{}.vec", self.id));
-        self.port_res
+        self.shared
+            .port_res
             .attach_tracer(tracer.clone(), format!("n{}.port", self.id));
     }
 }
@@ -474,12 +507,12 @@ impl NodeCtx {
 
     /// Node metrics.
     pub fn metrics(&self) -> &Metrics {
-        &self.node.metrics
+        &self.node.shared.metrics
     }
 
     /// The node's pre-registered unit meters.
     pub fn meters(&self) -> &NodeMeters {
-        &self.node.meters
+        &self.node.shared.meters
     }
 
     /// Zero-time memory access for setup/verification (host side).
@@ -497,25 +530,33 @@ impl NodeCtx {
     /// Run `n` average control-processor instructions (7.5 MIPS).
     pub async fn cp_compute(&self, n: u64) {
         let d = CP_INSTR_TIME * n;
-        self.node.meters.cp_instrs.add(n);
-        self.node.meters.cp_busy.add(d);
-        self.node.cp_res.use_for(&self.node.h, d).await;
+        self.node.shared.meters.cp_instrs.add(n);
+        self.node.shared.meters.cp_busy.add(d);
+        self.node.shared.cp_res.use_for(&self.node.h, d).await;
     }
 
     /// One timed word-port read (CP path: 400 ns, arbitrated).
     pub async fn cp_read(&self, addr: usize) -> Result<u32, MemError> {
-        self.node.cp_res.use_for(&self.node.h, WORD_TIME).await;
-        self.node.port_res.reserve(self.now(), WORD_TIME);
-        self.node.meters.port_cp.add(WORD_TIME);
-        self.node.state.borrow().mem.read_word(addr)
+        self.node
+            .shared
+            .cp_res
+            .use_for(&self.node.h, WORD_TIME)
+            .await;
+        self.node.shared.port_res.reserve(self.now(), WORD_TIME);
+        self.node.shared.meters.port_cp.add(WORD_TIME);
+        self.node.shared.state.borrow().mem.read_word(addr)
     }
 
     /// One timed word-port write.
     pub async fn cp_write(&self, addr: usize, w: u32) -> Result<(), MemError> {
-        self.node.cp_res.use_for(&self.node.h, WORD_TIME).await;
-        self.node.port_res.reserve(self.now(), WORD_TIME);
-        self.node.meters.port_cp.add(WORD_TIME);
-        self.node.state.borrow_mut().mem.write_word(addr, w)
+        self.node
+            .shared
+            .cp_res
+            .use_for(&self.node.h, WORD_TIME)
+            .await;
+        self.node.shared.port_res.reserve(self.now(), WORD_TIME);
+        self.node.shared.meters.port_cp.add(WORD_TIME);
+        self.node.shared.state.borrow_mut().mem.write_word(addr, w)
     }
 
     /// Gather scattered 64-bit elements into a contiguous destination: the
@@ -525,18 +566,18 @@ impl NodeCtx {
     pub async fn gather64(&self, src: &[usize], dst: usize) -> Result<(), MemError> {
         let d = GATHER64_TIME * src.len() as u64;
         // The CP and the word port are both occupied by the loop.
-        self.node.port_res.reserve(self.now(), d);
-        self.node.meters.cp_gathered.add(src.len() as u64);
-        self.node.meters.cp_busy.add(d);
-        self.node.meters.port_cp.add(d);
+        self.node.shared.port_res.reserve(self.now(), d);
+        self.node.shared.meters.cp_gathered.add(src.len() as u64);
+        self.node.shared.meters.cp_busy.add(d);
+        self.node.shared.meters.port_cp.add(d);
         {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             for (i, &s) in src.iter().enumerate() {
                 let v = st.mem.read_u64(s)?;
                 st.mem.write_u64(dst + 2 * i, v)?;
             }
         }
-        self.node.cp_res.use_for(&self.node.h, d).await;
+        self.node.shared.cp_res.use_for(&self.node.h, d).await;
         Ok(())
     }
 
@@ -544,18 +585,18 @@ impl NodeCtx {
     /// 0.8 µs per element, §II).
     pub async fn gather32(&self, src: &[usize], dst: usize) -> Result<(), MemError> {
         let d = ts_mem::GATHER32_TIME * src.len() as u64;
-        self.node.port_res.reserve(self.now(), d);
-        self.node.meters.cp_gathered.add(src.len() as u64);
-        self.node.meters.cp_busy.add(d);
-        self.node.meters.port_cp.add(d);
+        self.node.shared.port_res.reserve(self.now(), d);
+        self.node.shared.meters.cp_gathered.add(src.len() as u64);
+        self.node.shared.meters.cp_busy.add(d);
+        self.node.shared.meters.port_cp.add(d);
         {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             for (i, &s) in src.iter().enumerate() {
                 let v = st.mem.read_word(s)?;
                 st.mem.write_word(dst + i, v)?;
             }
         }
-        self.node.cp_res.use_for(&self.node.h, d).await;
+        self.node.shared.cp_res.use_for(&self.node.h, d).await;
         Ok(())
     }
 
@@ -563,18 +604,18 @@ impl NodeCtx {
     /// (1.6 µs per element).
     pub async fn scatter64(&self, src: usize, dst: &[usize]) -> Result<(), MemError> {
         let d = GATHER64_TIME * dst.len() as u64;
-        self.node.port_res.reserve(self.now(), d);
-        self.node.meters.cp_scattered.add(dst.len() as u64);
-        self.node.meters.cp_busy.add(d);
-        self.node.meters.port_cp.add(d);
+        self.node.shared.port_res.reserve(self.now(), d);
+        self.node.shared.meters.cp_scattered.add(dst.len() as u64);
+        self.node.shared.meters.cp_busy.add(d);
+        self.node.shared.meters.port_cp.add(d);
         {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             for (i, &t) in dst.iter().enumerate() {
                 let v = st.mem.read_u64(src + 2 * i)?;
                 st.mem.write_u64(t, v)?;
             }
         }
-        self.node.cp_res.use_for(&self.node.h, d).await;
+        self.node.shared.cp_res.use_for(&self.node.h, d).await;
         Ok(())
     }
 
@@ -588,25 +629,25 @@ impl NodeCtx {
         rows: usize,
     ) -> Result<(), MemError> {
         let d = ROW_TIME * (2 * rows as u64);
-        self.node.meters.rows_moved.add(rows as u64);
+        self.node.shared.meters.rows_moved.add(rows as u64);
         {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             let mut buf = [0u32; ROW_WORDS];
             for r in 0..rows {
                 st.mem.read_row(src_row + r, &mut buf)?;
                 st.mem.write_row(dst_row + r, &buf)?;
             }
         }
-        self.node.cp_res.use_for(&self.node.h, d).await;
+        self.node.shared.cp_res.use_for(&self.node.h, d).await;
         Ok(())
     }
 
     /// Swap two row ranges (read both, write both: 1.6 µs per row pair).
     pub async fn row_swap(&self, a_row: usize, b_row: usize, rows: usize) -> Result<(), MemError> {
         let d = ROW_TIME * (4 * rows as u64);
-        self.node.meters.rows_moved.add(2 * rows as u64);
+        self.node.shared.meters.rows_moved.add(2 * rows as u64);
         {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             let mut ba = [0u32; ROW_WORDS];
             let mut bb = [0u32; ROW_WORDS];
             for r in 0..rows {
@@ -616,7 +657,7 @@ impl NodeCtx {
                 st.mem.write_row(b_row + r, &ba)?;
             }
         }
-        self.node.cp_res.use_for(&self.node.h, d).await;
+        self.node.shared.cp_res.use_for(&self.node.h, d).await;
         Ok(())
     }
 
@@ -632,7 +673,11 @@ impl NodeCtx {
         n: usize,
     ) -> Result<VecResult, MemError> {
         let r = self.issue_vec(form, x_row, y_row, z_row, n)?;
-        let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
+        let (_s, end) = self
+            .node
+            .shared
+            .vec_res
+            .reserve(self.now(), r.timing.duration);
         self.node.h.sleep_until(end).await;
         Ok(r)
     }
@@ -648,15 +693,19 @@ impl NodeCtx {
         n: usize,
     ) -> Result<VecResult, MemError> {
         let r = {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             let NodeState { mem, vec_unit, .. } = &mut *st;
             let r = vec_unit.exec32(mem, form, x_row, y_row, z_row, n)?;
-            self.node.meters.vec_flops.add(r.timing.flops);
-            self.node.meters.vec_busy.add(r.timing.duration);
-            self.node.meters.vec_len.observe(n as u64);
+            self.node.shared.meters.vec_flops.add(r.timing.flops);
+            self.node.shared.meters.vec_busy.add(r.timing.duration);
+            self.node.shared.meters.vec_len.observe(n as u64);
             r
         };
-        let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
+        let (_s, end) = self
+            .node
+            .shared
+            .vec_res
+            .reserve(self.now(), r.timing.duration);
         self.node.h.sleep_until(end).await;
         Ok(r)
     }
@@ -670,15 +719,19 @@ impl NodeCtx {
         n: usize,
     ) -> Result<VecResult, MemError> {
         let r = {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             let NodeState { mem, vec_unit, .. } = &mut *st;
             let r = vec_unit.convert64to32(mem, x_row, z_row, n)?;
-            self.node.meters.vec_flops.add(r.timing.flops);
-            self.node.meters.vec_busy.add(r.timing.duration);
-            self.node.meters.vec_len.observe(n as u64);
+            self.node.shared.meters.vec_flops.add(r.timing.flops);
+            self.node.shared.meters.vec_busy.add(r.timing.duration);
+            self.node.shared.meters.vec_len.observe(n as u64);
             r
         };
-        let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
+        let (_s, end) = self
+            .node
+            .shared
+            .vec_res
+            .reserve(self.now(), r.timing.duration);
         self.node.h.sleep_until(end).await;
         Ok(r)
     }
@@ -691,15 +744,19 @@ impl NodeCtx {
         n: usize,
     ) -> Result<VecResult, MemError> {
         let r = {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             let NodeState { mem, vec_unit, .. } = &mut *st;
             let r = vec_unit.convert32to64(mem, x_row, z_row, n)?;
-            self.node.meters.vec_flops.add(r.timing.flops);
-            self.node.meters.vec_busy.add(r.timing.duration);
-            self.node.meters.vec_len.observe(n as u64);
+            self.node.shared.meters.vec_flops.add(r.timing.flops);
+            self.node.shared.meters.vec_busy.add(r.timing.duration);
+            self.node.shared.meters.vec_len.observe(n as u64);
             r
         };
-        let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
+        let (_s, end) = self
+            .node
+            .shared
+            .vec_res
+            .reserve(self.now(), r.timing.duration);
         self.node.h.sleep_until(end).await;
         Ok(r)
     }
@@ -721,7 +778,11 @@ impl NodeCtx {
         n: usize,
     ) -> Result<ts_sim::JoinHandle<VecResult>, MemError> {
         let r = self.issue_vec(form, x_row, y_row, z_row, n)?;
-        let (_s, end) = self.node.vec_res.reserve(self.now(), r.timing.duration);
+        let (_s, end) = self
+            .node
+            .shared
+            .vec_res
+            .reserve(self.now(), r.timing.duration);
         let h = self.node.h.clone();
         Ok(self.node.h.spawn(async move {
             h.sleep_until(end).await;
@@ -737,12 +798,12 @@ impl NodeCtx {
         z_row: usize,
         n: usize,
     ) -> Result<VecResult, MemError> {
-        let mut st = self.node.state.borrow_mut();
+        let mut st = self.node.shared.state.borrow_mut();
         let NodeState { mem, vec_unit, .. } = &mut *st;
         let r = vec_unit.exec64(mem, form, x_row, y_row, z_row, n)?;
-        self.node.meters.vec_flops.add(r.timing.flops);
-        self.node.meters.vec_busy.add(r.timing.duration);
-        self.node.meters.vec_len.observe(n as u64);
+        self.node.shared.meters.vec_flops.add(r.timing.flops);
+        self.node.shared.meters.vec_busy.add(r.timing.duration);
+        self.node.shared.meters.vec_len.observe(n as u64);
         Ok(r)
     }
 
@@ -781,10 +842,10 @@ impl NodeCtx {
             d += Dur::CYCLE * (depth + n as u64 - 1);
         }
         d += ROW_TIME;
-        self.node.meters.vec_flops.add(n as u64);
-        self.node.meters.vec_busy.add(d);
-        self.node.meters.vec_len.observe(n as u64);
-        let (_s, end) = self.node.vec_res.reserve(self.now(), d);
+        self.node.shared.meters.vec_flops.add(n as u64);
+        self.node.shared.meters.vec_busy.add(d);
+        self.node.shared.meters.vec_len.observe(n as u64);
+        let (_s, end) = self.node.shared.vec_res.reserve(self.now(), d);
         self.node.h.sleep_until(end).await;
     }
 
@@ -797,7 +858,7 @@ impl NodeCtx {
         }
         let n = x.len() as u64;
         let d = self.vec_form_time(13, n, 2 * n);
-        let (_s, end) = self.node.vec_res.reserve(self.now(), d);
+        let (_s, end) = self.node.shared.vec_res.reserve(self.now(), d);
         self.node.h.sleep_until(end).await;
     }
 
@@ -810,7 +871,7 @@ impl NodeCtx {
         }
         let n = x.len() as u64;
         let d = self.vec_form_time(13, n, 2 * n) + Dur::CYCLE * 6; // feedback drain
-        let (_s, end) = self.node.vec_res.reserve(self.now(), d);
+        let (_s, end) = self.node.shared.vec_res.reserve(self.now(), d);
         self.node.h.sleep_until(end).await;
         acc
     }
@@ -825,7 +886,7 @@ impl NodeCtx {
         }
         let cycles = flops.div_ceil(2);
         let d = self.vec_form_time(13, cycles, flops);
-        let (_s, end) = self.node.vec_res.reserve(self.now(), d);
+        let (_s, end) = self.node.shared.vec_res.reserve(self.now(), d);
         self.node.h.sleep_until(end).await;
     }
 
@@ -837,9 +898,9 @@ impl NodeCtx {
             d += Dur::CYCLE * (depth + n - 1);
         }
         d += ROW_TIME;
-        self.node.meters.vec_flops.add(flops);
-        self.node.meters.vec_busy.add(d);
-        self.node.meters.vec_len.observe(n);
+        self.node.shared.meters.vec_flops.add(flops);
+        self.node.shared.meters.vec_busy.add(d);
+        self.node.shared.meters.vec_len.observe(n);
         d
     }
 
@@ -848,6 +909,7 @@ impl NodeCtx {
     fn out_chan(&self, dim: usize) -> LinkChannel {
         let dim = self.map_dim(dim);
         self.node
+            .shared
             .state
             .borrow()
             .out_dims
@@ -859,6 +921,7 @@ impl NodeCtx {
     fn in_chan(&self, dim: usize) -> LinkChannel {
         let dim = self.map_dim(dim);
         self.node
+            .shared
             .state
             .borrow()
             .in_dims
@@ -876,7 +939,11 @@ impl NodeCtx {
     /// Send words to the hypercube neighbour across `dim`.
     pub async fn send_dim(&self, dim: usize, words: Vec<u32>) {
         let ch = self.out_chan(dim);
-        self.node.meters.link_words_sent.add(words.len() as u64);
+        self.node
+            .shared
+            .meters
+            .link_words_sent
+            .add(words.len() as u64);
         ch.send(&self.node.h, words).await;
     }
 
@@ -884,7 +951,7 @@ impl NodeCtx {
     pub async fn recv_dim(&self, dim: usize) -> Vec<u32> {
         let ch = self.in_chan(dim);
         let w = ch.recv(&self.node.h).await;
-        self.node.meters.link_words_recv.add(w.len() as u64);
+        self.node.shared.meters.link_words_recv.add(w.len() as u64);
         w
     }
 
@@ -895,7 +962,7 @@ impl NodeCtx {
         let n = words.len() as u64;
         let r = ch.try_send(&self.node.h, words).await;
         if r.is_ok() {
-            self.node.meters.link_words_sent.add(n);
+            self.node.shared.meters.link_words_sent.add(n);
         }
         r
     }
@@ -905,7 +972,7 @@ impl NodeCtx {
     pub async fn try_recv_dim(&self, dim: usize) -> Result<Vec<u32>, LinkError> {
         let ch = self.in_chan(dim);
         let w = ch.try_recv(&self.node.h).await?;
-        self.node.meters.link_words_recv.add(w.len() as u64);
+        self.node.shared.meters.link_words_recv.add(w.len() as u64);
         Ok(w)
     }
 
@@ -913,6 +980,19 @@ impl NodeCtx {
     /// this context is a subcube view) is alive.
     pub fn link_up(&self, dim: usize) -> bool {
         self.node.link_up(self.map_dim(dim))
+    }
+
+    /// The watchable status pair (out, in) of the link across `dim`, or
+    /// `None` for an unwired dimension. Callers that test liveness on every
+    /// hop (the router) cache these handles once and read two shared flags
+    /// per decision instead of borrowing node state per dimension.
+    pub fn link_statuses(&self, dim: usize) -> Option<(ts_link::LinkStatus, ts_link::LinkStatus)> {
+        let dim = self.map_dim(dim);
+        let st = self.node.shared.state.borrow();
+        match (st.out_dims.get(dim), st.in_dims.get(dim)) {
+            (Some(o), Some(i)) => Some((o.status().clone(), i.status().clone())),
+            _ => None,
+        }
     }
 
     /// True once this node has been crashed by a fault plan.
@@ -930,13 +1010,20 @@ impl NodeCtx {
         let chans: Vec<LinkChannel> = dims.iter().map(|&d| self.in_chan(d)).collect();
         let refs: Vec<&LinkChannel> = chans.iter().collect();
         let (idx, words) = ts_link::alt_recv(&self.node.h, &refs).await;
-        self.node.meters.link_words_recv.add(words.len() as u64);
+        self.node
+            .shared
+            .meters
+            .link_words_recv
+            .add(words.len() as u64);
         (dims[idx], words)
     }
 
     /// Send a slice of 64-bit floats across `dim` (two words per element).
+    ///
+    /// The wire buffer comes from the word pool; the receiver's
+    /// [`NodeCtx::recv_f64s`] returns it there once unpacked.
     pub async fn send_f64s(&self, dim: usize, vals: &[Sf64]) {
-        let mut words = Vec::with_capacity(vals.len() * 2);
+        let mut words = ts_sim::pool::take_words(vals.len() * 2);
         for v in vals {
             let b = v.to_bits();
             words.push(b as u32);
@@ -945,19 +1032,26 @@ impl NodeCtx {
         self.send_dim(dim, words).await;
     }
 
-    /// Receive a slice of 64-bit floats from `dim`.
+    /// Receive a slice of 64-bit floats from `dim`. The result buffer comes
+    /// from the value pool — hand it back with [`recycle_values`] when done
+    /// to keep the collective hot path allocation-free.
     pub async fn recv_f64s(&self, dim: usize) -> Vec<Sf64> {
         let words = self.recv_dim(dim).await;
-        words
-            .chunks_exact(2)
-            .map(|c| Sf64::from_bits(c[0] as u64 | ((c[1] as u64) << 32)))
-            .collect()
+        let mut vals = take_values(words.len() / 2);
+        vals.extend(
+            words
+                .chunks_exact(2)
+                .map(|c| Sf64::from_bits(c[0] as u64 | ((c[1] as u64) << 32))),
+        );
+        ts_sim::pool::put_words(words);
+        vals
     }
 
     /// Send to the module's system board.
     pub async fn send_system(&self, words: Vec<u32>) {
         let ch = self
             .node
+            .shared
             .state
             .borrow()
             .sys_out
@@ -970,6 +1064,7 @@ impl NodeCtx {
     pub async fn recv_system(&self) -> Vec<u32> {
         let ch = self
             .node
+            .shared
             .state
             .borrow()
             .sys_in
@@ -990,24 +1085,24 @@ impl NodeCtx {
         wptr: u32,
     ) -> Result<Cp, CpRunError> {
         {
-            let mut st = self.node.state.borrow_mut();
+            let mut st = self.node.shared.state.borrow_mut();
             let mut bus = MemBus { mem: &mut st.mem };
             ts_cp::emu::load_code(&mut bus, base, code).map_err(CpRunError::Cp)?;
         }
         let mut cp = Cp::new(base, wptr);
         loop {
             let outcome = {
-                let mut st = self.node.state.borrow_mut();
+                let mut st = self.node.shared.state.borrow_mut();
                 let mut bus = MemBus { mem: &mut st.mem };
                 cp.run(&mut bus, 10_000_000).map_err(CpRunError::Cp)?
             };
             // Charge the cycles executed since the last yield.
             let elapsed = cp.elapsed();
-            let already = self.node.metrics.get_time("cp.isa_charged");
+            let already = self.node.shared.metrics.get_time("cp.isa_charged");
             let fresh = elapsed - already;
-            self.node.metrics.add_time("cp.isa_charged", fresh);
-            self.node.meters.cp_busy.add(fresh);
-            self.node.cp_res.use_for(&self.node.h, fresh).await;
+            self.node.shared.metrics.add_time("cp.isa_charged", fresh);
+            self.node.shared.meters.cp_busy.add(fresh);
+            self.node.shared.cp_res.use_for(&self.node.h, fresh).await;
             match outcome {
                 StepOutcome::Halted => return Ok(cp),
                 StepOutcome::Yielded(ev) => {
@@ -1034,7 +1129,7 @@ impl NodeCtx {
         match ev {
             CpEvent::Out { chan, ptr, words } => {
                 let payload = {
-                    let st = self.node.state.borrow();
+                    let st = self.node.shared.state.borrow();
                     (0..words)
                         .map(|i| st.mem.read_word((ptr + i) as usize))
                         .collect::<Result<Vec<u32>, MemError>>()?
@@ -1043,14 +1138,14 @@ impl NodeCtx {
             }
             CpEvent::In { chan, ptr, words } => {
                 let got = self.recv_dim(chan as usize).await;
-                let mut st = self.node.state.borrow_mut();
+                let mut st = self.node.shared.state.borrow_mut();
                 for (i, w) in got.into_iter().take(words as usize).enumerate() {
                     st.mem.write_word(ptr as usize + i, w)?;
                 }
             }
             CpEvent::VecIssue { descriptor, n } => {
                 let (form, x, y, z) = {
-                    let st = self.node.state.borrow();
+                    let st = self.node.shared.state.borrow();
                     let f = st.mem.read_word(descriptor as usize)?;
                     let x = st.mem.read_word(descriptor as usize + 1)? as usize;
                     let y = st.mem.read_word(descriptor as usize + 2)? as usize;
@@ -1068,7 +1163,7 @@ impl NodeCtx {
                 let r = self.vec(form, x, y, z, n as usize).await?;
                 // Scalar results land in the descriptor's 5th word slot.
                 if let Some(s) = r.scalar {
-                    let mut st = self.node.state.borrow_mut();
+                    let mut st = self.node.shared.state.borrow_mut();
                     st.mem.write_u64(descriptor as usize + 4, s)?;
                 }
             }

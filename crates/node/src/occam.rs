@@ -22,24 +22,52 @@
 //! words rather than links.
 
 use std::future::Future;
+use std::pin::pin;
+use std::task::Poll;
 
 use ts_sim::{JoinHandle, SimHandle};
 
 /// Run two processes in parallel (Occam `PAR`), resuming when both finish.
-pub async fn par2<A, B>(h: &SimHandle, a: A, b: B) -> (A::Output, B::Output)
+///
+/// The constituents are polled in place — a `PAR` costs no task spawns, no
+/// boxing and no ready-queue round trips, which matters on the collective
+/// hot path where every dimension exchange is one `PAR` of a send and a
+/// receive. Dropping the `PAR` cancels both constituents, as Occam's
+/// process-tree semantics require.
+pub async fn par2<A, B>(_h: &SimHandle, a: A, b: B) -> (A::Output, B::Output)
 where
     A: Future + 'static,
     B: Future + 'static,
     A::Output: 'static,
     B::Output: 'static,
 {
-    let ja = h.spawn(a);
-    let jb = h.spawn(b);
-    (ja.await, jb.await)
+    let mut a = pin!(a);
+    let mut b = pin!(b);
+    let mut ra = None;
+    let mut rb = None;
+    std::future::poll_fn(|cx| {
+        if ra.is_none() {
+            if let Poll::Ready(v) = a.as_mut().poll(cx) {
+                ra = Some(v);
+            }
+        }
+        if rb.is_none() {
+            if let Poll::Ready(v) = b.as_mut().poll(cx) {
+                rb = Some(v);
+            }
+        }
+        if ra.is_some() && rb.is_some() {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    })
+    .await;
+    (ra.take().unwrap(), rb.take().unwrap())
 }
 
-/// Run three processes in parallel.
-pub async fn par3<A, B, C>(h: &SimHandle, a: A, b: B, c: C) -> (A::Output, B::Output, C::Output)
+/// Run three processes in parallel (in-place, like [`par2`]).
+pub async fn par3<A, B, C>(_h: &SimHandle, a: A, b: B, c: C) -> (A::Output, B::Output, C::Output)
 where
     A: Future + 'static,
     B: Future + 'static,
@@ -48,10 +76,36 @@ where
     B::Output: 'static,
     C::Output: 'static,
 {
-    let ja = h.spawn(a);
-    let jb = h.spawn(b);
-    let jc = h.spawn(c);
-    (ja.await, jb.await, jc.await)
+    let mut a = pin!(a);
+    let mut b = pin!(b);
+    let mut c = pin!(c);
+    let mut ra = None;
+    let mut rb = None;
+    let mut rc = None;
+    std::future::poll_fn(|cx| {
+        if ra.is_none() {
+            if let Poll::Ready(v) = a.as_mut().poll(cx) {
+                ra = Some(v);
+            }
+        }
+        if rb.is_none() {
+            if let Poll::Ready(v) = b.as_mut().poll(cx) {
+                rb = Some(v);
+            }
+        }
+        if rc.is_none() {
+            if let Poll::Ready(v) = c.as_mut().poll(cx) {
+                rc = Some(v);
+            }
+        }
+        if ra.is_some() && rb.is_some() && rc.is_some() {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    })
+    .await;
+    (ra.take().unwrap(), rb.take().unwrap(), rc.take().unwrap())
 }
 
 /// Run a homogeneous collection of processes in parallel, collecting their

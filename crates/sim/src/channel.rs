@@ -83,6 +83,24 @@ impl<T> OneShot<T> {
             state: self.state.clone(),
         }
     }
+
+    /// True when this handle is the only one left — the counterpart and any
+    /// pending `recv` future are gone, so the channel can be recycled.
+    pub fn is_unique(&self) -> bool {
+        Rc::strong_count(&self.state) == 1
+    }
+
+    /// Reset a fired one-shot for reuse (buffer pooling). Panics if a sent
+    /// value was never received — recycling would silently lose it.
+    pub fn reset(&self) {
+        let mut st = self.state.borrow_mut();
+        assert!(
+            st.value.is_none(),
+            "OneShot::reset with an undelivered value"
+        );
+        st.sent = false;
+        st.waker = None;
+    }
 }
 
 /// Future returned by [`OneShot::recv`].
@@ -131,9 +149,21 @@ struct SendCell<T> {
     waker: Option<Waker>,
 }
 
+/// Most cells a channel keeps on its free lists. Parked populations per
+/// channel are tiny (a rendezvous pairs off immediately), so a small cap
+/// bounds memory while still making steady-state parking allocation-free.
+const CELL_POOL_MAX: usize = 32;
+
 struct RvState<T> {
     senders: VecDeque<Rc<RefCell<SendCell<T>>>>,
     receivers: VecDeque<Rc<RefCell<RecvCell<T>>>>,
+    /// Free lists of completed park cells. A send/recv that parked and then
+    /// completed recycles its cell here instead of dropping the two `Rc`
+    /// allocations (cell + claim flag) — on a steady channel the same cells
+    /// shuttle back and forth forever. Cancelled cells are *not* pooled
+    /// (the parked queue still references them until lazily skipped).
+    free_send: Vec<Rc<RefCell<SendCell<T>>>>,
+    free_recv: Vec<Rc<RefCell<RecvCell<T>>>>,
 }
 
 /// Synchronous (unbuffered, CSP) channel, the Occam `CHAN`.
@@ -162,6 +192,8 @@ impl<T> Rendezvous<T> {
             state: Rc::new(RefCell::new(RvState {
                 senders: VecDeque::new(),
                 receivers: VecDeque::new(),
+                free_send: Vec::new(),
+                free_recv: Vec::new(),
             })),
         }
     }
@@ -228,7 +260,7 @@ pub struct SendFut<T> {
 // regardless of `T` (a `T` is only ever stored boxed behind Rc cells).
 impl<T> Unpin for SendFut<T> {}
 impl<T> Unpin for RecvFut<T> {}
-impl<T> Unpin for AltFut<T> {}
+impl<T> Unpin for AltFut<'_, T> {}
 
 impl<T> Future for SendFut<T> {
     type Output = ();
@@ -238,6 +270,9 @@ impl<T> Future for SendFut<T> {
         if let Some(cell) = &this.cell {
             let mut c = cell.borrow_mut();
             if c.taken {
+                drop(c);
+                let cell = this.cell.take().expect("checked above");
+                recycle_send_cell(&this.state, cell);
                 return Poll::Ready(());
             }
             c.waker = Some(cx.waker().clone());
@@ -258,17 +293,71 @@ impl<T> Future for SendFut<T> {
             }
             return Poll::Ready(());
         }
-        // No receiver: park.
-        let cell = Rc::new(RefCell::new(SendCell {
-            value: Some(v),
-            taken: false,
-            claim: Rc::new(Cell::new(false)),
-            waker: Some(cx.waker().clone()),
-        }));
+        // No receiver: park (reusing a recycled cell when one is free).
+        let cell = match st.free_send.pop() {
+            Some(cell) => {
+                let mut c = cell.borrow_mut();
+                debug_assert!(!c.taken && !c.claim.get());
+                c.value = Some(v);
+                c.waker = Some(cx.waker().clone());
+                drop(c);
+                cell
+            }
+            None => Rc::new(RefCell::new(SendCell {
+                value: Some(v),
+                taken: false,
+                claim: Rc::new(Cell::new(false)),
+                waker: Some(cx.waker().clone()),
+            })),
+        };
         st.senders.push_back(cell.clone());
         drop(st);
         this.cell = Some(cell);
         Poll::Pending
+    }
+}
+
+/// Return a completed (taken) send cell to its channel's free list, if
+/// nothing else still references it.
+fn recycle_send_cell<T>(state: &Rc<RefCell<RvState<T>>>, cell: Rc<RefCell<SendCell<T>>>) {
+    if Rc::strong_count(&cell) != 1 {
+        return;
+    }
+    let mut st = state.borrow_mut();
+    if st.free_send.len() < CELL_POOL_MAX {
+        let mut c = cell.borrow_mut();
+        c.value = None;
+        c.taken = false;
+        c.waker = None;
+        if Rc::strong_count(&c.claim) == 1 {
+            c.claim.set(false);
+        } else {
+            c.claim = Rc::new(Cell::new(false));
+        }
+        drop(c);
+        st.free_send.push(cell);
+    }
+}
+
+/// Return a completed (value delivered and consumed) receive cell to its
+/// channel's free list, if nothing else still references it.
+fn recycle_recv_cell<T>(state: &Rc<RefCell<RvState<T>>>, cell: Rc<RefCell<RecvCell<T>>>) {
+    if Rc::strong_count(&cell) != 1 {
+        return;
+    }
+    let mut st = state.borrow_mut();
+    if st.free_recv.len() < CELL_POOL_MAX {
+        let mut c = cell.borrow_mut();
+        debug_assert!(c.value.is_none());
+        c.branch = 0;
+        c.waker = None;
+        if Rc::strong_count(&c.claim) == 1 {
+            c.claim.set(false);
+        } else {
+            c.claim = Rc::new(Cell::new(false));
+        }
+        drop(c);
+        st.free_recv.push(cell);
     }
 }
 
@@ -297,6 +386,9 @@ impl<T> Future for RecvFut<T> {
         if let Some(cell) = &this.cell {
             let mut c = cell.borrow_mut();
             if let Some(v) = c.value.take() {
+                drop(c);
+                let cell = this.cell.take().expect("checked above");
+                recycle_recv_cell(&this.state, cell);
                 return Poll::Ready(v);
             }
             debug_assert!(!c.claim.get(), "RecvFut cell claimed without value");
@@ -310,12 +402,21 @@ impl<T> Future for RecvFut<T> {
         if let Some(v) = ch.try_take() {
             return Poll::Ready(v);
         }
-        let cell = Rc::new(RefCell::new(RecvCell {
-            value: None,
-            branch: 0,
-            claim: Rc::new(Cell::new(false)),
-            waker: Some(cx.waker().clone()),
-        }));
+        let cell = match this.state.borrow_mut().free_recv.pop() {
+            Some(cell) => {
+                let mut c = cell.borrow_mut();
+                debug_assert!(c.value.is_none() && !c.claim.get());
+                c.waker = Some(cx.waker().clone());
+                drop(c);
+                cell
+            }
+            None => Rc::new(RefCell::new(RecvCell {
+                value: None,
+                branch: 0,
+                claim: Rc::new(Cell::new(false)),
+                waker: Some(cx.waker().clone()),
+            })),
+        };
         ch.park_receiver(cell.clone());
         this.cell = Some(cell);
         Poll::Pending
@@ -344,9 +445,13 @@ impl<T> Drop for RecvFut<T> {
 /// `(branch_index, value)` for the first channel on which a sender commits.
 /// If several senders are already waiting, the lowest branch index wins
 /// (Occam's `PRI ALT`).
-pub fn alt<T>(chans: &[&Rendezvous<T>]) -> AltFut<T> {
+///
+/// The branch set is borrowed, not copied: a daemon that `ALT`s over the
+/// same channels forever builds the slice once and pays nothing per
+/// iteration for the channel list.
+pub fn alt<'a, T>(chans: &'a [Rendezvous<T>]) -> AltFut<'a, T> {
     AltFut {
-        chans: chans.iter().map(|c| (*c).clone()).collect(),
+        chans,
         cells: Vec::new(),
         claim: Rc::new(Cell::new(false)),
         registered: false,
@@ -354,8 +459,8 @@ pub fn alt<T>(chans: &[&Rendezvous<T>]) -> AltFut<T> {
 }
 
 /// Future returned by [`alt`].
-pub struct AltFut<T> {
-    chans: Vec<Rendezvous<T>>,
+pub struct AltFut<'a, T> {
+    chans: &'a [Rendezvous<T>],
     cells: Vec<Rc<RefCell<RecvCell<T>>>>,
     /// One claim flag shared by every parked branch cell: the first sender to
     /// win it commits; the rest keep blocking.
@@ -363,7 +468,7 @@ pub struct AltFut<T> {
     registered: bool,
 }
 
-impl<T> Future for AltFut<T> {
+impl<T> Future for AltFut<'_, T> {
     type Output = (usize, T);
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<(usize, T)> {
@@ -404,7 +509,7 @@ impl<T> Future for AltFut<T> {
     }
 }
 
-impl<T> Drop for AltFut<T> {
+impl<T> Drop for AltFut<'_, T> {
     fn drop(&mut self) {
         // Cancel every branch that did not fire. If a branch fired but the
         // value was not polled out, it is dropped (sender already resumed).
@@ -688,7 +793,10 @@ mod tests {
         let b: Rendezvous<u32> = Rendezvous::new();
         let (a2, b2) = (a.clone(), b.clone());
         let h = sim.handle();
-        let jh = sim.spawn(async move { alt(&[&a2, &b2]).await });
+        let jh = sim.spawn(async move {
+            let set = [a2, b2];
+            alt(&set).await
+        });
         sim.spawn(async move {
             h.sleep(Dur::ns(20)).await;
             b.send(42).await;
@@ -715,8 +823,9 @@ mod tests {
         });
         let jh = sim.spawn(async move {
             h.sleep(Dur::ns(10)).await; // let both senders park
-            let first = alt(&[&a2, &b2]).await;
-            let second = alt(&[&a2, &b2]).await; // unblocks the loser too
+            let set = [a2, b2];
+            let first = alt(&set).await;
+            let second = alt(&set).await; // unblocks the loser too
             (first, second)
         });
         let r = sim.run();
@@ -743,7 +852,8 @@ mod tests {
         let h = sim.handle();
         let jh = sim.spawn(async move {
             h.sleep(Dur::ns(1)).await;
-            alt(&[&a2, &b2]).await
+            let set = [a2, b2];
+            alt(&set).await
         });
         let r = sim.run();
         assert_eq!(jh.try_take(), Some((0, 10)));
@@ -760,7 +870,10 @@ mod tests {
         let a: Rendezvous<u32> = Rendezvous::new();
         let b: Rendezvous<u32> = Rendezvous::new();
         let (a2, b2) = (a.clone(), b.clone());
-        let jh = sim.spawn(async move { alt(&[&a2, &b2]).await });
+        let jh = sim.spawn(async move {
+            let set = [a2, b2];
+            alt(&set).await
+        });
         let h = sim.handle();
         sim.spawn({
             let a = a.clone();

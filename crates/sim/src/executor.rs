@@ -6,39 +6,79 @@
 //! through [`SimHandle::sleep`]-family primitives, execution order is a pure
 //! function of the program — the foundation of the workspace's determinism
 //! guarantee (see crate docs).
+//!
+//! ## Hot-loop design (see DESIGN.md §5f)
+//!
+//! The simulator is strictly single-threaded, so the ready queue is a plain
+//! `Rc<RefCell<VecDeque>>` behind a hand-rolled [`RawWaker`] — no `Arc`, no
+//! `Mutex`, no atomics on the per-event path. Task slots are recycled
+//! through a free list with a generation tag per slot; a wake carries the
+//! generation it was created under, and the executor drops wakes whose
+//! generation no longer matches (exactly as harmless as the old
+//! never-reuse-a-slot scheme, but the task table stays small at 4096-node
+//! scale instead of growing by every spawned task). Timers due at the same
+//! instant are drained from the heap in one batch; each is still woken and
+//! fully serviced in `(instant, seq)` order, so the observable event order
+//! is bit-identical to popping them one at a time.
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
+use std::mem::ManuallyDrop;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::time::{Dur, Time};
 
 type BoxFut = Pin<Box<dyn Future<Output = ()>>>;
 
-/// Shared FIFO of task ids made runnable by wakers.
+/// Local FIFO of `(task id, generation)` pairs made runnable by wakers.
 ///
-/// This is the only `Send + Sync` piece of the executor: the std `Waker` API
-/// requires it even though the simulation never leaves one thread.
-type ReadyQueue = Arc<Mutex<VecDeque<usize>>>;
+/// The simulation never leaves one thread, so this needs no lock. The std
+/// `Waker` contract nominally demands `Send + Sync`; the vtable below is
+/// sound only because every waker clone stays on the simulation thread —
+/// an invariant the executor already relies on for its `Rc`-based handles.
+type ReadyQueue = Rc<RefCell<VecDeque<(usize, u64)>>>;
 
-struct TaskWaker {
+struct TaskWakerData {
     id: usize,
+    gen: u64,
     ready: ReadyQueue,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.ready.lock().unwrap().push_back(self.id);
-    }
+const VTABLE: RawWakerVTable =
+    RawWakerVTable::new(waker_clone, waker_wake, waker_wake_by_ref, waker_drop);
 
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.lock().unwrap().push_back(self.id);
-    }
+fn raw_waker(data: Rc<TaskWakerData>) -> RawWaker {
+    RawWaker::new(Rc::into_raw(data) as *const (), &VTABLE)
+}
+
+fn task_waker(data: Rc<TaskWakerData>) -> Waker {
+    // SAFETY: the vtable upholds the RawWaker contract (clone bumps the Rc,
+    // wake/drop consume it, wake_by_ref borrows it); single-threadedness is
+    // the executor-wide invariant documented on `ReadyQueue`.
+    unsafe { Waker::from_raw(raw_waker(data)) }
+}
+
+unsafe fn waker_clone(p: *const ()) -> RawWaker {
+    let rc = ManuallyDrop::new(Rc::from_raw(p as *const TaskWakerData));
+    raw_waker(Rc::clone(&rc))
+}
+
+unsafe fn waker_wake(p: *const ()) {
+    let rc = Rc::from_raw(p as *const TaskWakerData);
+    rc.ready.borrow_mut().push_back((rc.id, rc.gen));
+}
+
+unsafe fn waker_wake_by_ref(p: *const ()) {
+    let rc = ManuallyDrop::new(Rc::from_raw(p as *const TaskWakerData));
+    rc.ready.borrow_mut().push_back((rc.id, rc.gen));
+}
+
+unsafe fn waker_drop(p: *const ()) {
+    drop(Rc::from_raw(p as *const TaskWakerData));
 }
 
 struct Task {
@@ -55,6 +95,10 @@ struct TimerKey {
 struct Inner {
     now: Time,
     tasks: Vec<Option<Task>>,
+    /// Generation per task slot: a wake is honoured only while its
+    /// generation matches, so recycled slots never see stale wakes.
+    task_gens: Vec<u64>,
+    task_free: Vec<usize>,
     live: usize,
     timers: BinaryHeap<Reverse<(TimerKey, usize)>>, // (key, waker-slot)
     timer_wakers: Vec<Option<Waker>>,
@@ -128,6 +172,9 @@ pub struct ExecProfile {
 /// The discrete-event simulator: owns tasks, the clock and the timer heap.
 pub struct Sim {
     inner: Rc<RefCell<Inner>>,
+    /// Direct handle on the ready queue so the run loop's pops skip the
+    /// `Inner` borrow entirely.
+    ready: ReadyQueue,
 }
 
 impl Default for Sim {
@@ -139,23 +186,26 @@ impl Default for Sim {
 impl Sim {
     /// Create an empty simulation at `T+0`.
     pub fn new() -> Sim {
-        let ready: ReadyQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let ready: ReadyQueue = Rc::new(RefCell::new(VecDeque::new()));
         Sim {
             inner: Rc::new(RefCell::new(Inner {
                 now: Time::ZERO,
                 tasks: Vec::new(),
+                task_gens: Vec::new(),
+                task_free: Vec::new(),
                 live: 0,
                 timers: BinaryHeap::new(),
                 timer_wakers: Vec::new(),
                 timer_gens: Vec::new(),
                 timer_free: Vec::new(),
                 seq: 0,
-                ready,
+                ready: ready.clone(),
                 events: 0,
                 polls: 0,
                 spawned: 0,
                 max_timers: 0,
             })),
+            ready,
         }
     }
 
@@ -205,23 +255,27 @@ impl Sim {
         self.run_until(deadline)
     }
 
+    /// Poll every runnable task, in wake order, until the queue is empty.
+    fn drain_ready(&mut self) {
+        loop {
+            let next = self.ready.borrow_mut().pop_front();
+            match next {
+                Some((tid, gen)) => self.poll_task(tid, gen),
+                None => break,
+            }
+        }
+    }
+
     fn run_bounded(&mut self, deadline: Option<Time>) -> RunReport {
+        // Reused batch buffer of waker slots due at the current instant.
+        let mut due: Vec<usize> = Vec::new();
         loop {
             // Drain every runnable task before touching the clock.
-            loop {
-                let next = {
-                    let inner = self.inner.borrow();
-                    let mut q = inner.ready.lock().unwrap();
-                    q.pop_front()
-                };
-                match next {
-                    Some(tid) => self.poll_task(tid),
-                    None => break,
-                }
-            }
+            self.drain_ready();
             // Advance to the next *live* timer expiry, discarding cancelled
-            // entries without touching the clock.
-            let fired = {
+            // entries without touching the clock, then pull the whole batch
+            // of entries due at that instant in one heap pass.
+            let have_batch = {
                 let mut inner = self.inner.borrow_mut();
                 loop {
                     match inner.timers.peek() {
@@ -235,26 +289,49 @@ impl Sim {
                             if let Some(dl) = deadline {
                                 if key.at > dl {
                                     inner.now = dl.max(inner.now);
-                                    break None;
+                                    break false;
                                 }
                             }
-                            let Reverse((key, slot)) = inner.timers.pop().expect("peeked");
                             debug_assert!(key.at >= inner.now, "timer in the past");
                             inner.now = key.at;
-                            inner.events += 1;
-                            let w = inner.timer_wakers[slot].take();
-                            inner.timer_free.push(slot);
-                            break Some(w);
+                            // Collect every entry due at this instant in heap
+                            // (= seq) order. Wakers are taken one by one at
+                            // process time below, so a wake early in the
+                            // batch can still cancel a later timer at the
+                            // same instant — exactly as if each entry were
+                            // popped individually.
+                            while let Some(&Reverse((k, s))) = inner.timers.peek() {
+                                if k.at != key.at {
+                                    break;
+                                }
+                                inner.timers.pop();
+                                due.push(s);
+                            }
+                            break true;
                         }
-                        None => break None,
+                        None => break false,
                     }
                 }
             };
-            match fired {
-                Some(Some(w)) => w.wake(),
-                Some(None) => unreachable!("cancelled timers are discarded above"),
-                None => break,
+            if !have_batch {
+                break;
             }
+            for &slot in &due {
+                let fired = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.timer_free.push(slot);
+                    let w = inner.timer_wakers[slot].take();
+                    if w.is_some() {
+                        inner.events += 1;
+                    }
+                    w
+                };
+                if let Some(w) = fired {
+                    w.wake();
+                    self.drain_ready();
+                }
+            }
+            due.clear();
         }
         let inner = self.inner.borrow();
         RunReport {
@@ -265,26 +342,29 @@ impl Sim {
         }
     }
 
-    fn poll_task(&mut self, tid: usize) {
+    fn poll_task(&mut self, tid: usize, gen: u64) {
         let taken = {
             let mut inner = self.inner.borrow_mut();
-            match inner.tasks.get_mut(tid) {
-                Some(slot) => slot.take(),
-                None => None,
+            if inner.task_gens.get(tid).copied() != Some(gen) {
+                None // stale wake of a completed (possibly recycled) slot
+            } else {
+                inner.tasks[tid].take()
             }
         };
         let Some(mut task) = taken else {
-            return; // already finished, or spurious wake of a completed slot
+            return; // already finished, or a duplicate wake mid-drain
         };
         self.inner.borrow_mut().polls += 1;
-        let waker = task.waker.clone();
-        let mut cx = Context::from_waker(&waker);
-        match task.fut.as_mut().poll(&mut cx) {
+        let Task { fut, waker } = &mut task;
+        let mut cx = Context::from_waker(waker);
+        match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 let mut inner = self.inner.borrow_mut();
                 inner.live -= 1;
-                // Slot stays None; ids are not reused, so stale wakes are
-                // harmless and task identity is stable for the whole run.
+                // Retire the generation so in-flight wakes die, then recycle
+                // the slot: task identity is (id, gen), not id alone.
+                inner.task_gens[tid] += 1;
+                inner.task_free.push(tid);
             }
             Poll::Pending => {
                 self.inner.borrow_mut().tasks[tid] = Some(task);
@@ -353,18 +433,27 @@ impl SimHandle {
             }
         });
         let mut inner = self.inner.borrow_mut();
-        let tid = inner.tasks.len();
-        let waker = Waker::from(Arc::new(TaskWaker {
+        let tid = match inner.task_free.pop() {
+            Some(t) => t,
+            None => {
+                inner.tasks.push(None);
+                inner.task_gens.push(0);
+                inner.tasks.len() - 1
+            }
+        };
+        let gen = inner.task_gens[tid];
+        let waker = task_waker(Rc::new(TaskWakerData {
             id: tid,
+            gen,
             ready: inner.ready.clone(),
         }));
-        inner.tasks.push(Some(Task {
+        inner.tasks[tid] = Some(Task {
             fut: wrapped,
             waker,
-        }));
+        });
         inner.live += 1;
         inner.spawned += 1;
-        inner.ready.lock().unwrap().push_back(tid);
+        inner.ready.borrow_mut().push_back((tid, gen));
         JoinHandle { state }
     }
 }
@@ -594,5 +683,79 @@ mod tests {
             (r.final_time, r.events, l)
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn task_slots_are_recycled() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            // Waves of short-lived tasks: the table must stay near the
+            // high-water mark of concurrently-live tasks, not grow by the
+            // total spawn count.
+            for _ in 0..100u32 {
+                let mut hs = Vec::new();
+                for i in 0..4u64 {
+                    let h2 = h.clone();
+                    hs.push(h.spawn(async move {
+                        h2.sleep(Dur::ns(i + 1)).await;
+                    }));
+                }
+                for jh in hs {
+                    jh.await;
+                }
+            }
+        });
+        let r = sim.run();
+        assert!(r.quiescent);
+        let p = sim.profile();
+        assert_eq!(p.spawned, 401);
+        assert!(
+            sim.inner.borrow().tasks.len() <= 8,
+            "task table grew to {} slots for 401 spawns",
+            sim.inner.borrow().tasks.len()
+        );
+    }
+
+    #[test]
+    fn stale_wakes_of_recycled_slots_are_dropped() {
+        // A waker outliving its task (parked in a OneShot-style cell) must
+        // not poll the unrelated task that later reuses the slot.
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let parked: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        let p2 = parked.clone();
+        let jh = sim.spawn(async move {
+            // Park our waker, then finish immediately.
+            std::future::poll_fn(move |cx| {
+                if p2.borrow().is_none() {
+                    *p2.borrow_mut() = Some(cx.waker().clone());
+                    cx.waker().wake_by_ref(); // self-wake so we resume
+                    return Poll::Pending;
+                }
+                Poll::Ready(())
+            })
+            .await;
+        });
+        sim.run();
+        assert!(jh.is_finished());
+        // Slot 0 is now free; spawn a replacement that parks forever.
+        let h2 = h.clone();
+        let jh2 = h.spawn(async move {
+            h2.sleep(Dur::ms(1000)).await;
+        });
+        // Let the replacement run to its sleep first, then fire the stale
+        // waker: it must be ignored, not poll the new task.
+        sim.run_until(Time::ZERO + Dur::ns(1));
+        let polls_before = sim.profile().polls;
+        parked.borrow_mut().take().unwrap().wake();
+        let r = sim.run_until(Time::ZERO + Dur::us(1));
+        assert_eq!(
+            sim.profile().polls,
+            polls_before,
+            "stale wake reached a recycled slot"
+        );
+        assert_eq!(r.live_tasks, 1);
+        assert!(!jh2.is_finished());
     }
 }

@@ -47,6 +47,7 @@ pub mod channel;
 pub mod executor;
 pub mod metrics;
 pub mod perfetto;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod time;

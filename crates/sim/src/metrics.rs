@@ -452,15 +452,16 @@ impl MetricsScope {
 
 #[derive(Default)]
 struct MetricsInner {
-    counters: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<&'static str, Rc<Cell<u64>>>,
     durations: BTreeMap<&'static str, Dur>,
 }
 
 /// Cloneable flat bundle of named counters (`u64`) and durations ([`Dur`]).
 ///
-/// Cold-path accounting only — every update is a `BTreeMap` lookup. Hot
-/// paths should pre-register [`Counter`]/[`BusyTime`] handles on a
-/// [`MetricsRegistry`] instead.
+/// Keyed updates are a `BTreeMap` lookup each — fine for cold paths. Hot
+/// paths pre-register a [`Metrics::counter_cell`] handle once and bump the
+/// cell directly, or use [`Counter`]/[`BusyTime`] handles on a
+/// [`MetricsRegistry`].
 #[derive(Clone, Default)]
 pub struct Metrics {
     inner: Rc<RefCell<MetricsInner>>,
@@ -474,7 +475,22 @@ impl Metrics {
 
     /// Add `n` to counter `key`.
     pub fn add(&self, key: &'static str, n: u64) {
-        *self.inner.borrow_mut().counters.entry(key).or_insert(0) += n;
+        let mut inner = self.inner.borrow_mut();
+        let c = inner.counters.entry(key).or_default();
+        c.set(c.get() + n);
+    }
+
+    /// Shared cell behind counter `key`, registering it at zero if new.
+    /// Bumping the cell is equivalent to [`Metrics::add`] without the map
+    /// lookup — the handle for per-message hot paths. [`Metrics::clear`]
+    /// detaches outstanding cells.
+    pub fn counter_cell(&self, key: &'static str) -> Rc<Cell<u64>> {
+        self.inner
+            .borrow_mut()
+            .counters
+            .entry(key)
+            .or_default()
+            .clone()
     }
 
     /// Increment counter `key` by one.
@@ -484,7 +500,12 @@ impl Metrics {
 
     /// Read counter `key` (0 if never written).
     pub fn get(&self, key: &'static str) -> u64 {
-        self.inner.borrow().counters.get(key).copied().unwrap_or(0)
+        self.inner
+            .borrow()
+            .counters
+            .get(key)
+            .map(|c| c.get())
+            .unwrap_or(0)
     }
 
     /// Accumulate busy time under `key`.
@@ -510,7 +531,7 @@ impl Metrics {
             .borrow()
             .counters
             .iter()
-            .map(|(k, v)| (*k, *v))
+            .map(|(k, v)| (*k, v.get()))
             .collect()
     }
 
@@ -530,7 +551,8 @@ impl Metrics {
         let o = other.inner.borrow();
         let mut m = self.inner.borrow_mut();
         for (k, v) in &o.counters {
-            *m.counters.entry(k).or_insert(0) += v;
+            let c = m.counters.entry(k).or_default();
+            c.set(c.get() + v.get());
         }
         for (k, d) in &o.durations {
             let slot = m.durations.entry(k).or_insert(Dur::ZERO);
@@ -549,8 +571,10 @@ impl Metrics {
 impl fmt::Debug for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let inner = self.inner.borrow();
+        let counters: BTreeMap<&'static str, u64> =
+            inner.counters.iter().map(|(k, v)| (*k, v.get())).collect();
         f.debug_struct("Metrics")
-            .field("counters", &inner.counters)
+            .field("counters", &counters)
             .field("durations", &inner.durations)
             .finish()
     }

@@ -1,0 +1,119 @@
+//! Thread-local free-list pools for hot-path message buffers.
+//!
+//! Every link message in the simulator is a `Vec<u32>` of payload words,
+//! and every collective round packs and unpacks one per dimension. At a
+//! thousand nodes that is millions of short-lived allocations whose
+//! malloc/free traffic dominates the hot loop. A free list amortizes them
+//! to near zero: buffers are recycled after unpacking instead of dropped.
+//!
+//! Determinism: the simulator is single-threaded and event execution order
+//! is fixed, so pool reuse order is itself deterministic — and since
+//! allocation never consumes simulated time, pooling is invisible to
+//! results and event counts (the golden-digest test in
+//! `crates/sim/tests/scale.rs` pins this down).
+
+use std::cell::RefCell;
+
+/// A bounded free list of `Vec<T>` buffers.
+///
+/// Embed one in a `thread_local!` next to the code that owns the buffer
+/// type; the word pool below is the shared instance for link payloads.
+pub struct BufPool<T> {
+    free: RefCell<Vec<Vec<T>>>,
+    max: usize,
+}
+
+impl<T> BufPool<T> {
+    /// An empty pool retaining at most `max` buffers.
+    pub const fn new(max: usize) -> BufPool<T> {
+        BufPool {
+            free: RefCell::new(Vec::new()),
+            max,
+        }
+    }
+
+    /// Take an empty buffer with at least `cap` capacity.
+    pub fn take(&self, cap: usize) -> Vec<T> {
+        match self.free.borrow_mut().pop() {
+            Some(mut v) => {
+                if v.capacity() < cap {
+                    v.reserve(cap - v.capacity());
+                }
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a buffer to the pool (cleared here; dropped if the pool is
+    /// full or the buffer never allocated).
+    pub fn put(&self, mut v: Vec<T>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.borrow_mut();
+        if free.len() < self.max {
+            v.clear();
+            free.push(v);
+        }
+    }
+
+    /// Buffers currently pooled (tests).
+    pub fn len(&self) -> usize {
+        self.free.borrow().len()
+    }
+
+    /// True when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+thread_local! {
+    static WORDS: BufPool<u32> = const { BufPool::new(4096) };
+}
+
+/// Take a link-payload word buffer with at least `cap` capacity.
+pub fn take_words(cap: usize) -> Vec<u32> {
+    WORDS.with(|p| p.take(cap))
+}
+
+/// Recycle a link-payload word buffer once its contents are consumed.
+pub fn put_words(v: Vec<u32>) {
+    WORDS.with(|p| p.put(v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles() {
+        let pool: BufPool<u8> = BufPool::new(4);
+        let mut v = pool.take(16);
+        assert!(v.capacity() >= 16);
+        let cap = v.capacity();
+        v.extend_from_slice(&[1, 2, 3]);
+        pool.put(v);
+        assert_eq!(pool.len(), 1);
+        let v2 = pool.take(8);
+        assert!(v2.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(v2.capacity(), cap, "recycled buffer keeps its capacity");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool: BufPool<u8> = BufPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let pool: BufPool<u8> = BufPool::new(2);
+        pool.put(Vec::new());
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Layer-by-layer hot-path microbenchmark: how many events/sec does each
+//! level of the stack sustain on its own?
+//!
+//! The scale lane cares about whole-machine events/sec; when that number
+//! moves, this breakdown says which layer to blame: the bare executor
+//! (timer heap + waker + poll), the rendezvous channel, the full link
+//! protocol (DMA + wire + done-handshake + metrics), or a collective step.
+//!
+//! ```text
+//! cargo run --release --example hotpath_micro
+//! ```
+
+use std::time::Instant;
+
+use fps_t_series::link::{LinkChannel, LinkParams, Wire};
+use fps_t_series::machine::{collectives, Machine, MachineCfg};
+use fps_t_series::node::CombineOp;
+use fps_t_series::sim::{Dur, Rendezvous, Sim};
+use ts_fpu::Sf64;
+
+fn bench(label: &str, events: u64, f: impl FnOnce()) {
+    let t = Instant::now();
+    f();
+    let s = t.elapsed().as_secs_f64();
+    println!(
+        "  {label:<34} {events:>9} events  {:>7.3} s  {:>11.0} events/s",
+        s,
+        events as f64 / s
+    );
+}
+
+fn main() {
+    println!("hot-path microbenchmarks (release, single thread):");
+
+    // 1. Bare executor: 64 tasks x 10_000 sleeps.
+    {
+        let mut sim = Sim::new();
+        for i in 0..64u64 {
+            let h = sim.handle();
+            sim.spawn(async move {
+                for _ in 0..10_000u32 {
+                    h.sleep(Dur::ns(10 + i)).await;
+                }
+            });
+        }
+        bench("executor: sleep loop", 64 * 10_000, || {
+            assert!(sim.run().quiescent);
+        });
+    }
+
+    // 2. Rendezvous ping-pong: one sender/receiver pair, no timing model.
+    {
+        let mut sim = Sim::new();
+        let rv: Rendezvous<u64> = Rendezvous::new();
+        let rv2 = rv.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            for i in 0..200_000u64 {
+                rv2.send(i).await;
+            }
+        });
+        let hb = h.clone();
+        sim.spawn(async move {
+            for _ in 0..200_000u64 {
+                rv.recv().await;
+                hb.sleep(Dur::ns(1)).await;
+            }
+        });
+        bench("channel: rendezvous ping-pong", 200_000, || {
+            assert!(sim.run().quiescent);
+        });
+    }
+
+    // 3. Full link protocol: 8-word messages through a LinkChannel.
+    {
+        let mut sim = Sim::new();
+        let ch = LinkChannel::new(Wire::new("micro", LinkParams::default()));
+        let (a, b) = (ch.clone(), ch);
+        let h = sim.handle();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            for i in 0..50_000u32 {
+                a.send(&h, vec![i; 8]).await;
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..50_000u32 {
+                b.recv(&h2).await;
+            }
+        });
+        bench("link: 8-word send/recv", 50_000, || {
+            assert!(sim.run().quiescent);
+        });
+    }
+
+    // 4. Whole-machine allreduce at dim 8 (256 nodes).
+    {
+        let mut m = Machine::build(MachineCfg::cube_small_mem(8, 8));
+        let cube = m.cube;
+        let handles = m.launch(move |ctx| async move {
+            let id = ctx.id();
+            let mine = vec![Sf64::from(id as f64), Sf64::from(1.0)];
+            collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await
+        });
+        let events = {
+            let t = Instant::now();
+            assert!(m.run().quiescent);
+            let s = t.elapsed().as_secs_f64();
+            let ev = m.profile().timer_events;
+            println!(
+                "  {:<34} {:>9} events  {:>7.3} s  {:>11.0} events/s",
+                "machine: dim-8 allreduce",
+                ev,
+                s,
+                ev as f64 / s
+            );
+            ev
+        };
+        for h in handles {
+            h.try_take().expect("allreduce result missing");
+        }
+        let p = m.profile();
+        println!(
+            "    profile: {} polls, {} events, {} spawned, {} max timers",
+            p.polls, events, p.spawned, p.max_timers
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Phase-by-phase breakdown of the dim-10 scale batch: which workload
+//! (allreduce, Cannon matmul, FFT) consumes the wall-clock, and at what
+//! events/sec. Companion to `hotpath_micro`.
+
+use std::time::Instant;
+
+use fps_t_series::machine::{collectives, Machine, MachineCfg};
+use fps_t_series::node::CombineOp;
+use ts_fpu::Sf64;
+
+fn main() {
+    let dim = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10u32);
+    let t0 = Instant::now();
+    let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+    println!("build: {:.3} s", t0.elapsed().as_secs_f64());
+    let cube = m.cube;
+
+    let mut last_events = 0u64;
+    let mut phase = |m: &mut Machine, label: &str, f: &mut dyn FnMut(&mut Machine)| {
+        let t = Instant::now();
+        f(m);
+        let s = t.elapsed().as_secs_f64();
+        let ev = m.profile().timer_events - last_events;
+        last_events = m.profile().timer_events;
+        println!(
+            "  {label:<12} {ev:>9} events  {s:>7.3} s  {:>11.0} events/s",
+            ev as f64 / s
+        );
+    };
+
+    phase(&mut m, "allreduce", &mut |m| {
+        let handles = m.launch(move |ctx| async move {
+            let id = ctx.id();
+            let mine = vec![
+                Sf64::from(id as f64),
+                Sf64::from(1.0 / (1.0 + id as f64)),
+                Sf64::from((id % 17) as f64 * 0.5),
+                Sf64::from(1.0),
+            ];
+            collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await
+        });
+        assert!(m.run().quiescent);
+        for h in handles {
+            h.try_take().expect("missing");
+        }
+    });
+    let side = 1usize << (dim / 2);
+    phase(&mut m, "matmul", &mut |m| {
+        ts_kernels::matmul::distributed_matmul(m, 2 * side, 42);
+    });
+    phase(&mut m, "fft", &mut |m| {
+        let p = cube.nodes() as usize;
+        let input: Vec<(f64, f64)> = (0..2 * p)
+            .map(|i| (i as f64 * 0.25, -(i as f64) * 0.125))
+            .collect();
+        ts_kernels::fft::distributed_fft(m, &input);
+    });
+}

@@ -1,8 +1,9 @@
-//! Emit a machine-readable benchmark report (`BENCH_5.json` by default).
+//! Emit a machine-readable benchmark report (`BENCH_6.json` by default).
 //!
 //! Runs the kernel sweep (E11), measures collective latencies on a
 //! 3-cube, runs the space-sharing scheduler batch under both queue
-//! policies, times the metrics hot path, probes simulator throughput at
+//! policies, times the metrics hot path, probes checkpoint I/O (snapshot
+//! seconds vs dim, full vs delta bytes), probes simulator throughput at
 //! a set of cube dimensions, and writes everything as JSON.
 //! With `--baseline <path>` the run fails (exit 2) if any kernel's
 //! MFLOPS dropped more than 20% below the baseline file's figure — the
@@ -14,8 +15,14 @@
 //! compares host wall-clock throughput, so it forgives hardware noise up
 //! to 20% but catches a hot-loop regression.
 //!
+//! The kernel gate is joined by a checkpoint gate: snapshot seconds are
+//! simulated time, so any row that *slowed* more than 20% vs the
+//! baseline fails the run, and a small-memory snapshot that is not flat
+//! within 10% across dims 4..=10 fails unconditionally (the §III
+//! configuration-independence claim).
+//!
 //! ```text
-//! cargo run -p ts-bench                          # writes BENCH_5.json
+//! cargo run -p ts-bench                          # writes BENCH_6.json
 //! cargo run -p ts-bench -- --out BENCH_ci.json --baseline BENCH_baseline.json
 //! cargo run -p ts-bench -- --trace overlap.json  # also dump a Perfetto trace
 //! cargo run -p ts-bench -- --scale-only --scale-dims 10,12 \
@@ -27,8 +34,9 @@ use std::process::ExitCode;
 
 use t_series_core::{Machine, MachineCfg};
 use ts_bench::report::{
-    annotate_scale_pre, collective_probe, counter_microbench, kernel_rows, regressions,
-    scale_probe, scale_regressions, scale_to_json, sched_probe, ScaleRow,
+    annotate_scale_pre, checkpoint_full_rate_row, checkpoint_probe, checkpoint_regressions,
+    collective_probe, counter_microbench, kernel_rows, regressions, scale_probe, scale_regressions,
+    scale_to_json, sched_probe, ScaleRow,
 };
 use ts_bench::BenchReport;
 
@@ -38,8 +46,9 @@ fn usage() -> ! {
          \x20                 [--scale-dims LIST] [--scale-only] [--scale-out PATH]\n\
          \x20                 [--scale-baseline PATH] [--scale-pre PATH]\n\
          \n\
-         --out PATH            where to write the JSON report (default BENCH_5.json)\n\
-         --baseline PATH       fail (exit 2) if any kernel regresses >20% vs this report\n\
+         --out PATH            where to write the JSON report (default BENCH_6.json)\n\
+         --baseline PATH       fail (exit 2) if any kernel regresses >20% vs this\n\
+         \x20                     report, or any checkpoint row slows >20%\n\
          --trace PATH          also write a Perfetto trace of a small traced matmul run\n\
          --scale-dims LIST     comma-separated cube dims to probe (default 6,8;\n\
          \x20                     even dims run allreduce+matmul+fft, dims > 10 and\n\
@@ -79,7 +88,7 @@ fn run_scale(dims: &[u32]) -> Vec<ScaleRow> {
 }
 
 fn main() -> ExitCode {
-    let mut out = PathBuf::from("BENCH_5.json");
+    let mut out = PathBuf::from("BENCH_6.json");
     let mut baseline: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut scale_dims: Vec<u32> = vec![6, 8];
@@ -197,12 +206,41 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    // Checkpoint I/O: small-memory snapshots at dims 4..=10 (the §III
+    // configuration-independence claim), plus one full-memory row — the
+    // paper's ~15 s full-machine snapshot.
+    println!("probing checkpoint I/O (dims 4..=10 small-mem, dim 3 full-mem)...");
+    let mut checkpoint = checkpoint_probe(&[4, 5, 6, 7, 8, 9, 10]);
+    checkpoint.push(checkpoint_full_rate_row(3));
+    for c in &checkpoint {
+        println!(
+            "  dim {:>2} ({:>4} nodes, {:<10}) full {:>8.3} s / {:>9} B   delta {:>7.4} s / {:>7} B",
+            c.dim, c.nodes, c.mem, c.full_snapshot_s, c.full_bytes, c.delta_snapshot_s, c.delta_bytes
+        );
+    }
+    let small: Vec<f64> = checkpoint
+        .iter()
+        .filter(|c| c.mem == "small-8row")
+        .map(|c| c.full_snapshot_s)
+        .collect();
+    let (min, max) = small.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| {
+        (lo.min(s), hi.max(s))
+    });
+    if max > min * 1.10 {
+        eprintln!(
+            "FAIL: snapshot time is not configuration-independent: {min:.4} s .. {max:.4} s across dims"
+        );
+        return ExitCode::from(2);
+    }
+    println!("  snapshot time flat within 10% across dims 4..=10 ({min:.4} s .. {max:.4} s)");
+
     let report = BenchReport {
         kernels,
         collectives,
         sched,
         counter,
         transport,
+        checkpoint,
         scale,
     };
     if let Err(e) = std::fs::write(&out, report.to_json()) {
@@ -242,6 +280,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("no kernel regressed >20% vs {}", base_path.display());
+        let slow = checkpoint_regressions(&report.checkpoint, &base, 0.20);
+        if !slow.is_empty() {
+            eprintln!("FAIL: checkpoint I/O regressed vs {}:", base_path.display());
+            for line in &slow {
+                eprintln!("  {line}");
+            }
+            return ExitCode::from(2);
+        }
+        println!("no checkpoint row slowed >20% vs {}", base_path.display());
     }
     ExitCode::SUCCESS
 }

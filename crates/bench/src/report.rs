@@ -13,6 +13,7 @@
 
 use std::time::Instant;
 
+use t_series_core::checkpoint::{CheckpointStore, SnapshotMode};
 use t_series_core::{collectives, Machine, MachineCfg, NODE_PEAK_MFLOPS};
 use ts_fpu::Sf64;
 use ts_node::CombineOp;
@@ -130,6 +131,68 @@ pub struct ScaleRow {
     pub speedup_vs_pre: f64,
 }
 
+/// One checkpoint-I/O measurement: the simulated time a staged
+/// full-machine snapshot takes at one cube dimension, and what a
+/// one-dirty-row-per-node incremental delta streams against it. Snapshot
+/// time is the §III configuration-independence claim — every module
+/// stages its eight nodes concurrently, so the seconds must stay flat as
+/// the machine grows.
+#[derive(Debug, Clone)]
+pub struct CheckpointRow {
+    /// Cube dimension.
+    pub dim: u32,
+    /// Node count (`2^dim`).
+    pub nodes: u64,
+    /// Memory configuration (`small-8row` probe or `full` paper-rate).
+    pub mem: String,
+    /// Simulated seconds of a full checkpoint (stage + disk + commit).
+    pub full_snapshot_s: f64,
+    /// Bytes the full checkpoint streams over the system threads.
+    pub full_bytes: u64,
+    /// Simulated seconds of the follow-up delta checkpoint.
+    pub delta_snapshot_s: f64,
+    /// Bytes the delta streams (one dirty row per node).
+    pub delta_bytes: u64,
+}
+
+/// Measure checkpoint I/O at each small-memory dimension: a full
+/// snapshot through the two-version store, then one word written per
+/// node and the resulting dirty-row delta.
+pub fn checkpoint_probe(dims: &[u32]) -> Vec<CheckpointRow> {
+    dims.iter()
+        .map(|&dim| checkpoint_row(dim, MachineCfg::cube_small_mem(dim, 8), "small-8row"))
+        .collect()
+}
+
+/// One checkpoint row at the paper's full per-node memory — the ~15 s
+/// snapshot figure of §III.
+pub fn checkpoint_full_rate_row(dim: u32) -> CheckpointRow {
+    checkpoint_row(dim, MachineCfg::cube(dim), "full")
+}
+
+fn checkpoint_row(dim: u32, cfg: MachineCfg, mem: &str) -> CheckpointRow {
+    let mut m = Machine::build(cfg);
+    let mut store = CheckpointStore::new(m.nodes.len());
+    let full = m
+        .checkpoint(&mut store, SnapshotMode::Full)
+        .expect("full checkpoint probe");
+    for node in &m.nodes {
+        node.mem_mut().write_word(0, 0xD17).unwrap();
+    }
+    let delta = m
+        .checkpoint(&mut store, SnapshotMode::Delta)
+        .expect("delta checkpoint probe");
+    CheckpointRow {
+        dim,
+        nodes: m.nodes.len() as u64,
+        mem: mem.to_string(),
+        full_snapshot_s: full.duration.as_secs_f64(),
+        full_bytes: full.bytes_streamed,
+        delta_snapshot_s: delta.duration.as_secs_f64(),
+        delta_bytes: delta.bytes_streamed,
+    }
+}
+
 /// A full benchmark report, renderable as JSON.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -143,6 +206,8 @@ pub struct BenchReport {
     pub counter: CounterBench,
     /// Transport counters from the fault-free collective probe.
     pub transport: TransportCounters,
+    /// Checkpoint-I/O rows, one per probed cube dimension.
+    pub checkpoint: Vec<CheckpointRow>,
     /// Simulator-throughput rows, one per probed cube dimension.
     pub scale: Vec<ScaleRow>,
 }
@@ -430,6 +495,27 @@ impl BenchReport {
              \"escalations\": {}}},\n",
             self.transport.retransmits, self.transport.crc_errors, self.transport.escalations
         ));
+        s.push_str("  \"checkpoint\": [\n");
+        for (i, c) in self.checkpoint.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"dim\": {}, \"nodes\": {}, \"mem\": \"{}\", \
+                 \"full_snapshot_s\": {:.6}, \"full_bytes\": {}, \
+                 \"delta_snapshot_s\": {:.6}, \"delta_bytes\": {}}}{}\n",
+                c.dim,
+                c.nodes,
+                c.mem,
+                c.full_snapshot_s,
+                c.full_bytes,
+                c.delta_snapshot_s,
+                c.delta_bytes,
+                if i + 1 < self.checkpoint.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str(&scale_json_array(&self.scale));
         s.push_str("}\n");
         s
@@ -532,6 +618,60 @@ pub fn annotate_scale_pre(rows: &mut [ScaleRow], pre_json: &str) {
             };
         }
     }
+}
+
+/// Pull `(dim, mem, full_snapshot_s, delta_snapshot_s)` tuples back out
+/// of a report carrying a checkpoint section. Scans line-by-line like
+/// [`parse_kernels`].
+pub fn parse_checkpoint(json: &str) -> Vec<(u32, String, f64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let dim = json_num(line, "dim")? as u32;
+            let mem = json_str(line, "mem")?;
+            let full = json_num(line, "full_snapshot_s")?;
+            let delta = json_num(line, "delta_snapshot_s")?;
+            Some((dim, mem, full, delta))
+        })
+        .collect()
+}
+
+/// Compare checkpoint rows against a baseline JSON document. Snapshot
+/// seconds are simulated time, so *higher* is worse: one line per
+/// `(dim, mem)` row whose full or delta snapshot grew past
+/// `(1 + tolerance) ×` the baseline figure. Rows present on only one
+/// side are ignored, like [`regressions`].
+pub fn checkpoint_regressions(
+    current: &[CheckpointRow],
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let base = parse_checkpoint(baseline_json);
+    let mut out = Vec::new();
+    for c in current {
+        let Some((_, _, full_was, delta_was)) =
+            base.iter().find(|(d, m, _, _)| *d == c.dim && *m == c.mem)
+        else {
+            continue;
+        };
+        for (kind, now, was) in [
+            ("full", c.full_snapshot_s, *full_was),
+            ("delta", c.delta_snapshot_s, *delta_was),
+        ] {
+            let ceiling = was * (1.0 + tolerance);
+            if now > ceiling {
+                out.push(format!(
+                    "checkpoint dim {} ({}, {kind}): {:.4} s > {:.4} s (baseline {:.4} + {:.0}%)",
+                    c.dim,
+                    c.mem,
+                    now,
+                    ceiling,
+                    was,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Pull `(name, nodes, mflops)` triples back out of a report produced by
@@ -642,6 +782,15 @@ mod tests {
                 legacy_ns_per_op: 20.0,
             },
             transport: TransportCounters::default(),
+            checkpoint: vec![CheckpointRow {
+                dim: 4,
+                nodes: 16,
+                mem: "small-8row".into(),
+                full_snapshot_s: 0.131,
+                full_bytes: 131_200,
+                delta_snapshot_s: 0.004,
+                delta_bytes: 16_640,
+            }],
             scale: vec![ScaleRow {
                 dim: 6,
                 nodes: 64,
@@ -736,6 +885,50 @@ mod tests {
         assert!(bad[0].contains("dim 6"), "{bad:?}");
         // Kernel parsing must not pick up scale lines and vice versa.
         assert_eq!(parse_kernels(&solo), vec![]);
+    }
+
+    #[test]
+    fn checkpoint_json_round_trips_and_gates_on_slowdown() {
+        let report = sample();
+        let json = report.to_json();
+        let parsed = parse_checkpoint(&json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!((parsed[0].0, parsed[0].1.as_str()), (4, "small-8row"));
+        assert!((parsed[0].2 - 0.131).abs() < 1e-9);
+        // Scale/kernel parsers must not pick up checkpoint lines.
+        assert!(!parse_scale(&json).iter().any(|(_, w, _)| w == "small-8row"));
+        // 10% slower passes a 20% gate; 30% slower fails it — and the
+        // gate reads "higher seconds = worse", unlike the MFLOPS gate.
+        let mut ok = report.checkpoint.clone();
+        ok[0].full_snapshot_s *= 1.10;
+        assert!(checkpoint_regressions(&ok, &json, 0.20).is_empty());
+        let mut slow = report.checkpoint.clone();
+        slow[0].delta_snapshot_s *= 1.30;
+        let bad = checkpoint_regressions(&slow, &json, 0.20);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("delta"), "{bad:?}");
+    }
+
+    #[test]
+    fn checkpoint_probe_is_configuration_independent() {
+        let rows = checkpoint_probe(&[3, 4, 5]);
+        for w in rows.windows(2) {
+            let ratio = w[1].full_snapshot_s / w[0].full_snapshot_s;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "snapshot time must be flat across dims: {} s at dim {} vs {} s at dim {}",
+                w[0].full_snapshot_s,
+                w[0].dim,
+                w[1].full_snapshot_s,
+                w[1].dim
+            );
+        }
+        for r in &rows {
+            assert!(
+                r.delta_bytes * 4 < r.full_bytes,
+                "a one-row delta must stream far fewer bytes than the full image"
+            );
+        }
     }
 
     #[test]

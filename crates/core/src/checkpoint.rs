@@ -1,22 +1,228 @@
-//! Checkpoint-interval policy (§III, experiment E8).
+//! Checkpoint storage and interval policy (§III, experiment E8).
 //!
 //! "The user is able to specify the interval between snapshots. About 10
 //! minutes provides a good compromise between time spent to record memory
 //! and interval between restart points. It takes about 15 seconds to take
 //! a snapshot, regardless of configuration."
 //!
-//! Two tools reproduce that engineering judgement:
+//! Three pieces reproduce that engineering judgement:
 //!
+//! * [`CheckpointStore`] — the disks' view of the checkpoint: a
+//!   **two-version store** per node (one committed image, one staging
+//!   slot) with an atomic machine-wide commit. A crash at any point during
+//!   a snapshot leaves the previous committed version intact, so a torn
+//!   image can never be restored. Incremental snapshots stage a
+//!   [`ts_mem::RowDelta`] on top of the committed version.
 //! * [`young_interval`] — Young's classical first-order optimum
 //!   `T* = sqrt(2 δ M)` for snapshot cost δ and mean time between failures
 //!   M. The paper's 10 minutes is optimal for δ ≈ 16 s at M ≈ 3.1 h —
-//!   a plausible MTBF for a 1986 multi-cabinet machine.
+//!   a plausible MTBF for a 1986 multi-cabinet machine. The supervisor
+//!   feeds the *measured* baseline snapshot time in as δ (see
+//!   [`crate::supervisor::Supervisor::mtbf`]).
 //! * [`simulate_run`] — a Monte-Carlo replay: exponential failures, work
 //!   segments of `interval`, a snapshot after each, rollback to the last
 //!   snapshot on failure. Sweeping the interval reproduces the U-shaped
 //!   overhead curve whose flat bottom sits near the 10-minute choice.
 
+use ts_mem::RowDelta;
 use ts_sim::{Dur, Rng};
+
+/// How much of memory a snapshot streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Every word of every node (the baseline, and the only legal first
+    /// snapshot into an empty store).
+    Full,
+    /// Only the rows written since the last committed snapshot, applied on
+    /// top of the committed version at staging time. Falls back to full
+    /// when the store holds no committed version yet.
+    Delta,
+}
+
+/// Errors raised by [`CheckpointStore`] staging operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A delta was staged but the store has no committed base to apply it
+    /// to.
+    NoBase {
+        /// Node whose delta had no base image.
+        node: usize,
+    },
+    /// Commit was requested while some node had nothing staged.
+    Incomplete {
+        /// First node with an empty staging slot.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NoBase { node } => {
+                write!(f, "delta for node {node} has no committed base image")
+            }
+            StoreError::Incomplete { node } => {
+                write!(f, "commit with node {node} not staged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What one committed machine-wide snapshot cost (returned by
+/// `Machine::checkpoint`).
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointStats {
+    /// The mode that actually ran (a requested delta with no committed
+    /// base is promoted to full).
+    pub mode: SnapshotMode,
+    /// Simulated wall-clock the snapshot took, staging through commit.
+    pub duration: Dur,
+    /// Bytes streamed over the system threads (headers included).
+    pub bytes_streamed: u64,
+    /// Bytes a full snapshot would have streamed.
+    pub bytes_full: u64,
+    /// Dirty rows carried (0 for a full snapshot).
+    pub dirty_rows: u64,
+}
+
+/// The two-version checkpoint store: what survives on the module disks
+/// across node crashes and machine reboots.
+///
+/// Invariant: the committed images are only ever replaced *all at once* by
+/// [`CheckpointStore::commit`], after every node's payload has been fully
+/// staged and the ring commit token has gone around. An abort at any
+/// earlier point discards staging and leaves the committed version — and
+/// the nodes' dirty bits — untouched.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    /// Committed full image per node; empty until the first commit.
+    committed: Vec<Vec<u32>>,
+    /// In-flight staging slot per node.
+    staging: Vec<Option<Vec<u32>>>,
+    epoch: u64,
+    torn_aborts: u64,
+    full_snapshots: u64,
+    delta_snapshots: u64,
+    bytes_streamed: u64,
+    bytes_full_equiv: u64,
+}
+
+impl CheckpointStore {
+    /// An empty store for a machine of `nodes` nodes.
+    pub fn new(nodes: usize) -> CheckpointStore {
+        CheckpointStore {
+            committed: Vec::new(),
+            staging: vec![None; nodes],
+            ..CheckpointStore::default()
+        }
+    }
+
+    /// Nodes the store covers.
+    pub fn nodes(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Completed commits.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True once a first snapshot has committed.
+    pub fn has_committed(&self) -> bool {
+        !self.committed.is_empty()
+    }
+
+    /// The committed images (empty slice before the first commit).
+    pub fn committed(&self) -> &[Vec<u32>] {
+        &self.committed
+    }
+
+    /// Snapshots that were aborted mid-flight (and whose staging was
+    /// discarded, never restored).
+    pub fn torn_aborts(&self) -> u64 {
+        self.torn_aborts
+    }
+
+    /// Committed full snapshots.
+    pub fn full_snapshots(&self) -> u64 {
+        self.full_snapshots
+    }
+
+    /// Committed delta snapshots.
+    pub fn delta_snapshots(&self) -> u64 {
+        self.delta_snapshots
+    }
+
+    /// Bytes actually streamed to disk by committed snapshots.
+    pub fn bytes_streamed(&self) -> u64 {
+        self.bytes_streamed
+    }
+
+    /// Bytes full snapshots would have streamed for the same commits.
+    pub fn bytes_full_equiv(&self) -> u64 {
+        self.bytes_full_equiv
+    }
+
+    /// Begin a snapshot: clear any leftover staging slots.
+    pub fn begin(&mut self) {
+        for s in &mut self.staging {
+            *s = None;
+        }
+    }
+
+    /// Stage a full image for one node.
+    pub fn stage_full(&mut self, node: usize, image: Vec<u32>) {
+        self.staging[node] = Some(image);
+    }
+
+    /// Stage a delta for one node: materialised immediately as a copy of
+    /// the committed version with the dirty rows applied (the disk has
+    /// both on hand).
+    pub fn stage_delta(&mut self, node: usize, delta: &RowDelta) -> Result<(), StoreError> {
+        let base = self
+            .committed
+            .get(node)
+            .ok_or(StoreError::NoBase { node })?;
+        let mut image = base.clone();
+        delta.apply_to(&mut image);
+        self.staging[node] = Some(image);
+        Ok(())
+    }
+
+    /// Atomically flip staging to committed. Only legal once every node is
+    /// staged; accounting records how many bytes the snapshot actually
+    /// streamed (`streamed`) vs what a full snapshot would have moved.
+    pub fn commit(
+        &mut self,
+        mode: SnapshotMode,
+        streamed: u64,
+        full_equiv: u64,
+    ) -> Result<(), StoreError> {
+        if let Some(node) = self.staging.iter().position(|s| s.is_none()) {
+            return Err(StoreError::Incomplete { node });
+        }
+        self.committed = self.staging.iter_mut().map(|s| s.take().unwrap()).collect();
+        self.epoch += 1;
+        match mode {
+            SnapshotMode::Full => self.full_snapshots += 1,
+            SnapshotMode::Delta => self.delta_snapshots += 1,
+        }
+        self.bytes_streamed += streamed;
+        self.bytes_full_equiv += full_equiv;
+        Ok(())
+    }
+
+    /// Abort an in-flight snapshot: discard staging, keep the committed
+    /// version. The snapshot is counted as torn.
+    pub fn abort(&mut self) {
+        for s in &mut self.staging {
+            *s = None;
+        }
+        self.torn_aborts += 1;
+    }
+}
 
 /// Young's approximation of the optimal checkpoint interval:
 /// `T* = sqrt(2 · snapshot_cost · mtbf)`.
@@ -100,6 +306,66 @@ pub fn simulate_run(work: Dur, interval: Dur, snapshot: Dur, mtbf: Dur, seed: u6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ts_mem::{MemCfg, NodeMemory};
+
+    #[test]
+    fn two_version_commit_is_atomic() {
+        let mut store = CheckpointStore::new(2);
+        assert!(!store.has_committed());
+        store.begin();
+        store.stage_full(0, vec![1, 2]);
+        // Committing with node 1 unstaged must fail and commit nothing.
+        assert_eq!(
+            store.commit(SnapshotMode::Full, 8, 8),
+            Err(StoreError::Incomplete { node: 1 })
+        );
+        assert!(!store.has_committed());
+        store.stage_full(1, vec![3, 4]);
+        store.commit(SnapshotMode::Full, 16, 16).unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.committed(), &[vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn abort_keeps_the_previous_version() {
+        let mut store = CheckpointStore::new(1);
+        store.begin();
+        store.stage_full(0, vec![7; 4]);
+        store.commit(SnapshotMode::Full, 16, 16).unwrap();
+        // Second snapshot starts staging, then the machine crashes.
+        store.begin();
+        store.stage_full(0, vec![9; 4]);
+        store.abort();
+        assert_eq!(store.committed(), &[vec![7; 4]]);
+        assert_eq!(store.torn_aborts(), 1);
+        assert_eq!(store.epoch(), 1, "aborted snapshot never commits");
+    }
+
+    #[test]
+    fn delta_staging_needs_a_committed_base() {
+        let mut mem = NodeMemory::new(MemCfg::small(4));
+        mem.write_word(5, 42).unwrap();
+        let delta = mem.snapshot_delta();
+        let mut store = CheckpointStore::new(1);
+        store.begin();
+        assert_eq!(
+            store.stage_delta(0, &delta),
+            Err(StoreError::NoBase { node: 0 })
+        );
+        // Commit a full base, then the delta applies on top of it.
+        store.stage_full(0, vec![0; mem.cfg().words()]);
+        store
+            .commit(SnapshotMode::Full, mem.cfg().bytes() as u64, 0)
+            .unwrap();
+        store.begin();
+        store.stage_delta(0, &delta).unwrap();
+        store
+            .commit(SnapshotMode::Delta, delta.bytes() as u64, 0)
+            .unwrap();
+        assert_eq!(store.committed()[0], mem.snapshot());
+        assert_eq!(store.delta_snapshots(), 1);
+        assert!(store.bytes_streamed() > 0);
+    }
 
     #[test]
     fn paper_interval_is_youngs_optimum() {

@@ -148,8 +148,10 @@ impl FaultEvent {
     }
 
     /// Inject directly through a node handle (used by the timed tasks
-    /// [`FaultPlan::schedule`] spawns, which cannot borrow the machine).
-    fn apply_to(&self, n: &Node) {
+    /// [`FaultPlan::schedule`] spawns, which cannot borrow the machine,
+    /// and by the supervisor when it pre-schedules plan faults that land
+    /// inside a checkpoint window).
+    pub(crate) fn apply_to(&self, n: &Node) {
         match *self {
             FaultEvent::LinkDown { dim, .. } => {
                 n.set_link_down(dim as usize);

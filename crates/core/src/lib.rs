@@ -157,6 +157,9 @@ pub enum MachineError {
         /// Which procedure stalled.
         op: &'static str,
     },
+    /// Restore was requested from a [`checkpoint::CheckpointStore`] that
+    /// has never committed a snapshot.
+    NoCheckpoint,
 }
 
 impl fmt::Display for MachineError {
@@ -177,6 +180,9 @@ impl fmt::Display for MachineError {
             }
             MachineError::NodeDown { node } => write!(f, "node n{node} is down"),
             MachineError::Stalled { op } => write!(f, "{op} deadlocked before completing"),
+            MachineError::NoCheckpoint => {
+                write!(f, "checkpoint store holds no committed version")
+            }
         }
     }
 }
@@ -472,33 +478,6 @@ impl Machine {
         FaultInjector { m: self }
     }
 
-    /// Kill the physical link carrying cube dimension `dim` at `node`.
-    #[deprecated(since = "0.2.0", note = "use `machine.faults().link_down(node, dim)`")]
-    pub fn inject_link_down(&self, node: NodeId, dim: u32) {
-        self.faults().link_down(node, dim);
-    }
-
-    /// Crash `node`.
-    #[deprecated(since = "0.2.0", note = "use `machine.faults().crash(node)`")]
-    pub fn inject_node_crash(&self, node: NodeId) {
-        self.faults().crash(node);
-    }
-
-    /// Flip `bit` of the word at `addr` in `node`'s memory.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `machine.faults().mem_flip(node, addr, bit)`"
-    )]
-    pub fn inject_mem_flip(&self, node: NodeId, addr: usize, bit: u32) {
-        self.faults().mem_flip(node, addr, bit);
-    }
-
-    /// True while the physical link on `(node, dim)` is alive.
-    #[deprecated(since = "0.2.0", note = "use `machine.faults().is_link_up(node, dim)`")]
-    pub fn link_up(&self, node: NodeId, dim: u32) -> bool {
-        self.faults().is_link_up(node, dim)
-    }
-
     /// Run at most `d` further virtual time.
     pub fn run_for(&mut self, d: Dur) -> RunReport {
         self.sim.run_for(d)
@@ -721,6 +700,32 @@ impl Machine {
                 );
             }
         }
+        // Checkpoint I/O: what the snapshot subsystem cost this run.
+        let disk_busy: f64 = self
+            .boards
+            .iter()
+            .map(|b| b.disk.busy_total().as_secs_f64())
+            .sum();
+        let ring_bytes: u64 = self.boards.iter().map(|b| b.ring_bytes()).sum();
+        let ckpt_full = m.get("ckpt.full");
+        let ckpt_delta = m.get("ckpt.delta");
+        let torn = m.get("ckpt.torn_aborts");
+        if disk_busy > 0.0 || ckpt_full + ckpt_delta + torn > 0 {
+            let streamed = m.get("ckpt.bytes_streamed");
+            let full_equiv = m.get("ckpt.bytes_full_equiv");
+            let delta_ratio = if full_equiv > 0 {
+                streamed as f64 / full_equiv as f64 * 100.0
+            } else {
+                100.0
+            };
+            let _ = writeln!(
+                out,
+                "checkpoint I/O: {ckpt_full} full + {ckpt_delta} delta commits, \
+                 {streamed} B streamed ({delta_ratio:.1}% of full), \
+                 disk busy {:.3} ms, ring {ring_bytes} B, {torn} torn aborts",
+                disk_busy * 1e3,
+            );
+        }
         out
     }
 
@@ -829,6 +834,212 @@ impl Machine {
         }
         Ok(self.sim.now().since(t0))
     }
+
+    // --- two-version checkpointing ------------------------------------------
+
+    /// Take a machine-wide snapshot into a two-version
+    /// [`checkpoint::CheckpointStore`], as the simulated §III procedure:
+    ///
+    /// 1. **stream** — every node sends its payload (a full image, or the
+    ///    dirty rows since the last commit for [`SnapshotMode::Delta`]) up
+    ///    the system thread; the boards write each chunk to their disks as
+    ///    it lands, into the store's *staging* version;
+    /// 2. **commit** — [`system::ring_commit`] circulates prepare and
+    ///    commit tokens around the system ring; only when both laps
+    ///    complete does the staged version atomically become the committed
+    ///    one.
+    ///
+    /// Any stall — a node crashing mid-stream, a faulted disk, a condemned
+    /// ring link — aborts the snapshot: staging is discarded, the previous
+    /// committed version is untouched, every row is re-marked dirty (the
+    /// payloads that claimed them are lost), and the error is returned. An
+    /// aborted machine has parked snapshot tasks and needs the same reboot
+    /// a crash does before further use.
+    ///
+    /// A requested delta is promoted to full when the store has no
+    /// committed base yet.
+    pub fn checkpoint(
+        &mut self,
+        store: &mut checkpoint::CheckpointStore,
+        mode: checkpoint::SnapshotMode,
+    ) -> Result<checkpoint::CheckpointStats, MachineError> {
+        use checkpoint::SnapshotMode;
+        assert_eq!(
+            store.nodes(),
+            self.nodes.len(),
+            "checkpoint store sized for a different machine"
+        );
+        if let Some(n) = self.nodes.iter().find(|n| n.is_crashed()) {
+            return Err(MachineError::NodeDown { node: n.id });
+        }
+        let effective = if mode == SnapshotMode::Delta && store.has_committed() {
+            SnapshotMode::Delta
+        } else {
+            SnapshotMode::Full
+        };
+        store.begin();
+        let t0 = self.sim.now();
+        let bytes_full: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.mem().cfg().bytes() as u64 + 8)
+            .sum();
+        let mut bytes_streamed = 0u64;
+        let mut dirty_rows = 0u64;
+        let mut payload_handles = Vec::new();
+        for (m, board) in self.boards.iter().enumerate() {
+            let lo = m * 8;
+            let hi = ((m + 1) * 8).min(self.nodes.len());
+            for id in lo..hi {
+                let ctx = self.nodes[id].ctx();
+                // Dirty bits transfer to the payload at capture time: a
+                // write landing while the stream is in flight dirties its
+                // row afresh and rides the *next* delta. (On abort the
+                // captured bits are re-marked wholesale below.)
+                let (mode_word, payload) = match effective {
+                    SnapshotMode::Full => (system::PAYLOAD_FULL, self.nodes[id].mem().snapshot()),
+                    SnapshotMode::Delta => {
+                        let delta = self.nodes[id].mem().snapshot_delta();
+                        dirty_rows += delta.row_count() as u64;
+                        (system::PAYLOAD_DELTA, delta.encode())
+                    }
+                };
+                self.nodes[id].mem_mut().clear_dirty();
+                bytes_streamed += (payload.len() as u64 + 2) * 4;
+                self.sim.spawn(async move {
+                    system::send_payload(&ctx, mode_word, &payload).await;
+                });
+            }
+            let board = board.clone();
+            let count = hi - lo;
+            payload_handles.push(
+                self.sim
+                    .spawn(async move { board.collect_payloads(count).await }),
+            );
+        }
+        if !self.sim.run().quiescent {
+            self.abort_checkpoint(store);
+            return Err(MachineError::Stalled { op: "checkpoint" });
+        }
+        // Everything streamed: stage the payloads (the disks already hold
+        // the bytes; staging is the controllers' bookkeeping).
+        let mut node_idx = 0usize;
+        for h in payload_handles {
+            let payloads = h
+                .try_take()
+                .ok_or(MachineError::Stalled { op: "checkpoint" })?;
+            for (mode_word, payload) in payloads {
+                if mode_word == system::PAYLOAD_FULL {
+                    store.stage_full(node_idx, payload);
+                } else {
+                    let delta = ts_mem::RowDelta::decode(&payload)
+                        .expect("delta payload corrupted in flight");
+                    store
+                        .stage_delta(node_idx, &delta)
+                        .expect("delta staged without a committed base");
+                }
+                node_idx += 1;
+            }
+        }
+        // The atomic version flip: prepare + commit token laps on the ring.
+        {
+            let boards = self.boards.clone();
+            let epoch = store.epoch() + 1;
+            self.sim.spawn(async move {
+                system::ring_commit(&boards, epoch).await;
+            });
+        }
+        if !self.sim.run().quiescent {
+            self.abort_checkpoint(store);
+            return Err(MachineError::Stalled {
+                op: "checkpoint commit",
+            });
+        }
+        store
+            .commit(effective, bytes_streamed, bytes_full)
+            .expect("commit with a fully staged store");
+        let met = self.nodes[0].metrics();
+        match effective {
+            SnapshotMode::Full => met.inc("ckpt.full"),
+            SnapshotMode::Delta => met.inc("ckpt.delta"),
+        }
+        met.add("ckpt.bytes_streamed", bytes_streamed);
+        met.add("ckpt.bytes_full_equiv", bytes_full);
+        Ok(checkpoint::CheckpointStats {
+            mode: effective,
+            duration: self.sim.now().since(t0),
+            bytes_streamed,
+            bytes_full,
+            dirty_rows,
+        })
+    }
+
+    /// Discard a torn snapshot attempt. The dirty bits captured into the
+    /// (now lost) payloads were already cleared, so every row is re-marked
+    /// dirty: the next delta degenerates to a full image rather than
+    /// silently missing the rows the aborted stream had claimed.
+    fn abort_checkpoint(&self, store: &mut checkpoint::CheckpointStore) {
+        store.abort();
+        for n in &self.nodes {
+            n.mem_mut().mark_all_dirty();
+        }
+        self.nodes[0].metrics().inc("ckpt.torn_aborts");
+    }
+
+    /// Restore every node's memory from the store's committed version (the
+    /// crash-recovery path: always a full-image stream down the system
+    /// threads). The nodes' dirty bits are cleared afterwards — memory now
+    /// equals the committed checkpoint exactly.
+    pub fn restore_from(
+        &mut self,
+        store: &checkpoint::CheckpointStore,
+    ) -> Result<Dur, MachineError> {
+        if !store.has_committed() {
+            return Err(MachineError::NoCheckpoint);
+        }
+        let d = self.restore(store.committed())?;
+        for n in &self.nodes {
+            n.mem_mut().clear_dirty();
+        }
+        Ok(d)
+    }
+
+    /// A host-side upper estimate of how long [`Machine::checkpoint`] will
+    /// run: the slowest module's payload bytes over the system-thread
+    /// rate, plus commit slack, with 50 % headroom. The supervisor uses it
+    /// to pre-schedule faults that land inside the snapshot window.
+    pub fn checkpoint_eta(
+        &self,
+        store: &checkpoint::CheckpointStore,
+        mode: checkpoint::SnapshotMode,
+    ) -> Dur {
+        use checkpoint::SnapshotMode;
+        let effective = if mode == SnapshotMode::Delta && store.has_committed() {
+            SnapshotMode::Delta
+        } else {
+            SnapshotMode::Full
+        };
+        let mut worst = 0u64;
+        for m in 0..self.boards.len() {
+            let lo = m * 8;
+            let hi = ((m + 1) * 8).min(self.nodes.len());
+            let mut bytes = 0u64;
+            for id in lo..hi {
+                bytes += 8 + match effective {
+                    SnapshotMode::Full => self.nodes[id].mem().cfg().bytes() as u64,
+                    SnapshotMode::Delta => {
+                        let rows = self.nodes[id].mem().dirty_row_count() as u64;
+                        (1 + rows + rows * ts_mem::ROW_WORDS as u64) * 4
+                    }
+                };
+            }
+            worst = worst.max(bytes);
+        }
+        let stream = worst as f64 / (self.cfg.node.link.effective_mb_per_s() * 1e6);
+        let commit = 1e-3 * self.boards.len() as f64
+            + system::COMMIT_RECORD_BYTES as f64 / self.cfg.disk_rate;
+        Dur::from_secs_f64((stream + commit) * 1.5 + 1e-6)
+    }
 }
 
 /// Fault-injection facade returned by [`Machine::faults`]: breaks (and
@@ -903,6 +1114,37 @@ impl FaultInjector<'_> {
         let n = &self.m.nodes[node as usize];
         n.flap_link(dim as usize, down_for);
         n.metrics().inc("fault.link_flap");
+    }
+
+    /// Fault `module`'s disk controller: transfers in flight (and any
+    /// started later) hang, so a snapshot touching the module stalls and
+    /// aborts. Heals with [`FaultInjector::disk_heal`] or a reboot.
+    pub fn disk_fault(&self, module: usize) {
+        self.m.boards[module].disk.fail();
+        self.m.nodes[module * 8].metrics().inc("fault.disk");
+    }
+
+    /// Repair `module`'s disk controller.
+    pub fn disk_heal(&self, module: usize) {
+        self.m.boards[module].disk.heal();
+        self.m.nodes[module * 8].metrics().inc("fault.disk_repair");
+    }
+
+    /// Flap `module`'s outbound system-ring link: down now, self-healing
+    /// after `down_for`. Ring traffic (commit tokens, boot images) waits
+    /// out the outage instead of failing. No-op on a ringless
+    /// single-module machine.
+    pub fn ring_flap(&self, module: usize, down_for: ts_sim::Dur) {
+        let Some(status) = self.m.boards[module].ring_next_status() else {
+            return;
+        };
+        status.set_down();
+        let h = self.m.sim.handle();
+        h.clone().spawn(async move {
+            h.sleep(down_for).await;
+            status.set_up();
+        });
+        self.m.nodes[module * 8].metrics().inc("fault.ring_flap");
     }
 }
 
@@ -1119,14 +1361,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_inject_methods_delegate_to_the_facade() {
+    fn facade_injects_crashes_and_mem_flips_with_metrics() {
         let m = Machine::build(MachineCfg::cube_small_mem(2, 8));
-        m.inject_link_down(0, 1);
-        assert!(!m.link_up(0, 1));
-        m.inject_node_crash(3);
+        m.faults().link_down(0, 1);
+        assert!(!m.faults().is_link_up(0, 1));
+        m.faults().crash(3);
         assert!(m.nodes[3].is_crashed());
-        m.inject_mem_flip(1, 7, 4);
+        m.faults().mem_flip(1, 7, 4);
         assert_eq!(m.metrics().get("fault.link_down"), 1);
         assert_eq!(m.metrics().get("fault.node_crash"), 1);
         assert_eq!(m.metrics().get("fault.mem_flip"), 1);
@@ -1191,5 +1432,124 @@ mod tests {
             ratio < 1.05,
             "snapshot should not grow with machine size: {ratio}"
         );
+    }
+
+    #[test]
+    fn delta_checkpoint_streams_fewer_bytes_and_restores() {
+        use checkpoint::{CheckpointStore, SnapshotMode};
+        // Two modules, so the commit rides the real ring.
+        let mut m = Machine::build(MachineCfg::cube_small_mem(4, 8));
+        for (i, node) in m.nodes.iter().enumerate() {
+            node.mem_mut().write_word(40, 0xAA00 + i as u32).unwrap();
+        }
+        let mut store = CheckpointStore::new(m.nodes.len());
+        // A requested delta with no base is promoted to full.
+        let base = m.checkpoint(&mut store, SnapshotMode::Delta).unwrap();
+        assert_eq!(base.mode, SnapshotMode::Full);
+        assert!(base.duration > Dur::ZERO);
+        assert_eq!(store.epoch(), 1);
+        // Dirty one row per node, then snapshot incrementally.
+        for (i, node) in m.nodes.iter().enumerate() {
+            node.mem_mut().write_word(80, 0xBB00 + i as u32).unwrap();
+        }
+        let delta = m.checkpoint(&mut store, SnapshotMode::Delta).unwrap();
+        assert_eq!(delta.mode, SnapshotMode::Delta);
+        assert_eq!(delta.dirty_rows, m.nodes.len() as u64);
+        assert!(
+            delta.bytes_streamed < base.bytes_streamed / 4,
+            "delta {} B vs full {} B",
+            delta.bytes_streamed,
+            base.bytes_streamed
+        );
+        assert!(delta.duration < base.duration);
+        // Scribble over memory, then recover from the committed version.
+        for node in &m.nodes {
+            node.mem_mut().write_word(40, 0).unwrap();
+            node.mem_mut().write_word(80, 0).unwrap();
+        }
+        m.restore_from(&store).unwrap();
+        for (i, node) in m.nodes.iter().enumerate() {
+            assert_eq!(node.mem().read_word(40).unwrap(), 0xAA00 + i as u32);
+            assert_eq!(node.mem().read_word(80).unwrap(), 0xBB00 + i as u32);
+            assert_eq!(node.mem().dirty_row_count(), 0, "restore clears dirty");
+        }
+    }
+
+    #[test]
+    fn torn_checkpoint_never_restores_a_torn_image() {
+        use checkpoint::{CheckpointStore, SnapshotMode};
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        for node in &m.nodes {
+            node.mem_mut().write_word(10, 111).unwrap();
+        }
+        let mut store = CheckpointStore::new(m.nodes.len());
+        m.checkpoint(&mut store, SnapshotMode::Full).unwrap();
+        // New state that the next (doomed) snapshot will try to commit.
+        for node in &m.nodes {
+            node.mem_mut().write_word(10, 222).unwrap();
+        }
+        // Node 5 crashes 5 ms into the stream — long before its ~16 ms of
+        // full image can have drained through the shared board engine.
+        let node5 = m.nodes[5].clone();
+        let h = m.handle();
+        h.clone().spawn(async move {
+            h.sleep(Dur::ms(5)).await;
+            node5.crash();
+        });
+        let err = m.checkpoint(&mut store, SnapshotMode::Full).unwrap_err();
+        assert_eq!(err, MachineError::Stalled { op: "checkpoint" });
+        assert_eq!(store.epoch(), 1, "torn snapshot must not commit");
+        assert_eq!(store.torn_aborts(), 1);
+        // The machine reboots; the store (on disk) survives and restores
+        // the *previous* committed version, never the torn one.
+        let mut rebooted = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        rebooted.restore_from(&store).unwrap();
+        for node in &rebooted.nodes {
+            assert_eq!(node.mem().read_word(10).unwrap(), 111);
+        }
+    }
+
+    #[test]
+    fn disk_fault_aborts_and_the_store_survives_reboot() {
+        use checkpoint::{CheckpointStore, SnapshotMode};
+        let mut store = CheckpointStore::new(8);
+        {
+            let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+            for node in &m.nodes {
+                node.mem_mut().write_word(7, 33).unwrap();
+            }
+            m.faults().disk_fault(0);
+            let err = m.checkpoint(&mut store, SnapshotMode::Full).unwrap_err();
+            assert_eq!(err, MachineError::Stalled { op: "checkpoint" });
+            assert_eq!(store.torn_aborts(), 1);
+            assert!(!store.has_committed());
+            assert_eq!(m.metrics().get("fault.disk"), 1);
+            assert_eq!(
+                m.restore_from(&store).unwrap_err(),
+                MachineError::NoCheckpoint
+            );
+        }
+        // Reboot replaces the controller; the same store commits cleanly.
+        let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+        for node in &m.nodes {
+            node.mem_mut().write_word(7, 33).unwrap();
+        }
+        m.checkpoint(&mut store, SnapshotMode::Full).unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.committed()[3][7], 33);
+    }
+
+    #[test]
+    fn ring_flap_delays_but_does_not_tear_the_commit() {
+        use checkpoint::{CheckpointStore, SnapshotMode};
+        let mut m = Machine::build(MachineCfg::cube_small_mem(4, 8));
+        let mut store = CheckpointStore::new(m.nodes.len());
+        m.faults().ring_flap(0, Dur::ms(50));
+        m.checkpoint(&mut store, SnapshotMode::Full).unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.torn_aborts(), 0);
+        assert_eq!(m.metrics().get("fault.ring_flap"), 1);
+        let report = m.utilization_report();
+        assert!(report.contains("checkpoint I/O"), "{report}");
     }
 }

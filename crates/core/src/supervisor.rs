@@ -17,20 +17,30 @@
 //!    dead;
 //! 4. on a dead incarnation it **reboots** (a fresh [`Machine`] — task
 //!    state does not survive), re-applies persistent faults (a broken
-//!    cable stays broken), restores the last snapshot through the system
-//!    boards, and replays every phase since that checkpoint;
+//!    cable stays broken), restores the last *committed* checkpoint from
+//!    the two-version [`CheckpointStore`] (which, like the real disks,
+//!    survives the reboot), and replays every phase since it;
 //! 5. after a phase completes, if at least the checkpoint interval of job
-//!    time has passed since the last snapshot, it takes a new one.
+//!    time has passed since the last commit, it takes an incremental
+//!    snapshot — only rows dirtied since the last commit are staged.
+//!    Plan faults scheduled inside the snapshot window are armed as sim
+//!    timers first, so they land *during* checkpoint-in-flight: a torn
+//!    attempt aborts, the previous version stays committed, and the
+//!    normal reboot path heals it.
 //!
 //! Job time is the accumulated simulated time across all incarnations —
 //! snapshots, restores and replayed (lost) work all cost job time, which
 //! is how the checkpoint-interval trade-off of [`crate::checkpoint`]
-//! becomes observable end to end.
+//! becomes observable end to end. With [`Supervisor::mtbf`] the interval
+//! itself comes from Young's approximation fed with the *measured*
+//! baseline snapshot cost, closing the loop the paper describes ("about
+//! 10 minutes provides a good compromise").
 
 use std::fmt;
 
 use ts_sim::{Dur, Time};
 
+use crate::checkpoint::{young_interval, CheckpointStore, SnapshotMode};
 use crate::fault::FaultPlan;
 use crate::{Machine, MachineCfg, MachineError};
 
@@ -85,8 +95,17 @@ pub struct SupervisorReport {
     pub total: Dur,
     /// Reboot-restore-replay cycles taken.
     pub reboots: u32,
-    /// Snapshots written (including the baseline).
+    /// Snapshots committed (including the baseline).
     pub snapshots: u32,
+    /// How many of `snapshots` were incremental (delta) commits.
+    pub delta_snapshots: u32,
+    /// Snapshot attempts torn by a fault mid-flight: aborted, rolled back
+    /// to the previous committed version, and healed by reboot-replay.
+    pub torn_checkpoints: u32,
+    /// The checkpoint interval actually used: the explicit one, or Young's
+    /// optimum derived from the measured baseline snapshot cost and the
+    /// configured MTBF.
+    pub interval_used: Dur,
     /// Job time spent on work that was later lost and replayed.
     pub rework: Dur,
     /// Hangs broken by the watchdog: the clock froze with the job
@@ -104,6 +123,7 @@ pub struct SupervisorReport {
 pub struct Supervisor {
     cfg: MachineCfg,
     interval: Dur,
+    mtbf: Option<Dur>,
     quantum: Dur,
     max_reboots: u32,
     hang_horizon: Dur,
@@ -117,10 +137,22 @@ impl Supervisor {
         Supervisor {
             cfg,
             interval: Dur::secs(600),
+            mtbf: None,
             quantum: Dur::ms(1),
             max_reboots: 16,
             hang_horizon: Dur::secs(60),
         }
+    }
+
+    /// Derive the checkpoint interval from Young's approximation,
+    /// `T* = sqrt(2 · δ · MTBF)`, where δ is the *measured* duration of
+    /// the baseline snapshot — the wiring the paper implies when it pairs
+    /// "about 15 seconds" of snapshot with "about 10 minutes" of interval.
+    /// Overrides [`Supervisor::checkpoint_interval`].
+    pub fn mtbf(mut self, m: Dur) -> Supervisor {
+        assert!(!m.is_zero(), "mtbf must be positive");
+        self.mtbf = Some(m);
+        self
     }
 
     /// Watchdog horizon: job time charged for detecting a hang. When the
@@ -182,9 +214,17 @@ impl Supervisor {
         let mut base = Dur::ZERO; // job time at the origin
         let job = |base: Dur, m: &Machine, mark: Time| base + m.now().since(mark);
 
-        // Baseline snapshot: the earliest state recovery can return to.
-        let (mut images, _) = m.snapshot()?;
+        // Baseline checkpoint: a full image staged through the system
+        // boards onto disk — the earliest state recovery can return to,
+        // and the measured δ that Young's formula needs.
+        let mut store = CheckpointStore::new(m.nodes.len());
+        let baseline = m.checkpoint(&mut store, SnapshotMode::Full)?;
         report.snapshots += 1;
+        let interval = match self.mtbf {
+            Some(mtbf) => young_interval(baseline.duration, mtbf),
+            None => self.interval,
+        };
+        report.interval_used = interval;
         let mut ckpt_phase = 0usize; // first phase the snapshot does NOT cover
         let mut committed = job(base, &m, mark); // job time at last commit
 
@@ -273,14 +313,52 @@ impl Supervisor {
             if healthy {
                 phase_idx += 1;
                 let jnow = job(base, &m, mark);
-                if jnow.saturating_sub(committed) >= self.interval && phase_idx < phases.len() {
-                    let (im, _) = m.snapshot()?;
-                    images = im;
-                    report.snapshots += 1;
-                    ckpt_phase = phase_idx;
-                    committed = job(base, &m, mark);
+                let mut torn = false;
+                if jnow.saturating_sub(committed) >= interval && phase_idx < phases.len() {
+                    // Interval snapshots are incremental. Faults the plan
+                    // schedules inside the snapshot window are armed as
+                    // sim timers first, so they land mid-stream; a torn
+                    // attempt keeps the previous committed version and
+                    // falls through to the reboot path below.
+                    let eta = m.checkpoint_eta(&store, SnapshotMode::Delta);
+                    let mut armed = false;
+                    for (i, tf) in plan.iter().enumerate() {
+                        if !fired[i] && tf.at <= jnow + eta {
+                            let node = m.nodes[tf.event.node() as usize].clone();
+                            let event = tf.event;
+                            let delay = tf.at.saturating_sub(jnow);
+                            let h = m.handle();
+                            h.clone().spawn(async move {
+                                h.sleep(delay).await;
+                                event.apply_to(&node);
+                            });
+                            fired[i] = true;
+                            armed = true;
+                            report.faults.push(format!("t={} {}", tf.at, tf.event));
+                        }
+                    }
+                    match m.checkpoint(&mut store, SnapshotMode::Delta) {
+                        Ok(stats) => {
+                            report.snapshots += 1;
+                            if stats.mode == SnapshotMode::Delta {
+                                report.delta_snapshots += 1;
+                            }
+                            ckpt_phase = phase_idx;
+                            committed = job(base, &m, mark);
+                            // An armed fault may have landed after its
+                            // node's payload drained; the next quantum's
+                            // health check picks it up.
+                        }
+                        Err(MachineError::Stalled { .. }) if armed => {
+                            report.torn_checkpoints += 1;
+                            torn = true;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 }
-                continue;
+                if !torn {
+                    continue;
+                }
             }
 
             // Reboot, restore, replay.
@@ -298,7 +376,7 @@ impl Supervisor {
                     tf.event.apply(&m);
                 }
             }
-            m.restore(&images)?;
+            m.restore_from(&store)?;
             phase_idx = ckpt_phase;
         }
 
@@ -308,6 +386,11 @@ impl Supervisor {
         let meters = m.nodes[0].metrics();
         meters.add("supervisor.reboots", report.reboots as u64);
         meters.add("supervisor.snapshots", report.snapshots as u64);
+        meters.add("supervisor.delta_snapshots", report.delta_snapshots as u64);
+        meters.add(
+            "supervisor.torn_checkpoints",
+            report.torn_checkpoints as u64,
+        );
         meters.add("supervisor.watchdog_trips", report.watchdog_trips as u64);
         meters.add_time("supervisor.rework", report.rework);
         Ok((m, report))
@@ -389,7 +472,51 @@ mod tests {
             "default 10-minute interval: baseline only"
         );
         assert_eq!(rep.rework, Dur::ZERO);
+        assert_eq!(rep.delta_snapshots, 0);
+        assert_eq!(rep.torn_checkpoints, 0);
+        assert_eq!(rep.interval_used, Dur::secs(600));
         assert!(rep.faults.is_empty());
+    }
+
+    #[test]
+    fn mtbf_wires_youngs_optimum_to_the_measured_snapshot_cost() {
+        let (d0, _, _) = probe_times();
+        let mtbf = Dur::secs(3 * 3600);
+        let sup = Supervisor::new(cfg()).mtbf(mtbf);
+        let (_, rep) = sup
+            .run_to_completion(seed, &phases(), &FaultPlan::new())
+            .unwrap();
+        let want = (2.0 * d0.as_secs_f64() * mtbf.as_secs_f64()).sqrt();
+        let got = rep.interval_used.as_secs_f64();
+        assert!(
+            (got - want).abs() / want < 1e-6,
+            "interval {got} s vs Young's {want} s"
+        );
+    }
+
+    #[test]
+    fn crash_during_snapshot_tears_it_and_recovery_replays_cleanly() {
+        // Snapshot after every phase; the crash is timed to land inside
+        // the snapshot window that follows phase 0, mid-stream.
+        let sup = Supervisor::new(cfg()).checkpoint_interval(Dur::us(1));
+        let (ref_m, _) = sup
+            .run_to_completion(seed, &phases(), &FaultPlan::new())
+            .unwrap();
+        let want = accs(&ref_m);
+
+        let (d0, p0, _) = probe_times();
+        let plan = FaultPlan::new().with(d0 + p0 + Dur::ms(1), FaultEvent::NodeCrash { node: 5 });
+        let (m, rep) = sup.run_to_completion(seed, &phases(), &plan).unwrap();
+        assert_eq!(rep.torn_checkpoints, 1, "the crash tore the snapshot");
+        assert_eq!(rep.reboots, 1);
+        assert_eq!(
+            accs(&m),
+            want,
+            "recovery from the previous version is exact"
+        );
+        assert!(rep.delta_snapshots >= 1, "retried snapshot is incremental");
+        assert!(!m.nodes[5].is_crashed());
+        assert_eq!(m.metrics().get("supervisor.torn_checkpoints"), 1);
     }
 
     /// Measure the job timeline without a supervisor: (baseline snapshot
@@ -400,7 +527,11 @@ mod tests {
     fn probe_times() -> (Dur, Dur, Dur) {
         let mut m = Machine::build(cfg());
         seed(&mut m);
-        let (_, d0) = m.snapshot().unwrap();
+        let mut store = CheckpointStore::new(m.nodes.len());
+        let d0 = m
+            .checkpoint(&mut store, SnapshotMode::Full)
+            .unwrap()
+            .duration;
         let ph = phases();
         let t1 = m.now();
         ph[0](&mut m);

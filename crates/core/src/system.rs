@@ -12,7 +12,15 @@
 //! board engine, a full-memory snapshot costs 8 × 1 MB / 0.5 MB/s ≈ 16 s —
 //! the paper's "about 15 seconds ... regardless of configuration" (modules
 //! work in parallel, so the time does not grow with machine size).
+//!
+//! Snapshot payloads are mode-tagged ([`PAYLOAD_FULL`] images or
+//! [`PAYLOAD_DELTA`] dirty-row encodings) and become durable only through
+//! [`ring_commit`] — two token laps around the system ring that flip every
+//! module's staged version to committed atomically. See
+//! [`crate::checkpoint::CheckpointStore`] for the two-version store the
+//! disks implement.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use ts_link::{LinkChannel, Wire};
@@ -23,11 +31,24 @@ use ts_sim::{Dur, Resource, SimHandle};
 /// startup to 0.06 % while keeping buffers modest.
 pub const CHUNK_WORDS: usize = 1024;
 
+/// Snapshot payload carries every word of memory (header mode word).
+pub const PAYLOAD_FULL: u32 = 0;
+/// Snapshot payload is a [`ts_mem::RowDelta`] wire encoding.
+pub const PAYLOAD_DELTA: u32 = 1;
+/// End-of-stream token closing a snapshot payload ("EOF" in ASCII): the
+/// live-node proof the board demands after the last chunk.
+pub const EOF_WORD: u32 = 0x0045_4F46;
+
+/// Bytes of the on-disk commit record each board writes when the commit
+/// token comes around (the version flip that makes a snapshot durable).
+pub const COMMIT_RECORD_BYTES: usize = 64;
+
 /// A rate-served disk with FIFO queueing.
 #[derive(Clone)]
 pub struct Disk {
     res: Resource,
     bytes_per_sec: f64,
+    failed: Rc<Cell<bool>>,
 }
 
 impl Disk {
@@ -36,6 +57,7 @@ impl Disk {
         Disk {
             res: Resource::new("disk"),
             bytes_per_sec,
+            failed: Rc::new(Cell::new(false)),
         }
     }
 
@@ -44,14 +66,38 @@ impl Disk {
         Dur::from_secs_f64(bytes as f64 / self.bytes_per_sec)
     }
 
-    /// Write `bytes`, queueing FIFO behind earlier requests.
+    /// Write `bytes`, queueing FIFO behind earlier requests. A failed
+    /// controller never completes the request — the snapshot stalls and
+    /// the caller's quiescence check turns the hang into an abort.
     pub async fn write(&self, h: &SimHandle, bytes: usize) {
+        if self.failed.get() {
+            std::future::pending::<()>().await;
+        }
         self.res.use_for(h, self.transfer_time(bytes)).await;
     }
 
     /// Read `bytes`.
     pub async fn read(&self, h: &SimHandle, bytes: usize) {
+        if self.failed.get() {
+            std::future::pending::<()>().await;
+        }
         self.res.use_for(h, self.transfer_time(bytes)).await;
+    }
+
+    /// Fault the disk controller: subsequent transfers hang until
+    /// [`Disk::heal`] (or a reboot rebuilds the module).
+    pub fn fail(&self) {
+        self.failed.set(true);
+    }
+
+    /// Repair a failed controller.
+    pub fn heal(&self) {
+        self.failed.set(false);
+    }
+
+    /// Is the controller faulted?
+    pub fn is_failed(&self) -> bool {
+        self.failed.get()
     }
 
     /// Total bytes-time the disk has served.
@@ -78,6 +124,8 @@ pub struct SystemBoard {
     wire_in: Wire,
     /// The module's snapshot/backup disk.
     pub disk: Disk,
+    /// Words this board has pushed onto the system ring.
+    ring_words: Rc<Cell<u64>>,
 }
 
 impl SystemBoard {
@@ -103,7 +151,13 @@ impl SystemBoard {
             wire_out,
             wire_in,
             disk,
+            ring_words: Rc::new(Cell::new(0)),
         }
+    }
+
+    /// Bytes this board has pushed onto the system ring.
+    pub fn ring_bytes(&self) -> u64 {
+        self.ring_words.get() * 4
     }
 
     /// The board's outgoing link engine.
@@ -126,41 +180,69 @@ impl SystemBoard {
         self.state.borrow_mut().ring_prev = Some(ch);
     }
 
-    /// Receive one node's full memory image over the system thread
-    /// (chunked), then write it to the disk.
-    async fn receive_image(&self, node_slot: usize) -> Vec<u32> {
+    /// Receive one node's snapshot payload over the system thread
+    /// (chunked), writing each chunk to disk as it lands. Returns the
+    /// payload mode word and the payload itself (a full image for
+    /// [`PAYLOAD_FULL`], an encoded [`ts_mem::RowDelta`] for
+    /// [`PAYLOAD_DELTA`]).
+    async fn receive_payload(&self, node_slot: usize) -> (u32, Vec<u32>) {
         let ch = self.state.borrow().from_node[node_slot].clone();
-        // Header: image length in words.
+        // Header: [mode, payload length in words].
         let header = ch.recv(&self.h).await;
-        let total = header[0] as usize;
-        let mut image = Vec::with_capacity(total);
-        while image.len() < total {
+        let (mode, total) = (header[0], header[1] as usize);
+        let mut payload = Vec::with_capacity(total);
+        while payload.len() < total {
             let chunk = ch.recv(&self.h).await;
             // Stream each chunk to disk as it lands: the disk (1 MB/s)
             // keeps pace with the 0.5 MB/s system thread, so the write is
             // hidden and the snapshot stays wire-limited (~16 s/module).
             self.disk.write(&self.h, chunk.len() * 4).await;
-            image.extend_from_slice(&chunk);
+            payload.extend_from_slice(&chunk);
         }
-        image
+        // End-of-stream token: only requested once every chunk's transfer
+        // has completed, so its rendezvous commits at stream-end. A node
+        // that died anywhere mid-stream cannot produce it, which is what
+        // makes a crash tear the snapshot even when the payload itself
+        // was small enough to be committed up front.
+        let eof = ch.recv(&self.h).await;
+        debug_assert_eq!(eof[0], EOF_WORD, "snapshot stream ended without EOF");
+        (mode, payload)
     }
 
-    /// Collect snapshot images from all `count` nodes of this module.
-    /// Nodes stream concurrently but share the board's one input engine.
-    pub async fn collect_snapshot(&self, count: usize) -> Vec<Vec<u32>> {
+    /// Collect snapshot payloads from all `count` nodes of this module
+    /// into the staging area. Nodes stream concurrently but share the
+    /// board's one input engine.
+    pub async fn collect_payloads(&self, count: usize) -> Vec<(u32, Vec<u32>)> {
         let mut handles = Vec::new();
         for slot in 0..count {
             let board = self.clone();
-            handles.push(self.h.spawn(async move { board.receive_image(slot).await }));
+            handles.push(
+                self.h
+                    .spawn(async move { board.receive_payload(slot).await }),
+            );
         }
-        let mut images = Vec::with_capacity(count);
+        let mut payloads = Vec::with_capacity(count);
         for jh in handles {
-            images.push(jh.await);
+            payloads.push(jh.await);
         }
-        images
+        payloads
+    }
+
+    /// Collect full snapshot images from all `count` nodes of this module
+    /// (the legacy host-held snapshot path).
+    pub async fn collect_snapshot(&self, count: usize) -> Vec<Vec<u32>> {
+        self.collect_payloads(count)
+            .await
+            .into_iter()
+            .map(|(mode, payload)| {
+                assert_eq!(mode, PAYLOAD_FULL, "collect_snapshot saw a delta payload");
+                payload
+            })
+            .collect()
     }
 
     /// Stream restore images back down to the nodes (disk read first).
+    /// Restores are always full images — the committed version on disk.
     pub async fn send_restore(&self, images: Vec<Vec<u32>>) {
         let mut handles = Vec::new();
         for (slot, image) in images.into_iter().enumerate() {
@@ -168,7 +250,8 @@ impl SystemBoard {
             handles.push(self.h.spawn(async move {
                 board.disk.read(&board.h, image.len() * 4).await;
                 let ch = board.state.borrow().to_node[slot].clone();
-                ch.send(&board.h, vec![image.len() as u32]).await;
+                ch.send(&board.h, vec![PAYLOAD_FULL, image.len() as u32])
+                    .await;
                 for chunk in image.chunks(CHUNK_WORDS) {
                     ch.send(&board.h, chunk.to_vec()).await;
                 }
@@ -179,7 +262,10 @@ impl SystemBoard {
         }
     }
 
-    /// Forward `words` to the next board on the ring.
+    /// Forward `words` to the next board on the ring. A flapped ring link
+    /// delays the send until it self-heals (the board retries on a fixed
+    /// poll); a condemned link parks the send forever, turning the commit
+    /// lap into a detectable stall.
     pub async fn ring_send(&self, words: Vec<u32>) {
         let ch = self
             .state
@@ -187,7 +273,25 @@ impl SystemBoard {
             .ring_next
             .clone()
             .expect("ring not wired");
+        while !ch.is_up() {
+            if ch.status().is_condemned() {
+                std::future::pending::<()>().await;
+            }
+            self.h.sleep(Dur::us(100)).await;
+        }
+        self.ring_words
+            .set(self.ring_words.get() + words.len() as u64);
         ch.send(&self.h, words).await;
+    }
+
+    /// Status flag of the outbound ring link (for fault injection); `None`
+    /// on a single-module machine with no ring.
+    pub fn ring_next_status(&self) -> Option<ts_link::LinkStatus> {
+        self.state
+            .borrow()
+            .ring_next
+            .as_ref()
+            .map(|ch| ch.status().clone())
     }
 
     /// Receive from the previous board on the ring.
@@ -202,24 +306,103 @@ impl SystemBoard {
     }
 }
 
-/// Node side of a snapshot: stream the memory image up the system thread.
-pub async fn send_image(ctx: &NodeCtx, image: &[u32]) {
-    ctx.send_system(vec![image.len() as u32]).await;
-    for chunk in image.chunks(CHUNK_WORDS) {
-        ctx.send_system(chunk.to_vec()).await;
+/// Node side of a snapshot: stream a payload up the system thread with a
+/// `[mode, len]` header (`mode` is [`PAYLOAD_FULL`] or [`PAYLOAD_DELTA`]).
+///
+/// The stream is crash-aware: a node whose control processor dies
+/// mid-snapshot stops feeding its DMA program, the board's receive parks,
+/// and the whole snapshot goes non-quiescent — which the machine layer
+/// turns into a torn-checkpoint abort.
+pub async fn send_payload(ctx: &NodeCtx, mode: u32, payload: &[u32]) {
+    // A crash downs the node's system link, failing the send even while
+    // it is parked in the rendezvous — the sender then parks for good.
+    if ctx
+        .try_send_system(vec![mode, payload.len() as u32])
+        .await
+        .is_err()
+    {
+        std::future::pending::<()>().await;
     }
+    for chunk in payload.chunks(CHUNK_WORDS) {
+        if ctx.try_send_system(chunk.to_vec()).await.is_err() {
+            std::future::pending::<()>().await;
+        }
+    }
+    // End-of-stream token (see `SystemBoard::receive_payload`): the board
+    // only takes it after the last chunk's transfer, so a crash at any
+    // point of the stream fails this send and the snapshot goes
+    // non-quiescent.
+    if ctx.try_send_system(vec![EOF_WORD]).await.is_err() {
+        std::future::pending::<()>().await;
+    }
+}
+
+/// Node side of a snapshot: stream the full memory image up the system
+/// thread.
+pub async fn send_image(ctx: &NodeCtx, image: &[u32]) {
+    send_payload(ctx, PAYLOAD_FULL, image).await;
 }
 
 /// Node side of a restore: receive a full image from the system thread.
 pub async fn recv_image(ctx: &NodeCtx) -> Vec<u32> {
     let header = ctx.recv_system().await;
-    let total = header[0] as usize;
+    debug_assert_eq!(header[0], PAYLOAD_FULL, "restores stream full images");
+    let total = header[1] as usize;
     let mut image = Vec::with_capacity(total);
     while image.len() < total {
         let chunk = ctx.recv_system().await;
         image.extend_from_slice(&chunk);
     }
     image
+}
+
+/// The machine-wide atomic commit of a snapshot (two token passes around
+/// the system ring):
+///
+/// 1. **prepare** — board 0 circulates `[epoch, PREPARE]`; a completed lap
+///    proves every module finished staging and every ring link is alive;
+/// 2. **commit** — board 0 circulates `[epoch, COMMIT]`; each board writes
+///    a [`COMMIT_RECORD_BYTES`] commit record to its disk as the token
+///    passes, flipping its staged version to committed.
+///
+/// A single-module machine commits locally: just the commit record write.
+/// If any board or ring link is dead the token never completes its lap,
+/// the simulation goes non-quiescent, and the caller aborts the snapshot —
+/// the previous committed version is untouched.
+pub async fn ring_commit(boards: &[SystemBoard], epoch: u64) {
+    const PREPARE: u32 = 0x5052_4550; // "PREP"
+    const COMMIT: u32 = 0x434f_4d54; // "COMT"
+    let m = boards.len();
+    if m <= 1 {
+        let b = &boards[0];
+        b.disk.write(&b.h, COMMIT_RECORD_BYTES).await;
+        return;
+    }
+    let h = boards[0].h.clone();
+    let mut handles = Vec::new();
+    {
+        let b0 = boards[0].clone();
+        handles.push(h.spawn(async move {
+            b0.ring_send(vec![epoch as u32, PREPARE]).await;
+            b0.ring_recv().await;
+            b0.ring_send(vec![epoch as u32, COMMIT]).await;
+            b0.ring_recv().await;
+            b0.disk.write(&b0.h, COMMIT_RECORD_BYTES).await;
+        }));
+    }
+    for board in boards.iter().skip(1) {
+        let b = board.clone();
+        handles.push(h.spawn(async move {
+            let prep = b.ring_recv().await;
+            b.ring_send(prep).await;
+            let commit = b.ring_recv().await;
+            b.disk.write(&b.h, COMMIT_RECORD_BYTES).await;
+            b.ring_send(commit).await;
+        }));
+    }
+    for jh in handles {
+        jh.await;
+    }
 }
 
 /// Result of one node's power-on self-test during [`boot`].

@@ -166,11 +166,20 @@ impl std::error::Error for MemError {}
 /// All accessors are purely functional with respect to simulated time; the
 /// node layer charges [`WORD_TIME`] / [`ROW_TIME`] and arbitrates port
 /// contention.
+///
+/// Every write also sets a per-row **dirty bit** (the DRAM row is the
+/// natural delta unit — 1024 bytes, one row-port transfer). The checkpoint
+/// subsystem reads the dirty set to build incremental snapshots and clears
+/// it only once a checkpoint has durably committed, so an aborted snapshot
+/// loses no delta information.
 pub struct NodeMemory {
     cfg: MemCfg,
     data: Vec<u32>,
     /// One parity nibble per word: bit i = even parity of byte lane i.
     parity: Vec<u8>,
+    /// One bit per row: set on any write touching the row, cleared only by
+    /// [`NodeMemory::clear_dirty`] (i.e. by a committed checkpoint).
+    dirty: Vec<u64>,
 }
 
 #[inline]
@@ -191,6 +200,7 @@ impl NodeMemory {
             cfg,
             data: vec![0; cfg.words()],
             parity: vec![0; cfg.words()],
+            dirty: vec![0; cfg.rows().div_ceil(64)],
         }
     }
 
@@ -243,6 +253,7 @@ impl NodeMemory {
         self.check(addr)?;
         self.data[addr] = w;
         self.parity[addr] = parity_nibble(w);
+        self.mark_row_dirty(addr / ROW_WORDS);
         Ok(())
     }
 
@@ -271,6 +282,7 @@ impl NodeMemory {
             self.data[base + i] = w;
             self.parity[base + i] = parity_nibble(w);
         }
+        self.mark_row_dirty(row);
         Ok(())
     }
 
@@ -303,6 +315,7 @@ impl NodeMemory {
     pub fn inject_bit_flip(&mut self, addr: usize, bit: u32) -> Result<(), MemError> {
         self.check(addr)?;
         self.data[addr] ^= 1 << (bit % 32);
+        self.mark_row_dirty(addr / ROW_WORDS);
         Ok(())
     }
 
@@ -347,11 +360,134 @@ impl NodeMemory {
     }
 
     /// Restore contents from a snapshot image (recomputing parity via the
-    /// scrubber, as the restore path rewrites every word).
+    /// scrubber, as the restore path rewrites every word). Every row is
+    /// marked dirty — the restore physically rewrote it — so callers that
+    /// know memory now equals a committed checkpoint should follow up with
+    /// [`NodeMemory::clear_dirty`].
     pub fn restore(&mut self, image: &[u32]) {
         assert_eq!(image.len(), self.cfg.words(), "snapshot geometry mismatch");
         self.data.copy_from_slice(image);
         self.scrub_all();
+        self.mark_all_dirty();
+    }
+
+    #[inline]
+    fn mark_row_dirty(&mut self, row: usize) {
+        self.dirty[row >> 6] |= 1 << (row & 63);
+    }
+
+    /// Mark every row dirty (a full image was rewritten).
+    pub fn mark_all_dirty(&mut self) {
+        let rows = self.cfg.rows();
+        for (i, w) in self.dirty.iter_mut().enumerate() {
+            let lo = i * 64;
+            *w = if lo + 64 <= rows {
+                u64::MAX
+            } else {
+                (1u64 << (rows - lo)) - 1
+            };
+        }
+    }
+
+    /// Clear every dirty bit. Call only when the current contents are known
+    /// durable (a checkpoint committed, or a restore just reproduced one).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+    }
+
+    /// Rows written since the last [`NodeMemory::clear_dirty`], ascending.
+    pub fn dirty_rows(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, &w) in self.dirty.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(i * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of dirty rows (cheaper than materialising the list).
+    pub fn dirty_row_count(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Capture the current dirty rows as an incremental checkpoint delta.
+    /// Pure data extraction — parity is *not* checked, mirroring the full
+    /// [`NodeMemory::snapshot`] (the DMA engine reads raw DRAM).
+    pub fn snapshot_delta(&self) -> RowDelta {
+        let rows = self.dirty_rows();
+        let mut words = Vec::with_capacity(rows.len() * ROW_WORDS);
+        for &r in &rows {
+            let base = r * ROW_WORDS;
+            words.extend_from_slice(&self.data[base..base + ROW_WORDS]);
+        }
+        RowDelta {
+            rows: rows.into_iter().map(|r| r as u32).collect(),
+            words,
+        }
+    }
+}
+
+/// An incremental checkpoint: the contents of the rows written since the
+/// last committed snapshot. Applying a delta on top of the previous
+/// committed full image reproduces the current memory exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowDelta {
+    rows: Vec<u32>,
+    /// `ROW_WORDS` words per entry of `rows`, concatenated in order.
+    words: Vec<u32>,
+}
+
+impl RowDelta {
+    /// Number of rows carried.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were dirty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Payload size in bytes as streamed to disk: a row index word plus the
+    /// row data per dirty row, plus the row-count word.
+    pub fn bytes(&self) -> usize {
+        (1 + self.rows.len() + self.words.len()) * WORD_BYTES
+    }
+
+    /// Flat wire encoding: `[nrows, row indices..., row data...]`.
+    pub fn encode(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(1 + self.rows.len() + self.words.len());
+        out.push(self.rows.len() as u32);
+        out.extend_from_slice(&self.rows);
+        out.extend_from_slice(&self.words);
+        out
+    }
+
+    /// Decode a wire payload produced by [`RowDelta::encode`].
+    pub fn decode(payload: &[u32]) -> Option<RowDelta> {
+        let &n = payload.first()?;
+        let n = n as usize;
+        if payload.len() != 1 + n + n * ROW_WORDS {
+            return None;
+        }
+        Some(RowDelta {
+            rows: payload[1..1 + n].to_vec(),
+            words: payload[1 + n..].to_vec(),
+        })
+    }
+
+    /// Apply the delta onto a full image (the disk's committed version),
+    /// producing the state the delta was captured from.
+    pub fn apply_to(&self, image: &mut [u32]) {
+        for (i, &r) in self.rows.iter().enumerate() {
+            let dst = r as usize * ROW_WORDS;
+            let src = i * ROW_WORDS;
+            image[dst..dst + ROW_WORDS].copy_from_slice(&self.words[src..src + ROW_WORDS]);
+        }
     }
 }
 
@@ -518,5 +654,69 @@ mod tests {
     #[should_panic(expected = "multiple of 4")]
     fn bad_small_geometry() {
         let _ = MemCfg::small(6);
+    }
+
+    #[test]
+    fn writes_set_dirty_bits_per_row() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        assert_eq!(m.dirty_rows(), Vec::<usize>::new());
+        m.write_word(3, 1).unwrap(); // row 0
+        m.write_word(2 * ROW_WORDS + 1, 2).unwrap(); // row 2
+        let row = [7u32; ROW_WORDS];
+        m.write_row(5, &row).unwrap();
+        assert_eq!(m.dirty_rows(), vec![0, 2, 5]);
+        assert_eq!(m.dirty_row_count(), 3);
+        m.clear_dirty();
+        assert_eq!(m.dirty_row_count(), 0);
+        // A 64-bit write and an injected fault both dirty their row.
+        m.write_u64(ROW_WORDS, 0xABCD_EF01_2345_6789).unwrap();
+        m.inject_bit_flip(6 * ROW_WORDS, 3).unwrap();
+        assert_eq!(m.dirty_rows(), vec![1, 6]);
+    }
+
+    #[test]
+    fn delta_over_committed_image_reproduces_memory() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        for i in 0..m.cfg().words() {
+            m.write_word(i, i as u32).unwrap();
+        }
+        let committed = m.snapshot();
+        m.clear_dirty();
+        // Touch two rows.
+        m.write_word(5, 999).unwrap();
+        m.write_word(3 * ROW_WORDS + 7, 777).unwrap();
+        let delta = m.snapshot_delta();
+        assert_eq!(delta.row_count(), 2);
+        assert!(delta.bytes() < m.cfg().bytes(), "delta beats full");
+        // Wire round trip, then apply onto the committed version.
+        let decoded = RowDelta::decode(&delta.encode()).unwrap();
+        assert_eq!(decoded, delta);
+        let mut image = committed;
+        decoded.apply_to(&mut image);
+        assert_eq!(image, m.snapshot());
+    }
+
+    #[test]
+    fn empty_and_corrupt_delta_payloads() {
+        let m = NodeMemory::new(MemCfg::small(8));
+        let d = m.snapshot_delta();
+        assert!(d.is_empty());
+        assert_eq!(d.bytes(), WORD_BYTES); // just the count word
+        assert_eq!(RowDelta::decode(&d.encode()).unwrap(), d);
+        assert!(RowDelta::decode(&[]).is_none());
+        assert!(RowDelta::decode(&[2, 0]).is_none(), "truncated payload");
+    }
+
+    #[test]
+    fn restore_marks_all_rows_dirty() {
+        let mut m = NodeMemory::new(MemCfg::small(8));
+        let snap = m.snapshot();
+        m.clear_dirty();
+        m.restore(&snap);
+        assert_eq!(m.dirty_row_count(), m.cfg().rows());
+        m.clear_dirty();
+        m.mark_all_dirty();
+        assert_eq!(m.dirty_rows().len(), 8);
+        assert_eq!(*m.dirty_rows().last().unwrap(), 7);
     }
 }

@@ -1060,6 +1060,22 @@ impl NodeCtx {
         ch.send(&self.node.h, words).await;
     }
 
+    /// Failable [`NodeCtx::send_system`]: identical timing while healthy,
+    /// but resolves to [`ts_link::LinkError::Down`] when the node crashes
+    /// (which downs its system link) before or during the send — even
+    /// while parked waiting for the board's rendezvous.
+    pub async fn try_send_system(&self, words: Vec<u32>) -> Result<(), ts_link::LinkError> {
+        let ch = self
+            .node
+            .shared
+            .state
+            .borrow()
+            .sys_out
+            .clone()
+            .expect("system thread not wired");
+        ch.try_send(&self.node.h, words).await
+    }
+
     /// Receive from the module's system board.
     pub async fn recv_system(&self) -> Vec<u32> {
         let ch = self

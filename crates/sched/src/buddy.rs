@@ -89,12 +89,29 @@ impl BuddyAllocator {
         Self::insert(&mut self.free[d as usize], base);
     }
 
-    /// Permanently remove an allocated subcube from service (a node in it
-    /// died). Condemned blocks are simply never released: their parked
-    /// tasks and corrupt memory can do no harm on nodes that will never
-    /// be handed out again.
-    pub fn condemn(&mut self, sub: &Subcube) {
-        self.condemned += sub.len();
+    /// Permanently remove the *failed* nodes of an allocated subcube from
+    /// service, splitting the block buddy-by-buddy: any aligned sub-block
+    /// containing no failed node goes back to the free lists (coalescing
+    /// as usual), while each failed node is retired alone. Condemned
+    /// nodes are simply never handed out again: their parked tasks and
+    /// corrupt memory can do no harm there. Failed ids outside `sub` are
+    /// ignored; with no failed id inside, the whole block is released.
+    pub fn condemn(&mut self, sub: &Subcube, failed: &[NodeId]) {
+        self.condemn_block(sub.base(), sub.dim(), failed);
+    }
+
+    fn condemn_block(&mut self, base: NodeId, d: u32, failed: &[NodeId]) {
+        let size = 1u32 << d;
+        if !failed.iter().any(|&n| n >= base && n < base + size) {
+            self.release(&Subcube::aligned(base, d));
+            return;
+        }
+        if d == 0 {
+            self.condemned += 1;
+            return;
+        }
+        self.condemn_block(base, d - 1, failed);
+        self.condemn_block(base | (1 << (d - 1)), d - 1, failed);
     }
 
     /// Nodes currently free (not allocated, not condemned).
@@ -194,15 +211,64 @@ mod tests {
     fn condemned_blocks_never_come_back() {
         let mut a = BuddyAllocator::new(2);
         let s = a.alloc(1).unwrap();
-        a.condemn(&s);
+        let failed = s.base(); // one node of the pair died
+        a.condemn(&s, &[failed]);
+        assert_eq!(a.condemned_nodes(), 1, "only the failed node is retired");
         let t = a.alloc(1).unwrap();
-        assert!(s.disjoint(&t), "a condemned block must not be re-issued");
-        assert_eq!(a.condemned_nodes(), 2);
+        assert!(s.disjoint(&t), "a pair request must avoid the broken pair");
         a.release(&t);
-        assert!(a.is_idle());
         assert!(
             a.alloc(2).is_none(),
             "the full cube can never be whole again"
         );
+        // The healthy buddy of the failed node is still individually
+        // allocatable.
+        let lone = a.alloc(0).unwrap();
+        assert_eq!(lone.base(), failed ^ 1, "the survivor buddy comes back");
+    }
+
+    /// Satellite property test: for random failure sets, condemned count
+    /// equals the number of failed nodes inside the block, every freed
+    /// block is overlap-free with every other allocation, and the split
+    /// is deterministic.
+    #[test]
+    fn condemn_retires_exactly_the_failed_nodes() {
+        let run = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            let mut a = BuddyAllocator::new(6);
+            let sub = a.alloc(4).unwrap();
+            let nfail = 1 + rng.range(0, 5);
+            let mut failed: Vec<NodeId> = Vec::new();
+            while failed.len() < nfail {
+                let n = sub.base() + rng.range(0, 1 << 4) as NodeId;
+                if !failed.contains(&n) {
+                    failed.push(n);
+                }
+            }
+            a.condemn(&sub, &failed);
+            assert_eq!(
+                a.condemned_nodes(),
+                failed.len() as u32,
+                "condemned count must equal failed nodes"
+            );
+            // Drain the allocator with single nodes: every survivor of the
+            // condemned block (and the rest of the cube) comes back exactly
+            // once, and no failed node is ever re-issued.
+            let mut seen = Vec::new();
+            while let Some(s) = a.alloc(0) {
+                assert!(
+                    !failed.contains(&s.base()),
+                    "failed node {} re-issued",
+                    s.base()
+                );
+                assert!(!seen.contains(&s.base()), "node {} issued twice", s.base());
+                seen.push(s.base());
+            }
+            assert_eq!(seen.len() as u32, (1 << 6) - failed.len() as u32);
+            seen
+        };
+        for seed in [7u64, 42, 1986, 0xD1CE] {
+            assert_eq!(run(seed), run(seed), "same seed must replay identically");
+        }
     }
 }

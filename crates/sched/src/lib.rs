@@ -199,13 +199,25 @@ enum State {
     Done,
 }
 
+/// What a gate-passed running job is ready for at this scheduler tick.
+enum BoundaryKind {
+    /// The resume/checkpoint gate has passed; launch the next phase.
+    Launch,
+    /// The in-flight phase's tasks have all finished.
+    PhaseDone,
+}
+
 struct Job {
     spec: JobSpec,
     state: State,
     next_phase: u32,
     /// Boundary checkpoint: memory images (virtual node order) with
     /// phases `0..next_phase` applied. `None` until first placement.
+    /// Kept current by applying each boundary's dirty-row delta.
     images: Option<Vec<Vec<u32>>>,
+    /// Delta bytes captured at the last eviction, still to be streamed
+    /// out — charged (with the full image back in) at the resume gate.
+    pending_out_bytes: u64,
     preempt_requested: bool,
     preemptions: u32,
     reallocations: u32,
@@ -244,9 +256,10 @@ impl Scheduler {
         self
     }
 
-    /// Bytes/second charged for streaming checkpoint images at job
-    /// resume (once out at eviction, once back in — both charged at
-    /// resume as a gate before the next phase).
+    /// Bytes/second charged for streaming checkpoint traffic: each
+    /// boundary's dirty-row delta is charged as a gate when captured,
+    /// and a resume charges the evicted job's pending delta plus the
+    /// full image back in before its next phase may launch.
     pub fn stream_rate(mut self, bytes_per_s: f64) -> Scheduler {
         assert!(bytes_per_s > 0.0, "stream rate must be positive");
         self.stream_rate = bytes_per_s;
@@ -281,6 +294,7 @@ impl Scheduler {
                 state: State::Queued,
                 next_phase: 0,
                 images: None,
+                pending_out_bytes: 0,
                 preempt_requested: false,
                 preemptions: 0,
                 reallocations: 0,
@@ -295,21 +309,45 @@ impl Scheduler {
             let now = m.now();
 
             // 1. Fault patrol: a crashed node or latent parity error
-            //    inside a partition condemns the whole subcube; the job
-            //    re-queues for a fresh subcube and boundary replay.
+            //    inside a partition condemns exactly the failed nodes
+            //    (the buddy allocator splits the block and frees the
+            //    healthy buddies); the job re-queues for a fresh subcube
+            //    and boundary replay.
             for (id, job) in jobs.iter_mut().enumerate() {
                 let sick_sub = match &job.state {
-                    State::Running { sub, .. } => {
-                        let sick = sub.iter().any(|p| {
-                            let n = &m.nodes[p as usize];
-                            n.is_crashed() || n.mem().parity_errors() > 0
-                        });
-                        sick.then(|| sub.clone())
+                    State::Running { sub, handles, .. } => {
+                        let failed: Vec<_> = sub
+                            .iter()
+                            .filter(|&p| {
+                                let n = &m.nodes[p as usize];
+                                n.is_crashed() || n.mem().parity_errors() > 0
+                            })
+                            .collect();
+                        if failed.is_empty() {
+                            None
+                        } else {
+                            // Retire the failed nodes, plus any node whose
+                            // phase task is still parked: its channels are
+                            // not quiescent, and a stale receiver could
+                            // steal a successor job's messages. Nodes whose
+                            // task already completed are healthy buddies —
+                            // the allocator splits the block and returns
+                            // them to the free lists.
+                            let mut retire = failed;
+                            if let Some(hs) = handles {
+                                for (v, p) in sub.iter().enumerate() {
+                                    if !hs[v].is_finished() && !retire.contains(&p) {
+                                        retire.push(p);
+                                    }
+                                }
+                            }
+                            Some((sub.clone(), retire))
+                        }
                     }
                     _ => None,
                 };
-                if let Some(sub) = sick_sub {
-                    alloc.condemn(&sub);
+                if let Some((sub, retire)) = sick_sub {
+                    alloc.condemn(&sub, &retire);
                     if let State::Running { held_since, .. } = job.state {
                         job.run += now.since(held_since);
                         record_span(tracer, id, held_since, now);
@@ -322,7 +360,10 @@ impl Scheduler {
                     job.preempt_requested = false;
                     job.queued_at = now;
                     // In-flight tasks of the lost phase stay parked on
-                    // the condemned nodes — harmless, never reused.
+                    // the retired nodes — harmless, never reused. The
+                    // eviction-time delta (if any) died with the subcube:
+                    // replay restarts from the last committed boundary.
+                    job.pending_out_bytes = 0;
                     job.state = State::Queued;
                 }
             }
@@ -331,44 +372,28 @@ impl Scheduler {
             for (id, job) in jobs.iter_mut().enumerate() {
                 let boundary = match &mut job.state {
                     State::Running { gate, handles, .. } if now >= *gate => match handles {
-                        None => true,
+                        None => Some(BoundaryKind::Launch),
                         Some(hs) => {
                             if hs.iter().all(|h| h.is_finished()) {
                                 job.next_phase += 1;
-                                true
+                                Some(BoundaryKind::PhaseDone)
                             } else {
-                                false
+                                None
                             }
                         }
                     },
-                    _ => false,
+                    _ => None,
                 };
-                if !boundary {
+                let Some(kind) = boundary else {
                     continue;
-                }
+                };
                 let (sub, held_since) = match &job.state {
                     State::Running {
                         sub, held_since, ..
                     } => (sub.clone(), *held_since),
                     _ => unreachable!(),
                 };
-                if job.next_phase >= job.spec.kernel.phases() {
-                    // Complete.
-                    job.result = job.spec.kernel.result(m, &sub);
-                    job.run += now.since(held_since);
-                    job.done_at = Some(now);
-                    job.state = State::Done;
-                    record_span(tracer, id, held_since, now);
-                    alloc.release(&sub);
-                    let scope = m.registry().scope(&job_scope(id));
-                    scope.counter("wait_us").add(job.wait.as_ns() / 1_000);
-                    scope.counter("run_us").add(job.run.as_ns() / 1_000);
-                    scope
-                        .counter("flops")
-                        .add(job.spec.kernel.flops(job.spec.dim));
-                } else if job.preempt_requested {
-                    // Evict: checkpoint, free the subcube, re-queue.
-                    job.images = Some(m.subcube_images(&sub));
+                let evict = |job: &mut Job, m: &Machine| {
                     job.run += now.since(held_since);
                     job.preemptions += 1;
                     m.registry()
@@ -378,14 +403,64 @@ impl Scheduler {
                     job.preempt_requested = false;
                     job.queued_at = now;
                     job.state = State::Queued;
-                    record_span(tracer, id, held_since, now);
-                    alloc.release(&sub);
-                } else {
-                    // Boundary checkpoint, then launch the next phase.
-                    job.images = Some(m.subcube_images(&sub));
-                    let hs = job.spec.kernel.launch_phase(m, &sub, job.next_phase);
-                    if let State::Running { handles, .. } = &mut job.state {
-                        *handles = Some(hs);
+                };
+                match kind {
+                    BoundaryKind::PhaseDone if job.next_phase >= job.spec.kernel.phases() => {
+                        // Complete.
+                        job.result = job.spec.kernel.result(m, &sub);
+                        job.run += now.since(held_since);
+                        job.done_at = Some(now);
+                        job.state = State::Done;
+                        record_span(tracer, id, held_since, now);
+                        alloc.release(&sub);
+                        let scope = m.registry().scope(&job_scope(id));
+                        scope.counter("wait_us").add(job.wait.as_ns() / 1_000);
+                        scope.counter("run_us").add(job.run.as_ns() / 1_000);
+                        scope
+                            .counter("flops")
+                            .add(job.spec.kernel.flops(job.spec.dim));
+                    }
+                    BoundaryKind::PhaseDone if job.preempt_requested => {
+                        // Evict: fold this boundary's dirty rows into the
+                        // images; their stream-out is still owed and is
+                        // charged at resume, on top of the full restore.
+                        let bytes = capture_delta(m, &sub, job.images.as_mut().unwrap());
+                        job.pending_out_bytes = bytes;
+                        m.registry()
+                            .scope(&job_scope(id))
+                            .counter("ckpt_bytes_out")
+                            .add(bytes);
+                        evict(job, m);
+                        record_span(tracer, id, held_since, now);
+                        alloc.release(&sub);
+                    }
+                    BoundaryKind::PhaseDone => {
+                        // Boundary checkpoint: fold the dirty rows into
+                        // the images and charge the delta's stream-out as
+                        // a gate before the next phase may launch.
+                        let bytes = capture_delta(m, &sub, job.images.as_mut().unwrap());
+                        m.registry()
+                            .scope(&job_scope(id))
+                            .counter("ckpt_bytes_out")
+                            .add(bytes);
+                        let g = now + Dur::from_secs_f64(bytes as f64 / self.stream_rate);
+                        if let State::Running { gate, handles, .. } = &mut job.state {
+                            *gate = g;
+                            *handles = None;
+                        }
+                    }
+                    BoundaryKind::Launch if job.preempt_requested => {
+                        // Evict at the gate: the boundary delta is already
+                        // folded into the images and its stream-out paid.
+                        evict(job, m);
+                        record_span(tracer, id, held_since, now);
+                        alloc.release(&sub);
+                    }
+                    BoundaryKind::Launch => {
+                        let hs = job.spec.kernel.launch_phase(m, &sub, job.next_phase);
+                        if let State::Running { handles, .. } = &mut job.state {
+                            *handles = Some(hs);
+                        }
                     }
                 }
             }
@@ -522,21 +597,33 @@ impl Scheduler {
             return false;
         };
         job.wait += now.since(job.queued_at);
-        let gate = match &job.images {
-            None => {
-                // First placement: initialise memory, take the baseline
-                // boundary checkpoint (host-side, free — streaming cost
-                // is charged at resume, never on the fresh path).
-                job.spec.kernel.setup(m, &sub);
-                job.images = Some(m.subcube_images(&sub));
-                now
-            }
-            Some(images) => {
+        let gate = if let Some(images) = &job.images {
+            let full_in: u64 = {
                 m.restore_subcube(&sub, images)
                     .unwrap_or_else(|e| panic!("restore of job {id} failed: {e}"));
-                let bytes: usize = images.iter().map(|im| im.len() * 4).sum();
-                now + Dur::from_secs_f64(2.0 * bytes as f64 / self.stream_rate)
+                images.iter().map(|im| im.len() as u64 * 4).sum()
+            };
+            // The restore repopulates every row; the baseline is clean.
+            for p in sub.iter() {
+                m.nodes[p as usize].mem_mut().clear_dirty();
             }
+            let bytes = full_in + job.pending_out_bytes;
+            job.pending_out_bytes = 0;
+            m.registry()
+                .scope(&job_scope(id))
+                .counter("ckpt_bytes_in")
+                .add(full_in);
+            now + Dur::from_secs_f64(bytes as f64 / self.stream_rate)
+        } else {
+            // First placement: initialise memory, take the baseline
+            // boundary checkpoint (host-side, free — streaming cost
+            // is charged at resume, never on the fresh path).
+            job.spec.kernel.setup(m, &sub);
+            job.images = Some(m.subcube_images(&sub));
+            for p in sub.iter() {
+                m.nodes[p as usize].mem_mut().clear_dirty();
+            }
+            now
         };
         job.state = State::Running {
             sub,
@@ -546,6 +633,20 @@ impl Scheduler {
         };
         true
     }
+}
+
+/// Fold the subcube's dirty rows into `images` (virtual node order) and
+/// clear the dirty bits; returns the delta's wire size in bytes.
+fn capture_delta(m: &Machine, sub: &Subcube, images: &mut [Vec<u32>]) -> u64 {
+    let mut bytes = 0u64;
+    for (v, p) in sub.iter().enumerate() {
+        let mut mem = m.nodes[p as usize].mem_mut();
+        let delta = mem.snapshot_delta();
+        bytes += delta.bytes() as u64;
+        delta.apply_to(&mut images[v]);
+        mem.clear_dirty();
+    }
+    bytes
 }
 
 /// Metrics path prefix for one job.

@@ -1,27 +1,52 @@
-//! The §III snapshot mechanism end to end: take a machine-wide memory
-//! snapshot through the system boards and disks, corrupt a node (parity
-//! fault), restore, and show the checkpoint-interval tradeoff the paper's
-//! "about 10 minutes" recommendation comes from.
+//! The §III snapshot mechanism end to end: stage a machine-wide
+//! checkpoint through the system boards onto the module disks
+//! (two-version commit), take an incremental delta, corrupt a node
+//! (parity fault), recover from the committed image, and wire the
+//! *measured* snapshot cost into Young's checkpoint-interval optimum —
+//! the paper's "about 10 minutes" recommendation.
 //!
 //! ```text
 //! cargo run --release --example checkpoint_recovery
 //! ```
 
-use fps_t_series::machine::checkpoint::{simulate_run, young_interval};
+use fps_t_series::machine::checkpoint::{
+    simulate_run, young_interval, CheckpointStore, SnapshotMode,
+};
 use fps_t_series::machine::{Machine, MachineCfg};
 use ts_sim::Dur;
 
 fn main() {
     // A 16-node cabinet with reduced per-node memory so the example runs
     // fast; snapshot *time* scales with real memory (see the repro harness
-    // for the full-memory 15 s measurement).
+    // for the full-memory ~15 s measurement).
     let mut machine = Machine::build(MachineCfg::cube_small_mem(4, 32));
     for (i, node) in machine.nodes.iter().enumerate() {
         node.mem_mut().write_word(100, 0xC0DE + i as u32).unwrap();
     }
 
-    let (images, snap_time) = machine.snapshot().unwrap();
-    println!("snapshot of {} nodes took {snap_time}", machine.nodes.len());
+    // Full checkpoint: every node streams its image over the module's
+    // system threads to the board, the payloads queue on the disk, and a
+    // ring-wide two-phase wave commits the new version everywhere.
+    let mut store = CheckpointStore::new(machine.nodes.len());
+    let full = machine.checkpoint(&mut store, SnapshotMode::Full).unwrap();
+    println!(
+        "full checkpoint of {} nodes: {} bytes staged in {} (epoch {})",
+        machine.nodes.len(),
+        full.bytes_streamed,
+        full.duration,
+        store.epoch()
+    );
+
+    // Touch one word per node: the dirty-row bitmap shrinks the next
+    // checkpoint to just the rows that changed.
+    for node in &machine.nodes {
+        node.mem_mut().write_word(200, 0xD177).unwrap();
+    }
+    let delta = machine.checkpoint(&mut store, SnapshotMode::Delta).unwrap();
+    println!(
+        "delta checkpoint: {} dirty rows, {} of {} full-equivalent bytes in {}",
+        delta.dirty_rows, delta.bytes_streamed, delta.bytes_full, delta.duration
+    );
 
     // A cosmic ray: flip a bit behind the parity's back on node 5.
     machine.nodes[5].mem_mut().inject_bit_flip(100, 7).unwrap();
@@ -30,11 +55,12 @@ fn main() {
         Ok(_) => unreachable!("parity must catch the injected fault"),
     }
 
-    // Recover from the snapshot.
-    let restore_time = machine.restore(&images).unwrap();
-    println!("restore took {restore_time}");
+    // Recover from the committed version.
+    let restore_time = machine.restore_from(&store).unwrap();
+    println!("restore from epoch {} took {restore_time}", store.epoch());
     for (i, node) in machine.nodes.iter().enumerate() {
         assert_eq!(node.mem().read_word(100).unwrap(), 0xC0DE + i as u32);
+        assert_eq!(node.mem().read_word(200).unwrap(), 0xD177);
     }
     println!(
         "all {} nodes verified intact after restore\n",
@@ -68,5 +94,14 @@ fn main() {
     println!(
         "\nYoung's optimum T* = sqrt(2*delta*MTBF) = {:.1} min -- the paper's \"about 10 minutes\"",
         t_star.as_secs_f64() / 60.0
+    );
+    // The supervisor wires the same formula to the checkpoint cost it
+    // *measured* on this machine (Supervisor::mtbf): here the small-memory
+    // snapshot is cheap, so the optimum tightens accordingly.
+    let t_measured = young_interval(full.duration, mtbf);
+    println!(
+        "with this machine's measured delta = {}: T* = {:.1} s (Supervisor::mtbf wires this up)",
+        full.duration,
+        t_measured.as_secs_f64()
     );
 }

@@ -1,6 +1,7 @@
 //! End-to-end failure/recovery scenarios: the §III checkpoint machinery
 //! protecting a real computation across a simulated node failure.
 
+use fps_t_series::machine::checkpoint::{CheckpointStore, SnapshotMode};
 use fps_t_series::machine::fault::{FaultEvent, FaultPlan};
 use fps_t_series::machine::router::Router;
 use fps_t_series::machine::supervisor::{Phase, Supervisor};
@@ -84,6 +85,45 @@ fn crash_restore_rerun_equals_uninterrupted_run() {
 }
 
 #[test]
+fn torn_checkpoint_is_discarded_and_recovery_uses_the_last_good_image() {
+    // Two-version commit, end to end: a good checkpoint, then a crash
+    // mid-stream of the next one. The staged (torn) version must be
+    // discarded and recovery must replay from the last committed image —
+    // never a blend of old and new rows.
+    let mut m = Machine::build(MachineCfg::cube_small_mem(3, 8));
+    setup(&mut m);
+    run_phase(&mut m, 3);
+    let mut store = CheckpointStore::new(m.nodes.len());
+    m.checkpoint(&mut store, SnapshotMode::Full).unwrap();
+    let want: Vec<f64> = (0..8).map(|n| read_acc(&m, n, 17)).collect();
+
+    run_phase(&mut m, 2); // progress the torn checkpoint would have saved
+    let node = m.nodes[5].clone();
+    let h = m.handle();
+    m.handle().spawn(async move {
+        h.sleep(Dur::ms(5)).await; // mid-stream of the 131 ms module stage
+        node.crash();
+    });
+    assert!(
+        m.checkpoint(&mut store, SnapshotMode::Full).is_err(),
+        "a crash mid-stream must tear the checkpoint"
+    );
+    assert_eq!(store.epoch(), 1, "the staged version was discarded");
+    assert_eq!(store.torn_aborts(), 1);
+
+    // Reboot: a fresh machine restores the last committed image and
+    // replays the lost phase in full.
+    let mut rebooted = Machine::build(MachineCfg::cube_small_mem(3, 8));
+    rebooted.restore_from(&store).unwrap();
+    let got: Vec<f64> = (0..8).map(|n| read_acc(&rebooted, n, 17)).collect();
+    assert_eq!(got, want, "recovery must see the last good image");
+    run_phase(&mut rebooted, 5);
+    for (n, v) in (0..8).map(|n| read_acc(&rebooted, n, 17)).enumerate() {
+        assert_eq!(v, n as f64 + 8.0);
+    }
+}
+
+#[test]
 fn snapshot_overhead_accounts_in_simulated_time() {
     // The snapshot is not free: wall-clock of (work, snapshot, work) equals
     // the sum of its parts.
@@ -143,7 +183,11 @@ fn supervisor_recovers_mem_flip_during_phase_two_bit_identically() {
     // snapshot + phase 1 + half of phase 2, measured on a probe machine.
     let mut probe = Machine::build(cfg);
     setup(&mut probe);
-    let (_, d0) = probe.snapshot().unwrap();
+    let mut probe_store = CheckpointStore::new(probe.nodes.len());
+    let d0 = probe
+        .checkpoint(&mut probe_store, SnapshotMode::Full)
+        .unwrap()
+        .duration;
     run_phase(&mut probe, 3);
     let t = probe.now();
     run_phase(&mut probe, 5);

@@ -1,9 +1,12 @@
-//! Emit a machine-readable benchmark report (`BENCH_6.json` by default).
+//! Emit a machine-readable benchmark report (`BENCH_7.json` by default).
 //!
 //! Runs the kernel sweep (E11), measures collective latencies on a
 //! 3-cube, runs the space-sharing scheduler batch under both queue
 //! policies, times the metrics hot path, probes checkpoint I/O (snapshot
-//! seconds vs dim, full vs delta bytes), probes simulator throughput at
+//! seconds vs dim, full vs delta bytes), maps the open-arrival service
+//! capacity envelope (wait / slowdown / jobs-per-sec vs offered load at
+//! each fleet dimension, including a million-job dim-10 stream and a
+//! kernel-mix run on a live machine), probes simulator throughput at
 //! a set of cube dimensions, and writes everything as JSON.
 //! With `--baseline <path>` the run fails (exit 2) if any kernel's
 //! MFLOPS dropped more than 20% below the baseline file's figure — the
@@ -21,12 +24,20 @@
 //! within 10% across dims 4..=10 fails unconditionally (the §III
 //! configuration-independence claim).
 //!
+//! The service gate mirrors the scale gate: with `--service-baseline`
+//! any `(dim, workload, load)` row whose sustained jobs/sec fell more
+//! than 20% below the baseline's fails the run — but service jobs/sec is
+//! *simulated* throughput, so like the kernel gate any drop is a real
+//! scheduling change, not host noise.
+//!
 //! ```text
-//! cargo run -p ts-bench                          # writes BENCH_6.json
+//! cargo run -p ts-bench                          # writes BENCH_7.json
 //! cargo run -p ts-bench -- --out BENCH_ci.json --baseline BENCH_baseline.json
 //! cargo run -p ts-bench -- --trace overlap.json  # also dump a Perfetto trace
 //! cargo run -p ts-bench -- --scale-only --scale-dims 10,12 \
 //!     --scale-out SCALE_ci.json --scale-baseline BENCH_5.json
+//! cargo run -p ts-bench -- --service-only --service-dims 8 --service-jobs 100000 \
+//!     --service-out SERVICE_ci.json --service-baseline BENCH_7.json
 //! ```
 
 use std::path::PathBuf;
@@ -36,7 +47,8 @@ use t_series_core::{Machine, MachineCfg};
 use ts_bench::report::{
     annotate_scale_pre, checkpoint_full_rate_row, checkpoint_probe, checkpoint_regressions,
     collective_probe, counter_microbench, kernel_rows, regressions, scale_probe, scale_regressions,
-    scale_to_json, sched_probe, ScaleRow,
+    scale_to_json, sched_probe, service_capacity_row, service_machine_row, service_probe,
+    service_regressions, service_to_json, ScaleRow, ServiceRow,
 };
 use ts_bench::BenchReport;
 
@@ -45,20 +57,75 @@ fn usage() -> ! {
         "usage: bench_json [--out PATH] [--baseline PATH] [--trace PATH]\n\
          \x20                 [--scale-dims LIST] [--scale-only] [--scale-out PATH]\n\
          \x20                 [--scale-baseline PATH] [--scale-pre PATH]\n\
+         \x20                 [--service-dims LIST] [--service-jobs N] [--service-only]\n\
+         \x20                 [--service-out PATH] [--service-baseline PATH]\n\
          \n\
-         --out PATH            where to write the JSON report (default BENCH_6.json)\n\
+         --out PATH            where to write the JSON report (default BENCH_7.json)\n\
          --baseline PATH       fail (exit 2) if any kernel regresses >20% vs this\n\
-         \x20                     report, or any checkpoint row slows >20%\n\
+         \x20                     report, any checkpoint row slows >20%, or any\n\
+         \x20                     service row loses >20% jobs/sec\n\
          --trace PATH          also write a Perfetto trace of a small traced matmul run\n\
          --scale-dims LIST     comma-separated cube dims to probe (default 6,8;\n\
          \x20                     even dims run allreduce+matmul+fft, dims > 10 and\n\
          \x20                     odd dims run the allreduce smoke only)\n\
-         --scale-only          run only the scale probe (skip kernels/collectives/sched)\n\
+         --scale-only          run only the scale probe (skip everything else)\n\
          --scale-out PATH      also write the scale section as a standalone JSON doc\n\
          --scale-baseline PATH fail (exit 2) on >20% events/sec drop vs this report\n\
-         --scale-pre PATH      annotate rows with speedup vs this reference scale doc"
+         --scale-pre PATH      annotate rows with speedup vs this reference scale doc\n\
+         --service-dims LIST   fleet dims for the capacity envelope (default 6,8;\n\
+         \x20                     each dim sweeps offered loads 0.5/0.8/0.95)\n\
+         --service-jobs N      arrivals per capacity probe point (default 100000)\n\
+         --service-only        run only the service probe (skip everything else;\n\
+         \x20                     also skips the 1M-job and kernel-mix rows)\n\
+         --service-out PATH    also write the service section as a standalone JSON doc\n\
+         --service-baseline PATH fail (exit 2) on >20% jobs/sec drop vs this report"
     );
     std::process::exit(64);
+}
+
+fn print_service_rows(rows: &[ServiceRow]) {
+    for r in rows {
+        println!(
+            "  dim {:>2} ({:>4} nodes, {:<10} load {:.2})  {:>7} jobs  wait p50 {:>8.1} us p99 {:>9.1} us  {:>8.0} jobs/s  util {:>5.1}%  wall {:.2}s",
+            r.dim,
+            r.nodes,
+            r.workload,
+            r.load,
+            r.jobs,
+            r.p50_wait_us,
+            r.p99_wait_us,
+            r.jobs_per_s,
+            r.utilization * 100.0,
+            r.wall_s
+        );
+    }
+}
+
+/// Gate service rows against a baseline report; `Some(code)` on failure.
+fn service_gate(rows: &[ServiceRow], base_path: &std::path::Path) -> Option<ExitCode> {
+    let base = match std::fs::read_to_string(base_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {}: {e}", base_path.display());
+            return Some(ExitCode::from(1));
+        }
+    };
+    let bad = service_regressions(rows, &base, 0.20);
+    if !bad.is_empty() {
+        eprintln!(
+            "FAIL: service throughput regressed vs {}:",
+            base_path.display()
+        );
+        for line in &bad {
+            eprintln!("  {line}");
+        }
+        return Some(ExitCode::from(2));
+    }
+    println!(
+        "no service row lost >20% jobs/sec vs {}",
+        base_path.display()
+    );
+    None
 }
 
 fn run_scale(dims: &[u32]) -> Vec<ScaleRow> {
@@ -88,7 +155,7 @@ fn run_scale(dims: &[u32]) -> Vec<ScaleRow> {
 }
 
 fn main() -> ExitCode {
-    let mut out = PathBuf::from("BENCH_6.json");
+    let mut out = PathBuf::from("BENCH_7.json");
     let mut baseline: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut scale_dims: Vec<u32> = vec![6, 8];
@@ -96,6 +163,11 @@ fn main() -> ExitCode {
     let mut scale_out: Option<PathBuf> = None;
     let mut scale_baseline: Option<PathBuf> = None;
     let mut scale_pre: Option<PathBuf> = None;
+    let mut service_dims: Vec<u32> = vec![6, 8];
+    let mut service_jobs: usize = 100_000;
+    let mut service_only = false;
+    let mut service_out: Option<PathBuf> = None;
+    let mut service_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -116,8 +188,47 @@ fn main() -> ExitCode {
                 scale_baseline = Some(args.next().unwrap_or_else(|| usage()).into())
             }
             "--scale-pre" => scale_pre = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--service-dims" => {
+                service_dims = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|d| d.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--service-jobs" => {
+                service_jobs = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--service-only" => service_only = true,
+            "--service-out" => service_out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--service-baseline" => {
+                service_baseline = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
             _ => usage(),
         }
+    }
+
+    if service_only {
+        println!("mapping the service capacity envelope...");
+        let rows = service_probe(&service_dims, service_jobs);
+        print_service_rows(&rows);
+        if let Some(path) = &service_out {
+            if let Err(e) = std::fs::write(path, service_to_json(&rows)) {
+                eprintln!("FAIL: cannot write {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        if let Some(base_path) = &service_baseline {
+            if let Some(code) = service_gate(&rows, base_path) {
+                return code;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     println!("probing simulator throughput...");
@@ -234,6 +345,29 @@ fn main() -> ExitCode {
     }
     println!("  snapshot time flat within 10% across dims 4..=10 ({min:.4} s .. {max:.4} s)");
 
+    // Open-arrival service: the capacity envelope at each fleet dim,
+    // a million-job dim-10 stream through the same admission path, and
+    // a kernel-mix trace on a live machine.
+    println!("mapping the service capacity envelope...");
+    let mut service = service_probe(&service_dims, service_jobs);
+    println!("streaming 1M jobs through the dim-10 fleet...");
+    service.push(service_capacity_row(10, 1_000_000, 0.85));
+    println!("serving a kernel-mix stream on a live dim-4 machine...");
+    service.push(service_machine_row(4, 4_000));
+    print_service_rows(&service);
+    if let Some(path) = &service_out {
+        if let Err(e) = std::fs::write(path, service_to_json(&service)) {
+            eprintln!("FAIL: cannot write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(base_path) = &service_baseline {
+        if let Some(code) = service_gate(&service, base_path) {
+            return code;
+        }
+    }
+
     let report = BenchReport {
         kernels,
         collectives,
@@ -241,6 +375,7 @@ fn main() -> ExitCode {
         counter,
         transport,
         checkpoint,
+        service,
         scale,
     };
     if let Err(e) = std::fs::write(&out, report.to_json()) {
@@ -289,6 +424,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("no checkpoint row slowed >20% vs {}", base_path.display());
+        if let Some(code) = service_gate(&report.service, &base_path) {
+            return code;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -17,7 +17,7 @@ pub mod sweep;
 pub use experiments::*;
 pub use harness::Bench;
 pub use report::{
-    BenchReport, CollectiveRow, CounterBench, KernelRow, ScaleRow, TransportCounters,
+    BenchReport, CollectiveRow, CounterBench, KernelRow, ScaleRow, ServiceRow, TransportCounters,
 };
 pub use sweep::parallel_sweep;
 

@@ -17,8 +17,11 @@ use t_series_core::checkpoint::{CheckpointStore, SnapshotMode};
 use t_series_core::{collectives, Machine, MachineCfg, NODE_PEAK_MFLOPS};
 use ts_fpu::Sf64;
 use ts_node::CombineOp;
-use ts_sched::{JobKernel, JobSpec, Policy, Scheduler};
-use ts_sim::{Metrics, MetricsRegistry};
+use ts_sched::{
+    JobKernel, JobSpec, Policy, Scheduler, ServiceCfg, ServiceReport, ServiceScheduler,
+};
+use ts_sim::{Dur, Metrics, MetricsRegistry};
+use ts_workload::{Dist, Trace, TraceGen};
 
 /// One kernel measurement: achieved throughput against the machine's
 /// nominal peak (`nodes × 16 MFLOPS`, the paper's §I per-node figure).
@@ -155,6 +158,154 @@ pub struct CheckpointRow {
     pub delta_bytes: u64,
 }
 
+/// One open-arrival service measurement: a seeded trace streamed through
+/// the admission front-end ([`ServiceScheduler`]) at one fleet dimension
+/// and offered load. Synthetic rows run the capacity path (admission +
+/// buddy allocation only, millions of jobs); the `kernel-mix` row drives
+/// real SAXPY / all-reduce gangs through the batch runtime on a live
+/// machine. Everything except `wall_s` is simulated and deterministic.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Fleet cube dimension.
+    pub dim: u32,
+    /// Fleet node count (`2^dim`).
+    pub nodes: u64,
+    /// Arrivals served (every one completes; admission never drops).
+    pub jobs: u64,
+    /// Workload identifier (`synthetic` or `kernel-mix`).
+    pub workload: String,
+    /// Offered load the trace was sized for (1.0 = saturation).
+    pub load: f64,
+    /// Simulated seconds from stream start to last completion.
+    pub makespan_s: f64,
+    /// Mean queue wait, µs.
+    pub mean_wait_us: f64,
+    /// Median queue wait, µs.
+    pub p50_wait_us: f64,
+    /// 99th-percentile queue wait, µs.
+    pub p99_wait_us: f64,
+    /// Mean of `(wait + service) / service` per job.
+    pub mean_slowdown: f64,
+    /// 99th-percentile slowdown.
+    pub p99_slowdown: f64,
+    /// Sustained completion rate, jobs per simulated second.
+    pub jobs_per_s: f64,
+    /// Node-time held by jobs over `makespan × fleet nodes`.
+    pub utilization: f64,
+    /// Aging promotions granted while jobs waited.
+    pub promotions: u64,
+    /// Placements where a deadline jumped the arrival order.
+    pub edf_reorders: u64,
+    /// Jobs that completed after their absolute deadline.
+    pub missed_deadlines: u64,
+    /// Host seconds the probe took (informational, never gated).
+    pub wall_s: f64,
+}
+
+/// Build the seeded service trace for one `(dim, load)` probe point: a
+/// subcube-order mix capped below the fleet size, exponential 100 µs
+/// service, 75% best-effort batch and 25% priority-3 urgent arrivals
+/// with a 30× deadline slack. The arrival rate is sized from the mix's
+/// own [`TraceGen::offered_load`] so the requested load is hit exactly.
+fn service_trace(dim: u32, load: f64, n: usize, kernel_fraction: f64) -> Trace {
+    // Mostly narrow jobs plus an occasional wide lattice job: the wide
+    // tail is what makes large fleets queue (and the aging/EDF policies
+    // fire) — without it a dim-10 fleet absorbs the stream with near-zero
+    // waits and the envelope degenerates.
+    let full = [
+        (0u32, 0.1),
+        (1, 0.48),
+        (2, 0.25),
+        (3, 0.1),
+        (4, 0.04),
+        (6, 0.02),
+        (8, 0.01),
+    ];
+    let top = dim.saturating_sub(2).max(1);
+    let sizes: Vec<(u32, f64)> = full.iter().copied().filter(|&(d, _)| d <= top).collect();
+    let g = TraceGen::new(0x07C0_FFEE ^ ((dim as u64) << 32) ^ n as u64)
+        .sizes(&sizes)
+        .service(Dist::Exp { mean: 1e-4 })
+        .classes("batch", 0.75, 0, None)
+        .class("urgent", 0.25, 3, Some(30.0))
+        .kernel_fraction(kernel_fraction);
+    let unit = g
+        .clone()
+        .interarrival(Dist::Fixed(1.0))
+        .offered_load(dim)
+        .expect("probe mix has finite moments");
+    g.interarrival(Dist::Exp { mean: unit / load }).generate(n)
+}
+
+/// The service admission policy every probe row runs under: 500 µs
+/// aging period, 4 levels of boost, default backfill window.
+fn service_cfg(dim: u32) -> ServiceCfg {
+    ServiceCfg::new(dim).aging(Dur::us(500), 4)
+}
+
+/// Flatten a [`ServiceReport`] into a report row.
+fn service_row(rep: &ServiceReport, workload: &str, load: f64, wall_s: f64) -> ServiceRow {
+    ServiceRow {
+        dim: rep.dim,
+        nodes: 1u64 << rep.dim,
+        jobs: rep.jobs,
+        workload: workload.to_string(),
+        load,
+        makespan_s: rep.makespan.as_secs_f64(),
+        mean_wait_us: rep.mean_wait.as_us_f64(),
+        p50_wait_us: rep.p50_wait.as_us_f64(),
+        p99_wait_us: rep.p99_wait.as_us_f64(),
+        mean_slowdown: rep.mean_slowdown,
+        p99_slowdown: rep.p99_slowdown_milli as f64 / 1e3,
+        jobs_per_s: rep.jobs_per_sec,
+        utilization: rep.utilization,
+        promotions: rep.aging_promotions,
+        edf_reorders: rep.edf_reorders,
+        missed_deadlines: rep.missed_deadlines,
+        wall_s,
+    }
+}
+
+/// One capacity-path row: `jobs` synthetic arrivals at the given offered
+/// load on a `2^dim`-node fleet, served machinelessly (admission + buddy
+/// allocation only). Deterministic in everything but `wall_s`.
+pub fn service_capacity_row(dim: u32, jobs: usize, load: f64) -> ServiceRow {
+    let trace = service_trace(dim, load, jobs, 0.0);
+    let svc = ServiceScheduler::new(service_cfg(dim));
+    let t = Instant::now();
+    let rep = svc.run(&trace);
+    service_row(&rep, "synthetic", load, t.elapsed().as_secs_f64())
+}
+
+/// The capacity envelope: one row per `(dim, offered load)` point,
+/// sweeping loads 0.5 / 0.8 / 0.95 at each probed fleet dimension with
+/// `jobs` arrivals per point. How wait and slowdown grow with load — and
+/// where sustained jobs/sec stops tracking the offered rate — is the
+/// envelope.
+pub fn service_probe(dims: &[u32], jobs: usize) -> Vec<ServiceRow> {
+    let mut rows = Vec::new();
+    for &dim in dims {
+        for &load in &[0.5, 0.8, 0.95] {
+            rows.push(service_capacity_row(dim, jobs, load));
+        }
+    }
+    rows
+}
+
+/// One fidelity-path row: a kernel-heavy trace (60% real SAXPY /
+/// all-reduce gangs) served through [`Scheduler`] on a live simulated
+/// machine at offered load 0.7. Orders of magnitude slower per job than
+/// the capacity path — keep `jobs` in the low thousands.
+pub fn service_machine_row(dim: u32, jobs: usize) -> ServiceRow {
+    let load = 0.7;
+    let trace = service_trace(dim, load, jobs, 0.6);
+    let mut m = Machine::build(MachineCfg::cube_small_mem(dim, 8));
+    let svc = ServiceScheduler::new(service_cfg(dim));
+    let t = Instant::now();
+    let (_, rep) = svc.run_on_machine(&mut m, &trace);
+    service_row(&rep, "kernel-mix", load, t.elapsed().as_secs_f64())
+}
+
 /// Measure checkpoint I/O at each small-memory dimension: a full
 /// snapshot through the two-version store, then one word written per
 /// node and the resulting dirty-row delta.
@@ -208,6 +359,8 @@ pub struct BenchReport {
     pub transport: TransportCounters,
     /// Checkpoint-I/O rows, one per probed cube dimension.
     pub checkpoint: Vec<CheckpointRow>,
+    /// Open-arrival service rows, one per `(dim, load)` probe point.
+    pub service: Vec<ServiceRow>,
     /// Simulator-throughput rows, one per probed cube dimension.
     pub scale: Vec<ScaleRow>,
 }
@@ -516,10 +669,111 @@ impl BenchReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str(&service_json_array(&self.service));
         s.push_str(&scale_json_array(&self.scale));
         s.push_str("}\n");
         s
     }
+}
+
+/// Render service rows as a `"service": [...]` JSON fragment (shared by
+/// the full report and the standalone `--service-only` document).
+fn service_json_array(rows: &[ServiceRow]) -> String {
+    let mut s = String::from("  \"service\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dim\": {}, \"nodes\": {}, \"jobs\": {}, \"workload\": \"{}\", \
+             \"load\": {:.2}, \"makespan_s\": {:.6}, \"mean_wait_us\": {:.3}, \
+             \"p50_wait_us\": {:.3}, \"p99_wait_us\": {:.3}, \
+             \"mean_slowdown\": {:.3}, \"p99_slowdown\": {:.3}, \
+             \"jobs_per_s\": {:.1}, \"utilization\": {:.6}, \
+             \"promotions\": {}, \"edf_reorders\": {}, \"missed_deadlines\": {}, \
+             \"wall_s\": {:.3}}}{}\n",
+            r.dim,
+            r.nodes,
+            r.jobs,
+            r.workload,
+            r.load,
+            r.makespan_s,
+            r.mean_wait_us,
+            r.p50_wait_us,
+            r.p99_wait_us,
+            r.mean_slowdown,
+            r.p99_slowdown,
+            r.jobs_per_s,
+            r.utilization,
+            r.promotions,
+            r.edf_reorders,
+            r.missed_deadlines,
+            r.wall_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s
+}
+
+/// Render service rows as a standalone JSON document (the
+/// `--service-out` output uploaded by the CI service-smoke lane). The
+/// fragment above ends with a comma, so close with a schema tag.
+pub fn service_to_json(rows: &[ServiceRow]) -> String {
+    format!(
+        "{{\n{}  \"schema\": \"ts-bench-service/1\"\n}}\n",
+        service_json_array(rows)
+    )
+}
+
+/// Pull `(dim, workload, load, jobs_per_s)` tuples back out of any JSON
+/// document carrying a service section ([`BenchReport::to_json`] or
+/// [`service_to_json`]). Keyed on `jobs_per_s`, which no other section
+/// emits; scans line-by-line like [`parse_kernels`].
+pub fn parse_service(json: &str) -> Vec<(u32, String, f64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let jps = json_num(line, "jobs_per_s")?;
+            let dim = json_num(line, "dim")? as u32;
+            let workload = json_str(line, "workload")?;
+            let load = json_num(line, "load")?;
+            Some((dim, workload, load, jps))
+        })
+        .collect()
+}
+
+/// Compare service rows against a baseline JSON document: one line per
+/// `(dim, workload, load)` row whose sustained jobs/sec fell below
+/// `(1 - tolerance) ×` the baseline figure. Everything in a service row
+/// except `wall_s` is simulated and deterministic, so in practice any
+/// drop is a real scheduling change; the headroom forgives intentional
+/// policy adjustments that should come with a baseline refresh. Rows
+/// present on only one side are ignored, like [`regressions`].
+pub fn service_regressions(
+    current: &[ServiceRow],
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let base = parse_service(baseline_json);
+    let mut out = Vec::new();
+    for r in current {
+        if let Some((_, _, _, was)) = base
+            .iter()
+            .find(|(d, w, l, _)| *d == r.dim && *w == r.workload && (*l - r.load).abs() < 1e-6)
+        {
+            let floor = was * (1.0 - tolerance);
+            if r.jobs_per_s < floor {
+                out.push(format!(
+                    "service dim {} ({}, load {:.2}): {:.0} jobs/s < {:.0} (baseline {:.0} - {:.0}%)",
+                    r.dim,
+                    r.workload,
+                    r.load,
+                    r.jobs_per_s,
+                    floor,
+                    was,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Render scale rows as a `"scale": [...]` JSON fragment (shared by the
@@ -791,6 +1045,25 @@ mod tests {
                 delta_snapshot_s: 0.004,
                 delta_bytes: 16_640,
             }],
+            service: vec![ServiceRow {
+                dim: 8,
+                nodes: 256,
+                jobs: 100_000,
+                workload: "synthetic".into(),
+                load: 0.8,
+                makespan_s: 1.25,
+                mean_wait_us: 40.0,
+                p50_wait_us: 10.0,
+                p99_wait_us: 450.0,
+                mean_slowdown: 1.4,
+                p99_slowdown: 6.0,
+                jobs_per_s: 80_000.0,
+                utilization: 0.79,
+                promotions: 1_200,
+                edf_reorders: 300,
+                missed_deadlines: 4,
+                wall_s: 0.2,
+            }],
             scale: vec![ScaleRow {
                 dim: 6,
                 nodes: 64,
@@ -929,6 +1202,52 @@ mod tests {
                 "a one-row delta must stream far fewer bytes than the full image"
             );
         }
+    }
+
+    #[test]
+    fn service_json_round_trips_and_gates() {
+        let report = sample();
+        let json = report.to_json();
+        let parsed = parse_service(&json);
+        assert_eq!(parsed, vec![(8, "synthetic".to_string(), 0.8, 80_000.0)]);
+        // Standalone service document parses the same way.
+        let solo = service_to_json(&report.service);
+        assert_eq!(parse_service(&solo), parsed);
+        // Service lines must not leak into the other section parsers,
+        // nor scale lines into the service parser.
+        assert!(!parse_scale(&json).iter().any(|(_, w, _)| w == "synthetic"));
+        assert_eq!(parse_service(&scale_to_json(&report.scale)), vec![]);
+        assert_eq!(parse_kernels(&solo), vec![]);
+        assert_eq!(parse_checkpoint(&solo), vec![]);
+        // 10% below baseline passes a 20% gate; 30% below fails it.
+        let mut ok = report.service.clone();
+        ok[0].jobs_per_s = 72_000.0;
+        assert!(service_regressions(&ok, &json, 0.20).is_empty());
+        let mut slow = report.service.clone();
+        slow[0].jobs_per_s = 56_000.0;
+        let bad = service_regressions(&slow, &json, 0.20);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("dim 8"), "{bad:?}");
+    }
+
+    #[test]
+    fn service_capacity_probe_serves_a_small_stream() {
+        let row = service_capacity_row(5, 5_000, 0.8);
+        assert_eq!((row.dim, row.nodes, row.jobs), (5, 32, 5_000));
+        assert_eq!(row.workload, "synthetic");
+        assert!(
+            row.utilization > 0.4 && row.utilization < 1.0,
+            "{}",
+            row.utilization
+        );
+        assert!(row.jobs_per_s > 0.0);
+        assert!(row.p99_wait_us >= row.p50_wait_us);
+        // Deterministic: the same probe point reproduces every simulated
+        // figure exactly (only wall_s may differ).
+        let again = service_capacity_row(5, 5_000, 0.8);
+        assert_eq!(row.jobs_per_s, again.jobs_per_s);
+        assert_eq!(row.p99_wait_us, again.p99_wait_us);
+        assert_eq!(row.promotions, again.promotions);
     }
 
     #[test]

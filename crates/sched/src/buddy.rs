@@ -27,8 +27,10 @@ pub struct BuddyAllocator {
     dim: u32,
     /// `free[k]` holds the bases of free aligned k-blocks, sorted.
     free: Vec<Vec<NodeId>>,
-    /// Nodes removed from service by [`BuddyAllocator::condemn`].
-    condemned: u32,
+    /// Node ids removed from service by [`BuddyAllocator::condemn`],
+    /// sorted. Kept as ids (not a count) so reservation placement can
+    /// avoid blocks that will never be whole again.
+    condemned: Vec<NodeId>,
 }
 
 impl BuddyAllocator {
@@ -39,7 +41,7 @@ impl BuddyAllocator {
         BuddyAllocator {
             dim,
             free,
-            condemned: 0,
+            condemned: Vec::new(),
         }
     }
 
@@ -107,7 +109,7 @@ impl BuddyAllocator {
             return;
         }
         if d == 0 {
-            self.condemned += 1;
+            Self::insert(&mut self.condemned, base);
             return;
         }
         self.condemn_block(base, d - 1, failed);
@@ -125,13 +127,119 @@ impl BuddyAllocator {
 
     /// Nodes permanently out of service.
     pub fn condemned_nodes(&self) -> u32 {
+        self.condemned.len() as u32
+    }
+
+    /// Does `sub` contain a condemned node? A reservation whose region
+    /// is poisoned can never fill and must be re-sited.
+    pub fn has_condemned_in(&self, sub: &Subcube) -> bool {
         self.condemned
+            .iter()
+            .any(|&n| block_contains(sub.base(), sub.dim(), n, 0))
     }
 
     /// True when every non-condemned node has coalesced back into free
     /// blocks — with nothing condemned, exactly one free n-block.
     pub fn is_idle(&self) -> bool {
-        self.free_nodes() + self.condemned == 1 << self.dim
+        self.free_nodes() + self.condemned_nodes() == 1 << self.dim
+    }
+
+    /// The aligned d-block a blocked head job should wait for: the one
+    /// with the most currently-free nodes (so it drains soonest as the
+    /// jobs inside finish), never one containing a condemned node (it
+    /// can never be whole again), lowest base on ties. `None` only when
+    /// every d-block is poisoned by a condemned node or `d > dim`.
+    pub fn best_reservation(&self, d: u32) -> Option<Subcube> {
+        if d > self.dim {
+            return None;
+        }
+        let nblocks = 1usize << (self.dim - d);
+        let mut free_in = vec![0u32; nblocks];
+        for (k, list) in self.free.iter().enumerate() {
+            for &base in list {
+                if (k as u32) >= d {
+                    // A free block of order ≥ d spans whole d-blocks;
+                    // mark each as completely free.
+                    for i in 0..(1usize << (k as u32 - d)) {
+                        free_in[(base as usize >> d) + i] = 1 << d;
+                    }
+                } else {
+                    free_in[base as usize >> d] += 1 << k;
+                }
+            }
+        }
+        let mut poisoned = vec![false; nblocks];
+        for &n in &self.condemned {
+            poisoned[n as usize >> d] = true;
+        }
+        let mut best: Option<(u32, usize)> = None;
+        for (i, &f) in free_in.iter().enumerate() {
+            if !poisoned[i] && best.is_none_or(|(bf, _)| f > bf) {
+                best = Some((f, i));
+            }
+        }
+        best.map(|(_, i)| Subcube::aligned((i as NodeId) << d, d))
+    }
+
+    /// Allocate an aligned d-subcube *disjoint from* `region` (a
+    /// reserved aligned block that a waiting head job is draining).
+    /// First preference: the smallest free block wholly outside the
+    /// region, split as usual. Fallback: a free block strictly
+    /// containing the region, split so that at every level the half
+    /// holding the region goes back on the free lists and the other
+    /// half is carved down to size. With no region this is
+    /// [`BuddyAllocator::alloc`].
+    pub fn alloc_outside(&mut self, d: u32, region: Option<&Subcube>) -> Option<Subcube> {
+        let Some(r) = region else {
+            return self.alloc(d);
+        };
+        if d > self.dim {
+            return None;
+        }
+        // Pass 1: a free block of sufficient order wholly disjoint from
+        // the region. Smallest order first, lowest base first, exactly
+        // like `alloc` but skipping blocks the region touches.
+        for k in d..=self.dim {
+            let hit = self.free[k as usize]
+                .iter()
+                .position(|&b| !blocks_overlap(b, k, r.base(), r.dim()));
+            if let Some(pos) = hit {
+                let base = self.free[k as usize].remove(pos);
+                let mut kk = k;
+                while kk > d {
+                    kk -= 1;
+                    Self::insert(&mut self.free[kk as usize], base | (1 << kk));
+                }
+                return Some(Subcube::aligned(base, d));
+            }
+        }
+        // Pass 2: a free block strictly containing the region. Each
+        // split isolates the region in one half; keep the other. After
+        // the first split the kept half is region-free, so the rest is
+        // an ordinary lowest-base carve.
+        let start = (r.dim() + 1).max(d + 1);
+        for k in start..=self.dim {
+            let hit = self.free[k as usize]
+                .iter()
+                .position(|&b| block_contains(b, k, r.base(), r.dim()));
+            if let Some(pos) = hit {
+                let mut base = self.free[k as usize].remove(pos);
+                let mut kk = k;
+                while kk > d {
+                    kk -= 1;
+                    let high = base | (1 << kk);
+                    if block_contains(base, kk, r.base(), r.dim()) {
+                        // Region is in the low half: free it, keep high.
+                        Self::insert(&mut self.free[kk as usize], base);
+                        base = high;
+                    } else {
+                        Self::insert(&mut self.free[kk as usize], high);
+                    }
+                }
+                return Some(Subcube::aligned(base, d));
+            }
+        }
+        None
     }
 
     fn insert(list: &mut Vec<NodeId>, base: NodeId) {
@@ -140,6 +248,18 @@ impl BuddyAllocator {
             Err(i) => list.insert(i, base),
         }
     }
+}
+
+/// Two aligned blocks overlap iff the smaller lies inside the larger.
+fn blocks_overlap(b1: NodeId, d1: u32, b2: NodeId, d2: u32) -> bool {
+    let d = d1.max(d2);
+    (b1 >> d) == (b2 >> d)
+}
+
+/// Does the aligned `(outer, od)` block contain the `(inner, id)` block
+/// (equality counts as containment)?
+fn block_contains(outer: NodeId, od: u32, inner: NodeId, id: u32) -> bool {
+    od >= id && (inner >> od) == (outer >> od)
 }
 
 #[cfg(test)]
@@ -270,5 +390,147 @@ mod tests {
         for seed in [7u64, 42, 1986, 0xD1CE] {
             assert_eq!(run(seed), run(seed), "same seed must replay identically");
         }
+    }
+
+    /// Satellite: open-churn property test. Millions of seeded
+    /// alloc/free/condemn cycles — the kind of turnover an open arrival
+    /// stream produces — holding the node-count invariant
+    /// `free + live + condemned == 2^dim` at every step, never
+    /// overlapping a live block, never leaking, and coalescing fully
+    /// (no two free buddies coexist) once drained. Same seed, same run.
+    #[test]
+    fn open_churn_preserves_node_accounting() {
+        const DIM: u32 = 8;
+        const OPS: usize = 1_000_000;
+        let run = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            let mut a = BuddyAllocator::new(DIM);
+            let mut live: Vec<Subcube> = Vec::new();
+            let mut live_nodes = 0u32;
+            let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            let fold = |x: u64, digest: &mut u64| {
+                *digest = (*digest ^ x).wrapping_mul(0x1000_0000_01b3);
+            };
+            for step in 0..OPS {
+                let roll = rng.below(100);
+                if roll < 48 || live.is_empty() {
+                    // Arrival: sizes skewed small, like a real mix.
+                    let d = match rng.below(10) {
+                        0..=4 => rng.below(2) as u32,
+                        5..=7 => 2 + rng.below(2) as u32,
+                        _ => 4 + rng.below(2) as u32,
+                    };
+                    if let Some(s) = a.alloc(d) {
+                        fold(((s.base() as u64) << 8) | d as u64, &mut digest);
+                        live_nodes += 1 << d;
+                        live.push(s);
+                    }
+                } else if roll < 96 {
+                    // Completion: free a random live block.
+                    let i = rng.range(0, live.len());
+                    let s = live.swap_remove(i);
+                    live_nodes -= 1 << s.dim();
+                    a.release(&s);
+                } else {
+                    // Fault: condemn one random node of a live block,
+                    // capped so the machine keeps most of its capacity.
+                    if a.condemned_nodes() < (1 << DIM) / 8 {
+                        let i = rng.range(0, live.len());
+                        let s = live.swap_remove(i);
+                        let bad = s.base() + rng.below(1 << s.dim()) as NodeId;
+                        live_nodes -= 1 << s.dim();
+                        a.condemn(&s, &[bad]);
+                        fold(0x8000_0000_0000_0000 | bad as u64, &mut digest);
+                    }
+                }
+                assert_eq!(
+                    a.free_nodes() + live_nodes + a.condemned_nodes(),
+                    1 << DIM,
+                    "node accounting broke at step {step}"
+                );
+            }
+            // Occasionally verified in full: live blocks are disjoint.
+            for (i, s) in live.iter().enumerate() {
+                for t in &live[i + 1..] {
+                    assert!(s.disjoint(t), "{s:?} overlaps {t:?}");
+                }
+            }
+            // Drain and check full coalescing: no free block's buddy is
+            // also free (they would have merged), and nothing leaked.
+            for s in live.drain(..) {
+                a.release(&s);
+            }
+            assert!(a.is_idle(), "drained allocator must account for all nodes");
+            for (k, list) in a.free.iter().enumerate() {
+                if (k as u32) < DIM {
+                    for &b in list {
+                        assert!(
+                            list.binary_search(&(b ^ (1 << k))).is_err(),
+                            "free buddies {b} / {} failed to coalesce",
+                            b ^ (1 << k)
+                        );
+                    }
+                }
+            }
+            fold(a.condemned_nodes() as u64, &mut digest);
+            digest
+        };
+        for seed in [3u64, 0xFEED] {
+            assert_eq!(run(seed), run(seed), "same seed must replay identically");
+        }
+    }
+
+    #[test]
+    fn best_reservation_prefers_the_emptiest_healthy_block() {
+        let mut a = BuddyAllocator::new(4);
+        // Fill the low half with pairs, leave the high half free-ish.
+        let _s0 = a.alloc(1).unwrap(); // 0..2
+        let _s1 = a.alloc(1).unwrap(); // 2..4
+        let _s2 = a.alloc(2).unwrap(); // 4..8
+                                       // High 3-block (8..16) is completely free: best for a 3-wide head.
+        let r = a.best_reservation(3).unwrap();
+        assert_eq!((r.base(), r.dim()), (8, 3));
+        // Poison the high half: one condemned node disqualifies it.
+        let wide = a.alloc(3).unwrap(); // 8..16
+        a.condemn(&wide, &[9]);
+        let r = a.best_reservation(3).unwrap();
+        assert_eq!(r.base(), 0, "condemned block skipped; low half is next");
+    }
+
+    #[test]
+    fn alloc_outside_carves_around_the_reserved_region() {
+        let mut a = BuddyAllocator::new(4);
+        let region = Subcube::aligned(0, 3); // reserve 0..8 for the head
+                                             // Disjoint free block exists (8..16): ordinary lowest-base alloc
+                                             // from outside the region.
+        let s = a.alloc_outside(1, Some(&region)).unwrap();
+        assert_eq!((s.base(), s.dim()), (8, 1));
+        // Exhaust everything outside; requests must fail rather than
+        // eat the reservation.
+        let rest = a.alloc_outside(3, Some(&region));
+        assert!(rest.is_none(), "8..16 has only 6 nodes left");
+        let t = a.alloc_outside(2, Some(&region)).unwrap();
+        assert_eq!(t.base(), 12);
+        assert_eq!(a.alloc_outside(1, Some(&region)).unwrap().base(), 10);
+        assert!(a.alloc_outside(0, Some(&region)).is_none());
+        assert!(
+            a.can_alloc(3),
+            "the reserved 3-block itself is still free for the head"
+        );
+        // Without a region the reservation is fair game.
+        assert_eq!(a.alloc_outside(3, None).unwrap().base(), 0);
+
+        // Pass 2: only a containing block is free. On a fresh cube,
+        // reserve the pair 0..2 and drain singles: every carve splits
+        // around the pair, never handing out node 0 or 1.
+        let mut b = BuddyAllocator::new(3);
+        let narrow = Subcube::aligned(0, 1);
+        let mut got = Vec::new();
+        while let Some(s) = b.alloc_outside(0, Some(&narrow)) {
+            got.push(s.base());
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3, 4, 5, 6, 7]);
+        assert!(b.can_alloc(1), "the reserved pair survives intact");
     }
 }

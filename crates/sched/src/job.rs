@@ -46,6 +46,14 @@ pub enum JobKernel {
         /// Replayable phases.
         phases: u32,
     },
+    /// Pure occupancy: every node of the partition sleeps for `dur` of
+    /// simulated time, touching no memory. The workhorse of synthetic
+    /// open-arrival streams — a job that holds its subcube for exactly
+    /// its service demand with no vector or link traffic.
+    Sleep {
+        /// How long each node holds its place.
+        dur: Dur,
+    },
 }
 
 impl JobKernel {
@@ -53,6 +61,7 @@ impl JobKernel {
     pub fn phases(&self) -> u32 {
         match *self {
             JobKernel::Saxpy { phases, .. } | JobKernel::AllReduce { phases } => phases,
+            JobKernel::Sleep { .. } => 1,
         }
     }
 
@@ -76,6 +85,7 @@ impl JobKernel {
                         mem.write_f64(2 * i, Sf64::from(seed)).unwrap();
                     }
                 }
+                JobKernel::Sleep { .. } => {}
             }
         }
     }
@@ -115,6 +125,9 @@ impl JobKernel {
                     mem.write_f64(2 * i, *v).unwrap();
                 }
             }),
+            JobKernel::Sleep { dur } => m.launch_subcube(sub, move |ctx| async move {
+                ctx.handle().sleep(dur).await;
+            }),
         }
     }
 
@@ -142,6 +155,7 @@ impl JobKernel {
                         out.push(mem.read_f64(2 * i).unwrap().to_host().to_bits());
                     }
                 }
+                JobKernel::Sleep { .. } => {}
             }
         }
         out
@@ -162,6 +176,7 @@ impl JobKernel {
             JobKernel::AllReduce { phases } => {
                 phases as u64 * nodes * AR_LEN as u64 * (dim as u64 + 1)
             }
+            JobKernel::Sleep { .. } => 0,
         }
     }
 }

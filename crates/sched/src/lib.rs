@@ -43,9 +43,11 @@
 
 mod buddy;
 mod job;
+mod service;
 
 pub use buddy::BuddyAllocator;
 pub use job::{JobKernel, JobSpec};
+pub use service::{ServiceCfg, ServiceReport, ServiceScheduler};
 
 use std::cmp::Reverse;
 
@@ -110,6 +112,12 @@ pub struct BatchReport {
     pub preemptions: u32,
     /// Total fault-driven re-allocations across the batch.
     pub reallocations: u32,
+    /// Priority-aging steps granted to waiting jobs (see
+    /// [`Scheduler::aging`]).
+    pub aging_promotions: u32,
+    /// Placements where a deadline pulled a job ahead of an
+    /// earlier-submitted job of equal effective priority.
+    pub edf_reorders: u32,
 }
 
 impl BatchReport {
@@ -142,12 +150,14 @@ impl BatchReport {
         let _ = writeln!(
             s,
             "makespan {:.1}us  mean wait {:.1}us  utilization {:.1}%  \
-             preemptions {}  reallocations {}",
+             preemptions {}  reallocations {}  promotions {}  edf {}",
             self.makespan.as_us_f64(),
             self.mean_wait.as_us_f64(),
             self.utilization * 100.0,
             self.preemptions,
-            self.reallocations
+            self.reallocations,
+            self.aging_promotions,
+            self.edf_reorders
         );
         s
     }
@@ -225,8 +235,24 @@ struct Job {
     run: Dur,
     /// When the current wait interval began (arrival or re-queue).
     queued_at: Time,
+    /// Priority-aging boost earned in the current wait interval; added
+    /// to the spec priority for ordering and preemption decisions.
+    boost: u32,
     done_at: Option<Time>,
     result: Vec<u64>,
+}
+
+/// A job's effective priority: spec priority plus its aging boost.
+fn eff_priority(job: &Job) -> u32 {
+    job.spec.priority + job.boost
+}
+
+/// Absolute-deadline sort key (ps since batch start); best-effort jobs
+/// sort after every deadline.
+fn deadline_key(job: &Job) -> u64 {
+    job.spec
+        .deadline
+        .map_or(u64::MAX, |d| (job.spec.submit_at + d).as_ps())
 }
 
 /// The space-sharing runtime. Construct with [`Scheduler::new`], tune
@@ -235,17 +261,42 @@ pub struct Scheduler {
     policy: Policy,
     quantum: Dur,
     stream_rate: f64,
+    aging: Option<(Dur, u32)>,
+    reserve_after: Dur,
 }
 
 impl Scheduler {
     /// A scheduler with the given queue policy, a 50 µs scheduling
-    /// quantum, and 1 MB/s checkpoint streaming (the module disk rate).
+    /// quantum, 1 MB/s checkpoint streaming (the module disk rate), no
+    /// priority aging, and a 1 ms backfill-reservation grace period.
     pub fn new(policy: Policy) -> Scheduler {
         Scheduler {
             policy,
             quantum: Dur::us(50),
             stream_rate: 1.0e6,
+            aging: None,
+            reserve_after: Dur::ms(1),
         }
+    }
+
+    /// How long the head of the queue must wait before it earns a
+    /// backfill reservation. Below the threshold later jobs backfill
+    /// greedily (maximum utilization for batches that drain on their
+    /// own); past it the head's block is fenced off so an open stream
+    /// of small jobs cannot starve a wide one.
+    pub fn reserve_after(mut self, d: Dur) -> Scheduler {
+        self.reserve_after = d;
+        self
+    }
+
+    /// Enable priority aging: a waiting job gains one priority level per
+    /// `period` spent in the queue, up to `max_boost` levels, so a
+    /// best-effort stream cannot be starved by a stream of urgent
+    /// arrivals. The boost resets whenever the job is placed.
+    pub fn aging(mut self, period: Dur, max_boost: u32) -> Scheduler {
+        assert!(!period.is_zero(), "aging period must be positive");
+        self.aging = Some((period, max_boost));
+        self
     }
 
     /// Scheduling granularity: phase boundaries, arrivals and faults are
@@ -300,10 +351,16 @@ impl Scheduler {
                 reallocations: 0,
                 wait: Dur::ZERO,
                 run: Dur::ZERO,
+                boost: 0,
                 done_at: None,
                 result: Vec::new(),
             })
             .collect();
+        let mut aging_promotions = 0u32;
+        let mut edf_reorders = 0u32;
+        // Backfill reservation: (head job id, the aligned block it is
+        // waiting to drain). Backfilled jobs are placed outside it.
+        let mut reservation: Option<(usize, Subcube)> = None;
 
         loop {
             let now = m.now();
@@ -359,6 +416,7 @@ impl Scheduler {
                         .inc();
                     job.preempt_requested = false;
                     job.queued_at = now;
+                    job.boost = 0;
                     // In-flight tasks of the lost phase stay parked on
                     // the retired nodes — harmless, never reused. The
                     // eviction-time delta (if any) died with the subcube:
@@ -402,6 +460,7 @@ impl Scheduler {
                         .inc();
                     job.preempt_requested = false;
                     job.queued_at = now;
+                    job.boost = 0;
                     job.state = State::Queued;
                 };
                 match kind {
@@ -465,9 +524,29 @@ impl Scheduler {
                 }
             }
 
-            // 3. Priority preemption: if the most urgent waiting job
+            // 3. Age waiting jobs: one priority level per period spent
+            //    queued, capped, so urgent streams cannot starve batch.
+            if let Some((period, max_boost)) = self.aging {
+                for job in jobs.iter_mut() {
+                    if matches!(job.state, State::Queued) && now >= job.queued_at {
+                        let steps = (now.since(job.queued_at).as_ps() / period.as_ps()) as u32;
+                        let b = steps.min(max_boost);
+                        if b > job.boost {
+                            aging_promotions += b - job.boost;
+                            job.boost = b;
+                        }
+                    }
+                }
+            }
+
+            // 4. Priority preemption: if the most urgent waiting job
             //    cannot be placed, ask the least important running job
-            //    (youngest on ties) to yield at its next boundary.
+            //    (youngest on ties) to yield at its next boundary. The
+            //    comparison uses *spec* priorities — an aging boost
+            //    moves a job up the queue but never grants it eviction
+            //    rights over its own class, else equal-priority jobs
+            //    under scarcity preempt each other in an endless
+            //    evict/resume cycle.
             let queued = queued_order(&jobs, now);
             if let Some(&cand) = queued.first() {
                 if !alloc.can_alloc(jobs[cand].spec.dim) {
@@ -485,12 +564,60 @@ impl Scheduler {
                 }
             }
 
-            // 4. Placement in queue order; Fcfs stops at the first job
-            //    that does not fit, backfill keeps scanning.
+            // 5. Backfill head reservation: when the head of the queue
+            //    cannot be placed, earmark the block it should wait for
+            //    and keep backfilled jobs out of it, so a wide job is
+            //    never starved by a stream of small ones. A head earns
+            //    its reservation only after waiting out the grace
+            //    period ([`Scheduler::reserve_after`]) — before that,
+            //    jobs that fit backfill greedily around it, which is
+            //    the whole point of the policy. Sticky while the same
+            //    head waits (the reserved block only drains); re-sited
+            //    if a condemned node poisons it.
+            if self.policy == Policy::FcfsBackfill {
+                match queued.first() {
+                    Some(&head)
+                        if !alloc.can_alloc(jobs[head].spec.dim)
+                            && now.since(jobs[head].queued_at) >= self.reserve_after =>
+                    {
+                        let stale = match &reservation {
+                            Some((owner, r)) => *owner != head || alloc.has_condemned_in(r),
+                            None => true,
+                        };
+                        if stale {
+                            reservation = alloc
+                                .best_reservation(jobs[head].spec.dim)
+                                .map(|r| (head, r));
+                        }
+                    }
+                    _ => reservation = None,
+                }
+            }
+
+            // 6. Placement in queue order; Fcfs stops at the first job
+            //    that does not fit, backfill keeps scanning but avoids
+            //    the head's reserved block.
             let mut placed_any = false;
-            for id in queued {
-                let placed = self.try_place(m, &mut alloc, &mut jobs[id], id, now);
+            let effs: Vec<(u32, usize)> = queued
+                .iter()
+                .map(|&id| (eff_priority(&jobs[id]), id))
+                .collect();
+            for (qi, &id) in queued.iter().enumerate() {
+                let region = if qi == 0 {
+                    None
+                } else {
+                    reservation.as_ref().map(|(_, r)| r.clone())
+                };
+                let placed = self.try_place(m, &mut alloc, &mut jobs[id], id, now, region.as_ref());
                 placed_any |= placed;
+                if placed {
+                    // A placement that jumped an earlier-submitted job of
+                    // equal effective priority is an EDF reorder.
+                    let (my_eff, _) = effs[qi];
+                    if effs[qi + 1..].iter().any(|&(e, o)| e == my_eff && o < id) {
+                        edf_reorders += 1;
+                    }
+                }
                 if !placed && self.policy == Policy::Fcfs {
                     break;
                 }
@@ -575,6 +702,8 @@ impl Scheduler {
             },
             preemptions: outcomes.iter().map(|j| j.preemptions).sum(),
             reallocations: outcomes.iter().map(|j| j.reallocations).sum(),
+            aging_promotions,
+            edf_reorders,
             jobs: outcomes,
         }
     }
@@ -589,14 +718,16 @@ impl Scheduler {
         job: &mut Job,
         id: usize,
         now: Time,
+        region: Option<&Subcube>,
     ) -> bool {
         if now < job.queued_at {
             return false; // not yet arrived
         }
-        let Some(sub) = alloc.alloc(job.spec.dim) else {
+        let Some(sub) = alloc.alloc_outside(job.spec.dim, region) else {
             return false;
         };
         job.wait += now.since(job.queued_at);
+        job.boost = 0;
         let gate = if let Some(images) = &job.images {
             let full_in: u64 = {
                 m.restore_subcube(&sub, images)
@@ -661,13 +792,21 @@ fn record_span(tracer: Option<&Tracer>, id: usize, start: Time, end: Time) {
     }
 }
 
-/// Waiting jobs eligible now or later, most urgent first (priority
-/// descending, then submission order).
+/// Waiting jobs eligible now, most urgent first: effective priority
+/// descending (spec priority plus aging boost), then earliest absolute
+/// deadline (EDF among equals; best-effort jobs last), then submission
+/// order.
 fn queued_order(jobs: &[Job], now: Time) -> Vec<usize> {
     let mut q: Vec<usize> = (0..jobs.len())
         .filter(|&id| matches!(jobs[id].state, State::Queued) && now >= jobs[id].queued_at)
         .collect();
-    q.sort_by_key(|&id| (Reverse(jobs[id].spec.priority), id));
+    q.sort_by_key(|&id| {
+        (
+            Reverse(eff_priority(&jobs[id])),
+            deadline_key(&jobs[id]),
+            id,
+        )
+    });
     q
 }
 
@@ -774,5 +913,138 @@ mod tests {
                 .render()
         };
         assert_eq!(run(), run(), "same batch must render byte-identically");
+    }
+
+    /// Satellite regression: under backfill, a wide job at the head of
+    /// the queue must not be starved by an open-ended stream of small
+    /// jobs. The head's reservation keeps backfill out of the block it
+    /// is waiting for, so it runs long before the stream drains.
+    #[test]
+    fn backfill_reservation_prevents_head_starvation() {
+        let mut specs = vec![JobSpec::new(
+            "wide",
+            3,
+            JobKernel::Saxpy {
+                phases: 1,
+                sweeps: 1,
+            },
+        )
+        .submit_at(Dur::us(60))];
+        // A dense stream of pair jobs: the first wave fills the 3-cube
+        // before the wide job arrives, and fresh arrivals land faster
+        // than jobs finish, so naive backfill would keep the wide head
+        // waiting long past the reservation grace period — and without
+        // the reservation it would run dead last.
+        for i in 0..60 {
+            specs.push(
+                JobSpec::new(
+                    &format!("s{i}"),
+                    1,
+                    JobKernel::Saxpy {
+                        phases: 1,
+                        sweeps: 6,
+                    },
+                )
+                .submit_at(Dur::us(40 * i)),
+            );
+        }
+        let mut m = Machine::build(cfg(3));
+        let rep = Scheduler::new(Policy::FcfsBackfill).run_batch(&mut m, specs, None);
+        let done_at = |j: &JobOutcome, spec_submit: Dur| spec_submit + j.turnaround;
+        let wide_done = done_at(&rep.jobs[0], Dur::us(60));
+        let later = rep.jobs[1..]
+            .iter()
+            .enumerate()
+            .filter(|(i, j)| done_at(j, Dur::us(40 * *i as u64)) > wide_done)
+            .count();
+        assert!(
+            later >= 15,
+            "wide head must finish well before the stream drains ({later} after it)"
+        );
+    }
+
+    #[test]
+    fn aging_lets_batch_overtake_an_urgent_stream() {
+        // One batch job queued behind a steady stream of *fresh* urgent
+        // arrivals on a 1-cube (one job at a time) — the classic
+        // starvation shape, since each new urgent job outranks the
+        // waiting batch job. Without aging the batch job runs dead
+        // last; with aging its boost eventually beats a fresh arrival
+        // and part of the stream finishes after it.
+        let build = |aging: Option<(Dur, u32)>| {
+            let mut specs = vec![JobSpec::new(
+                "batch",
+                1,
+                JobKernel::Saxpy {
+                    phases: 1,
+                    sweeps: 1,
+                },
+            )];
+            for i in 0..10 {
+                specs.push(
+                    JobSpec::new(
+                        &format!("u{i}"),
+                        1,
+                        JobKernel::Saxpy {
+                            phases: 1,
+                            sweeps: 1,
+                        },
+                    )
+                    .priority(5)
+                    .submit_at(Dur::us(100 * i)),
+                );
+            }
+            let mut m = Machine::build(cfg(1));
+            let mut s = Scheduler::new(Policy::Fcfs);
+            if let Some((p, b)) = aging {
+                s = s.aging(p, b);
+            }
+            s.run_batch(&mut m, specs, None)
+        };
+        let done = |jobs: &[JobOutcome]| -> Vec<Dur> {
+            jobs.iter()
+                .map(|j| {
+                    let submit = if j.id == 0 {
+                        Dur::ZERO
+                    } else {
+                        Dur::us(100 * (j.id as u64 - 1))
+                    };
+                    submit + j.turnaround
+                })
+                .collect()
+        };
+        let plain = build(None);
+        assert_eq!(plain.aging_promotions, 0);
+        let d = done(&plain.jobs);
+        assert!(
+            d[1..].iter().all(|&t| t <= d[0]),
+            "without aging the batch job finishes last"
+        );
+        let aged = build(Some((Dur::us(100), 8)));
+        assert!(aged.aging_promotions > 0, "waiting must earn promotions");
+        let d = done(&aged.jobs);
+        assert!(
+            d[1..].iter().any(|&t| t > d[0]),
+            "with aging the batch job must overtake part of the stream"
+        );
+    }
+
+    #[test]
+    fn edf_orders_equal_priority_jobs_by_deadline() {
+        // Three same-priority jobs with inverted deadline order on a
+        // 1-cube: placement must follow deadlines, not submission ids.
+        let specs = vec![
+            JobSpec::new("loose", 1, JobKernel::AllReduce { phases: 1 }).deadline(Dur::ms(30)),
+            JobSpec::new("mid", 1, JobKernel::AllReduce { phases: 1 }).deadline(Dur::ms(20)),
+            JobSpec::new("tight", 1, JobKernel::AllReduce { phases: 1 }).deadline(Dur::ms(10)),
+        ];
+        let mut m = Machine::build(cfg(1));
+        let rep = Scheduler::new(Policy::Fcfs).run_batch(&mut m, specs, None);
+        assert!(rep.edf_reorders > 0, "deadline order differs from id order");
+        let done: Vec<Dur> = rep.jobs.iter().map(|j| j.turnaround).collect();
+        assert!(
+            done[2] < done[1] && done[1] < done[0],
+            "completion must follow deadline order, got {done:?}"
+        );
     }
 }

@@ -1,0 +1,718 @@
+//! Open-arrival service front-end: admission queue, priority aging, EDF
+//! ordering and capacity accounting over a [`ts_workload::Trace`].
+//!
+//! The batch runtime in [`crate::Scheduler`] answers "how long does this
+//! fixed set of jobs take?"; a shared facility instead faces an *open*
+//! stream — jobs keep arriving whether or not the machine is keeping
+//! up, and the questions become *how long do arrivals wait*, *by how
+//! much are they slowed down*, and *what sustained throughput does the
+//! fleet hold at a given utilization*. [`ServiceScheduler`] answers
+//! those two ways:
+//!
+//! * [`ServiceScheduler::run`] — the **capacity path**: a machineless
+//!   discrete-event simulation of admission alone. Every arrival is
+//!   treated as an opaque reservation that holds an aligned subcube for
+//!   exactly its service demand, so millions of jobs stream through in
+//!   seconds while exercising the *real* [`BuddyAllocator`] and the
+//!   full admission policy. No `Machine` is built.
+//! * [`ServiceScheduler::run_on_machine`] — the **fidelity path**: the
+//!   same trace converted to [`JobSpec`]s (synthetic holds become
+//!   [`JobKernel::Sleep`]; kernel arrivals run real SAXPY/all-reduce
+//!   gangs) and driven through [`Scheduler::run_batch`] on a live
+//!   simulated machine, with the same aging and EDF policy.
+//!
+//! The admission policy, in order:
+//!
+//! 1. **Effective priority** = class priority + aging boost. A waiting
+//!    job gains one level per [`ServiceCfg::aging_period`] in the queue
+//!    (capped at [`ServiceCfg::max_boost`]), so a stream of urgent
+//!    arrivals cannot starve best-effort batch work.
+//! 2. **EDF among equals**: within one effective priority level, the
+//!    earliest absolute deadline goes first; best-effort jobs (no
+//!    deadline) go last, in arrival order.
+//! 3. **Reserved-head backfill**: when the head job does not fit, the
+//!    free-most aligned block of its size is reserved for it and later
+//!    arrivals may only be placed *outside* the reservation
+//!    ([`BuddyAllocator::alloc_outside`]), so small jobs soak up the
+//!    leftover nodes without ever postponing the head. The backfill
+//!    scan is bounded ([`ServiceCfg::backfill_scan`]) so admission work
+//!    per event stays O(1) under overload.
+//!
+//! Everything is deterministic: one seed pins the trace, and the event
+//! loop uses only ordered containers, so two runs of the same trace
+//! render byte-identical [`ServiceReport`]s.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use t_series_core::Machine;
+use ts_cube::Subcube;
+use ts_sim::{Dur, Histogram, MetricsRegistry};
+use ts_workload::{Trace, WorkKind};
+
+use crate::{BatchReport, BuddyAllocator, JobKernel, JobSpec, Policy, Scheduler};
+
+/// Admission-policy knobs for [`ServiceScheduler`].
+#[derive(Debug, Clone)]
+pub struct ServiceCfg {
+    /// Fleet dimension (`2^dim` nodes) for the capacity path.
+    pub dim: u32,
+    /// Queue time per aging promotion (one priority level each).
+    pub aging_period: Dur,
+    /// Cap on aging promotions per wait.
+    pub max_boost: u32,
+    /// Queued jobs examined per backfill pass behind a blocked head.
+    pub backfill_scan: usize,
+}
+
+impl ServiceCfg {
+    /// Defaults: 1 ms aging period, 4 levels of boost, 64-job backfill
+    /// scan window.
+    pub fn new(dim: u32) -> ServiceCfg {
+        ServiceCfg {
+            dim,
+            aging_period: Dur::ms(1),
+            max_boost: 4,
+            backfill_scan: 64,
+        }
+    }
+
+    /// Set the aging policy (period per promotion, max promotions).
+    pub fn aging(mut self, period: Dur, max_boost: u32) -> ServiceCfg {
+        assert!(!period.is_zero(), "aging period must be positive");
+        self.aging_period = period;
+        self.max_boost = max_boost;
+        self
+    }
+
+    /// Set the backfill scan window.
+    pub fn backfill_scan(mut self, n: usize) -> ServiceCfg {
+        self.backfill_scan = n;
+        self
+    }
+}
+
+/// What the service measured over one trace.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Fleet dimension the stream was served on.
+    pub dim: u32,
+    /// Arrivals admitted (every one completes; admission never drops).
+    pub jobs: u64,
+    /// Stream start to last completion.
+    pub makespan: Dur,
+    /// Mean time from arrival to placement.
+    pub mean_wait: Dur,
+    /// Median wait.
+    pub p50_wait: Dur,
+    /// 99th-percentile wait.
+    pub p99_wait: Dur,
+    /// Mean of `(wait + service) / service` per job.
+    pub mean_slowdown: f64,
+    /// 99th-percentile slowdown, in thousandths (1000 = no slowdown).
+    pub p99_slowdown_milli: u64,
+    /// Sustained completion rate over the makespan, jobs per simulated
+    /// second.
+    pub jobs_per_sec: f64,
+    /// Node-time held by jobs over `makespan × fleet nodes`.
+    pub utilization: f64,
+    /// Aging promotions granted while jobs waited.
+    pub aging_promotions: u64,
+    /// Placements where a deadline pulled a job ahead of an
+    /// earlier-arrived job of equal effective priority.
+    pub edf_reorders: u64,
+    /// Jobs that completed after their absolute deadline.
+    pub missed_deadlines: u64,
+    /// Per-class `(name, jobs, p50 wait, p99 wait, missed deadlines)`.
+    pub classes: Vec<(String, u64, Dur, Dur, u64)>,
+}
+
+impl ServiceReport {
+    /// Render as a fixed-width capacity report (deterministic: same
+    /// trace, same bytes).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "service dim {}: {} jobs in {:.3}ms  ({:.0} jobs/s, utilization {:.1}%)",
+            self.dim,
+            self.jobs,
+            self.makespan.as_us_f64() / 1e3,
+            self.jobs_per_sec,
+            self.utilization * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "wait mean {:.1}us p50 {:.1}us p99 {:.1}us  slowdown mean {:.3} p99 {:.3}",
+            self.mean_wait.as_us_f64(),
+            self.p50_wait.as_us_f64(),
+            self.p99_wait.as_us_f64(),
+            self.mean_slowdown,
+            self.p99_slowdown_milli as f64 / 1e3
+        );
+        let _ = writeln!(
+            s,
+            "promotions {}  edf reorders {}  missed deadlines {}",
+            self.aging_promotions, self.edf_reorders, self.missed_deadlines
+        );
+        for (name, jobs, p50, p99, missed) in &self.classes {
+            let _ = writeln!(
+                s,
+                "  class {:<10} {:>8} jobs  wait p50 {:>9.1}us p99 {:>9.1}us  missed {}",
+                name,
+                jobs,
+                p50.as_us_f64(),
+                p99.as_us_f64(),
+                missed
+            );
+        }
+        s
+    }
+
+    /// Record the report under `service/...` in a metrics registry.
+    pub fn record(&self, reg: &MetricsRegistry) {
+        let scope = reg.scope("service");
+        scope.counter("jobs").add(self.jobs);
+        scope
+            .counter("makespan_us")
+            .add(self.makespan.as_ns() / 1_000);
+        scope
+            .counter("p50_wait_us")
+            .add(self.p50_wait.as_ns() / 1_000);
+        scope
+            .counter("p99_wait_us")
+            .add(self.p99_wait.as_ns() / 1_000);
+        scope.counter("promotions").add(self.aging_promotions);
+        scope.counter("edf_reorders").add(self.edf_reorders);
+        scope.counter("missed_deadlines").add(self.missed_deadlines);
+    }
+}
+
+/// Event tags; at one timestamp, completions are processed before
+/// promotions so freed nodes are visible to every placement decision
+/// made at that instant.
+const EV_COMPLETE: u8 = 0;
+const EV_PROMOTE: u8 = 1;
+
+/// Per-effective-priority wait queue: EDF order for picking, arrival
+/// order for detecting when a deadline jumped the FIFO.
+#[derive(Default)]
+struct Bucket {
+    /// `(absolute deadline ps, seq)` — pick order.
+    by_dl: BTreeSet<(u64, u32)>,
+    /// `seq` — FIFO order, for EDF-reorder detection.
+    by_seq: BTreeSet<u32>,
+}
+
+/// One admitted job's mutable state on the capacity path.
+struct Slot {
+    /// Aging boost earned so far.
+    boost: u32,
+    /// Still waiting?
+    queued: bool,
+    /// Subcube held while running (for release at completion).
+    sub: Option<Subcube>,
+}
+
+/// The admission front-end. Construct with [`ServiceScheduler::new`].
+pub struct ServiceScheduler {
+    cfg: ServiceCfg,
+}
+
+impl ServiceScheduler {
+    /// A service with the given admission configuration.
+    pub fn new(cfg: ServiceCfg) -> ServiceScheduler {
+        ServiceScheduler { cfg }
+    }
+
+    /// Serve `trace` on the capacity path: admission + buddy allocation
+    /// only, every job an opaque hold of its service demand. Handles
+    /// millions of arrivals; deterministic to the byte.
+    pub fn run(&self, trace: &Trace) -> ServiceReport {
+        let dim = self.cfg.dim;
+        assert!(
+            trace.max_dim() <= dim,
+            "trace contains a job wider than the {dim}-cube fleet"
+        );
+        let n = trace.len();
+        let arrivals = &trace.arrivals;
+        let mut alloc = BuddyAllocator::new(dim);
+        // Min-heap of (time ps, tag, seq).
+        let mut events: BinaryHeap<Reverse<(u64, u8, u32)>> = BinaryHeap::new();
+        let mut buckets: BTreeMap<u32, Bucket> = BTreeMap::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(n);
+        // Reservation for a blocked head: (head seq, its block).
+        let mut reservation: Option<(u32, Subcube)> = None;
+
+        let mut stats = StreamStats::new(trace);
+        let mut next_arrival = 0usize;
+        let aging_on = self.cfg.max_boost > 0;
+
+        while next_arrival < n || !events.is_empty() {
+            // The next instant anything happens.
+            let ta = arrivals
+                .get(next_arrival)
+                .map(|a| a.at.as_ps())
+                .unwrap_or(u64::MAX);
+            let te = events.peek().map(|Reverse(e)| e.0).unwrap_or(u64::MAX);
+            let now = ta.min(te);
+
+            // Admit every arrival at this instant.
+            while next_arrival < n && arrivals[next_arrival].at.as_ps() == now {
+                let seq = next_arrival as u32;
+                let a = &arrivals[next_arrival];
+                slots.push(Slot {
+                    boost: 0,
+                    queued: true,
+                    sub: None,
+                });
+                let dl = a.deadline.map_or(u64::MAX, |d| (a.at + d).as_ps());
+                let b = buckets.entry(a.priority).or_default();
+                b.by_dl.insert((dl, seq));
+                b.by_seq.insert(seq);
+                if aging_on {
+                    events.push(Reverse((
+                        now + self.cfg.aging_period.as_ps(),
+                        EV_PROMOTE,
+                        seq,
+                    )));
+                }
+                next_arrival += 1;
+            }
+
+            // Process every event at this instant (completions first).
+            while let Some(&Reverse((t, tag, seq))) = events.peek() {
+                if t != now {
+                    break;
+                }
+                events.pop();
+                let a = &arrivals[seq as usize];
+                match tag {
+                    EV_COMPLETE => {
+                        let sub = slots[seq as usize]
+                            .sub
+                            .take()
+                            .expect("completing job holds");
+                        alloc.release(&sub);
+                        stats.complete(seq, now, a);
+                    }
+                    _ => {
+                        // Promotion: still waiting → one level up.
+                        let slot = &mut slots[seq as usize];
+                        if slot.queued {
+                            let old = a.priority + slot.boost;
+                            let dl = a.deadline.map_or(u64::MAX, |d| (a.at + d).as_ps());
+                            let b = buckets.get_mut(&old).expect("queued job has a bucket");
+                            b.by_dl.remove(&(dl, seq));
+                            b.by_seq.remove(&seq);
+                            if b.by_dl.is_empty() {
+                                buckets.remove(&old);
+                            }
+                            slot.boost += 1;
+                            stats.promotions += 1;
+                            let b = buckets.entry(old + 1).or_default();
+                            b.by_dl.insert((dl, seq));
+                            b.by_seq.insert(seq);
+                            if slot.boost < self.cfg.max_boost {
+                                events.push(Reverse((
+                                    t + self.cfg.aging_period.as_ps(),
+                                    EV_PROMOTE,
+                                    seq,
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Placement. First the head (highest bucket, EDF order),
+            // repeatedly while it fits.
+            loop {
+                let Some((&eff, b)) = buckets.iter().next_back() else {
+                    reservation = None;
+                    break;
+                };
+                let &(_, seq) = b.by_dl.iter().next().expect("bucket is never empty");
+                let fifo = *b.by_seq.iter().next().expect("bucket is never empty");
+                let a = &arrivals[seq as usize];
+                let Some(sub) = alloc.alloc(a.dim) else {
+                    // Blocked head: reserve the block it should drain
+                    // into, sticky while the same head waits.
+                    if reservation.as_ref().map(|&(o, _)| o) != Some(seq) {
+                        reservation = alloc.best_reservation(a.dim).map(|r| (seq, r));
+                    }
+                    break;
+                };
+                if seq != fifo {
+                    stats.edf_reorders += 1;
+                }
+                remove_queued(
+                    &mut buckets,
+                    eff,
+                    a.deadline.map_or(u64::MAX, |d| (a.at + d).as_ps()),
+                    seq,
+                );
+                start(
+                    &mut slots[seq as usize],
+                    sub,
+                    seq,
+                    now,
+                    a,
+                    &mut stats,
+                    &mut events,
+                );
+            }
+
+            // Backfill behind a blocked head: bounded scan of the rest
+            // of the queue, placing only outside the reservation.
+            if let Some((head, region)) = reservation.clone() {
+                let mut picked: Vec<(u32, u32, u64, Subcube)> = Vec::new();
+                let mut scanned = 0usize;
+                'scan: for (&eff, b) in buckets.iter().rev() {
+                    for &(dl, seq) in b.by_dl.iter() {
+                        if seq == head {
+                            continue;
+                        }
+                        if scanned >= self.cfg.backfill_scan {
+                            break 'scan;
+                        }
+                        scanned += 1;
+                        let a = &arrivals[seq as usize];
+                        if let Some(sub) = alloc.alloc_outside(a.dim, Some(&region)) {
+                            picked.push((seq, eff, dl, sub));
+                        }
+                    }
+                }
+                for (seq, eff, dl, sub) in picked {
+                    remove_queued(&mut buckets, eff, dl, seq);
+                    let a = &arrivals[seq as usize];
+                    start(
+                        &mut slots[seq as usize],
+                        sub,
+                        seq,
+                        now,
+                        a,
+                        &mut stats,
+                        &mut events,
+                    );
+                }
+            }
+        }
+
+        stats.finish(dim, trace)
+    }
+
+    /// Serve `trace` on the fidelity path: every arrival becomes a
+    /// [`JobSpec`] (synthetic holds run [`JobKernel::Sleep`], kernel
+    /// arrivals run real gangs) driven through [`Scheduler::run_batch`]
+    /// on `m` under backfill + the same aging policy. Returns the raw
+    /// batch report alongside the service view of it.
+    pub fn run_on_machine(&self, m: &mut Machine, trace: &Trace) -> (BatchReport, ServiceReport) {
+        let specs: Vec<JobSpec> = trace
+            .arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let kernel = match a.work {
+                    WorkKind::Synthetic => JobKernel::Sleep { dur: a.service },
+                    WorkKind::Saxpy { phases, sweeps } => JobKernel::Saxpy { phases, sweeps },
+                    WorkKind::AllReduce { phases } => JobKernel::AllReduce { phases },
+                };
+                let mut s = JobSpec::new(&format!("a{i}"), a.dim, kernel)
+                    .priority(a.priority)
+                    .submit_at(a.at);
+                if let Some(d) = a.deadline {
+                    s = s.deadline(d);
+                }
+                s
+            })
+            .collect();
+        let dim = m.cube.dim();
+        let rep = Scheduler::new(Policy::FcfsBackfill)
+            .aging(self.cfg.aging_period, self.cfg.max_boost)
+            .run_batch(m, specs, None);
+        let svc = service_view(dim, trace, &rep);
+        (rep, svc)
+    }
+}
+
+/// Remove a queued job from its bucket, dropping the bucket when empty.
+fn remove_queued(buckets: &mut BTreeMap<u32, Bucket>, eff: u32, dl: u64, seq: u32) {
+    let b = buckets.get_mut(&eff).expect("queued job has a bucket");
+    b.by_dl.remove(&(dl, seq));
+    b.by_seq.remove(&seq);
+    if b.by_dl.is_empty() {
+        buckets.remove(&eff);
+    }
+}
+
+/// Transition a job to running: record its wait, schedule completion.
+fn start(
+    slot: &mut Slot,
+    sub: Subcube,
+    seq: u32,
+    now: u64,
+    a: &ts_workload::Arrival,
+    stats: &mut StreamStats,
+    events: &mut BinaryHeap<Reverse<(u64, u8, u32)>>,
+) {
+    slot.queued = false;
+    slot.sub = Some(sub);
+    stats.place(seq, now, a);
+    events.push(Reverse((now + a.service.as_ps().max(1), EV_COMPLETE, seq)));
+}
+
+/// Streaming accumulation of the service metrics.
+struct StreamStats {
+    wait_us: Histogram,
+    slowdown_milli: Histogram,
+    class_wait_us: Vec<Histogram>,
+    class_jobs: Vec<u64>,
+    class_missed: Vec<u64>,
+    sum_wait_ps: u128,
+    sum_slowdown: f64,
+    busy_node_ps: u128,
+    completed: u64,
+    last_completion_ps: u64,
+    promotions: u64,
+    edf_reorders: u64,
+    missed: u64,
+}
+
+impl StreamStats {
+    fn new(trace: &Trace) -> StreamStats {
+        StreamStats {
+            wait_us: Histogram::new(),
+            slowdown_milli: Histogram::new(),
+            class_wait_us: trace.classes.iter().map(|_| Histogram::new()).collect(),
+            class_jobs: vec![0; trace.classes.len()],
+            class_missed: vec![0; trace.classes.len()],
+            sum_wait_ps: 0,
+            sum_slowdown: 0.0,
+            busy_node_ps: 0,
+            completed: 0,
+            last_completion_ps: 0,
+            promotions: 0,
+            edf_reorders: 0,
+            missed: 0,
+        }
+    }
+
+    fn place(&mut self, _seq: u32, now: u64, a: &ts_workload::Arrival) {
+        let wait_ps = now - a.at.as_ps();
+        let wait_us = wait_ps / 1_000_000;
+        self.wait_us.observe(wait_us);
+        self.class_wait_us[a.class as usize].observe(wait_us);
+        self.class_jobs[a.class as usize] += 1;
+        self.sum_wait_ps += wait_ps as u128;
+        let service = a.service.as_ps().max(1);
+        let slowdown_milli = ((wait_ps as u128 + service as u128) * 1000 / service as u128) as u64;
+        self.slowdown_milli.observe(slowdown_milli);
+        self.sum_slowdown += slowdown_milli as f64 / 1e3;
+        self.busy_node_ps += (service as u128) << a.dim;
+    }
+
+    fn complete(&mut self, _seq: u32, now: u64, a: &ts_workload::Arrival) {
+        self.completed += 1;
+        self.last_completion_ps = self.last_completion_ps.max(now);
+        if a.deadline.is_some_and(|d| now > (a.at + d).as_ps()) {
+            self.missed += 1;
+            self.class_missed[a.class as usize] += 1;
+        }
+    }
+
+    fn finish(self, dim: u32, trace: &Trace) -> ServiceReport {
+        let makespan_ps = self.last_completion_ps;
+        let makespan_s = makespan_ps as f64 / 1e12;
+        let n = self.completed.max(1);
+        let classes = trace
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.clone(),
+                    self.class_jobs[i],
+                    Dur::us(self.class_wait_us[i].quantile(0.5)),
+                    Dur::us(self.class_wait_us[i].quantile(0.99)),
+                    self.class_missed[i],
+                )
+            })
+            .collect();
+        ServiceReport {
+            dim,
+            jobs: self.completed,
+            makespan: Dur::ps(makespan_ps),
+            mean_wait: Dur::ps((self.sum_wait_ps / n as u128) as u64),
+            p50_wait: Dur::us(self.wait_us.quantile(0.5)),
+            p99_wait: Dur::us(self.wait_us.quantile(0.99)),
+            mean_slowdown: self.sum_slowdown / n as f64,
+            p99_slowdown_milli: self.slowdown_milli.quantile(0.99),
+            jobs_per_sec: if makespan_s > 0.0 {
+                self.completed as f64 / makespan_s
+            } else {
+                0.0
+            },
+            utilization: if makespan_ps > 0 {
+                self.busy_node_ps as f64 / (makespan_ps as f64 * (1u64 << dim) as f64)
+            } else {
+                0.0
+            },
+            aging_promotions: self.promotions,
+            edf_reorders: self.edf_reorders,
+            missed_deadlines: self.missed,
+            classes,
+        }
+    }
+}
+
+/// Build the service view of a machine-path batch report.
+fn service_view(dim: u32, trace: &Trace, rep: &BatchReport) -> ServiceReport {
+    let mut stats = StreamStats::new(trace);
+    for (j, a) in rep.jobs.iter().zip(trace.arrivals.iter()) {
+        let place_ps = a.at.as_ps() + j.wait.as_ps();
+        stats.place(j.id, place_ps, a);
+        let done_ps = a.at.as_ps() + j.turnaround.as_ps();
+        stats.complete(j.id, done_ps, a);
+    }
+    stats.promotions = rep.aging_promotions as u64;
+    stats.edf_reorders = rep.edf_reorders as u64;
+    // The batch path's busy time is measured (includes gates), not the
+    // nominal service demand; recompute utilization from the report.
+    let mut svc = stats.finish(dim, trace);
+    svc.utilization = rep.utilization;
+    svc.makespan = rep.makespan;
+    svc.jobs_per_sec = if rep.makespan.as_secs_f64() > 0.0 {
+        rep.jobs.len() as f64 / rep.makespan.as_secs_f64()
+    } else {
+        0.0
+    };
+    svc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_workload::{Dist, TraceGen};
+
+    fn gen(dim: u32, load: f64, n: usize) -> Trace {
+        // Size the arrival rate for the requested offered load.
+        let g = TraceGen::new(99)
+            .sizes(&[(1, 0.6), (2, 0.3), (3, 0.1)])
+            .service(Dist::Exp { mean: 1e-4 })
+            .classes("batch", 0.8, 0, None)
+            .class("urgent", 0.2, 3, Some(30.0));
+        let unit = g
+            .clone()
+            .interarrival(Dist::Fixed(1.0))
+            .offered_load(dim)
+            .unwrap();
+        g.interarrival(Dist::Exp { mean: unit / load }).generate(n)
+    }
+
+    #[test]
+    fn open_stream_completes_every_job_and_is_deterministic() {
+        let trace = gen(6, 0.8, 20_000);
+        let svc = ServiceScheduler::new(ServiceCfg::new(6).aging(Dur::us(500), 4));
+        let a = svc.run(&trace);
+        let b = svc.run(&trace);
+        assert_eq!(a.render(), b.render(), "same trace must render identically");
+        assert_eq!(a.jobs, 20_000);
+        assert!(
+            a.utilization > 0.5 && a.utilization < 1.0,
+            "{}",
+            a.utilization
+        );
+        assert!(a.aging_promotions > 0, "waiting batch jobs must age");
+        assert!(a.edf_reorders > 0, "deadlines must reorder some picks");
+    }
+
+    #[test]
+    fn light_load_waits_little_heavy_load_waits_long() {
+        let light = ServiceScheduler::new(ServiceCfg::new(6)).run(&gen(6, 0.3, 10_000));
+        let heavy = ServiceScheduler::new(ServiceCfg::new(6)).run(&gen(6, 0.95, 10_000));
+        assert!(
+            heavy.p99_wait > light.p99_wait,
+            "p99 wait must grow with load: {:?} vs {:?}",
+            light.p99_wait,
+            heavy.p99_wait
+        );
+        assert!(heavy.utilization > light.utilization);
+        assert!(heavy.mean_slowdown >= light.mean_slowdown);
+    }
+
+    #[test]
+    fn machine_path_agrees_with_capacity_path_on_occupancy() {
+        // A short all-synthetic trace: both paths serve it; the machine
+        // path is quantum-grained so waits differ, but both complete
+        // every job and see comparable utilization.
+        let trace = TraceGen::new(17)
+            .interarrival(Dist::Exp { mean: 2e-4 })
+            .service(Dist::Exp { mean: 3e-4 })
+            .sizes(&[(0, 0.5), (1, 0.5)])
+            .generate(60);
+        let svc = ServiceScheduler::new(ServiceCfg::new(2).aging(Dur::ms(1), 2));
+        let fast = svc.run(&trace);
+        let mut m = Machine::build(t_series_core::MachineCfg::cube_small_mem(2, 8));
+        let (rep, slow) = svc.run_on_machine(&mut m, &trace);
+        assert_eq!(fast.jobs, 60);
+        assert_eq!(slow.jobs, 60);
+        assert_eq!(rep.jobs.len(), 60);
+        let ratio = slow.utilization / fast.utilization.max(1e-12);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "utilizations should be comparable: fast {} machine {}",
+            fast.utilization,
+            slow.utilization
+        );
+    }
+
+    #[test]
+    fn wide_head_is_not_starved_by_an_open_stream() {
+        // A dim-3 job arrives early into a dim-3 fleet saturated by an
+        // endless stream of dim-0/1 jobs. The reservation must get it
+        // placed long before the stream drains.
+        let mut trace = Trace::new();
+        let stream = trace.class("stream");
+        let wide = trace.class("wide");
+        for i in 0..500u64 {
+            trace.push(ts_workload::Arrival {
+                at: Dur::us(20 * i),
+                dim: (i % 2) as u32,
+                priority: 0,
+                class: stream,
+                work: WorkKind::Synthetic,
+                service: Dur::us(120),
+                deadline: None,
+            });
+            if i == 10 {
+                trace.push(ts_workload::Arrival {
+                    at: Dur::us(20 * i + 1),
+                    dim: 3,
+                    priority: 0,
+                    class: wide,
+                    work: WorkKind::Synthetic,
+                    service: Dur::us(100),
+                    deadline: None,
+                });
+            }
+        }
+        let rep = ServiceScheduler::new(ServiceCfg::new(3)).run(&trace);
+        assert_eq!(rep.jobs, 501);
+        // The stream oversubscribes the fleet (load > 1), so stream
+        // waits grow without bound — but the wide job's wait is bounded
+        // by the drain of its reserved block, not by the stream length.
+        let (_, n, wide_wait, _, _) = rep.classes[wide as usize].clone();
+        assert_eq!(n, 1);
+        assert!(
+            wide_wait < Dur::ms(1),
+            "wide job waited {wide_wait:?}: reservation failed to protect it"
+        );
+        let (_, _, stream_p50, _, _) = rep.classes[stream as usize].clone();
+        assert!(
+            stream_p50 > wide_wait,
+            "overloaded stream should wait longer than the reserved head"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Acceptance test for the open-arrival service: a million-job dim-10
+//! stream is served deterministically, with the aging and EDF policies
+//! both demonstrably active.
+//!
+//! The full-size run is gated to release builds (`cargo test --release
+//! -p ts-sched`); debug tier-1 runs a scaled-down replica of the same
+//! assertions.
+
+use ts_sched::{ServiceCfg, ServiceScheduler};
+use ts_sim::Dur;
+use ts_workload::{Dist, Trace, TraceGen};
+
+/// Build the reference open-arrival trace: mostly narrow jobs with an
+/// occasional wide lattice job (the wide tail is what makes a large
+/// fleet queue), exponential service, a batch class plus an urgent
+/// class with a 30x-slowdown deadline, arrival rate tuned to the
+/// target offered load.
+fn stream(seed: u64, dim: u32, load: f64, n: usize) -> Trace {
+    let top = dim.saturating_sub(2).max(1);
+    let full = [
+        (0u32, 0.1),
+        (1, 0.48),
+        (2, 0.25),
+        (3, 0.1),
+        (4, 0.04),
+        (6, 0.02),
+        (8, 0.01),
+    ];
+    let sizes: Vec<(u32, f64)> = full.iter().copied().filter(|&(d, _)| d <= top).collect();
+    let g = TraceGen::new(seed)
+        .sizes(&sizes)
+        .service(Dist::Exp { mean: 1e-4 })
+        .classes("batch", 0.75, 0, None)
+        .class("urgent", 0.25, 3, Some(30.0));
+    let unit = g
+        .clone()
+        .interarrival(Dist::Fixed(1.0))
+        .offered_load(dim)
+        .expect("sized generator reports offered load");
+    g.interarrival(Dist::Exp { mean: unit / load }).generate(n)
+}
+
+fn assert_served(dim: u32, load: f64, n: usize) {
+    let trace = stream(1986, dim, load, n);
+    let svc = ServiceScheduler::new(ServiceCfg::new(dim).aging(Dur::us(500), 4));
+    let a = svc.run(&trace);
+    let b = svc.run(&trace);
+
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "same trace must produce a byte-identical capacity report"
+    );
+    assert_eq!(a.jobs, n as u64, "admission never drops an arrival");
+    assert!(
+        a.aging_promotions > 0,
+        "a loaded stream must exercise priority aging"
+    );
+    assert!(
+        a.edf_reorders > 0,
+        "urgent deadlines must pull at least one job forward"
+    );
+    assert!(
+        a.utilization > 0.3 && a.utilization < 1.0,
+        "utilization {} out of range for load {load}",
+        a.utilization
+    );
+    assert!(a.makespan > Dur::ps(0) && a.jobs_per_sec > 0.0);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "1M-job stream; run with `cargo test --release -p ts-sched`"
+)]
+fn a_million_job_stream_is_served_deterministically() {
+    assert_served(10, 0.85, 1_000_000);
+}
+
+#[test]
+fn a_small_stream_is_served_deterministically() {
+    assert_served(6, 0.85, 20_000);
+}

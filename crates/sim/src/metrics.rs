@@ -229,6 +229,31 @@ impl Histogram {
         }
         u64::MAX
     }
+
+    /// Point estimate of the `q`-quantile (`q` in `[0, 1]`): the bucket
+    /// holding the rank-`⌈q·n⌉` sample, interpolated linearly through the
+    /// bucket's `[lo, hi)` value range under a uniform-within-bucket
+    /// assumption. Tighter than [`Histogram::quantile_bound`] (which
+    /// always reports `hi`), and exact for buckets 0 and 1 where the
+    /// range is a single value. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let h = self.0.borrow();
+        if h.total == 0 {
+            return 0;
+        }
+        let rank = ((h.total as f64 * q).ceil() as u64).clamp(1, h.total);
+        let mut seen = 0u64;
+        for (b, &c) in h.counts.iter().enumerate() {
+            if seen + c >= rank {
+                let (lo, hi) = Self::bucket_range(b);
+                // Position of the rank within this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            seen += c;
+        }
+        u64::MAX
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -706,5 +731,44 @@ mod tests {
         assert_eq!(h.quantile_bound(0.5), 16);
         assert_eq!(h.quantile_bound(1.0), 1 << 21);
         assert_eq!(Histogram::new().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(10); // bucket 4, range [8, 16)
+        }
+        // All mass in one bucket: p50 sits at rank 50 of 100, i.e. half
+        // way through [8, 16) under the uniform assumption.
+        assert_eq!(h.quantile(0.5), 12);
+        assert_eq!(h.quantile(1.0), 16);
+        // Point estimate never exceeds the bound.
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert!(h.quantile(q) <= h.quantile_bound(q));
+        }
+        // Exact buckets (0 and 1) interpolate to their single value.
+        let z = Histogram::new();
+        z.observe(0);
+        z.observe(1);
+        assert_eq!(z.quantile(0.5), 1); // rank 1 is the 0 sample → hi of [0,1)
+        assert_eq!(z.quantile(1.0), 2);
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_spreads_across_buckets() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // p50 of 1..=1000 is ~500; the log₂ estimate lands in [256,512)
+        // or [512,1024) depending on rounding — either way within 2× of
+        // the true median, which is the histogram's resolution promise.
+        let p50 = h.quantile(0.5);
+        assert!((250..=1024).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= h.quantile(0.5));
+        assert!(p99 <= h.quantile_bound(0.99));
     }
 }

@@ -1,0 +1,45 @@
+//! # ts-workload — open-arrival workload traces for the T Series
+//!
+//! The machines this repo reproduces were run as shared facilities: the
+//! Columbia 16K-node lattice engine and the PMS "Poor Man's
+//! Supercomputer" both fed long queues of jobs through partitioned
+//! subcubes, around the clock. That workload shape — an *open* stream
+//! of arrivals, not a fixed batch — is what this crate generates:
+//!
+//! * [`Dist`] — deterministic sampling distributions (exponential for
+//!   Poisson streams, Pareto/lognormal for heavy tails, fixed/uniform
+//!   for calibration), built on the workspace's seeded xorshift RNG;
+//! * [`Trace`] / [`Arrival`] / [`WorkKind`] — the replayable trace: one
+//!   record per arriving job (offset, subcube order, priority class,
+//!   service demand, deadline, and what to run), serializable to a text
+//!   format whose `Display` and [`Trace::parse`] are exact inverses;
+//! * [`TraceGen`] — the seeded builder that turns an arrival process, a
+//!   job-size mix and a set of priority/deadline classes into a trace
+//!   of any length, deterministically.
+//!
+//! The admission side — queueing the arrivals against a live machine,
+//! aging priorities, EDF ordering, capacity reporting — lives in
+//! `ts-sched`'s `service` module; this crate is deliberately free of
+//! scheduler and machine dependencies so traces can be generated,
+//! parsed and inspected anywhere.
+//!
+//! ```
+//! use ts_workload::{Dist, TraceGen, Trace};
+//!
+//! let gen = TraceGen::new(42)
+//!     .interarrival(Dist::Exp { mean: 1e-4 })     // Poisson, 10k jobs/s
+//!     .sizes(&[(1, 0.7), (3, 0.3)])               // mostly pair jobs
+//!     .classes("batch", 0.8, 0, None)
+//!     .class("urgent", 0.2, 3, Some(25.0));       // deadline = 25× runtime
+//! let trace = gen.generate(1_000);
+//! // The text form round-trips exactly.
+//! assert_eq!(Trace::parse(&trace.to_string()).unwrap(), trace);
+//! ```
+
+mod dist;
+mod gen;
+mod trace;
+
+pub use dist::Dist;
+pub use gen::TraceGen;
+pub use trace::{Arrival, Trace, TraceParseError, WorkKind};

@@ -21,6 +21,7 @@
 //! | [`machine`] | `t-series-core` | modules, system ring, disks, snapshots, collectives |
 //! | [`kernels`] | `ts-kernels` | distributed matmul, FFT, LU, bitonic sort, stencil |
 //! | [`sched`] | `ts-sched` | space-sharing job scheduler: buddy subcubes, preemption, accounting |
+//! | [`workload`] | `ts-workload` | open-arrival trace generator: Poisson/heavy-tailed streams, size and deadline classes |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure and quantitative claim.
@@ -52,3 +53,4 @@ pub use ts_node as node;
 pub use ts_sched as sched;
 pub use ts_sim as sim;
 pub use ts_vec as vector;
+pub use ts_workload as workload;

@@ -1,0 +1,102 @@
+//! Open-arrival service acceptance: replayable trace text, deterministic
+//! admission and capacity reporting, and the fidelity path that replays
+//! a kernel-mix stream on a live simulated machine.
+
+use fps_t_series::machine::{Machine, MachineCfg};
+use fps_t_series::sched::{ServiceCfg, ServiceScheduler};
+use fps_t_series::workload::{Dist, Trace, TraceGen};
+use ts_sim::Dur;
+
+fn small(dim: u32) -> MachineCfg {
+    MachineCfg::cube_small_mem(dim, 8)
+}
+
+/// A mixed two-class generator at a target offered load, using the
+/// generator's own load estimate to set the arrival rate. Mostly
+/// narrow jobs plus a wide tail (capped at `dim - 2`) so the fleet
+/// actually queues.
+fn gen_at(seed: u64, dim: u32, load: f64, kernels: f64) -> TraceGen {
+    let top = dim.saturating_sub(2).max(1);
+    let full = [(0u32, 0.2), (1, 0.45), (2, 0.25), (3, 0.07), (4, 0.03)];
+    let sizes: Vec<(u32, f64)> = full.iter().copied().filter(|&(d, _)| d <= top).collect();
+    let g = TraceGen::new(seed)
+        .sizes(&sizes)
+        .service(Dist::Exp { mean: 1e-4 })
+        .classes("batch", 0.7, 0, None)
+        .class("urgent", 0.3, 3, Some(30.0))
+        .kernel_fraction(kernels);
+    let unit = g
+        .clone()
+        .interarrival(Dist::Fixed(1.0))
+        .offered_load(dim)
+        .expect("sized generator reports offered load");
+    g.interarrival(Dist::Exp { mean: unit / load })
+}
+
+/// Trace text round-trips: `Display` then `parse` reproduces the
+/// arrivals, classes, and work kinds exactly.
+#[test]
+fn trace_text_round_trips() {
+    let trace = gen_at(7, 5, 0.8, 0.25).generate(500);
+    let text = trace.to_string();
+    let back = Trace::parse(&text).expect("rendered trace parses");
+    assert_eq!(
+        back.to_string(),
+        text,
+        "Display/parse must be a fixed point"
+    );
+    assert_eq!(back.len(), trace.len());
+    assert_eq!(back.max_dim(), trace.max_dim());
+    assert_eq!(back.span(), trace.span());
+}
+
+/// The capacity path admits every arrival, reports byte-identical
+/// results across runs, and exercises both aging and EDF on a loaded
+/// stream.
+#[test]
+fn capacity_path_is_deterministic_and_complete() {
+    let trace = gen_at(42, 6, 0.85, 0.0).generate(20_000);
+    let svc = ServiceScheduler::new(ServiceCfg::new(6).aging(Dur::us(500), 4));
+    let a = svc.run(&trace);
+    let b = svc.run(&trace);
+    assert_eq!(a.render(), b.render(), "capacity report must be replayable");
+    assert_eq!(a.jobs, 20_000, "admission never drops an arrival");
+    assert!(a.aging_promotions > 0, "aging must fire under load");
+    assert!(a.edf_reorders > 0, "deadlines must reorder at least once");
+    assert!(a.p99_wait >= a.p50_wait && a.p50_wait >= Dur::ps(0));
+    assert!(a.mean_slowdown >= 1.0, "slowdown is wait-inclusive");
+}
+
+/// Heavier offered load must not improve the p99 wait: the envelope
+/// bends the right way.
+#[test]
+fn p99_wait_grows_with_offered_load() {
+    let light = gen_at(11, 6, 0.5, 0.0).generate(10_000);
+    let heavy = gen_at(11, 6, 0.95, 0.0).generate(10_000);
+    let svc = ServiceScheduler::new(ServiceCfg::new(6).aging(Dur::us(500), 4));
+    let lo = svc.run(&light);
+    let hi = svc.run(&heavy);
+    assert!(
+        hi.p99_wait >= lo.p99_wait,
+        "p99 wait shrank under heavier load: {:?} -> {:?}",
+        lo.p99_wait,
+        hi.p99_wait
+    );
+}
+
+/// The fidelity path replays a kernel-mix stream on a live machine:
+/// every job completes and both reports agree on the job count.
+#[test]
+fn machine_path_serves_a_kernel_mix_stream() {
+    let trace = gen_at(3, 3, 0.6, 0.4).generate(60);
+    let svc = ServiceScheduler::new(ServiceCfg::new(3).aging(Dur::us(500), 4));
+    let mut m = Machine::build(small(3));
+    let (batch, service) = svc.run_on_machine(&mut m, &trace);
+    assert_eq!(batch.jobs.len(), 60);
+    assert_eq!(service.jobs, 60);
+    assert!(service.utilization > 0.0);
+    assert!(service.makespan >= trace.span());
+    // Both classes must appear in the per-class breakdown.
+    let names: Vec<&str> = service.classes.iter().map(|c| c.0.as_str()).collect();
+    assert!(names.contains(&"batch") && names.contains(&"urgent"));
+}

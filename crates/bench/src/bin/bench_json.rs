@@ -45,10 +45,11 @@ use std::process::ExitCode;
 
 use t_series_core::{Machine, MachineCfg};
 use ts_bench::report::{
-    annotate_scale_pre, checkpoint_full_rate_row, checkpoint_probe, checkpoint_regressions,
-    collective_probe, counter_microbench, kernel_rows, regressions, scale_probe, scale_regressions,
-    scale_to_json, sched_probe, service_capacity_row, service_machine_row, service_probe,
-    service_regressions, service_to_json, ScaleRow, ServiceRow,
+    annotate_parallel_speedup, annotate_scale_pre, checkpoint_full_rate_row, checkpoint_probe,
+    checkpoint_regressions, collective_probe, counter_microbench, kernel_rows, parallel_probe,
+    parallel_regressions, parallel_to_json, parallel_trace_json, regressions, scale_probe,
+    scale_regressions, scale_to_json, sched_probe, service_capacity_row, service_machine_row,
+    service_probe, service_regressions, service_to_json, ParallelRow, ScaleRow, ServiceRow,
 };
 use ts_bench::BenchReport;
 
@@ -59,6 +60,9 @@ fn usage() -> ! {
          \x20                 [--scale-baseline PATH] [--scale-pre PATH]\n\
          \x20                 [--service-dims LIST] [--service-jobs N] [--service-only]\n\
          \x20                 [--service-out PATH] [--service-baseline PATH]\n\
+         \x20                 [--parallel-dims LIST] [--parallel-shards LIST]\n\
+         \x20                 [--parallel-only] [--parallel-out PATH]\n\
+         \x20                 [--parallel-baseline PATH] [--parallel-trace PATH]\n\
          \n\
          --out PATH            where to write the JSON report (default BENCH_7.json)\n\
          --baseline PATH       fail (exit 2) if any kernel regresses >20% vs this\n\
@@ -78,7 +82,17 @@ fn usage() -> ! {
          --service-only        run only the service probe (skip everything else;\n\
          \x20                     also skips the 1M-job and kernel-mix rows)\n\
          --service-out PATH    also write the service section as a standalone JSON doc\n\
-         --service-baseline PATH fail (exit 2) on >20% jobs/sec drop vs this report"
+         --service-baseline PATH fail (exit 2) on >20% jobs/sec drop vs this report\n\
+         --parallel-dims LIST  cube dims for the parallel-backend probe (default 12;\n\
+         \x20                     dims >= 13 use the full sublink budget)\n\
+         --parallel-shards LIST shard counts per dim (default 1,2,4,8; each must\n\
+         \x20                     be a power of two with dim - log2(shards) >= 3)\n\
+         --parallel-only       run only the parallel probe (skip everything else)\n\
+         --parallel-out PATH   write the parallel section as a standalone JSON doc\n\
+         --parallel-baseline PATH fail (exit 2) on >20% events/sec drop vs the\n\
+         \x20                     matching (dim, shards) row of this report\n\
+         --parallel-trace PATH write a Perfetto trace of the lockstep rounds from\n\
+         \x20                     the largest (dim, shards) probe point"
     );
     std::process::exit(64);
 }
@@ -128,6 +142,41 @@ fn service_gate(rows: &[ServiceRow], base_path: &std::path::Path) -> Option<Exit
     None
 }
 
+/// Run the parallel-backend probe over the (dims × shards) grid. The trace
+/// is recorded on the last grid point (the largest machine).
+fn run_parallel_grid(
+    dims: &[u32],
+    shards: &[u32],
+    want_trace: bool,
+) -> (Vec<ParallelRow>, Vec<t_series_core::parallel::ShardRound>) {
+    let mut rows = Vec::new();
+    let mut trace_rounds = Vec::new();
+    let points = dims.len() * shards.len();
+    let mut i = 0;
+    for &dim in dims {
+        for &s in shards {
+            i += 1;
+            let record = want_trace && i == points;
+            println!(
+                "parallel probe: dim {dim} ({} nodes) x {s} shard{}...",
+                1u64 << dim,
+                if s == 1 { "" } else { "s" }
+            );
+            let (row, rounds) = parallel_probe(dim, s, record);
+            println!(
+                "  run {:.2}s  sim {:.4}s  {} events  {:.0} events/s  ({} host cores)",
+                row.wall_s, row.sim_s, row.events, row.events_per_sec, row.host_cores
+            );
+            rows.push(row);
+            if record {
+                trace_rounds = rounds;
+            }
+        }
+    }
+    annotate_parallel_speedup(&mut rows);
+    (rows, trace_rounds)
+}
+
 fn run_scale(dims: &[u32]) -> Vec<ScaleRow> {
     let mut rows = Vec::new();
     for &dim in dims {
@@ -168,6 +217,12 @@ fn main() -> ExitCode {
     let mut service_only = false;
     let mut service_out: Option<PathBuf> = None;
     let mut service_baseline: Option<PathBuf> = None;
+    let mut parallel_dims: Vec<u32> = vec![12];
+    let mut parallel_shards: Vec<u32> = vec![1, 2, 4, 8];
+    let mut parallel_only = false;
+    let mut parallel_out: Option<PathBuf> = None;
+    let mut parallel_baseline: Option<PathBuf> = None;
+    let mut parallel_trace: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -208,8 +263,81 @@ fn main() -> ExitCode {
             "--service-baseline" => {
                 service_baseline = Some(args.next().unwrap_or_else(|| usage()).into())
             }
+            "--parallel-dims" => {
+                parallel_dims = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|d| d.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--parallel-shards" => {
+                parallel_shards = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|d| d.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--parallel-only" => parallel_only = true,
+            "--parallel-out" => parallel_out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--parallel-baseline" => {
+                parallel_baseline = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
+            "--parallel-trace" => {
+                parallel_trace = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
             _ => usage(),
         }
+    }
+
+    if parallel_only {
+        println!("probing the parallel backend...");
+        let (rows, rounds) =
+            run_parallel_grid(&parallel_dims, &parallel_shards, parallel_trace.is_some());
+        if let Some(path) = &parallel_out {
+            if let Err(e) = std::fs::write(path, parallel_to_json(&rows)) {
+                eprintln!("FAIL: cannot write {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        if let Some(path) = &parallel_trace {
+            if let Err(e) = std::fs::write(path, parallel_trace_json(&rounds)) {
+                eprintln!("FAIL: cannot write trace {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+            println!(
+                "wrote Perfetto trace {} ({} lockstep rounds)",
+                path.display(),
+                rounds.len()
+            );
+        }
+        if let Some(base_path) = &parallel_baseline {
+            let base = match std::fs::read_to_string(base_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("FAIL: cannot read baseline {}: {e}", base_path.display());
+                    return ExitCode::from(1);
+                }
+            };
+            let bad = parallel_regressions(&rows, &base, 0.20);
+            if !bad.is_empty() {
+                eprintln!(
+                    "FAIL: parallel-backend throughput regressed vs {}:",
+                    base_path.display()
+                );
+                for line in &bad {
+                    eprintln!("  {line}");
+                }
+                return ExitCode::from(2);
+            }
+            println!(
+                "no parallel row regressed >20% events/sec vs {}",
+                base_path.display()
+            );
+        }
+        return ExitCode::SUCCESS;
     }
 
     if service_only {

@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use t_series_core::checkpoint::{CheckpointStore, SnapshotMode};
+use t_series_core::parallel as ts_core_parallel;
 use t_series_core::{collectives, Machine, MachineCfg, NODE_PEAK_MFLOPS};
 use ts_fpu::Sf64;
 use ts_node::CombineOp;
@@ -132,6 +133,40 @@ pub struct ScaleRow {
     pub pre_events_per_sec: f64,
     /// `events_per_sec / pre_events_per_sec` (0.0 without a reference).
     pub speedup_vs_pre: f64,
+}
+
+/// Parallel-backend throughput at one `(dim, shards)` point: the same
+/// allreduce workload as [`scale_probe`], run on the sharded executor.
+/// Results are bit-identical to sequential at every shard count (the
+/// digest tests pin that), so the only thing this row measures is speed —
+/// and `host_cores` records how much hardware parallelism the measurement
+/// actually had available, so a 1-core container's flat numbers read as
+/// what they are.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Cube dimension.
+    pub dim: u32,
+    /// Node count (`2^dim`).
+    pub nodes: u64,
+    /// Shard (thread) count.
+    pub shards: u32,
+    /// Workload identifier.
+    pub workload: String,
+    /// Host seconds for the whole run, build included (shards build their
+    /// slices concurrently, so build cannot be split out as in
+    /// [`ScaleRow`]).
+    pub wall_s: f64,
+    /// Virtual seconds simulated.
+    pub sim_s: f64,
+    /// Timer events processed, summed across shards.
+    pub events: u64,
+    /// Executor throughput: `events / wall_s`.
+    pub events_per_sec: f64,
+    /// `events_per_sec` relative to the 1-shard row of the same dim
+    /// (0.0 until [`annotate_parallel_speedup`] fills it in).
+    pub speedup_vs_1shard: f64,
+    /// Host cores available to the process during the measurement.
+    pub host_cores: u32,
 }
 
 /// One checkpoint-I/O measurement: the simulated time a staged
@@ -556,6 +591,82 @@ pub fn scale_probe(dim: u32, full_batch: bool) -> ScaleRow {
     }
 }
 
+/// The parallel-backend scaling probe: the [`scale_probe`] allreduce at
+/// one `(dim, shards)` point. Dims 13 and up need the full sublink budget
+/// ([`MachineCfg::cube_max`]); below that the standard small-memory cube
+/// keeps the rows comparable with the sequential scale section. Returns
+/// the row plus the recorded lockstep rounds (for the Perfetto trace).
+pub fn parallel_probe(
+    dim: u32,
+    shards: u32,
+    record_rounds: bool,
+) -> (ParallelRow, Vec<ts_core_parallel::ShardRound>) {
+    let cfg = if dim >= 13 {
+        MachineCfg::cube_max(dim)
+    } else {
+        MachineCfg::cube_small_mem(dim, 8)
+    };
+    let mut pcfg = ts_core_parallel::ParallelCfg::new(shards);
+    pcfg.record_rounds = record_rounds;
+    let cube = t_series_core::Hypercube::new(dim);
+    let t0 = Instant::now();
+    let run = ts_core_parallel::run_parallel(cfg, &pcfg, move |ctx| async move {
+        let id = ctx.id();
+        let mine = vec![
+            Sf64::from(id as f64),
+            Sf64::from(1.0 / (1.0 + id as f64)),
+            Sf64::from((id % 17) as f64 * 0.5),
+            Sf64::from(1.0),
+        ];
+        collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(
+        run.quiescent,
+        "parallel allreduce stalled at dim {dim}, {shards} shards"
+    );
+    for r in &run.results {
+        assert!(r.is_some(), "allreduce result missing");
+    }
+    let row = ParallelRow {
+        dim,
+        nodes: cube.nodes() as u64,
+        shards,
+        workload: "allreduce".to_string(),
+        wall_s,
+        sim_s: run.final_time.as_secs_f64(),
+        events: run.events,
+        events_per_sec: run.events as f64 / wall_s.max(1e-9),
+        speedup_vs_1shard: 0.0,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1),
+    };
+    (row, run.rounds)
+}
+
+/// Fill each row's `speedup_vs_1shard` from the 1-shard row of the same
+/// `(dim, workload)` in the slice, when present.
+pub fn annotate_parallel_speedup(rows: &mut [ParallelRow]) {
+    let ones: Vec<(u32, String, f64)> = rows
+        .iter()
+        .filter(|r| r.shards == 1)
+        .map(|r| (r.dim, r.workload.clone(), r.events_per_sec))
+        .collect();
+    for r in rows {
+        if let Some((_, _, one)) = ones
+            .iter()
+            .find(|(d, w, _)| *d == r.dim && *w == r.workload)
+        {
+            r.speedup_vs_1shard = if *one > 0.0 {
+                r.events_per_sec / one
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
 /// Time `iters` increments through a pre-registered [`ts_sim::Counter`]
 /// handle and through the legacy string-keyed [`Metrics`] map. The handle
 /// is the hot path: a plain `Cell` bump, no lookup, no allocation. A
@@ -872,6 +983,106 @@ pub fn annotate_scale_pre(rows: &mut [ScaleRow], pre_json: &str) {
             };
         }
     }
+}
+
+/// Render parallel rows as a standalone JSON document (the `parallel`
+/// section of `BENCH_8.json`, and the CI scale-parallel lane's output).
+pub fn parallel_to_json(rows: &[ParallelRow]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"ts-bench-parallel/1\",\n  \"parallel\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dim\": {}, \"nodes\": {}, \"shards\": {}, \
+             \"workload\": \"{}\", \"wall_s\": {:.3}, \"sim_s\": {:.6}, \
+             \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"speedup_vs_1shard\": {:.2}, \"host_cores\": {}}}{}\n",
+            r.dim,
+            r.nodes,
+            r.shards,
+            r.workload,
+            r.wall_s,
+            r.sim_s,
+            r.events,
+            r.events_per_sec,
+            r.speedup_vs_1shard,
+            r.host_cores,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pull `(dim, shards, workload, events_per_sec)` rows back out of a JSON
+/// document carrying a parallel section. Scans line-by-line like
+/// [`parse_kernels`].
+pub fn parse_parallel(json: &str) -> Vec<(u32, u32, String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let dim = json_num(line, "dim")? as u32;
+            let shards = json_num(line, "shards")? as u32;
+            let workload = json_str(line, "workload")?;
+            let eps = json_num(line, "events_per_sec")?;
+            Some((dim, shards, workload, eps))
+        })
+        .collect()
+}
+
+/// Compare parallel rows against a baseline document: one line per
+/// `(dim, shards, workload)` row whose events/sec fell below
+/// `(1 - tolerance) ×` the baseline figure. Rows present on only one side
+/// are ignored, like [`scale_regressions`]. The gate is one-sided: faster
+/// hosts never fail it.
+pub fn parallel_regressions(
+    current: &[ParallelRow],
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let base = parse_parallel(baseline_json);
+    let mut out = Vec::new();
+    for r in current {
+        if let Some((_, _, _, was)) = base
+            .iter()
+            .find(|(d, s, w, _)| *d == r.dim && *s == r.shards && *w == r.workload)
+        {
+            let floor = was * (1.0 - tolerance);
+            if r.events_per_sec < floor {
+                out.push(format!(
+                    "parallel dim {} x{} shards ({}): {:.0} events/s < {:.0} (baseline {:.0} - {:.0}%)",
+                    r.dim,
+                    r.shards,
+                    r.workload,
+                    r.events_per_sec,
+                    floor,
+                    was,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render recorded lockstep rounds as a Chrome/Perfetto trace-event JSON
+/// document: one track (tid) per shard, one complete event per macro
+/// round, with the virtual instant and event/envelope counts as args.
+pub fn parallel_trace_json(rounds: &[ts_core_parallel::ShardRound]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rounds.iter().enumerate() {
+        s.push_str(&format!(
+            "{{\"name\": \"T={}ps\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \
+             \"ts\": {:.3}, \"dur\": {:.3}, \
+             \"args\": {{\"events\": {}, \"envelopes\": {}}}}}{}\n",
+            r.at_ps,
+            r.shard,
+            r.wall_start_ns as f64 / 1e3,
+            (r.wall_end_ns - r.wall_start_ns) as f64 / 1e3,
+            r.events,
+            r.envelopes,
+            if i + 1 < rounds.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n");
+    s
 }
 
 /// Pull `(dim, mem, full_snapshot_s, delta_snapshot_s)` tuples back out

@@ -35,13 +35,16 @@ pub mod checkpoint;
 pub mod collectives;
 pub mod fault;
 pub mod model;
+pub mod parallel;
+pub mod report;
 pub mod router;
 pub mod supervisor;
 pub mod system;
 
 use std::fmt;
 
-use ts_cube::{Hypercube, NodeId, Subcube, SublinkBudget};
+pub use ts_cube::Hypercube;
+use ts_cube::{NodeId, Subcube, SublinkBudget};
 use ts_link::{LinkChannel, Wire};
 use ts_node::{Node, NodeCfg, NodeCtx};
 use ts_sim::{Dur, JoinHandle, Metrics, MetricsRegistry, RunReport, Sim, SimHandle, Time};
@@ -73,6 +76,16 @@ impl MachineCfg {
             budget: SublinkBudget::default(),
             disk_rate: 1.0e6, // 1 MB/s Winchester-class disk
         }
+    }
+
+    /// A cube with **all** board-level sublinks ganged for cube dimensions:
+    /// the paper's full-machine budget, reaching the 14-cube (16,384 nodes)
+    /// by giving up the spare I/O sublinks that the default budget reserves.
+    /// Uses small per-node memory so host RAM survives the node count.
+    pub fn cube_max(dim: u32) -> MachineCfg {
+        let mut cfg = MachineCfg::cube_small_mem(dim, 4);
+        cfg.budget = SublinkBudget { system: 2, io: 0 };
+        cfg
     }
 
     /// Same cube but with reduced per-node memory (large machines on small
@@ -498,23 +511,30 @@ impl Machine {
     pub fn metrics(&self) -> Metrics {
         let total = Metrics::new();
         for n in &self.nodes {
-            total.merge(n.metrics());
-            let mt = n.meters();
-            total.add("cp.instrs", mt.cp_instrs.get());
-            total.add_time("cp.busy", mt.cp_busy.get());
-            total.add("cp.gathered", mt.cp_gathered.get());
-            total.add("cp.scattered", mt.cp_scattered.get());
-            total.add_time("port.cp", mt.port_cp.get());
-            total.add("vec.flops", mt.vec_flops.get());
-            total.add_time("vec.busy", mt.vec_busy.get());
-            total.add("mem.rows_moved", mt.rows_moved.get());
-            total.add("link.words_sent", mt.link_words_sent.get());
-            total.add("link.words_recv", mt.link_words_recv.get());
-            total.add("link.retransmits", mt.link_retransmits.get());
-            total.add("link.crc_errors", mt.link_crc_errors.get());
-            total.add("link.escalations", mt.link_escalations.get());
+            Machine::fold_node_metrics(&total, n);
         }
         total
+    }
+
+    /// Fold one node's counters into a legacy-keyed bundle — the shared
+    /// kernel of [`Machine::metrics`] and the parallel backend's per-shard
+    /// partials (one loop, so the two can never drift apart).
+    pub(crate) fn fold_node_metrics(total: &Metrics, n: &Node) {
+        total.merge(n.metrics());
+        let mt = n.meters();
+        total.add("cp.instrs", mt.cp_instrs.get());
+        total.add_time("cp.busy", mt.cp_busy.get());
+        total.add("cp.gathered", mt.cp_gathered.get());
+        total.add("cp.scattered", mt.cp_scattered.get());
+        total.add_time("port.cp", mt.port_cp.get());
+        total.add("vec.flops", mt.vec_flops.get());
+        total.add_time("vec.busy", mt.vec_busy.get());
+        total.add("mem.rows_moved", mt.rows_moved.get());
+        total.add("link.words_sent", mt.link_words_sent.get());
+        total.add("link.words_recv", mt.link_words_recv.get());
+        total.add("link.retransmits", mt.link_retransmits.get());
+        total.add("link.crc_errors", mt.link_crc_errors.get());
+        total.add("link.escalations", mt.link_escalations.get());
     }
 
     /// Achieved MFLOPS across the machine for the elapsed simulated time.
@@ -562,171 +582,50 @@ impl Machine {
     /// control-processor busy fractions, flops, and link traffic. The kind
     /// of post-mortem the machine's system software would print.
     pub fn utilization_report(&self) -> String {
-        use std::fmt::Write;
-        let total = self.now().as_secs_f64();
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:>5} {:>8} {:>8} {:>12} {:>12} {:>12}",
-            "node", "vec%", "cp%", "flops", "sent B", "recv B"
-        );
+        self.report_data().render()
+    }
+
+    /// Capture everything [`Machine::utilization_report`] prints as plain
+    /// `Send` data. The parallel backend captures one of these per shard and
+    /// merges them in shard order; rendering the merged capture reproduces
+    /// the sequential report byte for byte.
+    pub fn report_data(&self) -> report::ReportData {
+        let n = self.nodes.len();
+        let mut data = report::ReportData {
+            now_ps: self.now().as_ps(),
+            peak_mflops: self.cfg.specs().peak_mflops,
+            rows: Vec::with_capacity(n),
+            vec_len: Vec::with_capacity(n),
+            latency: Vec::with_capacity(n),
+            flaps: Vec::with_capacity(n),
+            ..report::ReportData::default()
+        };
         for node in &self.nodes {
             let m = node.metrics();
             let mt = node.meters();
-            let vecb = mt.vec_busy.get().as_secs_f64();
-            let cpb = mt.cp_busy.get().as_secs_f64();
-            let pct = |b: f64| if total > 0.0 { b / total * 100.0 } else { 0.0 };
-            let _ = writeln!(
-                out,
-                "{:>5} {:>7.1}% {:>7.1}% {:>12} {:>12} {:>12}",
-                node.id,
-                pct(vecb),
-                pct(cpb),
-                mt.vec_flops.get(),
-                m.get("link.bytes_sent"),
-                m.get("link.bytes_recv"),
-            );
+            data.rows.push(report::NodeRow {
+                id: node.id,
+                vec_busy_ps: mt.vec_busy.get().as_ps(),
+                cp_busy_ps: mt.cp_busy.get().as_ps(),
+                vec_flops: mt.vec_flops.get(),
+                sent_b: m.get("link.bytes_sent"),
+                recv_b: m.get("link.bytes_recv"),
+            });
+            data.vec_len.push(report::HistSnapshot::of(&mt.vec_len));
+            data.latency
+                .push(report::HistSnapshot::of(&mt.link_latency_ns));
+            data.flaps.push(report::HistSnapshot::of(&mt.link_flap_us));
         }
-        let _ = writeln!(
-            out,
-            "total: {:.3} ms simulated, {:.2} MFLOPS achieved of {:.0} peak",
-            total * 1e3,
-            self.achieved_mflops(),
-            self.cfg.specs().peak_mflops
-        );
-        // Histogram aggregation: merge the per-node distributions the hot
-        // paths observed into machine-wide summaries.
-        let vec_len = merge_hists(self.nodes.iter().map(|n| n.meters().vec_len.clone()));
-        if vec_len.total > 0 {
-            let _ = writeln!(
-                out,
-                "vector ops: {} issued, mean length {:.0}, p99 length ≤ {}",
-                vec_len.total,
-                vec_len.mean,
-                vec_len.quantile_bound(0.99),
-            );
-        }
-        let lat = merge_hists(
-            self.nodes
-                .iter()
-                .map(|n| n.meters().link_latency_ns.clone()),
-        );
-        if lat.total > 0 {
-            let _ = writeln!(
-                out,
-                "link messages: {} delivered, mean latency {:.1} µs, p99 ≤ {:.1} µs",
-                lat.total,
-                lat.mean / 1e3,
-                lat.quantile_bound(0.99) as f64 / 1e3,
-            );
-        }
-        // Fault and recovery story, when there is one: faults injected,
-        // how the fabric and collectives coped, and what the supervisor's
-        // healing cost.
         let m = self.metrics();
-        // Reliable-transport story: retransmissions absorbed below the
-        // routing layer, and the flap outages that drove some of them.
-        let retrans = m.get("link.retransmits");
-        let crc = m.get("link.crc_errors");
-        let escal = m.get("link.escalations");
-        if retrans + crc + escal > 0 {
-            let _ = writeln!(
-                out,
-                "transport: {retrans} flits retransmitted, {crc} CRC errors, \
-                 {escal} links condemned",
-            );
-        }
-        let flaps = merge_hists(self.nodes.iter().map(|n| n.meters().link_flap_us.clone()));
-        if flaps.total > 0 {
-            let _ = writeln!(
-                out,
-                "link flaps: {} outages, mean {:.0} µs, p99 ≤ {} µs",
-                flaps.total,
-                flaps.mean,
-                flaps.quantile_bound(0.99),
-            );
-        }
-        let faults = m.get("fault.link_down")
-            + m.get("fault.node_crash")
-            + m.get("fault.mem_flip")
-            + m.get("fault.wire_corrupt")
-            + m.get("fault.flit_drop")
-            + m.get("fault.link_flap");
-        let coped = m.get("router.reroutes")
-            + m.get("router.retries")
-            + m.get("router.dropped")
-            + m.get("collective.retries")
-            + m.get("collective.deadline_expired")
-            + m.get("fault.scrubbed_words");
-        let healed = m.get("supervisor.reboots") + m.get("supervisor.snapshots");
-        if faults + coped + healed > 0 {
-            let _ = writeln!(
-                out,
-                "faults: {} link down, {} node crash, {} mem flip; \
-                 {} scrubbed words",
-                m.get("fault.link_down"),
-                m.get("fault.node_crash"),
-                m.get("fault.mem_flip"),
-                m.get("fault.scrubbed_words"),
-            );
-            let transient =
-                m.get("fault.wire_corrupt") + m.get("fault.flit_drop") + m.get("fault.link_flap");
-            if transient > 0 {
-                let _ = writeln!(
-                    out,
-                    "transient faults: {} wire corrupt, {} flit drop, {} link flap",
-                    m.get("fault.wire_corrupt"),
-                    m.get("fault.flit_drop"),
-                    m.get("fault.link_flap"),
-                );
-            }
-            let _ = writeln!(
-                out,
-                "router: {} reroutes, {} retries, {} dropped; \
-                 collectives: {} retries, {} deadline expiries",
-                m.get("router.reroutes"),
-                m.get("router.retries"),
-                m.get("router.dropped"),
-                m.get("collective.retries"),
-                m.get("collective.deadline_expired"),
-            );
-            if healed > 0 {
-                let _ = writeln!(
-                    out,
-                    "recovery: {} snapshots, {} reboots, {:.3} ms rework",
-                    m.get("supervisor.snapshots"),
-                    m.get("supervisor.reboots"),
-                    m.get_time("supervisor.rework").as_secs_f64() * 1e3,
-                );
-            }
-        }
-        // Checkpoint I/O: what the snapshot subsystem cost this run.
-        let disk_busy: f64 = self
+        data.counters = m.counters();
+        data.durations = m.durations();
+        data.disk_busy_ps = self
             .boards
             .iter()
-            .map(|b| b.disk.busy_total().as_secs_f64())
-            .sum();
-        let ring_bytes: u64 = self.boards.iter().map(|b| b.ring_bytes()).sum();
-        let ckpt_full = m.get("ckpt.full");
-        let ckpt_delta = m.get("ckpt.delta");
-        let torn = m.get("ckpt.torn_aborts");
-        if disk_busy > 0.0 || ckpt_full + ckpt_delta + torn > 0 {
-            let streamed = m.get("ckpt.bytes_streamed");
-            let full_equiv = m.get("ckpt.bytes_full_equiv");
-            let delta_ratio = if full_equiv > 0 {
-                streamed as f64 / full_equiv as f64 * 100.0
-            } else {
-                100.0
-            };
-            let _ = writeln!(
-                out,
-                "checkpoint I/O: {ckpt_full} full + {ckpt_delta} delta commits, \
-                 {streamed} B streamed ({delta_ratio:.1}% of full), \
-                 disk busy {:.3} ms, ring {ring_bytes} B, {torn} torn aborts",
-                disk_busy * 1e3,
-            );
-        }
-        out
+            .map(|b| b.disk.busy_total().as_ps())
+            .collect();
+        data.ring_bytes = self.boards.iter().map(|b| b.ring_bytes()).collect();
+        data
     }
 
     /// Take a coordinated snapshot of every node's memory through the
@@ -1145,51 +1044,6 @@ impl FaultInjector<'_> {
             status.set_up();
         });
         self.m.nodes[module * 8].metrics().inc("fault.ring_flap");
-    }
-}
-
-/// A machine-wide merge of per-node histogram distributions.
-struct MergedHist {
-    total: u64,
-    mean: f64,
-    counts: [u64; ts_sim::metrics::HIST_BUCKETS],
-}
-
-impl MergedHist {
-    /// Upper bound of the bucket containing the `q`-quantile.
-    fn quantile_bound(&self, q: f64) -> u64 {
-        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target && c > 0 {
-                return ts_sim::Histogram::bucket_range(i).1;
-            }
-        }
-        ts_sim::Histogram::bucket_range(ts_sim::metrics::HIST_BUCKETS - 1).1
-    }
-}
-
-fn merge_hists(hists: impl Iterator<Item = ts_sim::Histogram>) -> MergedHist {
-    let mut counts = [0u64; ts_sim::metrics::HIST_BUCKETS];
-    let mut total = 0u64;
-    let mut weighted = 0.0f64;
-    for h in hists {
-        for (acc, c) in counts.iter_mut().zip(h.counts()) {
-            *acc += c;
-        }
-        let t = h.total();
-        total += t;
-        weighted += h.mean() * t as f64;
-    }
-    MergedHist {
-        total,
-        mean: if total > 0 {
-            weighted / total as f64
-        } else {
-            0.0
-        },
-        counts,
     }
 }
 

@@ -547,6 +547,148 @@ fn put_done(done: OneShot<Time>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shard-boundary channels (parallel backend)
+// ---------------------------------------------------------------------------
+
+/// One leg of the three-leg cross-shard transfer protocol.
+///
+/// When a sublink's two endpoints live on different simulation shards the
+/// CSP rendezvous is replayed as plain-data messages: the sender posts
+/// `Data` when it commits; the receiver answers with `Request`, carrying
+/// its link engine's free watermark and the framed duration; the sender's
+/// shard computes the joint slot exactly as [`Resource::reserve_pair`]
+/// would — `start = max(now, tx_free, rx_free)` — books its half, and
+/// returns `Grant` so the receiver can book the other half. All three legs
+/// travel at the same virtual instant (the lockstep driver's global `T`),
+/// so fault-free timing and accounting stay bit-identical to the
+/// sequential rendezvous.
+#[derive(Debug)]
+pub enum BoundaryLeg {
+    /// Sender → receiver: payload, posted at the sender's commit instant.
+    Data {
+        /// Payload words (ownership moves across the thread boundary).
+        words: Vec<u32>,
+        /// Sender commit instant (post-DMA-startup), picoseconds.
+        sent_at_ps: u64,
+    },
+    /// Receiver → sender: ask for the joint wire slot.
+    Request {
+        /// Receiving link engine's `busy_until` watermark, picoseconds.
+        rx_free_ps: u64,
+        /// Framed wire occupancy of the payload, picoseconds.
+        dur_ps: u64,
+        /// Payload bytes (for the sender-side byte/flit tallies).
+        bytes: u64,
+    },
+    /// Sender → receiver: the granted `[start, end]` slot.
+    Grant {
+        /// Slot start, picoseconds.
+        start_ps: u64,
+        /// Slot end, picoseconds.
+        end_ps: u64,
+    },
+}
+
+impl BoundaryLeg {
+    /// Fixed ordering rank used by the determinism tiebreak: a `Data` leg
+    /// of a given sequence number is always ingested before the `Request`
+    /// it provokes, and `Request` before `Grant`.
+    fn rank(&self) -> u8 {
+        match self {
+            BoundaryLeg::Data { .. } => 0,
+            BoundaryLeg::Request { .. } => 1,
+            BoundaryLeg::Grant { .. } => 2,
+        }
+    }
+}
+
+/// A cross-shard protocol message. Plain `Send` data — no `Rc`, no waker —
+/// so it can ride an inter-thread queue between shard runtimes.
+#[derive(Debug)]
+pub struct BoundaryEnvelope {
+    /// Virtual instant the envelope was posted, picoseconds. Under the
+    /// lockstep driver every envelope of one delta round carries the same
+    /// instant; it leads the sort key so the ordering rule reads
+    /// "timestamp, then stable edge/sequence id".
+    pub at_ps: u64,
+    /// Stable directed-edge id: `(transmitting node id << 6) | dimension`.
+    pub edge: u64,
+    /// Per-edge message sequence number.
+    pub seq: u64,
+    /// Destination shard (routing hint for the lockstep driver).
+    pub to_shard: u32,
+    /// Protocol leg.
+    pub leg: BoundaryLeg,
+}
+
+impl BoundaryEnvelope {
+    /// Deterministic ingestion order: timestamp, then directed edge, then
+    /// sequence number, then protocol-leg rank. Total and stable across
+    /// shard counts — the cross-shard event-ordering rule of DESIGN.md §5i.
+    pub fn sort_key(&self) -> (u64, u64, u64, u8) {
+        (self.at_ps, self.edge, self.seq, self.leg.rank())
+    }
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BoundaryEnvelope>();
+};
+
+/// Per-shard collection point for outbound [`BoundaryEnvelope`]s. Every
+/// boundary channel built on a shard shares the shard's outbox; the
+/// lockstep driver drains it after each delta round and routes the
+/// envelopes to their destination shards.
+pub type BoundaryOutbox = Rc<RefCell<Vec<BoundaryEnvelope>>>;
+
+/// Boundary-mode state of one sublink whose far end lives on another shard.
+struct BoundaryState {
+    /// Stable directed-edge id (see [`BoundaryEnvelope::edge`]).
+    edge: u64,
+    /// The shard holding the far endpoint.
+    peer_shard: u32,
+    /// True on the transmitting side (local sender, remote receiver).
+    is_tx: bool,
+    outbox: BoundaryOutbox,
+    /// Next sequence number to assign (tx side).
+    next_seq: Cell<u64>,
+    /// Tx side: parked senders awaiting their transfer-end instant.
+    granted: RefCell<std::collections::BTreeMap<u64, OneShot<Time>>>,
+    /// Rx side: parked receivers awaiting their `(start, end)` grant.
+    pending: RefCell<std::collections::BTreeMap<u64, OneShot<(Time, Time)>>>,
+    /// Rx side: landed `Data` legs not yet consumed by a `recv`.
+    inbox: RefCell<VecDeque<(u64, Vec<u32>, Time)>>,
+    /// Rx side: receivers parked on an empty inbox, FIFO.
+    waiting: RefCell<VecDeque<OneShot<()>>>,
+}
+
+impl BoundaryState {
+    fn new(edge: u64, peer_shard: u32, is_tx: bool, outbox: BoundaryOutbox) -> BoundaryState {
+        BoundaryState {
+            edge,
+            peer_shard,
+            is_tx,
+            outbox,
+            next_seq: Cell::new(0),
+            granted: RefCell::new(std::collections::BTreeMap::new()),
+            pending: RefCell::new(std::collections::BTreeMap::new()),
+            inbox: RefCell::new(VecDeque::new()),
+            waiting: RefCell::new(VecDeque::new()),
+        }
+    }
+
+    fn post(&self, at: Time, seq: u64, leg: BoundaryLeg) {
+        self.outbox.borrow_mut().push(BoundaryEnvelope {
+            at_ps: at.as_ps(),
+            edge: self.edge,
+            seq,
+            to_shard: self.peer_shard,
+            leg,
+        });
+    }
+}
+
 /// Optional telemetry shared by every clone of one sublink: an end-to-end
 /// message-latency histogram and a trace flow arrow per delivered message.
 #[derive(Default)]
@@ -599,6 +741,9 @@ struct ChanInner {
     status: LinkStatus,
     telem: RefCell<LinkTelemetry>,
     transport: RefCell<TransportState>,
+    /// Set when the far endpoint lives on another shard: `send`/`recv`
+    /// replay the rendezvous over [`BoundaryEnvelope`]s instead of `rv`.
+    boundary: Option<BoundaryState>,
 }
 
 /// One **sublink**: a unidirectional CSP channel multiplexed onto the
@@ -632,6 +777,15 @@ impl LinkChannel {
     }
 
     fn assemble(tx_wire: Wire, rx_wire: Wire, metrics: Metrics) -> LinkChannel {
+        Self::assemble_full(tx_wire, rx_wire, metrics, None)
+    }
+
+    fn assemble_full(
+        tx_wire: Wire,
+        rx_wire: Wire,
+        metrics: Metrics,
+        boundary: Option<BoundaryState>,
+    ) -> LinkChannel {
         let hot = HotCounters::of(&metrics);
         LinkChannel {
             inner: Rc::new(ChanInner {
@@ -643,8 +797,44 @@ impl LinkChannel {
                 status: LinkStatus::new(),
                 telem: RefCell::new(LinkTelemetry::default()),
                 transport: RefCell::new(TransportState::default()),
+                boundary,
             }),
         }
+    }
+
+    /// Create the **transmitting half** of a shard-boundary sublink: the
+    /// local sender's output wire, with the receiver on `peer_shard`.
+    /// Protocol messages are collected into the shard's shared `outbox`.
+    pub fn new_boundary_tx(
+        tx_wire: Wire,
+        edge: u64,
+        peer_shard: u32,
+        outbox: BoundaryOutbox,
+    ) -> LinkChannel {
+        let boundary = BoundaryState::new(edge, peer_shard, true, outbox);
+        Self::assemble_full(tx_wire.clone(), tx_wire, Metrics::new(), Some(boundary))
+    }
+
+    /// Create the **receiving half** of a shard-boundary sublink: the local
+    /// receiver's input wire, with the sender on `peer_shard`.
+    pub fn new_boundary_rx(
+        rx_wire: Wire,
+        edge: u64,
+        peer_shard: u32,
+        outbox: BoundaryOutbox,
+    ) -> LinkChannel {
+        let boundary = BoundaryState::new(edge, peer_shard, false, outbox);
+        Self::assemble_full(rx_wire.clone(), rx_wire, Metrics::new(), Some(boundary))
+    }
+
+    /// True when this sublink's far endpoint lives on another shard.
+    pub fn is_boundary(&self) -> bool {
+        self.inner.boundary.is_some()
+    }
+
+    /// The stable directed-edge id of a boundary sublink.
+    pub fn boundary_edge(&self) -> Option<u64> {
+        self.inner.boundary.as_ref().map(|b| b.edge)
     }
 
     /// Attach a metrics bundle after construction. Must run before the
@@ -710,6 +900,9 @@ impl LinkChannel {
     /// Send `words` and suspend until the receiver has them (CSP semantics:
     /// the sender resumes when the transfer completes).
     pub async fn send(&self, h: &SimHandle, words: Vec<u32>) {
+        if self.inner.boundary.is_some() {
+            return self.boundary_send(h, words).await;
+        }
         let bytes = words.len() * 4;
         // DMA engine setup on the sending side.
         h.sleep(self.inner.tx_wire.params.dma_startup).await;
@@ -731,6 +924,9 @@ impl LinkChannel {
     /// Receive a message, suspending until a sender arrives and the framed
     /// transfer completes. Returns the payload words.
     pub async fn recv(&self, h: &SimHandle) -> Vec<u32> {
+        if self.inner.boundary.is_some() {
+            return self.boundary_recv(h).await;
+        }
         let pkt = self.inner.rv.recv().await;
         let bytes = pkt.words.len() * 4;
         let (_start, end) = self.transfer(h.now(), &pkt.words);
@@ -738,6 +934,149 @@ impl LinkChannel {
         self.book_recv(pkt.sent_at, end, bytes);
         pkt.done.send(end);
         pkt.words
+    }
+
+    // --- shard-boundary protocol -------------------------------------------
+
+    /// [`LinkChannel::send`] over a shard boundary. Identical observable
+    /// timing and sender-side accounting: DMA startup, commit-time
+    /// `book_sent`, then the task parks until the joint grant's `end` comes
+    /// back — exactly where the sequential sender resumes.
+    async fn boundary_send(&self, h: &SimHandle, words: Vec<u32>) {
+        let b = self
+            .inner
+            .boundary
+            .as_ref()
+            .expect("boundary_send on a local channel");
+        debug_assert!(b.is_tx, "send on the receiving half of a boundary link");
+        let bytes = words.len() * 4;
+        h.sleep(self.inner.tx_wire.params.dma_startup).await;
+        self.inner.hot.book_sent(bytes as u64);
+        let seq = b.next_seq.get();
+        b.next_seq.set(seq + 1);
+        let done: OneShot<Time> = OneShot::new();
+        b.granted.borrow_mut().insert(seq, done.clone());
+        let now = h.now();
+        b.post(
+            now,
+            seq,
+            BoundaryLeg::Data {
+                words,
+                sent_at_ps: now.as_ps(),
+            },
+        );
+        let end = done.recv().await;
+        h.sleep_until(end).await;
+    }
+
+    /// [`LinkChannel::recv`] over a shard boundary: wait for the `Data`
+    /// leg, post `Request` with this engine's free watermark, park for the
+    /// `Grant`, book the receive half of the joint slot, and deliver at
+    /// `end` — the instant the sequential receiver would deliver.
+    async fn boundary_recv(&self, h: &SimHandle) -> Vec<u32> {
+        let b = self
+            .inner
+            .boundary
+            .as_ref()
+            .expect("boundary_recv on a local channel");
+        debug_assert!(!b.is_tx, "recv on the transmitting half of a boundary link");
+        let (seq, words, sent_at) = loop {
+            if let Some(item) = b.inbox.borrow_mut().pop_front() {
+                break item;
+            }
+            let gate: OneShot<()> = OneShot::new();
+            b.waiting.borrow_mut().push_back(gate.clone());
+            gate.recv().await;
+        };
+        let bytes = words.len() * 4;
+        let dur = self.inner.rx_wire.params.wire_time(bytes);
+        let slot: OneShot<(Time, Time)> = OneShot::new();
+        b.pending.borrow_mut().insert(seq, slot.clone());
+        b.post(
+            h.now(),
+            seq,
+            BoundaryLeg::Request {
+                rx_free_ps: self.inner.rx_wire.resource().busy_until().as_ps(),
+                dur_ps: dur.as_ps(),
+                bytes: bytes as u64,
+            },
+        );
+        let (start, end) = slot.recv().await;
+        // The receive half of what `reserve_both` books in one call.
+        self.inner.rx_wire.book(bytes);
+        self.inner.rx_wire.resource().apply_grant(start, end, dur);
+        h.sleep_until(end).await;
+        // Sender-side legacy counters (msgs_recv on the transmitting
+        // node's bundle) are booked by the tx shard at Request time; here
+        // only the receiver-resident telemetry observes.
+        let telem = self.inner.telem.borrow();
+        if let Some(hist) = &telem.latency_ns {
+            hist.observe(end.since(sent_at).as_ns());
+        }
+        words
+    }
+
+    /// Ingest one cross-shard envelope addressed to this channel. Called by
+    /// the lockstep driver, in [`BoundaryEnvelope::sort_key`] order, while
+    /// the shard is stopped at the envelope's instant.
+    pub fn boundary_ingest(&self, h: &SimHandle, env: BoundaryEnvelope) {
+        let b = self
+            .inner
+            .boundary
+            .as_ref()
+            .expect("boundary_ingest on a local channel");
+        debug_assert_eq!(b.edge, env.edge, "envelope routed to the wrong channel");
+        match env.leg {
+            BoundaryLeg::Data { words, sent_at_ps } => {
+                debug_assert!(!b.is_tx);
+                b.inbox
+                    .borrow_mut()
+                    .push_back((env.seq, words, Time(sent_at_ps)));
+                if let Some(gate) = b.waiting.borrow_mut().pop_front() {
+                    gate.send(());
+                }
+            }
+            BoundaryLeg::Request {
+                rx_free_ps,
+                dur_ps,
+                bytes,
+            } => {
+                debug_assert!(b.is_tx);
+                let now = h.now();
+                let dur = Dur::ps(dur_ps);
+                let tx_res = self.inner.tx_wire.resource();
+                // The joint slot of `Resource::reserve_pair`, computed from
+                // the exchanged watermark: starts when both engines are free.
+                let start = now.max(tx_res.busy_until()).max(Time(rx_free_ps));
+                let end = start + dur;
+                self.inner.tx_wire.book(bytes as usize);
+                tx_res.apply_grant(start, end, dur);
+                // The sequential receiver books these into the transmitting
+                // node's bundle (the channel's metrics); same attribution.
+                self.inner.hot.book_recv(bytes);
+                if let Some(done) = b.granted.borrow_mut().remove(&env.seq) {
+                    done.send(end);
+                } else {
+                    debug_assert!(false, "Request for an unknown send seq");
+                }
+                b.post(
+                    now,
+                    env.seq,
+                    BoundaryLeg::Grant {
+                        start_ps: start.as_ps(),
+                        end_ps: end.as_ps(),
+                    },
+                );
+            }
+            BoundaryLeg::Grant { start_ps, end_ps } => {
+                debug_assert!(!b.is_tx);
+                if let Some(slot) = b.pending.borrow_mut().remove(&env.seq) {
+                    slot.send((Time(start_ps), Time(end_ps)));
+                } else {
+                    debug_assert!(false, "Grant for an unknown recv seq");
+                }
+            }
+        }
     }
 
     /// Occupy both link engines for a `bytes`-byte transfer.
@@ -785,6 +1124,10 @@ impl LinkChannel {
     /// this direction is flipped in flight. The receiver's CRC catches it
     /// and the go-back-N protocol recovers.
     pub fn inject_corrupt(&self, flit_bit: u64) {
+        assert!(
+            self.inner.boundary.is_none(),
+            "transient faults on shard-boundary links are unsupported"
+        );
         self.inner
             .transport
             .borrow_mut()
@@ -795,6 +1138,10 @@ impl LinkChannel {
     /// Queue a transient wire fault: one flit of the next message on this
     /// direction vanishes; only the sender's retransmit timer recovers it.
     pub fn inject_drop(&self) {
+        assert!(
+            self.inner.boundary.is_none(),
+            "transient faults on shard-boundary links are unsupported"
+        );
         self.inner
             .transport
             .borrow_mut()
@@ -928,6 +1275,12 @@ impl LinkChannel {
     /// the framed transfer is in flight and completes even if the link dies
     /// underneath it.
     pub async fn try_send(&self, h: &SimHandle, words: Vec<u32>) -> Result<(), LinkError> {
+        if self.inner.boundary.is_some() {
+            // Boundary links carry no fault state (cross-shard faults are
+            // unsupported); the plain protocol path always succeeds.
+            self.boundary_send(h, words).await;
+            return Ok(());
+        }
         if !self.inner.status.is_up() {
             ts_sim::pool::put_words(words);
             return Err(LinkError::Down);
@@ -962,6 +1315,9 @@ impl LinkChannel {
     /// that committed first still hands its message over (the transfer was
     /// already in flight when the link died).
     pub async fn try_recv(&self, h: &SimHandle) -> Result<Vec<u32>, LinkError> {
+        if self.inner.boundary.is_some() {
+            return Ok(self.boundary_recv(h).await);
+        }
         if !self.inner.status.is_up() {
             return Err(LinkError::Down);
         }
@@ -1026,6 +1382,10 @@ pub struct AltSet {
 impl AltSet {
     /// Prepare an `ALT` over `chans` (branch priority = slice order).
     pub fn new(chans: &[&LinkChannel]) -> AltSet {
+        assert!(
+            chans.iter().all(|c| c.inner.boundary.is_none()),
+            "ALT over a shard-boundary channel is unsupported"
+        );
         AltSet {
             chans: chans.iter().map(|&c| c.clone()).collect(),
             rvs: chans.iter().map(|c| c.inner.rv.clone()).collect(),

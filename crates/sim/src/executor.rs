@@ -255,6 +255,47 @@ impl Sim {
         self.run_until(deadline)
     }
 
+    /// The instant of the next pending event, if any: `now` when a task is
+    /// already runnable, otherwise the expiry of the earliest live timer.
+    /// Cancelled timer entries are discarded on the way (the same sweep the
+    /// run loop performs), so the answer is exact, not an upper bound.
+    ///
+    /// This is the per-shard clock proposal of the parallel backend: the
+    /// global lockstep instant is the minimum of every shard's value.
+    pub fn next_event_time(&self) -> Option<Time> {
+        if !self.ready.borrow().is_empty() {
+            return Some(self.now());
+        }
+        let mut inner = self.inner.borrow_mut();
+        loop {
+            match inner.timers.peek() {
+                Some(&Reverse((key, slot))) => {
+                    if inner.timer_wakers[slot].is_none() {
+                        inner.timers.pop();
+                        inner.timer_free.push(slot);
+                        continue;
+                    }
+                    return Some(key.at);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Move the clock forward to `at` without running anything (no-op if the
+    /// clock is already there or past). Used by the parallel backend to keep
+    /// idle shards in lockstep with the global instant: `run_until` alone
+    /// leaves the clock untouched when the timer heap is empty.
+    pub fn advance_to(&mut self, at: Time) {
+        let mut inner = self.inner.borrow_mut();
+        inner.now = inner.now.max(at);
+    }
+
+    /// Number of tasks that have been spawned but have not completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.borrow().live
+    }
+
     /// Poll every runnable task, in wake order, until the queue is empty.
     fn drain_ready(&mut self) {
         loop {
@@ -715,6 +756,35 @@ mod tests {
             "task table grew to {} slots for 401 spawns",
             sim.inner.borrow().tasks.len()
         );
+    }
+
+    #[test]
+    fn next_event_time_and_advance_to() {
+        let mut sim = Sim::new();
+        assert_eq!(sim.next_event_time(), None);
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(Dur::us(5)).await;
+        });
+        // A freshly spawned task is runnable now.
+        assert_eq!(sim.next_event_time(), Some(Time::ZERO));
+        sim.run_until(Time::ZERO + Dur::us(1));
+        // Parked on its timer: the proposal is the timer expiry.
+        assert_eq!(sim.next_event_time(), Some(Time::ZERO + Dur::us(5)));
+        assert_eq!(sim.live_tasks(), 1);
+        // A cancelled timer must not be proposed.
+        let h2 = sim.handle();
+        let early = h2.sleep(Dur::us(1));
+        drop(early);
+        assert_eq!(sim.next_event_time(), Some(Time::ZERO + Dur::us(5)));
+        sim.run();
+        assert_eq!(sim.next_event_time(), None);
+        assert_eq!(sim.live_tasks(), 0);
+        // advance_to moves an idle clock but never backwards.
+        sim.advance_to(Time::ZERO + Dur::us(9));
+        assert_eq!(sim.now(), Time::ZERO + Dur::us(9));
+        sim.advance_to(Time::ZERO + Dur::us(7));
+        assert_eq!(sim.now(), Time::ZERO + Dur::us(9));
     }
 
     #[test]

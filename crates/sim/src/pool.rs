@@ -6,13 +6,29 @@
 //! malloc/free traffic dominates the hot loop. A free list amortizes them
 //! to near zero: buffers are recycled after unpacking instead of dropped.
 //!
-//! Determinism: the simulator is single-threaded and event execution order
-//! is fixed, so pool reuse order is itself deterministic — and since
-//! allocation never consumes simulated time, pooling is invisible to
-//! results and event counts (the golden-digest test in
+//! Determinism: each simulation shard is single-threaded and event
+//! execution order is fixed, so pool reuse order is itself deterministic —
+//! and since allocation never consumes simulated time, pooling is invisible
+//! to results and event counts (the golden-digest test in
 //! `crates/sim/tests/scale.rs` pins this down).
+//!
+//! ## Shard affinity
+//!
+//! Under the parallel backend every shard thread gets its own instance of
+//! each `thread_local!` pool, so recycling is shard-local by construction —
+//! a buffer taken on shard 2 is recycled into shard 2's free list. What
+//! must *never* happen is a single `BufPool` value being touched from two
+//! threads (the `RefCell` would race): debug builds record the first
+//! thread that uses a pool and assert every later `take`/`put` comes from
+//! the same thread. Cross-shard payloads are moved as owned `Vec<u32>`
+//! inside boundary envelopes and re-enter the pool of whichever shard
+//! consumes them.
 
+#[cfg(debug_assertions)]
+use std::cell::Cell;
 use std::cell::RefCell;
+#[cfg(debug_assertions)]
+use std::thread::ThreadId;
 
 /// A bounded free list of `Vec<T>` buffers.
 ///
@@ -21,6 +37,9 @@ use std::cell::RefCell;
 pub struct BufPool<T> {
     free: RefCell<Vec<Vec<T>>>,
     max: usize,
+    /// Debug-only shard affinity: the first thread to use the pool owns it.
+    #[cfg(debug_assertions)]
+    owner: Cell<Option<ThreadId>>,
 }
 
 impl<T> BufPool<T> {
@@ -29,11 +48,32 @@ impl<T> BufPool<T> {
         BufPool {
             free: RefCell::new(Vec::new()),
             max,
+            #[cfg(debug_assertions)]
+            owner: Cell::new(None),
+        }
+    }
+
+    /// Debug builds: pin the pool to the first thread that touches it. A
+    /// buffer taken on one shard and recycled on another would silently
+    /// cross free lists; this turns that into a loud failure.
+    #[inline]
+    fn assert_affinity(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let me = std::thread::current().id();
+            match self.owner.get() {
+                None => self.owner.set(Some(me)),
+                Some(owner) => assert_eq!(
+                    owner, me,
+                    "BufPool used from two threads: pools are shard-local"
+                ),
+            }
         }
     }
 
     /// Take an empty buffer with at least `cap` capacity.
     pub fn take(&self, cap: usize) -> Vec<T> {
+        self.assert_affinity();
         match self.free.borrow_mut().pop() {
             Some(mut v) => {
                 if v.capacity() < cap {
@@ -48,6 +88,7 @@ impl<T> BufPool<T> {
     /// Return a buffer to the pool (cleared here; dropped if the pool is
     /// full or the buffer never allocated).
     pub fn put(&self, mut v: Vec<T>) {
+        self.assert_affinity();
         if v.capacity() == 0 {
             return;
         }
@@ -115,5 +156,28 @@ mod tests {
         let pool: BufPool<u8> = BufPool::new(2);
         pool.put(Vec::new());
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn cross_thread_use_is_rejected() {
+        // `BufPool` is `!Sync`, so sharing one across threads already fails
+        // to compile in safe code. The affinity assert is the runtime
+        // backstop for unsafe wrappers like this one.
+        struct ForceShare(BufPool<u8>);
+        unsafe impl Send for ForceShare {}
+        unsafe impl Sync for ForceShare {}
+        use std::sync::Arc;
+        let pool = Arc::new(ForceShare(BufPool::new(4)));
+        pool.0.put(Vec::with_capacity(8)); // pin to this thread
+        let p2 = pool.clone();
+        let res = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = p2.0.take(4);
+            }))
+        })
+        .join()
+        .unwrap();
+        assert!(res.is_err(), "second-thread take must assert");
     }
 }

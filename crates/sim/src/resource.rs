@@ -116,6 +116,22 @@ impl Resource {
         Rc::ptr_eq(&self.state, &other.state)
     }
 
+    /// Book an externally computed grant onto this resource: exactly one
+    /// side of [`Resource::reserve_pair`]'s accounting. The parallel backend
+    /// uses this when the two engines of a transfer live on different
+    /// shards — each side computes the joint `(start, end)` from exchanged
+    /// watermarks and applies its half locally.
+    pub fn apply_grant(&self, start: Time, end: Time, dur: Dur) {
+        let mut st = self.state.borrow_mut();
+        debug_assert!(start >= st.busy_until, "grant overlaps an earlier slot");
+        st.busy_until = end;
+        st.busy_total += dur;
+        st.uses += 1;
+        if let Some((tracer, track)) = &st.tracer {
+            tracer.record_span(*track, start, end);
+        }
+    }
+
     /// Reserve **two** resources for the same `dur` slot (e.g. the sending
     /// and receiving link engines of one transfer): the slot starts when
     /// both are free. If both handles name one resource it is reserved once.

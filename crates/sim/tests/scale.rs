@@ -17,7 +17,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use t_series_core::{collectives, Machine, MachineCfg};
+use t_series_core::parallel::{run_parallel, ParallelCfg};
+use t_series_core::{collectives, Hypercube, Machine, MachineCfg};
 use ts_fpu::Sf64;
 use ts_node::CombineOp;
 
@@ -97,6 +98,61 @@ fn dim8_allreduce_matches_preoptimization_digest() {
 #[test]
 fn digest_is_reproducible_within_one_process() {
     assert_eq!(dim8_allreduce_digest(), dim8_allreduce_digest());
+}
+
+/// The same dim-8 allreduce on the parallel backend, sharded across
+/// threads. Bit-identical results and finish time are the whole contract:
+/// the digest must equal the sequential golden, at every shard count.
+fn dim8_allreduce_digest_parallel(shards: u32) -> u64 {
+    let dim = 8;
+    let cube = Hypercube::new(dim);
+    let run = run_parallel(
+        MachineCfg::cube_small_mem(dim, 8),
+        &ParallelCfg::new(shards),
+        move |ctx| async move {
+            let id = ctx.id();
+            let mine = vec![
+                Sf64::from(id as f64),
+                Sf64::from(1.0 / (1.0 + id as f64)),
+                Sf64::from((id % 17) as f64 * 0.5),
+                Sf64::from(1.0),
+            ];
+            collectives::allreduce(&ctx, cube, CombineOp::Add, mine).await
+        },
+    );
+    assert!(run.quiescent, "parallel dim-8 allreduce stalled");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for vals in run.results {
+        for v in vals.expect("allreduce result missing") {
+            h = fnv(h, &v.to_bits().to_le_bytes());
+        }
+    }
+    fnv(h, &run.final_time.as_ps().to_le_bytes())
+}
+
+#[test]
+fn parallel_backend_matches_golden_digest_at_2_shards() {
+    let got = dim8_allreduce_digest_parallel(2);
+    assert_eq!(
+        got, GOLDEN_DIM8_ALLREDUCE,
+        "2-shard parallel digest diverged from the sequential golden"
+    );
+}
+
+#[test]
+fn parallel_backend_matches_golden_digest_at_4_shards() {
+    let got = dim8_allreduce_digest_parallel(4);
+    assert_eq!(
+        got, GOLDEN_DIM8_ALLREDUCE,
+        "4-shard parallel digest diverged from the sequential golden"
+    );
+}
+
+#[test]
+fn parallel_backend_matches_golden_digest_at_1_shard() {
+    // shards == 1 degenerates to the sequential backend; pin that too.
+    let got = dim8_allreduce_digest_parallel(1);
+    assert_eq!(got, GOLDEN_DIM8_ALLREDUCE);
 }
 
 /// Poll count stays within 2x of the timer event count: every wake does
